@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figures 10-11: clock-rate scaling. 8-node 1-way machines at 4 GHz and
+ * 2 GHz. Paper shape: trends unchanged; the integrated models' edge over
+ * Base widens as the processor-memory gap grows.
+ */
+#include "bench_util.hpp"
+using namespace smtp;
+using namespace smtp::bench;
+int
+main(int argc, char **argv)
+{
+    auto opt = parseArgs(argc, argv);
+    printHeader("Figures 10-11: 8-node clock scaling",
+                "Figs. 10 (4 GHz), 11 (2 GHz); 1-way nodes");
+    runFigure(opt, 8, 1, 4000, "Figure 10 (4 GHz)");
+    runFigure(opt, 8, 1, 2000, "Figure 11 (2 GHz)");
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figures 2-4: normalized execution time of the five machine models on
+ * a single-node system with 1/2/4 application threads, with the
+ * memory-stall split. Paper shape: integration helps; Ocean and FFTW
+ * gain most; LU and Water are insensitive; SMTp always beats Base and
+ * tracks Int512KB; Int64KB is the worst integrated model.
+ */
+#include "bench_util.hpp"
+using namespace smtp;
+using namespace smtp::bench;
+int
+main(int argc, char **argv)
+{
+    auto opt = parseArgs(argc, argv);
+    printHeader("Figures 2-4: single-node relative performance",
+                "Figs. 2, 3, 4 (normalized exec time, 5 models, "
+                "1/2/4-way SMT)");
+    for (unsigned ways : {1u, 2u, 4u}) {
+        if (opt.quick && ways == 4)
+            continue;
+        runFigure(opt, 1, ways, 2000, "Figure " +
+                  std::to_string(1 + ways / 2 + (ways / 4) * 1 + 1));
+    }
+    return 0;
+}

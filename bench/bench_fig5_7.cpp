@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Figures 5-7: 16-node relative performance, 1/2/4-way. Paper shape:
+ * integrated models converge as directory-cache pressure drops with
+ * machine size; Int64KB recovers; SMTp tracks Int512KB.
+ */
+#include "bench_util.hpp"
+using namespace smtp;
+using namespace smtp::bench;
+int
+main(int argc, char **argv)
+{
+    auto opt = parseArgs(argc, argv);
+    printHeader("Figures 5-7: 16-node relative performance",
+                "Figs. 5, 6, 7 (normalized exec time, 5 models, "
+                "1/2/4-way SMT)");
+    for (unsigned ways : {1u, 2u, 4u}) {
+        if (opt.quick && ways != 1)
+            continue;
+        runFigure(opt, 16, ways,
+                  2000, "Figure " + std::to_string(4 + ways - (ways / 4)));
+    }
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Figures 8-9: 32-node relative performance, 1/2-way (64-bit directory
+ * entries). Paper shape: SMTp still tracks Int512KB at medium scale.
+ */
+#include "bench_util.hpp"
+using namespace smtp;
+using namespace smtp::bench;
+int
+main(int argc, char **argv)
+{
+    auto opt = parseArgs(argc, argv);
+    printHeader("Figures 8-9: 32-node relative performance",
+                "Figs. 8, 9 (normalized exec time, 5 models, 1/2-way)");
+    runFigure(opt, 32, 1, 2000, "Figure 8");
+    if (!opt.quick)
+        runFigure(opt, 32, 2, 2000, "Figure 9");
+    return 0;
+}

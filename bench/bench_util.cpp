@@ -1,0 +1,182 @@
+#include "bench_util.hpp"
+
+#include <cstring>
+
+namespace smtp::bench
+{
+
+RunResult
+runOnce(const RunConfig &cfg)
+{
+    MachineParams mp;
+    mp.model = cfg.model;
+    mp.nodes = cfg.nodes;
+    mp.appThreadsPerNode = cfg.ways;
+    mp.cpuFreqMHz = cfg.cpuFreqMHz;
+    mp.lookAheadScheduling = cfg.lookAheadScheduling;
+    mp.bitAssistOps = cfg.bitAssistOps;
+    mp.perfectProtocolCaches = cfg.perfectProtocolCaches;
+    mp.dirCacheDivisor = cfg.dirCacheDivisor;
+
+    Machine machine(mp);
+    FuncMem mem;
+    auto app = workload::makeApp(cfg.app);
+    workload::WorkloadEnv env;
+    env.mem = &mem;
+    env.map = &machine.addressMap();
+    env.nodes = cfg.nodes;
+    env.threadsPerNode = cfg.ways;
+    env.scale = cfg.scale;
+    app->build(env);
+    for (unsigned t = 0; t < env.totalThreads(); ++t)
+        machine.setGlobalSource(t, app->thread(t));
+
+    RunResult out;
+    out.execTime = machine.run();
+    out.memStallFraction = machine.memStallFraction();
+    out.peakProtocolOccupancy = machine.peakProtocolOccupancy();
+    if (cfg.model == MachineModel::SMTp) {
+        auto pc = machine.protoCharacteristics();
+        out.protoBranchMispredict = pc.branchMispredictRate;
+        out.protoSquashCyclePct = pc.squashCyclePct;
+        out.protoRetiredPct = pc.retiredInstPct;
+        for (unsigned n = 0; n < cfg.nodes; ++n) {
+            const auto &occ = machine.node(n).cpu->protoOccupancy;
+            out.peakBranchStack =
+                std::max(out.peakBranchStack, occ.branchStack.peak());
+            out.peakIntRegs =
+                std::max(out.peakIntRegs, occ.intRegs.peak());
+            out.peakIntQueue =
+                std::max(out.peakIntQueue, occ.intQueue.peak());
+            out.peakLsq = std::max(out.peakLsq, occ.lsq.peak());
+        }
+    }
+    return out;
+}
+
+const std::vector<std::string> &
+BenchOptions::appList() const
+{
+    if (!apps.empty())
+        return apps;
+    return workload::appNames();
+}
+
+BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *prefix) -> const char * {
+            std::size_t n = std::strlen(prefix);
+            if (arg.compare(0, n, prefix) == 0)
+                return arg.c_str() + n;
+            return nullptr;
+        };
+        if (const char *v = value("--scale=")) {
+            opt.scale = std::atof(v);
+        } else if (const char *vd = value("--dcache-div=")) {
+            opt.dirCacheDivisor = static_cast<unsigned>(std::atoi(vd));
+        } else if (const char *v2 = value("--apps=")) {
+            opt.apps.clear();
+            std::string list = v2;
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                auto comma = list.find(',', pos);
+                opt.apps.push_back(
+                    list.substr(pos, comma == std::string::npos
+                                         ? comma
+                                         : comma - pos));
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg == "--quick") {
+            opt.quick = true;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--help") {
+            std::printf("options: --scale=F --apps=A,B,... --quick "
+                        "--verbose\n");
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            std::exit(1);
+        }
+    }
+    if (opt.quick)
+        opt.scale *= 0.5;
+    return opt;
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_note)
+{
+    std::printf("\n================================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("paper reference: %s\n", paper_note.c_str());
+    std::printf("================================================================================\n");
+    std::fflush(stdout);
+}
+
+void
+printBar()
+{
+    std::printf("--------------------------------------------------------------------------------\n");
+}
+
+void
+printRowHeader(const std::vector<std::string> &cols)
+{
+    for (const auto &c : cols)
+        std::printf("%12s", c.c_str());
+    std::printf("\n");
+    printBar();
+}
+
+} // namespace smtp::bench
+
+namespace smtp::bench
+{
+namespace
+{
+const MachineModel figureModels[] = {
+    MachineModel::Base, MachineModel::IntPerfect, MachineModel::Int512KB,
+    MachineModel::Int64KB, MachineModel::SMTp,
+};
+}
+
+void
+runFigure(const BenchOptions &opt, unsigned nodes, unsigned ways,
+          std::uint64_t cpu_freq_mhz, const std::string &caption)
+{
+    std::printf("\n%s  (nodes=%u, ways=%u, cpu=%llu MHz, scale=%.2f)\n",
+                caption.c_str(), nodes, ways,
+                static_cast<unsigned long long>(cpu_freq_mhz), opt.scale);
+    printRowHeader({"app", "model", "exec(us)", "norm", "memstall",
+                    "protOcc"});
+    for (const auto &app : opt.appList()) {
+        double base_time = 0.0;
+        for (MachineModel model : figureModels) {
+            RunConfig cfg;
+            cfg.model = model;
+            cfg.nodes = nodes;
+            cfg.ways = ways;
+            cfg.app = app;
+            cfg.scale = opt.scale;
+            cfg.cpuFreqMHz = cpu_freq_mhz;
+            cfg.dirCacheDivisor = opt.dirCacheDivisor;
+            RunResult r = runOnce(cfg);
+            double us = static_cast<double>(r.execTime) / tickPerUs;
+            if (model == MachineModel::Base)
+                base_time = us;
+            std::printf("%12s%12s%12.1f%12.3f%12.3f%12.3f\n", app.c_str(),
+                        std::string(modelName(model)).c_str(), us,
+                        us / base_time, r.memStallFraction,
+                        r.peakProtocolOccupancy);
+            std::fflush(stdout);
+        }
+        printBar();
+    }
+}
+
+} // namespace smtp::bench

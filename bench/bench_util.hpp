@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared harness for the paper-reproduction benchmarks: one full-system
+ * simulation per (application, machine model, size) cell, plus table
+ * formatting that prints our measurements next to the paper's reported
+ * shapes (EXPERIMENTS.md records the comparison).
+ */
+
+#ifndef SMTP_BENCH_BENCH_UTIL_HPP
+#define SMTP_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "machine/machine.hpp"
+#include "workload/app.hpp"
+
+namespace smtp::bench
+{
+
+struct RunConfig
+{
+    MachineModel model = MachineModel::SMTp;
+    unsigned nodes = 1;
+    unsigned ways = 1;
+    std::string app = "FFT";
+    double scale = 1.0;
+    std::uint64_t cpuFreqMHz = 2000;
+    bool lookAheadScheduling = true;
+    bool bitAssistOps = true;
+    bool perfectProtocolCaches = false;
+    unsigned dirCacheDivisor = 16; ///< Scaled with the problem sizes.
+};
+
+struct RunResult
+{
+    Tick execTime = 0;
+    double memStallFraction = 0.0;
+    double peakProtocolOccupancy = 0.0;
+    // SMTp-only protocol thread characteristics.
+    double protoBranchMispredict = 0.0;
+    double protoSquashCyclePct = 0.0;
+    double protoRetiredPct = 0.0;
+    // Protocol thread peak resource occupancy (Table 9).
+    std::uint64_t peakBranchStack = 0;
+    std::uint64_t peakIntRegs = 0;
+    std::uint64_t peakIntQueue = 0;
+    std::uint64_t peakLsq = 0;
+};
+
+/** Run one full-system simulation. */
+RunResult runOnce(const RunConfig &cfg);
+
+/** Command-line options shared by every bench binary. */
+struct BenchOptions
+{
+    double scale = 1.0;
+    unsigned dirCacheDivisor = 16;
+    std::vector<std::string> apps;  ///< Empty = all six.
+    bool quick = false;             ///< Halve sizes, skip 4-way rows.
+    bool verbose = false;
+
+    const std::vector<std::string> &appList() const;
+};
+
+BenchOptions parseArgs(int argc, char **argv);
+
+/** Printing helpers. */
+void printHeader(const std::string &title, const std::string &paper_note);
+void printRowHeader(const std::vector<std::string> &cols);
+void printBar();
+
+/**
+ * Run one "figure" group: for each application and machine model at a
+ * given (nodes, ways), print execution time normalized to Base plus the
+ * memory-stall fraction — the paper's stacked-bar figures in text form.
+ */
+void runFigure(const BenchOptions &opt, unsigned nodes, unsigned ways,
+               std::uint64_t cpu_freq_mhz, const std::string &caption);
+
+} // namespace smtp::bench
+
+#endif // SMTP_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The paper's headline comparison in miniature: run Ocean on an 8-node
+ * machine under all five machine models of Table 4 and print normalized
+ * execution times. Expect Base slowest, SMTp tracking Int512KB, and
+ * IntPerfect as the bound.
+ */
+
+#include <cstdio>
+
+#include "machine/machine.hpp"
+#include "workload/app.hpp"
+
+using namespace smtp;
+
+namespace
+{
+
+Tick
+runModel(MachineModel model)
+{
+    MachineParams mp;
+    mp.model = model;
+    mp.nodes = 8;
+    mp.appThreadsPerNode = 1;
+    mp.dirCacheDivisor = 16; // scaled-simulation directory caches
+    Machine machine(mp);
+    FuncMem mem;
+    auto app = workload::makeApp("Ocean");
+    workload::WorkloadEnv env;
+    env.mem = &mem;
+    env.map = &machine.addressMap();
+    env.nodes = mp.nodes;
+    env.threadsPerNode = 1;
+    env.scale = 1.0;
+    app->build(env);
+    for (unsigned t = 0; t < env.totalThreads(); ++t)
+        machine.setGlobalSource(t, app->thread(t));
+    return machine.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ocean, 8 nodes, 1 thread/node (normalized to Base):\n");
+    double base = 0.0;
+    for (MachineModel m :
+         {MachineModel::Base, MachineModel::IntPerfect,
+          MachineModel::Int512KB, MachineModel::Int64KB,
+          MachineModel::SMTp}) {
+        double t = static_cast<double>(runModel(m));
+        if (m == MachineModel::Base)
+            base = t;
+        std::printf("  %-12s %8.1f us   %.3f\n",
+                    std::string(modelName(m)).c_str(), t / tickPerUs,
+                    t / base);
+    }
+    return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates bench_output.txt: one section per paper table/figure.
+set -x
+./build/bench/bench_fig2_4
+./build/bench/bench_fig5_7 --quick
+./build/bench/bench_fig8_9 --quick
+./build/bench/bench_fig10_11
+./build/bench/bench_table5_6 --quick
+./build/bench/bench_table7
+./build/bench/bench_table8_9
+./build/bench/bench_ablation_las
+./build/bench/bench_ablation_pcache
+./build/bench/bench_uarch --benchmark_min_time=0.1s

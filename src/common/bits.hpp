@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by caches, directory entries and the
+ * protocol ISA (which exposes popcount / count-trailing-zeros as the
+ * "special ALU instructions" of Section 2.1 of the paper).
+ */
+
+#ifndef SMTP_COMMON_BITS_HPP
+#define SMTP_COMMON_BITS_HPP
+
+#include <bit>
+#include <cstdint>
+
+#include "log.hpp"
+
+namespace smtp
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return v == 0 ? 0 : 63 - std::countl_zero(v);
+}
+
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return v <= 1 ? 0 : floorLog2(v - 1) + 1;
+}
+
+/** Extract bits [first, last] (inclusive, last >= first) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned last, unsigned first)
+{
+    unsigned nbits = last - first + 1;
+    std::uint64_t mask =
+        nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+    return (v >> first) & mask;
+}
+
+/** Insert @p val into bits [first, last] of @p dst. */
+constexpr std::uint64_t
+insertBits(std::uint64_t dst, unsigned last, unsigned first,
+           std::uint64_t val)
+{
+    unsigned nbits = last - first + 1;
+    std::uint64_t mask =
+        nbits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << nbits) - 1);
+    return (dst & ~(mask << first)) | ((val & mask) << first);
+}
+
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::popcount(v));
+}
+
+/** Count trailing zeros; 64 for zero input (matches the protocol ISA). */
+constexpr unsigned
+countTrailingZeros(std::uint64_t v)
+{
+    return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/** Round @p v up to the next multiple of power-of-two @p align. */
+constexpr std::uint64_t
+roundUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+constexpr std::uint64_t
+roundDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace smtp
+
+#endif // SMTP_COMMON_BITS_HPP

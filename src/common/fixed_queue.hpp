@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Bounded FIFO with O(1) push/pop, used for every finite hardware queue
+ * in the machine (decode/rename queues, NI queues, SDRAM queue, ...).
+ *
+ * Unlike std::queue it makes the capacity a first-class property so that
+ * back-pressure — the thing the paper's queues exist to model — is
+ * explicit at every call site.
+ */
+
+#ifndef SMTP_COMMON_FIXED_QUEUE_HPP
+#define SMTP_COMMON_FIXED_QUEUE_HPP
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "log.hpp"
+
+namespace smtp
+{
+
+template <typename T>
+class FixedQueue
+{
+  public:
+    explicit FixedQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    void
+    setCapacity(std::size_t capacity)
+    {
+        SMTP_ASSERT(items_.size() <= capacity,
+                    "shrinking FixedQueue below occupancy");
+        capacity_ = capacity;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+    std::size_t freeSlots() const { return capacity_ - items_.size(); }
+
+    /** Enqueue; caller must have checked !full(). */
+    void
+    push(T item)
+    {
+        SMTP_ASSERT(!full(), "push into full FixedQueue");
+        items_.push_back(std::move(item));
+    }
+
+    /** Enqueue iff space is available. @return true on success. */
+    bool
+    tryPush(T item)
+    {
+        if (full())
+            return false;
+        items_.push_back(std::move(item));
+        return true;
+    }
+
+    T &front() { return items_.front(); }
+    const T &front() const { return items_.front(); }
+
+    T
+    pop()
+    {
+        SMTP_ASSERT(!items_.empty(), "pop from empty FixedQueue");
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    void clear() { items_.clear(); }
+
+    auto begin() { return items_.begin(); }
+    auto end() { return items_.end(); }
+    auto begin() const { return items_.begin(); }
+    auto end() const { return items_.end(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+};
+
+} // namespace smtp
+
+#endif // SMTP_COMMON_FIXED_QUEUE_HPP

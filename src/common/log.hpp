@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  — a simulator bug; something that must never happen. Aborts.
+ * fatal()  — a user/configuration error the simulation cannot survive.
+ * warn()   — functionality approximated well enough to continue.
+ * inform() — plain status output.
+ */
+
+#ifndef SMTP_COMMON_LOG_HPP
+#define SMTP_COMMON_LOG_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace smtp
+{
+
+namespace log_detail
+{
+
+[[noreturn]] void panicExit(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalExit(const char *file, int line, const std::string &msg);
+void emit(const char *tag, const std::string &msg);
+
+template <typename... Args>
+std::string
+format(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        int n = std::snprintf(nullptr, 0, fmt, args...);
+        std::string out(n > 0 ? static_cast<std::size_t>(n) : 0, '\0');
+        if (n > 0)
+            std::snprintf(out.data(), out.size() + 1, fmt, args...);
+        return out;
+    }
+}
+
+} // namespace log_detail
+
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, const char *fmt, Args &&...args)
+{
+    log_detail::panicExit(file, line,
+                          log_detail::format(fmt,
+                                             std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, const char *fmt, Args &&...args)
+{
+    log_detail::fatalExit(file, line,
+                          log_detail::format(fmt,
+                                             std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    log_detail::emit("warn",
+                     log_detail::format(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    log_detail::emit("info",
+                     log_detail::format(fmt, std::forward<Args>(args)...));
+}
+
+} // namespace smtp
+
+#define SMTP_PANIC(...) ::smtp::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define SMTP_FATAL(...) ::smtp::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Invariant check that survives NDEBUG builds; use for simulator bugs. */
+#define SMTP_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) [[unlikely]]                                           \
+            ::smtp::panicAt(__FILE__, __LINE__,                             \
+                            "assertion '" #cond "' failed: " __VA_ARGS__);  \
+    } while (0)
+
+#endif // SMTP_COMMON_LOG_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem of smtp-sim.
+ *
+ * The simulator counts time in integer picoseconds ("ticks", gem5 style)
+ * so that clock domains of 400 MHz, 1 GHz, 2 GHz and 4 GHz all divide the
+ * tick evenly and cross-domain arithmetic stays exact.
+ */
+
+#ifndef SMTP_COMMON_TYPES_HPP
+#define SMTP_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace smtp
+{
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A tick value that is later than any reachable simulation time. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per common wall-clock units. */
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * tickPerNs;
+constexpr Tick tickPerMs = 1000 * tickPerUs;
+
+/** Physical / virtual address within the single global DSM address space. */
+using Addr = std::uint64_t;
+
+/** An address that no allocation ever produces. */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Node (processor + memory controller + router port) identifier. */
+using NodeId = std::uint16_t;
+
+constexpr NodeId invalidNode = std::numeric_limits<NodeId>::max();
+
+/** Hardware thread context identifier within one SMT pipeline. */
+using ThreadId = std::uint8_t;
+
+constexpr ThreadId invalidThread = std::numeric_limits<ThreadId>::max();
+
+/** Cycle count within one clock domain. */
+using Cycles = std::uint64_t;
+
+/** Coherence/cache geometry fixed by the paper's Tables 2 and 3. */
+constexpr unsigned pageBytes = 4096;
+constexpr unsigned l2LineBytes = 128;   ///< Also the coherence granularity.
+constexpr unsigned l1dLineBytes = 32;
+constexpr unsigned l1iLineBytes = 64;
+
+/** Align @p addr down to the enclosing coherence line. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(l2LineBytes - 1);
+}
+
+/** Align @p addr down to the enclosing page. */
+constexpr Addr
+pageAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(pageBytes - 1);
+}
+
+} // namespace smtp
+
+#endif // SMTP_COMMON_TYPES_HPP

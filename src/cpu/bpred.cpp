@@ -1,0 +1,187 @@
+#include "bpred.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace smtp
+{
+
+TournamentBpred::TournamentBpred(const BpredParams &params)
+    : params_(params), localHistSize_(1u << params.localHistBits)
+{
+    threads_.resize(params.threads);
+    for (auto &t : threads_) {
+        t.localHist.assign(localHistSize_, 0);
+        t.ras.assign(params.rasEntries, 0);
+    }
+    localPht_.assign(params.localPhtEntries, 3);   // weakly not-taken
+    globalPht_.assign(1u << params.globalHistBits, 1);
+    choice_.assign(params.choiceEntries, 1);       // weakly local: short
+                                                   // biased branches train
+                                                   // fastest per-PC
+    btb_.resize(static_cast<std::size_t>(params.btbSets) * params.btbWays);
+}
+
+TournamentBpred::Prediction
+TournamentBpred::predict(ThreadId tid, std::uint64_t pc, bool is_cond,
+                         bool is_call, bool is_return,
+                         std::uint64_t fallthrough)
+{
+    ++lookups;
+    auto &t = threads_[tid];
+    Prediction out;
+
+    if (is_return) {
+        // Pop the RAS.
+        out.fromRas = true;
+        out.taken = true;
+        unsigned idx =
+            (t.rasTop + params_.rasEntries - 1) % params_.rasEntries;
+        out.target = t.ras[idx];
+        t.rasTop = idx;
+        return out;
+    }
+
+    if (is_cond) {
+        ++condLookups;
+        // Local component.
+        std::uint16_t hist = t.localHist[localIdx(pc)];
+        std::uint8_t lctr =
+            localPht_[hist & (params_.localPhtEntries - 1)];
+        bool local_taken = lctr >= (1u << (params_.localCtrBits - 1));
+        // Global component.
+        std::uint32_t ghist =
+            t.globalHist & ((1u << params_.globalHistBits) - 1);
+        bool global_taken = globalPht_[ghist] >= 2;
+        // Choice.
+        std::uint8_t ch = choice_[(ghist ^ (pc >> 2)) &
+                                  (params_.choiceEntries - 1)];
+        out.taken = (ch >= 2) ? global_taken : local_taken;
+    } else {
+        out.taken = true;
+    }
+
+    if (out.taken) {
+        // Target from the BTB.
+        unsigned set = static_cast<unsigned>((pc >> 2) &
+                                             (params_.btbSets - 1));
+        BtbEntry *base = &btb_[static_cast<std::size_t>(set) *
+                               params_.btbWays];
+        for (unsigned w = 0; w < params_.btbWays; ++w) {
+            if (base[w].valid && base[w].pc == pc) {
+                base[w].lru = ++btbStamp_;
+                out.target = base[w].target;
+                out.btbHit = true;
+                break;
+            }
+        }
+        if (!out.btbHit)
+            ++btbMisses;
+    } else {
+        out.target = fallthrough;
+        out.btbHit = true;
+    }
+
+    if (is_call) {
+        t.ras[t.rasTop] = fallthrough;
+        t.rasTop = (t.rasTop + 1) % params_.rasEntries;
+    }
+    return out;
+}
+
+void
+TournamentBpred::update(ThreadId tid, std::uint64_t pc, bool taken,
+                        std::uint64_t target, bool is_cond)
+{
+    auto &t = threads_[tid];
+    if (is_cond) {
+        std::uint16_t &hist = t.localHist[localIdx(pc)];
+        std::uint8_t &lctr = localPht_[hist & (params_.localPhtEntries - 1)];
+        std::uint32_t ghist =
+            t.globalHist & ((1u << params_.globalHistBits) - 1);
+        std::uint8_t &gctr = globalPht_[ghist];
+        bool local_taken = lctr >= (1u << (params_.localCtrBits - 1));
+        bool global_taken = gctr >= 2;
+        std::uint8_t &ch =
+            choice_[(ghist ^ (pc >> 2)) & (params_.choiceEntries - 1)];
+
+        // Choice trains towards the component that was right.
+        if (local_taken != global_taken) {
+            if (global_taken == taken && ch < 3)
+                ++ch;
+            else if (local_taken == taken && ch > 0)
+                --ch;
+        }
+        std::uint8_t lmax = (1u << params_.localCtrBits) - 1;
+        if (taken) {
+            if (lctr < lmax)
+                ++lctr;
+            if (gctr < 3)
+                ++gctr;
+        } else {
+            if (lctr > 0)
+                --lctr;
+            if (gctr > 0)
+                --gctr;
+        }
+        hist = static_cast<std::uint16_t>(((hist << 1) | taken) &
+                                          (params_.localPhtEntries - 1));
+        t.globalHist = (t.globalHist << 1) | taken;
+    }
+
+    if (taken) {
+        // Install/refresh the BTB entry.
+        unsigned set = static_cast<unsigned>((pc >> 2) &
+                                             (params_.btbSets - 1));
+        BtbEntry *base = &btb_[static_cast<std::size_t>(set) *
+                               params_.btbWays];
+        BtbEntry *victim = &base[0];
+        for (unsigned w = 0; w < params_.btbWays; ++w) {
+            if (base[w].valid && base[w].pc == pc) {
+                base[w].target = target;
+                base[w].lru = ++btbStamp_;
+                return;
+            }
+            if (!base[w].valid) {
+                victim = &base[w];
+            } else if (victim->valid && base[w].lru < victim->lru) {
+                victim = &base[w];
+            }
+        }
+        victim->pc = pc;
+        victim->target = target;
+        victim->valid = true;
+        victim->lru = ++btbStamp_;
+    }
+}
+
+TournamentBpred::RasCheckpoint
+TournamentBpred::rasCheckpoint(ThreadId tid) const
+{
+    const auto &t = threads_[tid];
+    unsigned tos = (t.rasTop + params_.rasEntries - 1) % params_.rasEntries;
+    return {t.rasTop, t.ras[tos]};
+}
+
+void
+TournamentBpred::rasRestore(ThreadId tid, const RasCheckpoint &cp)
+{
+    auto &t = threads_[tid];
+    t.rasTop = cp.top;
+    unsigned tos = (t.rasTop + params_.rasEntries - 1) % params_.rasEntries;
+    t.ras[tos] = cp.tosValue;
+}
+
+std::uint64_t
+TournamentBpred::sizeBits() const
+{
+    std::uint64_t per_thread =
+        static_cast<std::uint64_t>(localHistSize_) * params_.localHistBits +
+        params_.globalHistBits;
+    std::uint64_t shared =
+        params_.localPhtEntries * params_.localCtrBits +
+        (1ULL << params_.globalHistBits) * 2 + params_.choiceEntries * 2;
+    return per_thread * threads_.size() + shared;
+}
+
+} // namespace smtp

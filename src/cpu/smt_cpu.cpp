@@ -1,0 +1,1216 @@
+#include "smt_cpu.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "protocol/directory.hpp"
+
+namespace smtp
+{
+
+/** One in-flight micro-op. */
+struct SmtCpu::DynInst
+{
+    MicroOp op;
+    ThreadId tid = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t uid = 0;
+    bool wrongPath = false;
+
+    // Rename state.
+    bool renamed = false;
+    std::uint16_t psrc1 = 0xffff, psrc2 = 0xffff;
+    bool psrc1Fp = false, psrc2Fp = false;
+    std::uint16_t pdst = 0xffff, oldPdst = 0xffff;
+    bool pdstFp = false;
+    int chkpt = -1;
+
+    // Execution state.
+    bool icounted = true;
+    bool issued = false;
+    bool memAccessed = false;
+    bool completed = false;
+    bool squashed = false;
+    bool mispredicted = false;
+    bool predTaken = false;
+    bool nonSpecStarted = false;
+    bool replayTrap = false;
+};
+
+struct SmtCpu::Checkpoint
+{
+    bool valid = false;
+    ThreadId tid = 0;
+    std::uint64_t seq = 0;
+    std::array<std::uint16_t, numLogicalRegs> map{};
+    TournamentBpred::RasCheckpoint ras;
+};
+
+struct SmtCpu::ThreadState
+{
+    ThreadId tid = 0;
+    bool isProtocol = false;
+    InstSource *source = nullptr;
+
+    std::deque<DynInst *> rob;        ///< Active list, oldest first.
+    std::array<std::uint16_t, numLogicalRegs> map{};
+    std::deque<DynInst *> lsqOrder;   ///< Memory ops in program order.
+
+    bool fetchStalled = false;        ///< I-cache miss outstanding.
+    Tick fetchResumeTick = 0;         ///< Squash/TLB fetch hold-off.
+    Addr lastFetchLine = invalidAddr;
+    bool wrongPathMode = false;
+    std::uint64_t wrongPathPc = 0;
+    unsigned wrongPathCnt = 0;
+    unsigned icount = 0;
+
+    ThreadStats stats;
+};
+
+namespace
+{
+
+/** Registry resolving completion events to still-live instructions. */
+using LiveMap = std::unordered_map<std::uint64_t, SmtCpu::DynInst *>;
+
+} // namespace
+
+// The live-instruction registry is a per-CPU member in disguise: kept
+// here to keep the header free of DynInst details.
+struct LiveRegistry
+{
+    LiveMap map;
+    std::uint64_t next = 1;
+};
+
+static std::unordered_map<const SmtCpu *, LiveRegistry> &
+liveRegistries()
+{
+    static std::unordered_map<const SmtCpu *, LiveRegistry> reg;
+    return reg;
+}
+
+SmtCpu::SmtCpu(EventQueue &eq, const CpuParams &params,
+               CacheHierarchy &cache)
+    : eq_(&eq), params_(params), clock_(params.freqMHz), cache_(&cache),
+      bpred_([&] {
+          BpredParams bp;
+          bp.threads = params.appThreads + (params.protocolThread ? 1 : 0);
+          bp.rasEntries = params.rasEntries;
+          return bp;
+      }()),
+      itlb_(params.tlbEntries), dtlb_(params.tlbEntries)
+{
+    liveRegistries()[this] = LiveRegistry{};
+
+    unsigned nthreads = params.appThreads + (params.protocolThread ? 1 : 0);
+    SMTP_ASSERT(params.intRegs >= 32 * nthreads + 32,
+                "too few integer registers for the architected maps");
+    intReady_.assign(params.intRegs, true);
+    fpReady_.assign(params.fpRegs, true);
+    intOwner_.assign(params.intRegs, invalidThread);
+    for (unsigned r = params.intRegs; r-- > 0;)
+        intFree_.push_back(static_cast<std::uint16_t>(r));
+    for (unsigned r = params.fpRegs; r-- > 0;)
+        fpFree_.push_back(static_cast<std::uint16_t>(r));
+
+    chkpts_.resize(params.branchStack);
+
+    for (unsigned t = 0; t < nthreads; ++t) {
+        auto ts = std::make_unique<ThreadState>();
+        ts->tid = static_cast<ThreadId>(t);
+        ts->isProtocol = params.protocolThread && t == params.appThreads;
+        // Architected register maps stay allocated for the thread's
+        // lifetime (the paper's protocol boot sequence does the same
+        // for the protocol context).
+        for (unsigned l = 0; l < numLogicalRegs; ++l) {
+            bool fp = l >= fpRegBase;
+            auto &free_list = fp ? fpFree_ : intFree_;
+            SMTP_ASSERT(!free_list.empty(), "register file too small");
+            std::uint16_t p = free_list.back();
+            free_list.pop_back();
+            ts->map[l] = p;
+            (fp ? fpReady_ : intReady_)[p] = true;
+            if (!fp)
+                intOwner_[p] = ts->tid;
+        }
+        threads_.push_back(std::move(ts));
+    }
+
+    cache_->setInvalHook([this](Addr line) { onLineInvalidated(line); });
+}
+
+SmtCpu::~SmtCpu()
+{
+    for (auto &t : threads_) {
+        for (auto *dyn : t->rob)
+            delete dyn;
+    }
+    for (auto *q : {&decodeQApp_, &decodeQProto_, &renameQApp_,
+                    &renameQProto_}) {
+        for (auto *dyn : *q) {
+            if (!dyn->renamed)
+                delete dyn;
+        }
+    }
+    liveRegistries().erase(this);
+}
+
+void
+SmtCpu::setSource(ThreadId tid, InstSource *source)
+{
+    threads_[tid]->source = source;
+}
+
+const SmtCpu::ThreadStats &
+SmtCpu::threadStats(ThreadId tid) const
+{
+    return threads_[tid]->stats;
+}
+
+void
+SmtCpu::debugDump(std::FILE *out) const
+{
+    std::fprintf(out, "cpu: cycles=%llu intFree=%zu fpFree=%zu lsq=%u "
+                 "sb=%zu sbBusy=%d dq=%zu/%zu rq=%zu/%zu iq=%zu fq=%zu\n",
+                 static_cast<unsigned long long>(cycles.value()),
+                 intFree_.size(), fpFree_.size(), lsqCount_,
+                 storeBuffer_.size(), sbDrainBusy_, decodeQApp_.size(),
+                 decodeQProto_.size(), renameQApp_.size(),
+                 renameQProto_.size(), intQ_.size(), fpQ_.size());
+    for (const auto &t : threads_) {
+        std::fprintf(out,
+                     "  t%u%s rob=%zu icount=%u stalled=%d wp=%d "
+                     "resume=%llu lsqOrd=%zu",
+                     t->tid, t->isProtocol ? "(proto)" : "",
+                     t->rob.size(), t->icount, t->fetchStalled,
+                     t->wrongPathMode,
+                     static_cast<unsigned long long>(t->fetchResumeTick),
+                     t->lsqOrder.size());
+        if (!t->rob.empty()) {
+            const DynInst *h = t->rob.front();
+            std::fprintf(out,
+                         " head{cls=%u pc=%llx seq=%llu renamed=%d "
+                         "issued=%d memAcc=%d comp=%d nonspec=%d "
+                         "squash=%d}",
+                         static_cast<unsigned>(h->op.cls),
+                         static_cast<unsigned long long>(h->op.pc),
+                         static_cast<unsigned long long>(h->seq),
+                         h->renamed, h->issued, h->memAccessed,
+                         h->completed, h->nonSpecStarted, h->squashed);
+        }
+        std::fprintf(out, "\n");
+    }
+}
+
+void
+SmtCpu::start()
+{
+    started_ = true;
+    scheduleTick();
+}
+
+void
+SmtCpu::poke()
+{
+    if (started_)
+        scheduleTick();
+}
+
+bool
+SmtCpu::appThreadsDone() const
+{
+    for (unsigned t = 0; t < params_.appThreads; ++t) {
+        const auto &ts = *threads_[t];
+        if (ts.source == nullptr)
+            continue;
+        if (!ts.source->finished() || !ts.rob.empty())
+            return false;
+    }
+    return true;
+}
+
+bool
+SmtCpu::idle() const
+{
+    for (const auto &t : threads_) {
+        if (!t->rob.empty() || t->wrongPathMode)
+            return false;
+        if (t->source != nullptr && !t->source->finished() &&
+            t->source->hasNext())
+            return false;
+        if (t->fetchStalled)
+            return false;
+    }
+    return decodeQApp_.empty() && decodeQProto_.empty() &&
+           renameQApp_.empty() && renameQProto_.empty() &&
+           storeBuffer_.empty() && !sbDrainBusy_;
+}
+
+void
+SmtCpu::scheduleTick()
+{
+    if (tickScheduled_ || !started_)
+        return;
+    tickScheduled_ = true;
+    eq_->schedule(clock_.edgeAfter(eq_->curTick()), [this] {
+        tickScheduled_ = false;
+        tick();
+    });
+}
+
+void
+SmtCpu::tick()
+{
+    ++cycles;
+    commitStage();
+    drainStoreBuffer();
+    issueStage();
+    lsuIssue();
+    renameStage();
+    decodeStage();
+    fetchStage();
+    if (params_.protocolThread)
+        sampleProtoOccupancy();
+    frontPriorityApp_ = !frontPriorityApp_;
+    if (!idle())
+        scheduleTick();
+}
+
+// --------------------------------------------------------------- fetch
+
+bool
+SmtCpu::Tlb::access(Addr page)
+{
+    for (auto &e : entries) {
+        if (e.first == page) {
+            e.second = ++stamp;
+            return true;
+        }
+    }
+    ++misses;
+    if (entries.size() < cap) {
+        entries.emplace_back(page, ++stamp);
+    } else {
+        auto lru = std::min_element(
+            entries.begin(), entries.end(),
+            [](const auto &a, const auto &b) { return a.second < b.second; });
+        *lru = {page, ++stamp};
+    }
+    return false;
+}
+
+MicroOp
+SmtCpu::synthWrongPath(ThreadState &t)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.pc = t.wrongPathPc;
+    t.wrongPathPc += 4;
+    unsigned k = t.wrongPathCnt++;
+    op.dest = static_cast<std::uint8_t>(1 + (k % 20));
+    op.src1 = static_cast<std::uint8_t>(1 + ((k + 7) % 20));
+    op.src2 = static_cast<std::uint8_t>(1 + ((k + 13) % 20));
+    return op;
+}
+
+void
+SmtCpu::fetchStage()
+{
+    // ICOUNT: order runnable threads by in-flight count.
+    std::vector<ThreadState *> order;
+    for (auto &t : threads_) {
+        if (t->source == nullptr)
+            continue;
+        if (t->fetchStalled || eq_->curTick() < t->fetchResumeTick)
+            continue;
+        if (!t->wrongPathMode &&
+            (t->source->finished() || !t->source->hasNext()))
+            continue;
+        order.push_back(t.get());
+    }
+    std::sort(order.begin(), order.end(),
+              [](const ThreadState *a, const ThreadState *b) {
+                  if (a->icount != b->icount)
+                      return a->icount < b->icount;
+                  return a->tid < b->tid;
+              });
+
+    unsigned slots = params_.fetchWidth;
+    unsigned threads_used = 0;
+    for (auto *t : order) {
+        if (threads_used >= params_.fetchThreads || slots == 0)
+            break;
+        unsigned n = fetchFromThread(*t, slots);
+        slots -= n;
+        threads_used += n > 0;
+    }
+}
+
+unsigned
+SmtCpu::fetchFromThread(ThreadState &t, unsigned max_slots)
+{
+    unsigned fetched = 0;
+    while (fetched < max_slots) {
+        // Front-end queue space (one slot reserved for the protocol).
+        unsigned dq_total = static_cast<unsigned>(decodeQApp_.size() +
+                                                  decodeQProto_.size());
+        unsigned cap = params_.decodeQueue;
+        if (t.isProtocol) {
+            if (dq_total >= cap)
+                break;
+        } else {
+            unsigned res = params_.protocolThread ? params_.resDecode : 0;
+            if (decodeQApp_.size() + res >= cap || dq_total >= cap)
+                break;
+        }
+
+        MicroOp op;
+        if (t.wrongPathMode) {
+            op = synthWrongPath(t);
+        } else {
+            if (t.source->finished() || !t.source->hasNext())
+                break;
+            op = t.source->peek();
+        }
+
+        // I-cache (and ITLB) for the line being fetched. Wrong-path
+        // fetch is synthesized and skips the memory system.
+        if (!t.wrongPathMode) {
+            Addr line = op.pc & ~static_cast<Addr>(l1iLineBytes - 1);
+            if (line != t.lastFetchLine) {
+                if (!t.isProtocol && !itlb_.access(pageAlign(op.pc))) {
+                    ++t.stats.itlbMisses;
+                    t.fetchResumeTick =
+                        eq_->curTick() + cyc(params_.tlbMissPenalty);
+                    break;
+                }
+                MemReq req;
+                req.cmd = t.isProtocol ? MemCmd::ProtoIFetch
+                                       : MemCmd::IFetch;
+                req.addr = op.pc;
+                ThreadState *tp = &t;
+                req.done = [this, tp, line] {
+                    tp->fetchStalled = false;
+                    tp->lastFetchLine = line;
+                    scheduleTick();
+                };
+                auto outcome = cache_->access(req);
+                if (outcome == CacheHierarchy::Outcome::Retry)
+                    break;
+                if (outcome == CacheHierarchy::Outcome::Pending) {
+                    t.fetchStalled = true;
+                    break;
+                }
+                t.lastFetchLine = line;
+            }
+        }
+
+        // Build the dynamic instruction.
+        auto *dyn = new DynInst();
+        auto &reg = liveRegistries()[this];
+        dyn->uid = reg.next++;
+        reg.map[dyn->uid] = dyn;
+        dyn->op = op;
+        dyn->tid = t.tid;
+        dyn->seq = ++seqCounter_;
+        dyn->wrongPath = t.wrongPathMode;
+        ++t.icount;
+        ++fetchedInsts;
+        if (t.wrongPathMode)
+            ++t.stats.wrongPathFetched;
+
+        bool end_run = false;
+        if (op.cls == OpClass::Branch && !t.wrongPathMode) {
+            auto pred = bpred_.predict(t.tid, op.pc, op.isCondBranch,
+                                       op.isCall, op.isReturn, op.pc + 4);
+            dyn->predTaken = pred.taken;
+            // A BTB miss on a correctly predicted-taken branch is a
+            // redirect bubble, not a misprediction: decode computes the
+            // target of direct branches.
+            bool wrong = pred.taken != op.taken ||
+                         (pred.taken && op.taken && pred.btbHit &&
+                          pred.target != op.target);
+            dyn->mispredicted = wrong;
+            ++t.stats.branches;
+            if (op.isCondBranch)
+                ++t.stats.condBranches;
+            if (wrong) {
+                t.wrongPathMode = true;
+                t.wrongPathPc = (pred.taken && pred.btbHit)
+                                    ? pred.target
+                                    : op.pc + 4;
+                end_run = true;
+            } else if (pred.taken) {
+                // A predicted-taken branch ends the fetch run; a BTB
+                // miss additionally costs a redirect bubble.
+                end_run = true;
+                if (!pred.btbHit) {
+                    t.fetchResumeTick = eq_->curTick() + cyc(1);
+                }
+                t.lastFetchLine = invalidAddr;
+            }
+        }
+
+        if (!dyn->wrongPath)
+            t.source->consume();
+
+        if (t.isProtocol)
+            decodeQProto_.push_back(dyn);
+        else
+            decodeQApp_.push_back(dyn);
+        ++fetched;
+        if (end_run)
+            break;
+    }
+    return fetched;
+}
+
+// ------------------------------------------------------ decode / rename
+
+void
+SmtCpu::decodeStage()
+{
+    unsigned budget = params_.fetchWidth;
+    auto service = [&](std::deque<DynInst *> &src,
+                       std::deque<DynInst *> &dst, bool proto) {
+        while (budget > 0 && !src.empty()) {
+            DynInst *dyn = src.front();
+            if (dyn->squashed) {
+                src.pop_front();
+                continue;
+            }
+            unsigned total = static_cast<unsigned>(renameQApp_.size() +
+                                                   renameQProto_.size());
+            unsigned cap = params_.renameQueue;
+            if (proto) {
+                if (total >= cap)
+                    break;
+            } else {
+                unsigned res =
+                    params_.protocolThread ? params_.resRename : 0;
+                if (renameQApp_.size() + res >= cap || total >= cap)
+                    break;
+            }
+            src.pop_front();
+            dst.push_back(dyn);
+            --budget;
+        }
+    };
+    if (frontPriorityApp_) {
+        service(decodeQApp_, renameQApp_, false);
+        service(decodeQProto_, renameQProto_, true);
+    } else {
+        service(decodeQProto_, renameQProto_, true);
+        service(decodeQApp_, renameQApp_, false);
+    }
+}
+
+std::uint16_t
+SmtCpu::lookupMap(ThreadState &t, std::uint8_t logical) const
+{
+    return t.map[logical];
+}
+
+bool
+SmtCpu::renameOne(DynInst *dyn)
+{
+    ThreadState &t = *threads_[dyn->tid];
+    const MicroOp &op = dyn->op;
+    bool proto = t.isProtocol;
+    bool reserve = params_.protocolThread && !proto;
+
+    if (t.rob.size() >= params_.activeList)
+        return false;
+
+    bool needs_int_dest =
+        op.dest != regNone && !isFpReg(op.dest) && op.dest != 0;
+    bool needs_fp_dest = op.dest != regNone && isFpReg(op.dest);
+    if (needs_int_dest &&
+        intFree_.size() <= (reserve ? params_.resIntRegs : 0))
+        return false;
+    if (needs_fp_dest && fpFree_.empty())
+        return false;
+
+    bool is_branch = op.cls == OpClass::Branch;
+    if (is_branch) {
+        unsigned free_chk = 0, app_used = 0;
+        for (const auto &c : chkpts_) {
+            if (!c.valid)
+                ++free_chk;
+            else if (!threads_[c.tid]->isProtocol)
+                ++app_used;
+        }
+        if (free_chk == 0)
+            return false;
+        if (reserve && app_used + params_.resBranchStack >=
+                           params_.branchStack)
+            return false;
+    }
+
+    bool mem = isMemOp(op.cls);
+    if (mem) {
+        unsigned res = reserve ? params_.resLsq : 0;
+        if (lsqCount_ >= params_.lsq - res && !proto)
+            return false;
+        if (lsqCount_ >= params_.lsq)
+            return false;
+    }
+
+    bool int_q = op.cls == OpClass::IntAlu || op.cls == OpClass::IntMul ||
+                 op.cls == OpClass::IntDiv || is_branch;
+    bool fp_q = isFpOp(op.cls);
+    if (int_q) {
+        unsigned app_in_q = 0;
+        for (auto *d : intQ_)
+            app_in_q += !threads_[d->tid]->isProtocol && !d->squashed;
+        if (!proto && reserve &&
+            app_in_q + params_.resIntQueue >= params_.intQueue)
+            return false;
+        if (intQ_.size() >= params_.intQueue)
+            return false;
+    }
+    if (fp_q && fpQ_.size() >= params_.fpQueue)
+        return false;
+
+    // All resources available: allocate.
+    auto map_src = [&](std::uint8_t logical, std::uint16_t &psrc,
+                       bool &is_fp) {
+        if (logical == regNone) {
+            psrc = 0xffff;
+            return;
+        }
+        is_fp = isFpReg(logical);
+        psrc = t.map[logical];
+    };
+    map_src(op.src1, dyn->psrc1, dyn->psrc1Fp);
+    map_src(op.src2, dyn->psrc2, dyn->psrc2Fp);
+
+    if (needs_int_dest || needs_fp_dest) {
+        auto &free_list = needs_fp_dest ? fpFree_ : intFree_;
+        std::uint16_t p = free_list.back();
+        free_list.pop_back();
+        dyn->pdst = p;
+        dyn->pdstFp = needs_fp_dest;
+        dyn->oldPdst = t.map[op.dest];
+        t.map[op.dest] = p;
+        (needs_fp_dest ? fpReady_ : intReady_)[p] = false;
+        if (!needs_fp_dest)
+            intOwner_[p] = dyn->tid;
+    }
+
+    if (is_branch) {
+        for (unsigned i = 0; i < chkpts_.size(); ++i) {
+            if (!chkpts_[i].valid) {
+                chkpts_[i].valid = true;
+                chkpts_[i].tid = dyn->tid;
+                chkpts_[i].seq = dyn->seq;
+                chkpts_[i].map = t.map;
+                chkpts_[i].ras = bpred_.rasCheckpoint(dyn->tid);
+                dyn->chkpt = static_cast<int>(i);
+                break;
+            }
+        }
+        SMTP_ASSERT(dyn->chkpt >= 0, "branch stack bookkeeping broken");
+    }
+
+    dyn->renamed = true;
+    t.rob.push_back(dyn);
+
+    if (mem) {
+        ++lsqCount_;
+        t.lsqOrder.push_back(dyn);
+    } else if (int_q) {
+        intQ_.push_back(dyn);
+    } else if (fp_q) {
+        fpQ_.push_back(dyn);
+    } else {
+        // Nop and non-speculative protocol ops wait in the active list.
+        if (dyn->icounted) {
+            dyn->icounted = false;
+            --t.icount;
+        }
+        if (op.cls == OpClass::Nop)
+            dyn->completed = true;
+    }
+    return true;
+}
+
+void
+SmtCpu::renameStage()
+{
+    unsigned budget = params_.fetchWidth;
+    auto service = [&](std::deque<DynInst *> &q) {
+        while (budget > 0 && !q.empty()) {
+            DynInst *dyn = q.front();
+            if (dyn->squashed) {
+                q.pop_front();
+                continue;
+            }
+            if (!renameOne(dyn))
+                break; // In-order within the section.
+            q.pop_front();
+            --budget;
+        }
+    };
+    if (frontPriorityApp_) {
+        service(renameQApp_);
+        service(renameQProto_);
+    } else {
+        service(renameQProto_);
+        service(renameQApp_);
+    }
+}
+
+// ---------------------------------------------------------------- issue
+
+bool
+SmtCpu::operandsReady(const DynInst *dyn) const
+{
+    auto ready = [&](std::uint16_t p, bool fp) {
+        if (p == 0xffff)
+            return true;
+        return fp ? static_cast<bool>(fpReady_[p])
+                  : static_cast<bool>(intReady_[p]);
+    };
+    return ready(dyn->psrc1, dyn->psrc1Fp) &&
+           ready(dyn->psrc2, dyn->psrc2Fp);
+}
+
+void
+SmtCpu::issueStage()
+{
+    auto issue_from = [&](std::deque<DynInst *> &q, unsigned width) {
+        unsigned issued = 0;
+        for (auto it = q.begin(); it != q.end() && issued < width;) {
+            DynInst *dyn = *it;
+            if (dyn->squashed) {
+                it = q.erase(it);
+                continue;
+            }
+            if (!operandsReady(dyn)) {
+                ++it;
+                continue;
+            }
+            Cycles lat = 1;
+            switch (dyn->op.cls) {
+              case OpClass::IntMul: lat = params_.intMulLat; break;
+              case OpClass::IntDiv: lat = params_.intDivLat; break;
+              case OpClass::FpAdd: lat = params_.fpAddLat; break;
+              case OpClass::FpMul: lat = params_.fpMulLat; break;
+              case OpClass::FpDiv: lat = params_.fpDivLat; break;
+              default: break;
+            }
+            dyn->issued = true;
+            if (dyn->icounted) {
+                dyn->icounted = false;
+                --threads_[dyn->tid]->icount;
+            }
+            std::uint64_t uid = dyn->uid;
+            eq_->scheduleIn(cyc(params_.readStages + lat), [this, uid] {
+                auto &reg = liveRegistries()[this];
+                auto it2 = reg.map.find(uid);
+                if (it2 != reg.map.end())
+                    completeInst(it2->second);
+            });
+            it = q.erase(it);
+            ++issued;
+        }
+    };
+    issue_from(intQ_, params_.intAlus);
+    issue_from(fpQ_, params_.fpus);
+}
+
+bool
+SmtCpu::tryMemAccess(DynInst *dyn)
+{
+    ThreadState &t = *threads_[dyn->tid];
+    const MicroOp &op = dyn->op;
+    std::uint64_t uid = dyn->uid;
+
+    auto complete_in = [&](Cycles c) {
+        eq_->scheduleIn(cyc(c), [this, uid] {
+            auto &reg = liveRegistries()[this];
+            auto it = reg.map.find(uid);
+            if (it != reg.map.end())
+                completeInst(it->second);
+        });
+    };
+
+    // DTLB (application data space only).
+    if (!t.isProtocol && !proto::isProtocolAddr(op.effAddr)) {
+        if (!dtlb_.access(pageAlign(op.effAddr))) {
+            ++t.stats.dtlbMisses;
+            dyn->memAccessed = true;
+            if (dyn->icounted) {
+                dyn->icounted = false;
+                --t.icount;
+            }
+            // Refill, then perform the access.
+            eq_->scheduleIn(cyc(params_.tlbMissPenalty), [this, uid] {
+                auto &reg = liveRegistries()[this];
+                auto it = reg.map.find(uid);
+                if (it == reg.map.end())
+                    return;
+                DynInst *d = it->second;
+                d->memAccessed = false;
+                tryMemAccess(d);
+            });
+            return true;
+        }
+    }
+
+    switch (op.cls) {
+      case OpClass::Store:
+      case OpClass::PStore:
+        // Stores "execute" once address and data are ready; the memory
+        // system is touched when the store buffer drains after commit.
+        dyn->memAccessed = true;
+        complete_in(params_.readStages + 1);
+        break;
+      case OpClass::Prefetch:
+      case OpClass::PrefetchEx: {
+        MemReq req;
+        req.cmd = op.cls == OpClass::Prefetch ? MemCmd::Prefetch
+                                              : MemCmd::PrefetchEx;
+        req.addr = op.effAddr;
+        req.tid = dyn->tid;
+        auto outcome = cache_->access(req);
+        if (outcome == CacheHierarchy::Outcome::Retry)
+            return false;
+        dyn->memAccessed = true;
+        complete_in(params_.readStages + 1);
+        break;
+      }
+      case OpClass::Load:
+      case OpClass::PLoad: {
+        // Store-to-load forwarding: same thread older stores and the
+        // store buffer, 8-byte granularity.
+        Addr a8 = op.effAddr & ~7ULL;
+        bool forwarded = false;
+        for (auto *older : t.lsqOrder) {
+            if (older == dyn)
+                break;
+            if ((older->op.cls == OpClass::Store ||
+                 older->op.cls == OpClass::PStore) &&
+                (older->op.effAddr & ~7ULL) == a8) {
+                forwarded = true;
+            }
+        }
+        if (!forwarded) {
+            for (const auto &sb : storeBuffer_) {
+                if (sb.tid == dyn->tid && (sb.addr & ~7ULL) == a8)
+                    forwarded = true;
+            }
+        }
+        if (forwarded) {
+            dyn->memAccessed = true;
+            complete_in(params_.readStages + 1);
+            break;
+        }
+        MemReq req;
+        req.cmd = t.isProtocol || proto::isProtocolAddr(op.effAddr)
+                      ? MemCmd::ProtoLoad
+                      : MemCmd::Load;
+        req.addr = op.effAddr;
+        req.tid = dyn->tid;
+        req.done = [this, uid] {
+            eq_->scheduleIn(cyc(params_.readStages), [this, uid] {
+                auto &reg = liveRegistries()[this];
+                auto it = reg.map.find(uid);
+                if (it != reg.map.end())
+                    completeInst(it->second);
+            });
+        };
+        auto outcome = cache_->access(req);
+        if (outcome == CacheHierarchy::Outcome::Retry)
+            return false;
+        dyn->memAccessed = true;
+        break;
+      }
+      default:
+        SMTP_PANIC("non-memory op in the LSU");
+    }
+    if (dyn->icounted) {
+        dyn->icounted = false;
+        --t.icount;
+    }
+    return true;
+}
+
+void
+SmtCpu::lsuIssue()
+{
+    // One memory operation per cycle (one address-calculation ALU).
+    for (unsigned i = 0; i < threads_.size(); ++i) {
+        unsigned idx = (rrCommit_ + i) % threads_.size();
+        ThreadState &t = *threads_[idx];
+        // Program order among a thread's memory operations: only the
+        // oldest not-yet-issued one may access the cache.
+        DynInst *cand = nullptr;
+        for (auto *d : t.lsqOrder) {
+            if (!d->memAccessed) {
+                cand = d;
+                break;
+            }
+        }
+        if (cand == nullptr || !operandsReady(cand))
+            continue;
+        if (tryMemAccess(cand))
+            return; // LSU busy for this cycle.
+    }
+}
+
+// ------------------------------------------------------------ complete
+
+void
+SmtCpu::completeInst(DynInst *dyn)
+{
+    if (dyn->squashed)
+        return;
+    dyn->completed = true;
+    if (dyn->pdst != 0xffff) {
+        (dyn->pdstFp ? fpReady_ : intReady_)[dyn->pdst] = true;
+    }
+    if (dyn->op.cls == OpClass::Branch)
+        resolveBranch(dyn);
+    scheduleTick();
+}
+
+void
+SmtCpu::resolveBranch(DynInst *dyn)
+{
+    ThreadState &t = *threads_[dyn->tid];
+    if (!dyn->wrongPath) {
+        bpred_.update(dyn->tid, dyn->op.pc, dyn->op.taken, dyn->op.target,
+                      dyn->op.isCondBranch);
+    }
+    if (dyn->mispredicted) {
+        ++t.stats.mispredicts;
+        squashAfter(t, dyn->seq, dyn->chkpt);
+        t.wrongPathMode = false;
+    }
+    if (dyn->chkpt >= 0) {
+        chkpts_[dyn->chkpt].valid = false;
+        dyn->chkpt = -1;
+    }
+}
+
+void
+SmtCpu::squashAfter(ThreadState &t, std::uint64_t seq, int chkpt_idx)
+{
+    auto purge = [](std::deque<DynInst *> &q, const DynInst *needle) {
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            if (*it == needle) {
+                q.erase(it);
+                return;
+            }
+        }
+    };
+
+    unsigned squashed = 0;
+    while (!t.rob.empty() && t.rob.back()->seq > seq) {
+        DynInst *dyn = t.rob.back();
+        t.rob.pop_back();
+        dyn->squashed = true;
+        ++squashed;
+        ++t.stats.squashedInsts;
+        if (dyn->icounted) {
+            dyn->icounted = false;
+            --t.icount;
+        }
+        if (dyn->pdst != 0xffff) {
+            auto &free_list = dyn->pdstFp ? fpFree_ : intFree_;
+            free_list.push_back(dyn->pdst);
+            if (!dyn->pdstFp)
+                intOwner_[dyn->pdst] = invalidThread;
+        }
+        if (dyn->chkpt >= 0)
+            chkpts_[dyn->chkpt].valid = false;
+        if (isMemOp(dyn->op.cls)) {
+            purge(t.lsqOrder, dyn);
+            --lsqCount_;
+        }
+        purge(intQ_, dyn);
+        purge(fpQ_, dyn);
+        auto &reg = liveRegistries()[this];
+        reg.map.erase(dyn->uid);
+        delete dyn;
+    }
+
+    // Un-renamed instructions still in the front-end queues.
+    auto flush_front = [&](std::deque<DynInst *> &q) {
+        for (auto it = q.begin(); it != q.end();) {
+            DynInst *dyn = *it;
+            if (dyn->tid == t.tid && dyn->seq > seq) {
+                if (dyn->icounted)
+                    --t.icount;
+                ++squashed;
+                ++t.stats.squashedInsts;
+                auto &reg = liveRegistries()[this];
+                reg.map.erase(dyn->uid);
+                delete dyn;
+                it = q.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+    flush_front(t.isProtocol ? decodeQProto_ : decodeQApp_);
+    flush_front(t.isProtocol ? renameQProto_ : renameQApp_);
+
+    if (chkpt_idx >= 0) {
+        SMTP_ASSERT(chkpts_[chkpt_idx].valid &&
+                        chkpts_[chkpt_idx].tid == t.tid,
+                    "checkpoint mix-up during recovery");
+        t.map = chkpts_[chkpt_idx].map;
+        bpred_.rasRestore(t.tid, chkpts_[chkpt_idx].ras);
+    }
+
+    // Unmapping proceeds eight instructions per cycle (Section 3), then
+    // the front end refetches.
+    Cycles penalty = 1 + divCeil(squashed, 8);
+    t.fetchResumeTick =
+        std::max(t.fetchResumeTick, eq_->curTick() + cyc(penalty));
+    t.lastFetchLine = invalidAddr;
+    if (squashed > 0)
+        ++t.stats.squashCycles;
+}
+
+// --------------------------------------------------------------- commit
+
+void
+SmtCpu::execNonSpec(DynInst *dyn)
+{
+    dyn->nonSpecStarted = true;
+    std::uint64_t uid = dyn->uid;
+    auto complete_at = [&](Tick when) {
+        eq_->schedule(std::max(when, eq_->curTick() + cyc(1)),
+                      [this, uid] {
+                          auto &reg = liveRegistries()[this];
+                          auto it = reg.map.find(uid);
+                          if (it != reg.map.end())
+                              completeInst(it->second);
+                      });
+    };
+    switch (dyn->op.cls) {
+      case OpClass::PSendH:
+      case OpClass::PSwitch:
+      case OpClass::PLdctxt:
+        complete_at(eq_->curTick() + cyc(1));
+        break;
+      case OpClass::PSendG:
+        if (protoHooks_.onSendG)
+            protoHooks_.onSendG(dyn->op);
+        complete_at(eq_->curTick() + cyc(1));
+        break;
+      case OpClass::PLdprobe: {
+        Tick ready = protoHooks_.probeReadyAt
+                         ? protoHooks_.probeReadyAt(dyn->op)
+                         : eq_->curTick();
+        complete_at(ready + cyc(1));
+        break;
+      }
+      default:
+        SMTP_PANIC("unexpected non-speculative op");
+    }
+}
+
+void
+SmtCpu::commitStage()
+{
+    // Memory-stall accounting (paper Section 4): a cycle counts as a
+    // memory stall for a thread when its graduation is blocked with a
+    // memory operation at the top of the active list.
+    for (auto &tp : threads_) {
+        ThreadState &t = *tp;
+        if (t.rob.empty())
+            continue;
+        DynInst *head = t.rob.front();
+        if (isMemOp(head->op.cls) && !head->completed)
+            ++t.stats.memStallCycles;
+    }
+
+    unsigned budget = params_.commitWidth;
+    unsigned nthreads = static_cast<unsigned>(threads_.size());
+    for (unsigned i = 0; i < nthreads && budget > 0; ++i) {
+        ThreadState &t = *threads_[(rrCommit_ + i) % nthreads];
+        while (budget > 0 && !t.rob.empty()) {
+            DynInst *head = t.rob.front();
+
+            if (isNonSpeculative(head->op.cls) && !head->nonSpecStarted &&
+                operandsReady(head)) {
+                execNonSpec(head);
+                break;
+            }
+            if (!head->completed)
+                break;
+
+            if (head->replayTrap) {
+                // SC replay: the line was invalidated under a completed
+                // load; re-execute it and charge the refetch.
+                head->replayTrap = false;
+                head->completed = false;
+                head->memAccessed = false;
+                ++t.stats.replays;
+                Cycles penalty =
+                    1 + divCeil(static_cast<unsigned>(t.rob.size()), 8);
+                t.fetchResumeTick = std::max(
+                    t.fetchResumeTick, eq_->curTick() + cyc(penalty));
+                break;
+            }
+
+            if (head->op.cls == OpClass::Store ||
+                head->op.cls == OpClass::PStore) {
+                bool proto_op = threads_[head->tid]->isProtocol;
+                unsigned app_in_sb = 0;
+                for (const auto &e : storeBuffer_)
+                    app_in_sb += !threads_[e.tid]->isProtocol;
+                unsigned res = params_.protocolThread && !proto_op
+                                   ? params_.resStoreBuffer
+                                   : 0;
+                if (storeBuffer_.size() >= params_.storeBuffer ||
+                    (!proto_op &&
+                     app_in_sb + res >= params_.storeBuffer)) {
+                    break; // Store buffer full; stall graduation.
+                }
+                storeBuffer_.push_back({head->op.effAddr, head->tid,
+                                        proto::isProtocolAddr(
+                                            head->op.effAddr)});
+            }
+
+            // Retire.
+            if (isMemOp(head->op.cls)) {
+                SMTP_ASSERT(!t.lsqOrder.empty() &&
+                                t.lsqOrder.front() == head,
+                            "LSQ order corrupted");
+                t.lsqOrder.pop_front();
+                --lsqCount_;
+                ++t.stats.committedMem;
+            }
+            if (head->pdst != 0xffff && head->oldPdst != 0xffff) {
+                auto &free_list = head->pdstFp ? fpFree_ : intFree_;
+                free_list.push_back(head->oldPdst);
+                if (!head->pdstFp)
+                    intOwner_[head->oldPdst] = invalidThread;
+            }
+            ++t.stats.committed;
+            if (head->op.cls == OpClass::PLdctxt &&
+                protoHooks_.onLdctxtRetired) {
+                protoHooks_.onLdctxtRetired(head->op);
+            }
+            t.rob.pop_front();
+            auto &reg = liveRegistries()[this];
+            reg.map.erase(head->uid);
+            delete head;
+            --budget;
+        }
+    }
+    rrCommit_ = (rrCommit_ + 1) % nthreads;
+}
+
+void
+SmtCpu::drainStoreBuffer()
+{
+    // Application stores drain in order through the head.
+    if (!sbDrainBusy_ && !storeBuffer_.empty() &&
+        !storeBuffer_.front().protocolSpace) {
+        const SbEntry &e = storeBuffer_.front();
+        MemReq req;
+        req.cmd = MemCmd::Store;
+        req.addr = e.addr;
+        req.tid = e.tid;
+        req.done = [this] {
+            sbDrainBusy_ = false;
+            SMTP_ASSERT(!storeBuffer_.empty() &&
+                            !storeBuffer_.front().protocolSpace,
+                        "store buffer head changed under drain");
+            storeBuffer_.pop_front();
+            scheduleTick();
+        };
+        if (cache_->access(req) != CacheHierarchy::Outcome::Retry)
+            sbDrainBusy_ = true;
+    }
+    // Protocol stores drain independently over the dedicated protocol
+    // path — they may overtake a blocked application store. This is
+    // what makes the reserved store-buffer entry (Section 2.2)
+    // sufficient to break the deadlock cycle: an application store
+    // whose exclusive grant needs the protocol thread cannot block the
+    // protocol thread's own stores.
+    if (!sbProtoDrainBusy_) {
+        auto it = std::find_if(storeBuffer_.begin(), storeBuffer_.end(),
+                               [](const SbEntry &e) {
+                                   return e.protocolSpace;
+                               });
+        if (it == storeBuffer_.end())
+            return;
+        // Skip if the ordered head drain already covers it.
+        if (it == storeBuffer_.begin() && sbDrainBusy_)
+            return;
+        MemReq req;
+        req.cmd = MemCmd::ProtoStore;
+        req.addr = it->addr;
+        req.tid = it->tid;
+        Addr key = it->addr;
+        req.done = [this, key] {
+            sbProtoDrainBusy_ = false;
+            for (auto it2 = storeBuffer_.begin();
+                 it2 != storeBuffer_.end(); ++it2) {
+                if (it2->protocolSpace && it2->addr == key) {
+                    storeBuffer_.erase(it2);
+                    break;
+                }
+            }
+            scheduleTick();
+        };
+        if (cache_->access(req) != CacheHierarchy::Outcome::Retry)
+            sbProtoDrainBusy_ = true;
+    }
+}
+
+// ------------------------------------------------------------- hooks
+
+void
+SmtCpu::onLineInvalidated(Addr line)
+{
+    for (auto &tp : threads_) {
+        ThreadState &t = *tp;
+        if (t.isProtocol)
+            continue;
+        for (auto *d : t.lsqOrder) {
+            if ((d->op.cls == OpClass::Load) && d->completed &&
+                lineAlign(d->op.effAddr) == line) {
+                d->replayTrap = true;
+            }
+        }
+    }
+}
+
+void
+SmtCpu::sampleProtoOccupancy()
+{
+    ThreadId ptid = protocolTid();
+    ThreadState &t = *threads_[ptid];
+    if (t.rob.empty())
+        return;
+    unsigned chk = 0;
+    for (const auto &c : chkpts_)
+        chk += c.valid && c.tid == ptid;
+    protoOccupancy.branchStack.observe(chk);
+
+    unsigned regs = 0;
+    for (auto owner : intOwner_)
+        regs += owner == ptid;
+    protoOccupancy.intRegs.observe(regs);
+
+    unsigned iq = 0;
+    for (auto *d : intQ_)
+        iq += d->tid == ptid && !d->squashed;
+    protoOccupancy.intQueue.observe(iq);
+
+    unsigned lsq = static_cast<unsigned>(t.lsqOrder.size());
+    protoOccupancy.lsq.observe(lsq);
+}
+
+} // namespace smtp

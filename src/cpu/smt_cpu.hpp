@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Out-of-order SMT pipeline (paper Section 2 / Table 2).
+ *
+ * Nine stages — fetch, decode, rename, issue, two operand-read stages,
+ * execute, cache access, commit — modelled as a cycle-ticked front end
+ * and commit stage with event-driven execution latencies. Key structures
+ * follow the paper exactly:
+ *
+ *  - ICOUNT(2,8) fetch: two threads per cycle, eight slots, a
+ *    predicted-taken branch ends a thread's run;
+ *  - 8-entry decode and rename queues, shared but maintained as two
+ *    logical queues (application / protocol) whose service priority
+ *    alternates each cycle;
+ *  - per-thread 128-entry active lists; 32-entry shared branch stack
+ *    checkpointing the rename maps; per-thread 32-entry RAS;
+ *  - shared physical register files (32*(threads+1)+96 of each kind),
+ *    32-entry integer and FP queues, 64-entry unified LSQ with
+ *    per-thread program-order memory issue, 32-entry store buffer
+ *    draining at commit;
+ *  - 21264-style tournament predictor; squash on mispredict with
+ *    checkpoint restore and 8-per-cycle unmap cost;
+ *  - sequential consistency via replay: an invalidation hitting a
+ *    completed-but-ungraduated load forces it to re-execute at commit;
+ *  - SMTp extensions: a protocol thread context fed by handler traces,
+ *    PPCV-gated fetch, non-speculative uncached operations executed at
+ *    the head of the active list, and one reserved instance of every
+ *    deadlock-implicated resource (Section 2.2).
+ */
+
+#ifndef SMTP_CPU_SMT_CPU_HPP
+#define SMTP_CPU_SMT_CPU_HPP
+
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cache/cache_array.hpp"
+#include "cache/hierarchy.hpp"
+#include "common/types.hpp"
+#include "cpu/bpred.hpp"
+#include "cpu/inst.hpp"
+#include "sim/clock.hpp"
+#include "sim/eventq.hpp"
+#include "sim/stats.hpp"
+
+namespace smtp
+{
+
+struct CpuParams
+{
+    std::uint64_t freqMHz = 2000;
+    unsigned appThreads = 1;
+    bool protocolThread = false;   ///< SMTp: enable the extra context.
+
+    unsigned fetchWidth = 8;
+    unsigned fetchThreads = 2;
+    unsigned decodeQueue = 8;
+    unsigned renameQueue = 8;
+    unsigned activeList = 128;     ///< Per thread.
+    unsigned branchStack = 32;
+    unsigned intRegs = 160;        ///< Machine layer sets 160/192/256.
+    unsigned fpRegs = 160;
+    unsigned intQueue = 32;
+    unsigned fpQueue = 32;
+    unsigned lsq = 64;
+    unsigned intAlus = 6;          ///< The 7th ALU is the address unit.
+    unsigned fpus = 3;
+    unsigned commitWidth = 8;
+    unsigned storeBuffer = 32;
+    unsigned rasEntries = 32;
+
+    Cycles readStages = 2;
+    Cycles intMulLat = 6;
+    Cycles intDivLat = 35;
+    Cycles fpAddLat = 2;
+    Cycles fpMulLat = 1;
+    Cycles fpDivLat = 19;
+
+    unsigned tlbEntries = 128;
+    Cycles tlbMissPenalty = 40;
+
+    // SMTp reserved resources (one each, Table 2).
+    unsigned resDecode = 1;
+    unsigned resRename = 1;
+    unsigned resBranchStack = 1;
+    unsigned resIntRegs = 1;
+    unsigned resIntQueue = 1;
+    unsigned resLsq = 1;
+    unsigned resStoreBuffer = 1;
+
+    /**
+     * The special bit-manipulation ALU instructions (popcount / count
+     * trailing zeros). When absent, each such protocol instruction
+     * expands to this many plain ALU ops (Section 2.1 ablation).
+     */
+    bool bitAssistOps = true;
+    unsigned bitAssistExpansion = 4;
+};
+
+class SmtCpu
+{
+  public:
+    struct DynInst;
+
+    /** Hooks the SMTp protocol-thread agent installs (token = op.token). */
+    struct ProtoHooks
+    {
+        std::function<void(const MicroOp &)> onSendG;
+        std::function<Tick(const MicroOp &)> probeReadyAt;
+        std::function<void(const MicroOp &)> onLdctxtRetired;
+        std::function<void()> onLastOpFetched; ///< PPCV cleared.
+    };
+
+    SmtCpu(EventQueue &eq, const CpuParams &params, CacheHierarchy &cache);
+    ~SmtCpu();
+
+    /** Total thread contexts (app + optional protocol). */
+    unsigned numThreads() const { return static_cast<unsigned>(
+        threads_.size()); }
+    ThreadId protocolTid() const { return static_cast<ThreadId>(
+        params_.appThreads); }
+
+    void setSource(ThreadId tid, InstSource *source);
+    void setProtoHooks(ProtoHooks hooks) { protoHooks_ = std::move(hooks); }
+
+    /** Begin ticking. */
+    void start();
+
+    /** New work may be available (protocol dispatch after idle). */
+    void poke();
+
+    bool appThreadsDone() const;
+    bool idle() const;
+
+    const ClockDomain &clock() const { return clock_; }
+    Tick now() const { return eq_->curTick(); }
+
+    // ---- Per-thread statistics --------------------------------------
+
+    struct ThreadStats
+    {
+        Counter committed;
+        Counter committedMem;
+        Counter memStallCycles;
+        Counter branches, condBranches, mispredicts;
+        Counter squashedInsts;
+        Counter squashCycles;       ///< Cycles retiring >=1 squashed inst.
+        Counter replays;
+        Counter wrongPathFetched;
+        Counter itlbMisses, dtlbMisses;
+    };
+
+    const ThreadStats &threadStats(ThreadId tid) const;
+
+    /** Protocol-thread live resource occupancy (Table 9). */
+    struct ProtoOccupancy
+    {
+        PeakTracker branchStack;
+        PeakTracker intRegs;
+        PeakTracker intQueue;
+        PeakTracker lsq;
+    };
+
+    ProtoOccupancy protoOccupancy;
+    Counter cycles;
+    Counter fetchedInsts;
+
+    /** Dump pipeline state (wedge diagnosis). */
+    void debugDump(std::FILE *out) const;
+
+  private:
+    struct ThreadState;
+    struct Checkpoint;
+
+    Tick cyc(Cycles c) const { return clock_.cyclesToTicks(c); }
+
+    void tick();
+    void scheduleTick();
+
+    void fetchStage();
+    unsigned fetchFromThread(ThreadState &t, unsigned max_slots);
+    void decodeStage();
+    void renameStage();
+    bool renameOne(DynInst *dyn);
+    void issueStage();
+    void lsuIssue();
+    bool tryMemAccess(DynInst *dyn);
+    void completeInst(DynInst *dyn);
+    void resolveBranch(DynInst *dyn);
+    void squashAfter(ThreadState &t, std::uint64_t seq, int chkpt_idx);
+    void commitStage();
+    void execNonSpec(DynInst *dyn);
+    void drainStoreBuffer();
+    void sampleProtoOccupancy();
+    void onLineInvalidated(Addr line);
+
+    MicroOp synthWrongPath(ThreadState &t);
+
+    bool operandsReady(const DynInst *dyn) const;
+    std::uint16_t lookupMap(ThreadState &t, std::uint8_t logical) const;
+
+    // TLB: fully-associative, LRU, 128 entries (Table 2).
+    struct Tlb
+    {
+        explicit Tlb(unsigned entries) : cap(entries) {}
+        bool access(Addr page);
+        unsigned cap;
+        std::vector<std::pair<Addr, std::uint64_t>> entries;
+        std::uint64_t stamp = 0;
+        Counter misses;
+    };
+
+    EventQueue *eq_;
+    CpuParams params_;
+    ClockDomain clock_;
+    CacheHierarchy *cache_;
+    TournamentBpred bpred_;
+    ProtoHooks protoHooks_;
+
+    std::vector<std::unique_ptr<ThreadState>> threads_;
+
+    // Front-end queues: two logical sections sharing one capacity.
+    std::deque<DynInst *> decodeQApp_, decodeQProto_;
+    std::deque<DynInst *> renameQApp_, renameQProto_;
+    bool frontPriorityApp_ = true;
+
+    // Physical registers.
+    std::vector<std::uint8_t> intReady_, fpReady_;
+    std::vector<std::uint16_t> intFree_, fpFree_;
+    std::vector<ThreadId> intOwner_;
+
+    // Branch stack.
+    std::vector<Checkpoint> chkpts_;
+
+    // Issue queues (kept age-ordered by insertion).
+    std::deque<DynInst *> intQ_, fpQ_;
+    unsigned lsqCount_ = 0;
+
+    // Store buffer.
+    struct SbEntry
+    {
+        Addr addr;
+        ThreadId tid;
+        bool protocolSpace;
+    };
+    std::deque<SbEntry> storeBuffer_;
+    bool sbDrainBusy_ = false;
+    bool sbProtoDrainBusy_ = false;
+
+    std::uint64_t seqCounter_ = 0;
+    unsigned rrCommit_ = 0;
+    bool tickScheduled_ = false;
+    bool started_ = false;
+
+    Tlb itlb_, dtlb_;
+};
+
+} // namespace smtp
+
+#endif // SMTP_CPU_SMT_CPU_HPP

@@ -1,0 +1,339 @@
+#include "machine.hpp"
+
+#include <cstdio>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "sim/stats.hpp"
+
+namespace smtp
+{
+
+std::string_view
+modelName(MachineModel m)
+{
+    switch (m) {
+      case MachineModel::Base: return "Base";
+      case MachineModel::IntPerfect: return "IntPerfect";
+      case MachineModel::Int512KB: return "Int512KB";
+      case MachineModel::Int64KB: return "Int64KB";
+      case MachineModel::SMTp: return "SMTp";
+    }
+    return "?";
+}
+
+Machine::Machine(const MachineParams &params)
+    : params_(params),
+      fmt_(proto::DirFormat::forNodes(params.nodes <= 16 ? 16 : 32)),
+      image_(proto::buildHandlerImage(
+          fmt_, proto::HandlerOptions{params.ownershipLog}))
+{
+    SMTP_ASSERT(params.nodes >= 1 && params.nodes <= 32,
+                "the study covers 1..32 nodes");
+    map_ = std::make_unique<PagePlacementMap>(params.nodes,
+                                              fmt_.entryBytes);
+    NetworkParams np;
+    np.numNodes = params.nodes;
+    net_ = std::make_unique<Network>(eq_, np);
+
+    bool smtp = params.model == MachineModel::SMTp;
+
+    for (unsigned n = 0; n < params.nodes; ++n) {
+        auto node = std::make_unique<Node>();
+
+        CacheParams cp;
+        cp.l2Bytes = params.l2Bytes;
+        cp.enableBypass = smtp;
+        cp.perfectProtocolCaches = smtp && params.perfectProtocolCaches;
+        ClockDomain cpu_clock(params.cpuFreqMHz);
+        node->cache = std::make_unique<CacheHierarchy>(
+            eq_, cpu_clock, static_cast<NodeId>(n), cp);
+
+        McParams mp;
+        switch (params.model) {
+          case MachineModel::Base:
+            mp.freqMHz = 400;
+            mp.busLatency = 8 * tickPerNs; // off-chip crossing
+            break;
+          case MachineModel::IntPerfect:
+            mp.freqMHz = params.cpuFreqMHz;
+            mp.busLatency = 1 * tickPerNs;
+            break;
+          default:
+            mp.freqMHz = params.cpuFreqMHz / 2;
+            mp.busLatency = 1 * tickPerNs;
+            break;
+        }
+        mp.probeLatency = 9 * cpu_clock.period(); // L2 round trip
+        mp.rngSeed = 1000 + n;
+        node->mc = std::make_unique<MemController>(
+            eq_, static_cast<NodeId>(n), mp, *map_, image_, *node->cache,
+            *net_);
+
+        CpuParams cpup;
+        cpup.freqMHz = params.cpuFreqMHz;
+        cpup.appThreads = params.appThreadsPerNode;
+        cpup.protocolThread = smtp;
+        // 32*(n+1)+96 registers; the non-SMTp baselines get the same
+        // total with one fewer active context (paper Section 3).
+        cpup.intRegs = 32 * (params.appThreadsPerNode + 1) + 96;
+        cpup.fpRegs = cpup.intRegs;
+        cpup.bitAssistOps = params.bitAssistOps;
+        node->cpu =
+            std::make_unique<SmtCpu>(eq_, cpup, *node->cache);
+
+        if (smtp) {
+            ProtocolThreadParams pt;
+            pt.lookAheadScheduling = params.lookAheadScheduling;
+            pt.bitAssistOps = params.bitAssistOps;
+            node->pthread = std::make_unique<ProtocolThread>(
+                eq_, *node->cpu, *node->mc, pt);
+        } else {
+            PEngineParams pe;
+            switch (params.model) {
+              case MachineModel::Base:
+                pe.freqMHz = 400;
+                pe.dcacheBytes = 512 * 1024;
+                break;
+              case MachineModel::IntPerfect:
+                pe.freqMHz = params.cpuFreqMHz;
+                pe.perfectDcache = true;
+                break;
+              case MachineModel::Int512KB:
+                pe.freqMHz = params.cpuFreqMHz / 2;
+                pe.dcacheBytes = 512 * 1024;
+                break;
+              case MachineModel::Int64KB:
+                pe.freqMHz = params.cpuFreqMHz / 2;
+                pe.dcacheBytes = 64 * 1024;
+                break;
+              default:
+                break;
+            }
+            SMTP_ASSERT(isPow2(params.dirCacheDivisor),
+                        "dirCacheDivisor must be a power of two");
+            pe.dcacheBytes = std::max<std::size_t>(
+                pe.dcacheBytes / params.dirCacheDivisor, 2048);
+            node->pengine =
+                std::make_unique<PEngine>(eq_, *node->mc, pe);
+        }
+
+        auto *mc = node->mc.get();
+        node->cache->connect(
+            [mc](const proto::Message &m) { return mc->lmiEnqueue(m); },
+            [mc](Addr a, bool w, std::function<void()> fn) {
+                mc->bypassAccess(a, w, std::move(fn));
+            });
+        net_->attach(static_cast<NodeId>(n),
+                     [mc](const proto::Message &m) {
+                         return mc->niDeliver(m);
+                     });
+
+        nodes_.push_back(std::move(node));
+    }
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::setSource(unsigned node, unsigned thread, InstSource *source)
+{
+    SMTP_ASSERT(node < nodes_.size(), "node out of range");
+    SMTP_ASSERT(thread < params_.appThreadsPerNode, "thread out of range");
+    nodes_[node]->cpu->setSource(static_cast<ThreadId>(thread), source);
+}
+
+Tick
+Machine::run(Tick limit)
+{
+    for (auto &node : nodes_)
+        node->cpu->start();
+
+    Tick deadline = eq_.curTick() + limit;
+    auto all_done = [this] {
+        for (const auto &node : nodes_) {
+            if (!node->cpu->appThreadsDone())
+                return false;
+        }
+        return true;
+    };
+
+    unsigned check = 0;
+    while (!eq_.empty() && eq_.curTick() < deadline) {
+        eq_.runOne();
+        if (++check >= 512) {
+            check = 0;
+            if (all_done())
+                break;
+        }
+    }
+    SMTP_ASSERT(all_done(),
+                "machine did not finish within the time limit "
+                "(workload deadlock?)");
+    execTime_ = eq_.curTick();
+    return execTime_;
+}
+
+bool
+Machine::quiescent() const
+{
+    if (!net_->quiescent())
+        return false;
+    for (const auto &node : nodes_) {
+        if (!node->cache->quiescent() || !node->mc->quiescent())
+            return false;
+        // A store still draining from a store buffer will create new
+        // coherence work; the machine is not quiet until CPUs are.
+        if (!node->cpu->idle())
+            return false;
+    }
+    return true;
+}
+
+void
+Machine::quiesce(Tick limit)
+{
+    Tick deadline = eq_.curTick() + limit;
+    while (!eq_.empty() && eq_.curTick() < deadline && !quiescent())
+        eq_.runOne();
+    // Let residual same-tick events drain.
+    while (!eq_.empty() && eq_.nextTick() <= eq_.curTick())
+        eq_.runOne();
+    if (!quiescent()) {
+        std::fprintf(stderr, "quiesce failure: net=%d evq=%zu\n",
+                     static_cast<int>(net_->quiescent()), eq_.size());
+        for (unsigned n = 0; n < nodes_.size(); ++n) {
+            std::fprintf(stderr, "  n%u cacheQ=%d mshr=%u mcQ=%d\n", n,
+                         static_cast<int>(nodes_[n]->cache->quiescent()),
+                         nodes_[n]->cache->mshrsInUse(),
+                         static_cast<int>(nodes_[n]->mc->quiescent()));
+            nodes_[n]->mc->debugState(stderr);
+            nodes_[n]->cpu->debugDump(stderr);
+        }
+        SMTP_PANIC("machine failed to quiesce after the run");
+    }
+}
+
+double
+Machine::memStallFraction() const
+{
+    double sum = 0.0;
+    unsigned count = 0;
+    for (const auto &node : nodes_) {
+        Cycles cyc = node->cpu->cycles.value();
+        if (cyc == 0)
+            continue;
+        for (unsigned t = 0; t < params_.appThreadsPerNode; ++t) {
+            const auto &st =
+                node->cpu->threadStats(static_cast<ThreadId>(t));
+            sum += static_cast<double>(st.memStallCycles.value()) /
+                   static_cast<double>(cyc);
+            ++count;
+        }
+    }
+    return count ? sum / count : 0.0;
+}
+
+double
+Machine::peakProtocolOccupancy() const
+{
+    double peak = 0.0;
+    for (const auto &node : nodes_) {
+        double occ = static_cast<double>(node->agentBusyTicks()) /
+                     static_cast<double>(std::max<Tick>(execTime_, 1));
+        peak = std::max(peak, occ);
+    }
+    return peak;
+}
+
+Machine::ProtoCharacteristics
+Machine::protoCharacteristics() const
+{
+    ProtoCharacteristics out;
+    SMTP_ASSERT(params_.model == MachineModel::SMTp,
+                "protocol-thread characteristics need an SMTp machine");
+    std::uint64_t cond = 0, mispred = 0, squash_cycles = 0, cycles = 0;
+    std::uint64_t proto_retired = 0, all_retired = 0;
+    for (const auto &node : nodes_) {
+        ThreadId ptid = node->cpu->protocolTid();
+        const auto &ps = node->cpu->threadStats(ptid);
+        cond += ps.condBranches.value();
+        mispred += ps.mispredicts.value();
+        squash_cycles += ps.squashCycles.value();
+        cycles += node->cpu->cycles.value();
+        proto_retired += ps.committed.value();
+        for (unsigned t = 0; t < params_.appThreadsPerNode; ++t) {
+            all_retired += node->cpu
+                               ->threadStats(static_cast<ThreadId>(t))
+                               .committed.value();
+        }
+        all_retired += ps.committed.value();
+    }
+    if (cond > 0)
+        out.branchMispredictRate =
+            static_cast<double>(mispred) / static_cast<double>(cond);
+    if (cycles > 0)
+        out.squashCyclePct = static_cast<double>(squash_cycles) /
+                             static_cast<double>(cycles);
+    if (all_retired > 0)
+        out.retiredInstPct = static_cast<double>(proto_retired) /
+                             static_cast<double>(all_retired);
+    return out;
+}
+
+} // namespace smtp
+
+namespace smtp
+{
+
+void
+Machine::dumpStats(std::ostream &os) const
+{
+    // Build a transient stat hierarchy over the live counters. The
+    // components outlive the dump, so registering pointers is safe.
+    StatGroup root("machine." + std::string(modelName(params_.model)));
+    std::vector<std::unique_ptr<StatGroup>> groups;
+    Counter exec_us;
+    exec_us += execTime_ / tickPerUs;
+    root.add("execTimeUs", &exec_us);
+    root.add("netMsgs", &net_->msgsInjected);
+    root.add("netBytes", &net_->bytesInjected);
+    root.add("netHops", &net_->hopDist);
+
+    for (unsigned n = 0; n < nodes_.size(); ++n) {
+        const Node &node = *nodes_[n];
+        auto g = std::make_unique<StatGroup>("node" + std::to_string(n));
+        g->add("cycles", &node.cpu->cycles);
+        g->add("fetched", &node.cpu->fetchedInsts);
+        g->add("l1dHits", &node.cache->l1dHits);
+        g->add("l1dMisses", &node.cache->l1dMisses);
+        g->add("l2Hits", &node.cache->l2Hits);
+        g->add("l2Misses", &node.cache->l2Misses);
+        g->add("writebacksDirty", &node.cache->writebacksDirty);
+        g->add("prefetchesIssued", &node.cache->prefetchesIssued);
+        g->add("prefetchesUseful", &node.cache->prefetchesUseful);
+        g->add("handlers", &node.mc->handlersDispatched);
+        g->add("naks", &node.mc->naksSent);
+        g->add("probesDeferred", &node.mc->probesDeferred);
+        g->add("handlerLatency", &node.mc->handlerLatency);
+        g->add("sdramReads", &node.mc->sdram().reads);
+        g->add("sdramWrites", &node.mc->sdram().writes);
+        if (node.pengine) {
+            g->add("ppInstructions", &node.pengine->instructions);
+            g->add("ppPairedIssues", &node.pengine->pairedIssues);
+            g->add("ppDcacheMisses", &node.pengine->dcacheMisses);
+        }
+        if (node.pthread) {
+            g->add("ptHandlers", &node.pthread->handlersStarted);
+            g->add("ptLookAheadStarts", &node.pthread->lookAheadStarts);
+            g->add("ptOpsSupplied", &node.pthread->opsSupplied);
+            g->add("ptPeakIntRegs", &node.cpu->protoOccupancy.intRegs);
+            g->add("ptPeakIQ", &node.cpu->protoOccupancy.intQueue);
+        }
+        root.addChild(g.get());
+        groups.push_back(std::move(g));
+    }
+    root.dump(os);
+}
+
+} // namespace smtp

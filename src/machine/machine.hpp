@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Whole-machine assembly: the five machine models of the paper's
+ * Table 4 built from the subsystem libraries.
+ *
+ *   Base        off-chip PP/MC at 400 MHz, 512 KB DM directory cache
+ *   IntPerfect  integrated PP/MC at processor frequency, perfect dcache
+ *   Int512KB    integrated PP/MC at half frequency, 512 KB DM dcache
+ *   Int64KB     integrated PP/MC at half frequency, 64 KB DM dcache
+ *   SMTp        integrated standard MC at half frequency, protocol
+ *               thread on the main pipeline
+ *
+ * The machine owns the event queue, network, address map, handler image
+ * and one Node per position; the workload layer plugs InstSources into
+ * each CPU. run() advances simulation until every application thread on
+ * every node has finished, recording the parallel execution time and
+ * the paper's per-run metrics.
+ */
+
+#ifndef SMTP_MACHINE_MACHINE_HPP
+#define SMTP_MACHINE_MACHINE_HPP
+
+#include <memory>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "core/protocol_thread.hpp"
+#include "cpu/smt_cpu.hpp"
+#include "mem/controller.hpp"
+#include "network/network.hpp"
+#include "pengine/pengine.hpp"
+#include "protocol/handlers.hpp"
+#include "sim/eventq.hpp"
+
+namespace smtp
+{
+
+enum class MachineModel
+{
+    Base,
+    IntPerfect,
+    Int512KB,
+    Int64KB,
+    SMTp,
+};
+
+std::string_view modelName(MachineModel m);
+
+struct MachineParams
+{
+    MachineModel model = MachineModel::SMTp;
+    unsigned nodes = 1;
+    unsigned appThreadsPerNode = 1;
+    std::uint64_t cpuFreqMHz = 2000;
+
+    // SMTp options (Section 2.3 ablations).
+    bool lookAheadScheduling = true;
+    bool bitAssistOps = true;
+    bool perfectProtocolCaches = false;
+
+    /**
+     * Protocol extension (paper Section 6): ReVive-style ownership
+     * logging by the coherence handlers.
+     */
+    bool ownershipLog = false;
+
+    /** Scale caches down for protocol-stress tests. */
+    std::size_t l2Bytes = 2 * 1024 * 1024;
+
+    /**
+     * Scaled-simulation methodology: directory data caches shrink by
+     * this power-of-two divisor along with the (scaled-down) problem
+     * sizes, preserving the paper's directory-cache pressure ratios.
+     * 1 = the paper's absolute sizes.
+     */
+    unsigned dirCacheDivisor = 1;
+};
+
+class Machine
+{
+  public:
+    explicit Machine(const MachineParams &params);
+    ~Machine();
+
+    const MachineParams &params() const { return params_; }
+    unsigned numNodes() const { return params_.nodes; }
+    unsigned appThreads() const
+    {
+        return params_.nodes * params_.appThreadsPerNode;
+    }
+
+    /** Attach the instruction source for (node, thread-slot). */
+    void setSource(unsigned node, unsigned thread, InstSource *source);
+
+    /** Global thread index -> (node, slot) attach. */
+    void
+    setGlobalSource(unsigned gtid, InstSource *source)
+    {
+        setSource(gtid / params_.appThreadsPerNode,
+                  gtid % params_.appThreadsPerNode, source);
+    }
+
+    PagePlacementMap &addressMap() { return *map_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    /**
+     * Run until every application thread has finished (or @p limit
+     * simulated time passes, which is fatal: a deadlock).
+     * @return the parallel execution time in ticks.
+     */
+    Tick run(Tick limit = 500 * tickPerMs);
+
+    /** Drain residual protocol traffic (after run) for checkers. */
+    void quiesce(Tick limit = 10 * tickPerMs);
+    bool quiescent() const;
+
+    Tick execTime() const { return execTime_; }
+
+    struct Node
+    {
+        std::unique_ptr<CacheHierarchy> cache;
+        std::unique_ptr<MemController> mc;
+        std::unique_ptr<SmtCpu> cpu;
+        std::unique_ptr<PEngine> pengine;        ///< Non-SMTp models.
+        std::unique_ptr<ProtocolThread> pthread; ///< SMTp.
+
+        /** Protocol agent busy time (Table 7 numerator). */
+        Tick
+        agentBusyTicks() const
+        {
+            return pengine ? pengine->busyTicks() : pthread->busyTicks();
+        }
+    };
+
+    Node &node(unsigned n) { return *nodes_[n]; }
+    const Node &node(unsigned n) const { return *nodes_[n]; }
+    Network &network() { return *net_; }
+    const proto::DirFormat &dirFormat() const { return fmt_; }
+
+    // ---- Paper metrics ------------------------------------------------
+
+    /** Mean memory-stall fraction over all application threads. */
+    double memStallFraction() const;
+
+    /** Peak protocol occupancy over nodes: busy / exec time (Table 7). */
+    double peakProtocolOccupancy() const;
+
+    /** Aggregate protocol-thread characteristics (Table 8; SMTp only). */
+    struct ProtoCharacteristics
+    {
+        double branchMispredictRate = 0.0;
+        double squashCyclePct = 0.0;
+        double retiredInstPct = 0.0;
+    };
+
+    ProtoCharacteristics protoCharacteristics() const;
+
+    /** Hierarchical end-of-run statistics dump (gem5-style). */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    MachineParams params_;
+    EventQueue eq_;
+    proto::DirFormat fmt_;
+    proto::HandlerImage image_;
+    std::unique_ptr<PagePlacementMap> map_;
+    std::unique_ptr<Network> net_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    Tick execTime_ = 0;
+};
+
+} // namespace smtp
+
+#endif // SMTP_MACHINE_MACHINE_HPP

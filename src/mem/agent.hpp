@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The protocol-agent boundary.
+ *
+ * The memory controller dispatches each coherence transaction by running
+ * its handler *functionally* (producing a HandlerTrace) and then handing
+ * the trace to a ProtocolAgent for timing. Two agents exist:
+ *
+ *  - pengine::PEngine — the embedded dual-issue protocol processor of
+ *    the conventional machine models (Base, Int*);
+ *  - core::ProtocolThread — the SMTp protocol thread, which injects the
+ *    trace into the main SMT pipeline as micro-ops.
+ *
+ * During replay the agent calls back into the controller to release
+ * message sends at the cycle the corresponding SendG executes
+ * non-speculatively, and to learn when the L2 probe result is available
+ * (the ldprobe stall).
+ */
+
+#ifndef SMTP_MEM_AGENT_HPP
+#define SMTP_MEM_AGENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/executor.hpp"
+#include "protocol/message.hpp"
+
+namespace smtp
+{
+
+/** One in-flight handler: the message, its trace, and data timing. */
+struct TransactionCtx
+{
+    std::uint64_t id = 0;
+    proto::Message msg;
+    proto::HandlerTrace trace;
+    Tick dispatchTick = 0;
+    /** When the dispatch unit's parallel L2 probe result is available. */
+    Tick probeReady = 0;
+    /** Probe outcome bits as seen by ldprobe (bit0 hit, bit1 dirty). */
+    std::uint64_t probeBits = 0;
+    /** Speculative SDRAM line read state. */
+    bool memReadStarted = false;
+    bool memDone = false;
+    std::vector<std::function<void()>> memWaiters;
+};
+
+class ProtocolAgent
+{
+  public:
+    virtual ~ProtocolAgent() = default;
+
+    /** Can the agent take another handler now (LAS slot for SMTp)? */
+    virtual bool canAccept() const = 0;
+
+    /**
+     * Begin timing the handler. The agent must eventually call
+     * MemController::releaseSend for every send in the trace (in order)
+     * and MemController::handlerDone(ctx) exactly once.
+     */
+    virtual void start(TransactionCtx *ctx) = 0;
+
+    /** Busy time accumulated by the agent (Table 7's occupancy). */
+    virtual Tick busyTicks() const = 0;
+};
+
+} // namespace smtp
+
+#endif // SMTP_MEM_AGENT_HPP

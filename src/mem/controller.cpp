@@ -1,0 +1,469 @@
+#include "controller.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace smtp
+{
+
+using proto::DataSrc;
+using proto::Message;
+using proto::MsgType;
+using proto::SendTarget;
+
+namespace
+{
+
+/** Map a forwarded intervention to the cache probe it launches. */
+MsgType
+probeKindFor(MsgType t)
+{
+    switch (t) {
+      case MsgType::FwdIntervSh: return MsgType::CcIntervSh;
+      case MsgType::FwdIntervEx: return MsgType::CcIntervEx;
+      case MsgType::FwdInval: return MsgType::CcInval;
+      default: SMTP_PANIC("no probe for this message type");
+    }
+}
+
+} // namespace
+
+MemController::MemController(EventQueue &eq, NodeId self,
+                             const McParams &params, const AddressMap &map,
+                             const proto::HandlerImage &image,
+                             CacheHierarchy &cache, Network &net)
+    : eq_(&eq), self_(self), params_(params), clock_(params.freqMHz),
+      map_(&map), image_(&image), cache_(&cache), net_(&net),
+      sdram_(eq, params.sdram), executor_(image, *this),
+      dirEntryBytes_(4), rng_(params.rngSeed + self * 7919),
+      lmiQ_(params.lmiQueueDepth)
+{
+    for (auto &q : niInQ_)
+        q.setCapacity(params.niInQueueDepth);
+    for (auto &q : niOutQ_)
+        q.setCapacity(params.niOutQueueDepth);
+    mshrReady_.fill(0);
+    executor_.boot(self);
+    // The directory entry width comes from the handler image itself:
+    // the load that follows a Dira always uses the format's width.
+    dirEntryBytes_ = 0;
+    for (std::size_t i = 0; i + 1 < image.code.size() && !dirEntryBytes_;
+         ++i) {
+        if (image.code[i].op == proto::POp::Dira &&
+            image.code[i + 1].op == proto::POp::Ld) {
+            dirEntryBytes_ = image.code[i + 1].memBytes;
+        }
+    }
+    if (dirEntryBytes_ == 0)
+        dirEntryBytes_ = 4;
+}
+
+bool
+MemController::lmiEnqueue(const Message &msg)
+{
+    if (lmiQ_.full())
+        return false;
+    ++msgsFromLmi;
+    lmiOccupancy.sample(static_cast<double>(lmiQ_.size()));
+    // The bus crossing (large for the off-chip Base controller) is
+    // charged by delaying visibility to the dispatch unit.
+    Message m = msg;
+    lmiQ_.push(m);
+    lastLmiEnqueue = eq_->curTick();
+    eq_->scheduleIn(params_.busLatency, [this] { tryDispatch(); });
+    return true;
+}
+
+bool
+MemController::niDeliver(const Message &msg)
+{
+    auto vnet = proto::vnetOf(msg.type);
+    if (niInQ_[vnet].full())
+        return false;
+    ++msgsFromNet;
+    niInQ_[vnet].push(msg);
+    eq_->scheduleIn(clock_.period(), [this] { tryDispatch(); });
+    return true;
+}
+
+void
+MemController::bypassAccess(Addr addr, bool write, std::function<void()> done)
+{
+    eq_->scheduleIn(params_.busLatency, [this, addr, write,
+                                         done = std::move(done)]() mutable {
+        sdram_.access(addr, l2LineBytes, write, std::move(done));
+    });
+}
+
+bool
+MemController::popNextMessage(Message &out)
+{
+    // Deferred interventions whose retry time has come take precedence.
+    if (!deferQ_.empty() && deferQ_.front().first <= eq_->curTick()) {
+        out = deferQ_.front().second;
+        deferQ_.pop_front();
+        return true;
+    }
+    // Round-robin across LMI and the three coherence vnets.
+    struct Source
+    {
+        FixedQueue<Message> *q;
+        int vnet; // -1 for LMI
+    };
+    Source sources[4] = {
+        {&lmiQ_, -1},
+        {&niInQ_[proto::vnetReply], proto::vnetReply},
+        {&niInQ_[proto::vnetForward], proto::vnetForward},
+        {&niInQ_[proto::vnetRequest], proto::vnetRequest},
+    };
+    for (unsigned i = 0; i < 4; ++i) {
+        auto &src = sources[(rrSource_ + i) % 4];
+        if (!src.q->empty()) {
+            rrSource_ = (rrSource_ + i + 1) % 4;
+            out = src.q->pop();
+            if (src.vnet >= 0)
+                net_->poke(self_, static_cast<std::uint8_t>(src.vnet));
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemController::scheduleDispatchPoll()
+{
+    if (dispatchPollScheduled_ || deferQ_.empty())
+        return;
+    dispatchPollScheduled_ = true;
+    Tick when = std::max(deferQ_.front().first, eq_->curTick() + 1);
+    eq_->schedule(when, [this] {
+        dispatchPollScheduled_ = false;
+        tryDispatch();
+    });
+}
+
+void
+MemController::tryDispatch()
+{
+    ++tryDispatchCalls;
+    lastTryDispatch = eq_->curTick();
+    while (agent_ != nullptr && agent_->canAccept()) {
+        Message msg;
+        if (!popNextMessage(msg))
+            break;
+        dispatch(msg);
+    }
+    scheduleDispatchPoll();
+}
+
+void
+MemController::dispatch(const Message &msg_in)
+{
+    Message msg = msg_in;
+    Tick now = eq_->curTick();
+    bool home_local = map_->homeOf(msg.addr) == self_;
+    if (home_local) {
+        msg.flags |= proto::flagHomeLocal;
+        // FLASH-style dispatch: locally-homed processor requests index
+        // their own handlers (no home-test branch in protocol code).
+        msg.type = proto::localPiVariant(msg.type);
+    }
+
+    // Forwarded interventions chasing a grant still in flight to us are
+    // replayed once the fill lands (Section 2 of DESIGN.md's race notes).
+    if ((msg.type == MsgType::FwdIntervSh ||
+         msg.type == MsgType::FwdIntervEx) &&
+        cache_->probeWouldDefer(msg.addr)) {
+        ++probesDeferred;
+        deferQ_.emplace_back(now + params_.deferRetry, msg);
+        scheduleDispatchPoll();
+        return;
+    }
+
+    if (std::getenv("SMTP_TRACE") != nullptr) {
+        std::fprintf(stderr,
+                     "[%llu] n%u dispatch %s addr=%llx src=%u req=%u "
+                     "mshr=%u ack=%u\n",
+                     static_cast<unsigned long long>(now), self_,
+                     std::string(msgTypeName(msg.type)).c_str(),
+                     static_cast<unsigned long long>(msg.addr), msg.src,
+                     msg.requester, msg.mshr, msg.ackCount);
+    }
+
+    auto ctx = std::make_shared<TransactionCtx>();
+    ctx->id = nextCtxId_++;
+    ctx->msg = msg;
+    ctx->dispatchTick = now;
+    ctxs_[ctx->id] = ctx;
+    ++inFlight_;
+
+    // Hardware pre-actions.
+    switch (msg.type) {
+      case MsgType::FwdIntervSh:
+      case MsgType::FwdIntervEx:
+      case MsgType::FwdInval: {
+        auto out = cache_->applyProbe(probeKindFor(msg.type), msg.addr);
+        ctx->probeBits = (out.hit ? 1u : 0u) | (out.dirty ? 2u : 0u);
+        ctx->probeReady = now + params_.probeLatency;
+        break;
+      }
+      case MsgType::RplWbAck:
+        // The race-free flavour; RplWbBusyAck leaves the tracker armed
+        // for the stale intervention still chasing this node.
+        cache_->clearWbPending(msg.addr);
+        break;
+      default:
+        break;
+    }
+
+    if (proto::expectsMemoryData(msg.type) && home_local) {
+        ctx->memReadStarted = true;
+        auto c = ctx;
+        sdram_.access(lineAlign(msg.addr), l2LineBytes, false, [this, c] {
+            c->memDone = true;
+            for (auto &fn : c->memWaiters)
+                fn();
+            c->memWaiters.clear();
+        });
+        if (msg.requester == self_) {
+            // Keep the staged line available for a later CcFill issued
+            // by the ack-collection handler (DataSrc::Buffer).
+            std::uint8_t mshr = msg.mshr;
+            ctx->memWaiters.push_back(
+                [this, mshr] { stageMshrData(mshr, eq_->curTick()); });
+        }
+    }
+    if (msg.type == MsgType::RplDataEx && msg.requester == self_) {
+        // Carried exclusive data parks in the per-MSHR buffer until the
+        // invalidation acks finish.
+        stageMshrData(msg.mshr, now);
+    }
+
+    // Functional execution: directory and pending-table updates happen
+    // now, in dispatch order — the architectural serialization point.
+    dispatching_ = ctx.get();
+    ctx->trace = executor_.run(msg);
+    dispatching_ = nullptr;
+
+    // Handlers record impossible protocol states in scratch word 0.
+    Addr err_addr = proto::protoScratchBase +
+                    static_cast<Addr>(self_) * proto::protoNodeStride +
+                    proto::protoErrorOffset;
+    std::uint64_t err = ram_.read(err_addr, 8);
+    SMTP_ASSERT(err == 0,
+                "protocol handler hit an impossible state (hdr %llx) "
+                "at node %u for %s",
+                static_cast<unsigned long long>(err), self_,
+                std::string(msgTypeName(msg.type)).c_str());
+
+    ++handlersDispatched;
+    agent_->start(ctx.get());
+}
+
+void
+MemController::stageMshrData(std::uint8_t mshr, Tick ready)
+{
+    SMTP_ASSERT(mshr < mshrReady_.size(), "mshr id out of range");
+    mshrReady_[mshr] = ready;
+}
+
+Tick
+MemController::mshrDataReady(std::uint8_t mshr) const
+{
+    SMTP_ASSERT(mshr < mshrReady_.size(), "mshr id out of range");
+    return mshrReady_[mshr];
+}
+
+void
+MemController::releaseSend(TransactionCtx *ctx_raw, unsigned idx)
+{
+    auto it = ctxs_.find(ctx_raw->id);
+    SMTP_ASSERT(it != ctxs_.end(), "send for a dead transaction");
+    auto ctx = it->second;
+    SMTP_ASSERT(idx < ctx->trace.sends.size(), "send index out of range");
+    const proto::SendRec &send = ctx->trace.sends[idx];
+    if (std::getenv("SMTP_TRACE") != nullptr) {
+        std::fprintf(stderr, "[%llu] n%u release %s addr=%llx\n",
+                     static_cast<unsigned long long>(eq_->curTick()), self_,
+                     std::string(msgTypeName(send.msg.type)).c_str(),
+                     static_cast<unsigned long long>(send.msg.addr));
+    }
+
+    // A thunk that runs once the message's data payload is available.
+    auto with_data = [this, ctx, send](std::function<void(Tick)> fn) {
+        switch (send.dataSrc) {
+          case DataSrc::None:
+          case DataSrc::Carried:
+            fn(eq_->curTick());
+            return;
+          case DataSrc::Probe:
+            fn(std::max(eq_->curTick(), ctx->probeReady));
+            return;
+          case DataSrc::Buffer:
+            fn(std::max(eq_->curTick(), mshrDataReady(send.msg.mshr)));
+            return;
+          case DataSrc::Memory:
+            if (!ctx->memReadStarted) {
+                // Lazy read (e.g. the PutClean writeback-race path).
+                auto c = ctx;
+                ctx->memReadStarted = true;
+                sdram_.access(lineAlign(ctx->msg.addr), l2LineBytes, false,
+                              [c] {
+                                  c->memDone = true;
+                                  for (auto &w : c->memWaiters)
+                                      w();
+                                  c->memWaiters.clear();
+                              });
+            }
+            if (ctx->memDone) {
+                fn(eq_->curTick());
+            } else {
+                ctx->memWaiters.push_back(
+                    [this, fn] { fn(eq_->curTick()); });
+            }
+            return;
+        }
+    };
+
+    switch (send.target) {
+      case SendTarget::MemWrite:
+        with_data([this, ctx](Tick ready) {
+            eq_->schedule(std::max(ready, eq_->curTick()), [this, ctx] {
+                sdram_.access(lineAlign(ctx->msg.addr), l2LineBytes, true);
+            });
+        });
+        break;
+      case SendTarget::Local:
+        ++pendingLocalDeliveries_;
+        with_data([this, msg = send.msg](Tick ready) {
+            deliverLocal(msg, ready);
+        });
+        break;
+      case SendTarget::Network:
+        if (send.msg.type == MsgType::RplNak)
+            ++naksSent;
+        ++pendingDelayedSends_;
+        with_data([this, msg = send.msg, delayed = send.delayed](Tick rdy) {
+            pushToNetwork(msg, rdy, delayed);
+        });
+        break;
+    }
+}
+
+void
+MemController::deliverLocal(Message msg, Tick data_ready)
+{
+    Tick when = std::max(data_ready, eq_->curTick()) + params_.busLatency;
+    eq_->schedule(when, [this, msg] {
+        if (cache_->deliverFill(msg)) {
+            --pendingLocalDeliveries_;
+            return;
+        }
+        // Eviction path backed up; retry.
+        --pendingLocalDeliveries_;
+        deliverLocal(msg, eq_->curTick() + clock_.period());
+        ++pendingLocalDeliveries_;
+    });
+}
+
+void
+MemController::pushToNetwork(Message msg, Tick data_ready, bool delayed)
+{
+    Tick when = std::max(data_ready, eq_->curTick());
+    if (delayed)
+        when += params_.nakBackoff + rng_.below(params_.nakBackoff);
+    eq_->schedule(when, [this, msg] {
+        --pendingDelayedSends_;
+        auto vnet = proto::vnetOf(msg.type);
+        if (!niOutQ_[vnet].tryPush(msg))
+            niOutOverflow_.push_back(msg);
+        drainNiOut();
+    });
+}
+
+void
+MemController::drainNiOut()
+{
+    // One message per controller cycle leaves through the NI.
+    if (niOutDrainScheduled_)
+        return;
+    bool any = false;
+    for (auto &q : niOutQ_)
+        any = any || !q.empty();
+    if (!any)
+        return;
+    niOutDrainScheduled_ = true;
+    eq_->schedule(clock_.edgeAfter(eq_->curTick()), [this] {
+        niOutDrainScheduled_ = false;
+        for (auto &q : niOutQ_) {
+            if (!q.empty()) {
+                net_->inject(q.pop());
+                break;
+            }
+        }
+        // Refill bounded queues from the overflow staging.
+        while (!niOutOverflow_.empty()) {
+            auto vnet = proto::vnetOf(niOutOverflow_.front().type);
+            if (!niOutQ_[vnet].tryPush(niOutOverflow_.front()))
+                break;
+            niOutOverflow_.pop_front();
+        }
+        drainNiOut();
+    });
+}
+
+void
+MemController::handlerDone(TransactionCtx *ctx_raw)
+{
+    if (std::getenv("SMTP_TRACE") != nullptr) {
+        std::fprintf(stderr, "[%llu] n%u done %s addr=%llx\n",
+                     static_cast<unsigned long long>(eq_->curTick()), self_,
+                     std::string(msgTypeName(ctx_raw->msg.type)).c_str(),
+                     static_cast<unsigned long long>(ctx_raw->msg.addr));
+    }
+    auto it = ctxs_.find(ctx_raw->id);
+    SMTP_ASSERT(it != ctxs_.end(), "completion of a dead transaction");
+    handlerLatency.sample(
+        static_cast<double>(eq_->curTick() - it->second->dispatchTick));
+    ctxs_.erase(it);
+    --inFlight_;
+    eq_->scheduleIn(clock_.period(), [this] { tryDispatch(); });
+}
+
+std::uint64_t
+MemController::protoLoad(Addr a, unsigned bytes)
+{
+    return ram_.read(a, bytes);
+}
+
+void
+MemController::protoStore(Addr a, std::uint64_t v, unsigned bytes)
+{
+    ram_.write(a, v, bytes);
+}
+
+Addr
+MemController::dirAddrOf(Addr line_addr)
+{
+    return map_->dirAddrOf(line_addr);
+}
+
+NodeId
+MemController::homeOf(Addr line_addr)
+{
+    return map_->homeOf(line_addr);
+}
+
+std::uint64_t
+MemController::probeResult()
+{
+    SMTP_ASSERT(dispatching_ != nullptr, "ldprobe outside dispatch");
+    return dispatching_->probeBits;
+}
+
+} // namespace smtp

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The per-node memory controller.
+ *
+ * Owns the Local Miss Interface queue, the network-interface input
+ * (2-entry per vnet) and output (16-entry per vnet) queues, the SDRAM,
+ * and the handler dispatch unit of Figure 1. Dispatch:
+ *
+ *   1. selects a waiting message round-robin across the LMI and the
+ *      three coherence virtual networks;
+ *   2. performs the hardware pre-actions — sets the home-local flag,
+ *      launches the speculative SDRAM line read for request types that
+ *      expect data, applies (or defers) the L2 probe for forwarded
+ *      interventions, releases the writeback-race tracker on WbAck;
+ *   3. runs the handler functionally against the node's protocol RAM
+ *      and directory state, obtaining the dynamic trace; and
+ *   4. hands the trace to the protocol agent (embedded PP or SMTp
+ *      protocol thread) for timing. Sends recorded in the trace leave
+ *      the node only when the agent replays the corresponding SendG.
+ *
+ * For SMTp, a standard controller: identical hardware minus the agent
+ * being on-die logic — which is exactly the paper's point.
+ */
+
+#ifndef SMTP_MEM_CONTROLLER_HPP
+#define SMTP_MEM_CONTROLLER_HPP
+
+#include <array>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/hierarchy.hpp"
+#include "common/fixed_queue.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "mem/address_map.hpp"
+#include "mem/agent.hpp"
+#include "mem/protocol_ram.hpp"
+#include "mem/sdram.hpp"
+#include "network/network.hpp"
+#include "protocol/executor.hpp"
+#include "protocol/handlers.hpp"
+#include "sim/clock.hpp"
+#include "sim/eventq.hpp"
+#include "sim/stats.hpp"
+
+namespace smtp
+{
+
+struct McParams
+{
+    std::uint64_t freqMHz = 1000;       ///< Half of a 2 GHz core.
+    SdramParams sdram;
+    unsigned lmiQueueDepth = 16;
+    unsigned niInQueueDepth = 2;
+    unsigned niOutQueueDepth = 16;
+    /** CPU <-> controller crossing (large for the off-chip Base model). */
+    Tick busLatency = 1 * tickPerNs;
+    /** L2 probe round trip as seen from the controller. */
+    Tick probeLatency = 5 * tickPerNs;
+    /** Deferred-intervention replay interval. */
+    Tick deferRetry = 50 * tickPerNs;
+    /** NAK retry backoff base (plus jitter). */
+    Tick nakBackoff = 100 * tickPerNs;
+    std::uint64_t rngSeed = 1;
+};
+
+class MemController : public proto::ExecEnv
+{
+  public:
+    MemController(EventQueue &eq, NodeId self, const McParams &params,
+                  const AddressMap &map, const proto::HandlerImage &image,
+                  CacheHierarchy &cache, Network &net);
+
+    void setAgent(ProtocolAgent *agent) { agent_ = agent; }
+
+    // ---- Inbound interfaces ------------------------------------------
+
+    /** From the cache hierarchy (hook this as its LmiEnqueueFn). */
+    bool lmiEnqueue(const proto::Message &msg);
+
+    /** From the network (hook this as its DeliverFn). */
+    bool niDeliver(const proto::Message &msg);
+
+    /** Protocol-space SDRAM access (cache bypass bus). */
+    void bypassAccess(Addr addr, bool write, std::function<void()> done);
+
+    // ---- Agent callbacks ---------------------------------------------
+
+    /** The agent executed send @p idx of @p ctx's trace. */
+    void releaseSend(TransactionCtx *ctx, unsigned idx);
+
+    /** When the probe result for @p ctx becomes available (ldprobe). */
+    Tick probeReadyTick(const TransactionCtx *ctx) const
+    {
+        return ctx->probeReady;
+    }
+
+    /** The agent finished the handler (its ldctxt completed). */
+    void handlerDone(TransactionCtx *ctx);
+
+    /** The agent's acceptance state changed (e.g. an LAS slot opened). */
+    void agentPoke() { tryDispatch(); }
+
+    // ---- proto::ExecEnv ----------------------------------------------
+
+    std::uint64_t protoLoad(Addr a, unsigned bytes) override;
+    void protoStore(Addr a, std::uint64_t v, unsigned bytes) override;
+    Addr dirAddrOf(Addr line_addr) override;
+    NodeId homeOf(Addr line_addr) override;
+    std::uint64_t probeResult() override;
+
+    // ---- Introspection -----------------------------------------------
+
+    ProtocolRam &ram() { return ram_; }
+    Sdram &sdram() { return sdram_; }
+    const ClockDomain &clock() const { return clock_; }
+    NodeId nodeId() const { return self_; }
+
+    bool
+    quiescent() const
+    {
+        if (inFlight_ != 0 || !lmiQ_.empty() || !deferQ_.empty())
+            return false;
+        for (const auto &q : niInQ_)
+            if (!q.empty())
+                return false;
+        for (const auto &q : niOutQ_)
+            if (!q.empty())
+                return false;
+        return niOutOverflow_.empty() && pendingDelayedSends_ == 0 &&
+               pendingLocalDeliveries_ == 0;
+    }
+
+    /** Dump queue/transaction state (wedge diagnosis). */
+    void
+    debugState(std::FILE *out) const
+    {
+        std::fprintf(out,
+                     "    mc: lmi=%zu niIn=[%zu,%zu,%zu,%zu] "
+                     "niOut=[%zu,%zu,%zu,%zu] ovf=%zu defer=%zu "
+                     "inflight=%u delayed=%u local=%u\n",
+                     lmiQ_.size(), niInQ_[0].size(), niInQ_[1].size(),
+                     niInQ_[2].size(), niInQ_[3].size(), niOutQ_[0].size(),
+                     niOutQ_[1].size(), niOutQ_[2].size(),
+                     niOutQ_[3].size(), niOutOverflow_.size(),
+                     deferQ_.size(), inFlight_, pendingDelayedSends_,
+                     pendingLocalDeliveries_);
+        std::fprintf(out,
+                     "    mc: tryDispatch calls=%llu last=%llu lastLmi=%llu "
+                     "agentAccept=%d\n",
+                     static_cast<unsigned long long>(tryDispatchCalls),
+                     static_cast<unsigned long long>(lastTryDispatch),
+                     static_cast<unsigned long long>(lastLmiEnqueue),
+                     agent_ ? static_cast<int>(agent_->canAccept()) : -1);
+        for (const auto &[id, ctx] : ctxs_) {
+            std::fprintf(out, "    ctx %llu: %s addr=%llx memDone=%d\n",
+                         static_cast<unsigned long long>(id),
+                         std::string(msgTypeName(ctx->msg.type)).c_str(),
+                         static_cast<unsigned long long>(ctx->msg.addr),
+                         ctx->memDone);
+        }
+    }
+
+    /** Directory entry value for a line homed here (tests/checkers). */
+    std::uint64_t
+    dirEntry(Addr line_addr)
+    {
+        return ram_.read(dirAddrOf(line_addr), dirEntryBytes_);
+    }
+
+    // Stats.
+    Counter handlersDispatched;
+    Counter msgsFromLmi, msgsFromNet;
+    Counter probesDeferred;
+    Counter naksSent;  // (observed at release time)
+    Distribution lmiOccupancy;
+    Distribution handlerLatency;
+    std::uint64_t tryDispatchCalls = 0;
+    Tick lastTryDispatch = 0;
+    Tick lastLmiEnqueue = 0;
+
+  private:
+    void tryDispatch();
+    void scheduleDispatchPoll();
+    void dispatch(const proto::Message &msg);
+    bool popNextMessage(proto::Message &out);
+
+    /** Stage SDRAM line data for requester-side completion sends. */
+    void stageMshrData(std::uint8_t mshr, Tick ready);
+    Tick mshrDataReady(std::uint8_t mshr) const;
+
+    void deliverLocal(proto::Message msg, Tick data_ready);
+    void pushToNetwork(proto::Message msg, Tick data_ready, bool delayed);
+    void drainNiOut();
+
+    EventQueue *eq_;
+    NodeId self_;
+    McParams params_;
+    ClockDomain clock_;
+    const AddressMap *map_;
+    const proto::HandlerImage *image_;
+    CacheHierarchy *cache_;
+    Network *net_;
+    ProtocolAgent *agent_ = nullptr;
+
+    ProtocolRam ram_;
+    Sdram sdram_;
+    proto::Executor executor_;
+    unsigned dirEntryBytes_;
+    Rng rng_;
+
+    FixedQueue<proto::Message> lmiQ_;
+    std::array<FixedQueue<proto::Message>, proto::numVnets> niInQ_;
+    std::array<FixedQueue<proto::Message>, proto::numVnets> niOutQ_;
+    std::deque<proto::Message> niOutOverflow_;
+    std::deque<std::pair<Tick, proto::Message>> deferQ_;
+    unsigned rrSource_ = 0;
+
+    TransactionCtx *dispatching_ = nullptr; ///< Valid during executor run.
+    /** Live transactions; send closures keep them alive via shared_ptr. */
+    std::unordered_map<std::uint64_t, std::shared_ptr<TransactionCtx>> ctxs_;
+    std::uint64_t nextCtxId_ = 1;
+    unsigned inFlight_ = 0;
+    unsigned pendingDelayedSends_ = 0;
+    unsigned pendingLocalDeliveries_ = 0;
+    bool dispatchPollScheduled_ = false;
+    bool niOutDrainScheduled_ = false;
+
+    /** Per-MSHR staged-data availability (requester side). */
+    std::array<Tick, 40> mshrReady_;
+};
+
+} // namespace smtp
+
+#endif // SMTP_MEM_CONTROLLER_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A trivially fast protocol agent: replays each handler at a fixed
+ * cycles-per-instruction rate with no cache or pipeline modelling.
+ *
+ * Used by the protocol-level tests (it isolates protocol correctness
+ * from agent timing) and available as an idealised "hardwired
+ * controller" reference point in experiments.
+ */
+
+#ifndef SMTP_MEM_IMMEDIATE_AGENT_HPP
+#define SMTP_MEM_IMMEDIATE_AGENT_HPP
+
+#include "mem/agent.hpp"
+#include "mem/controller.hpp"
+#include "sim/clock.hpp"
+#include "sim/eventq.hpp"
+
+namespace smtp
+{
+
+class ImmediateAgent : public ProtocolAgent
+{
+  public:
+    ImmediateAgent(EventQueue &eq, MemController &mc,
+                   Tick per_inst = 1 * tickPerNs)
+        : eq_(&eq), mc_(&mc), perInst_(per_inst)
+    {
+        mc.setAgent(this);
+    }
+
+    bool canAccept() const override { return !busy_; }
+
+    void
+    start(TransactionCtx *ctx) override
+    {
+        busy_ = true;
+        Tick start = eq_->curTick();
+        Tick t = start;
+        for (std::size_t i = 0; i < ctx->trace.insts.size(); ++i) {
+            const auto &inst = ctx->trace.insts[i];
+            t += perInst_;
+            if (inst.inst.op == proto::POp::Ldprobe)
+                t = std::max(t, ctx->probeReady);
+            if (inst.sendIdx >= 0) {
+                auto idx = static_cast<unsigned>(inst.sendIdx);
+                eq_->schedule(t, [this, ctx, idx] {
+                    mc_->releaseSend(ctx, idx);
+                });
+            }
+        }
+        busyTicks_ += t - start;
+        eq_->schedule(t, [this, ctx] {
+            busy_ = false;
+            mc_->handlerDone(ctx);
+        });
+    }
+
+    Tick busyTicks() const override { return busyTicks_; }
+
+  private:
+    EventQueue *eq_;
+    MemController *mc_;
+    Tick perInst_;
+    bool busy_ = false;
+    Tick busyTicks_ = 0;
+};
+
+} // namespace smtp
+
+#endif // SMTP_MEM_IMMEDIATE_AGENT_HPP

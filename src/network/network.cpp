@@ -1,0 +1,153 @@
+#include "network.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace smtp
+{
+
+Network::Network(EventQueue &eq, const NetworkParams &params)
+    : eq_(eq), params_(params)
+{
+    SMTP_ASSERT(params.numNodes >= 1, "network needs at least one node");
+    numRouters_ =
+        std::max(1u, params.numNodes / std::max(1u, params.nodesPerRouter));
+    SMTP_ASSERT(isPow2(numRouters_), "router count must be a power of two");
+    dims_ = floorLog2(numRouters_);
+
+    deliver_.resize(params.numNodes);
+    links_.resize(static_cast<std::size_t>(numRouters_) * numRouters_);
+    nodeLinksIn_.resize(params.numNodes);
+    nodeLinksOut_.resize(params.numNodes);
+    landing_.resize(static_cast<std::size_t>(params.numNodes) *
+                    proto::numVnets);
+    retryScheduled_.assign(landing_.size(), false);
+}
+
+void
+Network::attach(NodeId node, DeliverFn fn)
+{
+    SMTP_ASSERT(node < deliver_.size(), "attach beyond node count");
+    deliver_[node] = std::move(fn);
+}
+
+unsigned
+Network::hopCount(NodeId a, NodeId b) const
+{
+    if (a == b)
+        return 0;
+    unsigned ra = routerOf(a);
+    unsigned rb = routerOf(b);
+    // node->router + router hops + router->node; same-router pairs still
+    // make one router traversal.
+    return 2 + popCount(ra ^ rb);
+}
+
+unsigned
+Network::nextRouter(unsigned cur, unsigned dst) const
+{
+    unsigned diff = cur ^ dst;
+    SMTP_ASSERT(diff != 0, "nextRouter at destination");
+    unsigned dim = countTrailingZeros(diff);
+    return cur ^ (1u << dim);
+}
+
+Network::Link &
+Network::linkBetween(unsigned r_from, unsigned r_to)
+{
+    return links_[static_cast<std::size_t>(r_from) * numRouters_ + r_to];
+}
+
+void
+Network::traverse(Link &link, unsigned bytes, EventQueue::Callback fn,
+                  bool final_hop)
+{
+    Tick now = eq_.curTick();
+    Tick start = std::max(now, link.busyUntil);
+    auto ser = static_cast<Tick>(static_cast<double>(bytes) /
+                                 params_.linkBytesPerTick);
+    link.busyUntil = start + ser;
+    ++link.msgs;
+    // Virtual cut-through: the head advances after each hop's latency
+    // while the body streams behind it (each link stays busy for the
+    // serialisation time); the tail — and thus delivery — trails the
+    // head by one serialisation time, charged on the final hop only.
+    Tick arrive = start + params_.hopLatency + (final_hop ? ser : 0);
+    eq_.schedule(arrive, std::move(fn));
+}
+
+void
+Network::inject(const proto::Message &msg)
+{
+    SMTP_ASSERT(msg.dest < params_.numNodes, "message to unknown node %u",
+                msg.dest);
+    ++msgsInjected;
+    bytesInjected += proto::msgBytes(msg.type);
+    hopDist.sample(hopCount(msg.src, msg.dest));
+    ++inFlight_;
+
+    if (msg.src == msg.dest) {
+        // Loopback through the NI without touching the fabric; charge a
+        // single hop of latency for the controller-internal turnaround.
+        proto::Message m = msg;
+        eq_.scheduleIn(params_.hopLatency, [this, m] { land(m); });
+        return;
+    }
+
+    proto::Message m = msg;
+    unsigned src_router = routerOf(msg.src);
+    traverse(nodeLinksOut_[msg.src], proto::msgBytes(msg.type),
+             [this, m, src_router] { hop(m, src_router); });
+}
+
+void
+Network::hop(proto::Message msg, unsigned cur_router)
+{
+    unsigned dst_router = routerOf(msg.dest);
+    if (cur_router == dst_router) {
+        traverse(nodeLinksIn_[msg.dest], proto::msgBytes(msg.type),
+                 [this, msg] { land(msg); }, true);
+        return;
+    }
+    unsigned next = nextRouter(cur_router, dst_router);
+    traverse(linkBetween(cur_router, next), proto::msgBytes(msg.type),
+             [this, msg, next] { hop(msg, next); });
+}
+
+void
+Network::land(const proto::Message &msg)
+{
+    auto vnet = proto::vnetOf(msg.type);
+    landing_[static_cast<std::size_t>(msg.dest) * proto::numVnets + vnet]
+        .push_back(msg);
+    tryDeliver(msg.dest, vnet);
+}
+
+void
+Network::poke(NodeId node, std::uint8_t vnet)
+{
+    tryDeliver(node, vnet);
+}
+
+void
+Network::tryDeliver(NodeId node, std::uint8_t vnet)
+{
+    auto idx = static_cast<std::size_t>(node) * proto::numVnets + vnet;
+    auto &q = landing_[idx];
+    while (!q.empty()) {
+        SMTP_ASSERT(deliver_[node], "no NI attached to node %u", node);
+        if (!deliver_[node](q.front()))
+            break;
+        q.pop_front();
+        --inFlight_;
+    }
+    if (!q.empty() && !retryScheduled_[idx]) {
+        retryScheduled_[idx] = true;
+        eq_.scheduleIn(retryInterval, [this, node, vnet, idx] {
+            retryScheduled_[idx] = false;
+            tryDeliver(node, vnet);
+        });
+    }
+}
+
+} // namespace smtp

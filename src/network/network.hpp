@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Interconnection network: 2-way bristled hypercube of 6-port SGI
+ * Spider-style routers (paper Table 3).
+ *
+ * Two nodes attach to each router; routers form a hypercube routed
+ * e-cube (dimension order), which is deterministic and deadlock-free.
+ * Four virtual networks share each physical link; the coherence protocol
+ * uses three (request < forward < reply) so protocol-level dependences
+ * never cycle through a single buffer class.
+ *
+ * Modelling level: message-granularity virtual cut-through. Each
+ * unidirectional link serialises a message for size/bandwidth (1 GB/s)
+ * and adds the 25 ns hop time; link contention is modelled with
+ * busy-until reservations arbitrated FIFO in injection order. Endpoint
+ * back-pressure is real: the destination's NI input queue (2 entries per
+ * vnet) must accept a message before it leaves the network's landing
+ * buffer, and landing buffers drain per (destination, vnet) in FIFO
+ * order — which also guarantees the per-(src, dst, vnet) ordering the
+ * protocol's writeback races rely on.
+ */
+
+#ifndef SMTP_NETWORK_NETWORK_HPP
+#define SMTP_NETWORK_NETWORK_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+#include "sim/eventq.hpp"
+#include "sim/stats.hpp"
+
+namespace smtp
+{
+
+struct NetworkParams
+{
+    unsigned numNodes = 1;
+    Tick hopLatency = 25 * tickPerNs;     ///< Per-router hop time.
+    double linkBytesPerTick = 0.001;      ///< 1 GB/s = 1 byte/ns.
+    unsigned nodesPerRouter = 2;          ///< 2-way bristling.
+};
+
+class Network
+{
+  public:
+    /**
+     * Destination delivery hook: return true if the node's NI input
+     * queue accepted the message, false to leave it in the landing
+     * buffer (the network retries when poked or after a poll interval).
+     */
+    using DeliverFn = std::function<bool(const proto::Message &)>;
+
+    Network(EventQueue &eq, const NetworkParams &params);
+
+    void attach(NodeId node, DeliverFn fn);
+
+    /** Inject a message; source MC has already applied its own queuing. */
+    void inject(const proto::Message &msg);
+
+    /** Destination drained an NI queue; try the landing buffer again. */
+    void poke(NodeId node, std::uint8_t vnet);
+
+    /** Hop count between two nodes (0 for self). */
+    unsigned hopCount(NodeId a, NodeId b) const;
+
+    /** All landing buffers empty and no messages in flight? */
+    bool
+    quiescent() const
+    {
+        return inFlight_ == 0;
+    }
+
+    // Stats.
+    Counter msgsInjected;
+    Counter bytesInjected;
+    Distribution hopDist;
+
+  private:
+    struct Link
+    {
+        Tick busyUntil = 0;
+        Counter msgs;
+    };
+
+    unsigned routerOf(NodeId n) const { return n / params_.nodesPerRouter; }
+
+    /** Next router on the e-cube path from @p cur towards @p dst. */
+    unsigned nextRouter(unsigned cur, unsigned dst) const;
+
+    Link &linkBetween(unsigned r_from, unsigned r_to);
+    Link &nodeLink(NodeId n, bool inbound);
+
+    void hop(proto::Message msg, unsigned cur_router);
+    void land(const proto::Message &msg);
+    void tryDeliver(NodeId node, std::uint8_t vnet);
+
+    /** Traverse @p link: reserve bandwidth, schedule @p fn. */
+    void traverse(Link &link, unsigned bytes, EventQueue::Callback fn,
+                  bool final_hop = false);
+
+    EventQueue &eq_;
+    NetworkParams params_;
+    unsigned numRouters_;
+    unsigned dims_;
+    std::vector<DeliverFn> deliver_;
+    // links_[from * numRouters_ + to] for router-router links.
+    std::vector<Link> links_;
+    // Per-node attach links (to router and from router).
+    std::vector<Link> nodeLinksIn_;   // router -> node
+    std::vector<Link> nodeLinksOut_;  // node -> router
+    // Landing buffers: per (node, vnet) FIFO awaiting NI acceptance.
+    std::vector<std::deque<proto::Message>> landing_;
+    std::vector<bool> retryScheduled_;
+    std::uint64_t inFlight_ = 0;
+
+    static constexpr Tick retryInterval = 5 * tickPerNs;
+};
+
+} // namespace smtp
+
+#endif // SMTP_NETWORK_NETWORK_HPP

@@ -1,0 +1,141 @@
+#include "pengine.hpp"
+
+namespace smtp
+{
+
+using proto::POp;
+
+void
+PEngine::step()
+{
+    SMTP_ASSERT(ctx_ != nullptr, "step without a handler");
+    const auto &insts = ctx_->trace.insts;
+
+    while (idx_ < insts.size()) {
+        const proto::ExecInst &rec = insts[idx_];
+        const proto::PInst &inst = rec.inst;
+
+        // Instruction fetch: cold misses in the protocol I-cache stall.
+        Addr fetch_addr = proto::protoCodeBase + 4ULL * rec.pc;
+        if (icache_.find(fetch_addr) == nullptr) {
+            ++icacheMisses;
+            CacheLine *victim = icache_.victimFor(fetch_addr);
+            victim->addr = icache_.align(fetch_addr);
+            victim->state = LineState::Sh;
+            icache_.touch(victim);
+            std::size_t resume = idx_;
+            mc_->sdram().access(fetch_addr, params_.icacheLineBytes, false,
+                                [this, resume] {
+                                    time_ = std::max(
+                                        time_, clock_.nextEdge(
+                                                   eq_->curTick()));
+                                    SMTP_ASSERT(idx_ == resume,
+                                                "fetch resume skew");
+                                    step();
+                                });
+            return;
+        }
+
+        // Issue slot: pair with the previous instruction when legal.
+        bool paired = slotFree_ && idx_ > 0 &&
+                      pairable(insts[idx_ - 1].inst, inst);
+        if (paired) {
+            ++pairedIssues;
+            slotFree_ = false;
+        } else {
+            time_ += clock_.period();
+            slotFree_ = true;
+        }
+        ++instructions;
+
+        switch (inst.op) {
+          case POp::Ld:
+          case POp::St: {
+            if (!params_.perfectDcache) {
+                CacheLine *line = dcache_.find(rec.memAddr);
+                if (line == nullptr) {
+                    ++dcacheMisses;
+                    CacheLine *victim = dcache_.victimFor(rec.memAddr);
+                    if (victim->valid() &&
+                        victim->state == LineState::Mod) {
+                        ++dcacheWritebacks;
+                        mc_->sdram().access(victim->addr,
+                                            params_.dcacheLineBytes, true);
+                    }
+                    victim->addr = dcache_.align(rec.memAddr);
+                    victim->state = inst.op == POp::St ? LineState::Mod
+                                                       : LineState::Sh;
+                    dcache_.touch(victim);
+                    // Stall the engine until the line returns.
+                    ++idx_;
+                    slotFree_ = false;
+                    mc_->sdram().access(rec.memAddr,
+                                        params_.dcacheLineBytes, false,
+                                        [this] {
+                                            time_ = std::max(
+                                                time_,
+                                                clock_.nextEdge(
+                                                    eq_->curTick()));
+                                            step();
+                                        });
+                    return;
+                }
+                ++dcacheHits;
+                if (inst.op == POp::St)
+                    line->state = LineState::Mod;
+                dcache_.touch(line);
+            }
+            time_ += clock_.cyclesToTicks(params_.dcacheHit - 1);
+            slotFree_ = false;
+            break;
+          }
+          case POp::Beq:
+          case POp::Bne:
+          case POp::J:
+            if (rec.branchTaken) {
+                time_ += clock_.period(); // one bubble, no speculation
+                slotFree_ = false;
+            }
+            break;
+          case POp::Ldprobe:
+            if (ctx_->probeReady > time_) {
+                time_ = clock_.nextEdge(ctx_->probeReady);
+                slotFree_ = false;
+            }
+            break;
+          case POp::SendG: {
+            SMTP_ASSERT(rec.sendIdx >= 0, "SendG without a send record");
+            auto send_idx = static_cast<unsigned>(rec.sendIdx);
+            auto *ctx = ctx_;
+            if (time_ > eq_->curTick()) {
+                eq_->schedule(time_, [this, ctx, send_idx] {
+                    mc_->releaseSend(ctx, send_idx);
+                });
+            } else {
+                mc_->releaseSend(ctx, send_idx);
+            }
+            slotFree_ = false;
+            break;
+          }
+          default:
+            break;
+        }
+        ++idx_;
+    }
+
+    // Handler complete at `time_`; the engine stays busy until then.
+    ++handlers;
+    busyTicks_ += time_ - startTick_;
+    auto *ctx = ctx_;
+    if (time_ > eq_->curTick()) {
+        eq_->schedule(time_, [this, ctx] {
+            ctx_ = nullptr;
+            mc_->handlerDone(ctx);
+        });
+    } else {
+        ctx_ = nullptr;
+        mc_->handlerDone(ctx);
+    }
+}
+
+} // namespace smtp

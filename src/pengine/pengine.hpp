@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The embedded programmable protocol processor of the conventional
+ * machine models (paper Section 3): a dual-issue in-order sequencer in
+ * the style of the Stanford FLASH MAGIC / SGI Origin hub, executing the
+ * same handler image as the SMTp protocol thread.
+ *
+ * Timing model: statically scheduled dual issue — two consecutive
+ * instructions share a cycle when the second does not read the first's
+ * result, at most one memory operation and one control transfer issue
+ * per cycle, and taken branches cost one bubble (no speculation).
+ * Loads/stores access the directory data cache (direct-mapped,
+ * write-back; 512 KB, 64 KB, or perfect depending on the machine
+ * model); misses go to SDRAM and stall the engine. Instructions fetch
+ * through a 32 KB direct-mapped protocol instruction cache that only
+ * ever misses cold.
+ */
+
+#ifndef SMTP_PENGINE_PENGINE_HPP
+#define SMTP_PENGINE_PENGINE_HPP
+
+#include "cache/cache_array.hpp"
+#include "mem/agent.hpp"
+#include "mem/controller.hpp"
+#include "sim/clock.hpp"
+#include "sim/eventq.hpp"
+#include "sim/stats.hpp"
+
+namespace smtp
+{
+
+struct PEngineParams
+{
+    std::uint64_t freqMHz = 1000;
+    bool perfectDcache = false;
+    std::size_t dcacheBytes = 512 * 1024; ///< Direct mapped.
+    unsigned dcacheLineBytes = 32;
+    std::size_t icacheBytes = 32 * 1024;  ///< Direct mapped.
+    unsigned icacheLineBytes = 16;        ///< Four instructions.
+    Cycles dcacheHit = 1;
+};
+
+class PEngine : public ProtocolAgent
+{
+  public:
+    PEngine(EventQueue &eq, MemController &mc, const PEngineParams &params)
+        : eq_(&eq), mc_(&mc), params_(params), clock_(params.freqMHz),
+          dcache_(params.dcacheBytes, params.dcacheLineBytes, 1),
+          icache_(params.icacheBytes, params.icacheLineBytes, 1)
+    {
+        mc.setAgent(this);
+    }
+
+    bool canAccept() const override { return ctx_ == nullptr; }
+
+    void
+    start(TransactionCtx *ctx) override
+    {
+        SMTP_ASSERT(ctx_ == nullptr, "protocol processor already busy");
+        ctx_ = ctx;
+        idx_ = 0;
+        startTick_ = eq_->curTick();
+        // Handler issue begins on the next engine clock edge.
+        time_ = clock_.nextEdge(startTick_);
+        slotFree_ = false;
+        lastWasMem_ = false;
+        step();
+    }
+
+    Tick busyTicks() const override { return busyTicks_; }
+
+    // Stats.
+    Counter instructions, pairedIssues;
+    Counter dcacheHits, dcacheMisses, dcacheWritebacks;
+    Counter icacheMisses;
+    Counter handlers;
+
+  private:
+    void step();
+
+    /** True when @p cur can share @p prev's issue cycle. */
+    static bool
+    pairable(const proto::PInst &prev, const proto::PInst &cur)
+    {
+        using proto::POp;
+        // Structural: one memory op, one uncached op, one branch per
+        // cycle; a branch closes the issue window.
+        auto is_mem = [](const proto::PInst &i) {
+            return i.op == POp::Ld || i.op == POp::St;
+        };
+        auto is_special = [](const proto::PInst &i) {
+            return i.op == POp::SendH || i.op == POp::SendG ||
+                   i.op == POp::Switch || i.op == POp::Ldctxt ||
+                   i.op == POp::Ldprobe;
+        };
+        auto is_branch = [](const proto::PInst &i) {
+            return i.op == POp::Beq || i.op == POp::Bne || i.op == POp::J;
+        };
+        if (is_branch(prev))
+            return false;
+        if (is_mem(prev) && is_mem(cur))
+            return false;
+        if (is_special(prev) || is_special(cur))
+            return false;
+        // RAW: cur reads prev's destination.
+        bool prev_writes =
+            prev.op != POp::St && prev.op != POp::Nop && prev.rd != 0;
+        if (prev_writes && (cur.rs1 == prev.rd || cur.rs2 == prev.rd))
+            return false;
+        return true;
+    }
+
+    EventQueue *eq_;
+    MemController *mc_;
+    PEngineParams params_;
+    ClockDomain clock_;
+    CacheArray dcache_;
+    CacheArray icache_;
+
+    TransactionCtx *ctx_ = nullptr;
+    std::size_t idx_ = 0;
+    Tick startTick_ = 0;
+    Tick time_ = 0;
+    bool slotFree_ = false;
+    bool lastWasMem_ = false;
+    Tick busyTicks_ = 0;
+};
+
+} // namespace smtp
+
+#endif // SMTP_PENGINE_PENGINE_HPP

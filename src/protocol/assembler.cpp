@@ -1,0 +1,157 @@
+#include "assembler.hpp"
+
+#include <cstdio>
+
+namespace smtp::proto
+{
+
+HandlerImage
+Assembler::finish()
+{
+    for (const auto &fix : fixups_) {
+        std::uint32_t target = labels_[fix.labelId];
+        SMTP_ASSERT(target != unbound, "unresolved label in handler image");
+        image_.code[fix.pos].imm = target;
+    }
+    fixups_.clear();
+
+    // Every handler must be reachable and the image must end with an
+    // epilogue; per-handler epilogue checking happens structurally: the
+    // executor panics if it runs off the end of the code.
+    SMTP_ASSERT(!image_.code.empty(), "empty handler image");
+    return std::move(image_);
+}
+
+const char *
+popName(POp op)
+{
+    switch (op) {
+      case POp::Nop: return "nop";
+      case POp::Add: return "add";
+      case POp::Addi: return "addi";
+      case POp::Sub: return "sub";
+      case POp::And: return "and";
+      case POp::Andi: return "andi";
+      case POp::Or: return "or";
+      case POp::Ori: return "ori";
+      case POp::Xor: return "xor";
+      case POp::Xori: return "xori";
+      case POp::Sll: return "sll";
+      case POp::Srl: return "srl";
+      case POp::Sllv: return "sllv";
+      case POp::Srlv: return "srlv";
+      case POp::Sltu: return "sltu";
+      case POp::Sltiu: return "sltiu";
+      case POp::Popc: return "popc";
+      case POp::Ctz: return "ctz";
+      case POp::Lui: return "lui";
+      case POp::Ld: return "ld";
+      case POp::St: return "st";
+      case POp::Beq: return "beq";
+      case POp::Bne: return "bne";
+      case POp::J: return "j";
+      case POp::Dira: return "dira";
+      case POp::SendH: return "sendh";
+      case POp::SendG: return "sendg";
+      case POp::Switch: return "switch";
+      case POp::Ldctxt: return "ldctxt";
+      case POp::Ldprobe: return "ldprobe";
+    }
+    return "?";
+}
+
+std::string
+disassemble(const PInst &inst, std::uint32_t pc)
+{
+    char buf[128];
+    switch (inst.op) {
+      case POp::Ld:
+        std::snprintf(buf, sizeof(buf), "%4u: ld.%u   r%u, %lld(r%u)", pc,
+                      inst.memBytes, inst.rd,
+                      static_cast<long long>(inst.imm), inst.rs1);
+        break;
+      case POp::St:
+        std::snprintf(buf, sizeof(buf), "%4u: st.%u   r%u, %lld(r%u)", pc,
+                      inst.memBytes, inst.rs2,
+                      static_cast<long long>(inst.imm), inst.rs1);
+        break;
+      case POp::Beq:
+      case POp::Bne:
+        std::snprintf(buf, sizeof(buf), "%4u: %-6s r%u, r%u, @%lld", pc,
+                      popName(inst.op), inst.rs1, inst.rs2,
+                      static_cast<long long>(inst.imm));
+        break;
+      case POp::J:
+        std::snprintf(buf, sizeof(buf), "%4u: j      @%lld", pc,
+                      static_cast<long long>(inst.imm));
+        break;
+      case POp::SendG:
+        std::snprintf(buf, sizeof(buf), "%4u: sendg  %s data=%u tgt=%u "
+                      "dest=r%u", pc,
+                      std::string(msgTypeName(inst.sendType)).c_str(),
+                      static_cast<unsigned>(inst.dataSrc),
+                      static_cast<unsigned>(inst.target), inst.rs1);
+        break;
+      case POp::Addi:
+      case POp::Andi:
+      case POp::Ori:
+      case POp::Xori:
+      case POp::Sll:
+      case POp::Srl:
+      case POp::Sltiu:
+        std::snprintf(buf, sizeof(buf), "%4u: %-6s r%u, r%u, %lld", pc,
+                      popName(inst.op), inst.rd, inst.rs1,
+                      static_cast<long long>(inst.imm));
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%4u: %-6s r%u, r%u, r%u", pc,
+                      popName(inst.op), inst.rd, inst.rs1, inst.rs2);
+        break;
+    }
+    return buf;
+}
+
+std::string_view
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::PiGet: return "PiGet";
+      case MsgType::PiGetx: return "PiGetx";
+      case MsgType::PiUpgrade: return "PiUpgrade";
+      case MsgType::PiPut: return "PiPut";
+      case MsgType::PiPutClean: return "PiPutClean";
+      case MsgType::PiGetLocal: return "PiGetLocal";
+      case MsgType::PiGetxLocal: return "PiGetxLocal";
+      case MsgType::PiUpgradeLocal: return "PiUpgradeLocal";
+      case MsgType::PiPutLocal: return "PiPutLocal";
+      case MsgType::PiPutCleanLocal: return "PiPutCleanLocal";
+      case MsgType::ReqGet: return "ReqGet";
+      case MsgType::ReqGetx: return "ReqGetx";
+      case MsgType::ReqUpgrade: return "ReqUpgrade";
+      case MsgType::ReqPut: return "ReqPut";
+      case MsgType::ReqPutClean: return "ReqPutClean";
+      case MsgType::FwdIntervSh: return "FwdIntervSh";
+      case MsgType::FwdIntervEx: return "FwdIntervEx";
+      case MsgType::FwdInval: return "FwdInval";
+      case MsgType::RplDataSh: return "RplDataSh";
+      case MsgType::RplDataEx: return "RplDataEx";
+      case MsgType::RplUpgradeAck: return "RplUpgradeAck";
+      case MsgType::RplInvalAck: return "RplInvalAck";
+      case MsgType::RplNak: return "RplNak";
+      case MsgType::RplSharingWb: return "RplSharingWb";
+      case MsgType::RplOwnershipXfer: return "RplOwnershipXfer";
+      case MsgType::RplIntervMiss: return "RplIntervMiss";
+      case MsgType::RplWbAck: return "RplWbAck";
+      case MsgType::RplWbBusyAck: return "RplWbBusyAck";
+      case MsgType::CcFillSh: return "CcFillSh";
+      case MsgType::CcFillEx: return "CcFillEx";
+      case MsgType::CcUpgradeGrant: return "CcUpgradeGrant";
+      case MsgType::CcInval: return "CcInval";
+      case MsgType::CcIntervSh: return "CcIntervSh";
+      case MsgType::CcIntervEx: return "CcIntervEx";
+      case MsgType::NumTypes: break;
+    }
+    return "?";
+}
+
+} // namespace smtp::proto

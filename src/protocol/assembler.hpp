@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Two-pass assembler for protocol handler programs.
+ *
+ * Handlers are authored as C++ builder calls (the in-repo equivalent of
+ * the FLASH protocol compiler's output). Labels may be referenced before
+ * they are bound; `finish()` patches every branch and verifies that all
+ * labels resolved and every handler ends in the mandatory
+ * `switch; ldctxt` pair (paper Section 2.1).
+ */
+
+#ifndef SMTP_PROTOCOL_ASSEMBLER_HPP
+#define SMTP_PROTOCOL_ASSEMBLER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hpp"
+#include "protocol/isa.hpp"
+
+namespace smtp::proto
+{
+
+class Assembler
+{
+  public:
+    class Label
+    {
+        friend class Assembler;
+        explicit Label(std::uint32_t id) : id_(id) {}
+        std::uint32_t id_;
+    };
+
+    /** Create a fresh, unbound label. */
+    Label
+    label()
+    {
+        labels_.push_back(unbound);
+        return Label(static_cast<std::uint32_t>(labels_.size() - 1));
+    }
+
+    /** Bind @p l to the current position. */
+    void
+    bind(Label l)
+    {
+        SMTP_ASSERT(labels_[l.id_] == unbound, "label bound twice");
+        labels_[l.id_] = here();
+    }
+
+    /** Begin the handler for message type @p t at the current position. */
+    void
+    handler(MsgType t)
+    {
+        auto idx = static_cast<unsigned>(t);
+        SMTP_ASSERT(!image_.hasHandler[idx], "duplicate handler for %s",
+                    std::string(msgTypeName(t)).c_str());
+        image_.hasHandler[idx] = true;
+        image_.entry[idx] = here();
+    }
+
+    std::uint32_t
+    here() const
+    {
+        return static_cast<std::uint32_t>(image_.code.size());
+    }
+
+    // ---- ALU ----
+    void add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+    { emitRRR(POp::Add, rd, rs1, rs2); }
+    void sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+    { emitRRR(POp::Sub, rd, rs1, rs2); }
+    void and_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+    { emitRRR(POp::And, rd, rs1, rs2); }
+    void or_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+    { emitRRR(POp::Or, rd, rs1, rs2); }
+    void xor_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+    { emitRRR(POp::Xor, rd, rs1, rs2); }
+    void sllv(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+    { emitRRR(POp::Sllv, rd, rs1, rs2); }
+    void srlv(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+    { emitRRR(POp::Srlv, rd, rs1, rs2); }
+    void sltu(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+    { emitRRR(POp::Sltu, rd, rs1, rs2); }
+    void popc(std::uint8_t rd, std::uint8_t rs1)
+    { emitRRR(POp::Popc, rd, rs1, 0); }
+    void ctz(std::uint8_t rd, std::uint8_t rs1)
+    { emitRRR(POp::Ctz, rd, rs1, 0); }
+
+    void addi(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+    { emitRRI(POp::Addi, rd, rs1, imm); }
+    void andi(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+    { emitRRI(POp::Andi, rd, rs1, imm); }
+    void ori(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+    { emitRRI(POp::Ori, rd, rs1, imm); }
+    void xori(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+    { emitRRI(POp::Xori, rd, rs1, imm); }
+    void sll(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+    { emitRRI(POp::Sll, rd, rs1, imm); }
+    void srl(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+    { emitRRI(POp::Srl, rd, rs1, imm); }
+    void sltiu(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+    { emitRRI(POp::Sltiu, rd, rs1, imm); }
+
+    /** rd = imm (pseudo: addi rd, zero, imm; large via Lui+Ori in HW). */
+    void li(std::uint8_t rd, std::int64_t imm)
+    { emitRRI(POp::Addi, rd, preg::zero, imm); }
+    /** rd = rs (pseudo). */
+    void mov(std::uint8_t rd, std::uint8_t rs)
+    { emitRRR(POp::Add, rd, rs, preg::zero); }
+    void nop() { image_.code.emplace_back(); }
+
+    // ---- Memory (protocol data space) ----
+    void
+    ld(std::uint8_t rd, std::uint8_t rs1, std::int64_t off,
+       std::uint8_t bytes = 8)
+    {
+        PInst i;
+        i.op = POp::Ld;
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.imm = off;
+        i.memBytes = bytes;
+        image_.code.push_back(i);
+    }
+
+    void
+    st(std::uint8_t rs2, std::uint8_t rs1, std::int64_t off,
+       std::uint8_t bytes = 8)
+    {
+        PInst i;
+        i.op = POp::St;
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        i.imm = off;
+        i.memBytes = bytes;
+        image_.code.push_back(i);
+    }
+
+    // ---- Control ----
+    void
+    beq(std::uint8_t rs1, std::uint8_t rs2, Label l)
+    {
+        emitBranch(POp::Beq, rs1, rs2, l);
+    }
+
+    void
+    bne(std::uint8_t rs1, std::uint8_t rs2, Label l)
+    {
+        emitBranch(POp::Bne, rs1, rs2, l);
+    }
+
+    void
+    j(Label l)
+    {
+        emitBranch(POp::J, 0, 0, l);
+    }
+
+    // ---- Special ----
+    void
+    dira(std::uint8_t rd, std::uint8_t rs1)
+    {
+        emitRRR(POp::Dira, rd, rs1, 0);
+    }
+
+    /**
+     * The full `send` idiom: two uncached stores (paper Section 2.1).
+     * @param aux register holding the outgoing header auxiliary word
+     *            (requester/mshr/ackCount packed in header layout).
+     * @param dest register holding the destination node id (Network only).
+     */
+    void
+    send(MsgType type, DataSrc src, SendTarget target,
+         std::uint8_t dest = preg::zero, std::uint8_t aux = preg::zero,
+         bool to_home = false, bool delayed = false)
+    {
+        PInst h;
+        h.op = POp::SendH;
+        h.rs2 = aux;
+        image_.code.push_back(h);
+
+        PInst g;
+        g.op = POp::SendG;
+        g.rs1 = dest;
+        g.sendType = type;
+        g.dataSrc = src;
+        g.target = target;
+        g.toHome = to_home;
+        g.delayed = delayed;
+        image_.code.push_back(g);
+    }
+
+    /** send() routed to home(addr) by the network interface. */
+    void
+    sendHome(MsgType type, DataSrc src, std::uint8_t aux = preg::zero,
+             bool delayed = false)
+    {
+        send(type, src, SendTarget::Network, preg::zero, aux, true, delayed);
+    }
+
+    /** Mandatory handler epilogue: switch (header) + ldctxt (address). */
+    void
+    epilogue()
+    {
+        PInst sw;
+        sw.op = POp::Switch;
+        sw.rd = preg::hdr;
+        image_.code.push_back(sw);
+
+        PInst lc;
+        lc.op = POp::Ldctxt;
+        lc.rd = preg::addr;
+        image_.code.push_back(lc);
+    }
+
+    void
+    ldprobe(std::uint8_t rd)
+    {
+        PInst i;
+        i.op = POp::Ldprobe;
+        i.rd = rd;
+        image_.code.push_back(i);
+    }
+
+    /** Resolve labels and hand over the finished image. */
+    HandlerImage finish();
+
+  private:
+    static constexpr std::uint32_t unbound = 0xffffffff;
+
+    void
+    emitRRR(POp op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
+    {
+        PInst i;
+        i.op = op;
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        image_.code.push_back(i);
+    }
+
+    void
+    emitRRI(POp op, std::uint8_t rd, std::uint8_t rs1, std::int64_t imm)
+    {
+        PInst i;
+        i.op = op;
+        i.rd = rd;
+        i.rs1 = rs1;
+        i.imm = imm;
+        image_.code.push_back(i);
+    }
+
+    void
+    emitBranch(POp op, std::uint8_t rs1, std::uint8_t rs2, Label l)
+    {
+        PInst i;
+        i.op = op;
+        i.rs1 = rs1;
+        i.rs2 = rs2;
+        i.imm = -1;
+        image_.code.push_back(i);
+        fixups_.push_back({here() - 1, l.id_});
+    }
+
+    struct Fixup
+    {
+        std::uint32_t pos;
+        std::uint32_t labelId;
+    };
+
+    HandlerImage image_;
+    std::vector<std::uint32_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace smtp::proto
+
+#endif // SMTP_PROTOCOL_ASSEMBLER_HPP

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Directory entry encoding.
+ *
+ * One entry per 128-byte coherence line, held in the home node's memory:
+ * 32 bits wide up to 16 nodes and 64 bits at 32 nodes (paper Section 3).
+ * The entry packs the stable state, the sharer bitvector (which doubles
+ * as the owner id when Exclusive), and — while a transaction is in
+ * flight — the pending requester and its MSHR id so the home can answer
+ * when the owner's revision message arrives.
+ *
+ * Protocol handlers manipulate entries with plain ALU instructions; this
+ * header is the single source of truth for the field layout, consumed
+ * both by the handler assembler (as immediates) and by tests.
+ */
+
+#ifndef SMTP_PROTOCOL_DIRECTORY_HPP
+#define SMTP_PROTOCOL_DIRECTORY_HPP
+
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace smtp::proto
+{
+
+/** Directory states (3-bit field). */
+enum DirState : std::uint8_t
+{
+    dirUnowned = 0,
+    dirShared = 1,
+    dirExclusive = 2,
+    /** Intervention-shared outstanding; waiting for SharingWb. */
+    dirBusySh = 3,
+    /** Intervention-exclusive outstanding; waiting for OwnershipXfer. */
+    dirBusyEx = 4,
+    /** Owner evicted (IntervMiss seen); waiting for the racing Put. */
+    dirBusyShWaitPut = 5,
+    dirBusyExWaitPut = 6,
+};
+
+/**
+ * Field layout for one directory entry format. Everything the handler
+ * programs need is expressed through these shifts/masks so the same
+ * handler source assembles for both the 16-node (32-bit) and 32-node
+ * (64-bit) formats.
+ */
+struct DirFormat
+{
+    unsigned entryBytes;     ///< 4 (<=16 nodes) or 8 (32 nodes).
+    unsigned vectorBits;     ///< Sharer bitvector width (16 or 32).
+    unsigned stateShift;     ///< Always 0, 3 bits.
+    unsigned staleShift;     ///< 1 bit: intervention still in flight.
+    unsigned vectorShift;
+    unsigned reqShift;       ///< Pending requester node id.
+    unsigned reqBits;
+    unsigned mshrShift;      ///< Pending requester MSHR id (5 bits).
+    unsigned pendGetxShift;  ///< 1 bit: pending transaction wants Exclusive.
+
+    static constexpr DirFormat
+    forNodes(unsigned nodes)
+    {
+        if (nodes <= 16) {
+            // 32-bit entry: [2:0] state [3] stale [19:4] vector
+            //               [23:20] req [28:24] mshr [29] pendGetx
+            return DirFormat{4, 16, 0, 3, 4, 20, 4, 24, 29};
+        }
+        // 64-bit entry: [2:0] state [3] stale [35:4] vector
+        //               [43:36] req [48:44] mshr [49] pendGetx
+        return DirFormat{8, 32, 0, 3, 4, 36, 8, 44, 49};
+    }
+
+    std::uint64_t
+    stateMask() const
+    {
+        return 0x7ULL << stateShift;
+    }
+
+    std::uint64_t
+    vectorMask() const
+    {
+        return ((vectorBits >= 64 ? ~0ULL : (1ULL << vectorBits) - 1))
+               << vectorShift;
+    }
+
+    DirState
+    state(std::uint64_t e) const
+    {
+        return static_cast<DirState>(bits(e, stateShift + 2, stateShift));
+    }
+
+    std::uint64_t
+    setState(std::uint64_t e, DirState s) const
+    {
+        return insertBits(e, stateShift + 2, stateShift, s);
+    }
+
+    std::uint64_t
+    vector(std::uint64_t e) const
+    {
+        return bits(e, vectorShift + vectorBits - 1, vectorShift);
+    }
+
+    std::uint64_t
+    setVector(std::uint64_t e, std::uint64_t v) const
+    {
+        return insertBits(e, vectorShift + vectorBits - 1, vectorShift, v);
+    }
+
+    /** Owner id when state is Exclusive (vector holds 1 << owner). */
+    NodeId
+    owner(std::uint64_t e) const
+    {
+        return static_cast<NodeId>(countTrailingZeros(vector(e)));
+    }
+
+    bool stale(std::uint64_t e) const { return bits(e, staleShift,
+                                                    staleShift); }
+
+    std::uint64_t
+    setStale(std::uint64_t e, bool v) const
+    {
+        return insertBits(e, staleShift, staleShift, v);
+    }
+
+    NodeId
+    pendingReq(std::uint64_t e) const
+    {
+        return static_cast<NodeId>(bits(e, reqShift + reqBits - 1, reqShift));
+    }
+
+    std::uint64_t
+    setPendingReq(std::uint64_t e, NodeId n) const
+    {
+        return insertBits(e, reqShift + reqBits - 1, reqShift, n);
+    }
+
+    std::uint8_t
+    pendingMshr(std::uint64_t e) const
+    {
+        return static_cast<std::uint8_t>(bits(e, mshrShift + 4, mshrShift));
+    }
+
+    std::uint64_t
+    setPendingMshr(std::uint64_t e, std::uint8_t m) const
+    {
+        return insertBits(e, mshrShift + 4, mshrShift, m);
+    }
+
+    bool
+    pendingGetx(std::uint64_t e) const
+    {
+        return bits(e, pendGetxShift, pendGetxShift);
+    }
+
+    std::uint64_t
+    setPendingGetx(std::uint64_t e, bool v) const
+    {
+        return insertBits(e, pendGetxShift, pendGetxShift, v);
+    }
+};
+
+/**
+ * Requester-side pending-transaction table entry layout. One 32-byte
+ * entry per MSHR, living in the node's protocol data region and updated
+ * by the reply handlers (this is the data structure whose cache
+ * behaviour the paper's Section 4 discusses as "L1 data cache
+ * pollution").
+ *
+ * word 0: [0] valid  [7:1] spare  [15:8] original request type
+ *         [31:16] acks expected  [47:32] acks received
+ *         [48] data arrived      [49] exclusive grant
+ * word 1: line address
+ * word 2: retry count
+ */
+namespace pend
+{
+constexpr unsigned entryBytes = 32;
+constexpr unsigned validShift = 0;
+constexpr unsigned typeShift = 8;
+constexpr unsigned acksExpShift = 16;
+constexpr unsigned acksRcvShift = 32;
+constexpr unsigned dataShift = 48;
+constexpr unsigned exclShift = 49;
+} // namespace pend
+
+/** Node-local protocol address regions (unmapped physical space). */
+constexpr Addr protoRegionBase = 0xF000'0000'0000ULL;
+constexpr Addr protoDirBase = 0xF100'0000'0000ULL;
+constexpr Addr protoPendBase = 0xF200'0000'0000ULL;
+constexpr Addr protoScratchBase = 0xF300'0000'0000ULL;
+constexpr Addr protoCodeBase = 0xF400'0000'0000ULL;
+constexpr Addr protoNodeStride = 1ULL << 32;
+
+constexpr bool
+isProtocolAddr(Addr a)
+{
+    return a >= protoRegionBase;
+}
+
+constexpr Addr
+pendEntryAddr(NodeId node, std::uint8_t mshr)
+{
+    return protoPendBase + static_cast<Addr>(node) * protoNodeStride +
+           static_cast<Addr>(mshr) * pend::entryBytes;
+}
+
+} // namespace smtp::proto
+
+#endif // SMTP_PROTOCOL_DIRECTORY_HPP

@@ -1,0 +1,190 @@
+#include "executor.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace smtp::proto
+{
+
+void
+Executor::boot(NodeId self)
+{
+    self_ = self;
+    for (auto &r : regs_)
+        r = 0;
+    regs_[preg::nodeId] = self;
+    regs_[preg::nodeBit] = 1ULL << self;
+    regs_[preg::pendBase] = pendEntryAddr(self, 0);
+    regs_[preg::scratchBase] =
+        protoScratchBase + static_cast<Addr>(self) * protoNodeStride;
+    regs_[preg::one] = 1;
+    regs_[preg::lineMask] = ~static_cast<std::uint64_t>(l2LineBytes - 1);
+}
+
+HandlerTrace
+Executor::run(const Message &m)
+{
+    SMTP_ASSERT(self_ != invalidNode, "executor not booted");
+    auto type_idx = static_cast<unsigned>(m.type);
+    SMTP_ASSERT(image_->hasHandler[type_idx], "no handler for %s",
+                std::string(msgTypeName(m.type)).c_str());
+
+    // The switch/ldctxt of the previous handler architecturally load the
+    // new header and address; modelled by seeding the registers here.
+    regs_[preg::hdr] = packHeader(m);
+    regs_[preg::addr] = m.addr;
+
+    HandlerTrace trace;
+    std::uint64_t staged_aux = 0;
+    std::uint32_t pc = image_->entry[type_idx];
+    bool done = false;
+
+    for (unsigned step = 0; !done; ++step) {
+        SMTP_ASSERT(step < maxSteps, "runaway handler for %s at pc %u",
+                    std::string(msgTypeName(m.type)).c_str(), pc);
+        SMTP_ASSERT(pc < image_->code.size(),
+                    "handler ran off the end of the image");
+
+        const PInst &inst = image_->code[pc];
+        ExecInst rec;
+        rec.pc = pc;
+        rec.inst = inst;
+        std::uint32_t next_pc = pc + 1;
+
+        auto rs1 = regs_[inst.rs1];
+        auto rs2 = regs_[inst.rs2];
+        std::uint64_t result = 0;
+        bool write_rd = false;
+
+        switch (inst.op) {
+          case POp::Nop:
+            break;
+          case POp::Add: result = rs1 + rs2; write_rd = true; break;
+          case POp::Sub: result = rs1 - rs2; write_rd = true; break;
+          case POp::And: result = rs1 & rs2; write_rd = true; break;
+          case POp::Or: result = rs1 | rs2; write_rd = true; break;
+          case POp::Xor: result = rs1 ^ rs2; write_rd = true; break;
+          case POp::Sllv: result = rs1 << (rs2 & 63); write_rd = true; break;
+          case POp::Srlv: result = rs1 >> (rs2 & 63); write_rd = true; break;
+          case POp::Sltu: result = rs1 < rs2; write_rd = true; break;
+          case POp::Popc: result = popCount(rs1); write_rd = true; break;
+          case POp::Ctz:
+            result = countTrailingZeros(rs1);
+            write_rd = true;
+            break;
+          case POp::Addi:
+            result = rs1 + static_cast<std::uint64_t>(inst.imm);
+            write_rd = true;
+            break;
+          case POp::Andi:
+            result = rs1 & static_cast<std::uint64_t>(inst.imm);
+            write_rd = true;
+            break;
+          case POp::Ori:
+            result = rs1 | static_cast<std::uint64_t>(inst.imm);
+            write_rd = true;
+            break;
+          case POp::Xori:
+            result = rs1 ^ static_cast<std::uint64_t>(inst.imm);
+            write_rd = true;
+            break;
+          case POp::Sll:
+            result = rs1 << (inst.imm & 63);
+            write_rd = true;
+            break;
+          case POp::Srl:
+            result = rs1 >> (inst.imm & 63);
+            write_rd = true;
+            break;
+          case POp::Sltiu:
+            result = rs1 < static_cast<std::uint64_t>(inst.imm);
+            write_rd = true;
+            break;
+          case POp::Lui:
+            result = static_cast<std::uint64_t>(inst.imm) << 32;
+            write_rd = true;
+            break;
+          case POp::Ld:
+            rec.memAddr = rs1 + static_cast<std::uint64_t>(inst.imm);
+            result = env_->protoLoad(rec.memAddr, inst.memBytes);
+            write_rd = true;
+            break;
+          case POp::St:
+            rec.memAddr = rs1 + static_cast<std::uint64_t>(inst.imm);
+            env_->protoStore(rec.memAddr, rs2, inst.memBytes);
+            break;
+          case POp::Beq:
+            rec.branchTaken = rs1 == rs2;
+            if (rec.branchTaken)
+                next_pc = static_cast<std::uint32_t>(inst.imm);
+            break;
+          case POp::Bne:
+            rec.branchTaken = rs1 != rs2;
+            if (rec.branchTaken)
+                next_pc = static_cast<std::uint32_t>(inst.imm);
+            break;
+          case POp::J:
+            rec.branchTaken = true;
+            next_pc = static_cast<std::uint32_t>(inst.imm);
+            break;
+          case POp::Dira:
+            result = env_->dirAddrOf(rs1);
+            write_rd = true;
+            break;
+          case POp::SendH:
+            staged_aux = rs2;
+            break;
+          case POp::SendG: {
+            SendRec send;
+            send.dataSrc = inst.dataSrc;
+            send.target = inst.target;
+            send.delayed = inst.delayed;
+            Message &out = send.msg;
+            out.type = inst.sendType;
+            out.addr = regs_[preg::addr];
+            out.src = self_;
+            // Decode the staged aux word using the header layout.
+            out.requester = static_cast<NodeId>(
+                bits(staged_aux, headerRequesterShift + 7,
+                     headerRequesterShift));
+            out.mshr = static_cast<std::uint8_t>(
+                bits(staged_aux, headerMshrShift + 7, headerMshrShift));
+            out.ackCount = static_cast<std::uint16_t>(
+                bits(staged_aux, headerAckShift + 15, headerAckShift));
+            if (typeCarriesData(inst.sendType))
+                out.flags |= flagDataCarried;
+            if (inst.target == SendTarget::Network) {
+                out.dest = inst.toHome
+                               ? env_->homeOf(out.addr)
+                               : static_cast<NodeId>(rs1 & 0xff);
+            } else {
+                out.dest = self_;
+            }
+            rec.sendIdx = static_cast<std::int32_t>(trace.sends.size());
+            trace.sends.push_back(send);
+            break;
+          }
+          case POp::Switch:
+            // Header of the *next* request; value filled at next run().
+            break;
+          case POp::Ldctxt:
+            done = true;
+            break;
+          case POp::Ldprobe:
+            result = env_->probeResult();
+            write_rd = true;
+            trace.usedProbe = true;
+            break;
+        }
+
+        if (write_rd && inst.rd != preg::zero)
+            regs_[inst.rd] = result;
+
+        trace.insts.push_back(rec);
+        pc = next_pc;
+    }
+
+    return trace;
+}
+
+} // namespace smtp::proto

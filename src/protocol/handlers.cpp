@@ -1,0 +1,806 @@
+#include "handlers.hpp"
+
+#include "protocol/assembler.hpp"
+#include "protocol/message.hpp"
+
+namespace smtp::proto
+{
+
+namespace
+{
+
+/** Handler-local register conventions beyond preg::t*. */
+constexpr std::uint8_t rq = 13;   ///< Requester node id.
+constexpr std::uint8_t rm = 14;   ///< Requester MSHR id.
+constexpr std::uint8_t rde = 15;  ///< Directory entry address.
+constexpr std::uint8_t ren = 16;  ///< Directory entry value.
+constexpr std::uint8_t rst = 17;  ///< Directory state field.
+constexpr std::uint8_t raux = 18; ///< Composed outgoing aux header.
+
+constexpr std::int64_t
+ord(MsgType t)
+{
+    return static_cast<std::int64_t>(t);
+}
+
+} // namespace
+
+HandlerImage
+buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
+{
+    using namespace preg;
+    Assembler a;
+
+    const std::int64_t state_mask = 0x7;
+    const std::int64_t stale_bit = 1LL << fmt.staleShift;
+    const std::int64_t vec_mask =
+        static_cast<std::int64_t>((fmt.vectorBits >= 64)
+                                      ? ~0ULL
+                                      : (1ULL << fmt.vectorBits) - 1);
+    const std::int64_t vec_mask_shifted = vec_mask << fmt.vectorShift;
+    const std::int64_t req_mask = (1LL << fmt.reqBits) - 1;
+
+    // Shared home-side entry points (bound below).
+    auto h_get = a.label();
+    auto h_getx = a.label();
+    auto h_upg = a.label();
+    auto h_put = a.label();
+    auto h_putclean = a.label();
+
+    // Emit "rq/rm <- header requester/mshr fields".
+    auto decode_req_mshr = [&] {
+        a.srl(rq, hdr, headerRequesterShift);
+        a.andi(rq, rq, 0xff);
+        a.srl(rm, hdr, headerMshrShift);
+        a.andi(rm, rm, 0xff);
+    };
+
+    // Emit "raux <- rq<<16 | rm<<24".
+    auto compose_aux = [&] {
+        a.sll(raux, rq, headerRequesterShift);
+        a.sll(t0, rm, headerMshrShift);
+        a.or_(raux, raux, t0);
+    };
+
+    // Emit "t9 <- pending entry address for mshr in rm".
+    auto pend_addr_t9 = [&] {
+        a.sll(t9, rm, 5);
+        a.add(t9, pendBase, t9);
+    };
+
+    // Emit "load directory entry: rde <- addr's entry addr, ren <- value,
+    //       rst <- state field".
+    auto load_dir = [&] {
+        a.dira(rde, addr);
+        a.ld(ren, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.andi(rst, ren, state_mask);
+    };
+
+    // Record an impossible-case header in scratch space; the controller
+    // checks this word after every handler and panics on protocol bugs.
+    auto record_error = [&] {
+        a.st(hdr, scratchBase, protoErrorOffset);
+        a.epilogue();
+    };
+
+    // ReVive-style extension: append the line address to the per-node
+    // ownership log ring whenever exclusive ownership is granted.
+    // Demonstrates protocol-thread programmability (paper Section 6);
+    // clobbers t0/t1 only.
+    auto log_ownership = [&] {
+        if (!opts.ownershipLog)
+            return;
+        a.ld(t0, scratchBase, ownLogCountOffset);
+        a.andi(t1, t0, ownLogEntries - 1);
+        a.sll(t1, t1, 3);
+        a.add(t1, scratchBase, t1);
+        a.st(addr, t1, ownLogBaseOffset);
+        a.addi(t0, t0, 1);
+        a.st(t0, scratchBase, ownLogCountOffset);
+    };
+
+    // ================= Processor-interface request handlers =============
+    //
+    // The dispatch unit indexes separate handlers for locally- and
+    // remotely-homed requests (FLASH-style dispatch tables), so the
+    // common paths are branch-light and predict well (paper Table 8).
+
+    // Remote variant: allocate the pending entry, ship to the home.
+    auto pi_remote = [&](MsgType pi_type, MsgType req_type) {
+        a.handler(pi_type);
+        decode_req_mshr();   // LMI composes requester=self, mshr.
+        pend_addr_t9();
+        a.li(t1, 1 | (ord(req_type) << pend::typeShift));
+        a.st(t1, t9, 0);
+        a.st(addr, t9, 8);
+        a.st(zero, t9, 16);
+        compose_aux();
+        a.sendHome(req_type, DataSrc::None, raux);
+        a.epilogue();
+    };
+    // Local variant: allocate the pending entry (NAK retries and local
+    // exclusive grants with remote sharers need it), then fall straight
+    // into the home-side code.
+    auto pi_local = [&](MsgType pi_type, MsgType req_type,
+                        Assembler::Label home_label) {
+        a.handler(pi_type);
+        decode_req_mshr();
+        pend_addr_t9();
+        a.li(t1, 1 | (ord(req_type) << pend::typeShift));
+        a.st(t1, t9, 0);
+        a.st(addr, t9, 8);
+        a.st(zero, t9, 16);
+        a.j(home_label);
+    };
+
+    pi_remote(MsgType::PiGet, MsgType::ReqGet);
+    pi_remote(MsgType::PiGetx, MsgType::ReqGetx);
+    pi_remote(MsgType::PiUpgrade, MsgType::ReqUpgrade);
+    pi_local(MsgType::PiGetLocal, MsgType::ReqGet, h_get);
+    pi_local(MsgType::PiGetxLocal, MsgType::ReqGetx, h_getx);
+    pi_local(MsgType::PiUpgradeLocal, MsgType::ReqUpgrade, h_upg);
+
+    // Writebacks: fire-and-forget, no pending entry.
+    a.handler(MsgType::PiPut);
+    {
+        a.sendHome(MsgType::ReqPut, DataSrc::Carried);
+        a.epilogue();
+    }
+    a.handler(MsgType::PiPutClean);
+    {
+        a.sendHome(MsgType::ReqPutClean, DataSrc::None);
+        a.epilogue();
+    }
+    a.handler(MsgType::PiPutLocal);
+    {
+        a.j(h_put);
+    }
+    a.handler(MsgType::PiPutCleanLocal);
+    {
+        a.j(h_putclean);
+    }
+
+    // ======================= Home-side GET =============================
+
+    a.handler(MsgType::ReqGet);
+    decode_req_mshr();
+    a.bind(h_get);
+    {
+        auto nak = a.label();
+        auto unowned = a.label();
+        auto shared = a.label();
+        auto excl = a.label();
+        auto un_self = a.label();
+        auto sh_self = a.label();
+
+        load_dir();
+        compose_aux();
+        a.andi(t1, ren, stale_bit);
+        a.bne(t1, zero, nak);
+        a.beq(rst, zero, unowned);
+        a.li(t1, dirShared);
+        a.beq(rst, t1, shared);
+        a.li(t1, dirExclusive);
+        a.beq(rst, t1, excl);
+
+        a.bind(nak); // Busy or stale: requester retries.
+        a.send(MsgType::RplNak, DataSrc::None, SendTarget::Network, rq, raux);
+        a.epilogue();
+
+        a.bind(unowned); // Eager-exclusive grant.
+        a.sllv(t0, one, rq);
+        a.sll(t0, t0, fmt.vectorShift);
+        a.ori(t0, t0, dirExclusive);
+        a.st(t0, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        log_ownership();
+        a.beq(rq, nodeId, un_self);
+        a.send(MsgType::RplDataEx, DataSrc::Memory, SendTarget::Network,
+               rq, raux);
+        a.epilogue();
+        a.bind(un_self);
+        pend_addr_t9();
+        a.st(zero, t9, 0);
+        a.send(MsgType::CcFillEx, DataSrc::Memory, SendTarget::Local,
+               zero, raux);
+        a.epilogue();
+
+        a.bind(shared); // Add sharer.
+        a.sllv(t0, one, rq);
+        a.sll(t0, t0, fmt.vectorShift);
+        a.or_(t0, ren, t0);
+        a.st(t0, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.beq(rq, nodeId, sh_self);
+        a.send(MsgType::RplDataSh, DataSrc::Memory, SendTarget::Network,
+               rq, raux);
+        a.epilogue();
+        a.bind(sh_self);
+        pend_addr_t9();
+        a.st(zero, t9, 0);
+        a.send(MsgType::CcFillSh, DataSrc::Memory, SendTarget::Local,
+               zero, raux);
+        a.epilogue();
+
+        a.bind(excl); // Intervene at the owner.
+        a.srl(t0, ren, fmt.vectorShift);
+        a.andi(t0, t0, vec_mask);
+        a.ctz(t2, t0); // owner id
+        a.beq(t2, rq, nak); // Request from the listed owner: stale; retry.
+        a.li(t3, vec_mask_shifted);
+        a.and_(t3, ren, t3);
+        a.ori(t3, t3, dirBusySh);
+        a.sll(t4, rq, fmt.reqShift);
+        a.or_(t3, t3, t4);
+        a.sll(t4, rm, fmt.mshrShift);
+        a.or_(t3, t3, t4);
+        a.st(t3, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.send(MsgType::FwdIntervSh, DataSrc::None, SendTarget::Network,
+               t2, raux);
+        a.epilogue();
+    }
+
+    // ======================= Home-side GETX ============================
+
+    a.handler(MsgType::ReqGetx);
+    decode_req_mshr();
+    a.bind(h_getx);
+    {
+        auto nak = a.label();
+        auto unowned = a.label();
+        auto shared = a.label();
+        auto excl = a.label();
+        auto un_self = a.label();
+        auto inv_loop = a.label();
+        auto reply = a.label();
+        auto self_reply = a.label();
+        auto self_done = a.label();
+
+        load_dir();
+        compose_aux();
+        a.andi(t1, ren, stale_bit);
+        a.bne(t1, zero, nak);
+        a.beq(rst, zero, unowned);
+        a.li(t1, dirShared);
+        a.beq(rst, t1, shared);
+        a.li(t1, dirExclusive);
+        a.beq(rst, t1, excl);
+
+        a.bind(nak);
+        a.send(MsgType::RplNak, DataSrc::None, SendTarget::Network, rq, raux);
+        a.epilogue();
+
+        a.bind(unowned);
+        a.sllv(t0, one, rq);
+        a.sll(t0, t0, fmt.vectorShift);
+        a.ori(t0, t0, dirExclusive);
+        a.st(t0, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        log_ownership();
+        a.beq(rq, nodeId, un_self);
+        a.send(MsgType::RplDataEx, DataSrc::Memory, SendTarget::Network,
+               rq, raux);
+        a.epilogue();
+        a.bind(un_self);
+        pend_addr_t9();
+        a.st(zero, t9, 0);
+        a.send(MsgType::CcFillEx, DataSrc::Memory, SendTarget::Local,
+               zero, raux);
+        a.epilogue();
+
+        a.bind(shared);
+        a.sllv(t0, one, rq);              // requester bit (unshifted)
+        a.srl(t1, ren, fmt.vectorShift);
+        a.andi(t1, t1, vec_mask);         // current sharers
+        a.xori(t2, t0, -1);
+        a.and_(t1, t1, t2);               // others = sharers & ~rqbit
+        a.popc(t4, t1);                   // invalidation count
+        a.sll(t5, t0, fmt.vectorShift);
+        a.ori(t5, t5, dirExclusive);
+        a.st(t5, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        log_ownership();
+        a.bind(inv_loop);
+        a.beq(t1, zero, reply);
+        a.ctz(t6, t1);
+        a.send(MsgType::FwdInval, DataSrc::None, SendTarget::Network,
+               t6, raux);
+        a.addi(t7, t1, -1);
+        a.and_(t1, t1, t7);
+        a.j(inv_loop);
+        a.bind(reply);
+        a.beq(rq, nodeId, self_reply);
+        a.sll(t7, t4, headerAckShift);
+        a.or_(t7, raux, t7);
+        a.send(MsgType::RplDataEx, DataSrc::Memory, SendTarget::Network,
+               rq, t7);
+        a.epilogue();
+        a.bind(self_reply);
+        a.beq(t4, zero, self_done);
+        // Park: pending <- valid | Getx | acksExpected | data | excl.
+        a.li(t8, 1 | (ord(MsgType::ReqGetx) << pend::typeShift) |
+                     (1LL << pend::dataShift) | (1LL << pend::exclShift));
+        a.sll(t7, t4, pend::acksExpShift);
+        a.or_(t8, t8, t7);
+        pend_addr_t9();
+        a.st(t8, t9, 0);
+        a.epilogue();
+        a.bind(self_done);
+        pend_addr_t9();
+        a.st(zero, t9, 0);
+        a.send(MsgType::CcFillEx, DataSrc::Memory, SendTarget::Local,
+               zero, raux);
+        a.epilogue();
+
+        a.bind(excl);
+        a.srl(t0, ren, fmt.vectorShift);
+        a.andi(t0, t0, vec_mask);
+        a.ctz(t2, t0);
+        a.beq(t2, rq, nak);
+        a.li(t3, vec_mask_shifted);
+        a.and_(t3, ren, t3);
+        a.ori(t3, t3, dirBusyEx);
+        a.sll(t4, rq, fmt.reqShift);
+        a.or_(t3, t3, t4);
+        a.sll(t4, rm, fmt.mshrShift);
+        a.or_(t3, t3, t4);
+        a.li(t4, 1LL << fmt.pendGetxShift);
+        a.or_(t3, t3, t4);
+        a.st(t3, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.send(MsgType::FwdIntervEx, DataSrc::None, SendTarget::Network,
+               t2, raux);
+        a.epilogue();
+    }
+
+    // ====================== Home-side UPGRADE ==========================
+
+    a.handler(MsgType::ReqUpgrade);
+    decode_req_mshr();
+    a.bind(h_upg);
+    {
+        auto nak = a.label();
+        auto shared = a.label();
+        auto inv_loop = a.label();
+        auto reply = a.label();
+        auto self_reply = a.label();
+        auto self_done = a.label();
+
+        load_dir();
+        compose_aux();
+        a.andi(t1, ren, stale_bit);
+        a.bne(t1, zero, nak);
+        a.li(t1, dirShared);
+        a.beq(rst, t1, shared);
+
+        a.bind(nak); // Not Shared (or stale): requester retries as GETX.
+        a.send(MsgType::RplNak, DataSrc::None, SendTarget::Network, rq, raux);
+        a.epilogue();
+
+        a.bind(shared);
+        a.sllv(t0, one, rq);
+        a.srl(t1, ren, fmt.vectorShift);
+        a.andi(t1, t1, vec_mask);
+        a.and_(t2, t1, t0);
+        a.beq(t2, zero, nak); // Requester no longer a sharer: retry as GETX.
+        a.xori(t2, t0, -1);
+        a.and_(t1, t1, t2);   // others
+        a.popc(t4, t1);
+        a.sll(t5, t0, fmt.vectorShift);
+        a.ori(t5, t5, dirExclusive);
+        a.st(t5, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.bind(inv_loop);
+        a.beq(t1, zero, reply);
+        a.ctz(t6, t1);
+        a.send(MsgType::FwdInval, DataSrc::None, SendTarget::Network,
+               t6, raux);
+        a.addi(t7, t1, -1);
+        a.and_(t1, t1, t7);
+        a.j(inv_loop);
+        a.bind(reply);
+        a.beq(rq, nodeId, self_reply);
+        a.sll(t7, t4, headerAckShift);
+        a.or_(t7, raux, t7);
+        a.send(MsgType::RplUpgradeAck, DataSrc::None, SendTarget::Network,
+               rq, t7);
+        a.epilogue();
+        a.bind(self_reply);
+        a.beq(t4, zero, self_done);
+        a.li(t8, 1 | (ord(MsgType::ReqUpgrade) << pend::typeShift) |
+                     (1LL << pend::dataShift) | (1LL << pend::exclShift));
+        a.sll(t7, t4, pend::acksExpShift);
+        a.or_(t8, t8, t7);
+        pend_addr_t9();
+        a.st(t8, t9, 0);
+        a.epilogue();
+        a.bind(self_done);
+        pend_addr_t9();
+        a.st(zero, t9, 0);
+        a.send(MsgType::CcUpgradeGrant, DataSrc::None, SendTarget::Local,
+               zero, raux);
+        a.epilogue();
+    }
+
+    // ====================== Home-side writebacks =======================
+    //
+    // Emits the handler body for ReqPut (dirty=true) or ReqPutClean.
+    // In busy states the racing Put supplies (or, for PutClean, memory
+    // supplies) the data for the parked requester; the directory entry is
+    // released with the stale-intervention flag when the forwarded
+    // intervention is still in flight.
+    auto emit_home_put = [&](bool dirty) {
+        auto on_excl = a.label();
+        auto done = a.label();
+        auto err = a.label();
+        auto busy_sh = a.label();
+        auto busy_ex = a.label();
+        auto wait_sh = a.label();
+        auto wait_ex = a.label();
+
+        // Writer node id.
+        a.srl(rq, hdr, headerSrcShift);
+        a.andi(rq, rq, 0xff);
+        load_dir();
+        a.li(t1, dirExclusive);
+        a.beq(rst, t1, on_excl);
+        a.li(t1, dirBusySh);
+        a.beq(rst, t1, busy_sh);
+        a.li(t1, dirBusyEx);
+        a.beq(rst, t1, busy_ex);
+        a.li(t1, dirBusyShWaitPut);
+        a.beq(rst, t1, wait_sh);
+        a.li(t1, dirBusyExWaitPut);
+        a.beq(rst, t1, wait_ex);
+        a.j(err);
+
+        a.bind(on_excl); // Normal writeback.
+        a.st(zero, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        if (dirty) {
+            a.send(MsgType::ReqPut, DataSrc::Carried, SendTarget::MemWrite);
+        }
+        // Acknowledged even to the local writer (loopback) so the
+        // writeback-race tracker is always released by the same path.
+        a.send(MsgType::RplWbAck, DataSrc::None, SendTarget::Network,
+               rq, zero);
+        a.bind(done);
+        a.epilogue();
+
+        // Put raced with an intervention. Satisfy the parked requester
+        // from the Put (dirty) or from memory (clean eviction).
+        // @param to_shared grant Shared vs Exclusive.
+        // @param stale the intervention is still in flight.
+        auto resolve = [&](bool to_shared, bool stale) {
+            auto self_fill = a.label();
+            auto after_fill = a.label();
+
+            // Parked requester/mshr from the entry.
+            a.srl(t2, ren, fmt.reqShift);
+            a.andi(t2, t2, req_mask);
+            a.srl(t3, ren, fmt.mshrShift);
+            a.andi(t3, t3, 0x1f);
+            // New entry: granted state with only the requester.
+            a.sllv(t4, one, t2);
+            a.sll(t4, t4, fmt.vectorShift);
+            std::int64_t state_bits =
+                (to_shared ? dirShared : dirExclusive) |
+                (stale ? stale_bit : 0);
+            a.ori(t4, t4, state_bits);
+            a.st(t4, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+            if (dirty) {
+                a.send(MsgType::ReqPut, DataSrc::Carried,
+                       SendTarget::MemWrite);
+            }
+            // aux for the grant.
+            a.sll(t5, t2, headerRequesterShift);
+            a.sll(t6, t3, headerMshrShift);
+            a.or_(t5, t5, t6);
+            DataSrc grant_src = dirty ? DataSrc::Carried : DataSrc::Memory;
+            a.beq(t2, nodeId, self_fill);
+            a.send(to_shared ? MsgType::RplDataSh : MsgType::RplDataEx,
+                   grant_src, SendTarget::Network, t2, t5);
+            a.j(after_fill);
+            a.bind(self_fill);
+            a.sll(t7, t3, 5);
+            a.add(t7, pendBase, t7);
+            a.st(zero, t7, 0);
+            a.send(to_shared ? MsgType::CcFillSh : MsgType::CcFillEx,
+                   grant_src, SendTarget::Local, zero, t5);
+            a.bind(after_fill);
+            // Busy ack: the writer must keep its race tracker until the
+            // stale intervention reaches it (it must answer IntervMiss).
+            a.send(MsgType::RplWbBusyAck, DataSrc::None,
+                   SendTarget::Network, rq, zero);
+            a.epilogue();
+        };
+
+        a.bind(busy_sh);
+        resolve(true, true);
+        a.bind(busy_ex);
+        resolve(false, true);
+        a.bind(wait_sh);
+        resolve(true, false);
+        a.bind(wait_ex);
+        resolve(false, false);
+
+        a.bind(err);
+        record_error();
+    };
+
+    a.handler(MsgType::ReqPut);
+    a.bind(h_put);
+    emit_home_put(true);
+
+    a.handler(MsgType::ReqPutClean);
+    a.bind(h_putclean);
+    emit_home_put(false);
+
+    // ================== Home-side revision messages ====================
+
+    a.handler(MsgType::RplSharingWb);
+    {
+        auto err = a.label();
+        load_dir();
+        a.li(t1, dirBusySh);
+        a.bne(rst, t1, err);
+        // New vector = old owner bit | requester bit.
+        a.srl(t2, ren, fmt.reqShift);
+        a.andi(t2, t2, req_mask);
+        a.sllv(t3, one, t2);
+        a.sll(t3, t3, fmt.vectorShift);
+        a.li(t4, vec_mask_shifted);
+        a.and_(t4, ren, t4);
+        a.or_(t4, t4, t3);
+        a.ori(t4, t4, dirShared);
+        a.st(t4, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.send(MsgType::ReqPut, DataSrc::Carried, SendTarget::MemWrite);
+        a.epilogue();
+        a.bind(err);
+        record_error();
+    }
+
+    a.handler(MsgType::RplOwnershipXfer);
+    {
+        auto err = a.label();
+        load_dir();
+        a.li(t1, dirBusyEx);
+        a.bne(rst, t1, err);
+        a.srl(t2, ren, fmt.reqShift);
+        a.andi(t2, t2, req_mask);
+        a.sllv(t3, one, t2);
+        a.sll(t3, t3, fmt.vectorShift);
+        a.ori(t3, t3, dirExclusive);
+        a.st(t3, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.epilogue();
+        a.bind(err);
+        record_error();
+    }
+
+    a.handler(MsgType::RplIntervMiss);
+    {
+        auto stale = a.label();
+        auto was_sh = a.label();
+        auto err = a.label();
+        load_dir();
+        a.andi(t1, ren, stale_bit);
+        a.bne(t1, zero, stale);
+        a.li(t1, dirBusySh);
+        a.beq(rst, t1, was_sh);
+        a.li(t1, dirBusyEx);
+        a.bne(rst, t1, err);
+        // BusyEx -> BusyExWaitPut (state field 4 -> 6).
+        a.xori(t2, ren, dirBusyEx ^ dirBusyExWaitPut);
+        a.st(t2, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.epilogue();
+        a.bind(was_sh); // BusySh -> BusyShWaitPut (3 -> 5).
+        a.xori(t2, ren, dirBusySh ^ dirBusyShWaitPut);
+        a.st(t2, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.epilogue();
+        a.bind(stale); // The racing Put already resolved the transaction.
+        a.li(t2, ~stale_bit);
+        a.and_(t2, ren, t2);
+        a.st(t2, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+        a.epilogue();
+        a.bind(err);
+        record_error();
+    }
+
+    // =================== Owner/sharer-side probes ======================
+
+    a.handler(MsgType::FwdIntervSh);
+    {
+        auto miss = a.label();
+        decode_req_mshr();
+        compose_aux();
+        a.ldprobe(t1);
+        a.andi(t2, t1, 1);
+        a.beq(t2, zero, miss);
+        a.send(MsgType::RplDataSh, DataSrc::Probe, SendTarget::Network,
+               rq, raux);
+        a.sendHome(MsgType::RplSharingWb, DataSrc::Probe);
+        a.epilogue();
+        a.bind(miss);
+        a.sendHome(MsgType::RplIntervMiss, DataSrc::None);
+        a.epilogue();
+    }
+
+    a.handler(MsgType::FwdIntervEx);
+    {
+        auto miss = a.label();
+        decode_req_mshr();
+        compose_aux();
+        a.ldprobe(t1);
+        a.andi(t2, t1, 1);
+        a.beq(t2, zero, miss);
+        a.send(MsgType::RplDataEx, DataSrc::Probe, SendTarget::Network,
+               rq, raux);
+        a.sendHome(MsgType::RplOwnershipXfer, DataSrc::None);
+        a.epilogue();
+        a.bind(miss);
+        a.sendHome(MsgType::RplIntervMiss, DataSrc::None);
+        a.epilogue();
+    }
+
+    a.handler(MsgType::FwdInval);
+    {
+        // Probe applied by the dispatch hardware; always acknowledge.
+        decode_req_mshr();
+        compose_aux();
+        a.send(MsgType::RplInvalAck, DataSrc::None, SendTarget::Network,
+               rq, raux);
+        a.epilogue();
+    }
+
+    // ==================== Requester-side replies =======================
+
+    a.handler(MsgType::RplDataSh);
+    {
+        a.srl(rm, hdr, headerMshrShift);
+        a.andi(rm, rm, 0xff);
+        pend_addr_t9();
+        a.st(zero, t9, 0);
+        a.sll(t1, rm, headerMshrShift);
+        a.send(MsgType::CcFillSh, DataSrc::Carried, SendTarget::Local,
+               zero, t1);
+        a.epilogue();
+    }
+
+    a.handler(MsgType::RplDataEx);
+    {
+        auto complete = a.label();
+        a.srl(rm, hdr, headerMshrShift);
+        a.andi(rm, rm, 0xff);
+        pend_addr_t9();
+        a.ld(t2, t9, 0);
+        a.srl(t3, hdr, headerAckShift);
+        a.andi(t3, t3, 0xffff);          // acks expected (from home)
+        a.srl(t4, t2, pend::acksRcvShift);
+        a.andi(t4, t4, 0xffff);          // acks already received
+        a.beq(t4, t3, complete);
+        // Park: record expectation, data-arrived, exclusive.
+        a.sll(t5, t3, pend::acksExpShift);
+        a.or_(t2, t2, t5);
+        a.li(t6, (1LL << pend::dataShift) | (1LL << pend::exclShift));
+        a.or_(t2, t2, t6);
+        a.st(t2, t9, 0);
+        a.epilogue();
+        a.bind(complete);
+        a.st(zero, t9, 0);
+        a.sll(t5, rm, headerMshrShift);
+        a.send(MsgType::CcFillEx, DataSrc::Carried, SendTarget::Local,
+               zero, t5);
+        a.epilogue();
+    }
+
+    a.handler(MsgType::RplUpgradeAck);
+    {
+        auto complete = a.label();
+        a.srl(rm, hdr, headerMshrShift);
+        a.andi(rm, rm, 0xff);
+        pend_addr_t9();
+        a.ld(t2, t9, 0);
+        a.srl(t3, hdr, headerAckShift);
+        a.andi(t3, t3, 0xffff);
+        a.srl(t4, t2, pend::acksRcvShift);
+        a.andi(t4, t4, 0xffff);
+        a.beq(t4, t3, complete);
+        a.sll(t5, t3, pend::acksExpShift);
+        a.or_(t2, t2, t5);
+        a.li(t6, 1LL << pend::dataShift);
+        a.or_(t2, t2, t6);
+        a.st(t2, t9, 0);
+        a.epilogue();
+        a.bind(complete);
+        a.st(zero, t9, 0);
+        a.sll(t5, rm, headerMshrShift);
+        a.send(MsgType::CcUpgradeGrant, DataSrc::None, SendTarget::Local,
+               zero, t5);
+        a.epilogue();
+    }
+
+    a.handler(MsgType::RplInvalAck);
+    {
+        auto park = a.label();
+        auto upgrade = a.label();
+        a.srl(rm, hdr, headerMshrShift);
+        a.andi(rm, rm, 0xff);
+        pend_addr_t9();
+        a.ld(t2, t9, 0);
+        a.srl(t4, t2, pend::acksRcvShift);
+        a.andi(t4, t4, 0xffff);
+        a.addi(t4, t4, 1);
+        a.srl(t3, t2, pend::acksExpShift);
+        a.andi(t3, t3, 0xffff);
+        a.srl(t5, t2, pend::dataShift);
+        a.andi(t5, t5, 1);
+        a.beq(t5, zero, park);     // Data not here yet.
+        a.bne(t4, t3, park);       // Still waiting for more acks.
+        // Complete; grant depends on the original request type.
+        a.srl(t6, t2, pend::typeShift);
+        a.andi(t6, t6, 0xff);
+        a.li(t7, ord(MsgType::ReqUpgrade));
+        a.st(zero, t9, 0);
+        a.sll(t8, rm, headerMshrShift);
+        a.beq(t6, t7, upgrade);
+        a.send(MsgType::CcFillEx, DataSrc::Buffer, SendTarget::Local,
+               zero, t8);
+        a.epilogue();
+        a.bind(upgrade);
+        a.send(MsgType::CcUpgradeGrant, DataSrc::None, SendTarget::Local,
+               zero, t8);
+        a.epilogue();
+        a.bind(park); // Record the new ack count.
+        a.li(t6, ~(0xffffLL << pend::acksRcvShift));
+        a.and_(t2, t2, t6);
+        a.sll(t6, t4, pend::acksRcvShift);
+        a.or_(t2, t2, t6);
+        a.st(t2, t9, 0);
+        a.epilogue();
+    }
+
+    a.handler(MsgType::RplNak);
+    {
+        auto send_get = a.label();
+        auto send_getx = a.label();
+        a.srl(rm, hdr, headerMshrShift);
+        a.andi(rm, rm, 0xff);
+        pend_addr_t9();
+        a.ld(t2, t9, 0);
+        a.ld(t3, t9, 16);
+        a.addi(t3, t3, 1);
+        a.st(t3, t9, 16);          // retry count
+        a.srl(t4, t2, pend::typeShift);
+        a.andi(t4, t4, 0xff);
+        // aux = self<<16 | mshr<<24.
+        a.sll(t7, nodeId, headerRequesterShift);
+        a.sll(t8, rm, headerMshrShift);
+        a.or_(t7, t7, t8);
+        a.li(t5, ord(MsgType::ReqGet));
+        a.beq(t4, t5, send_get);
+        a.li(t5, ord(MsgType::ReqUpgrade));
+        a.bne(t4, t5, send_getx);
+        // A NAKed upgrade retries as GETX (the line may be gone).
+        a.li(t6, ~(0xffLL << pend::typeShift));
+        a.and_(t2, t2, t6);
+        a.ori(t2, t2, ord(MsgType::ReqGetx) << pend::typeShift);
+        a.st(t2, t9, 0);
+        a.bind(send_getx);
+        a.sendHome(MsgType::ReqGetx, DataSrc::None, t7, true);
+        a.epilogue();
+        a.bind(send_get);
+        a.sendHome(MsgType::ReqGet, DataSrc::None, t7, true);
+        a.epilogue();
+    }
+
+    a.handler(MsgType::RplWbAck);
+    {
+        // Writeback-buffer release is a dispatch-hardware action; the
+        // handler merely pays the dispatch occupancy.
+        a.epilogue();
+    }
+
+    a.handler(MsgType::RplWbBusyAck);
+    {
+        // The race tracker stays armed; the stale intervention's probe
+        // releases it. Handler pays occupancy only.
+        a.epilogue();
+    }
+
+    return a.finish();
+}
+
+} // namespace smtp::proto

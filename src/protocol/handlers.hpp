@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Construction of the coherence handler image.
+ *
+ * The protocol is the invalidation-based bitvector protocol derived from
+ * the SGI Origin 2000, run under a slightly relaxed model with eager-
+ * exclusive replies (paper Section 3):
+ *
+ *  - requests travel to the home node; the home answers from memory or
+ *    forwards a three-hop intervention to the exclusive owner;
+ *  - invalidation acknowledgements are collected at the requester;
+ *  - a load miss on an Unowned line is granted Exclusive eagerly;
+ *  - writeback races are resolved with busy directory states, the
+ *    stale-intervention flag, and IntervMiss revision messages;
+ *  - a busy home NAKs conflicting requests and the requester retries
+ *    (an upgrade whose line was invalidated retries as GETX).
+ *
+ * The same image runs on the SMTp protocol thread and on the embedded
+ * dual-issue protocol processor of the conventional machine models.
+ */
+
+#ifndef SMTP_PROTOCOL_HANDLERS_HPP
+#define SMTP_PROTOCOL_HANDLERS_HPP
+
+#include "protocol/directory.hpp"
+#include "protocol/isa.hpp"
+
+namespace smtp::proto
+{
+
+/**
+ * Optional protocol extensions (the paper's Section 6: the protocol
+ * thread "need not be restricted to implementing basic coherence
+ * protocols").
+ */
+struct HandlerOptions
+{
+    /**
+     * ReVive-style ownership logging: every exclusive-ownership grant
+     * appends the line address to a per-node log in protocol memory —
+     * the write-history a rollback-recovery scheme replays. Costs a few
+     * extra protocol instructions on the grant paths only.
+     */
+    bool ownershipLog = false;
+};
+
+/**
+ * Assemble the full handler image for a machine whose directory entries
+ * use format @p fmt.
+ */
+HandlerImage buildHandlerImage(const DirFormat &fmt,
+                               const HandlerOptions &opts = {});
+
+/** Scratch-space offset where handlers record impossible-case headers. */
+constexpr Addr protoErrorOffset = 0;
+
+/** Scratch-space layout of the ownership log (when enabled). */
+constexpr Addr ownLogCountOffset = 8;
+constexpr Addr ownLogBaseOffset = 64;
+constexpr unsigned ownLogEntries = 4096; ///< Ring buffer length.
+
+} // namespace smtp::proto
+
+#endif // SMTP_PROTOCOL_HANDLERS_HPP

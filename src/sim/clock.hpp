@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Clock domains. The machine mixes 400 MHz (off-chip controller), half-CPU
+ * (integrated controllers), and 2/4 GHz (pipelines), so components convert
+ * between cycles and ticks through an explicit ClockDomain.
+ */
+
+#ifndef SMTP_SIM_CLOCK_HPP
+#define SMTP_SIM_CLOCK_HPP
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace smtp
+{
+
+class ClockDomain
+{
+  public:
+    /** @param freq_mhz must evenly divide 1 THz (i.e. divide 1e6). */
+    explicit ClockDomain(std::uint64_t freq_mhz = 2000)
+    {
+        setFrequencyMHz(freq_mhz);
+    }
+
+    void
+    setFrequencyMHz(std::uint64_t freq_mhz)
+    {
+        SMTP_ASSERT(freq_mhz > 0 && 1000000 % freq_mhz == 0,
+                    "frequency %llu MHz does not divide 1 THz",
+                    static_cast<unsigned long long>(freq_mhz));
+        freqMHz_ = freq_mhz;
+        period_ = 1000000 / freq_mhz;
+    }
+
+    std::uint64_t frequencyMHz() const { return freqMHz_; }
+
+    /** Ticks per cycle of this domain. */
+    Tick period() const { return period_; }
+
+    Tick cyclesToTicks(Cycles c) const { return c * period_; }
+
+    /** Full cycles elapsed by tick @p t (floor). */
+    Cycles ticksToCycles(Tick t) const { return t / period_; }
+
+    /** The first tick >= @p t that lies on a cycle boundary. */
+    Tick
+    nextEdge(Tick t) const
+    {
+        return ((t + period_ - 1) / period_) * period_;
+    }
+
+    /** The first cycle boundary strictly after @p t. */
+    Tick
+    edgeAfter(Tick t) const
+    {
+        return (t / period_ + 1) * period_;
+    }
+
+  private:
+    std::uint64_t freqMHz_ = 2000;
+    Tick period_ = 500;
+};
+
+} // namespace smtp
+
+#endif // SMTP_SIM_CLOCK_HPP

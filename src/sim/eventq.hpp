@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single global EventQueue per simulated machine orders callbacks by
+ * (tick, priority, insertion sequence). Insertion-order tie-breaking makes
+ * whole-machine runs deterministic: two events at the same tick always run
+ * in the order they were scheduled, independent of heap internals.
+ */
+
+#ifndef SMTP_SIM_EVENTQ_HPP
+#define SMTP_SIM_EVENTQ_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace smtp
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Relative ordering of events scheduled for the same tick.
+     * Lower runs first.
+     */
+    enum Priority : std::int8_t
+    {
+        prioEarly = -1,   ///< e.g. link deliveries feeding this cycle
+        prioDefault = 0,
+        prioLate = 1,     ///< e.g. end-of-cycle bookkeeping
+    };
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p cb to run at absolute tick @p when (>= curTick). */
+    void
+    schedule(Tick when, Callback cb, Priority prio = prioDefault)
+    {
+        SMTP_ASSERT(when >= curTick_,
+                    "scheduling event in the past (%llu < %llu)",
+                    static_cast<unsigned long long>(when),
+                    static_cast<unsigned long long>(curTick_));
+        heap_.push(Entry{when, prio, seq_++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb, Priority prio = prioDefault)
+    {
+        schedule(curTick_ + delta, std::move(cb), prio);
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the next pending event; maxTick when empty. */
+    Tick
+    nextTick() const
+    {
+        return heap_.empty() ? maxTick : heap_.top().when;
+    }
+
+    /**
+     * Pop and run the single earliest event.
+     * @return false when the queue was empty.
+     */
+    bool
+    runOne()
+    {
+        if (heap_.empty())
+            return false;
+        Entry e = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        curTick_ = e.when;
+        ++executed_;
+        e.cb();
+        return true;
+    }
+
+    /** Run events until the queue drains or @p limit is passed. */
+    void
+    run(Tick limit = maxTick)
+    {
+        while (!heap_.empty() && heap_.top().when <= limit)
+            runOne();
+        if (curTick_ < limit && limit != maxTick)
+            curTick_ = limit;
+    }
+
+    /** Number of events executed so far (a cheap progress metric). */
+    std::uint64_t executedCount() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        Priority prio;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace smtp
+
+#endif // SMTP_SIM_EVENTQ_HPP

@@ -1,0 +1,27 @@
+#include "stats.hpp"
+
+#include <iomanip>
+
+namespace smtp
+{
+
+void
+StatGroup::dump(std::ostream &os, int indent) const
+{
+    std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    os << pad << name_ << "\n";
+    for (const auto &[name, stat] : counters_)
+        os << pad << "  " << name << " = " << stat->value() << "\n";
+    for (const auto &[name, stat] : dists_) {
+        os << pad << "  " << name << " = mean " << std::fixed
+           << std::setprecision(3) << stat->mean() << " min " << stat->min()
+           << " max " << stat->max() << " (" << stat->samples()
+           << " samples)\n";
+    }
+    for (const auto &[name, stat] : peaks_)
+        os << pad << "  " << name << " = peak " << stat->peak() << "\n";
+    for (const auto *child : children_)
+        child->dump(os, indent + 1);
+}
+
+} // namespace smtp

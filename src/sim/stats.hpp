@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Lightweight statistics framework.
+ *
+ * Components own their stats as plain members (cheap to bump on hot
+ * paths) and register them with a StatGroup so a whole machine can be
+ * dumped hierarchically at end of simulation. Three primitives cover
+ * everything the paper reports:
+ *
+ *  - Counter       monotonically increasing event count
+ *  - Distribution  running min/max/mean/samples (for occupancies)
+ *  - PeakTracker   watermark of a live quantity (Table 9's peaks)
+ */
+
+#ifndef SMTP_SIM_STATS_HPP
+#define SMTP_SIM_STATS_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smtp
+{
+
+class Counter
+{
+  public:
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+class Distribution
+{
+  public:
+    void
+    sample(double v, std::uint64_t weight = 1)
+    {
+        sum_ += v * static_cast<double>(weight);
+        count_ += weight;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t samples() const { return count_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+        min_ = std::numeric_limits<double>::infinity();
+        max_ = -std::numeric_limits<double>::infinity();
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Tracks the high-water mark of a live occupancy. */
+class PeakTracker
+{
+  public:
+    void
+    observe(std::uint64_t level)
+    {
+        peak_ = std::max(peak_, level);
+    }
+
+    std::uint64_t peak() const { return peak_; }
+    void reset() { peak_ = 0; }
+
+  private:
+    std::uint64_t peak_ = 0;
+};
+
+/**
+ * Named collection of stats for dumping. Registration stores pointers;
+ * the owning component must outlive the group (true for our machines,
+ * which are torn down wholesale).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void
+    add(const std::string &stat_name, const Counter *c)
+    {
+        counters_.push_back({stat_name, c});
+    }
+
+    void
+    add(const std::string &stat_name, const Distribution *d)
+    {
+        dists_.push_back({stat_name, d});
+    }
+
+    void
+    add(const std::string &stat_name, const PeakTracker *p)
+    {
+        peaks_.push_back({stat_name, p});
+    }
+
+    void addChild(StatGroup *g) { children_.push_back(g); }
+
+    const std::string &name() const { return name_; }
+
+    void dump(std::ostream &os, int indent = 0) const;
+
+  private:
+    template <typename T>
+    struct Named
+    {
+        std::string name;
+        const T *stat;
+    };
+
+    std::string name_;
+    std::vector<Named<Counter>> counters_;
+    std::vector<Named<Distribution>> dists_;
+    std::vector<Named<PeakTracker>> peaks_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace smtp
+
+#endif // SMTP_SIM_STATS_HPP

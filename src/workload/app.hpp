@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Application scaffolding: the allocator with explicit page placement,
+ * the workload environment, and the App interface the machine layer
+ * drives. The six applications of the paper's Table 1 are produced by
+ * makeApp().
+ */
+
+#ifndef SMTP_WORKLOAD_APP_HPP
+#define SMTP_WORKLOAD_APP_HPP
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mem/address_map.hpp"
+#include "workload/func_mem.hpp"
+#include "workload/gen.hpp"
+#include "workload/sync.hpp"
+
+namespace smtp::workload
+{
+
+/**
+ * Bump allocator over per-node 1 GB regions with explicit page
+ * placement — the mechanism behind the paper's "proper page placement
+ * to minimize remote memory accesses".
+ */
+class Alloc
+{
+  public:
+    explicit Alloc(PagePlacementMap &map) : map_(&map)
+    {
+        cursor_.assign(map.numNodes(), 0);
+    }
+
+    static constexpr Addr dataBase = 0x0010'0000'0000ULL;
+    static constexpr Addr nodeStride = 0x4000'0000ULL; ///< 1 GB.
+
+    /** Allocate @p bytes homed at @p node, aligned to @p align. */
+    Addr
+    alloc(std::size_t bytes, NodeId home, std::size_t align = l2LineBytes)
+    {
+        Addr base = dataBase + static_cast<Addr>(home) * nodeStride;
+        Addr a = roundUp(base + cursor_[home], align);
+        cursor_[home] = a + bytes - base;
+        for (Addr p = pageAlign(a); p < a + bytes; p += pageBytes)
+            map_->place(p, home);
+        return a;
+    }
+
+    /** Allocate one coherence line (sync variables etc.). */
+    Addr
+    allocLine(NodeId home)
+    {
+        return alloc(l2LineBytes, home, l2LineBytes);
+    }
+
+  private:
+    PagePlacementMap *map_;
+    std::vector<Addr> cursor_;
+};
+
+struct WorkloadEnv
+{
+    FuncMem *mem;
+    PagePlacementMap *map;
+    unsigned nodes;
+    unsigned threadsPerNode;
+    /** Problem-size scale: 1.0 = the repo's fast defaults. */
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+
+    unsigned totalThreads() const { return nodes * threadsPerNode; }
+
+    NodeId
+    nodeOf(unsigned gtid) const
+    {
+        return static_cast<NodeId>(gtid / threadsPerNode);
+    }
+};
+
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    virtual std::string_view name() const = 0;
+
+    /** Allocate data, place pages, and spawn one Task per thread. */
+    virtual void build(const WorkloadEnv &env) = 0;
+
+    ThreadCtx *thread(unsigned gtid) { return threads_[gtid].get(); }
+    unsigned numThreads() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+  protected:
+    /** Create the per-thread contexts with per-node text segments. */
+    void
+    makeThreads(const WorkloadEnv &env)
+    {
+        env_ = env;
+        alloc_ = std::make_unique<Alloc>(*env.map);
+        rng_.reseed(env.seed);
+        for (unsigned t = 0; t < env.totalThreads(); ++t) {
+            NodeId node = env.nodeOf(t);
+            std::uint64_t pc_base =
+                0x4000'0000ULL + static_cast<std::uint64_t>(node) *
+                                     0x0100'0000ULL;
+            threads_.push_back(
+                std::make_unique<ThreadCtx>(*env.mem, node, pc_base));
+        }
+        // Place per-node text pages (read mostly through the L1I).
+        for (unsigned n = 0; n < env.nodes; ++n) {
+            Addr text = 0x4000'0000ULL +
+                        static_cast<std::uint64_t>(n) * 0x0100'0000ULL;
+            for (unsigned p = 0; p < 16; ++p) {
+                env.map->place(text + static_cast<Addr>(p) * pageBytes,
+                               static_cast<NodeId>(n));
+            }
+        }
+    }
+
+    WorkloadEnv env_{};
+    std::unique_ptr<Alloc> alloc_;
+    Rng rng_;
+    std::vector<std::unique_ptr<ThreadCtx>> threads_;
+};
+
+/**
+ * Factory for the paper's applications: "fft", "fftw", "lu", "radix",
+ * "ocean", "water". Fatal on unknown names.
+ */
+std::unique_ptr<App> makeApp(std::string_view name);
+
+/** All six application names in the paper's presentation order. */
+const std::vector<std::string> &appNames();
+
+} // namespace smtp::workload
+
+#endif // SMTP_WORKLOAD_APP_HPP

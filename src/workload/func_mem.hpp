@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Global functional memory.
+ *
+ * The single value plane of the DSM address space: workload generators
+ * execute functionally against it at micro-op generation time while the
+ * timing machine replays (DESIGN.md substitution 2). Synchronization
+ * variables, radix keys, convergence residuals — everything a generator
+ * branches on — lives here, so control flow is genuinely
+ * data-dependent. Sparse, 8-byte word granularity.
+ */
+
+#ifndef SMTP_WORKLOAD_FUNC_MEM_HPP
+#define SMTP_WORKLOAD_FUNC_MEM_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace smtp
+{
+
+class FuncMem
+{
+  public:
+    std::uint64_t
+    read(Addr addr) const
+    {
+        auto it = words_.find(addr & ~7ULL);
+        return it == words_.end() ? 0 : it->second;
+    }
+
+    void
+    write(Addr addr, std::uint64_t value)
+    {
+        Addr w = addr & ~7ULL;
+        if (value == 0)
+            words_.erase(w);
+        else
+            words_[w] = value;
+    }
+
+    /** Untimed initialisation poke (workload setup). */
+    void poke(Addr addr, std::uint64_t value) { write(addr, value); }
+
+    double
+    readF(Addr addr) const
+    {
+        std::uint64_t v = read(addr);
+        double d;
+        static_assert(sizeof(d) == sizeof(v));
+        __builtin_memcpy(&d, &v, sizeof(d));
+        return d;
+    }
+
+    void
+    writeF(Addr addr, double d)
+    {
+        std::uint64_t v;
+        __builtin_memcpy(&v, &d, sizeof(v));
+        write(addr, v);
+    }
+
+    std::size_t residentWords() const { return words_.size(); }
+
+  private:
+    std::unordered_map<Addr, std::uint64_t> words_;
+};
+
+} // namespace smtp
+
+#endif // SMTP_WORKLOAD_FUNC_MEM_HPP

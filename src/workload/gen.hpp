@@ -1,0 +1,436 @@
+/**
+ * @file
+ * Coroutine workload-generation framework.
+ *
+ * Each application thread is a C++20 coroutine (`Task`) that emits
+ * micro-ops through its ThreadCtx. The ThreadCtx is the pipeline-facing
+ * InstSource: when the fetch stage pulls and the buffer is empty, the
+ * coroutine is resumed until it emits. Loads return their functional
+ * value at emission (execute-at-generate), so spins, locks and
+ * data-dependent control flow behave like real code.
+ *
+ * Tasks nest (`co_await subTask(...)`) with symmetric transfer, which
+ * keeps the synchronization library (locks, tree barriers) and the
+ * applications readable.
+ *
+ * Program counters: straight-line emission advances a virtual PC;
+ * loopBegin/loopEnd rewind it so iterations replay the same PCs — the
+ * I-cache, BTB and branch predictor see a faithful static code image.
+ */
+
+#ifndef SMTP_WORKLOAD_GEN_HPP
+#define SMTP_WORKLOAD_GEN_HPP
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "cpu/inst.hpp"
+#include "workload/func_mem.hpp"
+
+namespace smtp
+{
+
+class ThreadCtx;
+
+/** Awaitable coroutine task with symmetric-transfer nesting. */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<promise_type> h) noexcept
+            {
+                auto cont = h.promise().continuation;
+                return cont ? cont : std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { SMTP_PANIC("workload threw"); }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {
+    }
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (handle_)
+            handle_.destroy();
+        handle_ = std::exchange(other.handle_, nullptr);
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task()
+    {
+        if (handle_)
+            handle_.destroy();
+    }
+
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** Awaiting a sub-task transfers control into it. */
+    struct Awaiter
+    {
+        std::coroutine_handle<promise_type> child;
+
+        bool await_ready() noexcept { return !child || child.done(); }
+
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<> parent) noexcept
+        {
+            child.promise().continuation = parent;
+            return child;
+        }
+
+        void await_resume() noexcept {}
+    };
+
+    Awaiter operator co_await() const noexcept { return Awaiter{handle_}; }
+
+    std::coroutine_handle<promise_type> handle() const { return handle_; }
+
+  private:
+    std::coroutine_handle<promise_type> handle_;
+};
+
+/**
+ * Per-thread generation context and InstSource.
+ *
+ * The micro-op emitters are awaitables: the coroutine suspends after
+ * each emission, so the pipeline pulls exactly as fast as it fetches.
+ */
+class ThreadCtx : public InstSource
+{
+  public:
+    ThreadCtx(FuncMem &mem, NodeId node, std::uint64_t pc_base)
+        : mem_(&mem), node_(node), vpc_(pc_base)
+    {
+    }
+
+    ThreadCtx(const ThreadCtx &) = delete;
+
+    void
+    run(Task task)
+    {
+        task_ = std::move(task);
+        resume_ = task_.handle();
+    }
+
+    NodeId node() const { return node_; }
+    FuncMem &mem() { return *mem_; }
+
+    // ---- InstSource ---------------------------------------------------
+
+    bool
+    hasNext() override
+    {
+        pump();
+        return !buf_.empty();
+    }
+
+    const MicroOp &
+    peek() override
+    {
+        pump();
+        SMTP_ASSERT(!buf_.empty(), "peek on a drained generator");
+        return buf_.front();
+    }
+
+    void
+    consume() override
+    {
+        ++supplied_;
+        buf_.pop_front();
+    }
+
+    bool
+    finished() override
+    {
+        pump();
+        return buf_.empty() && task_.done();
+    }
+
+    std::uint64_t supplied() const { return supplied_; }
+
+    // ---- Emission primitives (used by awaitables below) ----------------
+
+    struct Suspend
+    {
+        ThreadCtx *ctx;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h) noexcept
+        {
+            ctx->resume_ = h;
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    struct LoadAwait : Suspend
+    {
+        std::uint64_t value;
+        std::uint64_t await_resume() const noexcept { return value; }
+    };
+
+    struct LoadFAwait : Suspend
+    {
+        double value;
+        double await_resume() const noexcept { return value; }
+    };
+
+    /** Timed 8-byte load; resumes with the functional value. */
+    LoadAwait
+    load(Addr addr)
+    {
+        emitLoad(addr);
+        return LoadAwait{{this}, mem_->read(addr)};
+    }
+
+    LoadFAwait
+    loadF(Addr addr)
+    {
+        emitLoad(addr);
+        return LoadFAwait{{this}, mem_->readF(addr)};
+    }
+
+    Suspend
+    store(Addr addr, std::uint64_t value)
+    {
+        mem_->write(addr, value);
+        emitStore(addr);
+        return Suspend{this};
+    }
+
+    Suspend
+    storeF(Addr addr, double value)
+    {
+        mem_->writeF(addr, value);
+        emitStore(addr);
+        return Suspend{this};
+    }
+
+    /** Atomic swap (LL/SC pair): returns the previous value. */
+    LoadAwait
+    swap(Addr addr, std::uint64_t value)
+    {
+        std::uint64_t old = mem_->read(addr);
+        emitLoad(addr);
+        mem_->write(addr, value);
+        emitStore(addr);
+        return LoadAwait{{this}, old};
+    }
+
+    /** Atomic fetch-and-add. */
+    LoadAwait
+    fetchAdd(Addr addr, std::uint64_t delta)
+    {
+        std::uint64_t old = mem_->read(addr);
+        emitLoad(addr);
+        mem_->write(addr, old + delta);
+        emitStore(addr);
+        return LoadAwait{{this}, old};
+    }
+
+    Suspend
+    prefetch(Addr addr, bool exclusive = false)
+    {
+        MicroOp op = base(exclusive ? OpClass::PrefetchEx
+                                    : OpClass::Prefetch);
+        op.effAddr = addr;
+        buf_.push_back(op);
+        return Suspend{this};
+    }
+
+    /** Emit @p n integer ALU ops with light dependency structure. */
+    Suspend
+    intOps(unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            MicroOp op = base(OpClass::IntAlu);
+            op.dest = nextIntReg();
+            op.src1 = lastIntReg();
+            buf_.push_back(op);
+        }
+        return Suspend{this};
+    }
+
+    /**
+     * Emit @p n floating-point ops (mul/add mix). Dependencies form
+     * four interleaved chains — the instruction-level parallelism of
+     * real butterfly/stencil kernels — so the three FPUs are usable.
+     */
+    Suspend
+    fpOps(unsigned n)
+    {
+        for (unsigned i = 0; i < n; ++i) {
+            MicroOp op =
+                base(i % 2 ? OpClass::FpAdd : OpClass::FpMul);
+            std::uint8_t chain_src = static_cast<std::uint8_t>(
+                fpRegBase + 2 + (fpRot_ + 24 - 4) % 24);
+            op.dest = nextFpReg();
+            op.src1 = chain_src;
+            op.src2 = lastLoadReg_;
+            buf_.push_back(op);
+        }
+        return Suspend{this};
+    }
+
+    // ---- Structured control flow ----------------------------------------
+
+    struct LoopHandle
+    {
+        std::uint64_t headPc;
+    };
+
+    LoopHandle loopBegin() { return LoopHandle{vpc_}; }
+
+    /** Backward branch; rewinds the virtual PC while iterating. */
+    Suspend
+    loopEnd(LoopHandle h, bool more)
+    {
+        MicroOp op = base(OpClass::Branch);
+        op.isCondBranch = true;
+        op.taken = more;
+        op.target = more ? h.headPc : op.pc + 4;
+        buf_.push_back(op);
+        if (more)
+            vpc_ = h.headPc;
+        return Suspend{this};
+    }
+
+    /** A resolved forward conditional branch (e.g. convergence tests). */
+    Suspend
+    branch(bool taken, std::uint64_t skip_ops = 4)
+    {
+        MicroOp op = base(OpClass::Branch);
+        op.isCondBranch = true;
+        op.taken = taken;
+        op.target = op.pc + 4 + (taken ? 4 * skip_ops : 0);
+        buf_.push_back(op);
+        if (taken)
+            vpc_ = op.target;
+        return Suspend{this};
+    }
+
+  private:
+    friend struct Suspend;
+
+    MicroOp
+    base(OpClass cls)
+    {
+        MicroOp op;
+        op.cls = cls;
+        op.pc = vpc_;
+        vpc_ += 4;
+        return op;
+    }
+
+    void
+    emitLoad(Addr addr)
+    {
+        MicroOp op = base(OpClass::Load);
+        op.dest = nextIntReg();
+        op.src1 = addrReg_;
+        op.effAddr = addr;
+        lastLoadReg_ = op.dest;
+        buf_.push_back(op);
+    }
+
+    void
+    emitStore(Addr addr)
+    {
+        MicroOp op = base(OpClass::Store);
+        op.src1 = addrReg_;
+        op.src2 = lastIntReg();
+        op.effAddr = addr;
+        buf_.push_back(op);
+    }
+
+    std::uint8_t
+    nextIntReg()
+    {
+        intRot_ = (intRot_ + 1) % 20;
+        return static_cast<std::uint8_t>(4 + intRot_);
+    }
+
+    std::uint8_t
+    lastIntReg() const
+    {
+        return static_cast<std::uint8_t>(4 + intRot_);
+    }
+
+    std::uint8_t
+    nextFpReg()
+    {
+        fpRot_ = (fpRot_ + 1) % 24;
+        return static_cast<std::uint8_t>(fpRegBase + 2 + fpRot_);
+    }
+
+    std::uint8_t
+    lastFpReg() const
+    {
+        return static_cast<std::uint8_t>(fpRegBase + 2 + fpRot_);
+    }
+
+    void
+    pump()
+    {
+        while (buf_.empty() && !task_.done()) {
+            auto h = resume_;
+            SMTP_ASSERT(h && !h.done(), "generator wedged");
+            h.resume();
+        }
+    }
+
+    FuncMem *mem_;
+    NodeId node_;
+    std::uint64_t vpc_;
+    std::deque<MicroOp> buf_;
+    Task task_;
+    std::coroutine_handle<> resume_;
+    unsigned intRot_ = 0;
+    unsigned fpRot_ = 0;
+    std::uint8_t addrReg_ = 2;      ///< Nominal base-address register.
+    std::uint8_t lastLoadReg_ = 4;
+    std::uint64_t supplied_ = 0;
+};
+
+} // namespace smtp
+
+#endif // SMTP_WORKLOAD_GEN_HPP

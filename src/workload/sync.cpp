@@ -1,0 +1,83 @@
+#include "sync.hpp"
+
+namespace smtp::workload
+{
+
+Task
+spinUntilEq(ThreadCtx &ctx, Addr addr, std::uint64_t value)
+{
+    auto lp = ctx.loopBegin();
+    for (;;) {
+        std::uint64_t cur = co_await ctx.load(addr);
+        bool done = cur == value;
+        co_await ctx.loopEnd(lp, !done);
+        if (done)
+            break;
+        // Fixed-length pause keeps the spin from saturating fetch (and
+        // keeps the loop's static code image stable).
+        co_await ctx.intOps(8);
+    }
+}
+
+Task
+acquireLock(ThreadCtx &ctx, Addr lock)
+{
+    auto lp = ctx.loopBegin();
+    for (;;) {
+        // test ... (avoid bouncing the line while it is held)
+        std::uint64_t v = co_await ctx.load(lock);
+        bool acquired = false;
+        if (v == 0) {
+            // ... lock: atomic test-and-set.
+            std::uint64_t old = co_await ctx.swap(lock, 1);
+            acquired = old == 0;
+        }
+        co_await ctx.loopEnd(lp, !acquired);
+        if (acquired)
+            break;
+        co_await ctx.intOps(8);
+    }
+}
+
+Task
+releaseLock(ThreadCtx &ctx, Addr lock)
+{
+    co_await ctx.store(lock, 0);
+}
+
+Task
+TreeBarrier::wait(ThreadCtx &ctx, unsigned tid)
+{
+    std::uint64_t sense = localSense_[tid] ^ 1;
+    localSense_[tid] = sense;
+
+    // Climb: the last arriver at each group proceeds upward.
+    std::vector<std::pair<unsigned, unsigned>> owned;
+    unsigned idx = tid;
+    unsigned level = 0;
+    bool overall_winner = true;
+    for (;;) {
+        unsigned group = idx / arity;
+        std::uint64_t before =
+            co_await ctx.fetchAdd(levels_[level].count[group], 1);
+        if (before + 1 < groupSize(level, group)) {
+            // Not last: wait for this group's release.
+            co_await spinUntilEq(ctx, levels_[level].sense[group], sense);
+            overall_winner = false;
+            break;
+        }
+        co_await ctx.store(levels_[level].count[group], 0);
+        owned.emplace_back(level, group);
+        if (level + 1 >= levels_.size())
+            break; // Last thread overall.
+        idx = group;
+        ++level;
+    }
+    (void)overall_winner;
+
+    // Release every group won, top-down.
+    for (auto it = owned.rbegin(); it != owned.rend(); ++it)
+        co_await ctx.store(levels_[it->first].sense[it->second], sense);
+}
+
+} // namespace smtp::workload

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Synchronization library executed through the coherent memory system:
+ * test-and-set locks with test backoff (the paper's test–lock–test–set–
+ * unlock idiom) and software combining-tree barriers (the paper's
+ * "software tree barriers [for] scalable synchronization").
+ *
+ * All primitives are coroutine Tasks that emit real loads, stores and
+ * atomic swaps; spinning generates genuine coherence traffic (cached
+ * probes until an invalidation, then a miss).
+ */
+
+#ifndef SMTP_WORKLOAD_SYNC_HPP
+#define SMTP_WORKLOAD_SYNC_HPP
+
+#include <vector>
+
+#include "mem/address_map.hpp"
+#include "workload/gen.hpp"
+
+namespace smtp::workload
+{
+
+/** Spin (with a fixed-pause backoff) until mem[addr] == value. */
+Task spinUntilEq(ThreadCtx &ctx, Addr addr, std::uint64_t value);
+
+/** Test–test-and-set acquire. */
+Task acquireLock(ThreadCtx &ctx, Addr lock);
+
+Task releaseLock(ThreadCtx &ctx, Addr lock);
+
+/**
+ * Sense-reversing combining-tree barrier for @p threads participants,
+ * arity 4. Tree nodes (count + sense words, one line each) are spread
+ * across the machine's nodes to avoid a hot home.
+ */
+class TreeBarrier
+{
+  public:
+    /**
+     * @param alloc_line allocates one coherence line on a given home
+     *        node and returns its address (bound to the machine's
+     *        allocator by the workload environment).
+     */
+    template <typename AllocFn>
+    TreeBarrier(unsigned threads, unsigned machine_nodes,
+                AllocFn &&alloc_line)
+        : threads_(threads)
+    {
+        unsigned level_size = threads;
+        unsigned spread = 0;
+        while (true) {
+            Level lv;
+            lv.groups = (level_size + arity - 1) / arity;
+            lv.membersOfLast = level_size - (lv.groups - 1) * arity;
+            for (unsigned g = 0; g < lv.groups; ++g) {
+                NodeId home =
+                    static_cast<NodeId>(spread++ % machine_nodes);
+                lv.count.push_back(alloc_line(home));
+                lv.sense.push_back(alloc_line(home));
+            }
+            levels_.push_back(lv);
+            if (lv.groups == 1)
+                break;
+            level_size = lv.groups;
+        }
+        localSense_.assign(threads, 0);
+    }
+
+    /** The barrier-wait coroutine for global thread @p tid. */
+    Task wait(ThreadCtx &ctx, unsigned tid);
+
+    unsigned threads() const { return threads_; }
+
+    static constexpr unsigned arity = 4;
+
+  private:
+    unsigned
+    groupSize(unsigned level, unsigned group) const
+    {
+        const Level &lv = levels_[level];
+        return group + 1 == lv.groups ? lv.membersOfLast : arity;
+    }
+
+    struct Level
+    {
+        unsigned groups;
+        unsigned membersOfLast;
+        std::vector<Addr> count;
+        std::vector<Addr> sense;
+    };
+
+    unsigned threads_;
+    std::vector<Level> levels_;
+    std::vector<std::uint64_t> localSense_;
+};
+
+} // namespace smtp::workload
+
+#endif // SMTP_WORKLOAD_SYNC_HPP

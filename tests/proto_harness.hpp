@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Test harness: a complete multi-node coherence machine (caches, memory
+ * controllers, handler programs, network) driven directly at the cache
+ * interface, with an idealised protocol agent. Used by the protocol
+ * system tests and the randomized coherence stress tests.
+ */
+
+#ifndef SMTP_TESTS_PROTO_HARNESS_HPP
+#define SMTP_TESTS_PROTO_HARNESS_HPP
+
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "mem/controller.hpp"
+#include "mem/immediate_agent.hpp"
+#include "network/network.hpp"
+#include "protocol/handlers.hpp"
+#include "sim/clock.hpp"
+#include "sim/eventq.hpp"
+
+namespace smtp::testing
+{
+
+class ProtoMachine
+{
+  public:
+    struct Options
+    {
+        unsigned nodes = 4;
+        std::size_t l2Bytes = 16 * 1024; ///< Small: evictions are cheap.
+        unsigned pagesPerNode = 4;
+    };
+
+    ProtoMachine() : ProtoMachine(Options()) {}
+
+    explicit ProtoMachine(const Options &opt)
+        : fmt(proto::DirFormat::forNodes(opt.nodes <= 16 ? 16 : 32)),
+          image(proto::buildHandlerImage(fmt)), clock(2000),
+          map(opt.nodes, fmt.entryBytes)
+    {
+        NetworkParams np;
+        np.numNodes = opt.nodes;
+        net = std::make_unique<Network>(eq, np);
+
+        for (unsigned n = 0; n < opt.nodes; ++n) {
+            auto node = std::make_unique<Node>();
+            CacheParams cp;
+            cp.l2Bytes = opt.l2Bytes;
+            cp.enableBypass = true;
+            node->cache = std::make_unique<CacheHierarchy>(
+                eq, clock, static_cast<NodeId>(n), cp);
+            McParams mp;
+            mp.rngSeed = 12345 + n;
+            node->mc = std::make_unique<MemController>(
+                eq, static_cast<NodeId>(n), mp, map, image, *node->cache,
+                *net);
+            node->agent =
+                std::make_unique<ImmediateAgent>(eq, *node->mc);
+            auto *mc = node->mc.get();
+            node->cache->connect(
+                [mc](const proto::Message &m) { return mc->lmiEnqueue(m); },
+                [mc](Addr a, bool w, std::function<void()> fn) {
+                    mc->bypassAccess(a, w, std::move(fn));
+                });
+            net->attach(static_cast<NodeId>(n),
+                        [mc](const proto::Message &m) {
+                            return mc->niDeliver(m);
+                        });
+            nodes.push_back(std::move(node));
+        }
+
+        // Place pagesPerNode pages on each node, round robin in address
+        // order starting at dataBase.
+        for (unsigned n = 0; n < opt.nodes; ++n) {
+            for (unsigned p = 0; p < opt.pagesPerNode; ++p) {
+                Addr page = dataBase +
+                            (static_cast<Addr>(p) * opt.nodes + n) *
+                                pageBytes;
+                map.place(page, static_cast<NodeId>(n));
+            }
+        }
+    }
+
+    /** An address within the p-th page homed at @p home. */
+    Addr
+    addrAt(NodeId home, unsigned page = 0, unsigned offset = 0) const
+    {
+        return dataBase +
+               (static_cast<Addr>(page) * nodes.size() + home) * pageBytes +
+               offset;
+    }
+
+    /** Issue a load/store from @p node, retrying while resources fill. */
+    void
+    issue(NodeId node, MemCmd cmd, Addr addr, std::function<void()> done)
+    {
+        MemReq req;
+        req.cmd = cmd;
+        req.addr = addr;
+        req.done = std::move(done);
+        auto outcome = nodes[node]->cache->access(req);
+        if (outcome == CacheHierarchy::Outcome::Retry) {
+            eq.scheduleIn(clock.period(), [this, node, cmd, addr,
+                                           d = req.done]() mutable {
+                issue(node, cmd, addr, std::move(d));
+            });
+        }
+    }
+
+    bool
+    quiescent() const
+    {
+        if (!net->quiescent())
+            return false;
+        for (const auto &n : nodes) {
+            if (!n->cache->quiescent() || !n->mc->quiescent())
+                return false;
+        }
+        return true;
+    }
+
+    /** Run to completion; panic if the machine wedges past @p limit. */
+    void
+    settle(Tick limit = 500 * tickPerUs)
+    {
+        eq.run(eq.curTick() + limit);
+        SMTP_ASSERT(quiescent(),
+                    "machine failed to quiesce within the time limit");
+    }
+
+    /** Decode the directory entry for @p addr at its home. */
+    std::uint64_t
+    dirEntryOf(Addr addr)
+    {
+        return nodes[map.homeOf(addr)]->mc->dirEntry(addr);
+    }
+
+    /** Check the global single-writer/multiple-reader invariant. */
+    void
+    checkLineInvariants(Addr addr) const
+    {
+        Addr line = lineAlign(addr);
+        unsigned writable_count = 0, shared_count = 0;
+        std::uint64_t sharer_bits = 0;
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+            auto st = nodes[n]->cache->l2State(line);
+            if (st == LineState::Ex || st == LineState::Mod)
+                ++writable_count;
+            if (st == LineState::Sh) {
+                ++shared_count;
+                sharer_bits |= 1ULL << n;
+            }
+        }
+        SMTP_ASSERT(writable_count <= 1, "SWMR violated: two writers");
+        SMTP_ASSERT(writable_count == 0 || shared_count == 0,
+                    "SWMR violated: writer coexists with sharers");
+
+        auto entry =
+            const_cast<ProtoMachine *>(this)->dirEntryOf(line);
+        auto state = fmt.state(entry);
+        SMTP_ASSERT(!fmt.stale(entry), "stale flag left set at quiescence");
+        SMTP_ASSERT(state == proto::dirUnowned ||
+                        state == proto::dirShared ||
+                        state == proto::dirExclusive,
+                    "busy directory state left at quiescence");
+        if (writable_count == 1) {
+            SMTP_ASSERT(state == proto::dirExclusive,
+                        "writer present but directory not Exclusive");
+        }
+        if (state == proto::dirExclusive) {
+            NodeId owner = fmt.owner(entry);
+            auto st = nodes[owner]->cache->l2State(line);
+            SMTP_ASSERT(writable(st),
+                        "directory owner does not hold the line");
+        }
+        // Every actual sharer must be in the vector (the vector may hold
+        // extra, stale, silently-dropped sharers).
+        if (shared_count > 0) {
+            SMTP_ASSERT(state == proto::dirShared,
+                        "sharers present but directory not Shared");
+            std::uint64_t vec = fmt.vector(entry);
+            SMTP_ASSERT((sharer_bits & ~vec) == 0,
+                        "a cached sharer is missing from the vector");
+        }
+    }
+
+    struct Node
+    {
+        std::unique_ptr<CacheHierarchy> cache;
+        std::unique_ptr<MemController> mc;
+        std::unique_ptr<ImmediateAgent> agent;
+    };
+
+    static constexpr Addr dataBase = 0x10000000;
+
+    EventQueue eq;
+    proto::DirFormat fmt;
+    proto::HandlerImage image;
+    ClockDomain clock;
+    PagePlacementMap map;
+    std::unique_ptr<Network> net;
+    std::vector<std::unique_ptr<Node>> nodes;
+};
+
+} // namespace smtp::testing
+
+#endif // SMTP_TESTS_PROTO_HARNESS_HPP

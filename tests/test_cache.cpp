@@ -1,0 +1,615 @@
+/**
+ * @file
+ * Unit tests for the coherent cache hierarchy: hit/miss timing, MSHR
+ * coalescing, the store upgrade path, eviction/writeback ordering,
+ * probe semantics (invalidations, interventions, writeback races,
+ * deferral), fill poisoning, and the SMTp bypass buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cache/hierarchy.hpp"
+#include "protocol/directory.hpp"
+
+namespace smtp
+{
+namespace
+{
+
+using proto::Message;
+using proto::MsgType;
+
+class CacheTest : public ::testing::Test
+{
+  protected:
+    CacheTest() : clock(2000), cache(eq, clock, 0, makeParams())
+    {
+        cache.connect(
+            [this](const Message &m) {
+                if (lmiFull)
+                    return false;
+                lmi.push_back(m);
+                return true;
+            },
+            [this](Addr a, bool write, std::function<void()> fn) {
+                bypassOps.push_back({a, write});
+                if (fn)
+                    eq.scheduleIn(80 * tickPerNs, std::move(fn));
+            });
+        cache.setInvalHook([this](Addr a) { invalidated.push_back(a); });
+    }
+
+    static CacheParams
+    makeParams()
+    {
+        CacheParams p;
+        // Small caches so tests can exercise evictions cheaply.
+        p.l1iBytes = 2 * 1024;
+        p.l1dBytes = 1 * 1024;
+        p.l2Bytes = 16 * 1024; // 16 sets x 8 ways x 128 B
+        p.enableBypass = true;
+        return p;
+    }
+
+    /** Issue an access; returns sequence id used to check completion. */
+    int
+    issue(MemCmd cmd, Addr addr)
+    {
+        int id = nextId++;
+        MemReq req;
+        req.cmd = cmd;
+        req.addr = addr;
+        req.done = [this, id] { completed.push_back(id); };
+        lastOutcome = cache.access(req);
+        return id;
+    }
+
+    bool
+    isDone(int id) const
+    {
+        for (int c : completed)
+            if (c == id)
+                return true;
+        return false;
+    }
+
+    /** Pop the next LMI message, asserting its type. */
+    Message
+    expectLmi(MsgType t)
+    {
+        EXPECT_FALSE(lmi.empty()) << "expected " << proto::msgTypeName(t);
+        Message m = lmi.front();
+        lmi.erase(lmi.begin());
+        EXPECT_EQ(m.type, t);
+        return m;
+    }
+
+    void
+    fill(const Message &req, MsgType fill_type)
+    {
+        Message f;
+        f.type = fill_type;
+        f.addr = req.addr;
+        f.mshr = req.mshr;
+        ASSERT_TRUE(cache.deliverFill(f));
+    }
+
+    EventQueue eq;
+    ClockDomain clock;
+    CacheHierarchy cache;
+    std::vector<Message> lmi;
+    std::vector<std::pair<Addr, bool>> bypassOps;
+    std::vector<Addr> invalidated;
+    std::vector<int> completed;
+    bool lmiFull = false;
+    int nextId = 0;
+    CacheHierarchy::Outcome lastOutcome{};
+};
+
+TEST_F(CacheTest, LoadMissFillHit)
+{
+    int id = issue(MemCmd::Load, 0x10000);
+    EXPECT_EQ(lastOutcome, CacheHierarchy::Outcome::Pending);
+    eq.run();
+    EXPECT_FALSE(isDone(id));
+    auto req = expectLmi(MsgType::PiGet);
+    EXPECT_EQ(req.addr, 0x10000u);
+
+    fill(req, MsgType::CcFillSh);
+    eq.run();
+    EXPECT_TRUE(isDone(id));
+    EXPECT_EQ(cache.l2State(0x10000), LineState::Sh);
+    EXPECT_TRUE(cache.inL1d(0x10000));
+
+    // Second access is an L1 hit completing in one cycle.
+    Tick t0 = eq.curTick();
+    int id2 = issue(MemCmd::Load, 0x10008);
+    EXPECT_EQ(lastOutcome, CacheHierarchy::Outcome::Done);
+    eq.run();
+    EXPECT_TRUE(isDone(id2));
+    EXPECT_EQ(eq.curTick() - t0, clock.cyclesToTicks(1));
+    EXPECT_EQ(cache.l1dHits.value(), 1u);
+}
+
+TEST_F(CacheTest, L1MissL2HitTiming)
+{
+    int id = issue(MemCmd::Load, 0x10000);
+    fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+    eq.run();
+    ASSERT_TRUE(isDone(id));
+
+    // A different 32 B sub-line of the same 128 B L2 line: L1 miss, L2 hit.
+    Tick t0 = eq.curTick();
+    int id2 = issue(MemCmd::Load, 0x10000 + 64);
+    EXPECT_EQ(lastOutcome, CacheHierarchy::Outcome::Pending);
+    eq.run();
+    EXPECT_TRUE(isDone(id2));
+    EXPECT_EQ(eq.curTick() - t0, clock.cyclesToTicks(9));
+}
+
+TEST_F(CacheTest, MshrCoalescing)
+{
+    int a = issue(MemCmd::Load, 0x20000);
+    int b = issue(MemCmd::Load, 0x20040); // same 128 B line
+    EXPECT_EQ(lastOutcome, CacheHierarchy::Outcome::Pending);
+    EXPECT_EQ(cache.mshrsInUse(), 1u);
+    auto req = expectLmi(MsgType::PiGet);
+    EXPECT_TRUE(lmi.empty()) << "coalesced miss must not re-request";
+    fill(req, MsgType::CcFillSh);
+    eq.run();
+    EXPECT_TRUE(isDone(a));
+    EXPECT_TRUE(isDone(b));
+    EXPECT_EQ(cache.mshrsInUse(), 0u);
+}
+
+TEST_F(CacheTest, StoreMissRequestsExclusive)
+{
+    int id = issue(MemCmd::Store, 0x30000);
+    auto req = expectLmi(MsgType::PiGetx);
+    fill(req, MsgType::CcFillEx);
+    eq.run();
+    EXPECT_TRUE(isDone(id));
+    EXPECT_EQ(cache.l2State(0x30000), LineState::Mod);
+}
+
+TEST_F(CacheTest, EagerExclusiveFillLeavesCleanLine)
+{
+    issue(MemCmd::Load, 0x30000);
+    fill(expectLmi(MsgType::PiGet), MsgType::CcFillEx);
+    eq.run();
+    EXPECT_EQ(cache.l2State(0x30000), LineState::Ex);
+    // A later store hits locally with no protocol traffic.
+    int id = issue(MemCmd::Store, 0x30000);
+    eq.run();
+    EXPECT_TRUE(isDone(id));
+    EXPECT_TRUE(lmi.empty());
+    EXPECT_EQ(cache.l2State(0x30000), LineState::Mod);
+}
+
+TEST_F(CacheTest, StoreOnSharedLineUpgrades)
+{
+    issue(MemCmd::Load, 0x40000);
+    fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+    eq.run();
+    ASSERT_EQ(cache.l2State(0x40000), LineState::Sh);
+
+    int id = issue(MemCmd::Store, 0x40000);
+    auto up = expectLmi(MsgType::PiUpgrade);
+    EXPECT_FALSE(isDone(id));
+    Message g;
+    g.type = MsgType::CcUpgradeGrant;
+    g.addr = up.addr;
+    g.mshr = up.mshr;
+    ASSERT_TRUE(cache.deliverFill(g));
+    eq.run();
+    EXPECT_TRUE(isDone(id));
+    EXPECT_EQ(cache.l2State(0x40000), LineState::Mod);
+}
+
+TEST_F(CacheTest, StoreArrivingOnSharedMissUpgradesAfterFill)
+{
+    int ld = issue(MemCmd::Load, 0x50000);
+    auto req = expectLmi(MsgType::PiGet);
+    int st = issue(MemCmd::Store, 0x50010); // same line, while in flight
+    EXPECT_EQ(cache.mshrsInUse(), 1u);
+
+    fill(req, MsgType::CcFillSh);
+    eq.run();
+    EXPECT_TRUE(isDone(ld));
+    EXPECT_FALSE(isDone(st)) << "store needs the upgrade";
+    auto up = expectLmi(MsgType::PiUpgrade);
+    Message g;
+    g.type = MsgType::CcUpgradeGrant;
+    g.addr = up.addr;
+    g.mshr = up.mshr;
+    ASSERT_TRUE(cache.deliverFill(g));
+    eq.run();
+    EXPECT_TRUE(isDone(st));
+    EXPECT_EQ(cache.l2State(0x50000), LineState::Mod);
+}
+
+TEST_F(CacheTest, StoreCoalescedOntoExclusiveMissCompletesWithFill)
+{
+    int st1 = issue(MemCmd::Store, 0x60000);
+    auto req = expectLmi(MsgType::PiGetx);
+    int st2 = issue(MemCmd::Store, 0x60020);
+    fill(req, MsgType::CcFillEx);
+    eq.run();
+    EXPECT_TRUE(isDone(st1));
+    EXPECT_TRUE(isDone(st2));
+}
+
+TEST_F(CacheTest, DirtyEvictionEmitsPutAndTracksRace)
+{
+    // Fill 9 distinct lines mapping to the same L2 set (16 sets x 128 B
+    // stride = 2 KB). The 9th fill evicts the LRU (first) line.
+    std::vector<Message> reqs;
+    for (int i = 0; i < 9; ++i) {
+        issue(i == 0 ? MemCmd::Store : MemCmd::Load,
+              0x100000 + static_cast<Addr>(i) * 16 * 128);
+        reqs.push_back(lmi.back());
+        lmi.pop_back();
+        fill(reqs.back(), i == 0 ? MsgType::CcFillEx : MsgType::CcFillSh);
+        eq.run();
+    }
+    auto put = expectLmi(MsgType::PiPut);
+    EXPECT_EQ(put.addr, 0x100000u);
+    EXPECT_TRUE(put.carriesData());
+    EXPECT_TRUE(cache.wbPending(0x100000));
+    EXPECT_EQ(cache.l2State(0x100000), LineState::Inv);
+    cache.clearWbPending(0x100000);
+    EXPECT_FALSE(cache.wbPending(0x100000));
+}
+
+TEST_F(CacheTest, CleanExclusiveEvictionEmitsPutClean)
+{
+    std::vector<Message> reqs;
+    for (int i = 0; i < 9; ++i) {
+        issue(MemCmd::Load, 0x100000 + static_cast<Addr>(i) * 16 * 128);
+        reqs.push_back(lmi.back());
+        lmi.pop_back();
+        // First line granted eager-exclusive but never written.
+        fill(reqs.back(), i == 0 ? MsgType::CcFillEx : MsgType::CcFillSh);
+        eq.run();
+    }
+    auto put = expectLmi(MsgType::PiPutClean);
+    EXPECT_EQ(put.addr, 0x100000u);
+    EXPECT_FALSE(put.carriesData());
+}
+
+TEST_F(CacheTest, SharedEvictionIsSilent)
+{
+    for (int i = 0; i < 9; ++i) {
+        issue(MemCmd::Load, 0x100000 + static_cast<Addr>(i) * 16 * 128);
+        auto req = expectLmi(MsgType::PiGet);
+        fill(req, MsgType::CcFillSh);
+        eq.run();
+    }
+    EXPECT_TRUE(lmi.empty()) << "shared evictions must not emit messages";
+}
+
+TEST_F(CacheTest, EvictionOrderedBeforeReRequest)
+{
+    // Fill the set, dirty the first line, then trigger eviction and
+    // immediately re-request the evicted line: the Put must be enqueued
+    // to the LMI before the new Get.
+    lmiFull = true; // Hold everything in the cache-side FIFO.
+    std::vector<Message> pending;
+    lmiFull = false;
+    std::vector<Message> reqs;
+    for (int i = 0; i < 8; ++i) {
+        issue(i == 0 ? MemCmd::Store : MemCmd::Load,
+              0x100000 + static_cast<Addr>(i) * 16 * 128);
+        reqs.push_back(lmi.back());
+        lmi.pop_back();
+        fill(reqs.back(), i == 0 ? MsgType::CcFillEx : MsgType::CcFillSh);
+        eq.run();
+    }
+    lmiFull = true;
+    issue(MemCmd::Load, 0x100000 + 8 * 16 * 128); // queued in cache FIFO
+    auto req9 = Message{};
+    eq.run(eq.curTick() + 10 * tickPerNs);
+    // Deliver the 9th fill while the LMI refuses; eviction Put and a
+    // re-request of the victim line both queue behind the Get.
+    // First release the LMI and drain.
+    lmiFull = false;
+    eq.run(eq.curTick() + 10 * tickPerNs);
+    ASSERT_FALSE(lmi.empty());
+    req9 = expectLmi(MsgType::PiGet);
+    fill(req9, MsgType::CcFillSh);
+    eq.run();
+    auto put = expectLmi(MsgType::PiPut);
+    EXPECT_EQ(put.addr, 0x100000u);
+    // Now re-request the evicted line: Get must follow the Put.
+    issue(MemCmd::Load, 0x100000);
+    auto get = expectLmi(MsgType::PiGet);
+    EXPECT_EQ(get.addr, 0x100000u);
+}
+
+TEST_F(CacheTest, InvalProbeInvalidatesAndHooksReplay)
+{
+    issue(MemCmd::Load, 0x70000);
+    fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+    eq.run();
+    ASSERT_TRUE(cache.inL1d(0x70000));
+
+    auto out = cache.applyProbe(MsgType::CcInval, 0x70000);
+    EXPECT_TRUE(out.hit);
+    EXPECT_EQ(cache.l2State(0x70000), LineState::Inv);
+    EXPECT_FALSE(cache.inL1d(0x70000));
+    ASSERT_EQ(invalidated.size(), 1u);
+    EXPECT_EQ(invalidated[0], 0x70000u);
+}
+
+TEST_F(CacheTest, InvalProbeOnAbsentLineMisses)
+{
+    auto out = cache.applyProbe(MsgType::CcInval, 0x71000);
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(invalidated.empty());
+}
+
+TEST_F(CacheTest, IntervShDowngradesDirtyLine)
+{
+    issue(MemCmd::Store, 0x72000);
+    fill(expectLmi(MsgType::PiGetx), MsgType::CcFillEx);
+    eq.run();
+    ASSERT_EQ(cache.l2State(0x72000), LineState::Mod);
+
+    auto out = cache.applyProbe(MsgType::CcIntervSh, 0x72000);
+    EXPECT_TRUE(out.hit);
+    EXPECT_TRUE(out.dirty);
+    EXPECT_EQ(cache.l2State(0x72000), LineState::Sh);
+    EXPECT_TRUE(invalidated.empty()) << "downgrade keeps read permission";
+}
+
+TEST_F(CacheTest, IntervExInvalidatesAndReportsClean)
+{
+    issue(MemCmd::Load, 0x73000);
+    fill(expectLmi(MsgType::PiGet), MsgType::CcFillEx);
+    eq.run();
+    ASSERT_EQ(cache.l2State(0x73000), LineState::Ex);
+
+    auto out = cache.applyProbe(MsgType::CcIntervEx, 0x73000);
+    EXPECT_TRUE(out.hit);
+    EXPECT_FALSE(out.dirty);
+    EXPECT_EQ(cache.l2State(0x73000), LineState::Inv);
+    EXPECT_EQ(invalidated.size(), 1u);
+}
+
+TEST_F(CacheTest, InterventionDuringWritebackRaceMisses)
+{
+    // Dirty a line, evict it (Put outstanding), then intervene.
+    issue(MemCmd::Store, 0x100000);
+    fill(expectLmi(MsgType::PiGetx), MsgType::CcFillEx);
+    eq.run();
+    for (int i = 1; i < 9; ++i) {
+        issue(MemCmd::Load, 0x100000 + static_cast<Addr>(i) * 16 * 128);
+        fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+        eq.run();
+    }
+    expectLmi(MsgType::PiPut);
+    ASSERT_TRUE(cache.wbPending(0x100000));
+    EXPECT_FALSE(cache.probeWouldDefer(0x100000));
+    auto out = cache.applyProbe(MsgType::CcIntervSh, 0x100000);
+    EXPECT_FALSE(out.hit) << "writeback race must answer IntervMiss";
+}
+
+TEST_F(CacheTest, InterventionChasingExclusiveGrantDefers)
+{
+    issue(MemCmd::Store, 0x74000);
+    expectLmi(MsgType::PiGetx);
+    // Fill not yet delivered: an intervention for this line must wait.
+    EXPECT_TRUE(cache.probeWouldDefer(0x74000));
+}
+
+TEST_F(CacheTest, PoisonedSharedFillInstallsNothing)
+{
+    int id = issue(MemCmd::Load, 0x75000);
+    auto req = expectLmi(MsgType::PiGet);
+    // Invalidation chases the future fill.
+    auto out = cache.applyProbe(MsgType::CcInval, 0x75000);
+    EXPECT_FALSE(out.hit);
+    fill(req, MsgType::CcFillSh);
+    eq.run();
+    EXPECT_TRUE(isDone(id)) << "data is delivered exactly once";
+    EXPECT_EQ(cache.l2State(0x75000), LineState::Inv);
+    EXPECT_EQ(cache.fillsPoisoned.value(), 1u);
+}
+
+TEST_F(CacheTest, UpgradeGrantOnVanishedLineReissuesGetx)
+{
+    issue(MemCmd::Load, 0x76000);
+    fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+    eq.run();
+    int st = issue(MemCmd::Store, 0x76000);
+    auto up = expectLmi(MsgType::PiUpgrade);
+    // A straggling invalidation removes the shared copy first.
+    cache.applyProbe(MsgType::CcInval, 0x76000);
+    Message g;
+    g.type = MsgType::CcUpgradeGrant;
+    g.addr = up.addr;
+    g.mshr = up.mshr;
+    ASSERT_TRUE(cache.deliverFill(g));
+    auto getx = expectLmi(MsgType::PiGetx);
+    EXPECT_EQ(getx.addr, 0x76000u);
+    fill(getx, MsgType::CcFillEx);
+    eq.run();
+    EXPECT_TRUE(isDone(st));
+    EXPECT_EQ(cache.l2State(0x76000), LineState::Mod);
+}
+
+TEST_F(CacheTest, PrefetchAllocatesMshrWithoutBlocking)
+{
+    int id = issue(MemCmd::Prefetch, 0x77000);
+    EXPECT_EQ(lastOutcome, CacheHierarchy::Outcome::Done);
+    eq.run();
+    EXPECT_TRUE(isDone(id)) << "prefetch completes immediately";
+    auto req = expectLmi(MsgType::PiGet);
+    EXPECT_TRUE(req.flags & proto::flagPrefetch);
+
+    // A demand load on the in-flight prefetch coalesces and is counted.
+    int ld = issue(MemCmd::Load, 0x77000);
+    fill(req, MsgType::CcFillSh);
+    eq.run();
+    EXPECT_TRUE(isDone(ld));
+    EXPECT_EQ(cache.prefetchesUseful.value(), 1u);
+}
+
+TEST_F(CacheTest, PrefetchDroppedWhenMshrsFull)
+{
+    for (unsigned i = 0; i < 16; ++i)
+        issue(MemCmd::Load, 0x200000 + static_cast<Addr>(i) * 0x1000);
+    EXPECT_EQ(cache.mshrsInUse(), 16u);
+    issue(MemCmd::Prefetch, 0x300000);
+    EXPECT_EQ(cache.prefetchesDropped.value(), 1u);
+    EXPECT_EQ(cache.mshrsInUse(), 16u);
+}
+
+TEST_F(CacheTest, DemandLoadRetriesWhenMshrsFull)
+{
+    for (unsigned i = 0; i < 16; ++i)
+        issue(MemCmd::Load, 0x200000 + static_cast<Addr>(i) * 0x1000);
+    issue(MemCmd::Load, 0x300000);
+    EXPECT_EQ(lastOutcome, CacheHierarchy::Outcome::Retry);
+}
+
+TEST_F(CacheTest, ReservedStoreMshrKeepsStoresDraining)
+{
+    for (unsigned i = 0; i < 16; ++i)
+        issue(MemCmd::Load, 0x200000 + static_cast<Addr>(i) * 0x1000);
+    issue(MemCmd::Store, 0x300000);
+    EXPECT_EQ(lastOutcome, CacheHierarchy::Outcome::Pending)
+        << "the 17th (store-reserved) MSHR must accept a retiring store";
+    EXPECT_EQ(cache.mshrsInUse(), 17u);
+}
+
+TEST_F(CacheTest, ProtocolAccessesBypassLmi)
+{
+    using proto::protoDirBase;
+    int id = issue(MemCmd::ProtoLoad, protoDirBase + 0x40);
+    eq.run();
+    EXPECT_TRUE(isDone(id));
+    EXPECT_TRUE(lmi.empty()) << "protocol misses bypass the LMI";
+    ASSERT_EQ(bypassOps.size(), 1u);
+    EXPECT_FALSE(bypassOps[0].second);
+    EXPECT_EQ(cache.protoL2Misses.value(), 1u);
+
+    // Now an L1 hit.
+    int id2 = issue(MemCmd::ProtoLoad, protoDirBase + 0x48);
+    eq.run();
+    EXPECT_TRUE(isDone(id2));
+    EXPECT_EQ(cache.protoL1dHits.value(), 1u);
+}
+
+TEST_F(CacheTest, ProtocolStoreDirtiesAndEvictionWritesBack)
+{
+    using proto::protoDirBase;
+    // Dirty one protocol line, then displace it with app lines.
+    int id = issue(MemCmd::ProtoStore, protoDirBase);
+    eq.run();
+    ASSERT_TRUE(isDone(id));
+    EXPECT_EQ(cache.l2State(protoDirBase), LineState::Mod);
+    bypassOps.clear();
+
+    for (int i = 0; i < 8; ++i) {
+        Addr a = 0x100000 + static_cast<Addr>(i) * 16 * 128 +
+                 (protoDirBase & 0x780ULL); // same set as the proto line
+        issue(MemCmd::Load, a);
+        auto req = expectLmi(MsgType::PiGet);
+        fill(req, MsgType::CcFillSh);
+        eq.run();
+    }
+    // The dirty protocol victim went back over the bypass bus.
+    bool wrote = false;
+    for (auto &[a, w] : bypassOps)
+        wrote |= w && a == protoDirBase;
+    EXPECT_TRUE(wrote);
+}
+
+TEST_F(CacheTest, BypassBufferAbsorbsConflictingProtocolFill)
+{
+    using proto::protoDirBase;
+    // Fill an L2 set completely with application lines and keep one
+    // in-flight miss mapping there, then take a protocol miss to the
+    // same set: it must land in the bypass buffer, not evict.
+    Addr set_off = protoDirBase & (15ULL * 128); // set index of the target
+    for (int i = 0; i < 8; ++i) {
+        Addr a = 0x400000 + static_cast<Addr>(i) * 16 * 128 + set_off;
+        issue(MemCmd::Load, a);
+        fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+        eq.run();
+    }
+    issue(MemCmd::Load, 0x500000 + set_off); // in-flight, same set
+    expectLmi(MsgType::PiGet);
+
+    issue(MemCmd::ProtoLoad, protoDirBase);
+    eq.run();
+    EXPECT_GE(cache.bypassAllocs.value(), 1u);
+    // All 8 application lines still resident.
+    for (int i = 0; i < 8; ++i) {
+        Addr a = 0x400000 + static_cast<Addr>(i) * 16 * 128 + set_off;
+        EXPECT_EQ(cache.l2State(a), LineState::Sh);
+    }
+    // And the protocol line is accessible (bypass lookup).
+    EXPECT_EQ(cache.l2State(protoDirBase), LineState::Ex);
+}
+
+TEST_F(CacheTest, ConcurrentProtoMissesCoalesce)
+{
+    using proto::protoPendBase;
+    int a = issue(MemCmd::ProtoLoad, protoPendBase);
+    int b = issue(MemCmd::ProtoLoad, protoPendBase + 8);
+    eq.run();
+    EXPECT_TRUE(isDone(a));
+    EXPECT_TRUE(isDone(b));
+    EXPECT_EQ(bypassOps.size(), 1u) << "one bus access per line";
+}
+
+TEST_F(CacheTest, QuiescenceReflectsOutstandingWork)
+{
+    EXPECT_TRUE(cache.quiescent());
+    issue(MemCmd::Load, 0x80000);
+    EXPECT_FALSE(cache.quiescent());
+    fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+    eq.run();
+    EXPECT_TRUE(cache.quiescent());
+}
+
+TEST_F(CacheTest, InclusionMaintainedOnL2Eviction)
+{
+    issue(MemCmd::Load, 0x100000);
+    fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+    eq.run();
+    ASSERT_TRUE(cache.inL1d(0x100000));
+    for (int i = 1; i < 9; ++i) {
+        issue(MemCmd::Load, 0x100000 + static_cast<Addr>(i) * 16 * 128);
+        fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+        eq.run();
+    }
+    EXPECT_EQ(cache.l2State(0x100000), LineState::Inv);
+    EXPECT_FALSE(cache.inL1d(0x100000)) << "inclusion violated";
+}
+
+TEST_F(CacheTest, IFetchFillsL1I)
+{
+    issue(MemCmd::IFetch, 0x90000);
+    fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
+    eq.run();
+    EXPECT_TRUE(cache.inL1i(0x90000));
+    EXPECT_FALSE(cache.inL1d(0x90000));
+    int id = issue(MemCmd::IFetch, 0x90010);
+    eq.run();
+    EXPECT_TRUE(isDone(id));
+    EXPECT_EQ(cache.l1iHits.value(), 1u);
+}
+
+TEST_F(CacheTest, DeathOnInterventionWithNoOwnershipHistory)
+{
+    EXPECT_DEATH(cache.applyProbe(MsgType::CcIntervSh, 0xAB000),
+                 "intervention");
+}
+
+} // namespace
+} // namespace smtp

@@ -1,0 +1,617 @@
+/**
+ * @file
+ * Protocol transition-table tests: each home-side handler is executed
+ * directly (functional executor + mock environment) against every
+ * relevant directory state, asserting the new entry and the exact
+ * outgoing messages. This pins the protocol's transition table
+ * independently of any timing model — the protocol analogue of an ISA
+ * golden-model test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "protocol/directory.hpp"
+#include "protocol/executor.hpp"
+#include "protocol/handlers.hpp"
+
+namespace smtp::proto
+{
+namespace
+{
+
+constexpr NodeId homeNode = 2;
+constexpr Addr line = 0x40000; // arbitrary line-aligned address
+
+class TableEnv : public ExecEnv
+{
+  public:
+    std::uint64_t
+    protoLoad(Addr a, unsigned bytes) override
+    {
+        auto it = ram.find(a & ~7ULL);
+        std::uint64_t v = it == ram.end() ? 0 : it->second;
+        if (bytes == 4)
+            return (v >> ((a & 4) ? 32 : 0)) & 0xffffffffULL;
+        return v;
+    }
+
+    void
+    protoStore(Addr a, std::uint64_t v, unsigned bytes) override
+    {
+        Addr w = a & ~7ULL;
+        if (bytes == 8) {
+            ram[w] = v;
+            return;
+        }
+        std::uint64_t cur = ram[w];
+        unsigned shift = (a & 4) ? 32 : 0;
+        cur &= ~(0xffffffffULL << shift);
+        cur |= (v & 0xffffffffULL) << shift;
+        ram[w] = cur;
+    }
+
+    Addr dirAddrOf(Addr l) override { return protoDirBase + (l >> 7) * 8; }
+    NodeId homeOf(Addr) override { return homeNode; }
+    std::uint64_t probeResult() override { return probe; }
+
+    std::unordered_map<Addr, std::uint64_t> ram;
+    std::uint64_t probe = 1; // hit, clean
+};
+
+class TransitionTest : public ::testing::Test
+{
+  protected:
+    TransitionTest()
+        : fmt(DirFormat::forNodes(16)), image(buildHandlerImage(fmt)),
+          ex(image, env)
+    {
+        ex.boot(homeNode);
+    }
+
+    void
+    setEntry(std::uint64_t e)
+    {
+        env.protoStore(env.dirAddrOf(line), e, fmt.entryBytes);
+    }
+
+    std::uint64_t entry() { return env.protoLoad(env.dirAddrOf(line),
+                                                 fmt.entryBytes); }
+
+    HandlerTrace
+    deliver(MsgType t, NodeId src, NodeId requester, std::uint8_t mshr = 5,
+            std::uint16_t acks = 0)
+    {
+        Message m;
+        m.type = t;
+        m.addr = line;
+        m.src = src;
+        m.dest = homeNode;
+        m.requester = requester;
+        m.mshr = mshr;
+        m.ackCount = acks;
+        if (typeCarriesData(t))
+            m.flags |= flagDataCarried;
+        return ex.run(m);
+    }
+
+    /** Outgoing network messages of a trace, in order. */
+    static std::vector<Message>
+    netSends(const HandlerTrace &tr)
+    {
+        std::vector<Message> out;
+        for (const auto &s : tr.sends)
+            if (s.target == SendTarget::Network)
+                out.push_back(s.msg);
+        return out;
+    }
+
+    static unsigned
+    memWrites(const HandlerTrace &tr)
+    {
+        unsigned n = 0;
+        for (const auto &s : tr.sends)
+            n += s.target == SendTarget::MemWrite;
+        return n;
+    }
+
+    DirFormat fmt;
+    HandlerImage image;
+    TableEnv env;
+    Executor ex;
+};
+
+// ----------------------------------------------------------- ReqGet
+
+TEST_F(TransitionTest, GetAtUnownedGrantsEagerExclusive)
+{
+    setEntry(0);
+    auto tr = deliver(MsgType::ReqGet, 4, 4);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirExclusive);
+    EXPECT_EQ(fmt.owner(e), 4);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplDataEx);
+    EXPECT_EQ(out[0].dest, 4);
+    EXPECT_EQ(out[0].mshr, 5);
+    EXPECT_EQ(out[0].ackCount, 0);
+    // Data comes from the speculative memory read.
+    EXPECT_EQ(tr.sends[0].dataSrc, DataSrc::Memory);
+}
+
+TEST_F(TransitionTest, GetAtSharedAddsSharer)
+{
+    std::uint64_t e0 = fmt.setState(0, dirShared);
+    e0 = fmt.setVector(e0, 0b1001);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqGet, 5, 5);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirShared);
+    EXPECT_EQ(fmt.vector(e), 0b101001u);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplDataSh);
+}
+
+TEST_F(TransitionTest, GetAtExclusiveIntervenesThreeHop)
+{
+    std::uint64_t e0 = fmt.setState(0, dirExclusive);
+    e0 = fmt.setVector(e0, 1u << 7);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqGet, 4, 4, 9);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirBusySh);
+    EXPECT_EQ(fmt.pendingReq(e), 4);
+    EXPECT_EQ(fmt.pendingMshr(e), 9);
+    EXPECT_FALSE(fmt.pendingGetx(e));
+    EXPECT_EQ(fmt.vector(e), 1u << 7) << "owner bit preserved";
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::FwdIntervSh);
+    EXPECT_EQ(out[0].dest, 7);
+    EXPECT_EQ(out[0].requester, 4);
+}
+
+TEST_F(TransitionTest, GetAtBusyNaks)
+{
+    std::uint64_t e0 = fmt.setState(0, dirBusySh);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqGet, 4, 4);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplNak);
+    EXPECT_EQ(out[0].dest, 4);
+    EXPECT_EQ(fmt.state(entry()), dirBusySh) << "entry untouched";
+}
+
+TEST_F(TransitionTest, GetAtStaleSharedNaks)
+{
+    std::uint64_t e0 = fmt.setState(0, dirShared);
+    e0 = fmt.setVector(e0, 0b10);
+    e0 = fmt.setStale(e0, true);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqGet, 4, 4);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplNak);
+}
+
+// ----------------------------------------------------------- ReqGetx
+
+TEST_F(TransitionTest, GetxAtSharedInvalidatesEveryOtherSharer)
+{
+    std::uint64_t e0 = fmt.setState(0, dirShared);
+    e0 = fmt.setVector(e0, 0b1011011); // nodes 0,1,3,4,6
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqGetx, 3, 3, 2);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirExclusive);
+    EXPECT_EQ(fmt.owner(e), 3);
+    auto out = netSends(tr);
+    // 4 invalidations + the data reply.
+    ASSERT_EQ(out.size(), 5u);
+    std::uint64_t inval_dests = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        EXPECT_EQ(out[i].type, MsgType::FwdInval);
+        EXPECT_EQ(out[i].requester, 3) << "acks go to the requester";
+        inval_dests |= 1ULL << out[i].dest;
+    }
+    EXPECT_EQ(inval_dests, 0b1010011u) << "everyone but the requester";
+    EXPECT_EQ(out[4].type, MsgType::RplDataEx);
+    EXPECT_EQ(out[4].ackCount, 4);
+}
+
+TEST_F(TransitionTest, GetxAtUnowned)
+{
+    setEntry(0);
+    auto tr = deliver(MsgType::ReqGetx, 6, 6);
+    EXPECT_EQ(fmt.state(entry()), dirExclusive);
+    EXPECT_EQ(fmt.owner(entry()), 6);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplDataEx);
+    EXPECT_EQ(out[0].ackCount, 0);
+}
+
+TEST_F(TransitionTest, GetxAtExclusiveForwardsOwnershipIntervention)
+{
+    std::uint64_t e0 = fmt.setState(0, dirExclusive);
+    e0 = fmt.setVector(e0, 1u << 1);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqGetx, 4, 4, 11);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirBusyEx);
+    EXPECT_TRUE(fmt.pendingGetx(e));
+    EXPECT_EQ(fmt.pendingReq(e), 4);
+    EXPECT_EQ(fmt.pendingMshr(e), 11);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::FwdIntervEx);
+    EXPECT_EQ(out[0].dest, 1);
+}
+
+// --------------------------------------------------------- ReqUpgrade
+
+TEST_F(TransitionTest, UpgradeGrantedWhenStillSharer)
+{
+    std::uint64_t e0 = fmt.setState(0, dirShared);
+    e0 = fmt.setVector(e0, 0b11000);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqUpgrade, 3, 3);
+    EXPECT_EQ(fmt.state(entry()), dirExclusive);
+    EXPECT_EQ(fmt.owner(entry()), 3);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].type, MsgType::FwdInval);
+    EXPECT_EQ(out[0].dest, 4);
+    EXPECT_EQ(out[1].type, MsgType::RplUpgradeAck);
+    EXPECT_EQ(out[1].ackCount, 1);
+}
+
+TEST_F(TransitionTest, UpgradeNakedWhenInvalidatedMeanwhile)
+{
+    std::uint64_t e0 = fmt.setState(0, dirShared);
+    e0 = fmt.setVector(e0, 0b10000); // node 4 only; requester 3 gone
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqUpgrade, 3, 3);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplNak);
+    EXPECT_EQ(fmt.vector(entry()), 0b10000u) << "entry untouched";
+}
+
+TEST_F(TransitionTest, UpgradeNakedWhenExclusiveElsewhere)
+{
+    std::uint64_t e0 = fmt.setState(0, dirExclusive);
+    e0 = fmt.setVector(e0, 1u << 9);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqUpgrade, 3, 3);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplNak);
+}
+
+// ---------------------------------------------------------- writebacks
+
+TEST_F(TransitionTest, PutFromOwnerRetiresLine)
+{
+    std::uint64_t e0 = fmt.setState(0, dirExclusive);
+    e0 = fmt.setVector(e0, 1u << 6);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqPut, 6, 6);
+    EXPECT_EQ(entry(), 0u) << "entry returns to Unowned";
+    EXPECT_EQ(memWrites(tr), 1u) << "dirty data written to memory";
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplWbAck);
+    EXPECT_EQ(out[0].dest, 6);
+}
+
+TEST_F(TransitionTest, PutCleanSkipsMemoryWrite)
+{
+    std::uint64_t e0 = fmt.setState(0, dirExclusive);
+    e0 = fmt.setVector(e0, 1u << 6);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqPutClean, 6, 6);
+    EXPECT_EQ(entry(), 0u);
+    EXPECT_EQ(memWrites(tr), 0u);
+}
+
+TEST_F(TransitionTest, PutRacingBusyShSatisfiesParkedRequester)
+{
+    // Owner 6 wrote back while the home waits for its SharingWb.
+    std::uint64_t e0 = fmt.setState(0, dirBusySh);
+    e0 = fmt.setVector(e0, 1u << 6);
+    e0 = fmt.setPendingReq(e0, 4);
+    e0 = fmt.setPendingMshr(e0, 13);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqPut, 6, 6);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirShared);
+    EXPECT_TRUE(fmt.stale(e)) << "the intervention is still in flight";
+    EXPECT_EQ(fmt.vector(e), 1u << 4) << "only the parked requester";
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].type, MsgType::RplDataSh);
+    EXPECT_EQ(out[0].dest, 4);
+    EXPECT_EQ(out[0].mshr, 13);
+    EXPECT_EQ(out[1].type, MsgType::RplWbBusyAck)
+        << "busy flavour keeps the race tracker armed";
+    EXPECT_EQ(memWrites(tr), 1u);
+}
+
+TEST_F(TransitionTest, PutAfterIntervMissGrantsWithoutStale)
+{
+    std::uint64_t e0 = fmt.setState(0, dirBusyExWaitPut);
+    e0 = fmt.setVector(e0, 1u << 6);
+    e0 = fmt.setPendingReq(e0, 4);
+    e0 = fmt.setPendingMshr(e0, 1);
+    e0 = fmt.setPendingGetx(e0, true);
+    setEntry(e0);
+    auto tr = deliver(MsgType::ReqPut, 6, 6);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirExclusive);
+    EXPECT_FALSE(fmt.stale(e)) << "IntervMiss already consumed";
+    EXPECT_EQ(fmt.owner(e), 4);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].type, MsgType::RplDataEx);
+    EXPECT_EQ(out[0].dest, 4);
+}
+
+// ------------------------------------------------------ revision msgs
+
+TEST_F(TransitionTest, SharingWbResolvesBusySh)
+{
+    std::uint64_t e0 = fmt.setState(0, dirBusySh);
+    e0 = fmt.setVector(e0, 1u << 6);
+    e0 = fmt.setPendingReq(e0, 4);
+    setEntry(e0);
+    auto tr = deliver(MsgType::RplSharingWb, 6, 4);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirShared);
+    EXPECT_EQ(fmt.vector(e), (1u << 6) | (1u << 4))
+        << "old owner and requester share";
+    EXPECT_EQ(memWrites(tr), 1u);
+    EXPECT_TRUE(netSends(tr).empty())
+        << "data went owner->requester directly (three-hop)";
+}
+
+TEST_F(TransitionTest, OwnershipXferResolvesBusyEx)
+{
+    std::uint64_t e0 = fmt.setState(0, dirBusyEx);
+    e0 = fmt.setVector(e0, 1u << 6);
+    e0 = fmt.setPendingReq(e0, 4);
+    e0 = fmt.setPendingGetx(e0, true);
+    setEntry(e0);
+    auto tr = deliver(MsgType::RplOwnershipXfer, 6, 4);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirExclusive);
+    EXPECT_EQ(fmt.owner(e), 4);
+    EXPECT_EQ(memWrites(tr), 0u) << "memory stays stale; line is dirty";
+}
+
+TEST_F(TransitionTest, IntervMissPutsBusyStatesIntoWaitPut)
+{
+    std::uint64_t e0 = fmt.setState(0, dirBusySh);
+    e0 = fmt.setVector(e0, 1u << 6);
+    e0 = fmt.setPendingReq(e0, 4);
+    setEntry(e0);
+    deliver(MsgType::RplIntervMiss, 6, 4);
+    EXPECT_EQ(fmt.state(entry()), dirBusyShWaitPut);
+
+    e0 = fmt.setState(e0, dirBusyEx);
+    setEntry(e0);
+    deliver(MsgType::RplIntervMiss, 6, 4);
+    EXPECT_EQ(fmt.state(entry()), dirBusyExWaitPut);
+}
+
+TEST_F(TransitionTest, IntervMissClearsStaleFlag)
+{
+    std::uint64_t e0 = fmt.setState(0, dirShared);
+    e0 = fmt.setVector(e0, 1u << 4);
+    e0 = fmt.setStale(e0, true);
+    setEntry(e0);
+    deliver(MsgType::RplIntervMiss, 6, 4);
+    auto e = entry();
+    EXPECT_EQ(fmt.state(e), dirShared);
+    EXPECT_FALSE(fmt.stale(e));
+    EXPECT_EQ(fmt.vector(e), 1u << 4);
+}
+
+// ----------------------------------------------- owner-side handlers
+
+TEST_F(TransitionTest, IntervShHitYieldsThreeHopDataPlusRevision)
+{
+    env.probe = 0b11; // hit, dirty
+    auto tr = deliver(MsgType::FwdIntervSh, homeNode, 4, 13);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].type, MsgType::RplDataSh);
+    EXPECT_EQ(out[0].dest, 4);
+    EXPECT_EQ(out[0].mshr, 13);
+    EXPECT_EQ(tr.sends[0].dataSrc, DataSrc::Probe);
+    EXPECT_EQ(out[1].type, MsgType::RplSharingWb);
+    EXPECT_EQ(out[1].dest, homeNode) << "revision routes to the home";
+}
+
+TEST_F(TransitionTest, IntervMissOnWritebackRace)
+{
+    env.probe = 0; // line gone
+    auto tr = deliver(MsgType::FwdIntervEx, homeNode, 4);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplIntervMiss);
+    EXPECT_EQ(out[0].dest, homeNode);
+}
+
+TEST_F(TransitionTest, InvalAlwaysAcksToRequester)
+{
+    auto tr = deliver(MsgType::FwdInval, homeNode, 9, 21);
+    auto out = netSends(tr);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].type, MsgType::RplInvalAck);
+    EXPECT_EQ(out[0].dest, 9);
+    EXPECT_EQ(out[0].mshr, 21);
+}
+
+// --------------------------------------------- requester-side handlers
+
+TEST_F(TransitionTest, DataExParksUntilAcksArrive)
+{
+    // Pending entry as PiGetx wrote it.
+    Addr pa = pendEntryAddr(homeNode, 5);
+    env.protoStore(pa, 1 | (static_cast<std::uint64_t>(MsgType::ReqGetx)
+                            << pend::typeShift), 8);
+    // Exclusive data with 2 acks expected: must park, no fill yet.
+    auto tr = deliver(MsgType::RplDataEx, 4, homeNode, 5, 2);
+    EXPECT_TRUE(tr.sends.empty());
+    // First ack: still parked.
+    tr = deliver(MsgType::RplInvalAck, 1, homeNode, 5);
+    EXPECT_TRUE(tr.sends.empty());
+    // Second ack completes the transaction with a buffered-data fill.
+    tr = deliver(MsgType::RplInvalAck, 3, homeNode, 5);
+    ASSERT_EQ(tr.sends.size(), 1u);
+    EXPECT_EQ(tr.sends[0].msg.type, MsgType::CcFillEx);
+    EXPECT_EQ(tr.sends[0].target, SendTarget::Local);
+    EXPECT_EQ(tr.sends[0].dataSrc, DataSrc::Buffer);
+    EXPECT_EQ(env.protoLoad(pa, 8), 0u) << "pending entry freed";
+}
+
+TEST_F(TransitionTest, AcksBeforeDataAlsoComplete)
+{
+    Addr pa = pendEntryAddr(homeNode, 7);
+    env.protoStore(pa, 1 | (static_cast<std::uint64_t>(MsgType::ReqGetx)
+                            << pend::typeShift), 8);
+    auto tr = deliver(MsgType::RplInvalAck, 1, homeNode, 7);
+    EXPECT_TRUE(tr.sends.empty());
+    // Data arrives after the single ack: completes immediately.
+    tr = deliver(MsgType::RplDataEx, 4, homeNode, 7, 1);
+    ASSERT_EQ(tr.sends.size(), 1u);
+    EXPECT_EQ(tr.sends[0].msg.type, MsgType::CcFillEx);
+    EXPECT_EQ(tr.sends[0].dataSrc, DataSrc::Carried);
+}
+
+TEST_F(TransitionTest, UpgradeAckCompletesWithGrantNotFill)
+{
+    Addr pa = pendEntryAddr(homeNode, 4);
+    env.protoStore(pa,
+                   1 | (static_cast<std::uint64_t>(MsgType::ReqUpgrade)
+                        << pend::typeShift), 8);
+    auto tr = deliver(MsgType::RplUpgradeAck, 4, homeNode, 4, 1);
+    EXPECT_TRUE(tr.sends.empty()) << "one ack still outstanding";
+    tr = deliver(MsgType::RplInvalAck, 1, homeNode, 4);
+    ASSERT_EQ(tr.sends.size(), 1u);
+    EXPECT_EQ(tr.sends[0].msg.type, MsgType::CcUpgradeGrant);
+    EXPECT_EQ(tr.sends[0].dataSrc, DataSrc::None);
+}
+
+TEST_F(TransitionTest, NakRetriesSameTypeWithBackoff)
+{
+    Addr pa = pendEntryAddr(homeNode, 6);
+    env.protoStore(pa, 1 | (static_cast<std::uint64_t>(MsgType::ReqGet)
+                            << pend::typeShift), 8);
+    auto tr = deliver(MsgType::RplNak, 4, homeNode, 6);
+    ASSERT_EQ(tr.sends.size(), 1u);
+    EXPECT_EQ(tr.sends[0].msg.type, MsgType::ReqGet);
+    EXPECT_TRUE(tr.sends[0].delayed) << "NAK retries back off";
+    EXPECT_EQ(env.protoLoad(pa + 16, 8), 1u) << "retry counter bumped";
+}
+
+TEST_F(TransitionTest, NakedUpgradeConvertsToGetx)
+{
+    Addr pa = pendEntryAddr(homeNode, 6);
+    env.protoStore(pa,
+                   1 | (static_cast<std::uint64_t>(MsgType::ReqUpgrade)
+                        << pend::typeShift), 8);
+    auto tr = deliver(MsgType::RplNak, 4, homeNode, 6);
+    ASSERT_EQ(tr.sends.size(), 1u);
+    EXPECT_EQ(tr.sends[0].msg.type, MsgType::ReqGetx)
+        << "the Shared copy may be gone: full GETX";
+    // Pending type rewritten so a second NAK also retries as GETX.
+    auto w0 = env.protoLoad(pa, 8);
+    EXPECT_EQ((w0 >> pend::typeShift) & 0xff,
+              static_cast<std::uint64_t>(MsgType::ReqGetx));
+}
+
+class LoggingTransitionTest : public ::testing::Test
+{
+  protected:
+    LoggingTransitionTest()
+        : fmt(DirFormat::forNodes(16)),
+          image(buildHandlerImage(fmt, HandlerOptions{true})),
+          ex(image, env)
+    {
+        ex.boot(homeNode);
+    }
+
+    HandlerTrace
+    deliver(MsgType t, NodeId requester, Addr a)
+    {
+        Message m;
+        m.type = t;
+        m.addr = a;
+        m.src = requester;
+        m.dest = homeNode;
+        m.requester = requester;
+        m.mshr = 1;
+        return ex.run(m);
+    }
+
+    DirFormat fmt;
+    TableEnv env;
+    HandlerImage image;
+    Executor ex;
+};
+
+TEST_F(LoggingTransitionTest, OwnershipGrantsAppendToTheLog)
+{
+    Addr scratch = protoScratchBase +
+                   static_cast<Addr>(homeNode) * protoNodeStride;
+    // Three exclusive grants: eager-Get, Getx-at-unowned, Getx-at-shared.
+    deliver(MsgType::ReqGet, 4, 0x10000);
+    deliver(MsgType::ReqGetx, 5, 0x20000);
+    env.protoStore(env.dirAddrOf(0x30000),
+                   fmt.setVector(fmt.setState(0, dirShared), 0b1100), 4);
+    deliver(MsgType::ReqGetx, 3, 0x30000);
+
+    EXPECT_EQ(env.protoLoad(scratch + ownLogCountOffset, 8), 3u);
+    EXPECT_EQ(env.protoLoad(scratch + ownLogBaseOffset + 0, 8), 0x10000u);
+    EXPECT_EQ(env.protoLoad(scratch + ownLogBaseOffset + 8, 8), 0x20000u);
+    EXPECT_EQ(env.protoLoad(scratch + ownLogBaseOffset + 16, 8),
+              0x30000u);
+}
+
+TEST_F(LoggingTransitionTest, SharedGrantsDoNotLog)
+{
+    env.protoStore(env.dirAddrOf(0x11000),
+                   fmt.setVector(fmt.setState(0, dirShared), 0b10), 4);
+    deliver(MsgType::ReqGet, 4, 0x11000);
+    Addr scratch = protoScratchBase +
+                   static_cast<Addr>(homeNode) * protoNodeStride;
+    EXPECT_EQ(env.protoLoad(scratch + ownLogCountOffset, 8), 0u);
+}
+
+TEST_F(LoggingTransitionTest, BaseImageUnchangedWithoutTheOption)
+{
+    auto plain = buildHandlerImage(fmt);
+    EXPECT_LT(plain.code.size(), image.code.size())
+        << "logging must add instructions only when requested";
+}
+
+TEST_F(TransitionTest, HandlersAreShortEnoughForTheIcacheBudget)
+{
+    // The paper's critical handlers are a handful of instructions; ours
+    // must stay within the same order of magnitude (dynamic length of
+    // the common fast paths, epilogue included).
+    setEntry(0);
+    auto tr = deliver(MsgType::ReqGet, 4, 4);
+    EXPECT_LE(tr.insts.size(), 40u);
+    auto tr2 = deliver(MsgType::RplWbAck, 4, 4);
+    EXPECT_LE(tr2.insts.size(), 4u);
+}
+
+} // namespace
+} // namespace smtp::proto

