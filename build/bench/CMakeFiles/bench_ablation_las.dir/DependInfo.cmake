@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_las.cpp" "bench/CMakeFiles/bench_ablation_las.dir/bench_ablation_las.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_las.dir/bench_ablation_las.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/smtp_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/smtp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pengine/CMakeFiles/smtp_pengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smtp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/smtp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/smtp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/smtp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smtp_sim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/smtp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

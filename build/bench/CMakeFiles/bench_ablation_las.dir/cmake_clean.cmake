@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_las.dir/bench_ablation_las.cpp.o"
+  "CMakeFiles/bench_ablation_las.dir/bench_ablation_las.cpp.o.d"
+  "bench_ablation_las"
+  "bench_ablation_las.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_las.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

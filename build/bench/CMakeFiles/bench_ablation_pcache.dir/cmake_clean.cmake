@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pcache.dir/bench_ablation_pcache.cpp.o"
+  "CMakeFiles/bench_ablation_pcache.dir/bench_ablation_pcache.cpp.o.d"
+  "bench_ablation_pcache"
+  "bench_ablation_pcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_9.dir/bench_table8_9.cpp.o"
+  "CMakeFiles/bench_table8_9.dir/bench_table8_9.cpp.o.d"
+  "bench_table8_9"
+  "bench_table8_9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/smtp_bench_util.dir/bench_util.cpp.o.d"
+  "libsmtp_bench_util.a"
+  "libsmtp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

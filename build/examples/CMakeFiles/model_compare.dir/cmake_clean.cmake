@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_compare.dir/model_compare.cpp.o"
+  "CMakeFiles/model_compare.dir/model_compare.cpp.o.d"
+  "model_compare"
+  "model_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_inspector.dir/protocol_inspector.cpp.o"
+  "CMakeFiles/protocol_inspector.dir/protocol_inspector.cpp.o.d"
+  "protocol_inspector"
+  "protocol_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("protocol")
+subdirs("network")
+subdirs("cache")
+subdirs("mem")
+subdirs("pengine")
+subdirs("cpu")
+subdirs("core")
+subdirs("workload")
+subdirs("machine")

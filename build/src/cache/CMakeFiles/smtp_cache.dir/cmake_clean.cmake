@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/smtp_cache.dir/hierarchy.cpp.o.d"
+  "libsmtp_cache.a"
+  "libsmtp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

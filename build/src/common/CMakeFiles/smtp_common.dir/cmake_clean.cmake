@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_common.dir/log.cpp.o"
+  "CMakeFiles/smtp_common.dir/log.cpp.o.d"
+  "libsmtp_common.a"
+  "libsmtp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

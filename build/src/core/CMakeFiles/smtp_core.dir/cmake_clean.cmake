@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_core.dir/protocol_thread.cpp.o"
+  "CMakeFiles/smtp_core.dir/protocol_thread.cpp.o.d"
+  "libsmtp_core.a"
+  "libsmtp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_cpu.dir/bpred.cpp.o"
+  "CMakeFiles/smtp_cpu.dir/bpred.cpp.o.d"
+  "CMakeFiles/smtp_cpu.dir/smt_cpu.cpp.o"
+  "CMakeFiles/smtp_cpu.dir/smt_cpu.cpp.o.d"
+  "libsmtp_cpu.a"
+  "libsmtp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_machine.dir/machine.cpp.o"
+  "CMakeFiles/smtp_machine.dir/machine.cpp.o.d"
+  "libsmtp_machine.a"
+  "libsmtp_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_mem.dir/controller.cpp.o"
+  "CMakeFiles/smtp_mem.dir/controller.cpp.o.d"
+  "libsmtp_mem.a"
+  "libsmtp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_network.dir/network.cpp.o"
+  "CMakeFiles/smtp_network.dir/network.cpp.o.d"
+  "libsmtp_network.a"
+  "libsmtp_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_pengine.dir/pengine.cpp.o"
+  "CMakeFiles/smtp_pengine.dir/pengine.cpp.o.d"
+  "libsmtp_pengine.a"
+  "libsmtp_pengine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_pengine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

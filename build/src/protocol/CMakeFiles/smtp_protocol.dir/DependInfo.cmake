@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/assembler.cpp" "src/protocol/CMakeFiles/smtp_protocol.dir/assembler.cpp.o" "gcc" "src/protocol/CMakeFiles/smtp_protocol.dir/assembler.cpp.o.d"
+  "/root/repo/src/protocol/executor.cpp" "src/protocol/CMakeFiles/smtp_protocol.dir/executor.cpp.o" "gcc" "src/protocol/CMakeFiles/smtp_protocol.dir/executor.cpp.o.d"
+  "/root/repo/src/protocol/handlers.cpp" "src/protocol/CMakeFiles/smtp_protocol.dir/handlers.cpp.o" "gcc" "src/protocol/CMakeFiles/smtp_protocol.dir/handlers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

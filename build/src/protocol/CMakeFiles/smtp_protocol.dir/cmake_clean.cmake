@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_protocol.dir/assembler.cpp.o"
+  "CMakeFiles/smtp_protocol.dir/assembler.cpp.o.d"
+  "CMakeFiles/smtp_protocol.dir/executor.cpp.o"
+  "CMakeFiles/smtp_protocol.dir/executor.cpp.o.d"
+  "CMakeFiles/smtp_protocol.dir/handlers.cpp.o"
+  "CMakeFiles/smtp_protocol.dir/handlers.cpp.o.d"
+  "libsmtp_protocol.a"
+  "libsmtp_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

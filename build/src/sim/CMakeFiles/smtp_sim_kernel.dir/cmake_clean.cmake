@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_sim_kernel.dir/stats.cpp.o"
+  "CMakeFiles/smtp_sim_kernel.dir/stats.cpp.o.d"
+  "libsmtp_sim_kernel.a"
+  "libsmtp_sim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_sim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmtp_sim_kernel.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_workload.dir/apps.cpp.o"
+  "CMakeFiles/smtp_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/smtp_workload.dir/sync.cpp.o"
+  "CMakeFiles/smtp_workload.dir/sync.cpp.o.d"
+  "libsmtp_workload.a"
+  "libsmtp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/smtp_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/smtp_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_cpu.cpp" "tests/CMakeFiles/smtp_tests.dir/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_cpu.cpp.o.d"
+  "/root/repo/tests/test_handler_transitions.cpp" "tests/CMakeFiles/smtp_tests.dir/test_handler_transitions.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_handler_transitions.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/smtp_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_model_shapes.cpp" "tests/CMakeFiles/smtp_tests.dir/test_model_shapes.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_model_shapes.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/smtp_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_pengine.cpp" "tests/CMakeFiles/smtp_tests.dir/test_pengine.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_pengine.cpp.o.d"
+  "/root/repo/tests/test_protocol_isa.cpp" "tests/CMakeFiles/smtp_tests.dir/test_protocol_isa.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_protocol_isa.cpp.o.d"
+  "/root/repo/tests/test_protocol_system.cpp" "tests/CMakeFiles/smtp_tests.dir/test_protocol_system.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_protocol_system.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/smtp_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_smtp_core.cpp" "tests/CMakeFiles/smtp_tests.dir/test_smtp_core.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_smtp_core.cpp.o.d"
+  "/root/repo/tests/test_workload.cpp" "tests/CMakeFiles/smtp_tests.dir/test_workload.cpp.o" "gcc" "tests/CMakeFiles/smtp_tests.dir/test_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/smtp_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smtp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smtp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/smtp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pengine/CMakeFiles/smtp_pengine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/smtp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/smtp_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/smtp_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/smtp_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smtp_sim_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/smtp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smtp_tests.dir/test_cache.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_cache.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_common.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_cpu.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_cpu.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_handler_transitions.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_handler_transitions.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_machine.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_machine.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_model_shapes.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_model_shapes.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_network.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_network.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_pengine.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_pengine.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_protocol_isa.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_protocol_isa.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_protocol_system.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_protocol_system.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_sim.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_sim.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_smtp_core.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_smtp_core.cpp.o.d"
+  "CMakeFiles/smtp_tests.dir/test_workload.cpp.o"
+  "CMakeFiles/smtp_tests.dir/test_workload.cpp.o.d"
+  "smtp_tests"
+  "smtp_tests.pdb"
+  "smtp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smtp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
