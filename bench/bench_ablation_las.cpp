@@ -14,8 +14,10 @@ main(int argc, char **argv)
     printHeader("Ablation: Look-Ahead Scheduling and bit-assist ops",
                 "Section 2.3: LAS gains up to 3.9%; missing popcount/ctz "
                 "costs <=0.8% (16 nodes)");
-    printRowHeader({"app", "SMTp(us)", "noLAS", "noBitOps"});
+
     unsigned nodes = opt.quick ? 4 : 8;
+    // Cell order per app: SMTp baseline, no-LAS, no-bit-assist.
+    std::vector<RunConfig> cells;
     for (const auto &app : opt.appList()) {
         RunConfig cfg;
         cfg.model = MachineModel::SMTp;
@@ -23,16 +25,28 @@ main(int argc, char **argv)
         cfg.ways = 1;
         cfg.app = app;
         cfg.scale = opt.scale;
-        double base = static_cast<double>(runOnce(cfg).execTime);
-        cfg.lookAheadScheduling = false;
-        double nolas = static_cast<double>(runOnce(cfg).execTime);
-        cfg.lookAheadScheduling = true;
-        cfg.bitAssistOps = false;
-        double nobits = static_cast<double>(runOnce(cfg).execTime);
+        cells.push_back(cfg);
+        RunConfig nolas = cfg;
+        nolas.lookAheadScheduling = false;
+        cells.push_back(nolas);
+        RunConfig nobits = cfg;
+        nobits.bitAssistOps = false;
+        cells.push_back(nobits);
+    }
+
+    std::vector<RunResult> results = runCells(opt, cells);
+
+    printRowHeader({"app", "SMTp(us)", "noLAS", "noBitOps"});
+    std::size_t idx = 0;
+    for (const auto &app : opt.appList()) {
+        double base = static_cast<double>(results[idx].execTime);
+        double nolas = static_cast<double>(results[idx + 1].execTime);
+        double nobits = static_cast<double>(results[idx + 2].execTime);
+        idx += 3;
         std::printf("%12s%12.1f%+11.2f%%%+11.2f%%\n", app.c_str(),
                     base / tickPerUs, 100.0 * (nolas / base - 1.0),
                     100.0 * (nobits / base - 1.0));
-        std::fflush(stdout);
     }
+    std::fflush(stdout);
     return 0;
 }

@@ -15,23 +15,36 @@ main(int argc, char **argv)
     printHeader("Table 7: 16-node protocol occupancy (1-way nodes)",
                 "paper: FFT 10.2/3.6/5.3/5.8%%, Ocean 25/7.7/12.3/12.9%%, "
                 "Water 1.5/0.3/0.6/0.7%% (Base/IntPerf/Int512KB/SMTp)");
-    printRowHeader({"app", "Base", "IntPerfect", "Int512KB", "SMTp"});
+
+    const MachineModel models[] = {
+        MachineModel::Base, MachineModel::IntPerfect,
+        MachineModel::Int512KB, MachineModel::SMTp};
+
+    std::vector<RunConfig> cells;
     for (const auto &app : opt.appList()) {
-        std::printf("%12s", app.c_str());
-        for (MachineModel model :
-             {MachineModel::Base, MachineModel::IntPerfect,
-              MachineModel::Int512KB, MachineModel::SMTp}) {
+        for (MachineModel model : models) {
             RunConfig cfg;
             cfg.model = model;
             cfg.nodes = opt.quick ? 8 : 16;
             cfg.ways = 1;
             cfg.app = app;
             cfg.scale = opt.scale;
-            RunResult r = runOnce(cfg);
-            std::printf("%11.1f%%", 100.0 * r.peakProtocolOccupancy);
-            std::fflush(stdout);
+            cells.push_back(cfg);
+        }
+    }
+
+    std::vector<RunResult> results = runCells(opt, cells);
+
+    printRowHeader({"app", "Base", "IntPerfect", "Int512KB", "SMTp"});
+    std::size_t idx = 0;
+    for (const auto &app : opt.appList()) {
+        std::printf("%12s", app.c_str());
+        for (std::size_t m = 0; m < std::size(models); ++m) {
+            std::printf("%11.1f%%",
+                        100.0 * results[idx++].peakProtocolOccupancy);
         }
         std::printf("\n");
     }
+    std::fflush(stdout);
     return 0;
 }

@@ -21,8 +21,8 @@ main(int argc, char **argv)
                 "Table 8: e.g. FFT 2.1%% mispred, 0.02%% squash, 4.2%% "
                 "retired; Table 9: peaks ~22-28 brstack, ~100-113 regs, "
                 "32 IQ, 20-35 LSQ");
-    printRowHeader({"app", "brMis%", "squash%", "retired%", "pkBrStk",
-                    "pkIntRegs", "pkIQ", "pkLSQ"});
+
+    std::vector<RunConfig> cells;
     for (const auto &app : opt.appList()) {
         RunConfig cfg;
         cfg.model = MachineModel::SMTp;
@@ -30,7 +30,16 @@ main(int argc, char **argv)
         cfg.ways = 1;
         cfg.app = app;
         cfg.scale = opt.scale;
-        RunResult r = runOnce(cfg);
+        cells.push_back(cfg);
+    }
+
+    std::vector<RunResult> results = runCells(opt, cells);
+
+    printRowHeader({"app", "brMis%", "squash%", "retired%", "pkBrStk",
+                    "pkIntRegs", "pkIQ", "pkLSQ"});
+    std::size_t idx = 0;
+    for (const auto &app : opt.appList()) {
+        const RunResult &r = results[idx++];
         std::printf("%12s%11.2f%%%11.3f%%%11.2f%%%12llu%12llu%12llu"
                     "%12llu\n",
                     app.c_str(), 100.0 * r.protoBranchMispredict,
@@ -40,7 +49,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.peakIntRegs),
                     static_cast<unsigned long long>(r.peakIntQueue),
                     static_cast<unsigned long long>(r.peakLsq));
-        std::fflush(stdout);
     }
+    std::fflush(stdout);
     return 0;
 }

@@ -1,5 +1,6 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstring>
 
 namespace smtp::bench
@@ -8,6 +9,8 @@ namespace smtp::bench
 RunResult
 runOnce(const RunConfig &cfg)
 {
+    auto wall_start = std::chrono::steady_clock::now();
+
     MachineParams mp;
     mp.model = cfg.model;
     mp.nodes = cfg.nodes;
@@ -17,6 +20,8 @@ runOnce(const RunConfig &cfg)
     mp.bitAssistOps = cfg.bitAssistOps;
     mp.perfectProtocolCaches = cfg.perfectProtocolCaches;
     mp.dirCacheDivisor = cfg.dirCacheDivisor;
+    mp.eventKernel = cfg.heapEventKernel ? EventQueue::Kernel::Heap
+                                         : EventQueue::Kernel::Wheel;
 
     Machine machine(mp);
     FuncMem mem;
@@ -51,7 +56,48 @@ runOnce(const RunConfig &cfg)
             out.peakLsq = std::max(out.peakLsq, occ.lsq.peak());
         }
     }
+    out.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
     return out;
+}
+
+std::vector<RunResult>
+runCells(const BenchOptions &opt, const std::vector<RunConfig> &cfgs)
+{
+    std::vector<RunResult> results(cfgs.size());
+    SweepPool pool(opt.jobs);
+    pool.parallelFor(cfgs.size(), [&](std::size_t i) {
+        results[i] = runOnce(cfgs[i]);
+    });
+    if (!opt.jsonPath.empty())
+        appendJson(opt.jsonPath, cfgs, results);
+    return results;
+}
+
+void
+appendJson(const std::string &path, const std::vector<RunConfig> &cfgs,
+           const std::vector<RunResult> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot open json output '%s'\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const RunConfig &c = cfgs[i];
+        const RunResult &r = results[i];
+        std::fprintf(
+            f,
+            "{\"app\":\"%s\",\"model\":\"%s\",\"nodes\":%u,\"ways\":%u,"
+            "\"exec_ticks\":%llu,\"mem_stall\":%.6f,\"wall_ms\":%.3f}\n",
+            c.app.c_str(), std::string(modelName(c.model)).c_str(),
+            c.nodes, c.ways,
+            static_cast<unsigned long long>(r.execTime),
+            r.memStallFraction, r.wallMs);
+    }
+    std::fclose(f);
 }
 
 const std::vector<std::string> &
@@ -74,6 +120,16 @@ parseArgs(int argc, char **argv)
                 return arg.c_str() + n;
             return nullptr;
         };
+        // "--opt value" form: fold the next argv into "--opt=value".
+        auto next_value = [&](const char *flag) -> const char * {
+            if (arg != flag)
+                return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
         if (const char *v = value("--scale=")) {
             opt.scale = std::atof(v);
         } else if (const char *vd = value("--dcache-div=")) {
@@ -90,13 +146,25 @@ parseArgs(int argc, char **argv)
                                          : comma - pos));
                 pos = comma == std::string::npos ? comma : comma + 1;
             }
+        } else if (const char *vj = value("--jobs=")) {
+            opt.jobs = static_cast<unsigned>(std::atoi(vj));
+        } else if (const char *vj2 = next_value("--jobs")) {
+            opt.jobs = static_cast<unsigned>(std::atoi(vj2));
+        } else if (const char *vp = value("--json=")) {
+            opt.jsonPath = vp;
+        } else if (const char *vp2 = next_value("--json")) {
+            opt.jsonPath = vp2;
         } else if (arg == "--quick") {
             opt.quick = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help") {
             std::printf("options: --scale=F --apps=A,B,... --quick "
-                        "--verbose\n");
+                        "--verbose --jobs=N --json=PATH\n"
+                        "  --jobs   sweep worker threads (default: "
+                        "SMTP_SWEEP_JOBS env or all cores)\n"
+                        "  --json   append per-cell JSON-Lines records "
+                        "to PATH\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -149,13 +217,9 @@ void
 runFigure(const BenchOptions &opt, unsigned nodes, unsigned ways,
           std::uint64_t cpu_freq_mhz, const std::string &caption)
 {
-    std::printf("\n%s  (nodes=%u, ways=%u, cpu=%llu MHz, scale=%.2f)\n",
-                caption.c_str(), nodes, ways,
-                static_cast<unsigned long long>(cpu_freq_mhz), opt.scale);
-    printRowHeader({"app", "model", "exec(us)", "norm", "memstall",
-                    "protOcc"});
-    for (const auto &app : opt.appList()) {
-        double base_time = 0.0;
+    const auto &apps = opt.appList();
+    std::vector<RunConfig> cells;
+    for (const auto &app : apps) {
         for (MachineModel model : figureModels) {
             RunConfig cfg;
             cfg.model = model;
@@ -165,7 +229,22 @@ runFigure(const BenchOptions &opt, unsigned nodes, unsigned ways,
             cfg.scale = opt.scale;
             cfg.cpuFreqMHz = cpu_freq_mhz;
             cfg.dirCacheDivisor = opt.dirCacheDivisor;
-            RunResult r = runOnce(cfg);
+            cells.push_back(cfg);
+        }
+    }
+
+    std::vector<RunResult> results = runCells(opt, cells);
+
+    std::printf("\n%s  (nodes=%u, ways=%u, cpu=%llu MHz, scale=%.2f)\n",
+                caption.c_str(), nodes, ways,
+                static_cast<unsigned long long>(cpu_freq_mhz), opt.scale);
+    printRowHeader({"app", "model", "exec(us)", "norm", "memstall",
+                    "protOcc"});
+    std::size_t idx = 0;
+    for (const auto &app : apps) {
+        double base_time = 0.0;
+        for (MachineModel model : figureModels) {
+            const RunResult &r = results[idx++];
             double us = static_cast<double>(r.execTime) / tickPerUs;
             if (model == MachineModel::Base)
                 base_time = us;
@@ -173,10 +252,10 @@ runFigure(const BenchOptions &opt, unsigned nodes, unsigned ways,
                         std::string(modelName(model)).c_str(), us,
                         us / base_time, r.memStallFraction,
                         r.peakProtocolOccupancy);
-            std::fflush(stdout);
         }
         printBar();
     }
+    std::fflush(stdout);
 }
 
 } // namespace smtp::bench

@@ -4,6 +4,14 @@
  * simulation per (application, machine model, size) cell, plus table
  * formatting that prints our measurements next to the paper's reported
  * shapes (EXPERIMENTS.md records the comparison).
+ *
+ * Cells are independent machines, so every bench binary builds its
+ * whole cell list up front and runs it through the work-stealing
+ * SweepPool (--jobs=N / SMTP_SWEEP_JOBS); tables are printed from the
+ * collected results in deterministic cell order, so the output is
+ * byte-identical at any thread count. --json=PATH appends one
+ * machine-readable record per cell (JSON Lines) for CI perf
+ * trajectories.
  */
 
 #ifndef SMTP_BENCH_BENCH_UTIL_HPP
@@ -15,6 +23,7 @@
 #include <vector>
 
 #include "machine/machine.hpp"
+#include "sim/sweep.hpp"
 #include "workload/app.hpp"
 
 namespace smtp::bench
@@ -32,6 +41,8 @@ struct RunConfig
     bool bitAssistOps = true;
     bool perfectProtocolCaches = false;
     unsigned dirCacheDivisor = 16; ///< Scaled with the problem sizes.
+    /** Run on the reference heap kernel (determinism A/B tests). */
+    bool heapEventKernel = false;
 };
 
 struct RunResult
@@ -48,6 +59,8 @@ struct RunResult
     std::uint64_t peakIntRegs = 0;
     std::uint64_t peakIntQueue = 0;
     std::uint64_t peakLsq = 0;
+    // Harness measurement (host time; not simulated state).
+    double wallMs = 0.0;
 };
 
 /** Run one full-system simulation. */
@@ -61,11 +74,27 @@ struct BenchOptions
     std::vector<std::string> apps;  ///< Empty = all six.
     bool quick = false;             ///< Halve sizes, skip 4-way rows.
     bool verbose = false;
+    unsigned jobs = 0;              ///< Sweep workers; 0 = auto.
+    std::string jsonPath;           ///< Append per-cell records here.
 
     const std::vector<std::string> &appList() const;
 };
 
 BenchOptions parseArgs(int argc, char **argv);
+
+/**
+ * Run every cell through a SweepPool sized by opt.jobs, returning
+ * results in cell order (index i belongs to cfgs[i] regardless of
+ * worker interleaving). When opt.jsonPath is set, one JSON record per
+ * cell is appended there, also in cell order.
+ */
+std::vector<RunResult> runCells(const BenchOptions &opt,
+                                const std::vector<RunConfig> &cfgs);
+
+/** Append one JSON-Lines record per cell to @p path (in cell order). */
+void appendJson(const std::string &path,
+                const std::vector<RunConfig> &cfgs,
+                const std::vector<RunResult> &results);
 
 /** Printing helpers. */
 void printHeader(const std::string &title, const std::string &paper_note);

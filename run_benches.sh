@@ -1,13 +1,44 @@
 #!/bin/sh
-# Regenerates bench_output.txt: one section per paper table/figure.
+# Runs every paper table/figure benchmark, one section per binary.
+#
+# Usage: ./run_benches.sh [--quick] [--jobs=N] [--json[=PATH]]
+#
+#   --quick      smaller configurations everywhere (CI-sized run)
+#   --jobs=N     sweep worker threads per binary (default: SMTP_SWEEP_JOBS
+#                env var, else all hardware threads)
+#   --json[=P]   append per-cell results as JSON Lines to P
+#                (default BENCH_sweep.json); the file is recreated
+# Remaining arguments are passed through to every binary.
+set -e
+
+quick=""
+jobs=""
+json_path=""
+passthru=""
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick="--quick" ;;
+        --jobs=*) jobs="$arg" ;;
+        --json) json_path="BENCH_sweep.json" ;;
+        --json=*) json_path="${arg#--json=}" ;;
+        *) passthru="$passthru $arg" ;;
+    esac
+done
+
+json_flag=""
+if [ -n "$json_path" ]; then
+    rm -f "$json_path"
+    json_flag="--json=$json_path"
+fi
+
 set -x
-./build/bench/bench_fig2_4
-./build/bench/bench_fig5_7 --quick
-./build/bench/bench_fig8_9 --quick
-./build/bench/bench_fig10_11
-./build/bench/bench_table5_6 --quick
-./build/bench/bench_table7
-./build/bench/bench_table8_9
-./build/bench/bench_ablation_las
-./build/bench/bench_ablation_pcache
-./build/bench/bench_uarch --benchmark_min_time=0.1s
+./build/bench/bench_fig2_4 $quick $jobs $json_flag $passthru
+./build/bench/bench_fig5_7 --quick $jobs $json_flag $passthru
+./build/bench/bench_fig8_9 --quick $jobs $json_flag $passthru
+./build/bench/bench_fig10_11 $quick $jobs $json_flag $passthru
+./build/bench/bench_table5_6 --quick $jobs $json_flag $passthru
+./build/bench/bench_table7 $quick $jobs $json_flag $passthru
+./build/bench/bench_table8_9 $quick $jobs $json_flag $passthru
+./build/bench/bench_ablation_las $quick $jobs $json_flag $passthru
+./build/bench/bench_ablation_pcache $quick $jobs $json_flag $passthru
+./build/bench/bench_uarch --benchmark_min_time=0.1

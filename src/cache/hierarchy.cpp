@@ -26,7 +26,7 @@ CacheHierarchy::CacheHierarchy(EventQueue &eq, const ClockDomain &clock,
 }
 
 void
-CacheHierarchy::completeAfter(std::function<void()> fn, Cycles c)
+CacheHierarchy::completeAfter(EventQueue::Callback fn, Cycles c)
 {
     if (!fn)
         return;
@@ -505,7 +505,7 @@ CacheHierarchy::deliverFill(const Message &m)
     SMTP_ASSERT(ms.valid && ms.lineAddr == lineAlign(m.addr),
                 "fill/MSHR mismatch: mshr %u", idx);
 
-    auto complete_list = [this](std::vector<std::function<void()>> &fns) {
+    auto complete_list = [this](std::vector<EventQueue::Callback> &fns) {
         for (auto &fn : fns)
             completeAfter(std::move(fn), params_.fillToUseCycles);
         fns.clear();

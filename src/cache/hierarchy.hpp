@@ -69,7 +69,7 @@ struct MemReq
     MemCmd cmd;
     Addr addr;
     ThreadId tid = 0;
-    std::function<void()> done; ///< Completion callback (may be empty).
+    EventQueue::Callback done; ///< Completion callback (may be empty).
 };
 
 struct CacheParams
@@ -111,7 +111,7 @@ class CacheHierarchy
      * (Section 2.1); callback fires when the line is available.
      */
     using BypassFn =
-        std::function<void(Addr, bool write, std::function<void()>)>;
+        std::function<void(Addr, bool write, EventQueue::Callback)>;
     /** Invoked when a coherence probe invalidates a line (SC replay). */
     using InvalHookFn = std::function<void(Addr)>;
 
@@ -209,12 +209,12 @@ class CacheHierarchy
         bool storeWaiting = false;   ///< Store arrived on a shared request.
         bool wantsL1i = false;       ///< First demand was an ifetch.
         Addr demandAddr = invalidAddr; ///< Sub-line to fill into the L1.
-        std::vector<std::function<void()>> loadWaiters;
-        std::vector<std::function<void()>> storeWaiters;
+        std::vector<EventQueue::Callback> loadWaiters;
+        std::vector<EventQueue::Callback> storeWaiters;
     };
 
     Tick cyc(Cycles c) const { return clock_.cyclesToTicks(c); }
-    void completeAfter(std::function<void()> fn, Cycles c);
+    void completeAfter(EventQueue::Callback fn, Cycles c);
 
     Mshr *findMshr(Addr line_addr);
     const Mshr *findMshr(Addr line_addr) const;
@@ -260,7 +260,7 @@ class CacheHierarchy
     bool drainScheduled_ = false;
     std::unordered_set<Addr> wbPending_;
     /** In-flight protocol-space line fetches over the bypass bus. */
-    std::unordered_map<Addr, std::vector<std::function<void()>>>
+    std::unordered_map<Addr, std::vector<EventQueue::Callback>>
         protoPending_;
 
     LmiEnqueueFn lmiEnqueue_;

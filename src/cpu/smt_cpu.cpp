@@ -68,28 +68,47 @@ struct SmtCpu::ThreadState
     ThreadStats stats;
 };
 
-namespace
-{
-
-/** Registry resolving completion events to still-live instructions. */
-using LiveMap = std::unordered_map<std::uint64_t, SmtCpu::DynInst *>;
-
-} // namespace
-
-// The live-instruction registry is a per-CPU member in disguise: kept
-// here to keep the header free of DynInst details.
+/**
+ * Slab pool of DynInst records with generation-tagged liveness. Deferred
+ * completion events capture (DynInst*, uid); the instruction is still
+ * live iff the slot's uid matches, since free() zeroes it and alloc()
+ * stamps a fresh one. This replaces a uid -> DynInst* hash map (and a
+ * malloc/free per micro-op) that dominated the simulator's hot path.
+ * The full definition lives here to keep the header free of DynInst
+ * details; SmtCpu owns one through the opaque live_ member.
+ */
 struct LiveRegistry
 {
-    LiveMap map;
+    std::vector<std::unique_ptr<SmtCpu::DynInst[]>> chunks;
+    std::vector<SmtCpu::DynInst *> freeList;
     std::uint64_t next = 1;
-};
 
-static std::unordered_map<const SmtCpu *, LiveRegistry> &
-liveRegistries()
-{
-    static std::unordered_map<const SmtCpu *, LiveRegistry> reg;
-    return reg;
-}
+    static constexpr std::size_t chunkSize = 256;
+
+    SmtCpu::DynInst *
+    alloc()
+    {
+        if (freeList.empty()) {
+            chunks.push_back(
+                std::make_unique<SmtCpu::DynInst[]>(chunkSize));
+            SmtCpu::DynInst *base = chunks.back().get();
+            for (std::size_t i = chunkSize; i-- > 0;)
+                freeList.push_back(base + i);
+        }
+        SmtCpu::DynInst *d = freeList.back();
+        freeList.pop_back();
+        *d = SmtCpu::DynInst{};
+        d->uid = next++;
+        return d;
+    }
+
+    void
+    free(SmtCpu::DynInst *d)
+    {
+        d->uid = 0; // Invalidate outstanding (ptr, uid) handles.
+        freeList.push_back(d);
+    }
+};
 
 SmtCpu::SmtCpu(EventQueue &eq, const CpuParams &params,
                CacheHierarchy &cache)
@@ -102,7 +121,7 @@ SmtCpu::SmtCpu(EventQueue &eq, const CpuParams &params,
       }()),
       itlb_(params.tlbEntries), dtlb_(params.tlbEntries)
 {
-    liveRegistries()[this] = LiveRegistry{};
+    live_ = std::make_unique<LiveRegistry>();
 
     unsigned nthreads = params.appThreads + (params.protocolThread ? 1 : 0);
     SMTP_ASSERT(params.intRegs >= 32 * nthreads + 32,
@@ -143,18 +162,8 @@ SmtCpu::SmtCpu(EventQueue &eq, const CpuParams &params,
 
 SmtCpu::~SmtCpu()
 {
-    for (auto &t : threads_) {
-        for (auto *dyn : t->rob)
-            delete dyn;
-    }
-    for (auto *q : {&decodeQApp_, &decodeQProto_, &renameQApp_,
-                    &renameQProto_}) {
-        for (auto *dyn : *q) {
-            if (!dyn->renamed)
-                delete dyn;
-        }
-    }
-    liveRegistries().erase(this);
+    // In-flight DynInsts (ROB, front-end queues) live in the live_ pool
+    // and are reclaimed wholesale with it.
 }
 
 void
@@ -254,10 +263,13 @@ SmtCpu::scheduleTick()
     if (tickScheduled_ || !started_)
         return;
     tickScheduled_ = true;
-    eq_->schedule(clock_.edgeAfter(eq_->curTick()), [this] {
+    auto cycle = [this] {
         tickScheduled_ = false;
         tick();
-    });
+    };
+    static_assert(EventQueue::Callback::storesInline<decltype(cycle)>,
+                  "the per-cycle pipeline event must not heap-allocate");
+    eq_->schedule(clock_.edgeAfter(eq_->curTick()), std::move(cycle));
 }
 
 void
@@ -408,10 +420,7 @@ SmtCpu::fetchFromThread(ThreadState &t, unsigned max_slots)
         }
 
         // Build the dynamic instruction.
-        auto *dyn = new DynInst();
-        auto &reg = liveRegistries()[this];
-        dyn->uid = reg.next++;
-        reg.map[dyn->uid] = dyn;
+        auto *dyn = live_->alloc();
         dyn->op = op;
         dyn->tid = t.tid;
         dyn->seq = ++seqCounter_;
@@ -708,12 +717,11 @@ SmtCpu::issueStage()
                 --threads_[dyn->tid]->icount;
             }
             std::uint64_t uid = dyn->uid;
-            eq_->scheduleIn(cyc(params_.readStages + lat), [this, uid] {
-                auto &reg = liveRegistries()[this];
-                auto it2 = reg.map.find(uid);
-                if (it2 != reg.map.end())
-                    completeInst(it2->second);
-            });
+            eq_->scheduleIn(cyc(params_.readStages + lat),
+                            [this, dyn, uid] {
+                                if (dyn->uid == uid)
+                                    completeInst(dyn);
+                            });
             it = q.erase(it);
             ++issued;
         }
@@ -730,11 +738,9 @@ SmtCpu::tryMemAccess(DynInst *dyn)
     std::uint64_t uid = dyn->uid;
 
     auto complete_in = [&](Cycles c) {
-        eq_->scheduleIn(cyc(c), [this, uid] {
-            auto &reg = liveRegistries()[this];
-            auto it = reg.map.find(uid);
-            if (it != reg.map.end())
-                completeInst(it->second);
+        eq_->scheduleIn(cyc(c), [this, dyn, uid] {
+            if (dyn->uid == uid)
+                completeInst(dyn);
         });
     };
 
@@ -748,15 +754,13 @@ SmtCpu::tryMemAccess(DynInst *dyn)
                 --t.icount;
             }
             // Refill, then perform the access.
-            eq_->scheduleIn(cyc(params_.tlbMissPenalty), [this, uid] {
-                auto &reg = liveRegistries()[this];
-                auto it = reg.map.find(uid);
-                if (it == reg.map.end())
-                    return;
-                DynInst *d = it->second;
-                d->memAccessed = false;
-                tryMemAccess(d);
-            });
+            eq_->scheduleIn(cyc(params_.tlbMissPenalty),
+                            [this, dyn, uid] {
+                                if (dyn->uid != uid)
+                                    return;
+                                dyn->memAccessed = false;
+                                tryMemAccess(dyn);
+                            });
             return true;
         }
     }
@@ -815,12 +819,10 @@ SmtCpu::tryMemAccess(DynInst *dyn)
                       : MemCmd::Load;
         req.addr = op.effAddr;
         req.tid = dyn->tid;
-        req.done = [this, uid] {
-            eq_->scheduleIn(cyc(params_.readStages), [this, uid] {
-                auto &reg = liveRegistries()[this];
-                auto it = reg.map.find(uid);
-                if (it != reg.map.end())
-                    completeInst(it->second);
+        req.done = [this, dyn, uid] {
+            eq_->scheduleIn(cyc(params_.readStages), [this, dyn, uid] {
+                if (dyn->uid == uid)
+                    completeInst(dyn);
             });
         };
         auto outcome = cache_->access(req);
@@ -934,9 +936,7 @@ SmtCpu::squashAfter(ThreadState &t, std::uint64_t seq, int chkpt_idx)
         }
         purge(intQ_, dyn);
         purge(fpQ_, dyn);
-        auto &reg = liveRegistries()[this];
-        reg.map.erase(dyn->uid);
-        delete dyn;
+        live_->free(dyn);
     }
 
     // Un-renamed instructions still in the front-end queues.
@@ -948,9 +948,7 @@ SmtCpu::squashAfter(ThreadState &t, std::uint64_t seq, int chkpt_idx)
                     --t.icount;
                 ++squashed;
                 ++t.stats.squashedInsts;
-                auto &reg = liveRegistries()[this];
-                reg.map.erase(dyn->uid);
-                delete dyn;
+                live_->free(dyn);
                 it = q.erase(it);
             } else {
                 ++it;
@@ -987,11 +985,9 @@ SmtCpu::execNonSpec(DynInst *dyn)
     std::uint64_t uid = dyn->uid;
     auto complete_at = [&](Tick when) {
         eq_->schedule(std::max(when, eq_->curTick() + cyc(1)),
-                      [this, uid] {
-                          auto &reg = liveRegistries()[this];
-                          auto it = reg.map.find(uid);
-                          if (it != reg.map.end())
-                              completeInst(it->second);
+                      [this, dyn, uid] {
+                          if (dyn->uid == uid)
+                              completeInst(dyn);
                       });
     };
     switch (dyn->op.cls) {
@@ -1101,9 +1097,7 @@ SmtCpu::commitStage()
                 protoHooks_.onLdctxtRetired(head->op);
             }
             t.rob.pop_front();
-            auto &reg = liveRegistries()[this];
-            reg.map.erase(head->uid);
-            delete head;
+            live_->free(head);
             --budget;
         }
     }

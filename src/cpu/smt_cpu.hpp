@@ -101,6 +101,8 @@ struct CpuParams
     unsigned bitAssistExpansion = 4;
 };
 
+struct LiveRegistry;
+
 class SmtCpu
 {
   public:
@@ -220,6 +222,14 @@ class SmtCpu
     CacheHierarchy *cache_;
     TournamentBpred bpred_;
     ProtoHooks protoHooks_;
+
+    /**
+     * Registry resolving completion events to still-live instructions;
+     * opaque so the header stays free of DynInst map details. Strictly
+     * per-CPU state: sweep runs execute machines concurrently, so
+     * nothing may live in process globals.
+     */
+    std::unique_ptr<LiveRegistry> live_;
 
     std::vector<std::unique_ptr<ThreadState>> threads_;
 

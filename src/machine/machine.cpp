@@ -23,7 +23,7 @@ modelName(MachineModel m)
 }
 
 Machine::Machine(const MachineParams &params)
-    : params_(params),
+    : params_(params), eq_(params.eventKernel),
       fmt_(proto::DirFormat::forNodes(params.nodes <= 16 ? 16 : 32)),
       image_(proto::buildHandlerImage(
           fmt_, proto::HandlerOptions{params.ownershipLog}))
@@ -121,7 +121,7 @@ Machine::Machine(const MachineParams &params)
         auto *mc = node->mc.get();
         node->cache->connect(
             [mc](const proto::Message &m) { return mc->lmiEnqueue(m); },
-            [mc](Addr a, bool w, std::function<void()> fn) {
+            [mc](Addr a, bool w, EventQueue::Callback fn) {
                 mc->bypassAccess(a, w, std::move(fn));
             });
         net_->attach(static_cast<NodeId>(n),

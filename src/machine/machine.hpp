@@ -70,6 +70,13 @@ struct MachineParams
     std::size_t l2Bytes = 2 * 1024 * 1024;
 
     /**
+     * Event-kernel selection (timing wheel vs. reference binary heap).
+     * Results are bit-identical either way; the heap kernel exists for
+     * cross-kernel equivalence tests and triage.
+     */
+    EventQueue::Kernel eventKernel = EventQueue::Kernel::Wheel;
+
+    /**
      * Scaled-simulation methodology: directory data caches shrink by
      * this power-of-two divisor along with the (scaled-down) problem
      * sizes, preserving the paper's directory-cache pressure ratios.

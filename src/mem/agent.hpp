@@ -27,6 +27,7 @@
 #include "common/types.hpp"
 #include "protocol/executor.hpp"
 #include "protocol/message.hpp"
+#include "sim/inline_callback.hpp"
 
 namespace smtp
 {
@@ -45,7 +46,7 @@ struct TransactionCtx
     /** Speculative SDRAM line read state. */
     bool memReadStarted = false;
     bool memDone = false;
-    std::vector<std::function<void()>> memWaiters;
+    std::vector<InlineCallback> memWaiters;
 };
 
 class ProtocolAgent

@@ -19,6 +19,14 @@ using proto::SendTarget;
 namespace
 {
 
+/** SMTP_TRACE is read once; per-message getenv showed up in profiles. */
+bool
+traceEnabled()
+{
+    static const bool on = std::getenv("SMTP_TRACE") != nullptr;
+    return on;
+}
+
 /** Map a forwarded intervention to the cache probe it launches. */
 MsgType
 probeKindFor(MsgType t)
@@ -92,7 +100,7 @@ MemController::niDeliver(const Message &msg)
 }
 
 void
-MemController::bypassAccess(Addr addr, bool write, std::function<void()> done)
+MemController::bypassAccess(Addr addr, bool write, EventQueue::Callback done)
 {
     eq_->scheduleIn(params_.busLatency, [this, addr, write,
                                          done = std::move(done)]() mutable {
@@ -185,7 +193,7 @@ MemController::dispatch(const Message &msg_in)
         return;
     }
 
-    if (std::getenv("SMTP_TRACE") != nullptr) {
+    if (traceEnabled()) {
         std::fprintf(stderr,
                      "[%llu] n%u dispatch %s addr=%llx src=%u req=%u "
                      "mshr=%u ack=%u\n",
@@ -287,7 +295,7 @@ MemController::releaseSend(TransactionCtx *ctx_raw, unsigned idx)
     auto ctx = it->second;
     SMTP_ASSERT(idx < ctx->trace.sends.size(), "send index out of range");
     const proto::SendRec &send = ctx->trace.sends[idx];
-    if (std::getenv("SMTP_TRACE") != nullptr) {
+    if (traceEnabled()) {
         std::fprintf(stderr, "[%llu] n%u release %s addr=%llx\n",
                      static_cast<unsigned long long>(eq_->curTick()), self_,
                      std::string(msgTypeName(send.msg.type)).c_str(),
@@ -359,7 +367,7 @@ void
 MemController::deliverLocal(Message msg, Tick data_ready)
 {
     Tick when = std::max(data_ready, eq_->curTick()) + params_.busLatency;
-    eq_->schedule(when, [this, msg] {
+    auto deliver = [this, msg] {
         if (cache_->deliverFill(msg)) {
             --pendingLocalDeliveries_;
             return;
@@ -368,7 +376,10 @@ MemController::deliverLocal(Message msg, Tick data_ready)
         --pendingLocalDeliveries_;
         deliverLocal(msg, eq_->curTick() + clock_.period());
         ++pendingLocalDeliveries_;
-    });
+    };
+    static_assert(EventQueue::Callback::storesInline<decltype(deliver)>,
+                  "local fill delivery must stay on the inline fast path");
+    eq_->schedule(when, std::move(deliver));
 }
 
 void
@@ -420,7 +431,7 @@ MemController::drainNiOut()
 void
 MemController::handlerDone(TransactionCtx *ctx_raw)
 {
-    if (std::getenv("SMTP_TRACE") != nullptr) {
+    if (traceEnabled()) {
         std::fprintf(stderr, "[%llu] n%u done %s addr=%llx\n",
                      static_cast<unsigned long long>(eq_->curTick()), self_,
                      std::string(msgTypeName(ctx_raw->msg.type)).c_str(),

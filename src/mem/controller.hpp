@@ -85,7 +85,7 @@ class MemController : public proto::ExecEnv
     bool niDeliver(const proto::Message &msg);
 
     /** Protocol-space SDRAM access (cache bypass bus). */
-    void bypassAccess(Addr addr, bool write, std::function<void()> done);
+    void bypassAccess(Addr addr, bool write, EventQueue::Callback done);
 
     // ---- Agent callbacks ---------------------------------------------
 

@@ -44,7 +44,7 @@ class Sdram
      */
     void
     access(Addr addr, unsigned bytes, bool write,
-           std::function<void()> done = {})
+           EventQueue::Callback done = {})
     {
         (void)addr;
         ++(write ? writes : reads);

@@ -90,14 +90,20 @@ Network::inject(const proto::Message &msg)
         // Loopback through the NI without touching the fabric; charge a
         // single hop of latency for the controller-internal turnaround.
         proto::Message m = msg;
-        eq_.scheduleIn(params_.hopLatency, [this, m] { land(m); });
+        auto loopback = [this, m] { land(m); };
+        static_assert(EventQueue::Callback::storesInline<decltype(loopback)>,
+                      "message delivery must stay on the inline fast path");
+        eq_.scheduleIn(params_.hopLatency, std::move(loopback));
         return;
     }
 
     proto::Message m = msg;
     unsigned src_router = routerOf(msg.src);
+    auto first_hop = [this, m, src_router] { hop(m, src_router); };
+    static_assert(EventQueue::Callback::storesInline<decltype(first_hop)>,
+                  "hop continuations must stay on the inline fast path");
     traverse(nodeLinksOut_[msg.src], proto::msgBytes(msg.type),
-             [this, m, src_router] { hop(m, src_router); });
+             std::move(first_hop));
 }
 
 void

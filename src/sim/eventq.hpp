@@ -5,19 +5,37 @@
  * A single global EventQueue per simulated machine orders callbacks by
  * (tick, priority, insertion sequence). Insertion-order tie-breaking makes
  * whole-machine runs deterministic: two events at the same tick always run
- * in the order they were scheduled, independent of heap internals.
+ * in the order they were scheduled, independent of container internals.
+ *
+ * Two interchangeable kernels implement that contract:
+ *
+ *  - Kernel::Wheel (default): a calendar/timing wheel of 1024 slots of
+ *    512 ticks each (~one 2 GHz cycle per slot, ~524 ns horizon) absorbs
+ *    the short-delta events that dominate a run — link deliveries,
+ *    pipeline stages, SDRAM callbacks — with O(1) insertion into a
+ *    per-slot min-heap that is tiny in practice. Events beyond the
+ *    horizon overflow into a binary heap and migrate into the wheel as
+ *    the cursor advances.
+ *  - Kernel::Heap: the single binary heap, kept as the reference
+ *    implementation for cross-kernel equivalence tests.
+ *
+ * Both kernels pop the global minimum under the same strict total order,
+ * so simulations are bit-identical across kernels; tests/test_sim.cpp
+ * asserts this on randomized near/far/same-tick mixes. Entries carry an
+ * InlineCallback, so scheduling a lambda with a small capture never
+ * touches the heap once the slot/heap vectors are warm.
  */
 
 #ifndef SMTP_SIM_EVENTQ_HPP
 #define SMTP_SIM_EVENTQ_HPP
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "sim/inline_callback.hpp"
 
 namespace smtp
 {
@@ -25,7 +43,7 @@ namespace smtp
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     /**
      * Relative ordering of events scheduled for the same tick.
@@ -38,10 +56,23 @@ class EventQueue
         prioLate = 1,     ///< e.g. end-of-cycle bookkeeping
     };
 
-    EventQueue() = default;
+    /** Which pending-event container the queue runs on. */
+    enum class Kernel
+    {
+        Wheel, ///< Timing wheel + far-future overflow heap (fast path).
+        Heap,  ///< Single binary heap (reference implementation).
+    };
+
+    explicit EventQueue(Kernel kernel = Kernel::Wheel) : kernel_(kernel)
+    {
+        if (kernel_ == Kernel::Wheel)
+            slots_.resize(slotCount);
+    }
+
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
+    Kernel kernel() const { return kernel_; }
     Tick curTick() const { return curTick_; }
 
     /** Schedule @p cb to run at absolute tick @p when (>= curTick). */
@@ -52,7 +83,13 @@ class EventQueue
                     "scheduling event in the past (%llu < %llu)",
                     static_cast<unsigned long long>(when),
                     static_cast<unsigned long long>(curTick_));
-        heap_.push(Entry{when, prio, seq_++, std::move(cb)});
+        Entry e{when, prio, seq_++, std::move(cb)};
+        if (kernel_ == Kernel::Wheel && when >= base_ &&
+            when - base_ < span) {
+            slotPush(std::move(e));
+        } else {
+            heapPush(far_, std::move(e));
+        }
     }
 
     /** Schedule @p cb @p delta ticks from now. */
@@ -62,14 +99,25 @@ class EventQueue
         schedule(curTick_ + delta, std::move(cb), prio);
     }
 
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
+    bool empty() const { return wheelCount_ == 0 && far_.empty(); }
+    std::size_t size() const { return wheelCount_ + far_.size(); }
 
     /** Tick of the next pending event; maxTick when empty. */
     Tick
     nextTick() const
     {
-        return heap_.empty() ? maxTick : heap_.top().when;
+        Tick best = far_.empty() ? maxTick : far_.front().when;
+        if (wheelCount_ > 0) {
+            // The first non-empty slot in cursor order holds the wheel
+            // minimum: slots partition [base_, base_ + span) in time
+            // order and every wheel entry lies in that window.
+            for (std::size_t i = 0; i < slotCount; ++i) {
+                const auto &s = slots_[(cursor_ + i) & slotMask];
+                if (!s.empty())
+                    return std::min(best, s.front().when);
+            }
+        }
+        return best;
     }
 
     /**
@@ -79,10 +127,12 @@ class EventQueue
     bool
     runOne()
     {
-        if (heap_.empty())
+        std::vector<Entry> *src = findMin();
+        if (src == nullptr)
             return false;
-        Entry e = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
+        Entry e = heapPop(*src);
+        if (src != &far_)
+            --wheelCount_;
         curTick_ = e.when;
         ++executed_;
         e.cb();
@@ -93,8 +143,17 @@ class EventQueue
     void
     run(Tick limit = maxTick)
     {
-        while (!heap_.empty() && heap_.top().when <= limit)
-            runOne();
+        while (true) {
+            std::vector<Entry> *src = findMin();
+            if (src == nullptr || src->front().when > limit)
+                break;
+            Entry e = heapPop(*src);
+            if (src != &far_)
+                --wheelCount_;
+            curTick_ = e.when;
+            ++executed_;
+            e.cb();
+        }
         if (curTick_ < limit && limit != maxTick)
             curTick_ = limit;
     }
@@ -111,6 +170,7 @@ class EventQueue
         Callback cb;
     };
 
+    /** Strict total order; a after b means b runs first. */
     struct Later
     {
         bool
@@ -124,7 +184,95 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    static constexpr unsigned slotShift = 9;          ///< 512 ticks/slot.
+    static constexpr std::size_t slotCount = 1024;
+    static constexpr std::size_t slotMask = slotCount - 1;
+    static constexpr Tick span = static_cast<Tick>(slotCount) << slotShift;
+
+    static std::size_t
+    slotOf(Tick when)
+    {
+        return (when >> slotShift) & slotMask;
+    }
+
+    static void
+    heapPush(std::vector<Entry> &heap, Entry e)
+    {
+        heap.push_back(std::move(e));
+        std::push_heap(heap.begin(), heap.end(), Later{});
+    }
+
+    /** Extract the heap minimum without casting away constness. */
+    static Entry
+    heapPop(std::vector<Entry> &heap)
+    {
+        std::pop_heap(heap.begin(), heap.end(), Later{});
+        Entry e = std::move(heap.back());
+        heap.pop_back();
+        return e;
+    }
+
+    void
+    slotPush(Entry e)
+    {
+        heapPush(slots_[slotOf(e.when)], std::move(e));
+        ++wheelCount_;
+    }
+
+    /** Pull far-heap events that now fall inside the wheel window. */
+    void
+    migrate()
+    {
+        while (!far_.empty() && far_.front().when >= base_ &&
+               far_.front().when - base_ < span) {
+            Entry e = heapPop(far_);
+            heapPush(slots_[slotOf(e.when)], std::move(e));
+            ++wheelCount_;
+        }
+    }
+
+    /**
+     * Locate the container holding the globally-earliest event,
+     * advancing the wheel cursor past empty slots (and migrating
+     * far-future events into the window) along the way. Returns nullptr
+     * when the queue is empty. The returned vector's front() is the
+     * minimum under the (when, prio, seq) order.
+     */
+    std::vector<Entry> *
+    findMin()
+    {
+        if (kernel_ == Kernel::Heap)
+            return far_.empty() ? nullptr : &far_;
+        if (wheelCount_ == 0) {
+            if (far_.empty())
+                return nullptr;
+            // Re-center the (empty) wheel on the next far event so its
+            // neighbourhood migrates back to the fast path.
+            base_ = (far_.front().when >> slotShift) << slotShift;
+            cursor_ = slotOf(far_.front().when);
+            migrate();
+        }
+        if (wheelCount_ == 0)
+            return &far_; // All remaining events precede the window.
+        while (slots_[cursor_].empty()) {
+            cursor_ = (cursor_ + 1) & slotMask;
+            base_ += Tick{1} << slotShift;
+            migrate();
+        }
+        // An out-of-window far event (scheduled behind a cursor that
+        // ran ahead under run(limit)) can still precede the wheel head.
+        std::vector<Entry> *slot = &slots_[cursor_];
+        if (!far_.empty() && Later{}(slot->front(), far_.front()))
+            return &far_;
+        return slot;
+    }
+
+    Kernel kernel_;
+    std::vector<std::vector<Entry>> slots_; ///< Per-slot min-heaps.
+    std::size_t wheelCount_ = 0;
+    std::size_t cursor_ = 0; ///< Slot index covering base_.
+    Tick base_ = 0;          ///< Start tick of the cursor slot.
+    std::vector<Entry> far_; ///< Overflow heap (whole queue in Heap mode).
     Tick curTick_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Small-buffer-optimized callback for the event kernel.
+ *
+ * Every simulated cycle schedules a handful of callbacks; with
+ * std::function each one whose capture exceeded the library's tiny SBO
+ * (two pointers in libstdc++) cost a heap allocation on the hottest
+ * path of the whole simulator. InlineCallback reserves enough inline
+ * storage (48 bytes) that every scheduler in the tree — lambdas
+ * capturing `this` plus a few scalars, a whole proto::Message, or a
+ * forwarded callback — stays allocation-free. Oversized or
+ * throwing-move captures transparently fall back to the heap, so the
+ * type is a drop-in replacement; `storesInline<F>` lets hot call sites
+ * static_assert that they stay on the fast path.
+ *
+ * Copyable (like std::function) because the cache hierarchy fans one
+ * completion callback out to several waiter lists.
+ */
+
+#ifndef SMTP_SIM_INLINE_CALLBACK_HPP
+#define SMTP_SIM_INLINE_CALLBACK_HPP
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace smtp
+{
+
+class InlineCallback
+{
+  public:
+    /** Inline capture budget; sized for the largest hot-path lambda. */
+    static constexpr std::size_t inlineBytes = 48;
+
+    /** Does a callable of type @p F avoid the heap fallback? */
+    template <typename F>
+    static constexpr bool storesInline =
+        sizeof(F) <= inlineBytes &&
+        alignof(F) <= alignof(std::max_align_t) &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    InlineCallback() noexcept = default;
+    InlineCallback(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineCallback(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (storesInline<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
+
+    InlineCallback(const InlineCallback &other)
+    {
+        if (other.ops_) {
+            other.ops_->clone(buf_, other.buf_);
+            ops_ = other.ops_;
+        }
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineCallback &
+    operator=(const InlineCallback &other)
+    {
+        if (this != &other) {
+            InlineCallback tmp(other);
+            destroy();
+            moveFrom(tmp);
+        }
+        return *this;
+    }
+
+    InlineCallback &
+    operator=(std::nullptr_t) noexcept
+    {
+        destroy();
+        ops_ = nullptr;
+        return *this;
+    }
+
+    ~InlineCallback() { destroy(); }
+
+    void
+    operator()()
+    {
+        ops_->invoke(buf_);
+    }
+
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(unsigned char *buf);
+        /** Move-construct dst from src, then destroy src. */
+        void (*relocate)(unsigned char *dst, unsigned char *src);
+        void (*clone)(unsigned char *dst, const unsigned char *src);
+        void (*destroy)(unsigned char *buf);
+    };
+
+    template <typename Fn>
+    static Fn &
+    inlineRef(unsigned char *buf)
+    {
+        return *std::launder(reinterpret_cast<Fn *>(buf));
+    }
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](unsigned char *buf) { inlineRef<Fn>(buf)(); },
+        [](unsigned char *dst, unsigned char *src) {
+            ::new (static_cast<void *>(dst))
+                Fn(std::move(inlineRef<Fn>(src)));
+            inlineRef<Fn>(src).~Fn();
+        },
+        [](unsigned char *dst, const unsigned char *src) {
+            ::new (static_cast<void *>(dst)) Fn(*std::launder(
+                reinterpret_cast<const Fn *>(src)));
+        },
+        [](unsigned char *buf) { inlineRef<Fn>(buf).~Fn(); },
+    };
+
+    template <typename Fn>
+    static Fn *&
+    heapPtr(unsigned char *buf)
+    {
+        return *reinterpret_cast<Fn **>(buf);
+    }
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](unsigned char *buf) { (*heapPtr<Fn>(buf))(); },
+        [](unsigned char *dst, unsigned char *src) {
+            heapPtr<Fn>(dst) = heapPtr<Fn>(src);
+        },
+        [](unsigned char *dst, const unsigned char *src) {
+            *reinterpret_cast<Fn **>(dst) =
+                new Fn(**reinterpret_cast<Fn *const *>(src));
+        },
+        [](unsigned char *buf) { delete heapPtr<Fn>(buf); },
+    };
+
+    void
+    moveFrom(InlineCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (ops_)
+            ops_->destroy(buf_);
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[inlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace smtp
+
+#endif // SMTP_SIM_INLINE_CALLBACK_HPP

@@ -1,0 +1,135 @@
+#include "sweep.hpp"
+
+#include <cstdlib>
+
+namespace smtp
+{
+
+unsigned
+SweepPool::defaultJobs()
+{
+    if (const char *env = std::getenv("SMTP_SWEEP_JOBS")) {
+        long v = std::atol(env);
+        if (v >= 1)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+SweepPool::SweepPool(unsigned jobs) : jobs_(jobs != 0 ? jobs : defaultJobs())
+{
+    deques_.reserve(jobs_);
+    for (unsigned i = 0; i < jobs_; ++i)
+        deques_.push_back(std::make_unique<WorkDeque>());
+    // Worker 0 is the calling thread; only spawn the helpers.
+    for (unsigned i = 1; i < jobs_; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+SweepPool::~SweepPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+SweepPool::popOwn(unsigned self, std::size_t &task)
+{
+    WorkDeque &dq = *deques_[self];
+    std::lock_guard<std::mutex> lk(dq.mtx);
+    if (dq.tasks.empty())
+        return false;
+    task = dq.tasks.back();
+    dq.tasks.pop_back();
+    return true;
+}
+
+bool
+SweepPool::steal(unsigned self, std::size_t &task)
+{
+    for (unsigned i = 1; i < jobs_; ++i) {
+        WorkDeque &dq = *deques_[(self + i) % jobs_];
+        std::lock_guard<std::mutex> lk(dq.mtx);
+        if (!dq.tasks.empty()) {
+            task = dq.tasks.front();
+            dq.tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+SweepPool::runTasks(unsigned self)
+{
+    const std::function<void(std::size_t)> *body;
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        body = body_;
+    }
+    std::size_t done = 0;
+    std::size_t task;
+    while (popOwn(self, task) || steal(self, task)) {
+        (*body)(task);
+        ++done;
+    }
+    if (done > 0) {
+        std::lock_guard<std::mutex> lk(mtx_);
+        pending_ -= done;
+        if (pending_ == 0)
+            doneCv_.notify_all();
+    }
+}
+
+void
+SweepPool::workerLoop(unsigned self)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(mtx_);
+            workCv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+        }
+        runTasks(self);
+    }
+}
+
+void
+SweepPool::parallelFor(std::size_t n,
+                       const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (jobs_ == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        WorkDeque &dq = *deques_[i % jobs_];
+        std::lock_guard<std::mutex> lk(dq.mtx);
+        dq.tasks.push_back(i);
+    }
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        body_ = &body;
+        pending_ = n;
+        ++epoch_;
+    }
+    workCv_.notify_all();
+    runTasks(0); // The caller works too.
+    std::unique_lock<std::mutex> lk(mtx_);
+    doneCv_.wait(lk, [&] { return pending_ == 0; });
+    body_ = nullptr;
+}
+
+} // namespace smtp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Parallel sweep harness.
+ *
+ * Every paper figure is dozens of independent full-system simulations;
+ * a Machine is single-threaded but shares nothing with its siblings, so
+ * sweep cells are embarrassingly parallel. SweepPool runs an indexed
+ * task set over a work-stealing thread pool: each worker owns a deque
+ * seeded round-robin, pops its own work LIFO and steals FIFO from
+ * victims when dry, so a straggler cell (a 32-node model) never idles
+ * the other cores. Results are the caller's responsibility to store by
+ * index, which keeps output ordering — and therefore every printed
+ * table — identical to a serial run.
+ *
+ * Worker count: explicit argument > SMTP_SWEEP_JOBS env var > hardware
+ * concurrency. jobs == 1 degenerates to an inline serial loop (no
+ * threads), which the determinism tests diff against parallel runs.
+ */
+
+#ifndef SMTP_SIM_SWEEP_HPP
+#define SMTP_SIM_SWEEP_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smtp
+{
+
+class SweepPool
+{
+  public:
+    /** @p jobs 0 resolves via defaultJobs(). */
+    explicit SweepPool(unsigned jobs = 0);
+    ~SweepPool();
+
+    SweepPool(const SweepPool &) = delete;
+    SweepPool &operator=(const SweepPool &) = delete;
+
+    unsigned jobs() const { return jobs_; }
+
+    /** SMTP_SWEEP_JOBS env override, else hardware concurrency. */
+    static unsigned defaultJobs();
+
+    /**
+     * Run body(0) .. body(n-1) across the pool; blocks until all
+     * complete. The body must only touch state owned by its index.
+     * Exceptions escaping the body abort the process (a simulation
+     * panic is fatal anyway).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    struct WorkDeque
+    {
+        std::mutex mtx;
+        std::deque<std::size_t> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    void runTasks(unsigned self);
+    bool popOwn(unsigned self, std::size_t &task);
+    bool steal(unsigned self, std::size_t &task);
+
+    unsigned jobs_;
+    std::vector<std::unique_ptr<WorkDeque>> deques_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mtx_;
+    std::condition_variable workCv_;   ///< Wakes workers for a batch.
+    std::condition_variable doneCv_;   ///< Wakes the caller.
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::uint64_t epoch_ = 0;          ///< Batch generation counter.
+    std::size_t pending_ = 0;          ///< Tasks not yet finished.
+    bool stop_ = false;
+};
+
+} // namespace smtp
+
+#endif // SMTP_SIM_SWEEP_HPP

@@ -33,7 +33,7 @@ class CacheTest : public ::testing::Test
                 lmi.push_back(m);
                 return true;
             },
-            [this](Addr a, bool write, std::function<void()> fn) {
+            [this](Addr a, bool write, EventQueue::Callback fn) {
                 bypassOps.push_back({a, write});
                 if (fn)
                     eq.scheduleIn(80 * tickPerNs, std::move(fn));

@@ -56,7 +56,7 @@ struct MiniCpu
                               [this, fill] { cache.deliverFill(fill); });
                 return true;
             },
-            [this](Addr, bool, std::function<void()> fn) {
+            [this](Addr, bool, EventQueue::Callback fn) {
                 if (fn)
                     eq.scheduleIn(80 * tickPerNs, std::move(fn));
             });

@@ -64,7 +64,7 @@ class PEngineMachine
             auto *mc = node->mc.get();
             node->cache->connect(
                 [mc](const proto::Message &m) { return mc->lmiEnqueue(m); },
-                [mc](Addr a, bool w, std::function<void()> fn) {
+                [mc](Addr a, bool w, EventQueue::Callback fn) {
                     mc->bypassAccess(a, w, std::move(fn));
                 });
             net->attach(static_cast<NodeId>(n),
@@ -78,7 +78,7 @@ class PEngineMachine
     }
 
     void
-    issue(NodeId node, MemCmd cmd, Addr addr, std::function<void()> done)
+    issue(NodeId node, MemCmd cmd, Addr addr, EventQueue::Callback done)
     {
         MemReq req;
         req.cmd = cmd;

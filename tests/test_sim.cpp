@@ -6,7 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <random>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -160,6 +165,183 @@ TEST(Stats, GroupDumpIsHierarchical)
     EXPECT_NE(text.find("node0"), std::string::npos);
     EXPECT_NE(text.find("misses = 3"), std::string::npos);
 }
+
+// ------------------------------------------------------ InlineCallback
+
+TEST(InlineCallback, EmptyAndBool)
+{
+    InlineCallback cb;
+    EXPECT_FALSE(static_cast<bool>(cb));
+    cb = [] {};
+    EXPECT_TRUE(static_cast<bool>(cb));
+    cb = InlineCallback();
+    EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(InlineCallback, SmallCapturesStayInline)
+{
+    // The capture shapes the schedulers actually use must stay on the
+    // no-allocation fast path.
+    int x = 0;
+    auto by_ref = [&x] { ++x; };
+    auto three_ptrs = [p1 = &x, p2 = &x, p3 = &x] { ++*p1; };
+    auto ptr_and_ints =
+        [p = &x, a = std::uint64_t{1}, b = std::uint64_t{2},
+         c = std::uint64_t{3}] { *p += static_cast<int>(a + b + c); };
+    static_assert(InlineCallback::storesInline<decltype(by_ref)>);
+    static_assert(InlineCallback::storesInline<decltype(three_ptrs)>);
+    static_assert(InlineCallback::storesInline<decltype(ptr_and_ints)>);
+
+    InlineCallback cb(by_ref);
+    cb();
+    EXPECT_EQ(x, 1);
+    InlineCallback copy = cb;
+    copy();
+    EXPECT_EQ(x, 2);
+    InlineCallback moved = std::move(copy);
+    moved();
+    EXPECT_EQ(x, 3);
+}
+
+TEST(InlineCallback, LargeCapturesFallBackToHeap)
+{
+    std::array<std::uint64_t, 16> big{};
+    big[15] = 7;
+    int sink = 0;
+    auto fat = [big, &sink] { sink += static_cast<int>(big[15]); };
+    static_assert(!InlineCallback::storesInline<decltype(fat)>);
+
+    InlineCallback cb(fat);
+    cb();
+    EXPECT_EQ(sink, 7);
+    InlineCallback copy = cb; // Deep copy: both remain invocable.
+    InlineCallback moved = std::move(cb);
+    copy();
+    moved();
+    EXPECT_EQ(sink, 21);
+}
+
+TEST(InlineCallback, HoldsStdFunctionTransparently)
+{
+    int hits = 0;
+    std::function<void()> fn = [&hits] { ++hits; };
+    InlineCallback cb(fn);
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+// ----------------------------------------- cross-kernel determinism
+
+/**
+ * Drive one kernel through a deterministic pseudo-random schedule mixing
+ * near/far deltas, same-tick bursts, all three priorities, and events
+ * scheduling events, and record the exact execution trace.
+ */
+std::vector<std::pair<int, Tick>>
+traceKernel(EventQueue::Kernel kernel)
+{
+    EventQueue eq(kernel);
+    std::vector<std::pair<int, Tick>> trace;
+    std::mt19937_64 rng(0xC0FFEE);
+    int next_id = 0;
+
+    auto record = [&trace, &eq](int id) { trace.emplace_back(id, eq.curTick()); };
+
+    constexpr EventQueue::Priority prios[] = {
+        EventQueue::prioEarly, EventQueue::prioDefault,
+        EventQueue::prioLate};
+
+    for (int round = 0; round < 200; ++round) {
+        // A burst of same-tick events at mixed priorities.
+        Tick burst = eq.curTick() + rng() % 64;
+        for (int i = 0; i < 4; ++i) {
+            int id = next_id++;
+            eq.schedule(burst, [id, record] { record(id); },
+                        prios[rng() % 3]);
+        }
+        // Near events (inside the wheel horizon) ...
+        for (int i = 0; i < 8; ++i) {
+            int id = next_id++;
+            Tick d = rng() % 5000;
+            int chain = next_id++;
+            eq.scheduleIn(d, [id, chain, d, record, &eq] {
+                record(id);
+                // ... that schedule follow-ups themselves.
+                eq.scheduleIn(d / 2 + 1,
+                              [chain, record] { record(chain); });
+            });
+        }
+        // Far events, well past the 1024 * 512-tick wheel span.
+        for (int i = 0; i < 2; ++i) {
+            int id = next_id++;
+            eq.scheduleIn((1u << 20) + rng() % (1u << 22),
+                          [id, record] { record(id); },
+                          prios[rng() % 3]);
+        }
+        // Drain a bounded stretch so scheduling interleaves with
+        // execution (exercising cursor advance + migration).
+        eq.run(eq.curTick() + 10000);
+    }
+    eq.run();
+    return trace;
+}
+
+TEST(EventQueueKernels, WheelMatchesHeapBitForBit)
+{
+    auto heap = traceKernel(EventQueue::Kernel::Heap);
+    auto wheel = traceKernel(EventQueue::Kernel::Wheel);
+    ASSERT_EQ(heap.size(), wheel.size());
+    for (std::size_t i = 0; i < heap.size(); ++i) {
+        EXPECT_EQ(heap[i], wheel[i]) << "divergence at event " << i;
+    }
+}
+
+TEST(EventQueueKernels, ScheduleBehindAdvancedCursor)
+{
+    // run(limit) advances curTick past empty stretches; an event then
+    // scheduled near curTick can land behind the wheel cursor and must
+    // still run before later wheel-resident events.
+    for (auto kernel :
+         {EventQueue::Kernel::Wheel, EventQueue::Kernel::Heap}) {
+        EventQueue eq(kernel);
+        std::vector<int> order;
+        eq.run(100000);
+        EXPECT_EQ(eq.curTick(), 100000u);
+        eq.schedule(100001, [&order] { order.push_back(1); });
+        eq.schedule(100002, [&order] { order.push_back(2); });
+        eq.schedule(200000, [&order] { order.push_back(3); });
+        eq.run();
+        EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    }
+}
+
+TEST(EventQueueKernels, NextTickAgreesAcrossKernels)
+{
+    EventQueue heap(EventQueue::Kernel::Heap);
+    EventQueue wheel(EventQueue::Kernel::Wheel);
+    for (EventQueue *eq : {&heap, &wheel}) {
+        eq->schedule(700, [] {});
+        eq->schedule(50, [] {});
+        eq->schedule(1u << 24, [] {});
+    }
+    EXPECT_EQ(heap.nextTick(), 50u);
+    EXPECT_EQ(wheel.nextTick(), 50u);
+    heap.run(60);
+    wheel.run(60);
+    EXPECT_EQ(heap.nextTick(), 700u);
+    EXPECT_EQ(wheel.nextTick(), 700u);
+    heap.run(1000);
+    wheel.run(1000);
+    EXPECT_EQ(heap.nextTick(), Tick{1} << 24);
+    EXPECT_EQ(wheel.nextTick(), Tick{1} << 24);
+    heap.run();
+    wheel.run();
+    EXPECT_EQ(heap.nextTick(), maxTick);
+    EXPECT_EQ(wheel.nextTick(), maxTick);
+    EXPECT_EQ(heap.executedCount(), wheel.executedCount());
+}
+
 
 } // namespace
 } // namespace smtp

@@ -166,8 +166,9 @@ TEST(HandlerFuzz, RandomStateMessagePairsNeverRunAway)
         }
         // Every send must target a sane node.
         for (const auto &s : trace.sends) {
-            if (s.target == proto::SendTarget::Network)
+            if (s.target == proto::SendTarget::Network) {
                 EXPECT_LT(s.msg.dest, 16u);
+            }
         }
     }
     // Random states naturally hit "impossible" writeback cases; the

@@ -130,8 +130,9 @@ TEST(ThreadCtxTest, LoopsReplayTheSamePcs)
         const auto &br = ops[i * 3 + 2];
         EXPECT_EQ(br.cls, OpClass::Branch);
         EXPECT_EQ(br.taken, i + 1 < 5);
-        if (br.taken)
+        if (br.taken) {
             EXPECT_EQ(br.target, ops[0].pc);
+        }
     }
 }
 
