@@ -1,5 +1,6 @@
 #include "hierarchy.hpp"
 
+#include "check/checker.hpp"
 #include "common/log.hpp"
 #include "protocol/directory.hpp"
 
@@ -193,6 +194,8 @@ CacheHierarchy::evictL2Line(CacheLine &victim)
     }
     // Shared lines are dropped silently; the directory's sharer bit goes
     // stale and is cleaned up by a future (harmless) invalidation.
+    if (!victim.protocolLine)
+        noteLine(victim.addr, LineState::Inv, "evict");
     victim.state = LineState::Inv;
     victim.protocolLine = false;
 }
@@ -207,6 +210,8 @@ CacheHierarchy::installL2(Addr line_addr, LineState st, bool protocol_line)
         existing->state = st;
         existing->protocolLine = protocol_line;
         l2_.touch(existing);
+        if (!protocol_line)
+            noteLine(line_addr, st, "install");
         return;
     }
     if (params_.enableBypass) {
@@ -214,6 +219,8 @@ CacheHierarchy::installL2(Addr line_addr, LineState st, bool protocol_line)
             existing->state = st;
             existing->protocolLine = protocol_line;
             byp2_.touch(existing);
+            if (!protocol_line)
+                noteLine(line_addr, st, "install");
             return;
         }
     }
@@ -243,6 +250,30 @@ CacheHierarchy::installL2(Addr line_addr, LineState st, bool protocol_line)
     victim->state = st;
     victim->protocolLine = protocol_line;
     arr->touch(victim);
+    if (!protocol_line)
+        noteLine(victim->addr, st, "install");
+}
+
+void
+CacheHierarchy::noteLine(Addr line_addr, LineState st, const char *why)
+{
+    if (check_ != nullptr)
+        check_->onLineState(self_, lineAlign(line_addr), st, why);
+}
+
+void
+CacheHierarchy::noteMshrAlloc(unsigned idx)
+{
+    if (check_ != nullptr)
+        check_->onMshrAlloc(self_, idx, mshrs_[idx].lineAddr);
+}
+
+void
+CacheHierarchy::freeMshr(Mshr &ms, unsigned idx)
+{
+    if (check_ != nullptr)
+        check_->onMshrFree(self_, idx);
+    ms = Mshr{};
 }
 
 CacheHierarchy::Outcome
@@ -368,6 +399,7 @@ CacheHierarchy::access(const MemReq &req)
         m.wantsL1i = true;
         m.demandAddr = req.addr;
         m.loadWaiters.push_back(req.done);
+        noteMshrAlloc(idx);
         queueOut(requestFor(idx));
         return Outcome::Pending;
       }
@@ -411,6 +443,7 @@ CacheHierarchy::access(const MemReq &req)
         m.lineAddr = line;
         m.demandAddr = req.addr;
         m.loadWaiters.push_back(req.done);
+        noteMshrAlloc(idx);
         queueOut(requestFor(idx));
         return Outcome::Pending;
       }
@@ -457,6 +490,7 @@ CacheHierarchy::access(const MemReq &req)
         m.storeWaiters.push_back(req.done);
         if (m.isUpgrade)
             ++upgradesIssued;
+        noteMshrAlloc(idx);
         queueOut(requestFor(idx));
         return Outcome::Pending;
       }
@@ -487,6 +521,7 @@ CacheHierarchy::access(const MemReq &req)
         m.wantExcl = want_excl;
         m.isUpgrade = want_excl && l2line != nullptr;
         m.prefetch = true;
+        noteMshrAlloc(idx);
         queueOut(requestFor(idx));
         ++prefetchesIssued;
         completeAfter(req.done, params_.l1HitCycles);
@@ -514,8 +549,22 @@ CacheHierarchy::deliverFill(const Message &m)
     if (m.type == MsgType::CcUpgradeGrant) {
         CacheLine *line = l2_.find(ms.lineAddr);
         if (line == nullptr) {
-            // A straggling invalidation removed our Shared copy after
-            // the home granted the upgrade; fall back to a full GETX.
+            // A conflict eviction dropped our Shared copy after the
+            // home granted the upgrade — which also recorded us as the
+            // exclusive owner. Re-requesting as a plain GETX would
+            // livelock (the home NAKs requests from the listed owner
+            // forever), so first release the unusable ownership with a
+            // clean writeback; the shared cache->LMI FIFO keeps it
+            // ahead of the re-request.
+            Message put;
+            put.type = MsgType::PiPutClean;
+            put.addr = ms.lineAddr;
+            put.src = self_;
+            put.dest = self_;
+            put.requester = self_;
+            wbPending_.insert(ms.lineAddr);
+            queueOut(put);
+            ++writebacksClean;
             ms.isUpgrade = false;
             ms.wantExcl = true;
             queueOut(requestFor(idx));
@@ -525,9 +574,10 @@ CacheHierarchy::deliverFill(const Message &m)
                     "upgrade grant on non-shared line");
         line->state = LineState::Mod;
         l2_.touch(line);
+        noteLine(ms.lineAddr, LineState::Mod, "upgrade-grant");
         complete_list(ms.loadWaiters);
         complete_list(ms.storeWaiters);
-        ms = Mshr{};
+        freeMshr(ms, idx);
         return true;
     }
 
@@ -544,7 +594,7 @@ CacheHierarchy::deliverFill(const Message &m)
                 ms.wantExcl = true;
                 queueOut(requestFor(idx));
             } else {
-                ms = Mshr{};
+                freeMshr(ms, idx);
             }
             return true;
         }
@@ -564,7 +614,7 @@ CacheHierarchy::deliverFill(const Message &m)
             ++upgradesIssued;
             queueOut(requestFor(idx));
         } else {
-            ms = Mshr{};
+            freeMshr(ms, idx);
         }
         return true;
     }
@@ -582,7 +632,7 @@ CacheHierarchy::deliverFill(const Message &m)
     }
     complete_list(ms.loadWaiters);
     complete_list(ms.storeWaiters);
-    ms = Mshr{};
+    freeMshr(ms, idx);
     return true;
 }
 
@@ -600,6 +650,7 @@ CacheHierarchy::applyProbe(MsgType kind, Addr line_addr)
                         "invalidation hit a writable line");
             backInvalidateL1(line);
             l2line->state = LineState::Inv;
+            noteLine(line, LineState::Inv, "inval");
             hit = true;
             if (invalHook_) {
                 ++replayInvals;
@@ -620,8 +671,10 @@ CacheHierarchy::applyProbe(MsgType kind, Addr line_addr)
         backInvalidateL1(line);
         if (kind == MsgType::CcIntervSh) {
             l2line->state = LineState::Sh;
+            noteLine(line, LineState::Sh, "interv-sh");
         } else {
             l2line->state = LineState::Inv;
+            noteLine(line, LineState::Inv, "interv-ex");
             if (invalHook_) {
                 ++replayInvals;
                 invalHook_(line);

@@ -42,6 +42,11 @@
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
 
+namespace smtp::check
+{
+class Checker;
+}
+
 namespace smtp
 {
 
@@ -126,6 +131,9 @@ class CacheHierarchy
     }
 
     void setInvalHook(InvalHookFn fn) { invalHook_ = std::move(fn); }
+
+    /** Attach the coherence checker (nullptr => no checking overhead). */
+    void setChecker(check::Checker *c) { check_ = c; }
 
     enum class Outcome
     {
@@ -237,6 +245,11 @@ class CacheHierarchy
     bool l1Lookup(CacheArray &l1, CacheArray &byp, Addr addr,
                   bool protocol_line);
 
+    /** Checker notification helpers (no-ops when no checker attached). */
+    void noteLine(Addr line_addr, LineState st, const char *why);
+    void noteMshrAlloc(unsigned idx);
+    void freeMshr(Mshr &ms, unsigned idx);
+
     /** Protocol access slow path below the L1s. */
     Outcome protoBelowL1(const MemReq &req);
 
@@ -266,6 +279,7 @@ class CacheHierarchy
     LmiEnqueueFn lmiEnqueue_;
     BypassFn bypassAccess_;
     InvalHookFn invalHook_;
+    check::Checker *check_ = nullptr;
 };
 
 } // namespace smtp

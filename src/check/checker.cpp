@@ -1,0 +1,379 @@
+/**
+ * @file
+ * CoherenceChecker + Watchdog implementation.  See checker.hpp for the
+ * model; the short version is: cache-side transitions maintain
+ * sharer/writer bitmasks checked for SWMR on every update, home-side
+ * directory stores are validated for well-formedness on every write,
+ * and the two views are cross-checked only at quiescence (mid-flight
+ * they legitimately disagree — a directory write precedes the
+ * invalidations and fills it orders).
+ */
+
+#include "check/checker.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+
+namespace smtp::check
+{
+
+using namespace proto;
+
+Checker::Checker(EventQueue &eq, const DirFormat &fmt,
+    const CheckerParams &params)
+    : eq_(&eq), fmt_(fmt), params_(params)
+{
+    SMTP_ASSERT(params_.nodes >= 1 && params_.nodes <= 64,
+        "checker: unsupported node count %u", params_.nodes);
+    nodeMask_ = params_.nodes == 64 ? ~0ULL : (1ULL << params_.nodes) - 1;
+    ring_.resize(std::max(1u, params_.ringEntries));
+}
+
+// ---------------------------------------------------------------- cache
+
+void
+Checker::onLineState(NodeId node, Addr line, LineState st, const char *why)
+{
+    if (isProtocolAddr(line))
+        return;
+    ++lineEvents;
+    auto &m = lines_[line];
+    const std::uint64_t bit = 1ULL << node;
+    switch (st) {
+    case LineState::Inv:
+        m.sharers &= ~bit;
+        m.writers &= ~bit;
+        break;
+    case LineState::Sh:
+        if (m.writers & ~bit)
+            flag("SWMR violation: node %u takes line %llx Shared (%s) "
+                 "while node %u holds it writable",
+                unsigned(node), (unsigned long long)line, why,
+                unsigned(countTrailingZeros(m.writers & ~bit)));
+        m.sharers |= bit;
+        m.writers &= ~bit;
+        break;
+    case LineState::Ex:
+    case LineState::Mod:
+        if (m.writers & ~bit)
+            flag("SWMR violation: node %u takes line %llx writable (%s) "
+                 "while node %u already holds it writable",
+                unsigned(node), (unsigned long long)line, why,
+                unsigned(countTrailingZeros(m.writers & ~bit)));
+        if (m.sharers & ~bit)
+            flag("SWMR violation: node %u takes line %llx writable (%s) "
+                 "while sharer(s) %llx still hold it",
+                unsigned(node), (unsigned long long)line, why,
+                (unsigned long long)(m.sharers & ~bit));
+        m.writers |= bit;
+        m.sharers &= ~bit;
+        break;
+    }
+}
+
+void
+Checker::onMshrAlloc(NodeId node, unsigned idx, Addr line)
+{
+    track(mshrKey(node, idx), node, line, "mshr");
+}
+
+void
+Checker::onMshrFree(NodeId node, unsigned idx)
+{
+    untrack(mshrKey(node, idx));
+}
+
+// ----------------------------------------------------------------- home
+
+void
+Checker::onDispatch(NodeId node, const Message &m)
+{
+    ++dispatches;
+    RingEntry &e = ring_[ringHead_];
+    ringHead_ = (ringHead_ + 1) % ring_.size();
+    ++ringSeen_;
+    e = RingEntry{};
+    e.tick = eq_->curTick();
+    e.addr = m.addr;
+    e.type = m.type;
+    e.node = node;
+    e.src = m.src;
+    e.requester = m.requester;
+    e.mshr = m.mshr;
+    e.ackCount = m.ackCount;
+}
+
+void
+Checker::onHandlerExecuted(NodeId node, const HandlerTrace &tr)
+{
+    // Annotate the entry onDispatch just pushed (ringHead_ has already
+    // advanced past it).
+    std::size_t slot = (ringHead_ + ring_.size() - 1) % ring_.size();
+    RingEntry &e = ring_[slot];
+    if (e.node != node)
+        return; // dispatch/executed pairing broke; leave the ring alone
+    e.insts = static_cast<std::uint16_t>(
+        std::min<std::size_t>(tr.insts.size(), 0xffff));
+    e.sends = static_cast<std::uint16_t>(
+        std::min<std::size_t>(tr.sends.size(), 0xffff));
+}
+
+void
+Checker::onDirWrite(NodeId home, Addr line, std::uint64_t entry)
+{
+    ++dirWrites;
+    const unsigned st = fmt_.state(entry);
+    const std::uint64_t vec = fmt_.vector(entry);
+
+    if (st > dirBusyExWaitPut)
+        flag("directory write: illegal state %u for line %llx at node %u "
+             "(entry %llx)",
+            st, (unsigned long long)line, unsigned(home),
+            (unsigned long long)entry);
+    if (vec & ~nodeMask_)
+        flag("directory write: vector %llx for line %llx has bits beyond "
+             "the %u-node machine",
+            (unsigned long long)vec, (unsigned long long)line,
+            params_.nodes);
+
+    const bool busy = st >= dirBusySh && st <= dirBusyExWaitPut;
+    switch (st) {
+    case dirUnowned:
+        if (entry != 0)
+            flag("directory write: Unowned entry for line %llx is not "
+                 "all-zero (entry %llx)",
+                (unsigned long long)line, (unsigned long long)entry);
+        break;
+    case dirShared:
+        if (vec == 0)
+            flag("directory write: Shared entry for line %llx has an "
+                 "empty sharer vector",
+                (unsigned long long)line);
+        break;
+    default: // Exclusive and all busy states carry exactly one owner bit
+        if (popCount(vec) != 1)
+            flag("directory write: state %u for line %llx must carry "
+                 "exactly one vector bit, got %llx",
+                st, (unsigned long long)line, (unsigned long long)vec);
+        break;
+    }
+    if (busy && fmt_.pendingReq(entry) >= params_.nodes)
+        flag("directory write: busy entry for line %llx names "
+             "out-of-range pending requester %u",
+            (unsigned long long)line, unsigned(fmt_.pendingReq(entry)));
+
+    // Watchdog: a busy or stale entry is an in-flight home-side
+    // transaction; it must resolve within the age bound.
+    const std::uint64_t key = dirKey(line);
+    if (busy || fmt_.stale(entry)) {
+        if (live_.find(key) == live_.end())
+            track(key, home, line, busy ? "dirBusy" : "dirStale");
+    } else {
+        untrack(key);
+    }
+
+    if (fullMirror()) {
+        auto &m = lines_[line];
+        m.dirEntry = entry;
+        m.dirSeen = true;
+    }
+}
+
+void
+Checker::onPendWrite(NodeId node, unsigned mshr, std::uint64_t word0)
+{
+    ++pendWrites;
+    if (mshr >= 64)
+        flag("pending-table write: node %u mshr %u out of range",
+            unsigned(node), mshr);
+    if (word0 & (1ULL << pend::validShift)) {
+        const auto exp = (word0 >> pend::acksExpShift) & 0xffff;
+        const auto rcv = (word0 >> pend::acksRcvShift) & 0xffff;
+        // Before the data reply arrives acksExp is still zero while
+        // early acks may already have bumped acksRcv, so the ordering
+        // check only applies once the expectation has been recorded.
+        if ((word0 & (1ULL << pend::dataShift)) != 0) {
+            if (exp >= params_.nodes)
+                flag("pending-table write: node %u mshr %u expects %llu "
+                     "acks on a %u-node machine",
+                    unsigned(node), mshr, (unsigned long long)exp,
+                    params_.nodes);
+            if (rcv > exp)
+                flag("pending-table write: node %u mshr %u received %llu "
+                     "acks but expects only %llu",
+                    unsigned(node), mshr, (unsigned long long)rcv,
+                    (unsigned long long)exp);
+        }
+    }
+    if (fullMirror())
+        pend_[(std::uint32_t(node) << 8) | mshr] = word0;
+}
+
+// ------------------------------------------------------------ lifecycle
+
+void
+Checker::verifyQuiescent()
+{
+    for (const auto &[line, m] : lines_) {
+        if (popCount(m.writers) > 1)
+            flag("quiescence: line %llx has %u writers (mask %llx)",
+                (unsigned long long)line, popCount(m.writers),
+                (unsigned long long)m.writers);
+        if (m.writers != 0 && m.sharers != 0)
+            flag("quiescence: line %llx has writer %llx and sharers %llx",
+                (unsigned long long)line, (unsigned long long)m.writers,
+                (unsigned long long)m.sharers);
+        if (!m.dirSeen)
+            continue;
+        const unsigned st = fmt_.state(m.dirEntry);
+        const std::uint64_t vec = fmt_.vector(m.dirEntry);
+        if (fmt_.stale(m.dirEntry))
+            flag("quiescence: line %llx left with stale flag set",
+                (unsigned long long)line);
+        if (st > dirExclusive)
+            flag("quiescence: line %llx left in busy state %u",
+                (unsigned long long)line, st);
+        if (m.writers != 0) {
+            if (st != dirExclusive)
+                flag("quiescence: line %llx cached writable but directory "
+                     "state is %u",
+                    (unsigned long long)line, st);
+            else if (vec != m.writers)
+                flag("quiescence: line %llx directory owner %llx != "
+                     "actual writer %llx",
+                    (unsigned long long)line, (unsigned long long)vec,
+                    (unsigned long long)m.writers);
+        } else if (m.sharers != 0) {
+            if (st != dirShared)
+                flag("quiescence: line %llx cached Shared but directory "
+                     "state is %u",
+                    (unsigned long long)line, st);
+            else if (m.sharers & ~vec)
+                flag("quiescence: line %llx cached sharers %llx missing "
+                     "from vector %llx",
+                    (unsigned long long)line,
+                    (unsigned long long)m.sharers,
+                    (unsigned long long)vec);
+        } else if (st == dirExclusive) {
+            // An owner never drops its copy silently, so Exclusive with
+            // no cached writer means the line was lost.
+            flag("quiescence: line %llx directory Exclusive (vector %llx) "
+                 "but no cache holds it writable",
+                (unsigned long long)line, (unsigned long long)vec);
+        }
+    }
+    for (const auto &[key, word0] : pend_) {
+        if (word0 & (1ULL << pend::validShift))
+            flag("quiescence: pending-table entry node %u mshr %u still "
+                 "valid (word0 %llx)",
+                unsigned(key >> 8), unsigned(key & 0xff),
+                (unsigned long long)word0);
+    }
+    if (!live_.empty())
+        flag("quiescence: %zu transaction(s) still tracked by the "
+             "watchdog",
+            live_.size());
+}
+
+void
+Checker::reportWedge(const char *why)
+{
+    if (wedgeReported_)
+        return;
+    wedgeReported_ = true;
+    std::fprintf(stderr, "==== coherence watchdog: %s ====\n", why);
+    dumpReport(stderr);
+    flag("watchdog: %s (%zu in-flight transaction(s))", why, live_.size());
+}
+
+void
+Checker::dumpReport(std::FILE *out)
+{
+    const Tick now = eq_->curTick();
+    std::fprintf(out, "tick %llu, %zu tracked transaction(s):\n",
+        (unsigned long long)now, live_.size());
+
+    std::vector<const Live *> sorted;
+    sorted.reserve(live_.size());
+    for (const auto &[key, t] : live_)
+        sorted.push_back(&t);
+    std::sort(sorted.begin(), sorted.end(),
+        [](const Live *a, const Live *b) { return a->since < b->since; });
+    for (const Live *t : sorted)
+        std::fprintf(out, "  [age %llu ticks] node %u line %llx (%s)\n",
+            (unsigned long long)(now - t->since), unsigned(t->node),
+            (unsigned long long)t->addr, t->kind);
+
+    for (const auto &[name, fn] : dumpHooks_) {
+        std::fprintf(out, "-- %s --\n", name.c_str());
+        fn(out);
+    }
+
+    const std::size_t n = std::min<std::uint64_t>(ringSeen_, ring_.size());
+    std::fprintf(out, "-- last %zu handler dispatch(es), oldest first --\n",
+        n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const RingEntry &e =
+            ring_[(ringHead_ + ring_.size() - n + i) % ring_.size()];
+        std::fprintf(out,
+            "  [%llu] n%u %-14s addr=%llx src=%u req=%u mshr=%u ack=%u "
+            "insts=%u sends=%u\n",
+            (unsigned long long)e.tick, unsigned(e.node),
+            std::string(msgTypeName(e.type)).c_str(),
+            (unsigned long long)e.addr, unsigned(e.src),
+            unsigned(e.requester), unsigned(e.mshr), unsigned(e.ackCount),
+            unsigned(e.insts), unsigned(e.sends));
+    }
+}
+
+void
+Checker::violation(const std::string &msg)
+{
+    violations_.push_back(msg);
+    if (params_.abortOnViolation)
+        SMTP_PANIC("coherence checker: %s", msg.c_str());
+    std::fprintf(stderr, "coherence checker (latched): %s\n", msg.c_str());
+}
+
+// ------------------------------------------------------------- watchdog
+
+void
+Checker::track(std::uint64_t key, NodeId node, Addr addr, const char *kind)
+{
+    live_[key] = Live{eq_->curTick(), node, addr, kind};
+    scheduleScan();
+}
+
+void
+Checker::untrack(std::uint64_t key)
+{
+    live_.erase(key);
+}
+
+void
+Checker::scheduleScan()
+{
+    if (scanScheduled_ || live_.empty())
+        return;
+    scanScheduled_ = true;
+    eq_->scheduleIn(params_.watchdogScanInterval, [this] { scan(); });
+}
+
+void
+Checker::scan()
+{
+    scanScheduled_ = false;
+    if (live_.empty() || wedgeReported_)
+        return;
+    const Tick now = eq_->curTick();
+    for (const auto &[key, t] : live_) {
+        if (now - t.since > params_.watchdogMaxAge) {
+            reportWedge("transaction exceeded the watchdog age bound");
+            return;
+        }
+    }
+    scheduleScan();
+}
+
+} // namespace smtp::check

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Runtime coherence invariant checker and deadlock watchdog.
+ *
+ * The checker mirrors every cache line's global state from two
+ * independent streams of evidence and cross-checks them:
+ *
+ *  - cache-side: the L2 hierarchies report every line-state transition
+ *    (fill install, eviction, probe downgrade, upgrade grant), from
+ *    which the checker maintains per-line sharer/writer bitmasks and
+ *    asserts the SWMR invariant on every transition;
+ *
+ *  - home-side: the memory controllers report every directory-entry
+ *    store a protocol handler makes, which the checker validates for
+ *    well-formedness (legal state encoding, vector within the node
+ *    count, Exclusive/busy states carrying exactly one owner bit) and,
+ *    at FullMirror level, records for quiescence-time cross-checks
+ *    against the cache-side masks.
+ *
+ * Because probes apply architecturally at handler dispatch (the
+ * serialization point) and exclusive fills are delivered only after
+ * all invalidation acks, the install-time SWMR assertions hold exactly
+ * — no grace windows are needed.  The directory vector is only
+ * checked as a *superset* of the actual sharers (silent Shared drops
+ * are part of the protocol).
+ *
+ * The watchdog tracks the age of every in-flight transaction (MSHRs on
+ * the cache side, busy or stale directory entries on the home side).
+ * When any exceeds a configurable bound it prints all tracked
+ * transactions, component queue occupancies (via registered dump
+ * hooks) and the last N protocol-handler dispatches from a ring
+ * buffer, then flags a violation — turning a silent simulator hang
+ * into a readable report.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/cache_array.hpp"
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "protocol/directory.hpp"
+#include "protocol/executor.hpp"
+#include "protocol/message.hpp"
+#include "sim/eventq.hpp"
+#include "sim/stats.hpp"
+
+namespace smtp::check
+{
+
+/** How much checking a machine pays for. */
+enum class CheckLevel : std::uint8_t {
+    Off,        ///< no checker constructed; zero overhead
+    Asserts,    ///< per-transition SWMR + directory-write validation + watchdog
+    FullMirror, ///< Asserts plus dir/pend mirrors and quiescence sweeps
+};
+
+struct CheckerParams
+{
+    CheckLevel level = CheckLevel::Asserts;
+    unsigned nodes = 1;
+    /** Panic on the first violation (tests may latch instead). */
+    bool abortOnViolation = true;
+    /** Depth of the handler-dispatch ring buffer in the wedge report. */
+    unsigned ringEntries = 128;
+    /** A transaction older than this is considered wedged. */
+    Tick watchdogMaxAge = 2 * tickPerMs;
+    /** How often the watchdog sweeps its tracked-transaction table. */
+    Tick watchdogScanInterval = 50 * tickPerUs;
+};
+
+class Checker
+{
+  public:
+    Checker(EventQueue &eq, const proto::DirFormat &fmt,
+        const CheckerParams &params);
+
+    CheckLevel level() const { return params_.level; }
+    bool fullMirror() const { return params_.level == CheckLevel::FullMirror; }
+
+    // ------------------------------------------------- cache-side hooks
+
+    /** An L2 line changed state (Inv on eviction/invalidation). */
+    void onLineState(NodeId node, Addr line, LineState st, const char *why);
+
+    /** An MSHR was allocated for @p line (watchdog tracking begins). */
+    void onMshrAlloc(NodeId node, unsigned idx, Addr line);
+
+    /** The MSHR's transaction completed (watchdog tracking ends). */
+    void onMshrFree(NodeId node, unsigned idx);
+
+    // -------------------------------------------------- home-side hooks
+
+    /** A protocol handler is about to run for @p m at @p node. */
+    void onDispatch(NodeId node, const proto::Message &m);
+
+    /** The handler dispatched last finished; annotate the ring entry. */
+    void onHandlerExecuted(NodeId node, const proto::HandlerTrace &tr);
+
+    /** A handler stored @p entry to the directory entry of @p line. */
+    void onDirWrite(NodeId home, Addr line, std::uint64_t entry);
+
+    /** A handler stored word0 of pending-table entry (@p node, @p mshr). */
+    void onPendWrite(NodeId node, unsigned mshr, std::uint64_t word0);
+
+    // ---------------------------------------------------------- lifecycle
+
+    /** Register a component state dumper for the wedge report. */
+    void
+    addDumpHook(std::string name, std::function<void(std::FILE *)> fn)
+    {
+        dumpHooks_.emplace_back(std::move(name), std::move(fn));
+    }
+
+    /**
+     * Cross-check the mirrors at a global quiescent point (no MSHRs,
+     * no in-flight messages): SWMR on the cache masks, directory state
+     * consistent with the actual holders, no busy/stale entries, no
+     * valid pending-table entries, no tracked transactions.
+     */
+    void verifyQuiescent();
+
+    /**
+     * Dump the full wedge report (tracked transactions, component
+     * queues, dispatch ring) and flag a violation.  Idempotent: only
+     * the first call reports.
+     */
+    void reportWedge(const char *why);
+
+    /** Write the diagnostic report (no violation flagged). */
+    void dumpReport(std::FILE *out);
+
+    /** Record a violation; panics unless abortOnViolation is false. */
+    template <typename... Args>
+    void
+    flag(const char *fmt, Args &&...args)
+    {
+        char buf[512];
+        std::snprintf(buf, sizeof(buf), fmt, std::forward<Args>(args)...);
+        violation(buf);
+    }
+
+    std::size_t violationCount() const { return violations_.size(); }
+    const std::vector<std::string> &violations() const { return violations_; }
+
+    // ------------------------------------------------------------- stats
+
+    Counter lineEvents;  ///< cache line-state transitions observed
+    Counter dirWrites;   ///< directory-entry stores audited
+    Counter pendWrites;  ///< pending-table word0 stores audited
+    Counter dispatches;  ///< handler dispatches ring-buffered
+
+  private:
+    /** Cache-side + home-side mirror of one line's global state. */
+    struct LineMirror
+    {
+        std::uint64_t sharers = 0;  ///< nodes holding the line Shared
+        std::uint64_t writers = 0;  ///< nodes holding it Ex/Mod
+        std::uint64_t dirEntry = 0; ///< last directory store (FullMirror)
+        bool dirSeen = false;
+    };
+
+    /** One handler dispatch in the ring buffer. */
+    struct RingEntry
+    {
+        Tick tick = 0;
+        Addr addr = 0;
+        proto::MsgType type{};
+        NodeId node = 0;
+        NodeId src = 0;
+        NodeId requester = 0;
+        std::uint8_t mshr = 0;
+        std::uint16_t ackCount = 0;
+        std::uint16_t insts = 0;
+        std::uint16_t sends = 0;
+    };
+
+    /** An in-flight transaction the watchdog is aging. */
+    struct Live
+    {
+        Tick since = 0;
+        NodeId node = 0;
+        Addr addr = 0;
+        const char *kind = "";
+    };
+
+    static std::uint64_t
+    mshrKey(NodeId node, unsigned idx)
+    {
+        return (1ULL << 62) | (static_cast<std::uint64_t>(node) << 16) | idx;
+    }
+
+    static std::uint64_t
+    dirKey(Addr line)
+    {
+        return (1ULL << 63) | line;
+    }
+
+    void violation(const std::string &msg);
+    void track(std::uint64_t key, NodeId node, Addr addr, const char *kind);
+    void untrack(std::uint64_t key);
+    void scheduleScan();
+    void scan();
+
+    EventQueue *eq_;
+    proto::DirFormat fmt_;
+    CheckerParams params_;
+    std::uint64_t nodeMask_;
+
+    std::unordered_map<Addr, LineMirror> lines_;
+    /** (node << 8 | mshr) -> last word0 written (FullMirror only). */
+    std::unordered_map<std::uint32_t, std::uint64_t> pend_;
+
+    std::vector<RingEntry> ring_;
+    std::size_t ringHead_ = 0; ///< next slot to overwrite
+    std::uint64_t ringSeen_ = 0;
+
+    std::unordered_map<std::uint64_t, Live> live_;
+    bool scanScheduled_ = false;
+    bool wedgeReported_ = false;
+
+    std::vector<std::string> violations_;
+    std::vector<std::pair<std::string, std::function<void(std::FILE *)>>>
+        dumpHooks_;
+};
+
+} // namespace smtp::check

@@ -1,6 +1,7 @@
 #include "machine.hpp"
 
 #include <cstdio>
+#include <string>
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
@@ -35,6 +36,18 @@ Machine::Machine(const MachineParams &params)
     NetworkParams np;
     np.numNodes = params.nodes;
     net_ = std::make_unique<Network>(eq_, np);
+
+    if (params.checkLevel != check::CheckLevel::Off) {
+        check::CheckerParams chp;
+        chp.level = params.checkLevel;
+        chp.nodes = params.nodes;
+        chp.abortOnViolation = params.checkAbortOnViolation;
+        chp.watchdogMaxAge = params.checkWatchdogMaxAge;
+        checker_ = std::make_unique<check::Checker>(eq_, fmt_, chp);
+        auto *net = net_.get();
+        checker_->addDumpHook(
+            "network", [net](std::FILE *f) { net->debugState(f); });
+    }
 
     bool smtp = params.model == MachineModel::SMTp;
 
@@ -119,6 +132,12 @@ Machine::Machine(const MachineParams &params)
         }
 
         auto *mc = node->mc.get();
+        if (checker_) {
+            node->cache->setChecker(checker_.get());
+            mc->setChecker(checker_.get());
+            checker_->addDumpHook("node" + std::to_string(n) + ".mc",
+                                  [mc](std::FILE *f) { mc->debugState(f); });
+        }
         node->cache->connect(
             [mc](const proto::Message &m) { return mc->lmiEnqueue(m); },
             [mc](Addr a, bool w, EventQueue::Callback fn) {
@@ -167,6 +186,9 @@ Machine::run(Tick limit)
                 break;
         }
     }
+    if (!all_done() && checker_)
+        checker_->reportWedge("run deadline reached with threads "
+                              "unfinished");
     SMTP_ASSERT(all_done(),
                 "machine did not finish within the time limit "
                 "(workload deadlock?)");
@@ -200,6 +222,8 @@ Machine::quiesce(Tick limit)
     while (!eq_.empty() && eq_.nextTick() <= eq_.curTick())
         eq_.runOne();
     if (!quiescent()) {
+        if (checker_)
+            checker_->reportWedge("machine failed to quiesce");
         std::fprintf(stderr, "quiesce failure: net=%d evq=%zu\n",
                      static_cast<int>(net_->quiescent()), eq_.size());
         for (unsigned n = 0; n < nodes_.size(); ++n) {
@@ -212,6 +236,8 @@ Machine::quiesce(Tick limit)
         }
         SMTP_PANIC("machine failed to quiesce after the run");
     }
+    if (checker_ && checker_->fullMirror())
+        checker_->verifyQuiescent();
 }
 
 double

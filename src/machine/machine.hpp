@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "check/checker.hpp"
 #include "core/protocol_thread.hpp"
 #include "cpu/smt_cpu.hpp"
 #include "mem/controller.hpp"
@@ -83,6 +84,15 @@ struct MachineParams
      * 1 = the paper's absolute sizes.
      */
     unsigned dirCacheDivisor = 1;
+
+    /**
+     * Coherence checker + watchdog (src/check). Off costs nothing;
+     * Asserts checks SWMR on every transition; FullMirror additionally
+     * cross-checks directory mirrors at quiescence.
+     */
+    check::CheckLevel checkLevel = check::CheckLevel::Off;
+    bool checkAbortOnViolation = true;
+    Tick checkWatchdogMaxAge = 2 * tickPerMs;
 };
 
 class Machine
@@ -145,6 +155,8 @@ class Machine
     const Node &node(unsigned n) const { return *nodes_[n]; }
     Network &network() { return *net_; }
     const proto::DirFormat &dirFormat() const { return fmt_; }
+    /** nullptr when checkLevel is Off. */
+    check::Checker *checker() { return checker_.get(); }
 
     // ---- Paper metrics ------------------------------------------------
 
@@ -174,6 +186,7 @@ class Machine
     proto::HandlerImage image_;
     std::unique_ptr<PagePlacementMap> map_;
     std::unique_ptr<Network> net_;
+    std::unique_ptr<check::Checker> checker_;
     std::vector<std::unique_ptr<Node>> nodes_;
     Tick execTime_ = 0;
 };

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "check/checker.hpp"
 #include "common/log.hpp"
 
 namespace smtp
@@ -254,9 +255,13 @@ MemController::dispatch(const Message &msg_in)
 
     // Functional execution: directory and pending-table updates happen
     // now, in dispatch order — the architectural serialization point.
+    if (checker_ != nullptr)
+        checker_->onDispatch(self_, msg);
     dispatching_ = ctx.get();
     ctx->trace = executor_.run(msg);
     dispatching_ = nullptr;
+    if (checker_ != nullptr)
+        checker_->onHandlerExecuted(self_, ctx->trace);
 
     // Handlers record impossible protocol states in scratch word 0.
     Addr err_addr = proto::protoScratchBase +
@@ -455,7 +460,44 @@ MemController::protoLoad(Addr a, unsigned bytes)
 void
 MemController::protoStore(Addr a, std::uint64_t v, unsigned bytes)
 {
+    if (checker_ != nullptr)
+        auditProtoStore(a, v);
     ram_.write(a, v, bytes);
+}
+
+void
+MemController::auditProtoStore(Addr a, std::uint64_t v)
+{
+    using namespace proto;
+    if (a >= protoDirBase && a < protoPendBase) {
+        // A handler may only write the directory entry of the line it
+        // was dispatched on.
+        Addr line = dispatching_ != nullptr
+                        ? lineAlign(dispatching_->msg.addr)
+                        : invalidAddr;
+        if (line == invalidAddr || a != map_->dirAddrOf(line)) {
+            checker_->flag("node %u: stray directory write to %llx "
+                           "(dispatched line %llx)",
+                unsigned(self_), static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(line));
+            return;
+        }
+        checker_->onDirWrite(self_, line, v);
+    } else if (a >= protoPendBase && a < protoScratchBase) {
+        Addr off = a - protoPendBase;
+        auto node = static_cast<NodeId>(off / protoNodeStride);
+        Addr within = off % protoNodeStride;
+        if (node != self_) {
+            checker_->flag("node %u wrote node %u's pending table (%llx)",
+                unsigned(self_), unsigned(node),
+                static_cast<unsigned long long>(a));
+            return;
+        }
+        // Only word0 (the valid/type/ack word) carries checkable state.
+        if (within % pend::entryBytes == 0)
+            checker_->onPendWrite(self_,
+                static_cast<unsigned>(within / pend::entryBytes), v);
+    }
 }
 
 Addr

@@ -114,6 +114,9 @@ class MemController : public proto::ExecEnv
 
     // ---- Introspection -----------------------------------------------
 
+    /** Attach the coherence checker (nullptr => no checking overhead). */
+    void setChecker(check::Checker *c) { checker_ = c; }
+
     ProtocolRam &ram() { return ram_; }
     Sdram &sdram() { return sdram_; }
     const ClockDomain &clock() const { return clock_; }
@@ -196,6 +199,9 @@ class MemController : public proto::ExecEnv
     void pushToNetwork(proto::Message msg, Tick data_ready, bool delayed);
     void drainNiOut();
 
+    /** Classify a handler store into the checker's dir/pend audits. */
+    void auditProtoStore(Addr a, std::uint64_t v);
+
     EventQueue *eq_;
     NodeId self_;
     McParams params_;
@@ -219,6 +225,7 @@ class MemController : public proto::ExecEnv
     std::deque<std::pair<Tick, proto::Message>> deferQ_;
     unsigned rrSource_ = 0;
 
+    check::Checker *checker_ = nullptr;
     TransactionCtx *dispatching_ = nullptr; ///< Valid during executor run.
     /** Live transactions; send closures keep them alive via shared_ptr. */
     std::unordered_map<std::uint64_t, std::shared_ptr<TransactionCtx>> ctxs_;

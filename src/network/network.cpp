@@ -156,4 +156,26 @@ Network::tryDeliver(NodeId node, std::uint8_t vnet)
     }
 }
 
+void
+Network::debugState(std::FILE *out) const
+{
+    std::fprintf(out, "  net: inFlight=%llu\n",
+                 static_cast<unsigned long long>(inFlight_));
+    for (std::size_t n = 0; n < deliver_.size(); ++n) {
+        for (unsigned v = 0; v < proto::numVnets; ++v) {
+            const auto &q = landing_[n * proto::numVnets + v];
+            if (q.empty())
+                continue;
+            const auto &head = q.front();
+            std::fprintf(out,
+                         "  net: landing n%zu vnet%u: %zu queued "
+                         "(head %s addr=%llx src=%u)\n",
+                         n, v, q.size(),
+                         std::string(proto::msgTypeName(head.type)).c_str(),
+                         static_cast<unsigned long long>(head.addr),
+                         unsigned(head.src));
+        }
+    }
+}
+
 } // namespace smtp

@@ -24,6 +24,7 @@
 #define SMTP_NETWORK_NETWORK_HPP
 
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <functional>
 #include <vector>
@@ -73,6 +74,9 @@ class Network
     {
         return inFlight_ == 0;
     }
+
+    /** Dump in-flight count and landing-buffer occupancy (wedge report). */
+    void debugState(std::FILE *out) const;
 
     // Stats.
     Counter msgsInjected;

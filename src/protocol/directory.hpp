@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "common/bits.hpp"
+#include "common/log.hpp"
 #include "common/types.hpp"
 
 namespace smtp::proto
@@ -112,7 +113,11 @@ struct DirFormat
     NodeId
     owner(std::uint64_t e) const
     {
-        return static_cast<NodeId>(countTrailingZeros(vector(e)));
+        std::uint64_t v = vector(e);
+        SMTP_ASSERT(v != 0,
+            "DirFormat::owner on entry %llx with empty vector",
+            static_cast<unsigned long long>(e));
+        return static_cast<NodeId>(countTrailingZeros(v));
     }
 
     bool stale(std::uint64_t e) const { return bits(e, staleShift,

@@ -106,11 +106,19 @@ Executor::run(const Message &m)
             break;
           case POp::Ld:
             rec.memAddr = rs1 + static_cast<std::uint64_t>(inst.imm);
+            SMTP_ASSERT(isProtocolAddr(rec.memAddr),
+                        "handler load from non-protocol address %llx "
+                        "(pc %u)",
+                        static_cast<unsigned long long>(rec.memAddr), pc);
             result = env_->protoLoad(rec.memAddr, inst.memBytes);
             write_rd = true;
             break;
           case POp::St:
             rec.memAddr = rs1 + static_cast<std::uint64_t>(inst.imm);
+            SMTP_ASSERT(isProtocolAddr(rec.memAddr),
+                        "handler store to non-protocol address %llx "
+                        "(pc %u)",
+                        static_cast<unsigned long long>(rec.memAddr), pc);
             env_->protoStore(rec.memAddr, rs2, inst.memBytes);
             break;
           case POp::Beq:

@@ -291,6 +291,13 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.andi(t1, t1, vec_mask);         // current sharers
         a.xori(t2, t0, -1);
         a.and_(t1, t1, t2);               // others = sharers & ~rqbit
+        if (opts.injectSkipFirstInval) {
+            // Deliberate protocol bug (checker validation): drop the
+            // lowest sharer from the invalidation set; it keeps a stale
+            // Shared copy while the requester goes Exclusive.
+            a.addi(t7, t1, -1);
+            a.and_(t1, t1, t7);
+        }
         a.popc(t4, t1);                   // invalidation count
         a.sll(t5, t0, fmt.vectorShift);
         a.ori(t5, t5, dirExclusive);
@@ -721,8 +728,12 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         pend_addr_t9();
         a.ld(t2, t9, 0);
         a.srl(t4, t2, pend::acksRcvShift);
-        a.andi(t4, t4, 0xffff);
         a.addi(t4, t4, 1);
+        // Mask after the increment, not before: masking first would let
+        // the +1 escape the 16-bit field, failing the acksExp compare
+        // and, on the park path, corrupting the data-arrived bit when
+        // shifted back into place.
+        a.andi(t4, t4, 0xffff);
         a.srl(t3, t2, pend::acksExpShift);
         a.andi(t3, t3, 0xffff);
         a.srl(t5, t2, pend::dataShift);

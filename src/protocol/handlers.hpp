@@ -42,6 +42,14 @@ struct HandlerOptions
      * extra protocol instructions on the grant paths only.
      */
     bool ownershipLog = false;
+
+    /**
+     * Fault injection for checker validation only: the GETX handler
+     * drops the lowest-numbered sharer from the invalidation set (and
+     * from the ack count, so the protocol still completes), leaving a
+     * stale Shared copy the coherence checker must catch.
+     */
+    bool injectSkipFirstInval = false;
 };
 
 /**

@@ -44,6 +44,8 @@ class Distribution
     void
     sample(double v, std::uint64_t weight = 1)
     {
+        if (weight == 0)
+            return; // must not perturb min/max
         sum_ += v * static_cast<double>(weight);
         count_ += weight;
         min_ = std::min(min_, v);

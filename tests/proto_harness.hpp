@@ -10,9 +10,11 @@
 #define SMTP_TESTS_PROTO_HARNESS_HPP
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cache/hierarchy.hpp"
+#include "check/checker.hpp"
 #include "mem/controller.hpp"
 #include "mem/immediate_agent.hpp"
 #include "network/network.hpp"
@@ -30,24 +32,43 @@ class ProtoMachine
     {
         unsigned nodes = 4;
         std::size_t l2Bytes = 16 * 1024; ///< Small: evictions are cheap.
+        unsigned l2Ways = 8;
         unsigned pagesPerNode = 4;
+        /** Every protocol test runs with the checker at full strength. */
+        check::CheckLevel checkLevel = check::CheckLevel::FullMirror;
+        bool checkAbortOnViolation = true;
+        Tick watchdogMaxAge = 2 * tickPerMs;
+        proto::HandlerOptions handlerOptions{};
     };
 
     ProtoMachine() : ProtoMachine(Options()) {}
 
     explicit ProtoMachine(const Options &opt)
         : fmt(proto::DirFormat::forNodes(opt.nodes <= 16 ? 16 : 32)),
-          image(proto::buildHandlerImage(fmt)), clock(2000),
-          map(opt.nodes, fmt.entryBytes)
+          image(proto::buildHandlerImage(fmt, opt.handlerOptions)),
+          clock(2000), map(opt.nodes, fmt.entryBytes)
     {
         NetworkParams np;
         np.numNodes = opt.nodes;
         net = std::make_unique<Network>(eq, np);
 
+        if (opt.checkLevel != check::CheckLevel::Off) {
+            check::CheckerParams chp;
+            chp.level = opt.checkLevel;
+            chp.nodes = opt.nodes;
+            chp.abortOnViolation = opt.checkAbortOnViolation;
+            chp.watchdogMaxAge = opt.watchdogMaxAge;
+            checker = std::make_unique<check::Checker>(eq, fmt, chp);
+            auto *netp = net.get();
+            checker->addDumpHook(
+                "network", [netp](std::FILE *f) { netp->debugState(f); });
+        }
+
         for (unsigned n = 0; n < opt.nodes; ++n) {
             auto node = std::make_unique<Node>();
             CacheParams cp;
             cp.l2Bytes = opt.l2Bytes;
+            cp.l2Ways = opt.l2Ways;
             cp.enableBypass = true;
             node->cache = std::make_unique<CacheHierarchy>(
                 eq, clock, static_cast<NodeId>(n), cp);
@@ -59,6 +80,13 @@ class ProtoMachine
             node->agent =
                 std::make_unique<ImmediateAgent>(eq, *node->mc);
             auto *mc = node->mc.get();
+            if (checker) {
+                node->cache->setChecker(checker.get());
+                mc->setChecker(checker.get());
+                checker->addDumpHook(
+                    "node" + std::to_string(n) + ".mc",
+                    [mc](std::FILE *f) { mc->debugState(f); });
+            }
             node->cache->connect(
                 [mc](const proto::Message &m) { return mc->lmiEnqueue(m); },
                 [mc](Addr a, bool w, EventQueue::Callback fn) {
@@ -126,8 +154,13 @@ class ProtoMachine
     settle(Tick limit = 500 * tickPerUs)
     {
         eq.run(eq.curTick() + limit);
+        if (!quiescent() && checker)
+            checker->reportWedge("harness failed to settle");
         SMTP_ASSERT(quiescent(),
                     "machine failed to quiesce within the time limit");
+        if (checker && checker->fullMirror() &&
+            checker->violationCount() == 0)
+            checker->verifyQuiescent();
     }
 
     /** Decode the directory entry for @p addr at its home. */
@@ -201,6 +234,7 @@ class ProtoMachine
     ClockDomain clock;
     PagePlacementMap map;
     std::unique_ptr<Network> net;
+    std::unique_ptr<check::Checker> checker;
     std::vector<std::unique_ptr<Node>> nodes;
 };
 

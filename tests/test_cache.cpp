@@ -418,20 +418,27 @@ TEST_F(CacheTest, PoisonedSharedFillInstallsNothing)
     EXPECT_EQ(cache.fillsPoisoned.value(), 1u);
 }
 
-TEST_F(CacheTest, UpgradeGrantOnVanishedLineReissuesGetx)
+TEST_F(CacheTest, UpgradeGrantOnVanishedLineReleasesThenReissuesGetx)
 {
     issue(MemCmd::Load, 0x76000);
     fill(expectLmi(MsgType::PiGet), MsgType::CcFillSh);
     eq.run();
     int st = issue(MemCmd::Store, 0x76000);
     auto up = expectLmi(MsgType::PiUpgrade);
-    // A straggling invalidation removes the shared copy first.
+    // The shared copy vanishes while the upgrade is in flight.
     cache.applyProbe(MsgType::CcInval, 0x76000);
     Message g;
     g.type = MsgType::CcUpgradeGrant;
     g.addr = up.addr;
     g.mshr = up.mshr;
     ASSERT_TRUE(cache.deliverFill(g));
+    // The grant recorded this node as exclusive owner at the home, so
+    // the unusable ownership must be released ahead of the re-request
+    // (same FIFO) or the home would NAK the GETX as stale forever.
+    auto put = expectLmi(MsgType::PiPutClean);
+    EXPECT_EQ(put.addr, 0x76000u);
+    EXPECT_TRUE(cache.wbPending(0x76000));
+    cache.clearWbPending(0x76000); // the home's RplWbAck
     auto getx = expectLmi(MsgType::PiGetx);
     EXPECT_EQ(getx.addr, 0x76000u);
     fill(getx, MsgType::CcFillEx);
