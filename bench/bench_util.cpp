@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 
 namespace smtp::bench
 {
@@ -22,6 +23,7 @@ runOnce(const RunConfig &cfg)
     mp.dirCacheDivisor = cfg.dirCacheDivisor;
     mp.eventKernel = cfg.heapEventKernel ? EventQueue::Kernel::Heap
                                          : EventQueue::Kernel::Wheel;
+    mp.trace.enabled = !cfg.traceStem.empty();
 
     Machine machine(mp);
     FuncMem mem;
@@ -56,6 +58,11 @@ runOnce(const RunConfig &cfg)
             out.peakLsq = std::max(out.peakLsq, occ.lsq.peak());
         }
     }
+    if (!cfg.traceStem.empty()) {
+        std::string err;
+        if (!machine.writeTraceFiles(cfg.traceStem, &err))
+            std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
+    }
     out.wallMs = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - wall_start)
                      .count();
@@ -63,8 +70,26 @@ runOnce(const RunConfig &cfg)
 }
 
 std::vector<RunResult>
-runCells(const BenchOptions &opt, const std::vector<RunConfig> &cfgs)
+runCells(const BenchOptions &opt, const std::vector<RunConfig> &cfgs_in)
 {
+    std::vector<RunConfig> cfgs = cfgs_in;
+    if (!opt.traceDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opt.traceDir, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create trace dir '%s': %s\n",
+                         opt.traceDir.c_str(), ec.message().c_str());
+            std::exit(1);
+        }
+        for (RunConfig &c : cfgs) {
+            char stem[512];
+            std::snprintf(stem, sizeof(stem), "%s/%s_%s_n%uw%u",
+                          opt.traceDir.c_str(), c.app.c_str(),
+                          std::string(modelName(c.model)).c_str(),
+                          c.nodes, c.ways);
+            c.traceStem = stem;
+        }
+    }
     std::vector<RunResult> results(cfgs.size());
     SweepPool pool(opt.jobs);
     pool.parallelFor(cfgs.size(), [&](std::size_t i) {
@@ -154,17 +179,24 @@ parseArgs(int argc, char **argv)
             opt.jsonPath = vp;
         } else if (const char *vp2 = next_value("--json")) {
             opt.jsonPath = vp2;
+        } else if (const char *vt = value("--trace=")) {
+            opt.traceDir = vt;
+        } else if (arg == "--trace") {
+            opt.traceDir = "traces";
         } else if (arg == "--quick") {
             opt.quick = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help") {
             std::printf("options: --scale=F --apps=A,B,... --quick "
-                        "--verbose --jobs=N --json=PATH\n"
+                        "--verbose --jobs=N --json=PATH --trace[=DIR]\n"
                         "  --jobs   sweep worker threads (default: "
                         "SMTP_SWEEP_JOBS env or all cores)\n"
                         "  --json   append per-cell JSON-Lines records "
-                        "to PATH\n");
+                        "to PATH\n"
+                        "  --trace  record telemetry; per-cell "
+                        "DIR/<app>_<model>_n<N>w<W>.{smtptrace,json,csv} "
+                        "(DIR defaults to 'traces')\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());

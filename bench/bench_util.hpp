@@ -43,6 +43,12 @@ struct RunConfig
     unsigned dirCacheDivisor = 16; ///< Scaled with the problem sizes.
     /** Run on the reference heap kernel (determinism A/B tests). */
     bool heapEventKernel = false;
+    /**
+     * When non-empty, run with telemetry enabled and write
+     * stem.smtptrace / stem.json / stem.csv after the run. Tracing
+     * never perturbs simulated timing.
+     */
+    std::string traceStem;
 };
 
 struct RunResult
@@ -76,6 +82,7 @@ struct BenchOptions
     bool verbose = false;
     unsigned jobs = 0;              ///< Sweep workers; 0 = auto.
     std::string jsonPath;           ///< Append per-cell records here.
+    std::string traceDir;           ///< Per-cell trace files (empty=off).
 
     const std::vector<std::string> &appList() const;
 };

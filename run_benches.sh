@@ -1,19 +1,23 @@
 #!/bin/sh
 # Runs every paper table/figure benchmark, one section per binary.
 #
-# Usage: ./run_benches.sh [--quick] [--jobs=N] [--json[=PATH]]
+# Usage: ./run_benches.sh [--quick] [--jobs=N] [--json[=PATH]] [--trace[=DIR]]
 #
 #   --quick      smaller configurations everywhere (CI-sized run)
 #   --jobs=N     sweep worker threads per binary (default: SMTP_SWEEP_JOBS
 #                env var, else all hardware threads)
 #   --json[=P]   append per-cell results as JSON Lines to P
 #                (default BENCH_sweep.json); the file is recreated
+#   --trace[=D]  record telemetry: each binary writes per-cell
+#                D/<section>/<cell>.{smtptrace,json,csv} (default D=traces);
+#                analyze with build/tools/trace_report
 # Remaining arguments are passed through to every binary.
 set -e
 
 quick=""
 jobs=""
 json_path=""
+trace_dir=""
 passthru=""
 for arg in "$@"; do
     case "$arg" in
@@ -21,6 +25,8 @@ for arg in "$@"; do
         --jobs=*) jobs="$arg" ;;
         --json) json_path="BENCH_sweep.json" ;;
         --json=*) json_path="${arg#--json=}" ;;
+        --trace) trace_dir="traces" ;;
+        --trace=*) trace_dir="${arg#--trace=}" ;;
         *) passthru="$passthru $arg" ;;
     esac
 done
@@ -31,14 +37,22 @@ if [ -n "$json_path" ]; then
     json_flag="--json=$json_path"
 fi
 
+# Per-section trace subdirectory, so cells with the same (app, model,
+# nodes, ways) in different sections don't overwrite each other.
+tflag() {
+    if [ -n "$trace_dir" ]; then
+        printf -- '--trace=%s/%s' "$trace_dir" "$1"
+    fi
+}
+
 set -x
-./build/bench/bench_fig2_4 $quick $jobs $json_flag $passthru
-./build/bench/bench_fig5_7 --quick $jobs $json_flag $passthru
-./build/bench/bench_fig8_9 --quick $jobs $json_flag $passthru
-./build/bench/bench_fig10_11 $quick $jobs $json_flag $passthru
-./build/bench/bench_table5_6 --quick $jobs $json_flag $passthru
-./build/bench/bench_table7 $quick $jobs $json_flag $passthru
-./build/bench/bench_table8_9 $quick $jobs $json_flag $passthru
-./build/bench/bench_ablation_las $quick $jobs $json_flag $passthru
-./build/bench/bench_ablation_pcache $quick $jobs $json_flag $passthru
+./build/bench/bench_fig2_4 $quick $jobs $json_flag $(tflag fig2_4) $passthru
+./build/bench/bench_fig5_7 --quick $jobs $json_flag $(tflag fig5_7) $passthru
+./build/bench/bench_fig8_9 --quick $jobs $json_flag $(tflag fig8_9) $passthru
+./build/bench/bench_fig10_11 $quick $jobs $json_flag $(tflag fig10_11) $passthru
+./build/bench/bench_table5_6 --quick $jobs $json_flag $(tflag table5_6) $passthru
+./build/bench/bench_table7 $quick $jobs $json_flag $(tflag table7) $passthru
+./build/bench/bench_table8_9 $quick $jobs $json_flag $(tflag table8_9) $passthru
+./build/bench/bench_ablation_las $quick $jobs $json_flag $(tflag ablation_las) $passthru
+./build/bench/bench_ablation_pcache $quick $jobs $json_flag $(tflag ablation_pcache) $passthru
 ./build/bench/bench_uarch --benchmark_min_time=0.1

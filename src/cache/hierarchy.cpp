@@ -266,6 +266,9 @@ CacheHierarchy::noteMshrAlloc(unsigned idx)
 {
     if (check_ != nullptr)
         check_->onMshrAlloc(self_, idx, mshrs_[idx].lineAddr);
+    SMTP_TRACE_EVENT(trace_, eq_->curTick(), trace::EventId::MshrAlloc,
+                     trace::packMshr(mshrs_[idx].lineAddr, idx,
+                                     mshrsInUse()));
 }
 
 void
@@ -273,6 +276,8 @@ CacheHierarchy::freeMshr(Mshr &ms, unsigned idx)
 {
     if (check_ != nullptr)
         check_->onMshrFree(self_, idx);
+    SMTP_TRACE_EVENT(trace_, eq_->curTick(), trace::EventId::MshrFree,
+                     trace::packMshr(ms.lineAddr, idx, mshrsInUse() - 1));
     ms = Mshr{};
 }
 

@@ -41,6 +41,7 @@
 #include "sim/clock.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace smtp::check
 {
@@ -134,6 +135,9 @@ class CacheHierarchy
 
     /** Attach the coherence checker (nullptr => no checking overhead). */
     void setChecker(check::Checker *c) { check_ = c; }
+
+    /** Attach the node's memory telemetry buffer (MSHR alloc/free). */
+    void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
 
     enum class Outcome
     {
@@ -280,6 +284,7 @@ class CacheHierarchy
     BypassFn bypassAccess_;
     InvalHookFn invalHook_;
     check::Checker *check_ = nullptr;
+    trace::TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace smtp

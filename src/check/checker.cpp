@@ -22,12 +22,13 @@ using namespace proto;
 
 Checker::Checker(EventQueue &eq, const DirFormat &fmt,
     const CheckerParams &params)
-    : eq_(&eq), fmt_(fmt), params_(params)
+    : eq_(&eq), fmt_(fmt), params_(params),
+      ring_("dispatch", 0, trace::Category::Check,
+          std::size_t{2} * std::max(1u, params.ringEntries))
 {
     SMTP_ASSERT(params_.nodes >= 1 && params_.nodes <= 64,
         "checker: unsupported node count %u", params_.nodes);
     nodeMask_ = params_.nodes == 64 ? ~0ULL : (1ULL << params_.nodes) - 1;
-    ring_.resize(std::max(1u, params_.ringEntries));
 }
 
 // ---------------------------------------------------------------- cache
@@ -90,33 +91,24 @@ void
 Checker::onDispatch(NodeId node, const Message &m)
 {
     ++dispatches;
-    RingEntry &e = ring_[ringHead_];
-    ringHead_ = (ringHead_ + 1) % ring_.size();
-    ++ringSeen_;
-    e = RingEntry{};
-    e.tick = eq_->curTick();
-    e.addr = m.addr;
-    e.type = m.type;
-    e.node = node;
-    e.src = m.src;
-    e.requester = m.requester;
-    e.mshr = m.mshr;
-    e.ackCount = m.ackCount;
+    ring_.record(eq_->curTick(), trace::EventId::McDispatch,
+        trace::packMsg(m.addr, m.type, m.src, m.requester,
+            static_cast<std::uint8_t>(node)));
+    lastDispatchNode_ = node;
+    lastDispatchMshr_ = m.mshr;
+    lastDispatchAck_ = m.ackCount;
 }
 
 void
 Checker::onHandlerExecuted(NodeId node, const HandlerTrace &tr)
 {
-    // Annotate the entry onDispatch just pushed (ringHead_ has already
-    // advanced past it).
-    std::size_t slot = (ringHead_ + ring_.size() - 1) % ring_.size();
-    RingEntry &e = ring_[slot];
-    if (e.node != node)
+    // Annotate the dispatch just recorded (handler execution is
+    // synchronous inside MemController::dispatch).
+    if (lastDispatchNode_ != node)
         return; // dispatch/executed pairing broke; leave the ring alone
-    e.insts = static_cast<std::uint16_t>(
-        std::min<std::size_t>(tr.insts.size(), 0xffff));
-    e.sends = static_cast<std::uint16_t>(
-        std::min<std::size_t>(tr.sends.size(), 0xffff));
+    ring_.record(eq_->curTick(), trace::EventId::HandlerExec,
+        trace::packExec(tr.insts.size(), tr.sends.size(),
+            lastDispatchAck_, lastDispatchMshr_, node));
 }
 
 void
@@ -310,21 +302,13 @@ Checker::dumpReport(std::FILE *out)
         fn(out);
     }
 
-    const std::size_t n = std::min<std::uint64_t>(ringSeen_, ring_.size());
-    std::fprintf(out, "-- last %zu handler dispatch(es), oldest first --\n",
-        n);
-    for (std::size_t i = 0; i < n; ++i) {
-        const RingEntry &e =
-            ring_[(ringHead_ + ring_.size() - n + i) % ring_.size()];
-        std::fprintf(out,
-            "  [%llu] n%u %-14s addr=%llx src=%u req=%u mshr=%u ack=%u "
-            "insts=%u sends=%u\n",
-            (unsigned long long)e.tick, unsigned(e.node),
-            std::string(msgTypeName(e.type)).c_str(),
-            (unsigned long long)e.addr, unsigned(e.src),
-            unsigned(e.requester), unsigned(e.mshr), unsigned(e.ackCount),
-            unsigned(e.insts), unsigned(e.sends));
-    }
+    std::fprintf(out,
+        "-- last %zu handler dispatch event(s), oldest first --\n",
+        ring_.stored());
+    ring_.dumpTail(out, ring_.capacity());
+
+    if (traceMgr_ != nullptr)
+        traceMgr_->dumpTails(out, wedgeTraceTail);
 }
 
 void

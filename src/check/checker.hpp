@@ -50,6 +50,7 @@
 #include "protocol/message.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace smtp::check
 {
@@ -119,6 +120,12 @@ class Checker
     }
 
     /**
+     * Let wedge reports dump the tails of the machine's telemetry
+     * buffers next to the dispatch ring (nullptr => ring only).
+     */
+    void setTraceManager(const trace::TraceManager *tm) { traceMgr_ = tm; }
+
+    /**
      * Cross-check the mirrors at a global quiescent point (no MSHRs,
      * no in-flight messages): SWMR on the cache masks, directory state
      * consistent with the actual holders, no busy/stale entries, no
@@ -166,21 +173,6 @@ class Checker
         bool dirSeen = false;
     };
 
-    /** One handler dispatch in the ring buffer. */
-    struct RingEntry
-    {
-        Tick tick = 0;
-        Addr addr = 0;
-        proto::MsgType type{};
-        NodeId node = 0;
-        NodeId src = 0;
-        NodeId requester = 0;
-        std::uint8_t mshr = 0;
-        std::uint16_t ackCount = 0;
-        std::uint16_t insts = 0;
-        std::uint16_t sends = 0;
-    };
-
     /** An in-flight transaction the watchdog is aging. */
     struct Live
     {
@@ -202,6 +194,9 @@ class Checker
         return (1ULL << 63) | line;
     }
 
+    /** Newest events shown per telemetry buffer in a wedge report. */
+    static constexpr std::size_t wedgeTraceTail = 32;
+
     void violation(const std::string &msg);
     void track(std::uint64_t key, NodeId node, Addr addr, const char *kind);
     void untrack(std::uint64_t key);
@@ -217,9 +212,18 @@ class Checker
     /** (node << 8 | mshr) -> last word0 written (FullMirror only). */
     std::unordered_map<std::uint32_t, std::uint64_t> pend_;
 
-    std::vector<RingEntry> ring_;
-    std::size_t ringHead_ = 0; ///< next slot to overwrite
-    std::uint64_t ringSeen_ = 0;
+    /**
+     * Cross-node handler-dispatch history as trace events: each
+     * dispatch records an McDispatch (aux byte = dispatching node)
+     * paired with a HandlerExec annotation, decoded by the shared
+     * trace::printEvent in wedge reports. Sized 2x ringEntries so the
+     * configured depth still covers that many dispatch *pairs*.
+     */
+    trace::TraceBuffer ring_;
+    NodeId lastDispatchNode_ = invalidNode;
+    std::uint8_t lastDispatchMshr_ = 0;
+    std::uint16_t lastDispatchAck_ = 0;
+    const trace::TraceManager *traceMgr_ = nullptr;
 
     std::unordered_map<std::uint64_t, Live> live_;
     bool scanScheduled_ = false;

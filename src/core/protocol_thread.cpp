@@ -41,10 +41,15 @@ void
 ProtocolThread::start(TransactionCtx *ctx)
 {
     SMTP_ASSERT(canAccept(), "dispatch into a busy protocol thread");
-    if (handlers_.empty())
+    if (handlers_.empty()) {
         busyStart_ = eq_->curTick();
-    else
+        SMTP_TRACE_EVENT(trace_, eq_->curTick(),
+                         trace::EventId::ProtoBusyBegin, 0);
+    } else {
         ++lookAheadStarts;
+    }
+    SMTP_TRACE_EVENT(trace_, eq_->curTick(), trace::EventId::HandlerStart,
+                     trace::packMsg(ctx->msg, ctx->msg.mshr));
     ++handlersStarted;
     handlers_.emplace_back();
     Handler &h = handlers_.back();
@@ -225,8 +230,13 @@ ProtocolThread::onLdctxtRetired(const MicroOp &op)
                 "handlers must retire in dispatch order");
     TransactionCtx *ctx = handlers_.front().ctx;
     handlers_.pop_front();
-    if (handlers_.empty())
+    SMTP_TRACE_EVENT(trace_, eq_->curTick(), trace::EventId::HandlerRetire,
+                     trace::packMsg(ctx->msg, ctx->msg.mshr));
+    if (handlers_.empty()) {
         busyTicks_ += eq_->curTick() - busyStart_;
+        SMTP_TRACE_EVENT(trace_, eq_->curTick(),
+                         trace::EventId::ProtoBusyEnd, 0);
+    }
     mc_->handlerDone(ctx);
 }
 

@@ -61,6 +61,9 @@ class ProtocolThread : public ProtocolAgent, public InstSource
     void consume() override;
     bool finished() override { return false; }
 
+    /** Attach the node's protocol telemetry buffer. */
+    void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
+
     // ---- Stats --------------------------------------------------------
 
     Counter handlersStarted;
@@ -92,6 +95,7 @@ class ProtocolThread : public ProtocolAgent, public InstSource
     ProtocolThreadParams params_;
 
     std::deque<Handler> handlers_; ///< Front = oldest (executing) handler.
+    trace::TraceBuffer *trace_ = nullptr;
     Tick busyTicks_ = 0;
     Tick busyStart_ = 0;
 };

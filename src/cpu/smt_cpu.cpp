@@ -64,6 +64,7 @@ struct SmtCpu::ThreadState
     std::uint64_t wrongPathPc = 0;
     unsigned wrongPathCnt = 0;
     unsigned icount = 0;
+    std::uint8_t stallCause = trace::stallNone; ///< Open stall window.
 
     ThreadStats stats;
 };
@@ -355,6 +356,12 @@ SmtCpu::fetchStage()
         if (threads_used >= params_.fetchThreads || slots == 0)
             break;
         unsigned n = fetchFromThread(*t, slots);
+        if (n > 0 && t->isProtocol) {
+            SMTP_TRACE_EVENT(trace_, eq_->curTick(),
+                             trace::EventId::FetchSteal,
+                             trace::packStall(
+                                 t->tid, static_cast<std::uint8_t>(n)));
+        }
         slots -= n;
         threads_used += n > 0;
     }
@@ -1021,11 +1028,33 @@ SmtCpu::commitStage()
     // memory operation at the top of the active list.
     for (auto &tp : threads_) {
         ThreadState &t = *tp;
-        if (t.rob.empty())
-            continue;
-        DynInst *head = t.rob.front();
-        if (isMemOp(head->op.cls) && !head->completed)
+        DynInst *head = t.rob.empty() ? nullptr : t.rob.front();
+        bool blocked =
+            head != nullptr && isMemOp(head->op.cls) && !head->completed;
+        if (blocked)
             ++t.stats.memStallCycles;
+        if constexpr (trace::compiledIn) {
+            if (trace_ != nullptr) {
+                std::uint8_t cause =
+                    !blocked ? trace::stallNone
+                    : (head->op.cls == OpClass::Store ||
+                       head->op.cls == OpClass::PStore)
+                        ? trace::stallStore
+                        : trace::stallLoad;
+                if (cause != t.stallCause) {
+                    if (t.stallCause != trace::stallNone)
+                        trace_->record(eq_->curTick(),
+                                       trace::EventId::ThreadStallEnd,
+                                       trace::packStall(t.tid,
+                                                        t.stallCause));
+                    if (cause != trace::stallNone)
+                        trace_->record(eq_->curTick(),
+                                       trace::EventId::ThreadStallBegin,
+                                       trace::packStall(t.tid, cause));
+                    t.stallCause = cause;
+                }
+            }
+        }
     }
 
     unsigned budget = params_.commitWidth;

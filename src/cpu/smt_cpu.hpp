@@ -46,6 +46,7 @@
 #include "sim/clock.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace smtp
 {
@@ -128,6 +129,9 @@ class SmtCpu
 
     void setSource(ThreadId tid, InstSource *source);
     void setProtoHooks(ProtoHooks hooks) { protoHooks_ = std::move(hooks); }
+
+    /** Attach the node's pipeline telemetry buffer (stalls, stealing). */
+    void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
 
     /** Begin ticking. */
     void start();
@@ -222,6 +226,7 @@ class SmtCpu
     CacheHierarchy *cache_;
     TournamentBpred bpred_;
     ProtoHooks protoHooks_;
+    trace::TraceBuffer *trace_ = nullptr;
 
     /**
      * Registry resolving completion events to still-live instructions;

@@ -6,6 +6,7 @@
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "sim/stats.hpp"
+#include "trace/export.hpp"
 
 namespace smtp
 {
@@ -36,6 +37,9 @@ Machine::Machine(const MachineParams &params)
     NetworkParams np;
     np.numNodes = params.nodes;
     net_ = std::make_unique<Network>(eq_, np);
+
+    if (params.trace.enabled)
+        traceMgr_ = std::make_unique<trace::TraceManager>(params.trace);
 
     if (params.checkLevel != check::CheckLevel::Off) {
         check::CheckerParams chp;
@@ -148,7 +152,76 @@ Machine::Machine(const MachineParams &params)
                          return mc->niDeliver(m);
                      });
 
+        if (traceMgr_) {
+            // Buffer creation order fixes the exporters' track order:
+            // node-major, then cpu / proto / mc / net.
+            auto nid = static_cast<NodeId>(n);
+            node->cpu->setTrace(
+                traceMgr_->createBuffer("cpu", nid, trace::Category::Cpu));
+            trace::TraceBuffer *pb = traceMgr_->createBuffer(
+                "proto", nid, trace::Category::Protocol);
+            if (node->pthread)
+                node->pthread->setTrace(pb);
+            else
+                node->pengine->setTrace(pb);
+            trace::TraceBuffer *mb =
+                traceMgr_->createBuffer("mc", nid, trace::Category::Mem);
+            node->mc->setTrace(mb);
+            node->cache->setTrace(mb);
+            net_->setTrace(nid, traceMgr_->createBuffer(
+                                    "net", nid, trace::Category::Network));
+        }
+
         nodes_.push_back(std::move(node));
+    }
+
+    if (traceMgr_) {
+        if (checker_)
+            checker_->setTraceManager(traceMgr_.get());
+
+        auto &sampler = traceMgr_->sampler();
+        auto *net = net_.get();
+        sampler.addProbe("net.msgs", [net] {
+            return static_cast<double>(net->msgsInjected.value());
+        });
+        sampler.addProbe("net.bytes", [net] {
+            return static_cast<double>(net->bytesInjected.value());
+        });
+        for (unsigned n = 0; n < nodes_.size(); ++n) {
+            Node *node = nodes_[n].get();
+            std::string p = "n" + std::to_string(n) + ".";
+            unsigned app_threads = params_.appThreadsPerNode;
+            sampler.addProbe(p + "l2Misses", [node] {
+                return static_cast<double>(node->cache->l2Misses.value());
+            });
+            sampler.addProbe(p + "mshrsInUse", [node] {
+                return static_cast<double>(node->cache->mshrsInUse());
+            });
+            sampler.addProbe(p + "handlers", [node] {
+                return static_cast<double>(
+                    node->mc->handlersDispatched.value());
+            });
+            sampler.addProbe(p + "protoBusyTicks", [node] {
+                return static_cast<double>(node->agentBusyTicks());
+            });
+            sampler.addProbe(p + "sdramBusyTicks", [node] {
+                return static_cast<double>(
+                    node->mc->sdram().busyTicks.value());
+            });
+            sampler.addProbe(p + "memStallCycles", [node, app_threads] {
+                std::uint64_t sum = 0;
+                for (unsigned t = 0; t < app_threads; ++t) {
+                    sum += node->cpu
+                               ->threadStats(static_cast<ThreadId>(t))
+                               .memStallCycles.value();
+                }
+                return static_cast<double>(sum);
+            });
+        }
+        if (params.trace.intervalCycles > 0) {
+            sampler.start(ClockDomain(params.cpuFreqMHz)
+                              .cyclesToTicks(params.trace.intervalCycles));
+        }
     }
 }
 
@@ -177,9 +250,19 @@ Machine::run(Tick limit)
         return true;
     };
 
+    // Interval sampling rides the run loop rather than scheduling
+    // events of its own: an eq-scheduled sampler would advance curTick
+    // past the workload's natural end and perturb measured times.
+    trace::IntervalSampler *sampler =
+        traceMgr_ != nullptr && traceMgr_->sampler().active()
+            ? &traceMgr_->sampler()
+            : nullptr;
+
     unsigned check = 0;
     while (!eq_.empty() && eq_.curTick() < deadline) {
         eq_.runOne();
+        if (sampler != nullptr)
+            sampler->sampleUpTo(eq_.curTick());
         if (++check >= 512) {
             check = 0;
             if (all_done())
@@ -270,6 +353,19 @@ Machine::peakProtocolOccupancy() const
         peak = std::max(peak, occ);
     }
     return peak;
+}
+
+bool
+Machine::writeTraceFiles(const std::string &stem, std::string *err) const
+{
+    if (!traceMgr_) {
+        if (err != nullptr)
+            *err = "tracing not enabled on this machine";
+        return false;
+    }
+    trace::TraceData data;
+    traceMgr_->snapshot(data, execTime_, params_.nodes);
+    return trace::writeTraceFiles(data, stem, err);
 }
 
 Machine::ProtoCharacteristics

@@ -34,6 +34,7 @@
 #include "pengine/pengine.hpp"
 #include "protocol/handlers.hpp"
 #include "sim/eventq.hpp"
+#include "trace/trace.hpp"
 
 namespace smtp
 {
@@ -93,6 +94,13 @@ struct MachineParams
     check::CheckLevel checkLevel = check::CheckLevel::Off;
     bool checkAbortOnViolation = true;
     Tick checkWatchdogMaxAge = 2 * tickPerMs;
+
+    /**
+     * Telemetry (src/trace). Disabled costs one null-pointer test per
+     * would-be event; enabled never perturbs the event schedule, so
+     * simulated timing is bit-identical either way.
+     */
+    trace::TraceConfig trace;
 };
 
 class Machine
@@ -158,6 +166,17 @@ class Machine
     /** nullptr when checkLevel is Off. */
     check::Checker *checker() { return checker_.get(); }
 
+    /** nullptr when tracing is disabled. */
+    trace::TraceManager *traceManager() { return traceMgr_.get(); }
+
+    /**
+     * Snapshot the telemetry and write stem.smtptrace / stem.json
+     * (Perfetto) / stem.csv. False (with @p err) when tracing is off
+     * or a file cannot be written.
+     */
+    bool writeTraceFiles(const std::string &stem,
+                         std::string *err = nullptr) const;
+
     // ---- Paper metrics ------------------------------------------------
 
     /** Mean memory-stall fraction over all application threads. */
@@ -187,6 +206,7 @@ class Machine
     std::unique_ptr<PagePlacementMap> map_;
     std::unique_ptr<Network> net_;
     std::unique_ptr<check::Checker> checker_;
+    std::unique_ptr<trace::TraceManager> traceMgr_;
     std::vector<std::unique_ptr<Node>> nodes_;
     Tick execTime_ = 0;
 };

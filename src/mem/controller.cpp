@@ -189,6 +189,8 @@ MemController::dispatch(const Message &msg_in)
          msg.type == MsgType::FwdIntervEx) &&
         cache_->probeWouldDefer(msg.addr)) {
         ++probesDeferred;
+        SMTP_TRACE_EVENT(trace_, now, trace::EventId::McProbeDefer,
+                         trace::packMsg(msg, msg.mshr));
         deferQ_.emplace_back(now + params_.deferRetry, msg);
         scheduleDispatchPoll();
         return;
@@ -204,6 +206,8 @@ MemController::dispatch(const Message &msg_in)
                      msg.requester, msg.mshr, msg.ackCount);
     }
 
+    SMTP_TRACE_EVENT(trace_, now, trace::EventId::McDispatch,
+                     trace::packMsg(msg, msg.mshr));
     auto ctx = std::make_shared<TransactionCtx>();
     ctx->id = nextCtxId_++;
     ctx->msg = msg;
@@ -358,8 +362,11 @@ MemController::releaseSend(TransactionCtx *ctx_raw, unsigned idx)
         });
         break;
       case SendTarget::Network:
-        if (send.msg.type == MsgType::RplNak)
+        if (send.msg.type == MsgType::RplNak) {
             ++naksSent;
+            SMTP_TRACE_EVENT(trace_, eq_->curTick(), trace::EventId::McNak,
+                             trace::packMsg(send.msg, send.msg.mshr));
+        }
         ++pendingDelayedSends_;
         with_data([this, msg = send.msg, delayed = send.delayed](Tick rdy) {
             pushToNetwork(msg, rdy, delayed);
@@ -446,6 +453,10 @@ MemController::handlerDone(TransactionCtx *ctx_raw)
     SMTP_ASSERT(it != ctxs_.end(), "completion of a dead transaction");
     handlerLatency.sample(
         static_cast<double>(eq_->curTick() - it->second->dispatchTick));
+    SMTP_TRACE_EVENT(trace_, eq_->curTick(), trace::EventId::McHandlerDone,
+                     trace::packDone(eq_->curTick() -
+                                         it->second->dispatchTick,
+                                     it->second->msg.type));
     ctxs_.erase(it);
     --inFlight_;
     eq_->scheduleIn(clock_.period(), [this] { tryDispatch(); });

@@ -117,6 +117,14 @@ class MemController : public proto::ExecEnv
     /** Attach the coherence checker (nullptr => no checking overhead). */
     void setChecker(check::Checker *c) { checker_ = c; }
 
+    /** Attach the node's memory telemetry buffer (also fed to SDRAM). */
+    void
+    setTrace(trace::TraceBuffer *buf)
+    {
+        trace_ = buf;
+        sdram_.setTrace(buf);
+    }
+
     ProtocolRam &ram() { return ram_; }
     Sdram &sdram() { return sdram_; }
     const ClockDomain &clock() const { return clock_; }
@@ -226,6 +234,7 @@ class MemController : public proto::ExecEnv
     unsigned rrSource_ = 0;
 
     check::Checker *checker_ = nullptr;
+    trace::TraceBuffer *trace_ = nullptr;
     TransactionCtx *dispatching_ = nullptr; ///< Valid during executor run.
     /** Live transactions; send closures keep them alive via shared_ptr. */
     std::unordered_map<std::uint64_t, std::shared_ptr<TransactionCtx>> ctxs_;

@@ -16,6 +16,7 @@
 #include "common/types.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace smtp
 {
@@ -55,6 +56,8 @@ class Sdram
         deviceFree_ = start + occupancy;
         busyTicks += deviceFree_ - start;
         queueDelay.sample(static_cast<double>(start - now));
+        SMTP_TRACE_EVENT(trace_, now, trace::EventId::SdramAccess,
+                         trace::packSdram(bytes, write, start - now));
         Tick ready = start + params_.accessLatency;
         if (done)
             eq_->schedule(ready, std::move(done));
@@ -62,6 +65,8 @@ class Sdram
 
     /** Ticks until the device drains (for quiescence checks). */
     Tick deviceFreeAt() const { return deviceFree_; }
+
+    void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
 
     Counter reads, writes;
     Counter busyTicks;
@@ -71,6 +76,7 @@ class Sdram
     EventQueue *eq_;
     SdramParams params_;
     Tick deviceFree_ = 0;
+    trace::TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace smtp

@@ -22,6 +22,7 @@ Network::Network(EventQueue &eq, const NetworkParams &params)
     landing_.resize(static_cast<std::size_t>(params.numNodes) *
                     proto::numVnets);
     retryScheduled_.assign(landing_.size(), false);
+    trace_.assign(params.numNodes, nullptr);
 }
 
 void
@@ -86,10 +87,19 @@ Network::inject(const proto::Message &msg)
     hopDist.sample(hopCount(msg.src, msg.dest));
     ++inFlight_;
 
-    if (msg.src == msg.dest) {
+    proto::Message m = msg;
+    if constexpr (trace::compiledIn) {
+        if (trace_[m.src] != nullptr) {
+            if (m.traceId == 0)
+                m.traceId = ++nextTraceId_;
+            trace_[m.src]->record(eq_.curTick(), trace::EventId::NetInject,
+                                  trace::packNet(m));
+        }
+    }
+
+    if (m.src == m.dest) {
         // Loopback through the NI without touching the fabric; charge a
         // single hop of latency for the controller-internal turnaround.
-        proto::Message m = msg;
         auto loopback = [this, m] { land(m); };
         static_assert(EventQueue::Callback::storesInline<decltype(loopback)>,
                       "message delivery must stay on the inline fast path");
@@ -97,18 +107,19 @@ Network::inject(const proto::Message &msg)
         return;
     }
 
-    proto::Message m = msg;
-    unsigned src_router = routerOf(msg.src);
+    unsigned src_router = routerOf(m.src);
     auto first_hop = [this, m, src_router] { hop(m, src_router); };
     static_assert(EventQueue::Callback::storesInline<decltype(first_hop)>,
                   "hop continuations must stay on the inline fast path");
-    traverse(nodeLinksOut_[msg.src], proto::msgBytes(msg.type),
+    traverse(nodeLinksOut_[m.src], proto::msgBytes(m.type),
              std::move(first_hop));
 }
 
 void
 Network::hop(proto::Message msg, unsigned cur_router)
 {
+    SMTP_TRACE_EVENT(trace_[msg.dest], eq_.curTick(),
+                     trace::EventId::NetHop, trace::packNet(msg));
     unsigned dst_router = routerOf(msg.dest);
     if (cur_router == dst_router) {
         traverse(nodeLinksIn_[msg.dest], proto::msgBytes(msg.type),
@@ -123,6 +134,8 @@ Network::hop(proto::Message msg, unsigned cur_router)
 void
 Network::land(const proto::Message &msg)
 {
+    SMTP_TRACE_EVENT(trace_[msg.dest], eq_.curTick(),
+                     trace::EventId::NetLand, trace::packNet(msg));
     auto vnet = proto::vnetOf(msg.type);
     landing_[static_cast<std::size_t>(msg.dest) * proto::numVnets + vnet]
         .push_back(msg);
@@ -142,8 +155,15 @@ Network::tryDeliver(NodeId node, std::uint8_t vnet)
     auto &q = landing_[idx];
     while (!q.empty()) {
         SMTP_ASSERT(deliver_[node], "no NI attached to node %u", node);
-        if (!deliver_[node](q.front()))
+        if (!deliver_[node](q.front())) {
+            SMTP_TRACE_EVENT(trace_[node], eq_.curTick(),
+                             trace::EventId::NetBackpressure,
+                             trace::packBackpressure(vnet, q.size()));
             break;
+        }
+        SMTP_TRACE_EVENT(trace_[node], eq_.curTick(),
+                         trace::EventId::NetDeliver,
+                         trace::packNet(q.front()));
         q.pop_front();
         --inFlight_;
     }

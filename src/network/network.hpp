@@ -33,6 +33,7 @@
 #include "protocol/message.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace smtp
 {
@@ -58,6 +59,17 @@ class Network
     Network(EventQueue &eq, const NetworkParams &params);
 
     void attach(NodeId node, DeliverFn fn);
+
+    /**
+     * Attach @p node's telemetry buffer. Injection stamps a fresh
+     * Message::traceId (src-node buffer); hop/land/deliver and
+     * back-pressure record on the destination's buffer.
+     */
+    void
+    setTrace(NodeId node, trace::TraceBuffer *buf)
+    {
+        trace_[node] = buf;
+    }
 
     /** Inject a message; source MC has already applied its own queuing. */
     void inject(const proto::Message &msg);
@@ -120,6 +132,8 @@ class Network
     std::vector<std::deque<proto::Message>> landing_;
     std::vector<bool> retryScheduled_;
     std::uint64_t inFlight_ = 0;
+    std::vector<trace::TraceBuffer *> trace_; ///< Per node; null = off.
+    std::uint32_t nextTraceId_ = 0;
 
     static constexpr Tick retryInterval = 5 * tickPerNs;
 };

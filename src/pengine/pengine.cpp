@@ -124,8 +124,13 @@ PEngine::step()
     }
 
     // Handler complete at `time_`; the engine stays busy until then.
+    // The completion events carry that future tick — legal, since each
+    // track's events still come out time-ordered.
     ++handlers;
     busyTicks_ += time_ - startTick_;
+    SMTP_TRACE_EVENT(trace_, time_, trace::EventId::HandlerRetire,
+                     trace::packMsg(ctx_->msg, ctx_->msg.mshr));
+    SMTP_TRACE_EVENT(trace_, time_, trace::EventId::ProtoBusyEnd, 0);
     auto *ctx = ctx_;
     if (time_ > eq_->curTick()) {
         eq_->schedule(time_, [this, ctx] {

@@ -60,6 +60,10 @@ class PEngine : public ProtocolAgent
         ctx_ = ctx;
         idx_ = 0;
         startTick_ = eq_->curTick();
+        SMTP_TRACE_EVENT(trace_, startTick_,
+                         trace::EventId::ProtoBusyBegin, 0);
+        SMTP_TRACE_EVENT(trace_, startTick_, trace::EventId::HandlerStart,
+                         trace::packMsg(ctx->msg, ctx->msg.mshr));
         // Handler issue begins on the next engine clock edge.
         time_ = clock_.nextEdge(startTick_);
         slotFree_ = false;
@@ -68,6 +72,9 @@ class PEngine : public ProtocolAgent
     }
 
     Tick busyTicks() const override { return busyTicks_; }
+
+    /** Attach the node's protocol telemetry buffer. */
+    void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
 
     // Stats.
     Counter instructions, pairedIssues;
@@ -119,6 +126,7 @@ class PEngine : public ProtocolAgent
 
     TransactionCtx *ctx_ = nullptr;
     std::size_t idx_ = 0;
+    trace::TraceBuffer *trace_ = nullptr;
     Tick startTick_ = 0;
     Tick time_ = 0;
     bool slotFree_ = false;

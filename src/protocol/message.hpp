@@ -111,6 +111,9 @@ struct Message
     std::uint8_t mshr = 0;        ///< Requester-side MSHR id (echoed around).
     std::uint16_t ackCount = 0;   ///< Invalidation acks the requester expects.
     std::uint8_t flags = 0;       ///< HeaderFlags.
+    std::uint32_t traceId = 0;    ///< Telemetry id stamped at injection;
+                                  ///< 0 = untraced. Fits the tail padding,
+                                  ///< so sizeof(Message) is unchanged.
 
     bool
     carriesData() const

@@ -5,22 +5,50 @@
 namespace smtp
 {
 
+namespace
+{
+
+/**
+ * Dump order is the registered name, not registration order, so the
+ * report is stable when components reorder their add() calls and two
+ * dumps can be diffed line by line.
+ */
+template <typename T>
+std::vector<const T *>
+sortedByName(const std::vector<T> &v)
+{
+    std::vector<const T *> out;
+    out.reserve(v.size());
+    for (const auto &e : v)
+        out.push_back(&e);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const T *a, const T *b) { return a->name < b->name; });
+    return out;
+}
+
+} // namespace
+
 void
 StatGroup::dump(std::ostream &os, int indent) const
 {
     std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
     os << pad << name_ << "\n";
-    for (const auto &[name, stat] : counters_)
-        os << pad << "  " << name << " = " << stat->value() << "\n";
-    for (const auto &[name, stat] : dists_) {
-        os << pad << "  " << name << " = mean " << std::fixed
-           << std::setprecision(3) << stat->mean() << " min " << stat->min()
-           << " max " << stat->max() << " (" << stat->samples()
-           << " samples)\n";
+    for (const auto *s : sortedByName(counters_))
+        os << pad << "  " << s->name << " = " << s->stat->value() << "\n";
+    for (const auto *s : sortedByName(dists_)) {
+        os << pad << "  " << s->name << " = mean " << std::fixed
+           << std::setprecision(3) << s->stat->mean() << " min "
+           << s->stat->min() << " max " << s->stat->max() << " ("
+           << s->stat->samples() << " samples)\n";
     }
-    for (const auto &[name, stat] : peaks_)
-        os << pad << "  " << name << " = peak " << stat->peak() << "\n";
-    for (const auto *child : children_)
+    for (const auto *s : sortedByName(peaks_))
+        os << pad << "  " << s->name << " = peak " << s->stat->peak() << "\n";
+    auto kids = children_;
+    std::stable_sort(kids.begin(), kids.end(),
+                     [](const StatGroup *a, const StatGroup *b) {
+                         return a->name() < b->name();
+                     });
+    for (const auto *child : kids)
         child->dump(os, indent + 1);
 }
 

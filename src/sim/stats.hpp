@@ -50,12 +50,64 @@ class Distribution
         count_ += weight;
         min_ = std::min(min_, v);
         max_ = std::max(max_, v);
+        if (!hist_.empty())
+            hist_[bucketIndex(v)] += weight;
     }
 
     std::uint64_t samples() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
+
+    /**
+     * Attach a fixed-bucket histogram covering [@p lo, @p hi) with
+     * @p buckets equal-width buckets plus implicit underflow/overflow
+     * buckets, enabling percentile(). Without it sample() stays two
+     * adds and two compares. Clears any previously recorded counts.
+     */
+    void
+    enableHistogram(double lo, double hi, std::size_t buckets)
+    {
+        histLo_ = lo;
+        histHi_ = hi;
+        hist_.assign(buckets + 2, 0); // [under | buckets | over]
+    }
+
+    bool histogramEnabled() const { return !hist_.empty(); }
+
+    /** Per-bucket weights: index 0 underflow, last overflow. */
+    const std::vector<std::uint64_t> &histogram() const { return hist_; }
+
+    /**
+     * Histogram-based percentile, @p p in [0, 100]: the upper edge of
+     * the first bucket whose cumulative weight reaches p% of the
+     * samples (conservative — the true value is <= the estimate).
+     * Underflow resolves to min(), overflow to max(); edges are
+     * clamped to the observed [min, max]. 0 when no histogram or no
+     * samples.
+     */
+    double
+    percentile(double p) const
+    {
+        if (hist_.empty() || count_ == 0)
+            return 0.0;
+        double target = std::max(1.0, p / 100.0 * static_cast<double>(count_));
+        std::size_t nb = hist_.size() - 2;
+        double width = (histHi_ - histLo_) / static_cast<double>(nb);
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < hist_.size(); ++i) {
+            cum += hist_[i];
+            if (static_cast<double>(cum) >= target) {
+                if (i == 0)
+                    return min();
+                if (i == nb + 1)
+                    return max();
+                double edge = histLo_ + static_cast<double>(i) * width;
+                return std::min(std::max(edge, min()), max());
+            }
+        }
+        return max(); // unreachable: cum == count_ >= target
+    }
 
     void
     reset()
@@ -64,13 +116,30 @@ class Distribution
         count_ = 0;
         min_ = std::numeric_limits<double>::infinity();
         max_ = -std::numeric_limits<double>::infinity();
+        std::fill(hist_.begin(), hist_.end(), std::uint64_t{0});
     }
 
   private:
+    std::size_t
+    bucketIndex(double v) const
+    {
+        std::size_t nb = hist_.size() - 2;
+        if (v < histLo_)
+            return 0;
+        if (v >= histHi_)
+            return nb + 1;
+        double rel = (v - histLo_) / (histHi_ - histLo_);
+        auto idx = static_cast<std::size_t>(rel * static_cast<double>(nb));
+        return 1 + std::min(idx, nb - 1); // rounding guard at hi edge
+    }
+
     double sum_ = 0.0;
     std::uint64_t count_ = 0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+    double histLo_ = 0.0;
+    double histHi_ = 1.0;
+    std::vector<std::uint64_t> hist_; ///< empty = histogram disabled
 };
 
 /** Tracks the high-water mark of a live occupancy. */

@@ -1,0 +1,151 @@
+#include "trace/events.hpp"
+
+#include <cinttypes>
+#include <string>
+
+namespace smtp::trace
+{
+
+std::string_view
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::Cpu: return "cpu";
+      case Category::Protocol: return "proto";
+      case Category::Mem: return "mem";
+      case Category::Network: return "net";
+      case Category::Check: return "check";
+      case Category::NumCategories: break;
+    }
+    return "?";
+}
+
+std::string_view
+eventName(EventId id)
+{
+    switch (id) {
+      case EventId::None: return "none";
+      case EventId::ThreadStallBegin: return "stall.begin";
+      case EventId::ThreadStallEnd: return "stall.end";
+      case EventId::FetchSteal: return "fetch.steal";
+      case EventId::ProtoBusyBegin: return "proto.busy.begin";
+      case EventId::ProtoBusyEnd: return "proto.busy.end";
+      case EventId::HandlerStart: return "handler.start";
+      case EventId::HandlerRetire: return "handler.retire";
+      case EventId::McDispatch: return "mc.dispatch";
+      case EventId::McHandlerDone: return "mc.done";
+      case EventId::McNak: return "mc.nak";
+      case EventId::McProbeDefer: return "mc.probe.defer";
+      case EventId::MshrAlloc: return "mshr.alloc";
+      case EventId::MshrFree: return "mshr.free";
+      case EventId::SdramAccess: return "sdram.access";
+      case EventId::NetInject: return "net.inject";
+      case EventId::NetHop: return "net.hop";
+      case EventId::NetLand: return "net.land";
+      case EventId::NetDeliver: return "net.deliver";
+      case EventId::NetBackpressure: return "net.backpressure";
+      case EventId::HandlerExec: return "handler.exec";
+      case EventId::NumEvents: break;
+    }
+    return "?";
+}
+
+namespace
+{
+
+const char *
+typeCStr(proto::MsgType t)
+{
+    // msgTypeName returns a string_view over a static literal, so the
+    // pointer stays valid for the caller's fprintf.
+    return proto::msgTypeName(t).data();
+}
+
+} // namespace
+
+void
+formatEvent(const Event &e, char *buf, std::size_t len)
+{
+    const std::uint64_t a = e.arg;
+    const auto tick = static_cast<unsigned long long>(e.tick());
+    const char *name = eventName(e.id()).data();
+    switch (e.id()) {
+      case EventId::ThreadStallBegin:
+      case EventId::ThreadStallEnd:
+        std::snprintf(buf, len, "[%llu] %-16s t%u cause=%s", tick, name,
+                      unsigned(stallTid(a)),
+                      stallCause(a) == stallStore ? "store" : "load");
+        break;
+      case EventId::FetchSteal:
+        std::snprintf(buf, len, "[%llu] %-16s t%u ops=%u", tick, name,
+                      unsigned(stallTid(a)), unsigned(stallCause(a)));
+        break;
+      case EventId::ProtoBusyBegin:
+      case EventId::ProtoBusyEnd:
+        std::snprintf(buf, len, "[%llu] %-16s", tick, name);
+        break;
+      case EventId::HandlerStart:
+      case EventId::HandlerRetire:
+      case EventId::McDispatch:
+      case EventId::McNak:
+      case EventId::McProbeDefer:
+        std::snprintf(buf, len,
+                      "[%llu] %-16s %-14s addr=%llx src=%u req=%u x=%u",
+                      tick, name, typeCStr(msgType(a)),
+                      static_cast<unsigned long long>(msgLine(a)),
+                      unsigned(msgSrc(a)), unsigned(msgReq(a)),
+                      unsigned(msgAux(a)));
+        break;
+      case EventId::McHandlerDone:
+        std::snprintf(buf, len, "[%llu] %-16s %-14s latency=%llu", tick,
+                      name, typeCStr(doneType(a)),
+                      static_cast<unsigned long long>(doneLatency(a)));
+        break;
+      case EventId::MshrAlloc:
+      case EventId::MshrFree:
+        std::snprintf(buf, len, "[%llu] %-16s line=%llx idx=%u inUse=%u",
+                      tick, name,
+                      static_cast<unsigned long long>(msgLine(a)),
+                      mshrIdx(a), mshrInUse(a));
+        break;
+      case EventId::SdramAccess:
+        std::snprintf(buf, len, "[%llu] %-16s %s bytes=%u qdelay=%llu",
+                      tick, name, sdramWrite(a) ? "write" : "read",
+                      sdramBytes(a),
+                      static_cast<unsigned long long>(sdramQueueDelay(a)));
+        break;
+      case EventId::NetInject:
+      case EventId::NetHop:
+      case EventId::NetLand:
+      case EventId::NetDeliver:
+        std::snprintf(buf, len,
+                      "[%llu] %-16s %-14s id=%u %u->%u vnet%u", tick, name,
+                      typeCStr(netType(a)), netTraceId(a),
+                      unsigned(netSrc(a)), unsigned(netDest(a)),
+                      unsigned(netVnet(a)));
+        break;
+      case EventId::NetBackpressure:
+        std::snprintf(buf, len, "[%llu] %-16s vnet%u depth=%u", tick, name,
+                      unsigned(bpVnet(a)), bpDepth(a));
+        break;
+      case EventId::HandlerExec:
+        std::snprintf(buf, len,
+                      "[%llu] %-16s n%u insts=%u sends=%u ack=%u mshr=%u",
+                      tick, name, unsigned(execNode(a)), execInsts(a),
+                      execSends(a), execAck(a), execMshr(a));
+        break;
+      default:
+        std::snprintf(buf, len, "[%llu] %-16s arg=%" PRIx64, tick, name, a);
+        break;
+    }
+}
+
+void
+printEvent(std::FILE *out, const Event &e)
+{
+    char line[160];
+    formatEvent(e, line, sizeof(line));
+    std::fprintf(out, "  %s\n", line);
+}
+
+} // namespace smtp::trace

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Trace event vocabulary: the compact binary records every TraceBuffer
+ * ring holds, plus the packing helpers that squeeze one event's payload
+ * into a single 64-bit argument word and the shared text decoder used
+ * by wedge reports and tools/trace_report.
+ *
+ * An Event is 16 bytes: 56 bits of tick (picoseconds — covers ~20 days
+ * of simulated time), 8 bits of EventId, and 64 bits of per-event
+ * payload. Recording one is two stores into a preallocated ring, so the
+ * instrumentation macros are safe on every hot path.
+ */
+
+#ifndef SMTP_TRACE_EVENTS_HPP
+#define SMTP_TRACE_EVENTS_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "protocol/message.hpp"
+
+namespace smtp::trace
+{
+
+/** Event categories; the runtime mask gates buffer creation per class. */
+enum class Category : std::uint8_t
+{
+    Cpu = 0,      ///< Pipeline: thread stalls, fetch stealing.
+    Protocol = 1, ///< Protocol agent: busy windows, handler lifetimes.
+    Mem = 2,      ///< Controller + SDRAM + MSHRs.
+    Network = 3,  ///< Inject / hop / land / deliver / back-pressure.
+    Check = 4,    ///< Checker-owned rings (dispatch history).
+    NumCategories
+};
+
+constexpr std::uint32_t
+categoryBit(Category c)
+{
+    return 1u << static_cast<unsigned>(c);
+}
+
+constexpr std::uint32_t allCategories =
+    (1u << static_cast<unsigned>(Category::NumCategories)) - 1;
+
+std::string_view categoryName(Category c);
+
+enum class EventId : std::uint8_t
+{
+    None = 0,
+
+    // ---- Cpu ----------------------------------------------------------
+    ThreadStallBegin, ///< arg: stall pack (tid, cause).
+    ThreadStallEnd,   ///< arg: stall pack (tid, cause).
+    FetchSteal,       ///< arg: stall pack (tid, ops fetched this cycle).
+
+    // ---- Protocol agent ----------------------------------------------
+    ProtoBusyBegin,   ///< arg: 0. Agent goes idle -> busy (Table 7 window).
+    ProtoBusyEnd,     ///< arg: 0. Agent drains back to idle.
+    HandlerStart,     ///< arg: msg pack. Handler enters the agent.
+    HandlerRetire,    ///< arg: msg pack. Handler's ldctxt completed.
+
+    // ---- Mem ----------------------------------------------------------
+    McDispatch,       ///< arg: msg pack. Dispatch-unit serialization point.
+    McHandlerDone,    ///< arg: done pack (latency ticks, type).
+    McNak,            ///< arg: msg pack. RplNak released to the network.
+    McProbeDefer,     ///< arg: msg pack. Intervention parked for replay.
+    MshrAlloc,        ///< arg: mshr pack (line, index, in-use count).
+    MshrFree,         ///< arg: mshr pack (line, index, in-use count).
+    SdramAccess,      ///< arg: sdram pack (bytes, write, queue delay).
+
+    // ---- Network ------------------------------------------------------
+    NetInject,        ///< arg: net pack. Message enters the fabric.
+    NetHop,           ///< arg: net pack. Router-to-router traversal.
+    NetLand,          ///< arg: net pack. Arrived in the landing buffer.
+    NetDeliver,       ///< arg: net pack. NI input queue accepted it.
+    NetBackpressure,  ///< arg: bp pack (vnet, landing-queue depth).
+
+    // ---- Check --------------------------------------------------------
+    HandlerExec,      ///< arg: exec pack (insts, sends, ack, mshr, node).
+
+    NumEvents
+};
+
+std::string_view eventName(EventId id);
+
+/** One binary trace record. */
+struct Event
+{
+    std::uint64_t meta = 0; ///< tick << 8 | EventId.
+    std::uint64_t arg = 0;
+
+    Tick tick() const { return meta >> 8; }
+    EventId id() const { return static_cast<EventId>(meta & 0xff); }
+
+    bool
+    operator==(const Event &o) const
+    {
+        return meta == o.meta && arg == o.arg;
+    }
+};
+
+static_assert(sizeof(Event) == 16, "trace events must stay 16 bytes");
+
+constexpr std::uint64_t
+makeMeta(Tick tick, EventId id)
+{
+    return (tick << 8) | static_cast<std::uint64_t>(id);
+}
+
+// ---- Stall pack (ThreadStallBegin/End, FetchSteal) ---------------------
+
+enum StallCause : std::uint8_t
+{
+    stallNone = 0,
+    stallLoad = 1,  ///< Load-class op blocking graduation.
+    stallStore = 2, ///< Store-class op blocking graduation.
+};
+
+constexpr std::uint64_t
+packStall(ThreadId tid, std::uint8_t cause_or_count)
+{
+    return static_cast<std::uint64_t>(tid) |
+           (static_cast<std::uint64_t>(cause_or_count) << 8);
+}
+
+constexpr ThreadId
+stallTid(std::uint64_t arg)
+{
+    return static_cast<ThreadId>(arg & 0xff);
+}
+
+constexpr std::uint8_t
+stallCause(std::uint64_t arg)
+{
+    return static_cast<std::uint8_t>((arg >> 8) & 0xff);
+}
+
+// ---- Message pack (McDispatch, HandlerStart, ...) ----------------------
+//
+// line(32) | type(8)<<32 | src(8)<<40 | requester(8)<<48 | aux(8)<<56.
+// "aux" is the requester-side MSHR id for per-node buffers and the
+// dispatching node for the checker's cross-node ring.
+
+constexpr std::uint64_t
+packMsg(Addr addr, proto::MsgType type, NodeId src, NodeId requester,
+        std::uint8_t aux)
+{
+    return ((lineAlign(addr) / l2LineBytes) & 0xffffffffull) |
+           (static_cast<std::uint64_t>(type) << 32) |
+           (static_cast<std::uint64_t>(src & 0xff) << 40) |
+           (static_cast<std::uint64_t>(requester & 0xff) << 48) |
+           (static_cast<std::uint64_t>(aux) << 56);
+}
+
+constexpr std::uint64_t
+packMsg(const proto::Message &m, std::uint8_t aux)
+{
+    return packMsg(m.addr, m.type, m.src, m.requester, aux);
+}
+
+constexpr Addr
+msgLine(std::uint64_t arg)
+{
+    return (arg & 0xffffffffull) * l2LineBytes;
+}
+
+constexpr proto::MsgType
+msgType(std::uint64_t arg)
+{
+    return static_cast<proto::MsgType>((arg >> 32) & 0xff);
+}
+
+constexpr NodeId msgSrc(std::uint64_t arg) { return (arg >> 40) & 0xff; }
+constexpr NodeId msgReq(std::uint64_t arg) { return (arg >> 48) & 0xff; }
+
+constexpr std::uint8_t
+msgAux(std::uint64_t arg)
+{
+    return static_cast<std::uint8_t>(arg >> 56);
+}
+
+// ---- Done pack (McHandlerDone) -----------------------------------------
+
+constexpr std::uint64_t
+packDone(Tick latency, proto::MsgType type)
+{
+    constexpr std::uint64_t cap = (1ull << 48) - 1;
+    return (latency < cap ? latency : cap) |
+           (static_cast<std::uint64_t>(type) << 48);
+}
+
+constexpr Tick doneLatency(std::uint64_t arg) { return arg & ((1ull << 48) - 1); }
+
+constexpr proto::MsgType
+doneType(std::uint64_t arg)
+{
+    return static_cast<proto::MsgType>((arg >> 48) & 0xff);
+}
+
+// ---- MSHR pack (MshrAlloc/MshrFree) ------------------------------------
+
+constexpr std::uint64_t
+packMshr(Addr line, unsigned idx, unsigned in_use)
+{
+    return ((lineAlign(line) / l2LineBytes) & 0xffffffffull) |
+           (static_cast<std::uint64_t>(idx & 0xff) << 32) |
+           (static_cast<std::uint64_t>(in_use & 0xff) << 40);
+}
+
+constexpr unsigned mshrIdx(std::uint64_t arg) { return (arg >> 32) & 0xff; }
+constexpr unsigned mshrInUse(std::uint64_t arg) { return (arg >> 40) & 0xff; }
+
+// ---- SDRAM pack (SdramAccess) ------------------------------------------
+
+constexpr std::uint64_t
+packSdram(unsigned bytes, bool write, Tick queue_delay)
+{
+    constexpr std::uint64_t cap = 0xffffffffull;
+    return (bytes & 0xffff) |
+           (static_cast<std::uint64_t>(write ? 1 : 0) << 16) |
+           ((queue_delay < cap ? queue_delay : cap) << 32);
+}
+
+constexpr unsigned sdramBytes(std::uint64_t arg) { return arg & 0xffff; }
+constexpr bool sdramWrite(std::uint64_t arg) { return (arg >> 16) & 1; }
+constexpr Tick sdramQueueDelay(std::uint64_t arg) { return arg >> 32; }
+
+// ---- Net pack (NetInject/NetHop/NetLand/NetDeliver) --------------------
+//
+// traceId(32) | type(8)<<32 | src(8)<<40 | dest(8)<<48 | vnet(8)<<56.
+// The traceId is stamped at injection and rides the Message through the
+// fabric, stitching the end-to-end lifetime across layers.
+
+constexpr std::uint64_t
+packNet(const proto::Message &m)
+{
+    return static_cast<std::uint64_t>(m.traceId) |
+           (static_cast<std::uint64_t>(m.type) << 32) |
+           (static_cast<std::uint64_t>(m.src & 0xff) << 40) |
+           (static_cast<std::uint64_t>(m.dest & 0xff) << 48) |
+           (static_cast<std::uint64_t>(proto::vnetOf(m.type)) << 56);
+}
+
+constexpr std::uint32_t
+netTraceId(std::uint64_t arg)
+{
+    return static_cast<std::uint32_t>(arg & 0xffffffffull);
+}
+
+constexpr proto::MsgType
+netType(std::uint64_t arg)
+{
+    return static_cast<proto::MsgType>((arg >> 32) & 0xff);
+}
+
+constexpr NodeId netSrc(std::uint64_t arg) { return (arg >> 40) & 0xff; }
+constexpr NodeId netDest(std::uint64_t arg) { return (arg >> 48) & 0xff; }
+constexpr std::uint8_t netVnet(std::uint64_t arg)
+{
+    return static_cast<std::uint8_t>(arg >> 56);
+}
+
+// ---- Back-pressure pack (NetBackpressure) ------------------------------
+
+constexpr std::uint64_t
+packBackpressure(std::uint8_t vnet, std::size_t depth)
+{
+    return vnet | (static_cast<std::uint64_t>(
+                       depth < 0xffff ? depth : 0xffff) << 8);
+}
+
+constexpr std::uint8_t bpVnet(std::uint64_t arg)
+{
+    return static_cast<std::uint8_t>(arg & 0xff);
+}
+constexpr unsigned bpDepth(std::uint64_t arg) { return (arg >> 8) & 0xffff; }
+
+// ---- Exec pack (HandlerExec: the checker ring's annotation event) ------
+
+constexpr std::uint64_t
+packExec(std::size_t insts, std::size_t sends, std::uint16_t ack,
+         std::uint8_t mshr, NodeId node)
+{
+    auto clamp16 = [](std::size_t v) -> std::uint64_t {
+        return v < 0xffff ? v : 0xffff;
+    };
+    return clamp16(insts) | (clamp16(sends) << 16) |
+           (static_cast<std::uint64_t>(ack) << 32) |
+           (static_cast<std::uint64_t>(mshr) << 48) |
+           (static_cast<std::uint64_t>(node & 0xff) << 56);
+}
+
+constexpr unsigned execInsts(std::uint64_t arg) { return arg & 0xffff; }
+constexpr unsigned execSends(std::uint64_t arg) { return (arg >> 16) & 0xffff; }
+constexpr unsigned execAck(std::uint64_t arg) { return (arg >> 32) & 0xffff; }
+constexpr unsigned execMshr(std::uint64_t arg) { return (arg >> 48) & 0xff; }
+constexpr NodeId execNode(std::uint64_t arg) { return (arg >> 56) & 0xff; }
+
+/**
+ * Decode @p e into @p buf as one human-readable line (no newline).
+ * Shared by the watchdog wedge report and trace_report --dump.
+ */
+void formatEvent(const Event &e, char *buf, std::size_t len);
+
+/** fprintf one decoded event line (with trailing newline). */
+void printEvent(std::FILE *out, const Event &e);
+
+} // namespace smtp::trace
+
+#endif // SMTP_TRACE_EVENTS_HPP

@@ -1,0 +1,426 @@
+#include "trace/export.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+
+namespace smtp::trace
+{
+
+namespace
+{
+
+constexpr char binaryMagic[8] = {'S', 'M', 'T', 'P', 'T', 'R', 'C', '1'};
+constexpr std::uint32_t binaryVersion = 1;
+
+/** Picosecond tick -> "<us>.<frac3>" microseconds, integer math only. */
+void
+formatUs(Tick tick, char *buf, std::size_t len)
+{
+    std::snprintf(buf, len, "%llu.%03llu",
+                  static_cast<unsigned long long>(tick / tickPerUs),
+                  static_cast<unsigned long long>((tick % tickPerUs) /
+                                                  tickPerNs));
+}
+
+/**
+ * Deterministic numeric formatting for the CSV: counters (integral
+ * doubles) print exact, everything else fixed 6 decimals.
+ */
+void
+formatValue(double v, char *buf, std::size_t len)
+{
+    double integral;
+    if (std::modf(v, &integral) == 0.0 && std::fabs(v) < 9.0e15) {
+        std::snprintf(buf, len, "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, len, "%.6f", v);
+    }
+}
+
+/** Perfetto tid layout: 32 ids per buffer; CPU stalls fan per thread. */
+constexpr unsigned tidStride = 32;
+
+unsigned
+eventTid(unsigned base, const Event &e)
+{
+    switch (e.id()) {
+      case EventId::ThreadStallBegin:
+      case EventId::ThreadStallEnd:
+        return base + 1 + stallTid(e.arg);
+      default:
+        return base;
+    }
+}
+
+std::string
+trackName(const TraceData::Buffer &b, unsigned base, unsigned tid)
+{
+    if (tid == base)
+        return b.name;
+    return b.name + ".t" + std::to_string(tid - base - 1);
+}
+
+struct JsonEmitter
+{
+    std::ostream &os;
+    bool first = true;
+
+    void
+    raw(const std::string &line)
+    {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << line;
+    }
+};
+
+std::string
+instantName(const Event &e)
+{
+    std::string name(eventName(e.id()));
+    switch (e.id()) {
+      case EventId::HandlerStart:
+      case EventId::HandlerRetire:
+      case EventId::McDispatch:
+      case EventId::McNak:
+      case EventId::McProbeDefer:
+        name += " ";
+        name += proto::msgTypeName(msgType(e.arg));
+        break;
+      case EventId::McHandlerDone:
+        name += " ";
+        name += proto::msgTypeName(doneType(e.arg));
+        break;
+      case EventId::NetInject:
+      case EventId::NetHop:
+      case EventId::NetLand:
+      case EventId::NetDeliver:
+        name += " ";
+        name += proto::msgTypeName(netType(e.arg));
+        break;
+      default:
+        break;
+    }
+    return name;
+}
+
+} // namespace
+
+void
+writePerfetto(const TraceData &data, std::ostream &os)
+{
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    JsonEmitter out{os};
+    char buf[256];
+    char ts[48];
+
+    // Process metadata: one "process" per node, sorted by node id.
+    std::set<unsigned> nodes_seen;
+    for (const auto &b : data.buffers)
+        nodes_seen.insert(b.node);
+    for (unsigned n : nodes_seen) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+                      "\"args\":{\"name\":\"node%u\"}}",
+                      n, n);
+        out.raw(buf);
+        std::snprintf(buf, sizeof(buf),
+                      "{\"ph\":\"M\",\"pid\":%u,"
+                      "\"name\":\"process_sort_index\","
+                      "\"args\":{\"sort_index\":%u}}",
+                      n, n);
+        out.raw(buf);
+    }
+
+    // Track (thread) metadata: buffer creation order fixes the base
+    // tids; per-thread stall subtracks are discovered from the events.
+    std::map<unsigned, unsigned> next_base; // node -> next base tid
+    std::vector<unsigned> bases(data.buffers.size());
+    for (std::size_t i = 0; i < data.buffers.size(); ++i) {
+        const auto &b = data.buffers[i];
+        unsigned base = next_base[b.node];
+        next_base[b.node] = base + tidStride;
+        bases[i] = base;
+
+        std::set<unsigned> tids;
+        tids.insert(base);
+        for (const auto &e : b.events)
+            tids.insert(eventTid(base, e));
+        for (unsigned tid : tids) {
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                          "\"name\":\"thread_name\","
+                          "\"args\":{\"name\":\"%s\"}}",
+                          unsigned(b.node), tid,
+                          trackName(b, base, tid).c_str());
+            out.raw(buf);
+            std::snprintf(buf, sizeof(buf),
+                          "{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                          "\"name\":\"thread_sort_index\","
+                          "\"args\":{\"sort_index\":%u}}",
+                          unsigned(b.node), tid, tid);
+            out.raw(buf);
+        }
+    }
+
+    // Events, per buffer in stored (chronological) order.
+    for (std::size_t i = 0; i < data.buffers.size(); ++i) {
+        const auto &b = data.buffers[i];
+        const unsigned pid = b.node;
+        for (const auto &e : b.events) {
+            const unsigned tid = eventTid(bases[i], e);
+            formatUs(e.tick(), ts, sizeof(ts));
+            switch (e.id()) {
+              case EventId::ThreadStallBegin:
+                std::snprintf(buf, sizeof(buf),
+                              "{\"ph\":\"B\",\"pid\":%u,\"tid\":%u,"
+                              "\"ts\":%s,\"cat\":\"cpu\","
+                              "\"name\":\"stall.%s\"}",
+                              pid, tid, ts,
+                              stallCause(e.arg) == stallStore ? "store"
+                                                              : "load");
+                out.raw(buf);
+                break;
+              case EventId::ThreadStallEnd:
+                std::snprintf(buf, sizeof(buf),
+                              "{\"ph\":\"E\",\"pid\":%u,\"tid\":%u,"
+                              "\"ts\":%s}",
+                              pid, tid, ts);
+                out.raw(buf);
+                break;
+              case EventId::ProtoBusyBegin:
+                std::snprintf(buf, sizeof(buf),
+                              "{\"ph\":\"B\",\"pid\":%u,\"tid\":%u,"
+                              "\"ts\":%s,\"cat\":\"proto\","
+                              "\"name\":\"proto.busy\"}",
+                              pid, tid, ts);
+                out.raw(buf);
+                break;
+              case EventId::ProtoBusyEnd:
+                std::snprintf(buf, sizeof(buf),
+                              "{\"ph\":\"E\",\"pid\":%u,\"tid\":%u,"
+                              "\"ts\":%s}",
+                              pid, tid, ts);
+                out.raw(buf);
+                break;
+              default:
+                std::snprintf(buf, sizeof(buf),
+                              "{\"ph\":\"i\",\"s\":\"t\",\"pid\":%u,"
+                              "\"tid\":%u,\"ts\":%s,\"cat\":\"%s\","
+                              "\"name\":\"%s\","
+                              "\"args\":{\"a\":\"0x%llx\"}}",
+                              pid, tid, ts,
+                              categoryName(static_cast<Category>(
+                                               b.category))
+                                  .data(),
+                              instantName(e).c_str(),
+                              static_cast<unsigned long long>(e.arg));
+                out.raw(buf);
+                break;
+            }
+        }
+    }
+    os << "\n]}\n";
+}
+
+void
+writeIntervalCsv(const TraceData &data, std::ostream &os)
+{
+    os << "tick_ps,us";
+    for (const auto &name : data.seriesNames)
+        os << "," << name;
+    os << "\n";
+    const std::size_t cols = data.seriesNames.size();
+    char ts[48];
+    char val[48];
+    for (std::size_t r = 0; r < data.sampleTicks.size(); ++r) {
+        formatUs(data.sampleTicks[r], ts, sizeof(ts));
+        os << data.sampleTicks[r] << "," << ts;
+        for (std::size_t c = 0; c < cols; ++c) {
+            formatValue(data.samples[r * cols + c], val, sizeof(val));
+            os << "," << val;
+        }
+        os << "\n";
+    }
+}
+
+namespace
+{
+
+template <typename T>
+bool
+writeRaw(std::FILE *f, const T &v)
+{
+    return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+bool
+writeString(std::FILE *f, const std::string &s)
+{
+    auto len = static_cast<std::uint32_t>(s.size());
+    if (!writeRaw(f, len))
+        return false;
+    return len == 0 || std::fwrite(s.data(), 1, len, f) == len;
+}
+
+template <typename T>
+bool
+readRaw(std::FILE *f, T &v)
+{
+    return std::fread(&v, sizeof(T), 1, f) == 1;
+}
+
+bool
+readString(std::FILE *f, std::string &s, std::uint32_t max_len)
+{
+    std::uint32_t len = 0;
+    if (!readRaw(f, len) || len > max_len)
+        return false;
+    s.resize(len);
+    return len == 0 || std::fread(s.data(), 1, len, f) == len;
+}
+
+} // namespace
+
+bool
+writeBinary(const TraceData &data, std::FILE *f)
+{
+    if (std::fwrite(binaryMagic, 1, sizeof(binaryMagic), f) !=
+        sizeof(binaryMagic))
+        return false;
+    bool ok = writeRaw(f, binaryVersion) && writeRaw(f, data.nodes) &&
+              writeRaw(f, data.execTicks) &&
+              writeRaw(f, data.intervalTicks);
+    ok = ok &&
+         writeRaw(f, static_cast<std::uint32_t>(data.buffers.size())) &&
+         writeRaw(f,
+                  static_cast<std::uint32_t>(data.seriesNames.size())) &&
+         writeRaw(f, static_cast<std::uint64_t>(data.sampleTicks.size()));
+    if (!ok)
+        return false;
+    for (const auto &b : data.buffers) {
+        if (!writeString(f, b.name) || !writeRaw(f, b.node) ||
+            !writeRaw(f, b.category) ||
+            !writeRaw(f, std::uint8_t{0}) || !writeRaw(f, b.recorded) ||
+            !writeRaw(f, static_cast<std::uint64_t>(b.events.size())))
+            return false;
+        if (!b.events.empty() &&
+            std::fwrite(b.events.data(), sizeof(Event), b.events.size(),
+                        f) != b.events.size())
+            return false;
+    }
+    for (const auto &name : data.seriesNames)
+        if (!writeString(f, name))
+            return false;
+    if (!data.sampleTicks.empty() &&
+        std::fwrite(data.sampleTicks.data(), sizeof(Tick),
+                    data.sampleTicks.size(), f) != data.sampleTicks.size())
+        return false;
+    if (!data.samples.empty() &&
+        std::fwrite(data.samples.data(), sizeof(double),
+                    data.samples.size(), f) != data.samples.size())
+        return false;
+    return true;
+}
+
+bool
+readTrace(const std::string &path, TraceData &out, std::string &err)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        err = "cannot open " + path;
+        return false;
+    }
+    auto fail = [&](const char *what) {
+        err = path + ": " + what;
+        std::fclose(f);
+        return false;
+    };
+
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+        std::memcmp(magic, binaryMagic, sizeof(magic)) != 0)
+        return fail("not a SMTPTRC1 trace");
+    std::uint32_t version = 0;
+    if (!readRaw(f, version) || version != binaryVersion)
+        return fail("unsupported trace version");
+
+    std::uint32_t buffer_count = 0, series_count = 0;
+    std::uint64_t rows = 0;
+    if (!readRaw(f, out.nodes) || !readRaw(f, out.execTicks) ||
+        !readRaw(f, out.intervalTicks) || !readRaw(f, buffer_count) ||
+        !readRaw(f, series_count) || !readRaw(f, rows))
+        return fail("truncated header");
+    if (buffer_count > 4096 || series_count > 65536 ||
+        rows > (1ull << 24))
+        return fail("implausible header counts");
+
+    out.buffers.clear();
+    out.buffers.resize(buffer_count);
+    for (auto &b : out.buffers) {
+        std::uint8_t pad = 0;
+        std::uint64_t stored = 0;
+        if (!readString(f, b.name, 4096) || !readRaw(f, b.node) ||
+            !readRaw(f, b.category) || !readRaw(f, pad) ||
+            !readRaw(f, b.recorded) || !readRaw(f, stored))
+            return fail("truncated buffer header");
+        if (stored > (1ull << 28))
+            return fail("implausible buffer size");
+        b.events.resize(stored);
+        if (stored != 0 &&
+            std::fread(b.events.data(), sizeof(Event), stored, f) !=
+                stored)
+            return fail("truncated buffer events");
+    }
+    out.seriesNames.clear();
+    out.seriesNames.resize(series_count);
+    for (auto &name : out.seriesNames)
+        if (!readString(f, name, 4096))
+            return fail("truncated series name");
+    out.sampleTicks.resize(rows);
+    if (rows != 0 && std::fread(out.sampleTicks.data(), sizeof(Tick),
+                                rows, f) != rows)
+        return fail("truncated sample ticks");
+    out.samples.resize(rows * series_count);
+    if (!out.samples.empty() &&
+        std::fread(out.samples.data(), sizeof(double), out.samples.size(),
+                   f) != out.samples.size())
+        return fail("truncated samples");
+    std::fclose(f);
+    return true;
+}
+
+bool
+writeTraceFiles(const TraceData &data, const std::string &stem,
+                std::string *err)
+{
+    auto set_err = [&](const std::string &msg) {
+        if (err != nullptr)
+            *err = msg;
+        return false;
+    };
+    std::FILE *bin = std::fopen((stem + ".smtptrace").c_str(), "wb");
+    if (bin == nullptr)
+        return set_err("cannot open " + stem + ".smtptrace");
+    bool ok = writeBinary(data, bin);
+    std::fclose(bin);
+    if (!ok)
+        return set_err("write failed for " + stem + ".smtptrace");
+
+    std::ofstream json(stem + ".json", std::ios::binary);
+    if (!json)
+        return set_err("cannot open " + stem + ".json");
+    writePerfetto(data, json);
+
+    std::ofstream csv(stem + ".csv", std::ios::binary);
+    if (!csv)
+        return set_err("cannot open " + stem + ".csv");
+    writeIntervalCsv(data, csv);
+    return true;
+}
+
+} // namespace smtp::trace

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Trace snapshot container + exporters.
+ *
+ * TraceData is the neutral form every consumer works on: the machine
+ * snapshots its TraceManager into one, the binary reader reconstructs
+ * one from a .smtptrace file, and the exporters (Perfetto JSON, CSV)
+ * and tools/trace_report analyses take either source.
+ *
+ * All text output is byte-stable: timestamps print via integer
+ * arithmetic (tick picoseconds -> microseconds with 3 decimals), no
+ * wall-clock or locale-dependent formatting anywhere.
+ */
+
+#ifndef SMTP_TRACE_EXPORT_HPP
+#define SMTP_TRACE_EXPORT_HPP
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "trace/events.hpp"
+
+namespace smtp::trace
+{
+
+struct TraceData
+{
+    struct Buffer
+    {
+        std::string name;
+        NodeId node = 0;
+        std::uint8_t category = 0;
+        std::uint64_t recorded = 0; ///< Total over the run (ring may drop).
+        std::vector<Event> events;  ///< Stored tail, oldest first.
+    };
+
+    std::vector<Buffer> buffers;
+
+    // Interval time series (row-major: rows x seriesNames.size()).
+    std::vector<std::string> seriesNames;
+    std::vector<Tick> sampleTicks;
+    std::vector<double> samples;
+
+    Tick execTicks = 0;
+    std::uint32_t nodes = 0;
+    Tick intervalTicks = 0;
+};
+
+/**
+ * Chrome trace-event JSON (load at ui.perfetto.dev or
+ * chrome://tracing). One process per node, one track per component
+ * buffer; per-thread CPU stalls fan out onto "cpu.tN" subtracks.
+ */
+void writePerfetto(const TraceData &data, std::ostream &os);
+
+/** Interval time series as CSV: tick_ps,us,<series...> per row. */
+void writeIntervalCsv(const TraceData &data, std::ostream &os);
+
+/** Binary container (magic "SMTPTRC1"); read back with readTrace(). */
+bool writeBinary(const TraceData &data, std::FILE *f);
+
+/** Convenience: write stem.smtptrace / stem.json / stem.csv. */
+bool writeTraceFiles(const TraceData &data, const std::string &stem,
+                     std::string *err = nullptr);
+
+/** Parse a .smtptrace file; false + @p err on malformed input. */
+bool readTrace(const std::string &path, TraceData &out, std::string &err);
+
+} // namespace smtp::trace
+
+#endif // SMTP_TRACE_EXPORT_HPP

@@ -1,0 +1,72 @@
+#include "trace/trace.hpp"
+
+#include "trace/export.hpp"
+
+namespace smtp::trace
+{
+
+void
+TraceBuffer::dumpTail(std::FILE *out, std::size_t max) const
+{
+    const std::size_t have = stored();
+    const std::size_t n = have < max ? have : max;
+    const std::size_t start = recorded_ < ring_.size() ? 0 : head_;
+    const std::size_t skip = have - n;
+    if (recorded_ > n) {
+        std::fprintf(out, "  ... %llu earlier event(s) %s\n",
+                     static_cast<unsigned long long>(recorded_ - n),
+                     recorded_ > ring_.size() ? "(ring wrapped)"
+                                              : "(omitted)");
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        printEvent(out, ring_[(start + skip + i) % ring_.size()]);
+}
+
+TraceBuffer *
+TraceManager::createBuffer(std::string name, NodeId node,
+                           Category category)
+{
+    if ((cfg_.categories & categoryBit(category)) == 0)
+        return nullptr;
+    buffers_.push_back(std::make_unique<TraceBuffer>(
+        std::move(name), node, category, cfg_.bufferEvents));
+    return buffers_.back().get();
+}
+
+void
+TraceManager::snapshot(TraceData &out, Tick exec_ticks,
+                       unsigned nodes) const
+{
+    out.execTicks = exec_ticks;
+    out.nodes = nodes;
+    out.intervalTicks = sampler_.interval();
+    out.buffers.clear();
+    out.buffers.reserve(buffers_.size());
+    for (const auto &b : buffers_) {
+        out.buffers.emplace_back();
+        TraceData::Buffer &dst = out.buffers.back();
+        dst.name = b->name();
+        dst.node = b->node();
+        dst.category = static_cast<std::uint8_t>(b->category());
+        dst.recorded = b->recorded();
+        b->snapshot(dst.events);
+    }
+    out.seriesNames = sampler_.names();
+    out.sampleTicks = sampler_.ticks();
+    out.samples = sampler_.values();
+}
+
+void
+TraceManager::dumpTails(std::FILE *out, std::size_t per_buffer) const
+{
+    for (const auto &b : buffers_) {
+        if (b->recorded() == 0)
+            continue;
+        std::fprintf(out, "-- trace n%u.%s (%llu event(s)) --\n",
+                     unsigned(b->node()), b->name().c_str(),
+                     static_cast<unsigned long long>(b->recorded()));
+        b->dumpTail(out, per_buffer);
+    }
+}
+
+} // namespace smtp::trace

@@ -150,6 +150,83 @@ TEST(Stats, PeakTracker)
     EXPECT_EQ(p.peak(), 7u);
 }
 
+TEST(Stats, DistributionHistogramPercentiles)
+{
+    Distribution d;
+    EXPECT_FALSE(d.histogramEnabled());
+    EXPECT_EQ(d.percentile(50.0), 0.0); // no histogram attached
+
+    d.enableHistogram(0.0, 100.0, 10);
+    EXPECT_TRUE(d.histogramEnabled());
+    EXPECT_EQ(d.percentile(50.0), 0.0); // no samples yet
+
+    for (int i = 1; i <= 100; ++i)
+        d.sample(static_cast<double>(i) - 0.5); // 10 per bucket
+    EXPECT_EQ(d.samples(), 100u);
+    // p50 lands exactly on the 50th sample = last of bucket [40,50).
+    EXPECT_DOUBLE_EQ(d.percentile(50.0), 50.0);
+    // Last bucket's edge (100) clamps to the observed max of 99.5.
+    EXPECT_DOUBLE_EQ(d.percentile(95.0), 99.5);
+    EXPECT_DOUBLE_EQ(d.percentile(99.0), 99.5);
+    // Conservative: the estimate is the bucket's upper edge.
+    EXPECT_DOUBLE_EQ(d.percentile(41.0), 50.0);
+    // p0 still resolves to the first non-empty bucket's edge.
+    EXPECT_DOUBLE_EQ(d.percentile(0.0), 10.0);
+
+    // Boundary: values at lo land in the first bucket, values at hi in
+    // the overflow bucket; overflow percentiles clamp to max().
+    Distribution e;
+    e.enableHistogram(0.0, 10.0, 10);
+    e.sample(0.0);
+    e.sample(10.0);
+    e.sample(25.0);
+    ASSERT_EQ(e.histogram().size(), 12u);
+    EXPECT_EQ(e.histogram().front(), 0u);  // underflow empty
+    EXPECT_EQ(e.histogram()[1], 1u);       // [0,1) holds the 0.0
+    EXPECT_EQ(e.histogram().back(), 2u);   // 10.0 and 25.0 overflow
+    EXPECT_DOUBLE_EQ(e.percentile(99.0), 25.0);
+
+    // Underflow resolves to min().
+    Distribution u;
+    u.enableHistogram(10.0, 20.0, 5);
+    u.sample(-3.0);
+    EXPECT_EQ(u.histogram().front(), 1u);
+    EXPECT_DOUBLE_EQ(u.percentile(50.0), -3.0);
+
+    // reset() clears counts but keeps the bucket configuration.
+    e.reset();
+    EXPECT_TRUE(e.histogramEnabled());
+    EXPECT_EQ(e.samples(), 0u);
+    e.sample(5.0);
+    EXPECT_EQ(e.histogram()[6], 1u); // [5,6)
+}
+
+TEST(Stats, GroupDumpSortedByName)
+{
+    StatGroup g("grp");
+    Counter zeta, alpha;
+    Distribution midDist;
+    PeakTracker beta;
+    zeta += 1;
+    alpha += 2;
+    g.add("zeta", &zeta);
+    g.add("alpha", &alpha);
+    g.add("mid", &midDist);
+    g.add("beta", &beta);
+    StatGroup childB("node1"), childA("node0");
+    g.addChild(&childB);
+    g.addChild(&childA);
+    std::ostringstream os;
+    g.dump(os);
+    auto text = os.str();
+    // Registration order was zeta, alpha — the dump must be sorted.
+    EXPECT_LT(text.find("alpha"), text.find("zeta"));
+    EXPECT_LT(text.find("node0"), text.find("node1"));
+    // Kinds keep their sections (counters, dists, peaks), each sorted.
+    EXPECT_LT(text.find("zeta"), text.find("mid"));
+    EXPECT_LT(text.find("mid"), text.find("beta"));
+}
+
 TEST(Stats, GroupDumpIsHierarchical)
 {
     StatGroup root("machine");

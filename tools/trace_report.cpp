@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Offline analysis CLI for .smtptrace telemetry captures.
+ *
+ * Reads the binary container written by a traced run (bench --trace,
+ * run_benches.sh --trace, or Machine::writeTraceFiles) and prints the
+ * paper-shaped analyses:
+ *
+ *   - protocol-agent occupancy per node (Table 7 style): busy time
+ *     reconstructed from ProtoBusyBegin/End windows over exec time;
+ *   - handler service latency per message type (from McHandlerDone),
+ *     with histogram-based p50/p95/p99;
+ *   - network end-to-end latency per message type, stitched by the
+ *     traceId stamped at injection (NetInject -> NetDeliver);
+ *   - CPU memory-stall breakdown by cause per node (Figure 5/7 style)
+ *     from ThreadStallBegin/End windows;
+ *   - back-pressure and fetch-steal summaries.
+ *
+ * The ring buffers keep the newest events, so counts reflect the
+ * stored tail; the report prints recorded-vs-stored so drops are
+ * visible. --perfetto / --csv re-export the capture without rerunning
+ * the simulation; --dump decodes every stored event.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hpp"
+#include "trace/events.hpp"
+#include "trace/export.hpp"
+
+namespace
+{
+
+using namespace smtp;
+using trace::EventId;
+
+double
+us(Tick t)
+{
+    return static_cast<double>(t) / tickPerUs;
+}
+
+/** Per-type latency accumulation with exact-max histogram percentiles. */
+struct LatencyTable
+{
+    std::map<std::uint8_t, std::vector<Tick>> byType;
+
+    void
+    add(std::uint8_t type, Tick latency)
+    {
+        byType[type].push_back(latency);
+    }
+
+    void
+    print(const char *caption) const
+    {
+        if (byType.empty()) {
+            std::printf("%s: no samples in stored tail\n", caption);
+            return;
+        }
+        std::printf("%s\n", caption);
+        std::printf("  %-14s %8s %10s %10s %10s %10s %10s\n", "type", "count",
+                    "mean_us", "p50_us", "p95_us", "p99_us", "max_us");
+        for (const auto &[type, lats] : byType) {
+            Tick maxLat = 0;
+            for (Tick l : lats)
+                maxLat = std::max(maxLat, l);
+            Distribution d;
+            d.enableHistogram(0.0, static_cast<double>(maxLat) + 1.0, 64);
+            for (Tick l : lats)
+                d.sample(static_cast<double>(l));
+            std::printf(
+                "  %-14s %8zu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                std::string(
+                    proto::msgTypeName(static_cast<proto::MsgType>(type)))
+                    .c_str(),
+                lats.size(), d.mean() / tickPerUs,
+                d.percentile(50.0) / tickPerUs, d.percentile(95.0) / tickPerUs,
+                d.percentile(99.0) / tickPerUs, d.max() / tickPerUs);
+        }
+    }
+};
+
+struct NodeOccupancy
+{
+    Tick busy = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t handlers = 0;
+    std::uint64_t recorded = 0;
+    std::uint64_t stored = 0;
+    bool present = false;
+};
+
+struct StallAccum
+{
+    Tick loadTicks = 0;
+    Tick storeTicks = 0;
+    std::uint64_t fetchSteals = 0;
+    std::uint64_t stolenOps = 0;
+    unsigned threads = 0;
+};
+
+void
+reportFile(const trace::TraceData &data, bool dump)
+{
+    std::printf("nodes=%u exec=%.3fus interval=%.3fus rows=%zu "
+                "series=%zu buffers=%zu\n",
+                data.nodes, us(data.execTicks), us(data.intervalTicks),
+                data.sampleTicks.size(), data.seriesNames.size(),
+                data.buffers.size());
+
+    if (dump) {
+        for (const auto &b : data.buffers) {
+            std::printf("-- n%u.%s (%llu recorded, %zu stored) --\n", b.node,
+                        b.name.c_str(),
+                        static_cast<unsigned long long>(b.recorded),
+                        b.events.size());
+            for (const auto &e : b.events)
+                trace::printEvent(stdout, e);
+        }
+        return;
+    }
+
+    std::vector<NodeOccupancy> occ(data.nodes);
+    std::vector<StallAccum> stalls(data.nodes);
+    LatencyTable handlerLat;
+    LatencyTable netLat;
+    std::unordered_map<std::uint32_t, Tick> injectTick;
+    std::uint64_t deliversUnmatched = 0;
+    std::uint64_t backpressure = 0;
+    unsigned bpMaxDepth = 0;
+
+    // Pass 1: injection times, so delivery matching is order-independent
+    // across per-node buffers.
+    for (const auto &b : data.buffers)
+        for (const auto &e : b.events)
+            if (e.id() == EventId::NetInject)
+                injectTick.emplace(trace::netTraceId(e.arg), e.tick());
+
+    for (const auto &b : data.buffers) {
+        if (b.node >= data.nodes)
+            continue;
+        auto cat = static_cast<trace::Category>(b.category);
+        if (cat == trace::Category::Protocol) {
+            NodeOccupancy &o = occ[b.node];
+            o.present = true;
+            o.recorded += b.recorded;
+            o.stored += b.events.size();
+            Tick busyStart = 0;
+            bool busy = false;
+            for (const auto &e : b.events) {
+                switch (e.id()) {
+                  case EventId::ProtoBusyBegin:
+                    busyStart = e.tick();
+                    busy = true;
+                    break;
+                  case EventId::ProtoBusyEnd:
+                    if (busy) {
+                        o.busy += e.tick() - busyStart;
+                        ++o.windows;
+                        busy = false;
+                    }
+                    break;
+                  case EventId::HandlerRetire:
+                    ++o.handlers;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            if (busy && data.execTicks > busyStart) {
+                // Trailing open window: agent still busy at snapshot.
+                o.busy += data.execTicks - busyStart;
+                ++o.windows;
+            }
+        } else if (cat == trace::Category::Cpu) {
+            StallAccum &s = stalls[b.node];
+            // Per-thread open-window tracking; tids are small ints.
+            std::map<unsigned, std::pair<Tick, std::uint8_t>> open;
+            std::map<unsigned, bool> seen;
+            for (const auto &e : b.events) {
+                unsigned tid = trace::stallTid(e.arg);
+                switch (e.id()) {
+                  case EventId::ThreadStallBegin:
+                    seen[tid] = true;
+                    open[tid] = {e.tick(), trace::stallCause(e.arg)};
+                    break;
+                  case EventId::ThreadStallEnd: {
+                    seen[tid] = true;
+                    auto it = open.find(tid);
+                    if (it != open.end()) {
+                        Tick dur = e.tick() - it->second.first;
+                        if (it->second.second == trace::stallStore)
+                            s.storeTicks += dur;
+                        else
+                            s.loadTicks += dur;
+                        open.erase(it);
+                    }
+                    break;
+                  }
+                  case EventId::FetchSteal:
+                    ++s.fetchSteals;
+                    s.stolenOps += trace::stallCause(e.arg); // ops count
+                    break;
+                  default:
+                    break;
+                }
+            }
+            for (const auto &[tid, w] : open) {
+                if (data.execTicks > w.first) {
+                    Tick dur = data.execTicks - w.first;
+                    if (w.second == trace::stallStore)
+                        s.storeTicks += dur;
+                    else
+                        s.loadTicks += dur;
+                }
+            }
+            s.threads = static_cast<unsigned>(seen.size());
+        } else if (cat == trace::Category::Mem) {
+            for (const auto &e : b.events)
+                if (e.id() == EventId::McHandlerDone)
+                    handlerLat.add(
+                        static_cast<std::uint8_t>(trace::doneType(e.arg)),
+                        trace::doneLatency(e.arg));
+        } else if (cat == trace::Category::Network) {
+            for (const auto &e : b.events) {
+                if (e.id() == EventId::NetDeliver) {
+                    auto it = injectTick.find(trace::netTraceId(e.arg));
+                    if (it == injectTick.end() || e.tick() < it->second) {
+                        ++deliversUnmatched;
+                    } else {
+                        netLat.add(
+                            static_cast<std::uint8_t>(trace::netType(e.arg)),
+                            e.tick() - it->second);
+                    }
+                } else if (e.id() == EventId::NetBackpressure) {
+                    ++backpressure;
+                    bpMaxDepth = std::max(bpMaxDepth, trace::bpDepth(e.arg));
+                }
+            }
+        }
+    }
+
+    std::printf("\nprotocol occupancy (Table 7 style; busy/exec from stored "
+                "busy windows)\n");
+    std::printf("  %-6s %10s %10s %10s %10s %12s\n", "node", "busy_us",
+                "occupancy", "windows", "handlers", "rec/stored");
+    for (unsigned n = 0; n < data.nodes; ++n) {
+        const NodeOccupancy &o = occ[n];
+        if (!o.present)
+            continue;
+        double frac = data.execTicks
+                          ? static_cast<double>(o.busy) /
+                                static_cast<double>(data.execTicks)
+                          : 0.0;
+        char rs[32];
+        std::snprintf(rs, sizeof(rs), "%llu/%llu",
+                      static_cast<unsigned long long>(o.recorded),
+                      static_cast<unsigned long long>(o.stored));
+        std::printf("  n%-5u %10.3f %10.3f %10llu %10llu %12s\n", n,
+                    us(o.busy), frac,
+                    static_cast<unsigned long long>(o.windows),
+                    static_cast<unsigned long long>(o.handlers), rs);
+    }
+
+    std::printf("\n");
+    handlerLat.print("handler service latency by message type "
+                     "(dispatch -> handlerDone)");
+
+    std::printf("\n");
+    netLat.print("network end-to-end latency by message type "
+                 "(inject -> deliver, traceId-stitched)");
+    if (deliversUnmatched)
+        std::printf("  (%llu deliveries unmatched: injection aged out of "
+                    "the ring)\n",
+                    static_cast<unsigned long long>(deliversUnmatched));
+
+    std::printf("\nmemory-stall breakdown (Figure 5/7 style; per-node "
+                "stall time from stored windows)\n");
+    std::printf("  %-6s %8s %12s %12s %12s %12s\n", "node", "threads",
+                "load_us", "store_us", "stall_frac", "fetch_steals");
+    for (unsigned n = 0; n < data.nodes; ++n) {
+        const StallAccum &s = stalls[n];
+        double denom = static_cast<double>(data.execTicks) *
+                       std::max(1u, s.threads);
+        double frac = denom ? static_cast<double>(s.loadTicks + s.storeTicks) /
+                                  denom
+                            : 0.0;
+        std::printf("  n%-5u %8u %12.3f %12.3f %12.3f %12llu\n", n, s.threads,
+                    us(s.loadTicks), us(s.storeTicks), frac,
+                    static_cast<unsigned long long>(s.fetchSteals));
+    }
+
+    std::printf("\nback-pressure: %llu event(s), max landing-queue depth "
+                "%u\n",
+                static_cast<unsigned long long>(backpressure), bpMaxDepth);
+}
+
+int
+usage(const char *argv0, int rc)
+{
+    std::FILE *out = rc == 0 ? stdout : stderr;
+    std::fprintf(out,
+                 "usage: %s [options] FILE.smtptrace [FILE2 ...]\n"
+                 "  (default)        print the analysis report\n"
+                 "  --dump           decode every stored event\n"
+                 "  --perfetto=PATH  re-export as Chrome trace-event JSON\n"
+                 "  --csv=PATH       re-export the interval series as CSV\n"
+                 "  --perfetto/--csv need exactly one input file\n",
+                 argv0);
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool dump = false;
+    std::string perfettoPath, csvPath;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--dump")
+            dump = true;
+        else if (arg.rfind("--perfetto=", 0) == 0)
+            perfettoPath = arg.substr(std::strlen("--perfetto="));
+        else if (arg.rfind("--csv=", 0) == 0)
+            csvPath = arg.substr(std::strlen("--csv="));
+        else if (arg == "--help")
+            return usage(argv[0], 0);
+        else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            return usage(argv[0], 2);
+        } else
+            files.push_back(arg);
+    }
+    if (files.empty())
+        return usage(argv[0], 2);
+    if ((!perfettoPath.empty() || !csvPath.empty()) && files.size() != 1) {
+        std::fprintf(stderr, "--perfetto/--csv need exactly one input\n");
+        return 2;
+    }
+
+    for (const auto &path : files) {
+        trace::TraceData data;
+        std::string err;
+        if (!trace::readTrace(path, data, err)) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+            return 1;
+        }
+        if (!perfettoPath.empty()) {
+            std::ofstream os(perfettoPath, std::ios::binary);
+            if (!os) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             perfettoPath.c_str());
+                return 1;
+            }
+            trace::writePerfetto(data, os);
+        }
+        if (!csvPath.empty()) {
+            std::ofstream os(csvPath, std::ios::binary);
+            if (!os) {
+                std::fprintf(stderr, "cannot write '%s'\n", csvPath.c_str());
+                return 1;
+            }
+            trace::writeIntervalCsv(data, os);
+        }
+        if (!perfettoPath.empty() || !csvPath.empty())
+            continue;
+        std::printf("==== %s ====\n", path.c_str());
+        reportFile(data, dump);
+        std::printf("\n");
+    }
+    return 0;
+}
