@@ -24,6 +24,8 @@ runOnce(const RunConfig &cfg)
     mp.eventKernel = cfg.heapEventKernel ? EventQueue::Kernel::Heap
                                          : EventQueue::Kernel::Wheel;
     mp.trace.enabled = !cfg.traceStem.empty();
+    mp.faults = cfg.faults;
+    mp.retryPolicy = cfg.retryPolicy;
 
     Machine machine(mp);
     FuncMem mem;
@@ -63,6 +65,13 @@ runOnce(const RunConfig &cfg)
         if (!machine.writeTraceFiles(cfg.traceStem, &err))
             std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
     }
+    if (const auto *fi = machine.faultInjector(); fi != nullptr) {
+        // Faulty cells must still drain cleanly: every injected fault
+        // is recoverable, so residual traffic is a harness bug.
+        machine.quiesce();
+        out.faultsInjected = fi->injectedTotal();
+        out.faultsRecovered = fi->recoveredTotal();
+    }
     out.wallMs = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - wall_start)
                      .count();
@@ -73,6 +82,10 @@ std::vector<RunResult>
 runCells(const BenchOptions &opt, const std::vector<RunConfig> &cfgs_in)
 {
     std::vector<RunConfig> cfgs = cfgs_in;
+    for (RunConfig &c : cfgs) {
+        c.faults = opt.faults;
+        c.retryPolicy = opt.retryPolicy;
+    }
     if (!opt.traceDir.empty()) {
         std::error_code ec;
         std::filesystem::create_directories(opt.traceDir, ec);
@@ -113,14 +126,30 @@ appendJson(const std::string &path, const std::vector<RunConfig> &cfgs,
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
         const RunConfig &c = cfgs[i];
         const RunResult &r = results[i];
+        // Fault fields are appended only for faulty cells so fault-free
+        // records stay byte-identical to pre-fault-subsystem output.
+        std::string fault_fields;
+        if (c.faults.enabled() || c.faults.injectDropWithoutRetransmit) {
+            char buf[256];
+            std::snprintf(
+                buf, sizeof(buf),
+                ",\"fault_seed\":%llu,\"faults\":\"%s\",\"retry\":\"%s\","
+                "\"faults_injected\":%llu,\"faults_recovered\":%llu",
+                static_cast<unsigned long long>(c.faults.seed),
+                c.faults.toString().c_str(),
+                fault::retryPolicyToString(c.retryPolicy).c_str(),
+                static_cast<unsigned long long>(r.faultsInjected),
+                static_cast<unsigned long long>(r.faultsRecovered));
+            fault_fields = buf;
+        }
         std::fprintf(
             f,
             "{\"app\":\"%s\",\"model\":\"%s\",\"nodes\":%u,\"ways\":%u,"
-            "\"exec_ticks\":%llu,\"mem_stall\":%.6f,\"wall_ms\":%.3f}\n",
+            "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s,\"wall_ms\":%.3f}\n",
             c.app.c_str(), std::string(modelName(c.model)).c_str(),
             c.nodes, c.ways,
             static_cast<unsigned long long>(r.execTime),
-            r.memStallFraction, r.wallMs);
+            r.memStallFraction, fault_fields.c_str(), r.wallMs);
     }
     std::fclose(f);
 }
@@ -183,20 +212,38 @@ parseArgs(int argc, char **argv)
             opt.traceDir = vt;
         } else if (arg == "--trace") {
             opt.traceDir = "traces";
+        } else if (const char *vf = value("--faults=")) {
+            std::string err;
+            if (!fault::FaultPlan::parse(vf, opt.faults, &err)) {
+                std::fprintf(stderr, "--faults: %s\n", err.c_str());
+                std::exit(1);
+            }
+        } else if (const char *vr = value("--retry=")) {
+            std::string err;
+            if (!fault::parseRetryPolicy(vr, opt.retryPolicy, &err)) {
+                std::fprintf(stderr, "--retry: %s\n", err.c_str());
+                std::exit(1);
+            }
         } else if (arg == "--quick") {
             opt.quick = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help") {
             std::printf("options: --scale=F --apps=A,B,... --quick "
-                        "--verbose --jobs=N --json=PATH --trace[=DIR]\n"
+                        "--verbose --jobs=N --json=PATH --trace[=DIR] "
+                        "--faults=PLAN --retry=SPEC\n"
                         "  --jobs   sweep worker threads (default: "
                         "SMTP_SWEEP_JOBS env or all cores)\n"
                         "  --json   append per-cell JSON-Lines records "
                         "to PATH\n"
                         "  --trace  record telemetry; per-cell "
                         "DIR/<app>_<model>_n<N>w<W>.{smtptrace,json,csv} "
-                        "(DIR defaults to 'traces')\n");
+                        "(DIR defaults to 'traces')\n"
+                        "  --faults seeded fault plan, e.g. "
+                        "seed=7,drop=0.01,dup=0.01,delay=0.02,flip=0.001,"
+                        "nak=0.01 (docs/robustness.md)\n"
+                        "  --retry  NAK retry policy: immediate | "
+                        "fixed[:baseNs] | exp[:baseNs[:capNs]]\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());

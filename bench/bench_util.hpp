@@ -49,6 +49,13 @@ struct RunConfig
      * never perturbs simulated timing.
      */
     std::string traceStem;
+    /**
+     * Fault injection (--faults=PLAN) and NAK retry policy
+     * (--retry=SPEC). A disabled plan and the default Fixed policy
+     * leave every cell bit-identical to a build without src/fault.
+     */
+    fault::FaultPlan faults;
+    fault::RetryPolicyConfig retryPolicy;
 };
 
 struct RunResult
@@ -65,6 +72,9 @@ struct RunResult
     std::uint64_t peakIntRegs = 0;
     std::uint64_t peakIntQueue = 0;
     std::uint64_t peakLsq = 0;
+    // Fault-injection outcome (zero unless a plan was enabled).
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsRecovered = 0;
     // Harness measurement (host time; not simulated state).
     double wallMs = 0.0;
 };
@@ -83,6 +93,8 @@ struct BenchOptions
     unsigned jobs = 0;              ///< Sweep workers; 0 = auto.
     std::string jsonPath;           ///< Append per-cell records here.
     std::string traceDir;           ///< Per-cell trace files (empty=off).
+    fault::FaultPlan faults;        ///< --faults=PLAN (default: none).
+    fault::RetryPolicyConfig retryPolicy; ///< --retry=SPEC.
 
     const std::vector<std::string> &appList() const;
 };

@@ -2,6 +2,7 @@
 # Runs every paper table/figure benchmark, one section per binary.
 #
 # Usage: ./run_benches.sh [--quick] [--jobs=N] [--json[=PATH]] [--trace[=DIR]]
+#                         [--faults=PLAN] [--retry=SPEC]
 #
 #   --quick      smaller configurations everywhere (CI-sized run)
 #   --jobs=N     sweep worker threads per binary (default: SMTP_SWEEP_JOBS
@@ -11,7 +12,14 @@
 #   --trace[=D]  record telemetry: each binary writes per-cell
 #                D/<section>/<cell>.{smtptrace,json,csv} (default D=traces);
 #                analyze with build/tools/trace_report
-# Remaining arguments are passed through to every binary.
+#   --faults=P   seeded fault plan for every cell, e.g.
+#                seed=7,drop=0.01,dup=0.01,flip=0.001,nak=0.01; the plan,
+#                seed and injected/recovered counts land in the --json
+#                records (see docs/robustness.md)
+#   --retry=S    NAK retry policy: immediate | fixed[:baseNs] |
+#                exp[:baseNs[:capNs]]
+# Remaining arguments are passed through to every binary
+# (--faults/--retry ride this passthrough).
 set -e
 
 quick=""

@@ -202,6 +202,14 @@ Checker::onPendWrite(NodeId node, unsigned mshr, std::uint64_t word0)
         pend_[(std::uint32_t(node) << 8) | mshr] = word0;
 }
 
+void
+Checker::onStarvation(NodeId node, Addr line, unsigned retries)
+{
+    ++starvations;
+    if (starved_.size() < maxStarvedRecords)
+        starved_.push_back(Starved{eq_->curTick(), node, line, retries});
+}
+
 // ------------------------------------------------------------ lifecycle
 
 void
@@ -296,6 +304,17 @@ Checker::dumpReport(std::FILE *out)
         std::fprintf(out, "  [age %llu ticks] node %u line %llx (%s)\n",
             (unsigned long long)(now - t->since), unsigned(t->node),
             (unsigned long long)t->addr, t->kind);
+
+    if (starvations.value() != 0) {
+        std::fprintf(out,
+            "-- %llu starvation flag(s) (first %zu shown) --\n",
+            (unsigned long long)starvations.value(), starved_.size());
+        for (const auto &s : starved_)
+            std::fprintf(out,
+                "  [tick %llu] node %u line %llx: %u NAK retries\n",
+                (unsigned long long)s.when, unsigned(s.node),
+                (unsigned long long)s.addr, s.retries);
+    }
 
     for (const auto &[name, fn] : dumpHooks_) {
         std::fprintf(out, "-- %s --\n", name.c_str());

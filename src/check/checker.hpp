@@ -110,6 +110,14 @@ class Checker
     /** A handler stored word0 of pending-table entry (@p node, @p mshr). */
     void onPendWrite(NodeId node, unsigned mshr, std::uint64_t word0);
 
+    /**
+     * A requester crossed the NAK-retry starvation threshold for
+     * @p line. Not a violation by itself (the transaction may yet
+     * complete) — recorded for the wedge report so a livelocked run
+     * names the starving lines.
+     */
+    void onStarvation(NodeId node, Addr line, unsigned retries);
+
     // ---------------------------------------------------------- lifecycle
 
     /** Register a component state dumper for the wedge report. */
@@ -162,6 +170,7 @@ class Checker
     Counter dirWrites;   ///< directory-entry stores audited
     Counter pendWrites;  ///< pending-table word0 stores audited
     Counter dispatches;  ///< handler dispatches ring-buffered
+    Counter starvations; ///< retry-threshold crossings reported
 
   private:
     /** Cache-side + home-side mirror of one line's global state. */
@@ -181,6 +190,18 @@ class Checker
         Addr addr = 0;
         const char *kind = "";
     };
+
+    /** A starvation-threshold crossing kept for the wedge report. */
+    struct Starved
+    {
+        Tick when = 0;
+        NodeId node = 0;
+        Addr addr = 0;
+        unsigned retries = 0;
+    };
+
+    /** Oldest crossings kept verbatim; the counter keeps the total. */
+    static constexpr std::size_t maxStarvedRecords = 64;
 
     static std::uint64_t
     mshrKey(NodeId node, unsigned idx)
@@ -226,6 +247,7 @@ class Checker
     const trace::TraceManager *traceMgr_ = nullptr;
 
     std::unordered_map<std::uint64_t, Live> live_;
+    std::vector<Starved> starved_;
     bool scanScheduled_ = false;
     bool wedgeReported_ = false;
 

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Deterministic fault injection.
+ *
+ * A FaultPlan describes *what* can go wrong (per-link message drops,
+ * duplications, delay jitter and bounded reordering on the network;
+ * transient single/double bit flips under an SEC-DED ECC model in the
+ * SDRAM; forced NAKs at the protocol dispatch unit) and a FaultInjector
+ * turns the plan into a seeded, fully deterministic decision stream the
+ * existing layers consult at their hook points.
+ *
+ * Determinism contract: every decision is drawn from an explicitly
+ * seeded Rng owned by the injector (one global stream for the network
+ * fabric, one per node for SDRAM and for protocol dispatch), so the
+ * injected-event schedule is a pure function of (plan, event order) —
+ * identical across runs and across sweep worker counts. With no
+ * injector attached (the default) every hook is a single null-pointer
+ * test and simulated timing is bit-identical to a build without this
+ * subsystem.
+ *
+ * Fault semantics are recoverable by construction (docs/robustness.md):
+ *
+ *  - dropped link transmissions are retried by a link-level
+ *    ack/retransmit protocol (SGI Spider LLP style), modelled as added
+ *    latency plus repeated link occupancy — never message loss;
+ *  - duplicated deliveries carry a link-sequence flag and are filtered
+ *    at the landing buffer, so the protocol layer sees each message
+ *    exactly once;
+ *  - single-bit SDRAM flips are corrected in the ECC datapath (and
+ *    scrubbed); double-bit flips are detected and satisfied by a
+ *    refetch, costing one extra device access;
+ *  - forced NAKs ride the protocol's own NAK-and-retry path.
+ *
+ * The one deliberate exception is the injectDropWithoutRetransmit bug
+ * hook (analogous to proto::HandlerOptions::injectSkipFirstInval):
+ * it turns a drop into real loss so tests can prove the checker and
+ * watchdog catch unrecovered messages.
+ */
+
+#ifndef SMTP_FAULT_FAULT_HPP
+#define SMTP_FAULT_FAULT_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/stats.hpp"
+#include "trace/trace.hpp"
+
+namespace smtp::fault
+{
+
+/**
+ * A seeded description of the faults to inject. All probabilities are
+ * per-decision (per link traversal, per SDRAM read, per eligible
+ * dispatch) and default to zero, so a default plan is fully disabled.
+ */
+struct FaultPlan
+{
+    std::uint64_t seed = 1;
+
+    // ---- Network (per physical-link traversal) -----------------------
+    double netDrop = 0.0;    ///< Transmission corrupted; LLP retransmits.
+    double netDup = 0.0;     ///< Delivery duplicated; filtered by seq.
+    double netDelay = 0.0;   ///< Extra jitter on this traversal.
+    double netReorder = 0.0; ///< Adjacent cross-source landing swap.
+    Tick netDelayMax = 200 * tickPerNs;       ///< Jitter upper bound.
+    Tick retransmitTimeout = 400 * tickPerNs; ///< Per lost transmission.
+    unsigned maxRetransmits = 8; ///< Cap on consecutive corruptions.
+
+    // ---- SDRAM (per read access, SEC-DED ECC) ------------------------
+    double memFlipSingle = 0.0; ///< Corrected on the fly + scrubbed.
+    double memFlipDouble = 0.0; ///< Detected; satisfied by a refetch.
+
+    // ---- Protocol ----------------------------------------------------
+    /** Probability an eligible (NAKable) dispatch is force-NAKed. */
+    double forceNak = 0.0;
+
+    /**
+     * Deliberate bug hook: a dropped transmission is *not* retransmitted
+     * — the message is lost. Exists to prove the checker/watchdog catch
+     * unrecovered loss; never enabled by a legitimate plan.
+     */
+    bool injectDropWithoutRetransmit = false;
+
+    bool
+    anyNetwork() const
+    {
+        return netDrop > 0.0 || netDup > 0.0 || netDelay > 0.0 ||
+               netReorder > 0.0;
+    }
+
+    bool anyMem() const { return memFlipSingle > 0.0 || memFlipDouble > 0.0; }
+    bool anyProtocol() const { return forceNak > 0.0; }
+
+    bool
+    enabled() const
+    {
+        return anyNetwork() || anyMem() || anyProtocol();
+    }
+
+    /**
+     * Canonical spec string (parse(toString()) round-trips), e.g.
+     * "seed=42,drop=0.01,dup=0.01,delay=0.02,flip=0.001,nak=0.02".
+     * Emitted into bench --json records so a chaotic run is
+     * reproducible from the JSON alone.
+     */
+    std::string toString() const;
+
+    /**
+     * Parse a comma-separated key=value spec. Keys: seed, drop, dup,
+     * delay, delaymax (ns), reorder, timeout (ns), maxretx, flip,
+     * flip2, nak, droploss. False (with *err set) on unknown keys or
+     * malformed values.
+     */
+    static bool parse(const std::string &spec, FaultPlan &out,
+                      std::string *err = nullptr);
+};
+
+// ---- NAK retry policy ---------------------------------------------------
+
+/** How a requester paces NAK-and-retry resends. */
+enum class RetryKind : std::uint8_t
+{
+    Fixed,     ///< base + jitter, every retry (historical behaviour).
+    Immediate, ///< resend at once (stress the home's dispatch path).
+    ExpBackoff ///< base doubling per retry up to cap, plus jitter.
+};
+
+struct RetryPolicyConfig
+{
+    RetryKind kind = RetryKind::Fixed;
+    Tick base = 100 * tickPerNs; ///< First-retry delay and jitter range.
+    Tick cap = 6400 * tickPerNs; ///< ExpBackoff ceiling (before jitter).
+    /** Retry count at which the starvation detector flags (0 = off). */
+    unsigned starvationRetries = 32;
+};
+
+/**
+ * Backoff before the @p k-th resend (k >= 1) under @p cfg, drawing
+ * jitter from @p rng. Fixed consumes exactly one draw of
+ * rng.below(base) — bit-identical to the historical nakBackoff path;
+ * Immediate consumes none.
+ */
+Tick retryBackoff(const RetryPolicyConfig &cfg, unsigned k, Rng &rng);
+
+/**
+ * Parse "immediate" | "fixed[:baseNs]" | "exp[:baseNs[:capNs]]" into
+ * @p out (starvationRetries is left untouched).
+ */
+bool parseRetryPolicy(const std::string &spec, RetryPolicyConfig &out,
+                      std::string *err = nullptr);
+
+/** Canonical form accepted by parseRetryPolicy. */
+std::string retryPolicyToString(const RetryPolicyConfig &cfg);
+
+// ---- Injector -----------------------------------------------------------
+
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, unsigned nodes);
+
+    const FaultPlan &plan() const { return plan_; }
+
+    // ---- Network hooks (global stream, consulted in event order) -----
+
+    /**
+     * Number of corrupted transmissions before this traversal succeeds
+     * (0 = clean). Each costs one retransmitTimeout of latency and one
+     * extra serialisation of link occupancy.
+     */
+    unsigned linkRetransmits();
+
+    /** Should this delivery be duplicated (dup filtered by seq at RX)? */
+    bool linkDuplicate();
+
+    /** Extra jitter for this traversal (0 = none). */
+    Tick linkExtraDelay();
+
+    /** Swap this landing with its (cross-source) predecessor? */
+    bool landingReorder();
+
+    // ---- SDRAM hook (per-node stream) --------------------------------
+
+    enum class Ecc : std::uint8_t
+    {
+        None,      ///< Clean read.
+        Corrected, ///< Single-bit flip: SEC corrected + scrubbed.
+        Detected   ///< Double-bit flip: DED detected; refetch needed.
+    };
+
+    Ecc sdramRead(NodeId node);
+
+    // ---- Protocol hook (per-node stream) ------------------------------
+
+    /** Force-NAK this eligible dispatch? */
+    bool forceNak(NodeId node);
+
+    // ---- Telemetry ----------------------------------------------------
+
+    /** Machine-wide fault trace buffer (Category::Fault); may be null. */
+    void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
+    trace::TraceBuffer *trace() { return trace_; }
+
+    // ---- Counters (injected faults and their recoveries) --------------
+
+    Counter netDrops;       ///< Corrupted transmissions (= retransmits).
+    Counter netDups;        ///< Duplicated deliveries injected.
+    Counter netDupsFiltered;///< Duplicates discarded at the landing buffer.
+    Counter netDelays;      ///< Traversals given extra jitter.
+    Counter netReorders;    ///< Landing-buffer swaps performed.
+    Counter netLost;        ///< injectDropWithoutRetransmit casualties.
+    Counter eccCorrected;   ///< Single-bit flips corrected.
+    Counter eccDetected;    ///< Double-bit flips detected.
+    Counter eccScrubs;      ///< Demand scrubs (one per corrected flip).
+    Counter eccRefetches;   ///< Refetch reads serving detected flips.
+    Counter naksForced;     ///< Dispatches turned into RplNak.
+
+    /** Injected faults, all classes (nonzero proves the plan fired). */
+    std::uint64_t
+    injectedTotal() const
+    {
+        return netDrops.value() + netDups.value() + netDelays.value() +
+               netReorders.value() + eccCorrected.value() +
+               eccDetected.value() + naksForced.value();
+    }
+
+    /** Successful recoveries (drops retransmitted, dups filtered, ...). */
+    std::uint64_t
+    recoveredTotal() const
+    {
+        return (netDrops.value() - netLost.value()) +
+               netDupsFiltered.value() + eccCorrected.value() +
+               eccRefetches.value();
+    }
+
+  private:
+    FaultPlan plan_;
+    Rng netRng_;
+    std::vector<Rng> memRng_;
+    std::vector<Rng> protoRng_;
+    trace::TraceBuffer *trace_ = nullptr;
+};
+
+} // namespace smtp::fault
+
+#endif // SMTP_FAULT_FAULT_HPP

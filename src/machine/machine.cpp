@@ -41,6 +41,18 @@ Machine::Machine(const MachineParams &params)
     if (params.trace.enabled)
         traceMgr_ = std::make_unique<trace::TraceManager>(params.trace);
 
+    if (params.faults.enabled() || params.faults.injectDropWithoutRetransmit) {
+        faults_ = std::make_unique<fault::FaultInjector>(params.faults,
+                                                         params.nodes);
+        net_->setFaultInjector(faults_.get());
+        // The fault buffer exists only when a plan is active, so traced
+        // fault-free runs keep byte-identical export files.
+        if (traceMgr_) {
+            faults_->setTrace(traceMgr_->createBuffer(
+                "fault", 0, trace::Category::Fault));
+        }
+    }
+
     if (params.checkLevel != check::CheckLevel::Off) {
         check::CheckerParams chp;
         chp.level = params.checkLevel;
@@ -82,6 +94,7 @@ Machine::Machine(const MachineParams &params)
             break;
         }
         mp.probeLatency = 9 * cpu_clock.period(); // L2 round trip
+        mp.retry = params.retryPolicy;
         mp.rngSeed = 1000 + n;
         node->mc = std::make_unique<MemController>(
             eq_, static_cast<NodeId>(n), mp, *map_, image_, *node->cache,
@@ -136,6 +149,8 @@ Machine::Machine(const MachineParams &params)
         }
 
         auto *mc = node->mc.get();
+        if (faults_)
+            mc->setFaultInjector(faults_.get());
         if (checker_) {
             node->cache->setChecker(checker_.get());
             mc->setChecker(checker_.get());
@@ -422,6 +437,23 @@ Machine::dumpStats(std::ostream &os) const
     root.add("netBytes", &net_->bytesInjected);
     root.add("netHops", &net_->hopDist);
 
+    std::unique_ptr<StatGroup> fg;
+    if (faults_) {
+        fg = std::make_unique<StatGroup>("faults");
+        fg->add("netDrops", &faults_->netDrops);
+        fg->add("netDups", &faults_->netDups);
+        fg->add("netDupsFiltered", &faults_->netDupsFiltered);
+        fg->add("netDelays", &faults_->netDelays);
+        fg->add("netReorders", &faults_->netReorders);
+        fg->add("netLost", &faults_->netLost);
+        fg->add("eccCorrected", &faults_->eccCorrected);
+        fg->add("eccDetected", &faults_->eccDetected);
+        fg->add("eccScrubs", &faults_->eccScrubs);
+        fg->add("eccRefetches", &faults_->eccRefetches);
+        fg->add("naksForced", &faults_->naksForced);
+        root.addChild(fg.get());
+    }
+
     for (unsigned n = 0; n < nodes_.size(); ++n) {
         const Node &node = *nodes_[n];
         auto g = std::make_unique<StatGroup>("node" + std::to_string(n));
@@ -436,6 +468,7 @@ Machine::dumpStats(std::ostream &os) const
         g->add("prefetchesUseful", &node.cache->prefetchesUseful);
         g->add("handlers", &node.mc->handlersDispatched);
         g->add("naks", &node.mc->naksSent);
+        g->add("starvationFlags", &node.mc->starvationFlags);
         g->add("probesDeferred", &node.mc->probesDeferred);
         g->add("handlerLatency", &node.mc->handlerLatency);
         g->add("sdramReads", &node.mc->sdram().reads);

@@ -29,6 +29,7 @@
 #include "check/checker.hpp"
 #include "core/protocol_thread.hpp"
 #include "cpu/smt_cpu.hpp"
+#include "fault/fault.hpp"
 #include "mem/controller.hpp"
 #include "network/network.hpp"
 #include "pengine/pengine.hpp"
@@ -101,6 +102,16 @@ struct MachineParams
      * simulated timing is bit-identical either way.
      */
     trace::TraceConfig trace;
+
+    /**
+     * Deterministic fault injection (src/fault). The default plan has
+     * every probability at zero, no injector is constructed, and the
+     * run is bit-identical to a fault-free build.
+     */
+    fault::FaultPlan faults;
+
+    /** NAK retry/backoff policy applied by every node's controller. */
+    fault::RetryPolicyConfig retryPolicy;
 };
 
 class Machine
@@ -169,6 +180,13 @@ class Machine
     /** nullptr when tracing is disabled. */
     trace::TraceManager *traceManager() { return traceMgr_.get(); }
 
+    /** nullptr when the fault plan is fully disabled. */
+    fault::FaultInjector *faultInjector() { return faults_.get(); }
+    const fault::FaultInjector *faultInjector() const
+    {
+        return faults_.get();
+    }
+
     /**
      * Snapshot the telemetry and write stem.smtptrace / stem.json
      * (Perfetto) / stem.csv. False (with @p err) when tracing is off
@@ -206,6 +224,7 @@ class Machine
     std::unique_ptr<PagePlacementMap> map_;
     std::unique_ptr<Network> net_;
     std::unique_ptr<check::Checker> checker_;
+    std::unique_ptr<fault::FaultInjector> faults_;
     std::unique_ptr<trace::TraceManager> traceMgr_;
     std::vector<std::unique_ptr<Node>> nodes_;
     Tick execTime_ = 0;

@@ -8,6 +8,7 @@
 
 #include "check/checker.hpp"
 #include "common/log.hpp"
+#include "protocol/directory.hpp"
 
 namespace smtp
 {
@@ -206,6 +207,32 @@ MemController::dispatch(const Message &msg_in)
                      msg.requester, msg.mshr, msg.ackCount);
     }
 
+    // Forced-NAK injection: the dispatch unit pretends the pending
+    // table was busy and bounces the request without running a handler,
+    // exercising the requester's retry/backoff path. Only the NAKable
+    // request types are eligible — the same set a real busy home NAKs.
+    if (faults_ != nullptr &&
+        (msg.type == MsgType::ReqGet || msg.type == MsgType::ReqGetx ||
+         msg.type == MsgType::ReqUpgrade) &&
+        faults_->forceNak(self_)) {
+        Message nak;
+        nak.type = MsgType::RplNak;
+        nak.addr = msg.addr;
+        nak.src = self_;
+        nak.dest = msg.src;
+        nak.requester = msg.requester;
+        nak.mshr = msg.mshr;
+        ++naksSent;
+        SMTP_TRACE_EVENT(trace_, now, trace::EventId::McNak,
+                         trace::packMsg(nak, nak.mshr));
+        SMTP_TRACE_EVENT(faults_->trace(), now,
+                         trace::EventId::FaultForcedNak,
+                         trace::packMsg(nak, nak.mshr));
+        ++pendingDelayedSends_;
+        pushToNetwork(nak, now, false);
+        return;
+    }
+
     SMTP_TRACE_EVENT(trace_, now, trace::EventId::McDispatch,
                      trace::packMsg(msg, msg.mshr));
     auto ctx = std::make_shared<TransactionCtx>();
@@ -398,8 +425,31 @@ void
 MemController::pushToNetwork(Message msg, Tick data_ready, bool delayed)
 {
     Tick when = std::max(data_ready, eq_->curTick());
-    if (delayed)
-        when += params_.nakBackoff + rng_.below(params_.nakBackoff);
+    if (delayed) {
+        // NAKed request being retried: the pending entry's retry count
+        // (word2, maintained by the RplNak handler) selects the backoff
+        // step, and crossing the starvation threshold is flagged once.
+        auto retries = static_cast<unsigned>(
+            ram_.read(proto::pendEntryAddr(self_, msg.mshr) + 16, 8));
+        when += fault::retryBackoff(params_.retry, retries, rng_);
+        if (faults_ != nullptr) {
+            SMTP_TRACE_EVENT(faults_->trace(), eq_->curTick(),
+                             trace::EventId::FaultRetryBackoff,
+                             trace::packRetry(msg.addr, retries, msg.mshr,
+                                              self_));
+        }
+        if (retries == params_.retry.starvationRetries) {
+            ++starvationFlags;
+            if (faults_ != nullptr) {
+                SMTP_TRACE_EVENT(faults_->trace(), eq_->curTick(),
+                                 trace::EventId::FaultStarvation,
+                                 trace::packRetry(msg.addr, retries,
+                                                  msg.mshr, self_));
+            }
+            if (checker_ != nullptr)
+                checker_->onStarvation(self_, msg.addr, retries);
+        }
+    }
     eq_->schedule(when, [this, msg] {
         --pendingDelayedSends_;
         auto vnet = proto::vnetOf(msg.type);

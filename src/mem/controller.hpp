@@ -34,6 +34,7 @@
 #include "cache/hierarchy.hpp"
 #include "common/fixed_queue.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "common/types.hpp"
 #include "mem/address_map.hpp"
 #include "mem/agent.hpp"
@@ -62,8 +63,12 @@ struct McParams
     Tick probeLatency = 5 * tickPerNs;
     /** Deferred-intervention replay interval. */
     Tick deferRetry = 50 * tickPerNs;
-    /** NAK retry backoff base (plus jitter). */
-    Tick nakBackoff = 100 * tickPerNs;
+    /**
+     * NAK retry policy (backoff shape + starvation threshold). The
+     * default Fixed policy reproduces the historical fixed-base-plus-
+     * jitter delay bit for bit.
+     */
+    fault::RetryPolicyConfig retry;
     std::uint64_t rngSeed = 1;
 };
 
@@ -116,6 +121,18 @@ class MemController : public proto::ExecEnv
 
     /** Attach the coherence checker (nullptr => no checking overhead). */
     void setChecker(check::Checker *c) { checker_ = c; }
+
+    /**
+     * Attach the fault injector (nullptr = fault-free). The controller
+     * consults it for forced NAKs at dispatch and forwards it to the
+     * SDRAM for the ECC bit-flip model.
+     */
+    void
+    setFaultInjector(fault::FaultInjector *fi)
+    {
+        faults_ = fi;
+        sdram_.setFaultInjector(fi, self_);
+    }
 
     /** Attach the node's memory telemetry buffer (also fed to SDRAM). */
     void
@@ -187,6 +204,8 @@ class MemController : public proto::ExecEnv
     Counter msgsFromLmi, msgsFromNet;
     Counter probesDeferred;
     Counter naksSent;  // (observed at release time)
+    /** Transactions that crossed the starvation retry threshold. */
+    Counter starvationFlags;
     Distribution lmiOccupancy;
     Distribution handlerLatency;
     std::uint64_t tryDispatchCalls = 0;
@@ -234,6 +253,7 @@ class MemController : public proto::ExecEnv
     unsigned rrSource_ = 0;
 
     check::Checker *checker_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
     trace::TraceBuffer *trace_ = nullptr;
     TransactionCtx *dispatching_ = nullptr; ///< Valid during executor run.
     /** Live transactions; send closures keep them alive via shared_ptr. */

@@ -14,6 +14,7 @@
 #include <functional>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
@@ -59,6 +60,32 @@ class Sdram
         SMTP_TRACE_EVENT(trace_, now, trace::EventId::SdramAccess,
                          trace::packSdram(bytes, write, start - now));
         Tick ready = start + params_.accessLatency;
+        if (faults_ != nullptr && !write) {
+            switch (faults_->sdramRead(node_)) {
+              case fault::FaultInjector::Ecc::None:
+                break;
+              case fault::FaultInjector::Ecc::Corrected:
+                // Single-bit flip: SEC corrects in the datapath (no
+                // timing cost); the corrected word is scrubbed back.
+                SMTP_TRACE_EVENT(faults_->trace(), now,
+                                 trace::EventId::FaultEccCorrect,
+                                 trace::packEcc(node_, false));
+                break;
+              case fault::FaultInjector::Ecc::Detected: {
+                // Double-bit flip: DED discards the word and the
+                // transient is refetched — one extra device access.
+                ++faults_->eccRefetches;
+                Tick start2 = std::max(ready, deviceFree_);
+                deviceFree_ = start2 + occupancy;
+                busyTicks += occupancy;
+                ready = start2 + params_.accessLatency;
+                SMTP_TRACE_EVENT(faults_->trace(), now,
+                                 trace::EventId::FaultEccDetect,
+                                 trace::packEcc(node_, true));
+                break;
+              }
+            }
+        }
         if (done)
             eq_->schedule(ready, std::move(done));
     }
@@ -67,6 +94,14 @@ class Sdram
     Tick deviceFreeAt() const { return deviceFree_; }
 
     void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
+
+    /** Attach the fault injector's ECC model (timing-only flips). */
+    void
+    setFaultInjector(fault::FaultInjector *fi, NodeId node)
+    {
+        faults_ = fi;
+        node_ = node;
+    }
 
     Counter reads, writes;
     Counter busyTicks;
@@ -77,6 +112,8 @@ class Sdram
     SdramParams params_;
     Tick deviceFree_ = 0;
     trace::TraceBuffer *trace_ = nullptr;
+    fault::FaultInjector *faults_ = nullptr;
+    NodeId node_ = 0;
 };
 
 } // namespace smtp

@@ -1,5 +1,7 @@
 #include "network.hpp"
 
+#include <type_traits>
+
 #include "common/bits.hpp"
 #include "common/log.hpp"
 
@@ -60,9 +62,10 @@ Network::linkBetween(unsigned r_from, unsigned r_to)
 }
 
 void
-Network::traverse(Link &link, unsigned bytes, EventQueue::Callback fn,
-                  bool final_hop)
+Network::traverse(Link &link, const proto::Message &msg,
+                  EventQueue::Callback fn, bool final_hop)
 {
+    unsigned bytes = proto::msgBytes(msg.type);
     Tick now = eq_.curTick();
     Tick start = std::max(now, link.busyUntil);
     auto ser = static_cast<Tick>(static_cast<double>(bytes) /
@@ -74,6 +77,44 @@ Network::traverse(Link &link, unsigned bytes, EventQueue::Callback fn,
     // serialisation time); the tail — and thus delivery — trails the
     // head by one serialisation time, charged on the final hop only.
     Tick arrive = start + params_.hopLatency + (final_hop ? ser : 0);
+    if (faults_ != nullptr) {
+        unsigned retx = faults_->linkRetransmits();
+        if (retx > 0) {
+            if (faults_->plan().injectDropWithoutRetransmit) {
+                // Deliberate bug hook: the corrupted transmission is
+                // never retried. The message is gone, inFlight_ stays
+                // elevated, and the watchdog must notice.
+                ++faults_->netLost;
+                ++lostMessages_;
+                SMTP_TRACE_EVENT(faults_->trace(), now,
+                                 trace::EventId::FaultNetLost,
+                                 trace::packNet(msg));
+                return;
+            }
+            // Link-level retransmit-on-timeout: each corrupted
+            // transmission occupies the wire once more and costs one
+            // LLP timeout before the retry goes out.
+            link.busyUntil += static_cast<Tick>(retx) * ser;
+            arrive +=
+                static_cast<Tick>(retx) * faults_->plan().retransmitTimeout;
+            for (unsigned i = 0; i < retx; ++i) {
+                SMTP_TRACE_EVENT(faults_->trace(), now,
+                                 trace::EventId::FaultNetDrop,
+                                 trace::packNet(msg));
+            }
+        }
+        Tick extra = faults_->linkExtraDelay();
+        if (extra > 0) {
+            arrive += extra;
+            SMTP_TRACE_EVENT(faults_->trace(), now,
+                             trace::EventId::FaultNetDelay,
+                             trace::packNet(msg));
+        }
+        // The wire is a FIFO: recovery and jitter delay later traffic
+        // behind the affected message instead of reordering the link.
+        arrive = std::max(arrive, link.lastArrival);
+        link.lastArrival = arrive;
+    }
     eq_.schedule(arrive, std::move(fn));
 }
 
@@ -111,8 +152,7 @@ Network::inject(const proto::Message &msg)
     auto first_hop = [this, m, src_router] { hop(m, src_router); };
     static_assert(EventQueue::Callback::storesInline<decltype(first_hop)>,
                   "hop continuations must stay on the inline fast path");
-    traverse(nodeLinksOut_[m.src], proto::msgBytes(m.type),
-             std::move(first_hop));
+    traverse(nodeLinksOut_[m.src], m, std::move(first_hop));
 }
 
 void
@@ -122,12 +162,12 @@ Network::hop(proto::Message msg, unsigned cur_router)
                      trace::EventId::NetHop, trace::packNet(msg));
     unsigned dst_router = routerOf(msg.dest);
     if (cur_router == dst_router) {
-        traverse(nodeLinksIn_[msg.dest], proto::msgBytes(msg.type),
+        traverse(nodeLinksIn_[msg.dest], msg,
                  [this, msg] { land(msg); }, true);
         return;
     }
     unsigned next = nextRouter(cur_router, dst_router);
-    traverse(linkBetween(cur_router, next), proto::msgBytes(msg.type),
+    traverse(linkBetween(cur_router, next), msg,
              [this, msg, next] { hop(msg, next); });
 }
 
@@ -137,8 +177,40 @@ Network::land(const proto::Message &msg)
     SMTP_TRACE_EVENT(trace_[msg.dest], eq_.curTick(),
                      trace::EventId::NetLand, trace::packNet(msg));
     auto vnet = proto::vnetOf(msg.type);
-    landing_[static_cast<std::size_t>(msg.dest) * proto::numVnets + vnet]
-        .push_back(msg);
+    auto &q = landing_[static_cast<std::size_t>(msg.dest) *
+                           proto::numVnets + vnet];
+    q.push_back(msg);
+    if (faults_ != nullptr && msg.src != msg.dest) {
+        // Message is trivially copyable, so a duplicated (or requeued)
+        // copy aliases no live state — the mshr/traceId it carries are
+        // plain values echoed back by the protocol, never pointers.
+        static_assert(std::is_trivially_copyable_v<proto::Message>,
+                      "fault duplication requires value-semantics "
+                      "messages");
+        if (faults_->linkDuplicate()) {
+            proto::Message dup = msg;
+            dup.flags |= proto::flagLinkDup;
+            ++inFlight_;
+            q.push_back(dup);
+            SMTP_TRACE_EVENT(faults_->trace(), eq_.curTick(),
+                             trace::EventId::FaultNetDup,
+                             trace::packNet(msg));
+        }
+        if (q.size() >= 2 && faults_->landingReorder()) {
+            // Bounded reordering: swap adjacent landings only when they
+            // come from different sources, preserving the
+            // per-(src, dst, vnet) FIFO the protocol depends on.
+            auto &a = q[q.size() - 2];
+            auto &b = q.back();
+            if (a.src != b.src) {
+                std::swap(a, b);
+                ++faults_->netReorders;
+                SMTP_TRACE_EVENT(faults_->trace(), eq_.curTick(),
+                                 trace::EventId::FaultNetReorder,
+                                 trace::packNet(msg));
+            }
+        }
+    }
     tryDeliver(msg.dest, vnet);
 }
 
@@ -155,6 +227,16 @@ Network::tryDeliver(NodeId node, std::uint8_t vnet)
     auto &q = landing_[idx];
     while (!q.empty()) {
         SMTP_ASSERT(deliver_[node], "no NI attached to node %u", node);
+        if (q.front().flags & proto::flagLinkDup) {
+            // Link sequence numbers identify the duplicate; it is
+            // discarded before the NI (and before any NetDeliver
+            // event, keeping traceId stitching one-to-one).
+            if (faults_ != nullptr)
+                ++faults_->netDupsFiltered;
+            q.pop_front();
+            --inFlight_;
+            continue;
+        }
         if (!deliver_[node](q.front())) {
             SMTP_TRACE_EVENT(trace_[node], eq_.curTick(),
                              trace::EventId::NetBackpressure,
@@ -181,6 +263,12 @@ Network::debugState(std::FILE *out) const
 {
     std::fprintf(out, "  net: inFlight=%llu\n",
                  static_cast<unsigned long long>(inFlight_));
+    if (lostMessages_ != 0) {
+        std::fprintf(out,
+                     "  net: %llu message(s) LOST by the "
+                     "drop-without-retransmit bug hook\n",
+                     static_cast<unsigned long long>(lostMessages_));
+    }
     for (std::size_t n = 0; n < deliver_.size(); ++n) {
         for (unsigned v = 0; v < proto::numVnets; ++v) {
             const auto &q = landing_[n * proto::numVnets + v];

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "protocol/message.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
@@ -71,6 +72,16 @@ class Network
         trace_[node] = buf;
     }
 
+    /**
+     * Attach a fault injector (nullptr = fault-free; the default).
+     * Faults are applied per link traversal: drops become link-level
+     * retransmissions (latency + repeated occupancy, never loss),
+     * duplicates are filtered by link sequence at the landing buffer,
+     * jitter and bounded reordering respect the per-(src, dst, vnet)
+     * FIFO order the protocol relies on.
+     */
+    void setFaultInjector(fault::FaultInjector *fi) { faults_ = fi; }
+
     /** Inject a message; source MC has already applied its own queuing. */
     void inject(const proto::Message &msg);
 
@@ -99,6 +110,13 @@ class Network
     struct Link
     {
         Tick busyUntil = 0;
+        /**
+         * Latest scheduled arrival over this link. A wire is a FIFO,
+         * so fault recovery/jitter clamps later arrivals to at least
+         * this — without faults arrivals are already monotone and the
+         * clamp never fires (disabled runs stay bit-identical).
+         */
+        Tick lastArrival = 0;
         Counter msgs;
     };
 
@@ -114,9 +132,12 @@ class Network
     void land(const proto::Message &msg);
     void tryDeliver(NodeId node, std::uint8_t vnet);
 
-    /** Traverse @p link: reserve bandwidth, schedule @p fn. */
-    void traverse(Link &link, unsigned bytes, EventQueue::Callback fn,
-                  bool final_hop = false);
+    /**
+     * Traverse @p link with @p msg: reserve bandwidth, apply link
+     * faults (drop/retransmit, jitter), schedule @p fn at arrival.
+     */
+    void traverse(Link &link, const proto::Message &msg,
+                  EventQueue::Callback fn, bool final_hop = false);
 
     EventQueue &eq_;
     NetworkParams params_;
@@ -134,6 +155,8 @@ class Network
     std::uint64_t inFlight_ = 0;
     std::vector<trace::TraceBuffer *> trace_; ///< Per node; null = off.
     std::uint32_t nextTraceId_ = 0;
+    fault::FaultInjector *faults_ = nullptr;  ///< Null = fault-free.
+    std::uint64_t lostMessages_ = 0; ///< droploss-bug casualties.
 
     static constexpr Tick retryInterval = 5 * tickPerNs;
 };

@@ -99,6 +99,12 @@ enum HeaderFlags : std::uint8_t
     flagHomeLocal = 0x1,   ///< Transaction address is homed at this node.
     flagDataCarried = 0x2, ///< Message arrived with a cache line of data.
     flagPrefetch = 0x4,    ///< Non-blocking prefetch request.
+    /**
+     * Link-layer duplicate (fault injection): this copy carries a
+     * repeated link sequence number and is filtered at the landing
+     * buffer before the NI — protocol handlers never see the flag.
+     */
+    flagLinkDup = 0x8,
 };
 
 struct Message

@@ -15,6 +15,7 @@ categoryName(Category c)
       case Category::Mem: return "mem";
       case Category::Network: return "net";
       case Category::Check: return "check";
+      case Category::Fault: return "fault";
       case Category::NumCategories: break;
     }
     return "?";
@@ -45,6 +46,16 @@ eventName(EventId id)
       case EventId::NetDeliver: return "net.deliver";
       case EventId::NetBackpressure: return "net.backpressure";
       case EventId::HandlerExec: return "handler.exec";
+      case EventId::FaultNetDrop: return "fault.net.drop";
+      case EventId::FaultNetDup: return "fault.net.dup";
+      case EventId::FaultNetDelay: return "fault.net.delay";
+      case EventId::FaultNetReorder: return "fault.net.reorder";
+      case EventId::FaultNetLost: return "fault.net.lost";
+      case EventId::FaultEccCorrect: return "fault.ecc.correct";
+      case EventId::FaultEccDetect: return "fault.ecc.detect";
+      case EventId::FaultForcedNak: return "fault.nak.forced";
+      case EventId::FaultRetryBackoff: return "fault.retry";
+      case EventId::FaultStarvation: return "fault.starve";
       case EventId::NumEvents: break;
     }
     return "?";
@@ -118,6 +129,11 @@ formatEvent(const Event &e, char *buf, std::size_t len)
       case EventId::NetHop:
       case EventId::NetLand:
       case EventId::NetDeliver:
+      case EventId::FaultNetDrop:
+      case EventId::FaultNetDup:
+      case EventId::FaultNetDelay:
+      case EventId::FaultNetReorder:
+      case EventId::FaultNetLost:
         std::snprintf(buf, len,
                       "[%llu] %-16s %-14s id=%u %u->%u vnet%u", tick, name,
                       typeCStr(netType(a)), netTraceId(a),
@@ -133,6 +149,28 @@ formatEvent(const Event &e, char *buf, std::size_t len)
                       "[%llu] %-16s n%u insts=%u sends=%u ack=%u mshr=%u",
                       tick, name, unsigned(execNode(a)), execInsts(a),
                       execSends(a), execAck(a), execMshr(a));
+        break;
+      case EventId::FaultEccCorrect:
+      case EventId::FaultEccDetect:
+        std::snprintf(buf, len, "[%llu] %-16s n%u %s", tick, name,
+                      unsigned(eccNode(a)),
+                      eccDouble(a) ? "double-bit" : "single-bit");
+        break;
+      case EventId::FaultForcedNak:
+        std::snprintf(buf, len,
+                      "[%llu] %-16s %-14s addr=%llx src=%u req=%u x=%u",
+                      tick, name, typeCStr(msgType(a)),
+                      static_cast<unsigned long long>(msgLine(a)),
+                      unsigned(msgSrc(a)), unsigned(msgReq(a)),
+                      unsigned(msgAux(a)));
+        break;
+      case EventId::FaultRetryBackoff:
+      case EventId::FaultStarvation:
+        std::snprintf(buf, len,
+                      "[%llu] %-16s n%u line=%llx mshr=%u retries=%u",
+                      tick, name, unsigned(retryNode(a)),
+                      static_cast<unsigned long long>(retryLine(a)),
+                      unsigned(retryMshr(a)), retryCount(a));
         break;
       default:
         std::snprintf(buf, len, "[%llu] %-16s arg=%" PRIx64, tick, name, a);

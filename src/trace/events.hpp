@@ -32,6 +32,7 @@ enum class Category : std::uint8_t
     Mem = 2,      ///< Controller + SDRAM + MSHRs.
     Network = 3,  ///< Inject / hop / land / deliver / back-pressure.
     Check = 4,    ///< Checker-owned rings (dispatch history).
+    Fault = 5,    ///< Injected faults + retry/backoff decisions.
     NumCategories
 };
 
@@ -79,6 +80,20 @@ enum class EventId : std::uint8_t
 
     // ---- Check --------------------------------------------------------
     HandlerExec,      ///< arg: exec pack (insts, sends, ack, mshr, node).
+
+    // ---- Fault (src/fault injection + retry policy decisions) ---------
+    FaultNetDrop,     ///< arg: net pack. One corrupted transmission,
+                      ///< recovered by a link-level retransmit.
+    FaultNetDup,      ///< arg: net pack. Delivery duplicated on the link.
+    FaultNetDelay,    ///< arg: net pack. Traversal given extra jitter.
+    FaultNetReorder,  ///< arg: net pack. Landing-buffer adjacent swap.
+    FaultNetLost,     ///< arg: net pack. injectDropWithoutRetransmit bug:
+                      ///< the message is gone for good.
+    FaultEccCorrect,  ///< arg: ecc pack. Single-bit flip corrected.
+    FaultEccDetect,   ///< arg: ecc pack. Double-bit flip; refetching.
+    FaultForcedNak,   ///< arg: msg pack. Dispatch turned into RplNak.
+    FaultRetryBackoff,///< arg: retry pack. NAK resend paced by policy.
+    FaultStarvation,  ///< arg: retry pack. Retry count hit the bound.
 
     NumEvents
 };
@@ -297,6 +312,42 @@ constexpr unsigned execSends(std::uint64_t arg) { return (arg >> 16) & 0xffff; }
 constexpr unsigned execAck(std::uint64_t arg) { return (arg >> 32) & 0xffff; }
 constexpr unsigned execMshr(std::uint64_t arg) { return (arg >> 48) & 0xff; }
 constexpr NodeId execNode(std::uint64_t arg) { return (arg >> 56) & 0xff; }
+
+// ---- Ecc pack (FaultEccCorrect/FaultEccDetect) -------------------------
+
+constexpr std::uint64_t
+packEcc(NodeId node, bool dbl)
+{
+    return static_cast<std::uint64_t>(node & 0xff) |
+           (static_cast<std::uint64_t>(dbl ? 1 : 0) << 8);
+}
+
+constexpr NodeId eccNode(std::uint64_t arg) { return arg & 0xff; }
+constexpr bool eccDouble(std::uint64_t arg) { return (arg >> 8) & 1; }
+
+// ---- Retry pack (FaultRetryBackoff/FaultStarvation) --------------------
+//
+// line(32) | retries(16)<<32 | mshr(8)<<48 | node(8)<<56.
+
+constexpr std::uint64_t
+packRetry(Addr line, unsigned retries, std::uint8_t mshr, NodeId node)
+{
+    return ((lineAlign(line) / l2LineBytes) & 0xffffffffull) |
+           (static_cast<std::uint64_t>(retries & 0xffff) << 32) |
+           (static_cast<std::uint64_t>(mshr) << 48) |
+           (static_cast<std::uint64_t>(node & 0xff) << 56);
+}
+
+constexpr Addr retryLine(std::uint64_t arg)
+{
+    return (arg & 0xffffffffull) * l2LineBytes;
+}
+constexpr unsigned retryCount(std::uint64_t arg) { return (arg >> 32) & 0xffff; }
+constexpr std::uint8_t retryMshr(std::uint64_t arg)
+{
+    return static_cast<std::uint8_t>((arg >> 48) & 0xff);
+}
+constexpr NodeId retryNode(std::uint64_t arg) { return (arg >> 56) & 0xff; }
 
 /**
  * Decode @p e into @p buf as one human-readable line (no newline).

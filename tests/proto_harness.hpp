@@ -15,6 +15,7 @@
 
 #include "cache/hierarchy.hpp"
 #include "check/checker.hpp"
+#include "fault/fault.hpp"
 #include "mem/controller.hpp"
 #include "mem/immediate_agent.hpp"
 #include "network/network.hpp"
@@ -39,6 +40,9 @@ class ProtoMachine
         bool checkAbortOnViolation = true;
         Tick watchdogMaxAge = 2 * tickPerMs;
         proto::HandlerOptions handlerOptions{};
+        /** Fault injection + retry policy (default: disabled / Fixed). */
+        fault::FaultPlan faults{};
+        fault::RetryPolicyConfig retry{};
     };
 
     ProtoMachine() : ProtoMachine(Options()) {}
@@ -51,6 +55,12 @@ class ProtoMachine
         NetworkParams np;
         np.numNodes = opt.nodes;
         net = std::make_unique<Network>(eq, np);
+
+        if (opt.faults.enabled() || opt.faults.injectDropWithoutRetransmit) {
+            faults = std::make_unique<fault::FaultInjector>(opt.faults,
+                                                            opt.nodes);
+            net->setFaultInjector(faults.get());
+        }
 
         if (opt.checkLevel != check::CheckLevel::Off) {
             check::CheckerParams chp;
@@ -74,12 +84,15 @@ class ProtoMachine
                 eq, clock, static_cast<NodeId>(n), cp);
             McParams mp;
             mp.rngSeed = 12345 + n;
+            mp.retry = opt.retry;
             node->mc = std::make_unique<MemController>(
                 eq, static_cast<NodeId>(n), mp, map, image, *node->cache,
                 *net);
             node->agent =
                 std::make_unique<ImmediateAgent>(eq, *node->mc);
             auto *mc = node->mc.get();
+            if (faults)
+                mc->setFaultInjector(faults.get());
             if (checker) {
                 node->cache->setChecker(checker.get());
                 mc->setChecker(checker.get());
@@ -234,6 +247,7 @@ class ProtoMachine
     ClockDomain clock;
     PagePlacementMap map;
     std::unique_ptr<Network> net;
+    std::unique_ptr<fault::FaultInjector> faults;
     std::unique_ptr<check::Checker> checker;
     std::vector<std::unique_ptr<Node>> nodes;
 };

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Chaos stress driver: the coherence_stress workload run under an
+ * active fault plan.
+ *
+ * Builds a whole machine per model (all five by default) with the
+ * full-mirror coherence checker on AND a seeded fault plan injecting
+ * link drops (recovered by retransmit), duplicates (filtered by link
+ * sequence), delay jitter, bounded reordering, SDRAM ECC bit flips and
+ * forced protocol NAKs — then demands a completely clean run: no
+ * checker violation, full quiescence, zero starvation flags, and a
+ * nonzero injected/recovered fault count (proof the plan actually
+ * fired).
+ *
+ *   chaos_stress [--models=base,smtp,...] [--nodes=N] [--threads=W]
+ *                [--seed=S] [--ops=K] [--faults=PLAN] [--retry=SPEC]
+ *                [--trace=DIR] [--report=PATH] [--quick] [--shrink]
+ *                [--abort-off] [--bug=droploss]
+ *
+ * --bug=droploss flips the deliberate drop-without-retransmit bug hook
+ * on and inverts the pass criterion: the run must NOT survive — the
+ * watchdog has to catch the lost messages and latch a violation, and
+ * the wedge report is written to --report (default
+ * chaos_wedge_report.txt). Every run prints its own repro command
+ * line; --shrink bisects a failing op count down (docs/debugging.md).
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "machine/machine.hpp"
+#include "workload/app.hpp"
+#include "workload/gen.hpp"
+
+namespace smtp
+{
+namespace
+{
+
+struct ChaosOptions
+{
+    std::vector<MachineModel> models{
+        MachineModel::Base, MachineModel::IntPerfect,
+        MachineModel::Int512KB, MachineModel::Int64KB,
+        MachineModel::SMTp};
+    unsigned nodes = 4;
+    unsigned threads = 1; ///< App threads per node.
+    std::uint64_t seed = 1;
+    unsigned ops = 4000; ///< Memory-op iterations per thread.
+    std::string faultSpec; ///< Empty = the default moderate plan.
+    fault::RetryPolicyConfig retry{fault::RetryKind::ExpBackoff,
+                                   100 * tickPerNs, 6400 * tickPerNs, 32};
+    std::string traceDir;  ///< Per-model trace files (empty = off).
+    std::string reportPath = "chaos_wedge_report.txt";
+    bool quick = false;
+    bool shrink = false;
+    bool abortOnViolation = true;
+    bool bugDroploss = false;
+    /** Minimum injected faults a model must see (plan sanity floor). */
+    std::uint64_t minInjected = 10;
+};
+
+bool
+parseModel(const std::string &s, MachineModel &out)
+{
+    if (s == "base") out = MachineModel::Base;
+    else if (s == "intperfect") out = MachineModel::IntPerfect;
+    else if (s == "int512kb") out = MachineModel::Int512KB;
+    else if (s == "int64kb") out = MachineModel::Int64KB;
+    else if (s == "smtp") out = MachineModel::SMTp;
+    else return false;
+    return true;
+}
+
+/**
+ * The default chaos plan: every fault class on at a rate that fires
+ * hundreds of times per run yet leaves the workload able to finish.
+ */
+fault::FaultPlan
+defaultPlan(std::uint64_t seed)
+{
+    fault::FaultPlan p;
+    p.seed = seed;
+    p.netDrop = 0.02;
+    p.netDup = 0.02;
+    p.netDelay = 0.05;
+    p.netReorder = 0.05;
+    p.memFlipSingle = 0.002;
+    p.memFlipDouble = 0.0005;
+    p.forceNak = 0.02;
+    return p;
+}
+
+fault::FaultPlan
+resolvePlan(const ChaosOptions &o)
+{
+    if (o.faultSpec.empty()) {
+        fault::FaultPlan p = defaultPlan(o.seed);
+        p.injectDropWithoutRetransmit = o.bugDroploss;
+        return p;
+    }
+    fault::FaultPlan p;
+    std::string err;
+    if (!fault::FaultPlan::parse(o.faultSpec, p, &err)) {
+        std::fprintf(stderr, "--faults: %s\n", err.c_str());
+        std::exit(2);
+    }
+    // --seed names the run; an explicit seed= inside the spec wins.
+    if (o.faultSpec.find("seed=") == std::string::npos)
+        p.seed = o.seed;
+    if (o.bugDroploss)
+        p.injectDropWithoutRetransmit = true;
+    return p;
+}
+
+/** Same op mix as coherence_stress: contended loads/stores/swaps. */
+Task
+chaosTask(ThreadCtx &c, std::uint64_t seed, unsigned ops,
+          const std::vector<Addr> *pool)
+{
+    Rng rng(seed);
+    auto loop = c.loopBegin();
+    for (unsigned i = 0; i < ops; ++i) {
+        Addr line = (*pool)[rng.below(pool->size())];
+        Addr addr = line + rng.below(16) * 8;
+        std::uint64_t pick = rng.below(100);
+        if (pick < 40) {
+            (void)co_await c.load(addr);
+        } else if (pick < 72) {
+            co_await c.store(addr, (seed << 20) ^ i);
+        } else if (pick < 80) {
+            (void)co_await c.swap(addr, i);
+        } else if (pick < 90) {
+            co_await c.prefetch(addr, rng.chance(0.5));
+        } else {
+            co_await c.intOps(4);
+        }
+        co_await c.loopEnd(loop, i + 1 < ops);
+    }
+}
+
+struct ModelResult
+{
+    MachineModel model{};
+    std::uint64_t dispatches = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t recovered = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t starvationFlags = 0;
+    std::size_t violations = 0;
+};
+
+ModelResult
+runModel(MachineModel model, const ChaosOptions &o)
+{
+    fault::FaultPlan plan = resolvePlan(o);
+
+    MachineParams mp;
+    mp.model = model;
+    mp.nodes = o.nodes;
+    mp.appThreadsPerNode = o.threads;
+    mp.l2Bytes = 32 * 1024; ///< Small: conflict evictions race freely.
+    mp.checkLevel = check::CheckLevel::FullMirror;
+    mp.checkAbortOnViolation = o.abortOnViolation && !o.bugDroploss;
+    mp.faults = plan;
+    mp.retryPolicy = o.retry;
+    mp.trace.enabled = !o.traceDir.empty();
+    if (o.bugDroploss) {
+        // Lost messages must be caught quickly, not after the default
+        // 2 ms bound.
+        mp.checkWatchdogMaxAge = 200 * tickPerUs;
+    }
+    Machine m(mp);
+
+    FuncMem mem;
+    workload::Alloc alloc(m.addressMap());
+    std::vector<Addr> pool;
+    for (unsigned n = 0; n < o.nodes; ++n) {
+        for (unsigned i = 0; i < 6; ++i)
+            pool.push_back(alloc.allocLine(static_cast<NodeId>(n)));
+    }
+
+    std::vector<std::unique_ptr<ThreadCtx>> ctxs;
+    unsigned total = o.nodes * o.threads;
+    for (unsigned t = 0; t < total; ++t) {
+        NodeId node = static_cast<NodeId>(t / o.threads);
+        std::uint64_t pc_base =
+            0x4000'0000ULL +
+            static_cast<std::uint64_t>(node) * 0x0100'0000ULL;
+        auto ctx = std::make_unique<ThreadCtx>(mem, node, pc_base);
+        ctx->run(chaosTask(*ctx,
+                           o.seed ^ (t + 1) * 0x9e3779b97f4a7c15ULL,
+                           o.ops, &pool));
+        m.setGlobalSource(t, ctx.get());
+        ctxs.push_back(std::move(ctx));
+    }
+    for (unsigned n = 0; n < o.nodes; ++n) {
+        Addr text = 0x4000'0000ULL +
+                    static_cast<std::uint64_t>(n) * 0x0100'0000ULL;
+        for (unsigned p = 0; p < 16; ++p) {
+            m.addressMap().place(text + static_cast<Addr>(p) * pageBytes,
+                                 static_cast<NodeId>(n));
+        }
+    }
+
+    if (o.bugDroploss) {
+        // The lost messages wedge the workload, so Machine::run()'s
+        // all-threads-finished contract cannot hold. Pump the event
+        // queue directly and let the watchdog catch the wedge.
+        auto &eq = m.eventQueue();
+        for (unsigned n = 0; n < o.nodes; ++n)
+            m.node(n).cpu->start();
+        const Tick deadline = eq.curTick() + 20 * tickPerMs;
+        while (!eq.empty() && eq.curTick() < deadline &&
+               m.checker()->violationCount() == 0) {
+            eq.runOne();
+        }
+    } else {
+        m.run();
+        m.quiesce(); // Panics if recovery left residual traffic.
+    }
+
+    ModelResult r;
+    r.model = model;
+    auto *chk = m.checker();
+    r.dispatches = chk->dispatches.value();
+    r.violations = chk->violationCount();
+    for (const auto &v : chk->violations())
+        std::fprintf(stderr, "  violation: %s\n", v.c_str());
+    if (const auto *fi = m.faultInjector()) {
+        r.injected = fi->injectedTotal();
+        r.recovered = fi->recoveredTotal();
+        r.lost = fi->netLost.value();
+    }
+    for (unsigned n = 0; n < o.nodes; ++n)
+        r.starvationFlags += m.node(n).mc->starvationFlags.value();
+
+    if (r.violations > 0 && !o.reportPath.empty()) {
+        if (std::FILE *f = std::fopen(o.reportPath.c_str(), "w")) {
+            std::fprintf(f, "==== chaos wedge report: %s ====\n",
+                         std::string(modelName(model)).c_str());
+            chk->dumpReport(f);
+            std::fclose(f);
+            std::fprintf(stderr, "  wedge report written to %s\n",
+                         o.reportPath.c_str());
+        }
+    }
+    if (!o.traceDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(o.traceDir, ec);
+        std::string stem = o.traceDir + "/chaos_" +
+                           std::string(modelName(model));
+        std::string err;
+        if (!m.writeTraceFiles(stem, &err))
+            std::fprintf(stderr, "  trace export failed: %s\n",
+                         err.c_str());
+    }
+    return r;
+}
+
+void
+printRepro(const ChaosOptions &o, MachineModel model, std::FILE *out)
+{
+    std::string name(modelName(model));
+    for (auto &ch : name)
+        ch = static_cast<char>(std::tolower(ch));
+    std::fprintf(out,
+                 "  repro: chaos_stress --models=%s --nodes=%u "
+                 "--threads=%u --seed=%llu --ops=%u --faults=%s "
+                 "--retry=%s%s%s\n",
+                 name.c_str(), o.nodes, o.threads,
+                 static_cast<unsigned long long>(o.seed), o.ops,
+                 resolvePlan(o).toString().c_str(),
+                 fault::retryPolicyToString(o.retry).c_str(),
+                 o.abortOnViolation ? "" : " --abort-off",
+                 o.bugDroploss ? " --bug=droploss" : "");
+}
+
+/** Bisect the op count down to the smallest stream that still fails. */
+void
+shrinkFailure(MachineModel model, const ChaosOptions &base)
+{
+    ChaosOptions o = base;
+    o.abortOnViolation = false; // latch so we can observe and continue
+    o.minInjected = 0;
+    unsigned failing = o.ops;
+    unsigned lo = 1, hi = o.ops;
+    while (lo < hi) {
+        unsigned mid = lo + (hi - lo) / 2;
+        o.ops = mid;
+        std::fprintf(stderr, "shrink: trying ops=%u ...\n", mid);
+        if (runModel(model, o).violations > 0) {
+            failing = mid;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    o.ops = failing;
+    std::fprintf(stderr, "shrink: minimal failing op count is %u\n",
+                 failing);
+    printRepro(o, model, stderr);
+}
+
+int
+chaosMain(int argc, char **argv)
+{
+    ChaosOptions o;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg]() {
+            return arg.substr(arg.find('=') + 1);
+        };
+        if (arg.rfind("--models=", 0) == 0) {
+            o.models.clear();
+            std::string csv = value();
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                std::size_t comma = csv.find(',', pos);
+                std::string tok = csv.substr(
+                    pos, comma == std::string::npos ? comma : comma - pos);
+                MachineModel model;
+                if (!parseModel(tok, model)) {
+                    std::fprintf(stderr, "unknown model '%s'\n",
+                                 tok.c_str());
+                    return 2;
+                }
+                o.models.push_back(model);
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (arg.rfind("--nodes=", 0) == 0) {
+            o.nodes = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            o.threads = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg.rfind("--seed=", 0) == 0) {
+            o.seed = std::stoull(value());
+        } else if (arg.rfind("--ops=", 0) == 0) {
+            o.ops = static_cast<unsigned>(std::stoul(value()));
+        } else if (arg.rfind("--faults=", 0) == 0) {
+            o.faultSpec = value();
+        } else if (arg.rfind("--retry=", 0) == 0) {
+            std::string err;
+            if (!fault::parseRetryPolicy(value(), o.retry, &err)) {
+                std::fprintf(stderr, "--retry: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            o.traceDir = value();
+        } else if (arg.rfind("--report=", 0) == 0) {
+            o.reportPath = value();
+        } else if (arg == "--bug=droploss") {
+            o.bugDroploss = true;
+        } else if (arg == "--quick") {
+            o.quick = true;
+        } else if (arg == "--shrink") {
+            o.shrink = true;
+        } else if (arg == "--abort-off") {
+            o.abortOnViolation = false;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (o.quick) {
+        // CI mode: fewer ops but still every machine model — chaos
+        // coverage is about the protocol agents' recovery paths, and
+        // each model has its own.
+        o.ops = std::min(o.ops, 1500u);
+    }
+
+    int rc = 0;
+    for (auto model : o.models) {
+        std::fprintf(stderr,
+                     "=== %s: nodes=%u threads=%u seed=%llu ops=%u "
+                     "faults=%s retry=%s%s\n",
+                     std::string(modelName(model)).c_str(), o.nodes,
+                     o.threads, static_cast<unsigned long long>(o.seed),
+                     o.ops, resolvePlan(o).toString().c_str(),
+                     fault::retryPolicyToString(o.retry).c_str(),
+                     o.bugDroploss ? " bug=droploss" : "");
+        auto r = runModel(model, o);
+        std::fprintf(stderr,
+                     "    %llu dispatches, %llu fault(s) injected, "
+                     "%llu recovered, %llu lost, %llu starvation "
+                     "flag(s), %zu violation(s)\n",
+                     static_cast<unsigned long long>(r.dispatches),
+                     static_cast<unsigned long long>(r.injected),
+                     static_cast<unsigned long long>(r.recovered),
+                     static_cast<unsigned long long>(r.lost),
+                     static_cast<unsigned long long>(r.starvationFlags),
+                     r.violations);
+        bool failed;
+        if (o.bugDroploss) {
+            // Inverted criterion: the deliberate bug must be CAUGHT.
+            failed = r.violations == 0 || r.lost == 0;
+            if (failed)
+                std::fprintf(stderr,
+                             "    FAIL: drop-without-retransmit bug was "
+                             "not detected (lost=%llu violations=%zu)\n",
+                             static_cast<unsigned long long>(r.lost),
+                             r.violations);
+        } else {
+            failed = r.violations > 0 || r.starvationFlags > 0 ||
+                     r.injected < o.minInjected ||
+                     r.recovered == 0;
+            if (r.injected < o.minInjected)
+                std::fprintf(stderr,
+                             "    FAIL: only %llu fault(s) injected — "
+                             "the plan is not exercising the machine\n",
+                             static_cast<unsigned long long>(r.injected));
+            if (r.starvationFlags > 0)
+                std::fprintf(stderr,
+                             "    FAIL: %llu transaction(s) crossed the "
+                             "starvation retry threshold\n",
+                             static_cast<unsigned long long>(
+                                 r.starvationFlags));
+        }
+        if (failed) {
+            rc = 1;
+            printRepro(o, model, stderr);
+            if (r.violations > 0 && o.shrink && !o.bugDroploss)
+                shrinkFailure(model, o);
+        }
+    }
+    if (rc != 0)
+        std::fprintf(stderr, "chaos: FAILURES\n");
+    else if (o.bugDroploss)
+        std::fprintf(stderr, "chaos: bug caught on every model\n");
+    else
+        std::fprintf(stderr, "chaos: all models clean\n");
+    return rc;
+}
+
+} // namespace
+} // namespace smtp
+
+int
+main(int argc, char **argv)
+{
+    return smtp::chaosMain(argc, argv);
+}

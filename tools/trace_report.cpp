@@ -127,8 +127,18 @@ reportFile(const trace::TraceData &data, bool dump)
         return;
     }
 
+    struct FaultAccum
+    {
+        bool present = false;
+        std::uint64_t drops = 0, dups = 0, delays = 0, reorders = 0;
+        std::uint64_t lost = 0, eccCorrect = 0, eccDetect = 0;
+        std::uint64_t forcedNaks = 0, retryBackoffs = 0, starvations = 0;
+        unsigned maxRetries = 0;
+    };
+
     std::vector<NodeOccupancy> occ(data.nodes);
     std::vector<StallAccum> stalls(data.nodes);
+    FaultAccum faults;
     LatencyTable handlerLat;
     LatencyTable netLat;
     std::unordered_map<std::uint32_t, Tick> injectTick;
@@ -228,6 +238,27 @@ reportFile(const trace::TraceData &data, bool dump)
                     handlerLat.add(
                         static_cast<std::uint8_t>(trace::doneType(e.arg)),
                         trace::doneLatency(e.arg));
+        } else if (cat == trace::Category::Fault) {
+            faults.present = true;
+            for (const auto &e : b.events) {
+                switch (e.id()) {
+                  case EventId::FaultNetDrop: ++faults.drops; break;
+                  case EventId::FaultNetDup: ++faults.dups; break;
+                  case EventId::FaultNetDelay: ++faults.delays; break;
+                  case EventId::FaultNetReorder: ++faults.reorders; break;
+                  case EventId::FaultNetLost: ++faults.lost; break;
+                  case EventId::FaultEccCorrect: ++faults.eccCorrect; break;
+                  case EventId::FaultEccDetect: ++faults.eccDetect; break;
+                  case EventId::FaultForcedNak: ++faults.forcedNaks; break;
+                  case EventId::FaultRetryBackoff:
+                    ++faults.retryBackoffs;
+                    faults.maxRetries = std::max(
+                        faults.maxRetries, trace::retryCount(e.arg));
+                    break;
+                  case EventId::FaultStarvation: ++faults.starvations; break;
+                  default: break;
+                }
+            }
         } else if (cat == trace::Category::Network) {
             for (const auto &e : b.events) {
                 if (e.id() == EventId::NetDeliver) {
@@ -300,6 +331,38 @@ reportFile(const trace::TraceData &data, bool dump)
     std::printf("\nback-pressure: %llu event(s), max landing-queue depth "
                 "%u\n",
                 static_cast<unsigned long long>(backpressure), bpMaxDepth);
+
+    if (faults.present) {
+        auto u64 = [](std::uint64_t v) {
+            return static_cast<unsigned long long>(v);
+        };
+        std::uint64_t injected = faults.drops + faults.dups + faults.delays +
+                                 faults.reorders + faults.eccCorrect +
+                                 faults.eccDetect + faults.forcedNaks;
+        std::uint64_t recovered = (faults.drops - faults.lost) + faults.dups +
+                                  faults.eccCorrect + faults.eccDetect;
+        std::printf("\nfault injection (stored tail of the fault buffer)\n");
+        std::printf("  net: %llu drop(s) retransmitted, %llu duplicate(s) "
+                    "filtered, %llu delayed, %llu reordered\n",
+                    u64(faults.drops - faults.lost), u64(faults.dups),
+                    u64(faults.delays), u64(faults.reorders));
+        if (faults.lost)
+            std::printf("  net: %llu message(s) LOST "
+                        "(drop-without-retransmit bug hook)\n",
+                        u64(faults.lost));
+        std::printf("  ecc: %llu single-bit corrected, %llu double-bit "
+                    "detected+refetched\n",
+                    u64(faults.eccCorrect), u64(faults.eccDetect));
+        std::printf("  protocol: %llu forced NAK(s), %llu retry "
+                    "backoff(s), max retry count %u\n",
+                    u64(faults.forcedNaks), u64(faults.retryBackoffs),
+                    faults.maxRetries);
+        if (faults.starvations)
+            std::printf("  protocol: %llu starvation flag(s)\n",
+                        u64(faults.starvations));
+        std::printf("  injected=%llu recovered=%llu\n", u64(injected),
+                    u64(recovered));
+    }
 }
 
 int
