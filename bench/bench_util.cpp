@@ -1,17 +1,75 @@
 #include "bench_util.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 
 namespace smtp::bench
 {
 
-RunResult
-runOnce(const RunConfig &cfg)
+bool
+SampleSpec::parse(const std::string &spec, SampleSpec &out,
+                  std::string *err)
 {
-    auto wall_start = std::chrono::steady_clock::now();
+    unsigned long long w = 0, m = 0, k = 0;
+    char trailing = 0;
+    int n = std::sscanf(spec.c_str(), "%llu:%llu:%llu%c", &w, &m, &k,
+                        &trailing);
+    if (n != 3 || m == 0 || k == 0) {
+        if (err != nullptr)
+            *err = "expected W:M:K (cycles:cycles:count, M and K > 0), "
+                   "got '" +
+                   spec + "'";
+        return false;
+    }
+    out.warmup = w;
+    out.interval = m;
+    out.count = static_cast<unsigned>(k);
+    return true;
+}
 
+namespace
+{
+
+/**
+ * One sweep cell's simulation state: machine + functional memory +
+ * workload, wired together. Rebuildable, because a failed snapshot
+ * restore may leave the machine partially mutated — the fallback path
+ * constructs a fresh cell and simulates from tick zero.
+ */
+struct CellSim
+{
+    MachineParams mp;
+    std::unique_ptr<FuncMem> mem;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<workload::App> app;
+    unsigned totalThreads = 0;
+
+    void
+    build(const RunConfig &cfg)
+    {
+        machine.reset();
+        mem = std::make_unique<FuncMem>();
+        machine = std::make_unique<Machine>(mp);
+        app = workload::makeApp(cfg.app);
+        workload::WorkloadEnv env;
+        env.mem = mem.get();
+        env.map = &machine->addressMap();
+        env.nodes = cfg.nodes;
+        env.threadsPerNode = cfg.ways;
+        env.scale = cfg.scale;
+        app->build(env);
+        totalThreads = env.totalThreads();
+        for (unsigned t = 0; t < totalThreads; ++t)
+            machine->setGlobalSource(t, app->thread(t));
+        machine->setWorkloadState(app.get());
+    }
+};
+
+MachineParams
+paramsFor(const RunConfig &cfg)
+{
     MachineParams mp;
     mp.model = cfg.model;
     mp.nodes = cfg.nodes;
@@ -26,22 +84,76 @@ runOnce(const RunConfig &cfg)
     mp.trace.enabled = !cfg.traceStem.empty();
     mp.faults = cfg.faults;
     mp.retryPolicy = cfg.retryPolicy;
+    return mp;
+}
 
-    Machine machine(mp);
-    FuncMem mem;
-    auto app = workload::makeApp(cfg.app);
-    workload::WorkloadEnv env;
-    env.mem = &mem;
-    env.map = &machine.addressMap();
-    env.nodes = cfg.nodes;
-    env.threadsPerNode = cfg.ways;
-    env.scale = cfg.scale;
-    app->build(env);
-    for (unsigned t = 0; t < env.totalThreads(); ++t)
-        machine.setGlobalSource(t, app->thread(t));
+/**
+ * Cell identity for the checkpoint library: the machine config hash
+ * (model, sizes, fault plan, ...) mixed with everything that shapes
+ * simulated state but lives outside MachineParams — the workload and
+ * whether telemetry rides along (a traced snapshot carries a trace
+ * section an untraced machine must not be handed, and vice versa).
+ */
+std::uint64_t
+cellKey(const Machine &m, const RunConfig &cfg)
+{
+    snap::Hasher h;
+    h.mix(m.configHash());
+    h.mix("workload");
+    h.mix(cfg.app);
+    h.mixF(cfg.scale);
+    h.mix(static_cast<std::uint64_t>(cfg.traceStem.empty() ? 0 : 1));
+    return h.value();
+}
 
-    RunResult out;
-    out.execTime = machine.run();
+/** Two-sided 95% Student's t critical value for @p df degrees. */
+double
+tCrit95(unsigned df)
+{
+    static const double kTable[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df == 0)
+        return 0.0;
+    if (df <= 30)
+        return kTable[df - 1];
+    return 1.96;
+}
+
+/** Sample mean and 95% CI half-width (0 when n < 2). */
+void
+meanCi95(const std::vector<double> &xs, double &mean, double &ci)
+{
+    mean = 0.0;
+    ci = 0.0;
+    if (xs.empty())
+        return;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    if (xs.size() < 2)
+        return;
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mean) * (x - mean);
+    double var = ss / static_cast<double>(xs.size() - 1);
+    ci = tCrit95(static_cast<unsigned>(xs.size() - 1)) *
+         std::sqrt(var / static_cast<double>(xs.size()));
+}
+
+/**
+ * Read every derived metric off the machine's current state. Works
+ * identically on a machine that just simulated and on one that just
+ * restored a snapshot — that equivalence is what makes checkpoint
+ * hits indistinguishable in the JSON output.
+ */
+void
+extractMetrics(Machine &machine, const RunConfig &cfg, RunResult &out,
+               bool quiesce_faults)
+{
+    out.execTime = machine.execTime();
     out.memStallFraction = machine.memStallFraction();
     out.peakProtocolOccupancy = machine.peakProtocolOccupancy();
     if (cfg.model == MachineModel::SMTp) {
@@ -67,10 +179,163 @@ runOnce(const RunConfig &cfg)
     }
     if (const auto *fi = machine.faultInjector(); fi != nullptr) {
         // Faulty cells must still drain cleanly: every injected fault
-        // is recoverable, so residual traffic is a harness bug.
-        machine.quiesce();
+        // is recoverable, so residual traffic is a harness bug. A
+        // restored machine was quiesced before its snapshot was saved.
+        if (quiesce_faults)
+            machine.quiesce();
         out.faultsInjected = fi->injectedTotal();
         out.faultsRecovered = fi->recoveredTotal();
+    }
+}
+
+void
+saveCheckpoint(Machine &machine, snap::CheckpointLibrary &lib,
+               std::uint64_t key, std::string_view tag)
+{
+    std::string err;
+    if (!machine.save(lib.pathFor(key, tag), &err))
+        std::fprintf(stderr, "checkpoint save failed: %s\n", err.c_str());
+}
+
+/**
+ * Restore @p sim from the library snapshot (key, tag). On any failure
+ * — config-hash mismatch from a stale library, truncation, version
+ * skew — the cell is rebuilt from scratch and the caller simulates
+ * cold; a bad snapshot can cost time, never correctness.
+ */
+bool
+tryRestore(CellSim &sim, const RunConfig &cfg,
+           snap::CheckpointLibrary &lib, std::uint64_t key,
+           std::string_view tag)
+{
+    std::string err;
+    if (sim.machine->restore(lib.pathFor(key, tag), &err))
+        return true;
+    std::fprintf(stderr,
+                 "checkpoint restore failed (%s); re-simulating: %s\n",
+                 lib.pathFor(key, tag).c_str(), err.c_str());
+    sim.build(cfg);
+    return false;
+}
+
+/**
+ * Sampled measurement: warm up W cycles (restoring a shared warmup
+ * snapshot when the library has one), then measure K intervals of M
+ * cycles, reporting per-interval machine IPC and memory-stall fraction
+ * as mean +/- 95% CI. Ends early if the workload completes.
+ */
+void
+runSampled(CellSim &sim, const RunConfig &cfg,
+           snap::CheckpointLibrary *lib, RunResult &out)
+{
+    const SampleSpec &sp = cfg.sample;
+    out.sampled = true;
+    ClockDomain clk(cfg.cpuFreqMHz);
+    Tick warm_ticks = clk.cyclesToTicks(sp.warmup);
+    bool done = false;
+    if (lib != nullptr && sp.warmup > 0) {
+        std::uint64_t key = cellKey(*sim.machine, cfg);
+        char tag[32];
+        std::snprintf(tag, sizeof(tag), "w%llu",
+                      static_cast<unsigned long long>(sp.warmup));
+        if (lib->lookup(key, tag) && tryRestore(sim, cfg, *lib, key, tag)) {
+            out.ckpt = 1;
+        } else {
+            out.ckpt = 0;
+            done = sim.machine->runUntil(warm_ticks);
+            // A workload that finished inside the warmup left an end
+            // state, not a warm state; publishing it would make warm
+            // reruns diverge from cold ones (extra sample intervals
+            // against a finished machine), so the cell stays a miss.
+            if (!done)
+                saveCheckpoint(*sim.machine, *lib, key, tag);
+        }
+    } else if (warm_ticks > 0) {
+        done = sim.machine->runUntil(warm_ticks);
+    }
+
+    Machine &m = *sim.machine;
+    auto stall_sum = [&] {
+        std::uint64_t s = 0;
+        for (unsigned n = 0; n < cfg.nodes; ++n)
+            for (unsigned t = 0; t < cfg.ways; ++t)
+                s += m.node(n)
+                         .cpu->threadStats(static_cast<ThreadId>(t))
+                         .memStallCycles.value();
+        return s;
+    };
+    Tick interval_ticks = clk.cyclesToTicks(sp.interval);
+    Tick base = m.eventQueue().curTick();
+    Tick prev_tick = base;
+    std::uint64_t prev_insts = m.committedAppInsts();
+    std::uint64_t prev_stall = stall_sum();
+    std::vector<double> ipc, stall;
+    for (unsigned k = 0; k < sp.count && !done; ++k) {
+        done = m.runUntil(base + (k + 1) * interval_ticks);
+        Tick now = m.eventQueue().curTick();
+        double cycles = static_cast<double>(now - prev_tick) /
+                        static_cast<double>(clk.period());
+        if (cycles <= 0.0)
+            break;
+        std::uint64_t insts = m.committedAppInsts();
+        std::uint64_t st = stall_sum();
+        ipc.push_back(static_cast<double>(insts - prev_insts) / cycles);
+        stall.push_back(static_cast<double>(st - prev_stall) /
+                        (cycles * sim.totalThreads));
+        prev_tick = now;
+        prev_insts = insts;
+        prev_stall = st;
+    }
+    out.sampleCount = static_cast<unsigned>(ipc.size());
+    meanCi95(ipc, out.ipcMean, out.ipcCi95);
+    meanCi95(stall, out.memStallMean, out.memStallCi95);
+    // Cumulative metrics reflect the run so far (warmup + intervals);
+    // quiesce only when the workload actually finished — draining a
+    // mid-flight machine would perturb nothing we report but is wasted
+    // work and not what a sampled cell means.
+    extractMetrics(m, cfg, out, /*quiesce_faults=*/done);
+}
+
+} // namespace
+
+RunResult
+runOnce(const RunConfig &cfg)
+{
+    auto wall_start = std::chrono::steady_clock::now();
+
+    CellSim sim;
+    sim.mp = paramsFor(cfg);
+    sim.build(cfg);
+
+    std::unique_ptr<snap::CheckpointLibrary> lib;
+    if (!cfg.ckptDir.empty()) {
+        lib = std::make_unique<snap::CheckpointLibrary>(cfg.ckptDir);
+        if (!lib->valid()) {
+            std::fprintf(stderr, "%s\n", lib->error().c_str());
+            lib.reset();
+        }
+    }
+
+    RunResult out;
+    if (cfg.sample.active()) {
+        runSampled(sim, cfg, lib.get(), out);
+    } else if (lib != nullptr) {
+        std::uint64_t key = cellKey(*sim.machine, cfg);
+        if (lib->lookup(key, "full") &&
+            tryRestore(sim, cfg, *lib, key, "full")) {
+            out.ckpt = 1;
+            extractMetrics(*sim.machine, cfg, out,
+                           /*quiesce_faults=*/false);
+        } else {
+            out.ckpt = 0;
+            sim.machine->run();
+            extractMetrics(*sim.machine, cfg, out,
+                           /*quiesce_faults=*/true);
+            saveCheckpoint(*sim.machine, *lib, key, "full");
+        }
+    } else {
+        sim.machine->run();
+        extractMetrics(*sim.machine, cfg, out, /*quiesce_faults=*/true);
     }
     out.wallMs = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - wall_start)
@@ -85,6 +350,8 @@ runCells(const BenchOptions &opt, const std::vector<RunConfig> &cfgs_in)
     for (RunConfig &c : cfgs) {
         c.faults = opt.faults;
         c.retryPolicy = opt.retryPolicy;
+        c.ckptDir = opt.ckptDir;
+        c.sample = opt.sample;
     }
     if (!opt.traceDir.empty()) {
         std::error_code ec;
@@ -108,6 +375,27 @@ runCells(const BenchOptions &opt, const std::vector<RunConfig> &cfgs_in)
     pool.parallelFor(cfgs.size(), [&](std::size_t i) {
         results[i] = runOnce(cfgs[i]);
     });
+    if (!opt.ckptDir.empty()) {
+        // Cache effectiveness goes to stderr, not the JSON records, so
+        // a warm sweep's output stays byte-comparable to a cold one.
+        std::uint64_t hits = 0, misses = 0;
+        for (std::size_t i = 0; i < cfgs.size(); ++i) {
+            if (results[i].ckpt < 0)
+                continue;
+            const RunConfig &c = cfgs[i];
+            bool hit = results[i].ckpt == 1;
+            (hit ? hits : misses)++;
+            std::fprintf(stderr, "ckpt %-4s %s %s n%uw%u (%.1f ms)\n",
+                         hit ? "hit" : "miss", c.app.c_str(),
+                         std::string(modelName(c.model)).c_str(),
+                         c.nodes, c.ways, results[i].wallMs);
+        }
+        std::fprintf(
+            stderr,
+            "checkpoint cache '%s': %llu hits, %llu misses\n",
+            opt.ckptDir.c_str(), static_cast<unsigned long long>(hits),
+            static_cast<unsigned long long>(misses));
+    }
     if (!opt.jsonPath.empty())
         appendJson(opt.jsonPath, cfgs, results);
     return results;
@@ -142,14 +430,28 @@ appendJson(const std::string &path, const std::vector<RunConfig> &cfgs,
                 static_cast<unsigned long long>(r.faultsRecovered));
             fault_fields = buf;
         }
+        // Sampled-measurement fields appear only in --sample runs, so
+        // full-run records stay byte-identical to earlier output.
+        std::string sample_fields;
+        if (r.sampled) {
+            char buf[256];
+            std::snprintf(
+                buf, sizeof(buf),
+                ",\"samples\":%u,\"ipc_mean\":%.6f,\"ipc_ci95\":%.6f,"
+                "\"memstall_mean\":%.6f,\"memstall_ci95\":%.6f",
+                r.sampleCount, r.ipcMean, r.ipcCi95, r.memStallMean,
+                r.memStallCi95);
+            sample_fields = buf;
+        }
         std::fprintf(
             f,
             "{\"app\":\"%s\",\"model\":\"%s\",\"nodes\":%u,\"ways\":%u,"
-            "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s,\"wall_ms\":%.3f}\n",
+            "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s%s,\"wall_ms\":%.3f}\n",
             c.app.c_str(), std::string(modelName(c.model)).c_str(),
             c.nodes, c.ways,
             static_cast<unsigned long long>(r.execTime),
-            r.memStallFraction, fault_fields.c_str(), r.wallMs);
+            r.memStallFraction, fault_fields.c_str(),
+            sample_fields.c_str(), r.wallMs);
     }
     std::fclose(f);
 }
@@ -224,6 +526,16 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr, "--retry: %s\n", err.c_str());
                 std::exit(1);
             }
+        } else if (const char *vc = value("--ckpt-dir=")) {
+            opt.ckptDir = vc;
+        } else if (const char *vc2 = next_value("--ckpt-dir")) {
+            opt.ckptDir = vc2;
+        } else if (const char *vs = value("--sample=")) {
+            std::string err;
+            if (!SampleSpec::parse(vs, opt.sample, &err)) {
+                std::fprintf(stderr, "--sample: %s\n", err.c_str());
+                std::exit(1);
+            }
         } else if (arg == "--quick") {
             opt.quick = true;
         } else if (arg == "--verbose") {
@@ -231,7 +543,8 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--help") {
             std::printf("options: --scale=F --apps=A,B,... --quick "
                         "--verbose --jobs=N --json=PATH --trace[=DIR] "
-                        "--faults=PLAN --retry=SPEC\n"
+                        "--faults=PLAN --retry=SPEC --ckpt-dir=DIR "
+                        "--sample=W:M:K\n"
                         "  --jobs   sweep worker threads (default: "
                         "SMTP_SWEEP_JOBS env or all cores)\n"
                         "  --json   append per-cell JSON-Lines records "
@@ -243,7 +556,14 @@ parseArgs(int argc, char **argv)
                         "seed=7,drop=0.01,dup=0.01,delay=0.02,flip=0.001,"
                         "nak=0.01 (docs/robustness.md)\n"
                         "  --retry  NAK retry policy: immediate | "
-                        "fixed[:baseNs] | exp[:baseNs[:capNs]]\n");
+                        "fixed[:baseNs] | exp[:baseNs[:capNs]]\n"
+                        "  --ckpt-dir  checkpoint library: cache each "
+                        "cell's end state (or warmup snapshot with "
+                        "--sample) keyed by config hash; hit/miss per "
+                        "cell on stderr (docs/checkpointing.md)\n"
+                        "  --sample W:M:K sampled measurement: W warmup "
+                        "cycles, then K intervals of M cycles; JSON "
+                        "gains ipc/memstall mean and 95%% CI\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());

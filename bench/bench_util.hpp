@@ -24,10 +24,33 @@
 
 #include "machine/machine.hpp"
 #include "sim/sweep.hpp"
+#include "snap/ckpt_cache.hpp"
 #include "workload/app.hpp"
 
 namespace smtp::bench
 {
+
+/**
+ * Sampled-measurement spec (--sample=W:M:K, all in CPU cycles except
+ * K): skip W cycles of warmup, then take K measurement intervals of M
+ * cycles each and report per-metric mean and 95% confidence interval
+ * (Student's t) instead of running the workload to completion. With a
+ * checkpoint library attached, the warmup snapshot is cached under the
+ * cell's config hash, so every variant sharing the warmup prefix
+ * simulates it once.
+ */
+struct SampleSpec
+{
+    Cycles warmup = 0;   ///< W: warmup length in CPU cycles.
+    Cycles interval = 0; ///< M: one measurement interval, CPU cycles.
+    unsigned count = 0;  ///< K: number of intervals.
+
+    bool active() const { return interval > 0 && count > 0; }
+
+    /** Parse "W:M:K". False (with *err) on malformed input. */
+    static bool parse(const std::string &spec, SampleSpec &out,
+                      std::string *err = nullptr);
+};
 
 struct RunConfig
 {
@@ -56,6 +79,14 @@ struct RunConfig
      */
     fault::FaultPlan faults;
     fault::RetryPolicyConfig retryPolicy;
+    /**
+     * Checkpoint library directory (--ckpt-dir=DIR; empty = off).
+     * Full runs cache their end state; sampled runs cache the warmup
+     * snapshot. Keys include the machine config hash, so a stale or
+     * foreign snapshot is rejected and re-simulated, never trusted.
+     */
+    std::string ckptDir;
+    SampleSpec sample; ///< Inactive = run to completion (default).
 };
 
 struct RunResult
@@ -75,6 +106,15 @@ struct RunResult
     // Fault-injection outcome (zero unless a plan was enabled).
     std::uint64_t faultsInjected = 0;
     std::uint64_t faultsRecovered = 0;
+    // Sampled-measurement statistics (populated when sample.active()).
+    bool sampled = false;
+    unsigned sampleCount = 0;     ///< Intervals actually measured.
+    double ipcMean = 0.0;         ///< Machine IPC per interval, mean.
+    double ipcCi95 = 0.0;         ///< 95% CI half-width (Student's t).
+    double memStallMean = 0.0;    ///< Per-interval mem-stall fraction.
+    double memStallCi95 = 0.0;
+    // Checkpoint-library outcome: -1 = library off, 0 = miss, 1 = hit.
+    int ckpt = -1;
     // Harness measurement (host time; not simulated state).
     double wallMs = 0.0;
 };
@@ -95,6 +135,8 @@ struct BenchOptions
     std::string traceDir;           ///< Per-cell trace files (empty=off).
     fault::FaultPlan faults;        ///< --faults=PLAN (default: none).
     fault::RetryPolicyConfig retryPolicy; ///< --retry=SPEC.
+    std::string ckptDir;            ///< --ckpt-dir=DIR (empty = off).
+    SampleSpec sample;              ///< --sample=W:M:K (default: off).
 
     const std::vector<std::string> &appList() const;
 };

@@ -2,7 +2,8 @@
 # Runs every paper table/figure benchmark, one section per binary.
 #
 # Usage: ./run_benches.sh [--quick] [--jobs=N] [--json[=PATH]] [--trace[=DIR]]
-#                         [--faults=PLAN] [--retry=SPEC]
+#                         [--faults=PLAN] [--retry=SPEC] [--ckpt-dir[=DIR]]
+#                         [--sample=W:M:K]
 #
 #   --quick      smaller configurations everywhere (CI-sized run)
 #   --jobs=N     sweep worker threads per binary (default: SMTP_SWEEP_JOBS
@@ -18,14 +19,27 @@
 #                records (see docs/robustness.md)
 #   --retry=S    NAK retry policy: immediate | fixed[:baseNs] |
 #                exp[:baseNs[:capNs]]
+#   --ckpt-dir[=D] checkpoint library (default D=ckpt_lib), shared by
+#                every section: each cell's end state (or warmup
+#                snapshot under --sample) is cached keyed by its config
+#                hash, so a re-run — or another section with identical
+#                cells — restores instead of re-simulating. Binaries
+#                report per-cell hit/miss on stderr; snapshots from a
+#                stale/foreign config fail the hash guard and the cell
+#                silently re-simulates (docs/checkpointing.md).
+#   --sample=W:M:K sampled measurement: W warmup cycles (shared via the
+#                checkpoint library when --ckpt-dir is set), then K
+#                intervals of M cycles; JSON records gain ipc/memstall
+#                mean and 95% CI fields
 # Remaining arguments are passed through to every binary
-# (--faults/--retry ride this passthrough).
+# (--faults/--retry/--sample ride this passthrough).
 set -e
 
 quick=""
 jobs=""
 json_path=""
 trace_dir=""
+ckpt_dir=""
 passthru=""
 for arg in "$@"; do
     case "$arg" in
@@ -35,6 +49,8 @@ for arg in "$@"; do
         --json=*) json_path="${arg#--json=}" ;;
         --trace) trace_dir="traces" ;;
         --trace=*) trace_dir="${arg#--trace=}" ;;
+        --ckpt-dir) ckpt_dir="ckpt_lib" ;;
+        --ckpt-dir=*) ckpt_dir="${arg#--ckpt-dir=}" ;;
         *) passthru="$passthru $arg" ;;
     esac
 done
@@ -43,6 +59,12 @@ json_flag=""
 if [ -n "$json_path" ]; then
     rm -f "$json_path"
     json_flag="--json=$json_path"
+fi
+
+ckpt_flag=""
+if [ -n "$ckpt_dir" ]; then
+    mkdir -p "$ckpt_dir"
+    ckpt_flag="--ckpt-dir=$ckpt_dir"
 fi
 
 # Per-section trace subdirectory, so cells with the same (app, model,
@@ -54,13 +76,13 @@ tflag() {
 }
 
 set -x
-./build/bench/bench_fig2_4 $quick $jobs $json_flag $(tflag fig2_4) $passthru
-./build/bench/bench_fig5_7 --quick $jobs $json_flag $(tflag fig5_7) $passthru
-./build/bench/bench_fig8_9 --quick $jobs $json_flag $(tflag fig8_9) $passthru
-./build/bench/bench_fig10_11 $quick $jobs $json_flag $(tflag fig10_11) $passthru
-./build/bench/bench_table5_6 --quick $jobs $json_flag $(tflag table5_6) $passthru
-./build/bench/bench_table7 $quick $jobs $json_flag $(tflag table7) $passthru
-./build/bench/bench_table8_9 $quick $jobs $json_flag $(tflag table8_9) $passthru
-./build/bench/bench_ablation_las $quick $jobs $json_flag $(tflag ablation_las) $passthru
-./build/bench/bench_ablation_pcache $quick $jobs $json_flag $(tflag ablation_pcache) $passthru
+./build/bench/bench_fig2_4 $quick $jobs $json_flag $ckpt_flag $(tflag fig2_4) $passthru
+./build/bench/bench_fig5_7 --quick $jobs $json_flag $ckpt_flag $(tflag fig5_7) $passthru
+./build/bench/bench_fig8_9 --quick $jobs $json_flag $ckpt_flag $(tflag fig8_9) $passthru
+./build/bench/bench_fig10_11 $quick $jobs $json_flag $ckpt_flag $(tflag fig10_11) $passthru
+./build/bench/bench_table5_6 --quick $jobs $json_flag $ckpt_flag $(tflag table5_6) $passthru
+./build/bench/bench_table7 $quick $jobs $json_flag $ckpt_flag $(tflag table7) $passthru
+./build/bench/bench_table8_9 $quick $jobs $json_flag $ckpt_flag $(tflag table8_9) $passthru
+./build/bench/bench_ablation_las $quick $jobs $json_flag $ckpt_flag $(tflag ablation_las) $passthru
+./build/bench/bench_ablation_pcache $quick $jobs $json_flag $ckpt_flag $(tflag ablation_pcache) $passthru
 ./build/bench/bench_uarch --benchmark_min_time=0.1

@@ -16,6 +16,7 @@
 #include "common/bits.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "snap/snap.hpp"
 
 namespace smtp
 {
@@ -144,6 +145,42 @@ class CacheArray
     {
         for (auto &line : lines_)
             line = CacheLine{};
+    }
+
+    void
+    saveState(snap::Ser &out) const
+    {
+        out.u64(stamp_);
+        out.u64(lines_.size());
+        for (const auto &l : lines_) {
+            out.u64(l.addr);
+            out.u8(static_cast<std::uint8_t>(l.state));
+            out.b(l.protocolLine);
+            out.u64(l.lruStamp);
+        }
+    }
+
+    void
+    restoreState(snap::Des &in)
+    {
+        stamp_ = in.u64();
+        std::uint64_t n = in.u64();
+        if (n != lines_.size()) {
+            in.fail("cache geometry mismatch (config hash should have "
+                    "caught this)");
+            return;
+        }
+        for (auto &l : lines_) {
+            l.addr = in.u64();
+            std::uint8_t st = in.u8();
+            if (st > static_cast<std::uint8_t>(LineState::Mod)) {
+                in.fail("corrupt snapshot: cache line state out of range");
+                return;
+            }
+            l.state = static_cast<LineState>(st);
+            l.protocolLine = in.bl();
+            l.lruStamp = in.u64();
+        }
     }
 
   private:

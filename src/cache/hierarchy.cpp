@@ -1,5 +1,7 @@
 #include "hierarchy.hpp"
 
+#include <algorithm>
+
 #include "check/checker.hpp"
 #include "common/log.hpp"
 #include "protocol/directory.hpp"
@@ -77,10 +79,7 @@ CacheHierarchy::drainOutQ()
         outQ_.pop_front();
     if (!outQ_.empty() && !drainScheduled_) {
         drainScheduled_ = true;
-        eq_->scheduleIn(cyc(1), [this] {
-            drainScheduled_ = false;
-            drainOutQ();
-        });
+        eq_->scheduleIn(cyc(1), DrainEv{this});
     }
 }
 
@@ -314,18 +313,23 @@ CacheHierarchy::protoBelowL1(const MemReq &req)
     }
     protoPending_[line] = {req.done};
     SMTP_ASSERT(bypassAccess_, "protocol bypass bus not connected");
-    Addr demand = req.addr;
-    bypassAccess_(line, false, [this, line, demand, is_store, is_ifetch] {
-        installL2(line, is_store ? LineState::Mod : LineState::Ex, true);
-        CacheArray &fl1 = is_ifetch ? l1i_ : l1d_;
-        CacheArray &fbyp = is_ifetch ? bypI_ : bypD_;
-        fillL1(fl1, fbyp, demand, true);
-        auto node = protoPending_.extract(line);
-        for (auto &fn : node.mapped()) {
-            completeAfter(std::move(fn), params_.fillToUseCycles);
-        }
-    });
+    bypassAccess_(line, false,
+                  BypassFillEv{this, line, req.addr, is_store, is_ifetch});
     return Outcome::Pending;
+}
+
+void
+CacheHierarchy::protoFillArrived(Addr line, Addr demand, bool is_store,
+                                 bool is_ifetch)
+{
+    installL2(line, is_store ? LineState::Mod : LineState::Ex, true);
+    CacheArray &fl1 = is_ifetch ? l1i_ : l1d_;
+    CacheArray &fbyp = is_ifetch ? bypI_ : bypD_;
+    fillL1(fl1, fbyp, demand, true);
+    auto node = protoPending_.extract(line);
+    for (auto &fn : node.mapped()) {
+        completeAfter(std::move(fn), params_.fillToUseCycles);
+    }
 }
 
 CacheHierarchy::Outcome
@@ -748,6 +752,172 @@ CacheHierarchy::mshrsInUse() const
     for (const auto &m : mshrs_)
         n += m.valid;
     return n;
+}
+
+// ---- Snapshot support --------------------------------------------------
+
+namespace
+{
+
+void
+putCallbacks(snap::Ser &out, const std::vector<EventQueue::Callback> &v)
+{
+    out.u64(v.size());
+    for (const auto &cb : v)
+        snap::EventCodec::encode(out, cb);
+}
+
+void
+getCallbacks(snap::Des &in, const snap::EventCodec &codec,
+             std::vector<EventQueue::Callback> &v)
+{
+    v.clear();
+    std::uint64_t n = in.count(4);
+    v.reserve(n);
+    for (std::uint64_t i = 0; in.ok() && i < n; ++i)
+        v.push_back(codec.decode(in));
+}
+
+} // namespace
+
+void
+CacheHierarchy::saveState(snap::Ser &out) const
+{
+    l1i_.saveState(out);
+    l1d_.saveState(out);
+    l2_.saveState(out);
+    bypI_.saveState(out);
+    bypD_.saveState(out);
+    byp2_.saveState(out);
+
+    out.u64(mshrs_.size());
+    for (const auto &m : mshrs_) {
+        out.b(m.valid);
+        out.u64(m.lineAddr);
+        out.b(m.wantExcl);
+        out.b(m.isUpgrade);
+        out.b(m.prefetch);
+        out.b(m.invalPoison);
+        out.b(m.storeWaiting);
+        out.b(m.wantsL1i);
+        out.u64(m.demandAddr);
+        putCallbacks(out, m.loadWaiters);
+        putCallbacks(out, m.storeWaiters);
+    }
+
+    out.seq(outQ_, [](snap::Ser &s, const proto::Message &m) {
+        proto::snapPut(s, m);
+    });
+    out.b(drainScheduled_);
+
+    std::vector<Addr> wb(wbPending_.begin(), wbPending_.end());
+    std::sort(wb.begin(), wb.end());
+    out.seq(wb, [](snap::Ser &s, Addr a) { s.u64(a); });
+
+    std::vector<Addr> pp;
+    pp.reserve(protoPending_.size());
+    for (const auto &[a, fns] : protoPending_)
+        pp.push_back(a);
+    std::sort(pp.begin(), pp.end());
+    out.u64(pp.size());
+    for (Addr a : pp) {
+        out.u64(a);
+        putCallbacks(out, protoPending_.at(a));
+    }
+
+    for (const Counter *c :
+         {&l1iHits, &l1iMisses, &l1dHits, &l1dMisses, &l2Hits, &l2Misses,
+          &protoL1dHits, &protoL1dMisses, &protoL2Hits, &protoL2Misses,
+          &upgradesIssued, &writebacksDirty, &writebacksClean,
+          &prefetchesIssued, &prefetchesDropped, &prefetchesUseful,
+          &bypassAllocs, &probesDeferred, &fillsPoisoned, &replayInvals})
+        c->saveState(out);
+}
+
+void
+CacheHierarchy::restoreState(snap::Des &in, const snap::EventCodec &codec)
+{
+    l1i_.restoreState(in);
+    l1d_.restoreState(in);
+    l2_.restoreState(in);
+    bypI_.restoreState(in);
+    bypD_.restoreState(in);
+    byp2_.restoreState(in);
+
+    std::uint64_t nm = in.u64();
+    if (nm != mshrs_.size()) {
+        in.fail("MSHR count mismatch");
+        return;
+    }
+    for (auto &m : mshrs_) {
+        m.valid = in.bl();
+        m.lineAddr = in.u64();
+        m.wantExcl = in.bl();
+        m.isUpgrade = in.bl();
+        m.prefetch = in.bl();
+        m.invalPoison = in.bl();
+        m.storeWaiting = in.bl();
+        m.wantsL1i = in.bl();
+        m.demandAddr = in.u64();
+        getCallbacks(in, codec, m.loadWaiters);
+        getCallbacks(in, codec, m.storeWaiters);
+    }
+
+    outQ_.clear();
+    std::uint64_t nq = in.count(8);
+    for (std::uint64_t i = 0; in.ok() && i < nq; ++i)
+        outQ_.push_back(proto::snapGetMessage(in));
+    drainScheduled_ = in.bl();
+
+    wbPending_.clear();
+    std::uint64_t nwb = in.count(8);
+    for (std::uint64_t i = 0; in.ok() && i < nwb; ++i)
+        wbPending_.insert(in.u64());
+
+    protoPending_.clear();
+    std::uint64_t npp = in.count(8);
+    for (std::uint64_t i = 0; in.ok() && i < npp; ++i) {
+        Addr a = in.u64();
+        getCallbacks(in, codec, protoPending_[a]);
+    }
+
+    for (Counter *c :
+         {&l1iHits, &l1iMisses, &l1dHits, &l1dMisses, &l2Hits, &l2Misses,
+          &protoL1dHits, &protoL1dMisses, &protoL2Hits, &protoL2Misses,
+          &upgradesIssued, &writebacksDirty, &writebacksClean,
+          &prefetchesIssued, &prefetchesDropped, &prefetchesUseful,
+          &bypassAllocs, &probesDeferred, &fillsPoisoned, &replayInvals})
+        c->restoreState(in);
+}
+
+void
+CacheHierarchy::registerSnapEvents(
+    snap::EventCodec &codec, std::function<CacheHierarchy *(NodeId)> resolve)
+{
+    codec.add(snap::evCacheDrainOutQ,
+              [resolve](snap::Des &in) -> EventQueue::Callback {
+                  NodeId n = in.u16();
+                  CacheHierarchy *c = resolve(n);
+                  if (c == nullptr) {
+                      in.fail("cache drain event for unknown node");
+                      return {};
+                  }
+                  return DrainEv{c};
+              });
+    codec.add(snap::evCacheBypassFill,
+              [resolve](snap::Des &in) -> EventQueue::Callback {
+                  NodeId n = in.u16();
+                  CacheHierarchy *c = resolve(n);
+                  Addr line = in.u64();
+                  Addr demand = in.u64();
+                  bool is_store = in.bl();
+                  bool is_ifetch = in.bl();
+                  if (c == nullptr) {
+                      in.fail("bypass fill event for unknown node");
+                      return {};
+                  }
+                  return BypassFillEv{c, line, demand, is_store, is_ifetch};
+              });
 }
 
 } // namespace smtp

@@ -41,6 +41,7 @@
 #include "sim/clock.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
+#include "snap/event_codec.hpp"
 #include "trace/trace.hpp"
 
 namespace smtp::check
@@ -197,6 +198,57 @@ class CacheHierarchy
         return mshrsInUse() == 0 && outQ_.empty();
     }
 
+    // ---- Snapshot support --------------------------------------------
+
+    /** Delayed cache->LMI FIFO drain retry. */
+    struct DrainEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evCacheDrainOutQ;
+        CacheHierarchy *c;
+
+        void
+        operator()() const
+        {
+            c->drainScheduled_ = false;
+            c->drainOutQ();
+        }
+
+        void snapEncode(snap::Ser &s) const { s.u16(c->self_); }
+    };
+
+    /** Protocol-space line arrival over the dedicated bypass bus. */
+    struct BypassFillEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evCacheBypassFill;
+        CacheHierarchy *c;
+        Addr line;
+        Addr demand;
+        bool isStore;
+        bool isIfetch;
+
+        void
+        operator()() const
+        {
+            c->protoFillArrived(line, demand, isStore, isIfetch);
+        }
+
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(c->self_);
+            s.u64(line);
+            s.u64(demand);
+            s.b(isStore);
+            s.b(isIfetch);
+        }
+    };
+
+    void saveState(snap::Ser &out) const;
+    void restoreState(snap::Des &in, const snap::EventCodec &codec);
+    static void
+    registerSnapEvents(snap::EventCodec &codec,
+                       std::function<CacheHierarchy *(NodeId)> resolve);
+
     // ---- Stats -------------------------------------------------------
 
     Counter l1iHits, l1iMisses;
@@ -256,6 +308,10 @@ class CacheHierarchy
 
     /** Protocol access slow path below the L1s. */
     Outcome protoBelowL1(const MemReq &req);
+
+    /** Bypass-bus fetch completed: install and release waiters. */
+    void protoFillArrived(Addr line, Addr demand, bool is_store,
+                          bool is_ifetch);
 
     EventQueue *eq_;
     ClockDomain clock_; ///< Copied: cheap and immutable after build.

@@ -284,6 +284,12 @@ Checker::reportWedge(const char *why)
     wedgeReported_ = true;
     std::fprintf(stderr, "==== coherence watchdog: %s ====\n", why);
     dumpReport(stderr);
+    if (wedgeSnap_) {
+        std::string path = wedgeSnap_();
+        if (!path.empty())
+            std::fprintf(stderr, "machine snapshot saved to %s\n",
+                         path.c_str());
+    }
     flag("watchdog: %s (%zu in-flight transaction(s))", why, live_.size());
 }
 
@@ -360,7 +366,7 @@ Checker::scheduleScan()
     if (scanScheduled_ || live_.empty())
         return;
     scanScheduled_ = true;
-    eq_->scheduleIn(params_.watchdogScanInterval, [this] { scan(); });
+    eq_->scheduleIn(params_.watchdogScanInterval, ScanEv{this});
 }
 
 void

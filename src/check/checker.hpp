@@ -50,6 +50,7 @@
 #include "protocol/message.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
+#include "snap/event_codec.hpp"
 #include "trace/trace.hpp"
 
 namespace smtp::check
@@ -132,6 +133,19 @@ class Checker
      * buffers next to the dispatch ring (nullptr => ring only).
      */
     void setTraceManager(const trace::TraceManager *tm) { traceMgr_ = tm; }
+
+    /**
+     * Auto-snapshot on watchdog trip: the hook attempts a machine
+     * snapshot and returns the written path ("" on failure). Runs once,
+     * before the violation is flagged (which may abort), so a wedged
+     * run leaves a restorable machine state next to its report —
+     * docs/debugging.md describes the snap_tool diff workflow.
+     */
+    void
+    setWedgeSnapshotHook(std::function<std::string()> fn)
+    {
+        wedgeSnap_ = std::move(fn);
+    }
 
     /**
      * Cross-check the mirrors at a global quiescent point (no MSHRs,
@@ -224,6 +238,20 @@ class Checker
     void scheduleScan();
     void scan();
 
+    /**
+     * The watchdog sweep event. Carries the evWatchdog snap id so the
+     * snapshot layer can recognise and *skip* it (mirror state is not
+     * serialized; a restored machine re-arms its own watchdog), but it
+     * is never encoded or decoded.
+     */
+    struct ScanEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evWatchdog;
+        Checker *ck;
+        void operator()() const { ck->scan(); }
+        void snapEncode(snap::Ser &) const {}
+    };
+
     EventQueue *eq_;
     proto::DirFormat fmt_;
     CheckerParams params_;
@@ -254,6 +282,7 @@ class Checker
     std::vector<std::string> violations_;
     std::vector<std::pair<std::string, std::function<void(std::FILE *)>>>
         dumpHooks_;
+    std::function<std::string()> wedgeSnap_;
 };
 
 } // namespace smtp::check

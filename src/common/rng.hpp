@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "snap/snap.hpp"
+
 namespace smtp
 {
 
@@ -71,6 +73,20 @@ class Rng
 
     /** Bernoulli trial with probability @p p. */
     bool chance(double p) { return uniform() < p; }
+
+    void
+    saveState(snap::Ser &out) const
+    {
+        for (std::uint64_t w : state_)
+            out.u64(w);
+    }
+
+    void
+    restoreState(snap::Des &in)
+    {
+        for (std::uint64_t &w : state_)
+            w = in.u64();
+    }
 
   private:
     static constexpr std::uint64_t

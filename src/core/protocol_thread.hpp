@@ -64,6 +64,16 @@ class ProtocolThread : public ProtocolAgent, public InstSource
     /** Attach the node's protocol telemetry buffer. */
     void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
 
+    // ---- Snapshot support --------------------------------------------
+    //
+    // Handlers are re-derived from their (serialized) transaction
+    // contexts: convertTrace is a pure function of the trace, so only
+    // the ctx id and the fetch cursor persist. No events to register —
+    // the protocol thread schedules nothing itself.
+
+    void saveState(snap::Ser &out) const;
+    void restoreState(snap::Des &in);
+
     // ---- Stats --------------------------------------------------------
 
     Counter handlersStarted;

@@ -1,6 +1,7 @@
 #include "smt_cpu.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
@@ -84,6 +85,12 @@ struct LiveRegistry
     std::vector<SmtCpu::DynInst *> freeList;
     std::uint64_t next = 1;
 
+    /**
+     * uid -> slot map built while restoring a snapshot; consulted by
+     * the event decoders resolving deferred-completion handles.
+     */
+    std::unordered_map<std::uint64_t, SmtCpu::DynInst *> restoreMap;
+
     static constexpr std::size_t chunkSize = 256;
 
     SmtCpu::DynInst *
@@ -112,8 +119,9 @@ struct LiveRegistry
 };
 
 SmtCpu::SmtCpu(EventQueue &eq, const CpuParams &params,
-               CacheHierarchy &cache)
+               CacheHierarchy &cache, NodeId self)
     : eq_(&eq), params_(params), clock_(params.freqMHz), cache_(&cache),
+      self_(self),
       bpred_([&] {
           BpredParams bp;
           bp.threads = params.appThreads + (params.protocolThread ? 1 : 0);
@@ -217,6 +225,10 @@ SmtCpu::debugDump(std::FILE *out) const
 void
 SmtCpu::start()
 {
+    // Idempotent: a restored pipeline is already started and its
+    // pending tick (if any) lives in the restored event queue.
+    if (started_)
+        return;
     started_ = true;
     scheduleTick();
 }
@@ -264,13 +276,9 @@ SmtCpu::scheduleTick()
     if (tickScheduled_ || !started_)
         return;
     tickScheduled_ = true;
-    auto cycle = [this] {
-        tickScheduled_ = false;
-        tick();
-    };
-    static_assert(EventQueue::Callback::storesInline<decltype(cycle)>,
+    static_assert(EventQueue::Callback::storesInline<TickEv>,
                   "the per-cycle pipeline event must not heap-allocate");
-    eq_->schedule(clock_.edgeAfter(eq_->curTick()), std::move(cycle));
+    eq_->schedule(clock_.edgeAfter(eq_->curTick()), TickEv{this});
 }
 
 void
@@ -409,12 +417,7 @@ SmtCpu::fetchFromThread(ThreadState &t, unsigned max_slots)
                 req.cmd = t.isProtocol ? MemCmd::ProtoIFetch
                                        : MemCmd::IFetch;
                 req.addr = op.pc;
-                ThreadState *tp = &t;
-                req.done = [this, tp, line] {
-                    tp->fetchStalled = false;
-                    tp->lastFetchLine = line;
-                    scheduleTick();
-                };
+                req.done = FetchDoneEv{this, t.tid, line};
                 auto outcome = cache_->access(req);
                 if (outcome == CacheHierarchy::Outcome::Retry)
                     break;
@@ -723,12 +726,8 @@ SmtCpu::issueStage()
                 dyn->icounted = false;
                 --threads_[dyn->tid]->icount;
             }
-            std::uint64_t uid = dyn->uid;
             eq_->scheduleIn(cyc(params_.readStages + lat),
-                            [this, dyn, uid] {
-                                if (dyn->uid == uid)
-                                    completeInst(dyn);
-                            });
+                            CompleteEv{this, dyn, dyn->uid});
             it = q.erase(it);
             ++issued;
         }
@@ -745,10 +744,7 @@ SmtCpu::tryMemAccess(DynInst *dyn)
     std::uint64_t uid = dyn->uid;
 
     auto complete_in = [&](Cycles c) {
-        eq_->scheduleIn(cyc(c), [this, dyn, uid] {
-            if (dyn->uid == uid)
-                completeInst(dyn);
-        });
+        eq_->scheduleIn(cyc(c), CompleteEv{this, dyn, uid});
     };
 
     // DTLB (application data space only).
@@ -762,12 +758,7 @@ SmtCpu::tryMemAccess(DynInst *dyn)
             }
             // Refill, then perform the access.
             eq_->scheduleIn(cyc(params_.tlbMissPenalty),
-                            [this, dyn, uid] {
-                                if (dyn->uid != uid)
-                                    return;
-                                dyn->memAccessed = false;
-                                tryMemAccess(dyn);
-                            });
+                            TlbRetryEv{this, dyn, uid});
             return true;
         }
     }
@@ -826,12 +817,7 @@ SmtCpu::tryMemAccess(DynInst *dyn)
                       : MemCmd::Load;
         req.addr = op.effAddr;
         req.tid = dyn->tid;
-        req.done = [this, dyn, uid] {
-            eq_->scheduleIn(cyc(params_.readStages), [this, dyn, uid] {
-                if (dyn->uid == uid)
-                    completeInst(dyn);
-            });
-        };
+        req.done = LoadFillEv{this, dyn, uid};
         auto outcome = cache_->access(req);
         if (outcome == CacheHierarchy::Outcome::Retry)
             return false;
@@ -992,10 +978,7 @@ SmtCpu::execNonSpec(DynInst *dyn)
     std::uint64_t uid = dyn->uid;
     auto complete_at = [&](Tick when) {
         eq_->schedule(std::max(when, eq_->curTick() + cyc(1)),
-                      [this, dyn, uid] {
-                          if (dyn->uid == uid)
-                              completeInst(dyn);
-                      });
+                      CompleteEv{this, dyn, uid});
     };
     switch (dyn->op.cls) {
       case OpClass::PSendH:
@@ -1144,14 +1127,7 @@ SmtCpu::drainStoreBuffer()
         req.cmd = MemCmd::Store;
         req.addr = e.addr;
         req.tid = e.tid;
-        req.done = [this] {
-            sbDrainBusy_ = false;
-            SMTP_ASSERT(!storeBuffer_.empty() &&
-                            !storeBuffer_.front().protocolSpace,
-                        "store buffer head changed under drain");
-            storeBuffer_.pop_front();
-            scheduleTick();
-        };
+        req.done = SbDrainEv{this};
         if (cache_->access(req) != CacheHierarchy::Outcome::Retry)
             sbDrainBusy_ = true;
     }
@@ -1175,18 +1151,7 @@ SmtCpu::drainStoreBuffer()
         req.cmd = MemCmd::ProtoStore;
         req.addr = it->addr;
         req.tid = it->tid;
-        Addr key = it->addr;
-        req.done = [this, key] {
-            sbProtoDrainBusy_ = false;
-            for (auto it2 = storeBuffer_.begin();
-                 it2 != storeBuffer_.end(); ++it2) {
-                if (it2->protocolSpace && it2->addr == key) {
-                    storeBuffer_.erase(it2);
-                    break;
-                }
-            }
-            scheduleTick();
-        };
+        req.done = ProtoSbDrainEv{this, it->addr};
         if (cache_->access(req) != CacheHierarchy::Outcome::Retry)
             sbProtoDrainBusy_ = true;
     }
@@ -1208,6 +1173,499 @@ SmtCpu::onLineInvalidated(Addr line)
             }
         }
     }
+}
+
+// ---------------------------------------------------------- snapshots
+
+void
+SmtCpu::CompleteEv::operator()() const
+{
+    if (dyn != nullptr && dyn->uid == uid)
+        c->completeInst(dyn);
+}
+
+void
+SmtCpu::FetchDoneEv::operator()() const
+{
+    ThreadState &t = *c->threads_[tid];
+    t.fetchStalled = false;
+    t.lastFetchLine = line;
+    c->scheduleTick();
+}
+
+void
+SmtCpu::TlbRetryEv::operator()() const
+{
+    if (dyn == nullptr || dyn->uid != uid)
+        return;
+    dyn->memAccessed = false;
+    c->tryMemAccess(dyn);
+}
+
+void
+SmtCpu::LoadFillEv::operator()() const
+{
+    c->eq_->scheduleIn(c->cyc(c->params_.readStages),
+                       CompleteEv{c, dyn, uid});
+}
+
+void
+SmtCpu::SbDrainEv::operator()() const
+{
+    c->sbDrainBusy_ = false;
+    SMTP_ASSERT(!c->storeBuffer_.empty() &&
+                    !c->storeBuffer_.front().protocolSpace,
+                "store buffer head changed under drain");
+    c->storeBuffer_.pop_front();
+    c->scheduleTick();
+}
+
+void
+SmtCpu::ProtoSbDrainEv::operator()() const
+{
+    c->sbProtoDrainBusy_ = false;
+    for (auto it = c->storeBuffer_.begin(); it != c->storeBuffer_.end();
+         ++it) {
+        if (it->protocolSpace && it->addr == key) {
+            c->storeBuffer_.erase(it);
+            break;
+        }
+    }
+    c->scheduleTick();
+}
+
+namespace
+{
+
+void
+putDyn(snap::Ser &s, const SmtCpu::DynInst &d)
+{
+    s.u64(d.uid);
+    snapPut(s, d.op);
+    s.u8(d.tid);
+    s.u64(d.seq);
+    s.b(d.wrongPath);
+    s.b(d.renamed);
+    s.u16(d.psrc1);
+    s.u16(d.psrc2);
+    s.b(d.psrc1Fp);
+    s.b(d.psrc2Fp);
+    s.u16(d.pdst);
+    s.u16(d.oldPdst);
+    s.b(d.pdstFp);
+    s.i32(d.chkpt);
+    s.b(d.icounted);
+    s.b(d.issued);
+    s.b(d.memAccessed);
+    s.b(d.completed);
+    s.b(d.squashed);
+    s.b(d.mispredicted);
+    s.b(d.predTaken);
+    s.b(d.nonSpecStarted);
+    s.b(d.replayTrap);
+}
+
+void
+getDyn(snap::Des &in, SmtCpu::DynInst &d, unsigned nthreads,
+       unsigned branch_stack)
+{
+    d.uid = in.u64();
+    d.op = snapGetMicroOp(in);
+    d.tid = in.u8();
+    d.seq = in.u64();
+    d.wrongPath = in.bl();
+    d.renamed = in.bl();
+    d.psrc1 = in.u16();
+    d.psrc2 = in.u16();
+    d.psrc1Fp = in.bl();
+    d.psrc2Fp = in.bl();
+    d.pdst = in.u16();
+    d.oldPdst = in.u16();
+    d.pdstFp = in.bl();
+    d.chkpt = in.i32();
+    d.icounted = in.bl();
+    d.issued = in.bl();
+    d.memAccessed = in.bl();
+    d.completed = in.bl();
+    d.squashed = in.bl();
+    d.mispredicted = in.bl();
+    d.predTaken = in.bl();
+    d.nonSpecStarted = in.bl();
+    d.replayTrap = in.bl();
+    if (d.uid == 0 || d.tid >= nthreads || d.chkpt < -1 ||
+        d.chkpt >= static_cast<int>(branch_stack)) {
+        in.fail("corrupt snapshot: dynamic instruction out of range");
+    }
+}
+
+void
+putUidList(snap::Ser &s, const std::deque<SmtCpu::DynInst *> &q)
+{
+    s.u64(q.size());
+    for (const SmtCpu::DynInst *d : q)
+        s.u64(d->uid);
+}
+
+} // namespace
+
+void
+SmtCpu::saveState(snap::Ser &out) const
+{
+    // Live instruction pool, in chunk order (deterministic: chunks are
+    // append-only and slots never move).
+    std::uint64_t live_count = 0;
+    for (const auto &chunk : live_->chunks) {
+        for (std::size_t i = 0; i < LiveRegistry::chunkSize; ++i)
+            live_count += chunk[i].uid != 0;
+    }
+    out.u64(live_count);
+    for (const auto &chunk : live_->chunks) {
+        for (std::size_t i = 0; i < LiveRegistry::chunkSize; ++i) {
+            if (chunk[i].uid != 0)
+                putDyn(out, chunk[i]);
+        }
+    }
+    out.u64(live_->next);
+
+    out.u64(seqCounter_);
+    out.u32(rrCommit_);
+    out.b(tickScheduled_);
+    out.b(started_);
+    out.b(frontPriorityApp_);
+    out.u32(lsqCount_);
+
+    out.u64(threads_.size());
+    for (const auto &tp : threads_) {
+        const ThreadState &t = *tp;
+        putUidList(out, t.rob);
+        for (std::uint16_t m : t.map)
+            out.u16(m);
+        putUidList(out, t.lsqOrder);
+        out.b(t.fetchStalled);
+        out.u64(t.fetchResumeTick);
+        out.u64(t.lastFetchLine);
+        out.b(t.wrongPathMode);
+        out.u64(t.wrongPathPc);
+        out.u32(t.wrongPathCnt);
+        out.u32(t.icount);
+        out.u8(t.stallCause);
+        t.stats.committed.saveState(out);
+        t.stats.committedMem.saveState(out);
+        t.stats.memStallCycles.saveState(out);
+        t.stats.branches.saveState(out);
+        t.stats.condBranches.saveState(out);
+        t.stats.mispredicts.saveState(out);
+        t.stats.squashedInsts.saveState(out);
+        t.stats.squashCycles.saveState(out);
+        t.stats.replays.saveState(out);
+        t.stats.wrongPathFetched.saveState(out);
+        t.stats.itlbMisses.saveState(out);
+        t.stats.dtlbMisses.saveState(out);
+    }
+
+    putUidList(out, decodeQApp_);
+    putUidList(out, decodeQProto_);
+    putUidList(out, renameQApp_);
+    putUidList(out, renameQProto_);
+
+    for (std::uint8_t r : intReady_)
+        out.u8(r);
+    for (std::uint8_t r : fpReady_)
+        out.u8(r);
+    out.u64(intFree_.size());
+    for (std::uint16_t r : intFree_)
+        out.u16(r);
+    out.u64(fpFree_.size());
+    for (std::uint16_t r : fpFree_)
+        out.u16(r);
+    for (ThreadId o : intOwner_)
+        out.u8(o);
+
+    out.u64(chkpts_.size());
+    for (const Checkpoint &ck : chkpts_) {
+        out.b(ck.valid);
+        out.u8(ck.tid);
+        out.u64(ck.seq);
+        for (std::uint16_t m : ck.map)
+            out.u16(m);
+        out.u32(ck.ras.top);
+        out.u64(ck.ras.tosValue);
+    }
+
+    putUidList(out, intQ_);
+    putUidList(out, fpQ_);
+
+    out.u64(storeBuffer_.size());
+    for (const SbEntry &e : storeBuffer_) {
+        out.u64(e.addr);
+        out.u8(e.tid);
+        out.b(e.protocolSpace);
+    }
+    out.b(sbDrainBusy_);
+    out.b(sbProtoDrainBusy_);
+
+    auto put_tlb = [&](const Tlb &tlb) {
+        out.u64(tlb.entries.size());
+        for (const auto &e : tlb.entries) {
+            out.u64(e.first);
+            out.u64(e.second);
+        }
+        out.u64(tlb.stamp);
+        tlb.misses.saveState(out);
+    };
+    put_tlb(itlb_);
+    put_tlb(dtlb_);
+
+    bpred_.saveState(out);
+
+    protoOccupancy.branchStack.saveState(out);
+    protoOccupancy.intRegs.saveState(out);
+    protoOccupancy.intQueue.saveState(out);
+    protoOccupancy.lsq.saveState(out);
+    cycles.saveState(out);
+    fetchedInsts.saveState(out);
+}
+
+void
+SmtCpu::restoreState(snap::Des &in)
+{
+    // Rebuild the instruction pool from scratch; every queue below
+    // re-resolves its members through the uid map.
+    live_ = std::make_unique<LiveRegistry>();
+    std::uint64_t live_count = in.count(64);
+    for (std::uint64_t i = 0; in.ok() && i < live_count; ++i) {
+        DynInst *d = live_->alloc();
+        getDyn(in, *d, static_cast<unsigned>(threads_.size()),
+               params_.branchStack);
+        if (!in.ok())
+            return;
+        if (!live_->restoreMap.emplace(d->uid, d).second) {
+            in.fail("corrupt snapshot: duplicate instruction uid");
+            return;
+        }
+    }
+    live_->next = in.u64();
+
+    auto get_uid_list = [&](std::deque<DynInst *> &q) {
+        q.clear();
+        std::uint64_t n = in.count(8);
+        for (std::uint64_t i = 0; in.ok() && i < n; ++i) {
+            DynInst *d = resolveUid(in.u64());
+            if (d == nullptr) {
+                in.fail("corrupt snapshot: queue references a dead "
+                        "instruction");
+                return;
+            }
+            q.push_back(d);
+        }
+    };
+
+    seqCounter_ = in.u64();
+    rrCommit_ = in.u32();
+    tickScheduled_ = in.bl();
+    started_ = in.bl();
+    frontPriorityApp_ = in.bl();
+    lsqCount_ = in.u32();
+
+    if (in.u64() != threads_.size()) {
+        in.fail("corrupt snapshot: thread count mismatch");
+        return;
+    }
+    for (auto &tp : threads_) {
+        ThreadState &t = *tp;
+        get_uid_list(t.rob);
+        for (std::uint16_t &m : t.map)
+            m = in.u16();
+        get_uid_list(t.lsqOrder);
+        t.fetchStalled = in.bl();
+        t.fetchResumeTick = in.u64();
+        t.lastFetchLine = in.u64();
+        t.wrongPathMode = in.bl();
+        t.wrongPathPc = in.u64();
+        t.wrongPathCnt = in.u32();
+        t.icount = in.u32();
+        t.stallCause = in.u8();
+        t.stats.committed.restoreState(in);
+        t.stats.committedMem.restoreState(in);
+        t.stats.memStallCycles.restoreState(in);
+        t.stats.branches.restoreState(in);
+        t.stats.condBranches.restoreState(in);
+        t.stats.mispredicts.restoreState(in);
+        t.stats.squashedInsts.restoreState(in);
+        t.stats.squashCycles.restoreState(in);
+        t.stats.replays.restoreState(in);
+        t.stats.wrongPathFetched.restoreState(in);
+        t.stats.itlbMisses.restoreState(in);
+        t.stats.dtlbMisses.restoreState(in);
+    }
+
+    get_uid_list(decodeQApp_);
+    get_uid_list(decodeQProto_);
+    get_uid_list(renameQApp_);
+    get_uid_list(renameQProto_);
+
+    for (std::uint8_t &r : intReady_)
+        r = in.u8();
+    for (std::uint8_t &r : fpReady_)
+        r = in.u8();
+    std::uint64_t nif = in.count(2);
+    if (nif > params_.intRegs) {
+        in.fail("corrupt snapshot: free-list overflow");
+        return;
+    }
+    intFree_.clear();
+    for (std::uint64_t i = 0; in.ok() && i < nif; ++i)
+        intFree_.push_back(in.u16());
+    std::uint64_t nff = in.count(2);
+    if (nff > params_.fpRegs) {
+        in.fail("corrupt snapshot: free-list overflow");
+        return;
+    }
+    fpFree_.clear();
+    for (std::uint64_t i = 0; in.ok() && i < nff; ++i)
+        fpFree_.push_back(in.u16());
+    for (ThreadId &o : intOwner_)
+        o = in.u8();
+
+    if (in.u64() != chkpts_.size()) {
+        in.fail("corrupt snapshot: branch-stack size mismatch");
+        return;
+    }
+    for (Checkpoint &ck : chkpts_) {
+        ck.valid = in.bl();
+        ck.tid = in.u8();
+        ck.seq = in.u64();
+        for (std::uint16_t &m : ck.map)
+            m = in.u16();
+        ck.ras.top = in.u32();
+        ck.ras.tosValue = in.u64();
+    }
+
+    get_uid_list(intQ_);
+    get_uid_list(fpQ_);
+
+    std::uint64_t nsb = in.count(10);
+    if (nsb > params_.storeBuffer) {
+        in.fail("corrupt snapshot: store buffer overflow");
+        return;
+    }
+    storeBuffer_.clear();
+    for (std::uint64_t i = 0; in.ok() && i < nsb; ++i) {
+        SbEntry e;
+        e.addr = in.u64();
+        e.tid = in.u8();
+        e.protocolSpace = in.bl();
+        storeBuffer_.push_back(e);
+    }
+    sbDrainBusy_ = in.bl();
+    sbProtoDrainBusy_ = in.bl();
+
+    auto get_tlb = [&](Tlb &tlb) {
+        std::uint64_t n = in.count(16);
+        if (n > tlb.cap) {
+            in.fail("corrupt snapshot: TLB overflow");
+            return;
+        }
+        tlb.entries.clear();
+        for (std::uint64_t i = 0; in.ok() && i < n; ++i) {
+            Addr page = in.u64();
+            std::uint64_t stamp = in.u64();
+            tlb.entries.emplace_back(page, stamp);
+        }
+        tlb.stamp = in.u64();
+        tlb.misses.restoreState(in);
+    };
+    get_tlb(itlb_);
+    get_tlb(dtlb_);
+
+    bpred_.restoreState(in);
+
+    protoOccupancy.branchStack.restoreState(in);
+    protoOccupancy.intRegs.restoreState(in);
+    protoOccupancy.intQueue.restoreState(in);
+    protoOccupancy.lsq.restoreState(in);
+    cycles.restoreState(in);
+    fetchedInsts.restoreState(in);
+}
+
+SmtCpu::DynInst *
+SmtCpu::resolveUid(std::uint64_t uid) const
+{
+    auto it = live_->restoreMap.find(uid);
+    return it == live_->restoreMap.end() ? nullptr : it->second;
+}
+
+void
+SmtCpu::registerSnapEvents(snap::EventCodec &codec,
+                           std::function<SmtCpu *(NodeId)> resolve)
+{
+    auto cpu_of = [resolve](snap::Des &in) -> SmtCpu * {
+        NodeId n = in.u16();
+        SmtCpu *c = resolve(n);
+        if (c == nullptr)
+            in.fail("snapshot references an unknown cpu node");
+        return c;
+    };
+    codec.add(snap::evCpuTick,
+              [cpu_of](snap::Des &in) -> InlineCallback {
+                  SmtCpu *c = cpu_of(in);
+                  if (c == nullptr)
+                      return {};
+                  return TickEv{c};
+              });
+    codec.add(snap::evCpuCompleteInst,
+              [cpu_of](snap::Des &in) -> InlineCallback {
+                  SmtCpu *c = cpu_of(in);
+                  std::uint64_t uid = in.u64();
+                  if (c == nullptr)
+                      return {};
+                  return CompleteEv{c, c->resolveUid(uid), uid};
+              });
+    codec.add(snap::evCpuFetchDone,
+              [cpu_of](snap::Des &in) -> InlineCallback {
+                  SmtCpu *c = cpu_of(in);
+                  ThreadId tid = in.u8();
+                  Addr line = in.u64();
+                  if (c == nullptr)
+                      return {};
+                  if (tid >= c->threads_.size()) {
+                      in.fail("corrupt snapshot: fetch event thread out "
+                              "of range");
+                      return {};
+                  }
+                  return FetchDoneEv{c, tid, line};
+              });
+    codec.add(snap::evCpuTlbRetry,
+              [cpu_of](snap::Des &in) -> InlineCallback {
+                  SmtCpu *c = cpu_of(in);
+                  std::uint64_t uid = in.u64();
+                  if (c == nullptr)
+                      return {};
+                  return TlbRetryEv{c, c->resolveUid(uid), uid};
+              });
+    codec.add(snap::evCpuLoadFill,
+              [cpu_of](snap::Des &in) -> InlineCallback {
+                  SmtCpu *c = cpu_of(in);
+                  std::uint64_t uid = in.u64();
+                  if (c == nullptr)
+                      return {};
+                  return LoadFillEv{c, c->resolveUid(uid), uid};
+              });
+    codec.add(snap::evCpuSbDrain,
+              [cpu_of](snap::Des &in) -> InlineCallback {
+                  SmtCpu *c = cpu_of(in);
+                  if (c == nullptr)
+                      return {};
+                  return SbDrainEv{c};
+              });
+    codec.add(snap::evCpuProtoSbDrain,
+              [cpu_of](snap::Des &in) -> InlineCallback {
+                  SmtCpu *c = cpu_of(in);
+                  Addr key = in.u64();
+                  if (c == nullptr)
+                      return {};
+                  return ProtoSbDrainEv{c, key};
+              });
 }
 
 void

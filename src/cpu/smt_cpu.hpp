@@ -118,7 +118,8 @@ class SmtCpu
         std::function<void()> onLastOpFetched; ///< PPCV cleared.
     };
 
-    SmtCpu(EventQueue &eq, const CpuParams &params, CacheHierarchy &cache);
+    SmtCpu(EventQueue &eq, const CpuParams &params, CacheHierarchy &cache,
+           NodeId self = 0);
     ~SmtCpu();
 
     /** Total thread contexts (app + optional protocol). */
@@ -178,6 +179,119 @@ class SmtCpu
     /** Dump pipeline state (wedge diagnosis). */
     void debugDump(std::FILE *out) const;
 
+    // ---- Snapshot support --------------------------------------------
+    //
+    // Deferred completion events reference DynInsts by (pointer, uid);
+    // snapshots persist the uid alone and restore resolves it against
+    // the re-created instruction pool (a dead uid decodes to a no-op,
+    // exactly matching the live generation check).
+
+    struct TickEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evCpuTick;
+        SmtCpu *c;
+        void
+        operator()() const
+        {
+            c->tickScheduled_ = false;
+            c->tick();
+        }
+        void snapEncode(snap::Ser &s) const { s.u16(c->self_); }
+    };
+
+    struct CompleteEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evCpuCompleteInst;
+        SmtCpu *c;
+        DynInst *dyn;
+        std::uint64_t uid;
+        void operator()() const;
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(c->self_);
+            s.u64(uid);
+        }
+    };
+
+    struct FetchDoneEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evCpuFetchDone;
+        SmtCpu *c;
+        ThreadId tid;
+        Addr line;
+        void operator()() const;
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(c->self_);
+            s.u8(tid);
+            s.u64(line);
+        }
+    };
+
+    struct TlbRetryEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evCpuTlbRetry;
+        SmtCpu *c;
+        DynInst *dyn;
+        std::uint64_t uid;
+        void operator()() const;
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(c->self_);
+            s.u64(uid);
+        }
+    };
+
+    /** Cache fill for a load: start the operand-read stages. */
+    struct LoadFillEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evCpuLoadFill;
+        SmtCpu *c;
+        DynInst *dyn;
+        std::uint64_t uid;
+        void operator()() const;
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(c->self_);
+            s.u64(uid);
+        }
+    };
+
+    struct SbDrainEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evCpuSbDrain;
+        SmtCpu *c;
+        void operator()() const;
+        void snapEncode(snap::Ser &s) const { s.u16(c->self_); }
+    };
+
+    struct ProtoSbDrainEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evCpuProtoSbDrain;
+        SmtCpu *c;
+        Addr key;
+        void operator()() const;
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(c->self_);
+            s.u64(key);
+        }
+    };
+
+    void saveState(snap::Ser &out) const;
+    void restoreState(snap::Des &in);
+
+    /** Live-instruction lookup during event decode (nullptr if dead). */
+    DynInst *resolveUid(std::uint64_t uid) const;
+
+    static void registerSnapEvents(snap::EventCodec &codec,
+                                   std::function<SmtCpu *(NodeId)> resolve);
+
   private:
     struct ThreadState;
     struct Checkpoint;
@@ -224,6 +338,7 @@ class SmtCpu
     CpuParams params_;
     ClockDomain clock_;
     CacheHierarchy *cache_;
+    NodeId self_;
     TournamentBpred bpred_;
     ProtoHooks protoHooks_;
     trace::TraceBuffer *trace_ = nullptr;

@@ -46,6 +46,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/stats.hpp"
+#include "snap/snap.hpp"
 #include "trace/trace.hpp"
 
 namespace smtp::fault
@@ -234,6 +235,66 @@ class FaultInjector
         return (netDrops.value() - netLost.value()) +
                netDupsFiltered.value() + eccCorrected.value() +
                eccRefetches.value();
+    }
+
+    // ---- Snapshot support ---------------------------------------------
+    //
+    // The plan itself is part of the machine configuration (and thus the
+    // config hash); only the RNG stream positions and the counters are
+    // dynamic state. The injector schedules no events of its own.
+
+    void
+    saveState(snap::Ser &out) const
+    {
+        netRng_.saveState(out);
+        out.u64(memRng_.size());
+        for (const Rng &r : memRng_)
+            r.saveState(out);
+        out.u64(protoRng_.size());
+        for (const Rng &r : protoRng_)
+            r.saveState(out);
+        netDrops.saveState(out);
+        netDups.saveState(out);
+        netDupsFiltered.saveState(out);
+        netDelays.saveState(out);
+        netReorders.saveState(out);
+        netLost.saveState(out);
+        eccCorrected.saveState(out);
+        eccDetected.saveState(out);
+        eccScrubs.saveState(out);
+        eccRefetches.saveState(out);
+        naksForced.saveState(out);
+    }
+
+    void
+    restoreState(snap::Des &in)
+    {
+        netRng_.restoreState(in);
+        if (in.u64() != memRng_.size()) {
+            in.fail("corrupt snapshot: fault injector SDRAM stream "
+                    "count mismatch");
+            return;
+        }
+        for (Rng &r : memRng_)
+            r.restoreState(in);
+        if (in.u64() != protoRng_.size()) {
+            in.fail("corrupt snapshot: fault injector protocol stream "
+                    "count mismatch");
+            return;
+        }
+        for (Rng &r : protoRng_)
+            r.restoreState(in);
+        netDrops.restoreState(in);
+        netDups.restoreState(in);
+        netDupsFiltered.restoreState(in);
+        netDelays.restoreState(in);
+        netReorders.restoreState(in);
+        netLost.restoreState(in);
+        eccCorrected.restoreState(in);
+        eccDetected.restoreState(in);
+        eccScrubs.restoreState(in);
+        eccRefetches.restoreState(in);
+        naksForced.restoreState(in);
     }
 
   private:

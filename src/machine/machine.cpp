@@ -11,6 +11,14 @@
 namespace smtp
 {
 
+/**
+ * How often (in absolute simulated time) the run loops poll for
+ * workload completion. Time-aligned so the poll schedule — and thus
+ * the tick at which a finished run stops executing residual protocol
+ * events — is identical however the run was sliced by runUntil().
+ */
+constexpr Tick kDoneCheckPeriod = 50 * tickPerNs;
+
 std::string_view
 modelName(MachineModel m)
 {
@@ -63,6 +71,17 @@ Machine::Machine(const MachineParams &params)
         auto *net = net_.get();
         checker_->addDumpHook(
             "network", [net](std::FILE *f) { net->debugState(f); });
+        if (!params.wedgeSnapshotPath.empty()) {
+            checker_->setWedgeSnapshotHook([this]() -> std::string {
+                std::string serr;
+                if (!save(params_.wedgeSnapshotPath, &serr)) {
+                    std::fprintf(stderr, "wedge snapshot failed: %s\n",
+                                 serr.c_str());
+                    return {};
+                }
+                return params_.wedgeSnapshotPath;
+            });
+        }
     }
 
     bool smtp = params.model == MachineModel::SMTp;
@@ -109,8 +128,8 @@ Machine::Machine(const MachineParams &params)
         cpup.intRegs = 32 * (params.appThreadsPerNode + 1) + 96;
         cpup.fpRegs = cpup.intRegs;
         cpup.bitAssistOps = params.bitAssistOps;
-        node->cpu =
-            std::make_unique<SmtCpu>(eq_, cpup, *node->cache);
+        node->cpu = std::make_unique<SmtCpu>(eq_, cpup, *node->cache,
+                                             static_cast<NodeId>(n));
 
         if (smtp) {
             ProtocolThreadParams pt;
@@ -273,13 +292,28 @@ Machine::run(Tick limit)
             ? &traceMgr_->sampler()
             : nullptr;
 
-    unsigned check = 0;
+    // A restored machine may already be past its workload's end (the
+    // saved run had finished); exit where we stand rather than one
+    // poll period later.
+    if (all_done()) {
+        execTime_ = eq_.curTick();
+        return execTime_;
+    }
+
+    // The completion poll is aligned to absolute simulated time, not an
+    // event count: an event-count phase would make the loop-exit tick
+    // (and with it the final cycle counters) depend on where the run
+    // started, breaking the snapshot contract that an interrupted +
+    // resumed run is bit-identical to an uninterrupted one.
+    Tick next_check = ((eq_.curTick() / kDoneCheckPeriod) + 1) *
+                      kDoneCheckPeriod;
     while (!eq_.empty() && eq_.curTick() < deadline) {
         eq_.runOne();
         if (sampler != nullptr)
             sampler->sampleUpTo(eq_.curTick());
-        if (++check >= 512) {
-            check = 0;
+        if (eq_.curTick() >= next_check) {
+            next_check = ((eq_.curTick() / kDoneCheckPeriod) + 1) *
+                         kDoneCheckPeriod;
             if (all_done())
                 break;
         }
@@ -292,6 +326,65 @@ Machine::run(Tick limit)
                 "(workload deadlock?)");
     execTime_ = eq_.curTick();
     return execTime_;
+}
+
+bool
+Machine::runUntil(Tick when)
+{
+    for (auto &node : nodes_)
+        node->cpu->start();
+
+    auto all_done = [this] {
+        for (const auto &node : nodes_) {
+            if (!node->cpu->appThreadsDone())
+                return false;
+        }
+        return true;
+    };
+
+    trace::IntervalSampler *sampler =
+        traceMgr_ != nullptr && traceMgr_->sampler().active()
+            ? &traceMgr_->sampler()
+            : nullptr;
+
+    // Same entry short-circuit as run(): a restored already-finished
+    // machine must report done at its restored tick, not drift to the
+    // next poll boundary.
+    if (all_done()) {
+        execTime_ = eq_.curTick();
+        return true;
+    }
+
+    // Same absolute-time-aligned completion poll as run(): the exit
+    // tick must not depend on how the run was sliced.
+    Tick next_check = ((eq_.curTick() / kDoneCheckPeriod) + 1) *
+                      kDoneCheckPeriod;
+    while (!eq_.empty() && eq_.nextTick() <= when) {
+        eq_.runOne();
+        if (sampler != nullptr)
+            sampler->sampleUpTo(eq_.curTick());
+        if (eq_.curTick() >= next_check) {
+            next_check = ((eq_.curTick() / kDoneCheckPeriod) + 1) *
+                         kDoneCheckPeriod;
+            if (all_done())
+                break;
+        }
+    }
+    execTime_ = eq_.curTick();
+    return all_done();
+}
+
+std::uint64_t
+Machine::committedAppInsts() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &node : nodes_) {
+        for (unsigned t = 0; t < params_.appThreadsPerNode; ++t) {
+            sum += node->cpu->threadStats(static_cast<ThreadId>(t))
+                       .committed.value();
+        }
+    }
+    return sum;
 }
 
 bool

@@ -35,6 +35,7 @@
 #include "pengine/pengine.hpp"
 #include "protocol/handlers.hpp"
 #include "sim/eventq.hpp"
+#include "snap/snapfile.hpp"
 #include "trace/trace.hpp"
 
 namespace smtp
@@ -112,6 +113,14 @@ struct MachineParams
 
     /** NAK retry/backoff policy applied by every node's controller. */
     fault::RetryPolicyConfig retryPolicy;
+
+    /**
+     * When non-empty and a checker is active, a watchdog trip
+     * auto-saves a machine snapshot here before flagging the violation
+     * (docs/debugging.md) — the wedge becomes a restorable, diffable
+     * artifact instead of only a text report.
+     */
+    std::string wedgeSnapshotPath;
 };
 
 class Machine
@@ -148,9 +157,23 @@ class Machine
      */
     Tick run(Tick limit = 500 * tickPerMs);
 
+    /**
+     * Advance until the absolute tick @p when (executing every event
+     * scheduled at or before it) or until the workload completes,
+     * whichever is first. Unlike run(), stopping early is not an error
+     * — this is the warmup/measurement-slice primitive of the
+     * checkpoint and sampled-measurement paths. Resumable: call again
+     * (or call run()) to continue.
+     * @return true when every application thread has finished.
+     */
+    bool runUntil(Tick when);
+
     /** Drain residual protocol traffic (after run) for checkers. */
     void quiesce(Tick limit = 10 * tickPerMs);
     bool quiescent() const;
+
+    /** Total committed instructions over all application threads. */
+    std::uint64_t committedAppInsts() const;
 
     Tick execTime() const { return execTime_; }
 
@@ -216,7 +239,54 @@ class Machine
     /** Hierarchical end-of-run statistics dump (gem5-style). */
     void dumpStats(std::ostream &os) const;
 
+    // ---- Checkpoint / restore (src/snap) ------------------------------
+
+    /**
+     * Fingerprint of every state-affecting parameter. Snapshots carry
+     * it and restore refuses on mismatch. Deliberately excluded:
+     * eventKernel (kernels are bit-identical — snapshots restore across
+     * them), the checker and trace configs (observation-only), and
+     * wedgeSnapshotPath.
+     */
+    std::uint64_t configHash() const;
+
+    /**
+     * Attach the workload's snapshot delegate (the workload::App).
+     * Required before save/restore of a machine with attached
+     * generators; restore replays the app's coroutine resume log, so
+     * the app must be freshly built with the identical name/env.
+     */
+    void setWorkloadState(snap::Snapshottable *w) { workloadState_ = w; }
+
+    /**
+     * Write a complete deterministic snapshot. Resuming it on an
+     * identically configured machine continues bit-identically to the
+     * uninterrupted run. Works at any event boundary — typically after
+     * run(limit) returned or a warmup slice completed.
+     */
+    bool save(const std::string &path, std::string *err = nullptr) const;
+
+    /** In-memory save (tests, the checkpoint library). */
+    std::vector<std::uint8_t> saveImage() const;
+
+    /**
+     * Restore into a *freshly constructed* machine with identical
+     * state-affecting params (hash-gated), checkLevel Off (mirror
+     * state is not serialized), and the workload delegate attached.
+     * False with a diagnostic on any mismatch, truncation or
+     * corruption — never UB.
+     */
+    bool restore(const std::string &path, std::string *err = nullptr);
+
+    /** In-memory restore counterpart of saveImage(). */
+    bool restoreImage(std::vector<std::uint8_t> image,
+                      std::string *err = nullptr);
+
   private:
+    void saveSections(snap::SnapWriter &w) const;
+    bool restoreFrom(const snap::SnapReader &r, std::string *err);
+    snap::EventCodec buildEventCodec();
+
     MachineParams params_;
     EventQueue eq_;
     proto::DirFormat fmt_;
@@ -228,6 +298,7 @@ class Machine
     std::unique_ptr<trace::TraceManager> traceMgr_;
     std::vector<std::unique_ptr<Node>> nodes_;
     Tick execTime_ = 0;
+    snap::Snapshottable *workloadState_ = nullptr;
 };
 
 } // namespace smtp

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Machine-level checkpoint/restore: assembles the per-component
+ * Ser/Des implementations into one versioned snapshot file
+ * (docs/checkpointing.md) and rebuilds a freshly constructed machine
+ * from it, bit-identically.
+ *
+ * Restore ordering is load-bearing:
+ *
+ *  1. workload  — replays the coroutine resume log, rebuilding the
+ *                 generators and the functional memory;
+ *  2. CPUs      — rebuild the DynInst pools and the uid resolution
+ *                 maps every decoded event handle needs;
+ *  3. MCs       — rebuild the transaction-context tables that protocol
+ *                 engine/thread state and deferred sends resolve ids
+ *                 against;
+ *  4. caches    — MSHR waiter lists decode callbacks referencing CPUs
+ *                 and MCs;
+ *  5. protocol engines / threads, network, faults, trace;
+ *  6. event queue last — its entries decode against everything above.
+ */
+
+#include "machine.hpp"
+
+#include <string>
+
+namespace smtp
+{
+
+namespace
+{
+
+std::string
+nodeSection(unsigned n, const char *what)
+{
+    return "node" + std::to_string(n) + "." + what;
+}
+
+} // namespace
+
+std::uint64_t
+Machine::configHash() const
+{
+    snap::Hasher h;
+    h.mix(std::string_view("smtp-machine-config-v1"));
+    h.mix(modelName(params_.model));
+    h.mix(params_.nodes);
+    h.mix(params_.appThreadsPerNode);
+    h.mix(params_.cpuFreqMHz);
+    h.mix(static_cast<std::uint64_t>(params_.lookAheadScheduling));
+    h.mix(static_cast<std::uint64_t>(params_.bitAssistOps));
+    h.mix(static_cast<std::uint64_t>(params_.perfectProtocolCaches));
+    h.mix(static_cast<std::uint64_t>(params_.ownershipLog));
+    h.mix(params_.l2Bytes);
+    h.mix(params_.dirCacheDivisor);
+
+    const fault::FaultPlan &fp = params_.faults;
+    h.mix(fp.seed);
+    h.mixF(fp.netDrop);
+    h.mixF(fp.netDup);
+    h.mixF(fp.netDelay);
+    h.mixF(fp.netReorder);
+    h.mix(fp.netDelayMax);
+    h.mix(fp.retransmitTimeout);
+    h.mix(fp.maxRetransmits);
+    h.mixF(fp.memFlipSingle);
+    h.mixF(fp.memFlipDouble);
+    h.mixF(fp.forceNak);
+    h.mix(static_cast<std::uint64_t>(fp.injectDropWithoutRetransmit));
+
+    const fault::RetryPolicyConfig &rp = params_.retryPolicy;
+    h.mix(static_cast<std::uint64_t>(rp.kind));
+    h.mix(rp.base);
+    h.mix(rp.cap);
+    h.mix(rp.starvationRetries);
+    return h.value();
+}
+
+snap::EventCodec
+Machine::buildEventCodec()
+{
+    snap::EventCodec codec;
+    net_->registerSnapEvents(codec);
+    CacheHierarchy::registerSnapEvents(codec, [this](NodeId n) {
+        return n < nodes_.size() ? nodes_[n]->cache.get() : nullptr;
+    });
+    MemController::registerSnapEvents(codec, [this](NodeId n) {
+        return n < nodes_.size() ? nodes_[n]->mc.get() : nullptr;
+    });
+    SmtCpu::registerSnapEvents(codec, [this](NodeId n) {
+        return n < nodes_.size() ? nodes_[n]->cpu.get() : nullptr;
+    });
+    PEngine::registerSnapEvents(codec, [this](NodeId n) -> PEngine * {
+        return n < nodes_.size() ? nodes_[n]->pengine.get() : nullptr;
+    });
+    return codec;
+}
+
+void
+Machine::saveSections(snap::SnapWriter &w) const
+{
+    {
+        snap::Ser &out = w.beginSection("meta");
+        out.str(modelName(params_.model));
+        out.u32(params_.nodes);
+        out.u32(params_.appThreadsPerNode);
+        out.u64(execTime_);
+        w.endSection();
+    }
+    if (workloadState_ != nullptr)
+        w.section("workload", *workloadState_);
+    for (unsigned n = 0; n < nodes_.size(); ++n) {
+        const Node &node = *nodes_[n];
+        node.cpu->saveState(w.beginSection(nodeSection(n, "cpu")));
+        w.endSection();
+        node.mc->saveState(w.beginSection(nodeSection(n, "mc")));
+        w.endSection();
+        node.cache->saveState(w.beginSection(nodeSection(n, "cache")));
+        w.endSection();
+        if (node.pengine) {
+            node.pengine->saveState(w.beginSection(nodeSection(n, "pe")));
+            w.endSection();
+        }
+        if (node.pthread) {
+            node.pthread->saveState(w.beginSection(nodeSection(n, "pt")));
+            w.endSection();
+        }
+    }
+    net_->saveState(w.beginSection("net"));
+    w.endSection();
+    if (faults_) {
+        faults_->saveState(w.beginSection("faults"));
+        w.endSection();
+    }
+    if (traceMgr_) {
+        traceMgr_->saveState(w.beginSection("trace"));
+        w.endSection();
+    }
+    eq_.saveState(w.beginSection("eventq"));
+    w.endSection();
+}
+
+bool
+Machine::save(const std::string &path, std::string *err) const
+{
+    snap::SnapWriter w(configHash());
+    saveSections(w);
+    return w.write(path, err);
+}
+
+std::vector<std::uint8_t>
+Machine::saveImage() const
+{
+    snap::SnapWriter w(configHash());
+    saveSections(w);
+    return w.finish();
+}
+
+bool
+Machine::restore(const std::string &path, std::string *err)
+{
+    snap::SnapReader r;
+    if (!r.load(path)) {
+        if (err != nullptr)
+            *err = r.error();
+        return false;
+    }
+    return restoreFrom(r, err);
+}
+
+bool
+Machine::restoreImage(std::vector<std::uint8_t> image, std::string *err)
+{
+    snap::SnapReader r;
+    if (!r.parse(std::move(image))) {
+        if (err != nullptr)
+            *err = r.error();
+        return false;
+    }
+    return restoreFrom(r, err);
+}
+
+bool
+Machine::restoreFrom(const snap::SnapReader &r, std::string *err)
+{
+    auto fail = [err](std::string why) {
+        if (err != nullptr)
+            *err = std::move(why);
+        return false;
+    };
+    auto sectionFail = [&](std::string_view name, const snap::Des &in) {
+        return fail("section '" + std::string(name) + "': " + in.error());
+    };
+
+    if (r.configHash() != configHash()) {
+        return fail("config hash mismatch: the snapshot was taken on a "
+                    "machine with different state-affecting parameters "
+                    "(model/nodes/threads/frequencies/fault plan/retry "
+                    "policy)");
+    }
+    if (checker_) {
+        return fail("restore requires checkLevel=Off: the checker's "
+                    "mirror state is rebuilt from observed transitions "
+                    "and cannot be reconstructed mid-run");
+    }
+    if (eq_.executedCount() != 0 || eq_.curTick() != 0) {
+        return fail("restore requires a freshly constructed machine "
+                    "(this one has already run)");
+    }
+
+    {
+        snap::Des in = r.section("meta");
+        std::string model = in.str();
+        std::uint32_t nodes = in.u32();
+        std::uint32_t tpn = in.u32();
+        Tick exec = in.u64();
+        if (!in.ok())
+            return sectionFail("meta", in);
+        if (model != modelName(params_.model) ||
+            nodes != params_.nodes ||
+            tpn != params_.appThreadsPerNode) {
+            return fail("snapshot metadata does not match this machine "
+                        "(model " + model + ", " + std::to_string(nodes) +
+                        " node(s))");
+        }
+        execTime_ = exec;
+    }
+
+    if (r.hasSection("workload")) {
+        if (workloadState_ == nullptr) {
+            return fail("snapshot carries workload state but no "
+                        "delegate is attached: build the identical app "
+                        "and call setWorkloadState() before restore()");
+        }
+        snap::Des in = r.section("workload");
+        workloadState_->restoreState(in);
+        if (!in.ok())
+            return sectionFail("workload", in);
+    } else if (workloadState_ != nullptr) {
+        return fail("snapshot has no workload section but a workload "
+                    "delegate is attached");
+    }
+
+    snap::EventCodec codec = buildEventCodec();
+
+    for (unsigned n = 0; n < nodes_.size(); ++n) {
+        std::string name = nodeSection(n, "cpu");
+        snap::Des in = r.section(name);
+        nodes_[n]->cpu->restoreState(in);
+        if (!in.ok())
+            return sectionFail(name, in);
+    }
+    for (unsigned n = 0; n < nodes_.size(); ++n) {
+        std::string name = nodeSection(n, "mc");
+        snap::Des in = r.section(name);
+        nodes_[n]->mc->restoreState(in, codec);
+        if (!in.ok())
+            return sectionFail(name, in);
+    }
+    for (unsigned n = 0; n < nodes_.size(); ++n) {
+        std::string name = nodeSection(n, "cache");
+        snap::Des in = r.section(name);
+        nodes_[n]->cache->restoreState(in, codec);
+        if (!in.ok())
+            return sectionFail(name, in);
+    }
+    for (unsigned n = 0; n < nodes_.size(); ++n) {
+        Node &node = *nodes_[n];
+        if (node.pengine) {
+            std::string name = nodeSection(n, "pe");
+            snap::Des in = r.section(name);
+            node.pengine->restoreState(in);
+            if (!in.ok())
+                return sectionFail(name, in);
+        }
+        if (node.pthread) {
+            std::string name = nodeSection(n, "pt");
+            snap::Des in = r.section(name);
+            node.pthread->restoreState(in);
+            if (!in.ok())
+                return sectionFail(name, in);
+        }
+    }
+
+    {
+        snap::Des in = r.section("net");
+        net_->restoreState(in);
+        if (!in.ok())
+            return sectionFail("net", in);
+    }
+
+    if (faults_) {
+        snap::Des in = r.section("faults");
+        faults_->restoreState(in);
+        if (!in.ok())
+            return sectionFail("faults", in);
+    }
+
+    // Trace config is observation-only (outside the config hash), but a
+    // resumed *traced* run can only match its uninterrupted twin if the
+    // warmup's telemetry is carried over too.
+    if (traceMgr_) {
+        if (!r.hasSection("trace")) {
+            return fail("tracing is enabled but the snapshot has no "
+                        "trace section: take the snapshot with tracing "
+                        "on, or restore with tracing off");
+        }
+        snap::Des in = r.section("trace");
+        traceMgr_->restoreState(in);
+        if (!in.ok())
+            return sectionFail("trace", in);
+    }
+
+    {
+        snap::Des in = r.section("eventq");
+        eq_.restoreState(in, codec);
+        if (!in.ok())
+            return sectionFail("eventq", in);
+    }
+    return true;
+}
+
+} // namespace smtp

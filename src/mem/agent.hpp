@@ -47,6 +47,12 @@ struct TransactionCtx
     bool memReadStarted = false;
     bool memDone = false;
     std::vector<InlineCallback> memWaiters;
+    /**
+     * handlerDone has run. The controller keeps a finished context
+     * alive only while an SDRAM read completion event still references
+     * it by id; the completion reaps it.
+     */
+    bool finished = false;
 };
 
 class ProtocolAgent

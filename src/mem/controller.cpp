@@ -1,5 +1,6 @@
 #include "controller.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 
@@ -85,7 +86,7 @@ MemController::lmiEnqueue(const Message &msg)
     Message m = msg;
     lmiQ_.push(m);
     lastLmiEnqueue = eq_->curTick();
-    eq_->scheduleIn(params_.busLatency, [this] { tryDispatch(); });
+    eq_->scheduleIn(params_.busLatency, PokeEv{this});
     return true;
 }
 
@@ -97,17 +98,15 @@ MemController::niDeliver(const Message &msg)
         return false;
     ++msgsFromNet;
     niInQ_[vnet].push(msg);
-    eq_->scheduleIn(clock_.period(), [this] { tryDispatch(); });
+    eq_->scheduleIn(clock_.period(), PokeEv{this});
     return true;
 }
 
 void
 MemController::bypassAccess(Addr addr, bool write, EventQueue::Callback done)
 {
-    eq_->scheduleIn(params_.busLatency, [this, addr, write,
-                                         done = std::move(done)]() mutable {
-        sdram_.access(addr, l2LineBytes, write, std::move(done));
-    });
+    eq_->scheduleIn(params_.busLatency,
+                    BypassBusEv{this, addr, write, std::move(done)});
 }
 
 bool
@@ -151,10 +150,7 @@ MemController::scheduleDispatchPoll()
         return;
     dispatchPollScheduled_ = true;
     Tick when = std::max(deferQ_.front().first, eq_->curTick() + 1);
-    eq_->schedule(when, [this] {
-        dispatchPollScheduled_ = false;
-        tryDispatch();
-    });
+    eq_->schedule(when, DispatchPollEv{this});
 }
 
 void
@@ -263,19 +259,14 @@ MemController::dispatch(const Message &msg_in)
 
     if (proto::expectsMemoryData(msg.type) && home_local) {
         ctx->memReadStarted = true;
-        auto c = ctx;
-        sdram_.access(lineAlign(msg.addr), l2LineBytes, false, [this, c] {
-            c->memDone = true;
-            for (auto &fn : c->memWaiters)
-                fn();
-            c->memWaiters.clear();
-        });
+        sdram_.access(lineAlign(msg.addr), l2LineBytes, false,
+                      CtxMemDoneEv{this, ctx->id});
         if (msg.requester == self_) {
             // Keep the staged line available for a later CcFill issued
             // by the ack-collection handler (DataSrc::Buffer).
-            std::uint8_t mshr = msg.mshr;
-            ctx->memWaiters.push_back(
-                [this, mshr] { stageMshrData(mshr, eq_->curTick()); });
+            Message stage;
+            stage.mshr = msg.mshr;
+            ctx->memWaiters.push_back(PendingSendEv{this, 3, stage, false});
         }
     }
     if (msg.type == MsgType::RplDataEx && msg.requester == self_) {
@@ -338,55 +329,13 @@ MemController::releaseSend(TransactionCtx *ctx_raw, unsigned idx)
                      static_cast<unsigned long long>(send.msg.addr));
     }
 
-    // A thunk that runs once the message's data payload is available.
-    auto with_data = [this, ctx, send](std::function<void(Tick)> fn) {
-        switch (send.dataSrc) {
-          case DataSrc::None:
-          case DataSrc::Carried:
-            fn(eq_->curTick());
-            return;
-          case DataSrc::Probe:
-            fn(std::max(eq_->curTick(), ctx->probeReady));
-            return;
-          case DataSrc::Buffer:
-            fn(std::max(eq_->curTick(), mshrDataReady(send.msg.mshr)));
-            return;
-          case DataSrc::Memory:
-            if (!ctx->memReadStarted) {
-                // Lazy read (e.g. the PutClean writeback-race path).
-                auto c = ctx;
-                ctx->memReadStarted = true;
-                sdram_.access(lineAlign(ctx->msg.addr), l2LineBytes, false,
-                              [c] {
-                                  c->memDone = true;
-                                  for (auto &w : c->memWaiters)
-                                      w();
-                                  c->memWaiters.clear();
-                              });
-            }
-            if (ctx->memDone) {
-                fn(eq_->curTick());
-            } else {
-                ctx->memWaiters.push_back(
-                    [this, fn] { fn(eq_->curTick()); });
-            }
-            return;
-        }
-    };
-
+    // Bookkeeping happens at release time even when the data payload is
+    // still in flight (the continuation is parked in memWaiters).
     switch (send.target) {
       case SendTarget::MemWrite:
-        with_data([this, ctx](Tick ready) {
-            eq_->schedule(std::max(ready, eq_->curTick()), [this, ctx] {
-                sdram_.access(lineAlign(ctx->msg.addr), l2LineBytes, true);
-            });
-        });
         break;
       case SendTarget::Local:
         ++pendingLocalDeliveries_;
-        with_data([this, msg = send.msg](Tick ready) {
-            deliverLocal(msg, ready);
-        });
         break;
       case SendTarget::Network:
         if (send.msg.type == MsgType::RplNak) {
@@ -395,30 +344,129 @@ MemController::releaseSend(TransactionCtx *ctx_raw, unsigned idx)
                              trace::packMsg(send.msg, send.msg.mshr));
         }
         ++pendingDelayedSends_;
-        with_data([this, msg = send.msg, delayed = send.delayed](Tick rdy) {
-            pushToNetwork(msg, rdy, delayed);
-        });
         break;
     }
+
+    // Resolve when the data payload is available, or park a
+    // serializable continuation until the SDRAM read lands.
+    Tick ready = eq_->curTick();
+    switch (send.dataSrc) {
+      case DataSrc::None:
+      case DataSrc::Carried:
+        break;
+      case DataSrc::Probe:
+        ready = std::max(ready, ctx->probeReady);
+        break;
+      case DataSrc::Buffer:
+        ready = std::max(ready, mshrDataReady(send.msg.mshr));
+        break;
+      case DataSrc::Memory:
+        if (!ctx->memReadStarted) {
+            // Lazy read (e.g. the PutClean writeback-race path).
+            ctx->memReadStarted = true;
+            sdram_.access(lineAlign(ctx->msg.addr), l2LineBytes, false,
+                          CtxMemDoneEv{this, ctx->id});
+        }
+        if (!ctx->memDone) {
+            std::uint8_t kind = 0;
+            Message m = send.msg;
+            switch (send.target) {
+              case SendTarget::MemWrite:
+                kind = 0;
+                m = Message{};
+                m.addr = ctx->msg.addr;
+                break;
+              case SendTarget::Local:
+                kind = 1;
+                break;
+              case SendTarget::Network:
+                kind = 2;
+                break;
+            }
+            ctx->memWaiters.push_back(
+                PendingSendEv{this, kind, m, send.delayed});
+            return;
+        }
+        break;
+    }
+    startSend(send, ctx->msg.addr, ready);
+}
+
+void
+MemController::startSend(const proto::SendRec &send, Addr ctx_addr,
+                         Tick ready)
+{
+    switch (send.target) {
+      case SendTarget::MemWrite:
+        eq_->schedule(std::max(ready, eq_->curTick()),
+                      MemWriteEv{this, ctx_addr});
+        break;
+      case SendTarget::Local:
+        deliverLocal(send.msg, ready);
+        break;
+      case SendTarget::Network:
+        pushToNetwork(send.msg, ready, send.delayed);
+        break;
+    }
+}
+
+void
+MemController::runPendingSend(std::uint8_t kind, const Message &msg,
+                              bool delayed)
+{
+    switch (kind) {
+      case 0:
+        eq_->schedule(eq_->curTick(), MemWriteEv{this, msg.addr});
+        break;
+      case 1:
+        deliverLocal(msg, eq_->curTick());
+        break;
+      case 2:
+        pushToNetwork(msg, eq_->curTick(), delayed);
+        break;
+      case 3:
+        stageMshrData(msg.mshr, eq_->curTick());
+        break;
+      default:
+        SMTP_PANIC("bad pending-send kind %u", kind);
+    }
+}
+
+void
+MemController::ctxMemDone(std::uint64_t id)
+{
+    auto it = ctxs_.find(id);
+    SMTP_ASSERT(it != ctxs_.end(), "memory completion for a dead ctx");
+    auto ctx = it->second;
+    ctx->memDone = true;
+    auto waiters = std::move(ctx->memWaiters);
+    ctx->memWaiters.clear();
+    for (auto &fn : waiters)
+        fn();
+    if (ctx->finished)
+        ctxs_.erase(id);
 }
 
 void
 MemController::deliverLocal(Message msg, Tick data_ready)
 {
     Tick when = std::max(data_ready, eq_->curTick()) + params_.busLatency;
-    auto deliver = [this, msg] {
-        if (cache_->deliverFill(msg)) {
-            --pendingLocalDeliveries_;
-            return;
-        }
-        // Eviction path backed up; retry.
-        --pendingLocalDeliveries_;
-        deliverLocal(msg, eq_->curTick() + clock_.period());
-        ++pendingLocalDeliveries_;
-    };
-    static_assert(EventQueue::Callback::storesInline<decltype(deliver)>,
+    static_assert(EventQueue::Callback::storesInline<DeliverLocalEv>,
                   "local fill delivery must stay on the inline fast path");
-    eq_->schedule(when, std::move(deliver));
+    eq_->schedule(when, DeliverLocalEv{this, msg});
+}
+
+void
+MemController::deliverLocalNow(const Message &msg)
+{
+    if (cache_->deliverFill(msg)) {
+        --pendingLocalDeliveries_;
+        return;
+    }
+    // Eviction path backed up; retry.
+    --pendingLocalDeliveries_;
+    deliverLocal(msg, eq_->curTick() + clock_.period());
+    ++pendingLocalDeliveries_;
 }
 
 void
@@ -450,13 +498,17 @@ MemController::pushToNetwork(Message msg, Tick data_ready, bool delayed)
                 checker_->onStarvation(self_, msg.addr, retries);
         }
     }
-    eq_->schedule(when, [this, msg] {
-        --pendingDelayedSends_;
-        auto vnet = proto::vnetOf(msg.type);
-        if (!niOutQ_[vnet].tryPush(msg))
-            niOutOverflow_.push_back(msg);
-        drainNiOut();
-    });
+    eq_->schedule(when, NetDeliverEv{this, msg});
+}
+
+void
+MemController::netDeliverNow(const Message &msg)
+{
+    --pendingDelayedSends_;
+    auto vnet = proto::vnetOf(msg.type);
+    if (!niOutQ_[vnet].tryPush(msg))
+        niOutOverflow_.push_back(msg);
+    drainNiOut();
 }
 
 void
@@ -471,23 +523,27 @@ MemController::drainNiOut()
     if (!any)
         return;
     niOutDrainScheduled_ = true;
-    eq_->schedule(clock_.edgeAfter(eq_->curTick()), [this] {
-        niOutDrainScheduled_ = false;
-        for (auto &q : niOutQ_) {
-            if (!q.empty()) {
-                net_->inject(q.pop());
-                break;
-            }
+    eq_->schedule(clock_.edgeAfter(eq_->curTick()), DrainNiOutEv{this});
+}
+
+void
+MemController::drainNiOutNow()
+{
+    niOutDrainScheduled_ = false;
+    for (auto &q : niOutQ_) {
+        if (!q.empty()) {
+            net_->inject(q.pop());
+            break;
         }
-        // Refill bounded queues from the overflow staging.
-        while (!niOutOverflow_.empty()) {
-            auto vnet = proto::vnetOf(niOutOverflow_.front().type);
-            if (!niOutQ_[vnet].tryPush(niOutOverflow_.front()))
-                break;
-            niOutOverflow_.pop_front();
-        }
-        drainNiOut();
-    });
+    }
+    // Refill bounded queues from the overflow staging.
+    while (!niOutOverflow_.empty()) {
+        auto vnet = proto::vnetOf(niOutOverflow_.front().type);
+        if (!niOutQ_[vnet].tryPush(niOutOverflow_.front()))
+            break;
+        niOutOverflow_.pop_front();
+    }
+    drainNiOut();
 }
 
 void
@@ -507,9 +563,13 @@ MemController::handlerDone(TransactionCtx *ctx_raw)
                      trace::packDone(eq_->curTick() -
                                          it->second->dispatchTick,
                                      it->second->msg.type));
-    ctxs_.erase(it);
+    // A pending SDRAM read completion still references the context by
+    // id; let it reap the entry when it lands.
+    it->second->finished = true;
+    if (!it->second->memReadStarted || it->second->memDone)
+        ctxs_.erase(it);
     --inFlight_;
-    eq_->scheduleIn(clock_.period(), [this] { tryDispatch(); });
+    eq_->scheduleIn(clock_.period(), PokeEv{this});
 }
 
 std::uint64_t
@@ -578,6 +638,257 @@ MemController::probeResult()
 {
     SMTP_ASSERT(dispatching_ != nullptr, "ldprobe outside dispatch");
     return dispatching_->probeBits;
+}
+
+// ---- Snapshot support --------------------------------------------------
+
+namespace
+{
+
+void
+putMsgQueue(snap::Ser &out, const FixedQueue<Message> &q)
+{
+    out.u64(q.size());
+    for (const auto &m : q)
+        proto::snapPut(out, m);
+}
+
+void
+getMsgQueue(snap::Des &in, FixedQueue<Message> &q)
+{
+    q.clear();
+    std::uint64_t n = in.count(8);
+    if (in.ok() && n > q.capacity()) {
+        in.fail("corrupt snapshot: queue occupancy exceeds capacity");
+        return;
+    }
+    for (std::uint64_t i = 0; in.ok() && i < n; ++i)
+        q.push(proto::snapGetMessage(in));
+}
+
+} // namespace
+
+void
+MemController::saveState(snap::Ser &out) const
+{
+    ram_.saveState(out);
+    sdram_.saveState(out);
+    executor_.saveState(out);
+    rng_.saveState(out);
+
+    putMsgQueue(out, lmiQ_);
+    for (const auto &q : niInQ_)
+        putMsgQueue(out, q);
+    for (const auto &q : niOutQ_)
+        putMsgQueue(out, q);
+    out.seq(niOutOverflow_, [](snap::Ser &s, const Message &m) {
+        proto::snapPut(s, m);
+    });
+    out.seq(deferQ_,
+            [](snap::Ser &s, const std::pair<Tick, Message> &e) {
+                s.u64(e.first);
+                proto::snapPut(s, e.second);
+            });
+    out.u32(rrSource_);
+
+    std::vector<std::uint64_t> ids;
+    ids.reserve(ctxs_.size());
+    for (const auto &[id, ctx] : ctxs_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    out.u64(ids.size());
+    for (std::uint64_t id : ids) {
+        const TransactionCtx &c = *ctxs_.at(id);
+        out.u64(c.id);
+        proto::snapPut(out, c.msg);
+        proto::snapPut(out, c.trace);
+        out.u64(c.dispatchTick);
+        out.u64(c.probeReady);
+        out.u64(c.probeBits);
+        out.b(c.memReadStarted);
+        out.b(c.memDone);
+        out.u64(c.memWaiters.size());
+        for (const auto &fn : c.memWaiters)
+            snap::EventCodec::encode(out, fn);
+        out.b(c.finished);
+    }
+    out.u64(nextCtxId_);
+    out.u32(inFlight_);
+    out.u32(pendingDelayedSends_);
+    out.u32(pendingLocalDeliveries_);
+    out.b(dispatchPollScheduled_);
+    out.b(niOutDrainScheduled_);
+
+    for (Tick t : mshrReady_)
+        out.u64(t);
+
+    handlersDispatched.saveState(out);
+    msgsFromLmi.saveState(out);
+    msgsFromNet.saveState(out);
+    probesDeferred.saveState(out);
+    naksSent.saveState(out);
+    starvationFlags.saveState(out);
+    lmiOccupancy.saveState(out);
+    handlerLatency.saveState(out);
+    out.u64(tryDispatchCalls);
+    out.u64(lastTryDispatch);
+    out.u64(lastLmiEnqueue);
+}
+
+void
+MemController::restoreState(snap::Des &in, const snap::EventCodec &codec)
+{
+    ram_.restoreState(in);
+    sdram_.restoreState(in);
+    executor_.restoreState(in);
+    rng_.restoreState(in);
+
+    getMsgQueue(in, lmiQ_);
+    for (auto &q : niInQ_)
+        getMsgQueue(in, q);
+    for (auto &q : niOutQ_)
+        getMsgQueue(in, q);
+    niOutOverflow_.clear();
+    std::uint64_t novf = in.count(8);
+    for (std::uint64_t i = 0; in.ok() && i < novf; ++i)
+        niOutOverflow_.push_back(proto::snapGetMessage(in));
+    deferQ_.clear();
+    std::uint64_t ndef = in.count(16);
+    for (std::uint64_t i = 0; in.ok() && i < ndef; ++i) {
+        Tick t = in.u64();
+        deferQ_.emplace_back(t, proto::snapGetMessage(in));
+    }
+    rrSource_ = in.u32();
+
+    ctxs_.clear();
+    std::uint64_t nctx = in.count(32);
+    for (std::uint64_t i = 0; in.ok() && i < nctx; ++i) {
+        auto ctx = std::make_shared<TransactionCtx>();
+        ctx->id = in.u64();
+        ctx->msg = proto::snapGetMessage(in);
+        ctx->trace = proto::snapGetTrace(in);
+        ctx->dispatchTick = in.u64();
+        ctx->probeReady = in.u64();
+        ctx->probeBits = in.u64();
+        ctx->memReadStarted = in.bl();
+        ctx->memDone = in.bl();
+        std::uint64_t nw = in.count(4);
+        ctx->memWaiters.reserve(nw);
+        for (std::uint64_t w = 0; in.ok() && w < nw; ++w)
+            ctx->memWaiters.push_back(codec.decode(in));
+        ctx->finished = in.bl();
+        if (in.ok())
+            ctxs_[ctx->id] = std::move(ctx);
+    }
+    nextCtxId_ = in.u64();
+    inFlight_ = in.u32();
+    pendingDelayedSends_ = in.u32();
+    pendingLocalDeliveries_ = in.u32();
+    dispatchPollScheduled_ = in.bl();
+    niOutDrainScheduled_ = in.bl();
+
+    for (Tick &t : mshrReady_)
+        t = in.u64();
+
+    handlersDispatched.restoreState(in);
+    msgsFromLmi.restoreState(in);
+    msgsFromNet.restoreState(in);
+    probesDeferred.restoreState(in);
+    naksSent.restoreState(in);
+    starvationFlags.restoreState(in);
+    lmiOccupancy.restoreState(in);
+    handlerLatency.restoreState(in);
+    tryDispatchCalls = in.u64();
+    lastTryDispatch = in.u64();
+    lastLmiEnqueue = in.u64();
+}
+
+void
+MemController::registerSnapEvents(
+    snap::EventCodec &codec, std::function<MemController *(NodeId)> resolve)
+{
+    auto mc_of = [resolve](snap::Des &in) -> MemController * {
+        NodeId n = in.u16();
+        MemController *mc = resolve(n);
+        if (mc == nullptr)
+            in.fail("controller event for unknown node");
+        return mc;
+    };
+    codec.add(snap::evMcPoke,
+              [mc_of](snap::Des &in) -> EventQueue::Callback {
+                  MemController *mc = mc_of(in);
+                  if (!mc)
+                      return {};
+                  return PokeEv{mc};
+              });
+    codec.add(snap::evMcDispatchPoll,
+              [mc_of](snap::Des &in) -> EventQueue::Callback {
+                  MemController *mc = mc_of(in);
+                  if (!mc)
+                      return {};
+                  return DispatchPollEv{mc};
+              });
+    codec.add(snap::evMcCtxMemDone,
+              [mc_of](snap::Des &in) -> EventQueue::Callback {
+                  MemController *mc = mc_of(in);
+                  std::uint64_t id = in.u64();
+                  if (!mc)
+                      return {};
+                  return CtxMemDoneEv{mc, id};
+              });
+    codec.add(snap::evMcDeliverLocal,
+              [mc_of](snap::Des &in) -> EventQueue::Callback {
+                  MemController *mc = mc_of(in);
+                  Message m = proto::snapGetMessage(in);
+                  if (!mc)
+                      return {};
+                  return DeliverLocalEv{mc, m};
+              });
+    codec.add(snap::evMcNetDeliver,
+              [mc_of](snap::Des &in) -> EventQueue::Callback {
+                  MemController *mc = mc_of(in);
+                  Message m = proto::snapGetMessage(in);
+                  if (!mc)
+                      return {};
+                  return NetDeliverEv{mc, m};
+              });
+    codec.add(snap::evMcDrainNiOut,
+              [mc_of](snap::Des &in) -> EventQueue::Callback {
+                  MemController *mc = mc_of(in);
+                  if (!mc)
+                      return {};
+                  return DrainNiOutEv{mc};
+              });
+    codec.add(snap::evMcMemWrite,
+              [mc_of](snap::Des &in) -> EventQueue::Callback {
+                  MemController *mc = mc_of(in);
+                  Addr a = in.u64();
+                  if (!mc)
+                      return {};
+                  return MemWriteEv{mc, a};
+              });
+    codec.add(snap::evMcPendingSend,
+              [mc_of](snap::Des &in) -> EventQueue::Callback {
+                  MemController *mc = mc_of(in);
+                  std::uint8_t kind = in.u8();
+                  Message m = proto::snapGetMessage(in);
+                  bool delayed = in.bl();
+                  if (!mc || kind > 3) {
+                      in.fail("corrupt snapshot: pending-send kind");
+                      return {};
+                  }
+                  return PendingSendEv{mc, kind, m, delayed};
+              });
+    codec.add(snap::evMcBypassDone,
+              [mc_of, &codec](snap::Des &in) -> EventQueue::Callback {
+                  MemController *mc = mc_of(in);
+                  Addr a = in.u64();
+                  bool write = in.bl();
+                  EventQueue::Callback done = codec.decode(in);
+                  if (!mc)
+                      return {};
+                  return BypassBusEv{mc, a, write, std::move(done)};
+              });
 }
 
 } // namespace smtp

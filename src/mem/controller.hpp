@@ -109,6 +109,183 @@ class MemController : public proto::ExecEnv
     /** The agent's acceptance state changed (e.g. an LAS slot opened). */
     void agentPoke() { tryDispatch(); }
 
+    /** Look up a live transaction (agent state restore). */
+    TransactionCtx *
+    ctxById(std::uint64_t id)
+    {
+        auto it = ctxs_.find(id);
+        return it == ctxs_.end() ? nullptr : it->second.get();
+    }
+
+    // ---- Snapshot support --------------------------------------------
+
+    /** Dispatch poke after a bus/clock crossing. */
+    struct PokeEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evMcPoke;
+        MemController *mc;
+
+        void operator()() const { mc->tryDispatch(); }
+
+        void snapEncode(snap::Ser &s) const { s.u16(mc->self_); }
+    };
+
+    /** Deferred-intervention replay poll. */
+    struct DispatchPollEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evMcDispatchPoll;
+        MemController *mc;
+
+        void
+        operator()() const
+        {
+            mc->dispatchPollScheduled_ = false;
+            mc->tryDispatch();
+        }
+
+        void snapEncode(snap::Ser &s) const { s.u16(mc->self_); }
+    };
+
+    /** Speculative/lazy SDRAM line read completed for a transaction. */
+    struct CtxMemDoneEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evMcCtxMemDone;
+        MemController *mc;
+        std::uint64_t ctxId;
+
+        void operator()() const { mc->ctxMemDone(ctxId); }
+
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(mc->self_);
+            s.u64(ctxId);
+        }
+    };
+
+    /** Local fill delivery (retries when the eviction path pushes back). */
+    struct DeliverLocalEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evMcDeliverLocal;
+        MemController *mc;
+        proto::Message msg;
+
+        void operator()() const { mc->deliverLocalNow(msg); }
+
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(mc->self_);
+            proto::snapPut(s, msg);
+        }
+    };
+
+    /** Delayed network send entering the NI output queues. */
+    struct NetDeliverEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evMcNetDeliver;
+        MemController *mc;
+        proto::Message msg;
+
+        void operator()() const { mc->netDeliverNow(msg); }
+
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(mc->self_);
+            proto::snapPut(s, msg);
+        }
+    };
+
+    /** One message per controller cycle leaves through the NI. */
+    struct DrainNiOutEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evMcDrainNiOut;
+        MemController *mc;
+
+        void operator()() const { mc->drainNiOutNow(); }
+
+        void snapEncode(snap::Ser &s) const { s.u16(mc->self_); }
+    };
+
+    /** Commit a carried data line to local SDRAM. */
+    struct MemWriteEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evMcMemWrite;
+        MemController *mc;
+        Addr addr;
+
+        void
+        operator()() const
+        {
+            mc->sdram_.access(lineAlign(addr), l2LineBytes, true);
+        }
+
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(mc->self_);
+            s.u64(addr);
+        }
+    };
+
+    /**
+     * Data-availability continuation parked in a transaction's
+     * memWaiters list. Kinds: 0 = SDRAM write commit (addr in msg.addr),
+     * 1 = local delivery, 2 = network send, 3 = stage the per-MSHR data
+     * buffer (id in msg.mshr).
+     */
+    struct PendingSendEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evMcPendingSend;
+        MemController *mc;
+        std::uint8_t kind;
+        proto::Message msg;
+        bool delayed;
+
+        void operator()() const { mc->runPendingSend(kind, msg, delayed); }
+
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(mc->self_);
+            s.u8(kind);
+            proto::snapPut(s, msg);
+            s.b(delayed);
+        }
+    };
+
+    /** Bypass-bus crossing towards the SDRAM (protocol space). */
+    struct BypassBusEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evMcBypassDone;
+        MemController *mc;
+        Addr addr;
+        bool write;
+        EventQueue::Callback done;
+
+        void
+        operator()() const
+        {
+            mc->sdram_.access(addr, l2LineBytes, write, done);
+        }
+
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(mc->self_);
+            s.u64(addr);
+            s.b(write);
+            snap::EventCodec::encode(s, done);
+        }
+    };
+
+    void saveState(snap::Ser &out) const;
+    void restoreState(snap::Des &in, const snap::EventCodec &codec);
+    static void
+    registerSnapEvents(snap::EventCodec &codec,
+                       std::function<MemController *(NodeId)> resolve);
+
     // ---- proto::ExecEnv ----------------------------------------------
 
     std::uint64_t protoLoad(Addr a, unsigned bytes) override;
@@ -225,6 +402,15 @@ class MemController : public proto::ExecEnv
     void deliverLocal(proto::Message msg, Tick data_ready);
     void pushToNetwork(proto::Message msg, Tick data_ready, bool delayed);
     void drainNiOut();
+
+    /** Event bodies (shared by the lambda-free snapshot functors). */
+    void ctxMemDone(std::uint64_t id);
+    void deliverLocalNow(const proto::Message &msg);
+    void netDeliverNow(const proto::Message &msg);
+    void drainNiOutNow();
+    void runPendingSend(std::uint8_t kind, const proto::Message &msg,
+                        bool delayed);
+    void startSend(const proto::SendRec &send, Addr ctx_addr, Tick ready);
 
     /** Classify a handler store into the checker's dir/pend audits. */
     void auditProtoStore(Addr a, std::uint64_t v);

@@ -19,6 +19,7 @@
 
 #include "common/log.hpp"
 #include "common/types.hpp"
+#include "snap/snap.hpp"
 
 namespace smtp
 {
@@ -65,6 +66,9 @@ class ProtocolRam
 
     /** Number of resident (non-zero) 8-byte words, for tests. */
     std::size_t residentWords() const { return words_.size(); }
+
+    void saveState(snap::Ser &out) const { out.wordMap(words_); }
+    void restoreState(snap::Des &in) { in.wordMap(words_); }
 
   private:
     std::unordered_map<Addr, std::uint64_t> words_;

@@ -103,6 +103,26 @@ class Sdram
         node_ = node;
     }
 
+    void
+    saveState(snap::Ser &out) const
+    {
+        out.u64(deviceFree_);
+        reads.saveState(out);
+        writes.saveState(out);
+        busyTicks.saveState(out);
+        queueDelay.saveState(out);
+    }
+
+    void
+    restoreState(snap::Des &in)
+    {
+        deviceFree_ = in.u64();
+        reads.restoreState(in);
+        writes.restoreState(in);
+        busyTicks.restoreState(in);
+        queueDelay.restoreState(in);
+    }
+
     Counter reads, writes;
     Counter busyTicks;
     Distribution queueDelay;

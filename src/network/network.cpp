@@ -141,18 +141,16 @@ Network::inject(const proto::Message &msg)
     if (m.src == m.dest) {
         // Loopback through the NI without touching the fabric; charge a
         // single hop of latency for the controller-internal turnaround.
-        auto loopback = [this, m] { land(m); };
-        static_assert(EventQueue::Callback::storesInline<decltype(loopback)>,
+        static_assert(EventQueue::Callback::storesInline<LandEv>,
                       "message delivery must stay on the inline fast path");
-        eq_.scheduleIn(params_.hopLatency, std::move(loopback));
+        eq_.scheduleIn(params_.hopLatency, LandEv{this, m});
         return;
     }
 
     unsigned src_router = routerOf(m.src);
-    auto first_hop = [this, m, src_router] { hop(m, src_router); };
-    static_assert(EventQueue::Callback::storesInline<decltype(first_hop)>,
+    static_assert(EventQueue::Callback::storesInline<HopEv>,
                   "hop continuations must stay on the inline fast path");
-    traverse(nodeLinksOut_[m.src], m, std::move(first_hop));
+    traverse(nodeLinksOut_[m.src], m, HopEv{this, m, src_router});
 }
 
 void
@@ -162,13 +160,11 @@ Network::hop(proto::Message msg, unsigned cur_router)
                      trace::EventId::NetHop, trace::packNet(msg));
     unsigned dst_router = routerOf(msg.dest);
     if (cur_router == dst_router) {
-        traverse(nodeLinksIn_[msg.dest], msg,
-                 [this, msg] { land(msg); }, true);
+        traverse(nodeLinksIn_[msg.dest], msg, LandEv{this, msg}, true);
         return;
     }
     unsigned next = nextRouter(cur_router, dst_router);
-    traverse(linkBetween(cur_router, next), msg,
-             [this, msg, next] { hop(msg, next); });
+    traverse(linkBetween(cur_router, next), msg, HopEv{this, msg, next});
 }
 
 void
@@ -251,11 +247,97 @@ Network::tryDeliver(NodeId node, std::uint8_t vnet)
     }
     if (!q.empty() && !retryScheduled_[idx]) {
         retryScheduled_[idx] = true;
-        eq_.scheduleIn(retryInterval, [this, node, vnet, idx] {
-            retryScheduled_[idx] = false;
-            tryDeliver(node, vnet);
-        });
+        eq_.scheduleIn(retryInterval, RetryEv{this, node, vnet});
     }
+}
+
+void
+Network::saveState(snap::Ser &out) const
+{
+    auto putLink = [](snap::Ser &s, const Link &l) {
+        s.u64(l.busyUntil);
+        s.u64(l.lastArrival);
+        s.u64(l.msgs.value());
+    };
+    out.seq(links_, putLink);
+    out.seq(nodeLinksIn_, putLink);
+    out.seq(nodeLinksOut_, putLink);
+    out.seq(landing_, [](snap::Ser &s, const std::deque<proto::Message> &q) {
+        s.seq(q, [](snap::Ser &s2, const proto::Message &m) {
+            proto::snapPut(s2, m);
+        });
+    });
+    out.seq(retryScheduled_,
+            [](snap::Ser &s, bool v) { s.b(v); });
+    out.u64(inFlight_);
+    out.u32(nextTraceId_);
+    out.u64(lostMessages_);
+    msgsInjected.saveState(out);
+    bytesInjected.saveState(out);
+    hopDist.saveState(out);
+}
+
+void
+Network::restoreState(snap::Des &in)
+{
+    auto getLinks = [&](std::vector<Link> &links) {
+        std::uint64_t n = in.count(24);
+        if (in.ok() && n != links.size()) {
+            in.fail("snapshot link count does not match topology");
+            return;
+        }
+        for (auto &l : links) {
+            l.busyUntil = in.u64();
+            l.lastArrival = in.u64();
+            l.msgs.reset();
+            l.msgs += in.u64();
+        }
+    };
+    getLinks(links_);
+    getLinks(nodeLinksIn_);
+    getLinks(nodeLinksOut_);
+    std::uint64_t nq = in.count(8);
+    if (in.ok() && nq != landing_.size()) {
+        in.fail("snapshot landing-buffer count does not match topology");
+        return;
+    }
+    for (auto &q : landing_) {
+        q.clear();
+        std::uint64_t n = in.count(22);
+        for (std::uint64_t i = 0; i < n && in.ok(); ++i)
+            q.push_back(proto::snapGetMessage(in));
+    }
+    std::uint64_t nr = in.count(1);
+    if (in.ok() && nr != retryScheduled_.size()) {
+        in.fail("snapshot retry-flag count does not match topology");
+        return;
+    }
+    for (std::size_t i = 0; i < retryScheduled_.size(); ++i)
+        retryScheduled_[i] = in.bl();
+    inFlight_ = in.u64();
+    nextTraceId_ = in.u32();
+    lostMessages_ = in.u64();
+    msgsInjected.restoreState(in);
+    bytesInjected.restoreState(in);
+    hopDist.restoreState(in);
+}
+
+void
+Network::registerSnapEvents(snap::EventCodec &codec)
+{
+    codec.add(snap::evNetLand, [this](snap::Des &d) {
+        return EventQueue::Callback(LandEv{this, proto::snapGetMessage(d)});
+    });
+    codec.add(snap::evNetHop, [this](snap::Des &d) {
+        proto::Message m = proto::snapGetMessage(d);
+        unsigned router = d.u32();
+        return EventQueue::Callback(HopEv{this, m, router});
+    });
+    codec.add(snap::evNetRetry, [this](snap::Des &d) {
+        NodeId node = d.u16();
+        std::uint8_t vnet = d.u8();
+        return EventQueue::Callback(RetryEv{this, node, vnet});
+    });
 }
 
 void

@@ -34,6 +34,7 @@
 #include "protocol/message.hpp"
 #include "sim/eventq.hpp"
 #include "sim/stats.hpp"
+#include "snap/event_codec.hpp"
 #include "trace/trace.hpp"
 
 namespace smtp
@@ -100,6 +101,67 @@ class Network
 
     /** Dump in-flight count and landing-buffer occupancy (wedge report). */
     void debugState(std::FILE *out) const;
+
+    // ---- Snapshot support --------------------------------------------
+
+    /** Final-hop / loopback arrival into the landing buffer. */
+    struct LandEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evNetLand;
+        Network *net;
+        proto::Message m;
+
+        void operator()() const { net->land(m); }
+
+        void snapEncode(snap::Ser &s) const { proto::snapPut(s, m); }
+    };
+
+    /** Head arrival at an intermediate router. */
+    struct HopEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evNetHop;
+        Network *net;
+        proto::Message m;
+        unsigned router;
+
+        void operator()() const { net->hop(m, router); }
+
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            proto::snapPut(s, m);
+            s.u32(router);
+        }
+    };
+
+    /** Landing-buffer delivery retry after NI back-pressure. */
+    struct RetryEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evNetRetry;
+        Network *net;
+        NodeId node;
+        std::uint8_t vnet;
+
+        void
+        operator()() const
+        {
+            net->retryScheduled_[static_cast<std::size_t>(node) *
+                                     proto::numVnets +
+                                 vnet] = false;
+            net->tryDeliver(node, vnet);
+        }
+
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(node);
+            s.u8(vnet);
+        }
+    };
+
+    void saveState(snap::Ser &out) const;
+    void restoreState(snap::Des &in);
+    void registerSnapEvents(snap::EventCodec &codec);
 
     // Stats.
     Counter msgsInjected;

@@ -23,16 +23,8 @@ PEngine::step()
             victim->addr = icache_.align(fetch_addr);
             victim->state = LineState::Sh;
             icache_.touch(victim);
-            std::size_t resume = idx_;
             mc_->sdram().access(fetch_addr, params_.icacheLineBytes, false,
-                                [this, resume] {
-                                    time_ = std::max(
-                                        time_, clock_.nextEdge(
-                                                   eq_->curTick()));
-                                    SMTP_ASSERT(idx_ == resume,
-                                                "fetch resume skew");
-                                    step();
-                                });
+                                IcacheFillEv{this, idx_});
             return;
         }
 
@@ -71,13 +63,7 @@ PEngine::step()
                     slotFree_ = false;
                     mc_->sdram().access(rec.memAddr,
                                         params_.dcacheLineBytes, false,
-                                        [this] {
-                                            time_ = std::max(
-                                                time_,
-                                                clock_.nextEdge(
-                                                    eq_->curTick()));
-                                            step();
-                                        });
+                                        DcacheFillEv{this});
                     return;
                 }
                 ++dcacheHits;
@@ -105,14 +91,12 @@ PEngine::step()
             break;
           case POp::SendG: {
             SMTP_ASSERT(rec.sendIdx >= 0, "SendG without a send record");
-            auto send_idx = static_cast<unsigned>(rec.sendIdx);
-            auto *ctx = ctx_;
+            auto send_idx = static_cast<std::uint32_t>(rec.sendIdx);
             if (time_ > eq_->curTick()) {
-                eq_->schedule(time_, [this, ctx, send_idx] {
-                    mc_->releaseSend(ctx, send_idx);
-                });
+                eq_->schedule(time_,
+                              SendReleaseEv{this, ctx_->id, send_idx});
             } else {
-                mc_->releaseSend(ctx, send_idx);
+                mc_->releaseSend(ctx_, send_idx);
             }
             slotFree_ = false;
             break;
@@ -133,10 +117,7 @@ PEngine::step()
     SMTP_TRACE_EVENT(trace_, time_, trace::EventId::ProtoBusyEnd, 0);
     auto *ctx = ctx_;
     if (time_ > eq_->curTick()) {
-        eq_->schedule(time_, [this, ctx] {
-            ctx_ = nullptr;
-            mc_->handlerDone(ctx);
-        });
+        eq_->schedule(time_, HandlerDoneEv{this, ctx->id});
     } else {
         ctx_ = nullptr;
         mc_->handlerDone(ctx);

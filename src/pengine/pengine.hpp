@@ -19,6 +19,9 @@
 #ifndef SMTP_PENGINE_PENGINE_HPP
 #define SMTP_PENGINE_PENGINE_HPP
 
+#include <algorithm>
+#include <functional>
+
 #include "cache/cache_array.hpp"
 #include "mem/agent.hpp"
 #include "mem/controller.hpp"
@@ -81,6 +84,186 @@ class PEngine : public ProtocolAgent
     Counter dcacheHits, dcacheMisses, dcacheWritebacks;
     Counter icacheMisses;
     Counter handlers;
+
+    // ---- Snapshot support --------------------------------------------
+    //
+    // Pending SDRAM fills and deferred release/done events reference the
+    // engine by node and the in-flight transaction by context id,
+    // resolved through the owning memory controller at decode/fire time.
+
+    struct IcacheFillEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evPeIcacheFill;
+        PEngine *pe;
+        std::uint64_t resume;
+        void
+        operator()() const
+        {
+            pe->time_ = std::max(
+                pe->time_, pe->clock_.nextEdge(pe->eq_->curTick()));
+            SMTP_ASSERT(pe->idx_ == resume, "fetch resume skew");
+            pe->step();
+        }
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(pe->mc_->nodeId());
+            s.u64(resume);
+        }
+    };
+
+    struct DcacheFillEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evPeDcacheFill;
+        PEngine *pe;
+        void
+        operator()() const
+        {
+            pe->time_ = std::max(
+                pe->time_, pe->clock_.nextEdge(pe->eq_->curTick()));
+            pe->step();
+        }
+        void snapEncode(snap::Ser &s) const { s.u16(pe->mc_->nodeId()); }
+    };
+
+    struct SendReleaseEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evPeSendRelease;
+        PEngine *pe;
+        std::uint64_t ctxId;
+        std::uint32_t sendIdx;
+        void
+        operator()() const
+        {
+            TransactionCtx *ctx = pe->mc_->ctxById(ctxId);
+            SMTP_ASSERT(ctx != nullptr, "send release for a dead handler");
+            pe->mc_->releaseSend(ctx, sendIdx);
+        }
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(pe->mc_->nodeId());
+            s.u64(ctxId);
+            s.u32(sendIdx);
+        }
+    };
+
+    struct HandlerDoneEv
+    {
+        static constexpr std::uint32_t kSnapId = snap::evPeHandlerDone;
+        PEngine *pe;
+        std::uint64_t ctxId;
+        void
+        operator()() const
+        {
+            TransactionCtx *ctx = pe->mc_->ctxById(ctxId);
+            SMTP_ASSERT(ctx != nullptr, "handler done for a dead handler");
+            pe->ctx_ = nullptr;
+            pe->mc_->handlerDone(ctx);
+        }
+        void
+        snapEncode(snap::Ser &s) const
+        {
+            s.u16(pe->mc_->nodeId());
+            s.u64(ctxId);
+        }
+    };
+
+    void
+    saveState(snap::Ser &out) const
+    {
+        out.u64(ctx_ != nullptr ? ctx_->id : 0);
+        out.u64(idx_);
+        out.u64(startTick_);
+        out.u64(time_);
+        out.b(slotFree_);
+        out.b(lastWasMem_);
+        out.u64(busyTicks_);
+        dcache_.saveState(out);
+        icache_.saveState(out);
+        instructions.saveState(out);
+        pairedIssues.saveState(out);
+        dcacheHits.saveState(out);
+        dcacheMisses.saveState(out);
+        dcacheWritebacks.saveState(out);
+        icacheMisses.saveState(out);
+        handlers.saveState(out);
+    }
+
+    void
+    restoreState(snap::Des &in)
+    {
+        std::uint64_t ctx_id = in.u64();
+        ctx_ = nullptr;
+        if (ctx_id != 0) {
+            ctx_ = mc_->ctxById(ctx_id);
+            if (ctx_ == nullptr) {
+                in.fail("corrupt snapshot: protocol engine references "
+                        "an unknown transaction");
+                return;
+            }
+        }
+        idx_ = in.u64();
+        startTick_ = in.u64();
+        time_ = in.u64();
+        slotFree_ = in.bl();
+        lastWasMem_ = in.bl();
+        busyTicks_ = in.u64();
+        dcache_.restoreState(in);
+        icache_.restoreState(in);
+        instructions.restoreState(in);
+        pairedIssues.restoreState(in);
+        dcacheHits.restoreState(in);
+        dcacheMisses.restoreState(in);
+        dcacheWritebacks.restoreState(in);
+        icacheMisses.restoreState(in);
+        handlers.restoreState(in);
+    }
+
+    static void
+    registerSnapEvents(snap::EventCodec &codec,
+                       std::function<PEngine *(NodeId)> resolve)
+    {
+        auto pe_of = [resolve](snap::Des &in) -> PEngine * {
+            NodeId n = in.u16();
+            PEngine *pe = resolve(n);
+            if (pe == nullptr)
+                in.fail("snapshot references an unknown protocol engine");
+            return pe;
+        };
+        codec.add(snap::evPeIcacheFill,
+                  [pe_of](snap::Des &in) -> InlineCallback {
+                      PEngine *pe = pe_of(in);
+                      std::uint64_t resume = in.u64();
+                      if (pe == nullptr)
+                          return {};
+                      return IcacheFillEv{pe, resume};
+                  });
+        codec.add(snap::evPeDcacheFill,
+                  [pe_of](snap::Des &in) -> InlineCallback {
+                      PEngine *pe = pe_of(in);
+                      if (pe == nullptr)
+                          return {};
+                      return DcacheFillEv{pe};
+                  });
+        codec.add(snap::evPeSendRelease,
+                  [pe_of](snap::Des &in) -> InlineCallback {
+                      PEngine *pe = pe_of(in);
+                      std::uint64_t id = in.u64();
+                      std::uint32_t send_idx = in.u32();
+                      if (pe == nullptr)
+                          return {};
+                      return SendReleaseEv{pe, id, send_idx};
+                  });
+        codec.add(snap::evPeHandlerDone,
+                  [pe_of](snap::Des &in) -> InlineCallback {
+                      PEngine *pe = pe_of(in);
+                      std::uint64_t id = in.u64();
+                      if (pe == nullptr)
+                          return {};
+                      return HandlerDoneEv{pe, id};
+                  });
+    }
 
   private:
     void step();

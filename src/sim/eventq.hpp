@@ -36,6 +36,7 @@
 #include "common/log.hpp"
 #include "common/types.hpp"
 #include "sim/inline_callback.hpp"
+#include "snap/event_codec.hpp"
 
 namespace smtp
 {
@@ -160,6 +161,84 @@ class EventQueue
 
     /** Number of events executed so far (a cheap progress metric). */
     std::uint64_t executedCount() const { return executed_; }
+
+    // ---- Snapshot support --------------------------------------------
+    //
+    // Both kernels serialize to the same kernel-neutral form: entries
+    // sorted ascending under the (when, prio, seq) total order, with
+    // their *original* sequence numbers. Restoring preserves those
+    // seqs, so same-tick tie-breaking — and therefore the entire
+    // event schedule — is bit-identical to the uninterrupted run,
+    // regardless of which kernel saved and which restores.
+
+    void
+    saveState(snap::Ser &out) const
+    {
+        out.u64(curTick_);
+        out.u64(seq_);
+        out.u64(executed_);
+        std::vector<const Entry *> all;
+        all.reserve(size());
+        auto keep = [&](const Entry &e) {
+            // Watchdog self-events are re-armed by the restoring
+            // machine (when checking is on there), not replayed: they
+            // are pure observers and only exist in debug-checked runs.
+            if (e.cb.snapId() != snap::evWatchdog)
+                all.push_back(&e);
+        };
+        for (const auto &slot : slots_)
+            for (const Entry &e : slot)
+                keep(e);
+        for (const Entry &e : far_)
+            keep(e);
+        std::sort(all.begin(), all.end(),
+                  [](const Entry *a, const Entry *b) {
+                      return Later{}(*b, *a);
+                  });
+        out.u64(all.size());
+        for (const Entry *e : all) {
+            out.u64(e->when);
+            out.i8(static_cast<std::int8_t>(e->prio));
+            out.u64(e->seq);
+            snap::EventCodec::encode(out, e->cb);
+        }
+    }
+
+    void
+    restoreState(snap::Des &in, const snap::EventCodec &codec)
+    {
+        for (auto &slot : slots_)
+            slot.clear();
+        far_.clear();
+        wheelCount_ = 0;
+        curTick_ = in.u64();
+        seq_ = in.u64();
+        executed_ = in.u64();
+        // Re-center the wheel on the restored tick; entry placement
+        // below then mirrors schedule()'s slot/overflow decision.
+        base_ = (curTick_ >> slotShift) << slotShift;
+        cursor_ = slotOf(curTick_);
+        std::uint64_t n = in.count(8 + 1 + 8 + 4);
+        for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+            Entry e;
+            e.when = in.u64();
+            e.prio = static_cast<Priority>(in.i8());
+            e.seq = in.u64();
+            e.cb = codec.decode(in);
+            if (!in.ok())
+                break;
+            if (e.when < curTick_ || e.seq >= seq_) {
+                in.fail("corrupt snapshot: event entry out of range");
+                break;
+            }
+            if (kernel_ == Kernel::Wheel && e.when >= base_ &&
+                e.when - base_ < span) {
+                slotPush(std::move(e));
+            } else {
+                heapPush(far_, std::move(e));
+            }
+        }
+    }
 
   private:
     struct Entry

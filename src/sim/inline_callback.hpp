@@ -21,13 +21,33 @@
 #define SMTP_SIM_INLINE_CALLBACK_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
 
+namespace smtp::snap
+{
+class Ser;
+}
+
 namespace smtp
 {
+
+namespace detail
+{
+template <typename F, typename = void>
+struct IsSnapCallback : std::false_type
+{
+};
+
+template <typename F>
+struct IsSnapCallback<F, std::void_t<decltype(F::kSnapId)>>
+    : std::true_type
+{
+};
+} // namespace detail
 
 class InlineCallback
 {
@@ -41,6 +61,14 @@ class InlineCallback
         sizeof(F) <= inlineBytes &&
         alignof(F) <= alignof(std::max_align_t) &&
         std::is_nothrow_move_constructible_v<F>;
+
+    /**
+     * Is @p F a named snapshot-serializable functor (kSnapId +
+     * snapEncode)? Such callbacks survive Machine::save/restore; plain
+     * lambdas do not and make a containing snapshot fail loudly.
+     */
+    template <typename F>
+    static constexpr bool isSnappable = detail::IsSnapCallback<F>::value;
 
     InlineCallback() noexcept = default;
     InlineCallback(std::nullptr_t) noexcept {}
@@ -110,6 +138,20 @@ class InlineCallback
 
     explicit operator bool() const noexcept { return ops_ != nullptr; }
 
+    /** Snapshot kind id; 0 for null or non-snappable callbacks. */
+    std::uint32_t
+    snapId() const noexcept
+    {
+        return ops_ ? ops_->typeId : 0;
+    }
+
+    /** Encode the payload of a snappable callback (snapId() != 0). */
+    void
+    snapEncode(snap::Ser &out) const
+    {
+        ops_->encode(buf_, out);
+    }
+
   private:
     struct Ops
     {
@@ -118,6 +160,9 @@ class InlineCallback
         void (*relocate)(unsigned char *dst, unsigned char *src);
         void (*clone)(unsigned char *dst, const unsigned char *src);
         void (*destroy)(unsigned char *buf);
+        /** Snapshot support; typeId 0 / encode null when absent. */
+        std::uint32_t typeId;
+        void (*encode)(const unsigned char *buf, snap::Ser &out);
     };
 
     template <typename Fn>
@@ -125,6 +170,36 @@ class InlineCallback
     inlineRef(unsigned char *buf)
     {
         return *std::launder(reinterpret_cast<Fn *>(buf));
+    }
+
+    template <typename Fn>
+    static constexpr std::uint32_t
+    typeIdOf()
+    {
+        if constexpr (isSnappable<Fn>)
+            return Fn::kSnapId;
+        else
+            return 0;
+    }
+
+    template <typename Fn, bool Inline>
+    static constexpr auto
+    encodeFnOf()
+    {
+        if constexpr (isSnappable<Fn>) {
+            return [](const unsigned char *buf, snap::Ser &out) {
+                if constexpr (Inline) {
+                    std::launder(reinterpret_cast<const Fn *>(buf))
+                        ->snapEncode(out);
+                } else {
+                    (*reinterpret_cast<Fn *const *>(buf))
+                        ->snapEncode(out);
+                }
+            };
+        } else {
+            return static_cast<void (*)(const unsigned char *,
+                                        snap::Ser &)>(nullptr);
+        }
     }
 
     template <typename Fn>
@@ -140,6 +215,8 @@ class InlineCallback
                 reinterpret_cast<const Fn *>(src)));
         },
         [](unsigned char *buf) { inlineRef<Fn>(buf).~Fn(); },
+        typeIdOf<Fn>(),
+        encodeFnOf<Fn, true>(),
     };
 
     template <typename Fn>
@@ -160,6 +237,8 @@ class InlineCallback
                 new Fn(**reinterpret_cast<Fn *const *>(src));
         },
         [](unsigned char *buf) { delete heapPtr<Fn>(buf); },
+        typeIdOf<Fn>(),
+        encodeFnOf<Fn, false>(),
     };
 
     void

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "snap/snap.hpp"
+
 namespace smtp
 {
 
@@ -33,6 +35,9 @@ class Counter
     void operator++(int) { ++value_; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+    void saveState(snap::Ser &out) const { out.u64(value_); }
+    void restoreState(snap::Des &in) { value_ = in.u64(); }
 
   private:
     std::uint64_t value_ = 0;
@@ -119,6 +124,39 @@ class Distribution
         std::fill(hist_.begin(), hist_.end(), std::uint64_t{0});
     }
 
+    /**
+     * Full state, as raw f64 bit patterns: the +/-inf min/max
+     * sentinels of a sample-free Distribution and every histogram
+     * bucket round-trip exactly (no reset()-shaped gaps).
+     */
+    void
+    saveState(snap::Ser &out) const
+    {
+        out.f64(sum_);
+        out.u64(count_);
+        out.f64(min_);
+        out.f64(max_);
+        out.f64(histLo_);
+        out.f64(histHi_);
+        out.seq(hist_,
+                [](snap::Ser &s, std::uint64_t w) { s.u64(w); });
+    }
+
+    void
+    restoreState(snap::Des &in)
+    {
+        sum_ = in.f64();
+        count_ = in.u64();
+        min_ = in.f64();
+        max_ = in.f64();
+        histLo_ = in.f64();
+        histHi_ = in.f64();
+        std::uint64_t n = in.count(8);
+        hist_.assign(n, 0);
+        for (auto &w : hist_)
+            w = in.u64();
+    }
+
   private:
     std::size_t
     bucketIndex(double v) const
@@ -154,6 +192,9 @@ class PeakTracker
 
     std::uint64_t peak() const { return peak_; }
     void reset() { peak_ = 0; }
+
+    void saveState(snap::Ser &out) const { out.u64(peak_); }
+    void restoreState(snap::Des &in) { peak_ = in.u64(); }
 
   private:
     std::uint64_t peak_ = 0;

@@ -1,0 +1,43 @@
+#include "snap/ckpt_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace smtp::snap
+{
+
+CheckpointLibrary::CheckpointLibrary(std::string dir)
+    : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+        err_ = "cannot create checkpoint dir '" + dir_ +
+               "': " + ec.message();
+        return;
+    }
+    valid_ = true;
+}
+
+std::string
+CheckpointLibrary::pathFor(std::uint64_t key, std::string_view tag) const
+{
+    char name[64];
+    std::snprintf(name, sizeof(name), "ckpt_%016llx_",
+                  static_cast<unsigned long long>(key));
+    return dir_ + "/" + name + std::string(tag) + ".smtpsnap";
+}
+
+bool
+CheckpointLibrary::lookup(std::uint64_t key, std::string_view tag)
+{
+    std::error_code ec;
+    bool present = std::filesystem::exists(pathFor(key, tag), ec) && !ec;
+    if (present)
+        hits_.fetch_add(1);
+    else
+        misses_.fetch_add(1);
+    return present;
+}
+
+} // namespace smtp::snap

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Checkpoint library: a directory of machine snapshots keyed by the
+ * cell's full deterministic identity (machine config hash mixed with
+ * the workload identity and the snapshot point), shared by sweep
+ * workers and across bench invocations.
+ *
+ * Warmup sharing (docs/checkpointing.md): every sweep cell that shares
+ * a (config, workload, warmup-length) prefix simulates that prefix
+ * once; later runs — in the same sweep, a later sweep, or a sampled-
+ * measurement variant whose measurement parameters are outside the
+ * config hash — restore the snapshot instead. Hits and misses are
+ * counted so harnesses can report cache effectiveness per cell.
+ *
+ * Concurrency: writers publish via tmp-file + rename (SnapWriter), so
+ * a reader never observes a torn snapshot; two workers racing on the
+ * same miss both simulate and both publish identical bytes — wasteful,
+ * never wrong.
+ */
+
+#ifndef SMTP_SNAP_CKPT_CACHE_HPP
+#define SMTP_SNAP_CKPT_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace smtp::snap
+{
+
+class CheckpointLibrary
+{
+  public:
+    /** Opens (creating if needed) the library at @p dir. */
+    explicit CheckpointLibrary(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+    bool valid() const { return valid_; }
+    const std::string &error() const { return err_; }
+
+    /**
+     * Canonical snapshot path for @p key (the cell hash) and @p tag
+     * (the snapshot point, e.g. "w2000000" or "full").
+     */
+    std::string pathFor(std::uint64_t key, std::string_view tag) const;
+
+    /** Does a snapshot exist for this key? Counts a hit or a miss. */
+    bool lookup(std::uint64_t key, std::string_view tag);
+
+    std::uint64_t hits() const { return hits_.load(); }
+    std::uint64_t misses() const { return misses_.load(); }
+
+  private:
+    std::string dir_;
+    std::string err_;
+    bool valid_ = false;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+};
+
+} // namespace smtp::snap
+
+#endif // SMTP_SNAP_CKPT_CACHE_HPP

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Deterministic snapshot primitives: the byte-level Serializer /
+ * Deserializer pair every Snapshottable component encodes itself with.
+ *
+ * Encoding rules (docs/checkpointing.md):
+ *  - all integers little-endian, fixed width;
+ *  - doubles as raw IEEE-754 bit patterns (bit-identical restore even
+ *    for the +/-inf sentinels the stats keep);
+ *  - containers length-prefixed with a u64 count;
+ *  - associative containers written in sorted key order so a snapshot
+ *    of a given machine state is itself deterministic (snap_tool diff
+ *    compares files, not just semantics).
+ *
+ * The Deserializer never trusts its input: every read is bounds-checked
+ * and failure latches a sticky error instead of invoking UB, so a
+ * truncated or corrupted snapshot is reported, not executed.
+ */
+
+#ifndef SMTP_SNAP_SNAP_HPP
+#define SMTP_SNAP_SNAP_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace smtp::snap
+{
+
+class Ser
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        raw(&v, sizeof(v));
+    }
+
+    void i8(std::int8_t v) { u8(static_cast<std::uint8_t>(v)); }
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+    void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+    /** Raw IEEE-754 bits: restores inf/nan sentinels exactly. */
+    void
+    f64(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void
+    str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        raw(s.data(), s.size());
+    }
+
+    void
+    raw(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    /** u64 count followed by per-element @p fn. */
+    template <typename C, typename Fn>
+    void
+    seq(const C &c, Fn &&fn)
+    {
+        u64(static_cast<std::uint64_t>(c.size()));
+        for (const auto &e : c)
+            fn(*this, e);
+    }
+
+    /** Sparse u64->u64 map in sorted key order (FuncMem, ProtocolRam). */
+    void
+    wordMap(const std::unordered_map<std::uint64_t, std::uint64_t> &m)
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(
+            m.begin(), m.end());
+        std::sort(sorted.begin(), sorted.end());
+        u64(sorted.size());
+        for (const auto &[k, v] : sorted) {
+            u64(k);
+            u64(v);
+        }
+    }
+
+    std::size_t size() const { return buf_.size(); }
+    const std::vector<std::uint8_t> &buffer() const { return buf_; }
+    std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+    /** Patch a previously written u64 at @p pos (section lengths). */
+    void
+    patchU64(std::size_t pos, std::uint64_t v)
+    {
+        std::memcpy(buf_.data() + pos, &v, sizeof(v));
+    }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+class Des
+{
+  public:
+    Des(const std::uint8_t *data, std::size_t size)
+        : p_(data), size_(size)
+    {
+    }
+
+    explicit Des(const std::vector<std::uint8_t> &v)
+        : Des(v.data(), v.size())
+    {
+    }
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return err_; }
+    std::size_t pos() const { return pos_; }
+    std::size_t size() const { return size_; }
+    std::size_t remaining() const { return size_ - pos_; }
+
+    void
+    fail(std::string why)
+    {
+        if (ok_) {
+            ok_ = false;
+            err_ = std::move(why);
+        }
+    }
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v = 0;
+        read(&v, sizeof(v));
+        return v;
+    }
+
+    bool bl() { return u8() != 0; }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint16_t v = 0;
+        read(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        read(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v = 0;
+        read(&v, sizeof(v));
+        return v;
+    }
+
+    std::int8_t i8() { return static_cast<std::int8_t>(u8()); }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        if (!checkAvail(n, "string"))
+            return {};
+        std::string s(reinterpret_cast<const char *>(p_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    void
+    skip(std::size_t n)
+    {
+        if (checkAvail(n, "skipped bytes"))
+            pos_ += n;
+    }
+
+    void
+    read(void *out, std::size_t n)
+    {
+        if (!checkAvail(n, "scalar")) {
+            std::memset(out, 0, n);
+            return;
+        }
+        std::memcpy(out, p_ + pos_, n);
+        pos_ += n;
+    }
+
+    /**
+     * Read a u64 element count, sanity-bounded: a corrupted count must
+     * not drive a multi-gigabyte allocation. @p min_elem_bytes is the
+     * smallest possible encoding of one element.
+     */
+    std::uint64_t
+    count(std::size_t min_elem_bytes = 1)
+    {
+        std::uint64_t n = u64();
+        if (ok_ && min_elem_bytes > 0 &&
+            n > remaining() / min_elem_bytes) {
+            fail("element count exceeds remaining snapshot bytes");
+            return 0;
+        }
+        return n;
+    }
+
+    void
+    wordMap(std::unordered_map<std::uint64_t, std::uint64_t> &m)
+    {
+        m.clear();
+        std::uint64_t n = count(16);
+        m.reserve(n);
+        for (std::uint64_t i = 0; ok_ && i < n; ++i) {
+            std::uint64_t k = u64();
+            std::uint64_t v = u64();
+            m.emplace(k, v);
+        }
+    }
+
+  private:
+    bool
+    checkAvail(std::size_t n, const char *what)
+    {
+        if (!ok_)
+            return false;
+        if (n > size_ - pos_) {
+            fail(std::string("truncated snapshot: reading ") + what +
+                 " past end of section");
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *p_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string err_;
+};
+
+/** A component whose complete mutable state round-trips through Ser/Des. */
+class Snapshottable
+{
+  public:
+    virtual ~Snapshottable() = default;
+    virtual void saveState(Ser &out) const = 0;
+    virtual void restoreState(Des &in) = 0;
+};
+
+/** FNV-1a based config hasher for the snapshot-compatibility key. */
+class Hasher
+{
+  public:
+    void
+    mix(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xff;
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    mix(std::string_view s)
+    {
+        mix(static_cast<std::uint64_t>(s.size()));
+        for (char c : s) {
+            h_ ^= static_cast<std::uint8_t>(c);
+            h_ *= 0x100000001b3ULL;
+        }
+    }
+
+    void
+    mixF(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+} // namespace smtp::snap
+
+#endif // SMTP_SNAP_SNAP_HPP

@@ -1,0 +1,170 @@
+#include "snap/snapfile.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace smtp::snap
+{
+
+SnapWriter::SnapWriter(std::uint64_t config_hash)
+{
+    ser_.raw(kMagic, sizeof(kMagic));
+    ser_.u32(kFormatVersion);
+    ser_.u32(0); // section count, patched in finish()
+    ser_.u64(config_hash);
+}
+
+Ser &
+SnapWriter::beginSection(std::string_view name)
+{
+    SMTP_ASSERT(!inSection_, "nested snapshot section");
+    inSection_ = true;
+    ++sectionCount_;
+    ser_.str(name);
+    payloadLenPos_ = ser_.size();
+    ser_.u64(0); // payload length, patched in endSection()
+    payloadStart_ = ser_.size();
+    return ser_;
+}
+
+void
+SnapWriter::endSection()
+{
+    SMTP_ASSERT(inSection_, "endSection outside a section");
+    inSection_ = false;
+    ser_.patchU64(payloadLenPos_, ser_.size() - payloadStart_);
+}
+
+std::vector<std::uint8_t>
+SnapWriter::finish()
+{
+    SMTP_ASSERT(!inSection_, "finish() with an open section");
+    std::uint32_t count = sectionCount_;
+    // Patch the u32 section count at offset 8 (after the magic).
+    std::vector<std::uint8_t> image = ser_.take();
+    std::memcpy(image.data() + sizeof(kMagic) + sizeof(std::uint32_t),
+                &count, sizeof(count));
+    return image;
+}
+
+bool
+SnapWriter::write(const std::string &path, std::string *err)
+{
+    std::vector<std::uint8_t> image = finish();
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+        if (err)
+            *err = "cannot open '" + tmp + "' for writing";
+        return false;
+    }
+    bool ok = std::fwrite(image.data(), 1, image.size(), f) ==
+              image.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+        if (err)
+            *err = "short write to '" + tmp + "'";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (err)
+            *err = "cannot rename '" + tmp + "' to '" + path + "'";
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+SnapReader::load(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        err_ = "cannot open '" + path + "'";
+        return false;
+    }
+    std::fseek(f, 0, SEEK_END);
+    long len = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> image(len > 0 ? static_cast<std::size_t>(len)
+                                            : 0);
+    bool ok = image.empty() ||
+              std::fread(image.data(), 1, image.size(), f) == image.size();
+    std::fclose(f);
+    if (!ok) {
+        err_ = "short read from '" + path + "'";
+        return false;
+    }
+    return parse(std::move(image));
+}
+
+bool
+SnapReader::parse(std::vector<std::uint8_t> image)
+{
+    image_ = std::move(image);
+    sections_.clear();
+    Des d(image_);
+    char magic[8] = {};
+    d.read(magic, sizeof(magic));
+    if (!d.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        err_ = "not a snapshot file (bad magic)";
+        return false;
+    }
+    version_ = d.u32();
+    if (version_ != kFormatVersion) {
+        err_ = "unsupported snapshot format version " +
+               std::to_string(version_) + " (this build reads " +
+               std::to_string(kFormatVersion) + ")";
+        return false;
+    }
+    std::uint32_t count = d.u32();
+    configHash_ = d.u64();
+    if (!d.ok()) {
+        err_ = "corrupt snapshot: truncated header";
+        return false;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+        Section s;
+        s.name = d.str();
+        std::uint64_t len = d.u64();
+        if (!d.ok() || len > d.remaining()) {
+            err_ = "corrupt snapshot: section " + std::to_string(i) +
+                   " overruns the file";
+            return false;
+        }
+        s.offset = d.pos();
+        s.length = static_cast<std::size_t>(len);
+        sections_.push_back(std::move(s));
+        d.skip(s.length);
+    }
+    if (!d.ok()) {
+        err_ = "corrupt snapshot: " + d.error();
+        return false;
+    }
+    return true;
+}
+
+bool
+SnapReader::hasSection(std::string_view name) const
+{
+    for (const auto &s : sections_)
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+Des
+SnapReader::section(std::string_view name) const
+{
+    for (const auto &s : sections_)
+        if (s.name == name)
+            return Des(image_.data() + s.offset, s.length);
+    Des d(nullptr, 0);
+    d.fail("missing snapshot section '" + std::string(name) + "'");
+    return d;
+}
+
+} // namespace smtp::snap

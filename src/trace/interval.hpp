@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snap/snap.hpp"
 
 namespace smtp::trace
 {
@@ -68,6 +69,53 @@ class IntervalSampler
     const std::vector<Tick> &ticks() const { return ticks_; }
     const std::vector<double> &values() const { return values_; }
     Tick interval() const { return interval_; }
+
+    // ---- Snapshot support --------------------------------------------
+    //
+    // Probes and their names are wired up at machine construction (same
+    // config => same probe list), so only the recorded rows and the
+    // next-boundary cursor persist. The probe count is stored for
+    // validation.
+
+    void
+    saveState(snap::Ser &out) const
+    {
+        out.u64(names_.size());
+        out.u64(interval_);
+        out.u64(next_);
+        out.u64(ticks_.size());
+        for (Tick t : ticks_)
+            out.u64(t);
+        for (double v : values_)
+            out.f64(v);
+    }
+
+    void
+    restoreState(snap::Des &in)
+    {
+        if (in.u64() != names_.size()) {
+            in.fail("corrupt snapshot: interval sampler probe count "
+                    "mismatch");
+            return;
+        }
+        interval_ = in.u64();
+        next_ = in.u64();
+        std::uint64_t rows = in.count(8);
+        if (!in.ok() || rows > maxRows_) {
+            in.fail("corrupt snapshot: interval sampler row count out "
+                    "of range");
+            return;
+        }
+        ticks_.clear();
+        ticks_.reserve(rows);
+        for (std::uint64_t i = 0; in.ok() && i < rows; ++i)
+            ticks_.push_back(in.u64());
+        values_.clear();
+        values_.reserve(rows * names_.size());
+        for (std::uint64_t i = 0; in.ok() && i < rows * names_.size();
+             ++i)
+            values_.push_back(in.f64());
+    }
 
   private:
     void

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "snap/snap.hpp"
 #include "trace/events.hpp"
 #include "trace/interval.hpp"
 
@@ -107,6 +108,48 @@ class TraceBuffer
     /** Print the newest @p max events, oldest first (wedge reports). */
     void dumpTail(std::FILE *out, std::size_t max) const;
 
+    // ---- Snapshot support --------------------------------------------
+    //
+    // The stored events are written oldest-first (normalized), so the
+    // on-disk form is independent of where the ring happened to wrap.
+    // Restore lays them back from slot 0; exports and subsequent
+    // recording behave identically either way.
+
+    void
+    saveState(snap::Ser &out) const
+    {
+        out.u64(recorded_);
+        const std::size_t n = stored();
+        const std::size_t start = recorded_ < ring_.size() ? 0 : head_;
+        out.u64(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Event &e = ring_[(start + i) % ring_.size()];
+            out.u64(e.meta);
+            out.u64(e.arg);
+        }
+    }
+
+    void
+    restoreState(snap::Des &in)
+    {
+        recorded_ = in.u64();
+        std::uint64_t n = in.count(16);
+        std::uint64_t expect = recorded_ < ring_.size()
+                                   ? recorded_
+                                   : static_cast<std::uint64_t>(
+                                         ring_.size());
+        if (!in.ok() || n != expect) {
+            in.fail("corrupt snapshot: trace ring event count does not "
+                    "match its cursor (capacity mismatch?)");
+            return;
+        }
+        for (std::size_t i = 0; in.ok() && i < n; ++i) {
+            ring_[i].meta = in.u64();
+            ring_[i].arg = in.u64();
+        }
+        head_ = n == ring_.size() ? 0 : static_cast<std::size_t>(n);
+    }
+
   private:
     std::string name_;
     NodeId node_;
@@ -166,6 +209,45 @@ class TraceManager
 
     /** Print the newest @p per_buffer events of every buffer. */
     void dumpTails(std::FILE *out, std::size_t per_buffer) const;
+
+    // ---- Snapshot support --------------------------------------------
+    //
+    // Buffer creation order is deterministic for a given config, so the
+    // buffers serialize positionally; names are stored only to validate
+    // that the restoring machine built the same buffer list.
+
+    void
+    saveState(snap::Ser &out) const
+    {
+        out.u64(buffers_.size());
+        for (const auto &b : buffers_) {
+            out.str(b->name());
+            b->saveState(out);
+        }
+        sampler_.saveState(out);
+    }
+
+    void
+    restoreState(snap::Des &in)
+    {
+        if (in.u64() != buffers_.size()) {
+            in.fail("corrupt snapshot: trace buffer count mismatch "
+                    "(was the snapshot taken under a different trace "
+                    "config?)");
+            return;
+        }
+        for (auto &b : buffers_) {
+            if (in.str() != b->name()) {
+                in.fail("corrupt snapshot: trace buffer order/name "
+                        "mismatch");
+                return;
+            }
+            b->restoreState(in);
+            if (!in.ok())
+                return;
+        }
+        sampler_.restoreState(in);
+    }
 
   private:
     TraceConfig cfg_;

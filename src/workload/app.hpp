@@ -82,7 +82,7 @@ struct WorkloadEnv
     }
 };
 
-class App
+class App : public snap::Snapshottable
 {
   public:
     virtual ~App() = default;
@@ -96,6 +96,66 @@ class App
     unsigned numThreads() const
     {
         return static_cast<unsigned>(threads_.size());
+    }
+
+    // ---- Snapshot support (see ThreadCtx) -----------------------------
+    //
+    // Serializes the global coroutine resume log plus per-thread
+    // consumption cursors. restoreState must run on a *freshly built*
+    // app (same name/env, build() just called, nothing fetched yet): it
+    // replays the log — re-executing every generator in the original
+    // global order against the shared functional memory — then pops each
+    // thread's consumed prefix and validates convergence.
+
+    void
+    saveState(snap::Ser &out) const override
+    {
+        out.str(name());
+        out.u64(log_.size());
+        for (std::uint32_t g : log_)
+            out.u32(g);
+        out.u64(threads_.size());
+        for (const auto &t : threads_)
+            t->saveState(out);
+    }
+
+    void
+    restoreState(snap::Des &in) override
+    {
+        if (in.str() != name()) {
+            in.fail("snapshot was taken with a different application");
+            return;
+        }
+        std::uint64_t n = in.count(4);
+        log_.clear();
+        log_.reserve(n);
+        for (std::uint64_t i = 0; in.ok() && i < n; ++i) {
+            std::uint32_t g = in.u32();
+            if (g >= threads_.size()) {
+                in.fail("corrupt snapshot: resume log references an "
+                        "out-of-range thread");
+                return;
+            }
+            log_.push_back(g);
+        }
+        if (!in.ok())
+            return;
+        for (std::uint32_t g : log_) {
+            if (!threads_[g]->replayResume()) {
+                in.fail("corrupt snapshot: resume log runs past the "
+                        "end of a generator");
+                return;
+            }
+        }
+        if (in.u64() != threads_.size()) {
+            in.fail("corrupt snapshot: workload thread count mismatch");
+            return;
+        }
+        for (auto &t : threads_) {
+            t->restoreState(in);
+            if (!in.ok())
+                return;
+        }
     }
 
   protected:
@@ -113,6 +173,7 @@ class App
                                      0x0100'0000ULL;
             threads_.push_back(
                 std::make_unique<ThreadCtx>(*env.mem, node, pc_base));
+            threads_.back()->attachResumeLog(&log_, t);
         }
         // Place per-node text pages (read mostly through the L1I).
         for (unsigned n = 0; n < env.nodes; ++n) {
@@ -129,6 +190,7 @@ class App
     std::unique_ptr<Alloc> alloc_;
     Rng rng_;
     std::vector<std::unique_ptr<ThreadCtx>> threads_;
+    ThreadCtx::ResumeLog log_;
 };
 
 /**

@@ -25,10 +25,12 @@
 #include <cstdint>
 #include <deque>
 #include <utility>
+#include <vector>
 
 #include "common/log.hpp"
 #include "common/types.hpp"
 #include "cpu/inst.hpp"
+#include "snap/snap.hpp"
 #include "workload/func_mem.hpp"
 
 namespace smtp
@@ -184,6 +186,79 @@ class ThreadCtx : public InstSource
     }
 
     std::uint64_t supplied() const { return supplied_; }
+
+    // ---- Snapshot support ----------------------------------------------
+    //
+    // Coroutine frames cannot be serialized, so checkpoints record a
+    // *resume log* instead: the owning App keeps one global sequence of
+    // thread ids, appended each time any generator coroutine is resumed.
+    // Restoring rebuilds the app from its (deterministic) config and
+    // replays the log — every emission, functional-memory access and
+    // data-dependent branch re-executes in the original global order —
+    // then pops each thread's consumed prefix. The scalars saved here
+    // only validate that the replay converged to the same state.
+
+    using ResumeLog = std::vector<std::uint32_t>;
+
+    /** Log every coroutine resume as @p gtid into @p log. */
+    void
+    attachResumeLog(ResumeLog *log, std::uint32_t gtid)
+    {
+        log_ = log;
+        gtid_ = gtid;
+    }
+
+    /** One unlogged resume (snapshot replay); false past generator end. */
+    bool
+    replayResume()
+    {
+        if (task_.done() || !resume_ || resume_.done())
+            return false;
+        auto h = resume_;
+        h.resume();
+        return true;
+    }
+
+    void
+    saveState(snap::Ser &out) const
+    {
+        out.u64(supplied_);
+        out.u64(vpc_);
+        out.u64(buf_.size());
+        out.u32(intRot_);
+        out.u32(fpRot_);
+        out.u8(lastLoadReg_);
+    }
+
+    /** Validate + finish a replayed rebuild (call on a fresh, fully
+     *  replayed context: supplied_ == 0, buf_ holds every emission). */
+    void
+    restoreState(snap::Des &in)
+    {
+        std::uint64_t supplied = in.u64();
+        std::uint64_t vpc = in.u64();
+        std::uint64_t buffered = in.u64();
+        std::uint32_t int_rot = in.u32();
+        std::uint32_t fp_rot = in.u32();
+        std::uint8_t last_load = in.u8();
+        if (!in.ok())
+            return;
+        if (supplied > buf_.size()) {
+            in.fail("corrupt snapshot: consumed micro-op count exceeds "
+                    "replayed emissions");
+            return;
+        }
+        for (std::uint64_t i = 0; i < supplied; ++i)
+            buf_.pop_front();
+        supplied_ = supplied;
+        if (vpc_ != vpc || buf_.size() != buffered ||
+            intRot_ != int_rot || fpRot_ != fp_rot ||
+            lastLoadReg_ != last_load) {
+            in.fail("workload replay divergence: the rebuilt generator "
+                    "does not match the snapshotted one (different app, "
+                    "seed, scale, or code version?)");
+        }
+    }
 
     // ---- Emission primitives (used by awaitables below) ----------------
 
@@ -414,6 +489,8 @@ class ThreadCtx : public InstSource
         while (buf_.empty() && !task_.done()) {
             auto h = resume_;
             SMTP_ASSERT(h && !h.done(), "generator wedged");
+            if (log_ != nullptr)
+                log_->push_back(gtid_);
             h.resume();
         }
     }
@@ -429,6 +506,8 @@ class ThreadCtx : public InstSource
     std::uint8_t addrReg_ = 2;      ///< Nominal base-address register.
     std::uint8_t lastLoadReg_ = 4;
     std::uint64_t supplied_ = 0;
+    ResumeLog *log_ = nullptr;
+    std::uint32_t gtid_ = 0;
 };
 
 } // namespace smtp

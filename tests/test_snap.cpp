@@ -1,0 +1,452 @@
+/**
+ * @file
+ * Snapshot subsystem unit tests: Ser/Des primitive round trips and
+ * bounds checking, the versioned container (SnapWriter/SnapReader)
+ * including corruption and truncation rejection, round trips for every
+ * stat type (the carry-over audit: min/max sentinels, histogram
+ * buckets), trace ring normalization, and the machine-level guard
+ * rails (config-hash mismatch, non-fresh machine, corrupt file).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+
+#include "machine/machine.hpp"
+#include "sim/stats.hpp"
+#include "snap/snap.hpp"
+#include "snap/snapfile.hpp"
+#include "trace/trace.hpp"
+#include "workload/app.hpp"
+
+namespace smtp
+{
+namespace
+{
+
+TEST(SerDes, PrimitivesRoundTrip)
+{
+    snap::Ser s;
+    s.u8(0xab);
+    s.b(true);
+    s.b(false);
+    s.u16(0xbeef);
+    s.u32(0xdeadbeefu);
+    s.u64(0x0123456789abcdefull);
+    s.i8(-5);
+    s.i32(-123456789);
+    s.i64(-1234567890123456789ll);
+    s.f64(3.14159);
+    s.f64(-std::numeric_limits<double>::infinity());
+    s.str("hello snapshot");
+    s.str("");
+
+    snap::Des d(s.buffer().data(), s.size());
+    EXPECT_EQ(d.u8(), 0xab);
+    EXPECT_TRUE(d.bl());
+    EXPECT_FALSE(d.bl());
+    EXPECT_EQ(d.u16(), 0xbeef);
+    EXPECT_EQ(d.u32(), 0xdeadbeefu);
+    EXPECT_EQ(d.u64(), 0x0123456789abcdefull);
+    EXPECT_EQ(d.i8(), -5);
+    EXPECT_EQ(d.i32(), -123456789);
+    EXPECT_EQ(d.i64(), -1234567890123456789ll);
+    EXPECT_EQ(d.f64(), 3.14159);
+    EXPECT_EQ(d.f64(), -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(d.str(), "hello snapshot");
+    EXPECT_EQ(d.str(), "");
+    EXPECT_TRUE(d.ok());
+    EXPECT_EQ(d.remaining(), 0u);
+}
+
+TEST(SerDes, TruncatedReadSticksError)
+{
+    snap::Ser s;
+    s.u32(42);
+    snap::Des d(s.buffer().data(), s.size());
+    EXPECT_EQ(d.u32(), 42u);
+    // Reading past the end fails softly and stays failed; values are
+    // zero, never uninitialized.
+    EXPECT_EQ(d.u64(), 0u);
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.u32(), 0u);
+    EXPECT_FALSE(d.error().empty());
+}
+
+TEST(SerDes, CountGuardsAgainstAbsurdLengths)
+{
+    snap::Ser s;
+    s.u64(std::numeric_limits<std::uint64_t>::max()); // hostile count
+    snap::Des d(s.buffer().data(), s.size());
+    // A count whose elements cannot possibly fit the remaining bytes
+    // must fail instead of driving a giant allocation loop.
+    EXPECT_EQ(d.count(8), 0u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(SerDes, StringLengthBeyondBufferRejected)
+{
+    snap::Ser s;
+    s.u64(1000); // claims 1000 bytes follow
+    s.u8('x');
+    snap::Des d(s.buffer().data(), s.size());
+    EXPECT_EQ(d.str(), "");
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(Hasher, DeterministicAndSensitive)
+{
+    snap::Hasher a, b, c;
+    a.mix("config");
+    a.mix(std::uint64_t{7});
+    b.mix("config");
+    b.mix(std::uint64_t{7});
+    c.mix("config");
+    c.mix(std::uint64_t{8});
+    EXPECT_EQ(a.value(), b.value());
+    EXPECT_NE(a.value(), c.value());
+}
+
+// ---- Container ------------------------------------------------------
+
+TEST(SnapFile, ContainerRoundTrip)
+{
+    snap::SnapWriter w(0x1122334455667788ull);
+    snap::Ser &s1 = w.beginSection("alpha");
+    s1.u64(111);
+    w.endSection();
+    snap::Ser &s2 = w.beginSection("beta");
+    s2.str("payload");
+    w.endSection();
+
+    snap::SnapReader r;
+    ASSERT_TRUE(r.parse(w.finish())) << r.error();
+    EXPECT_EQ(r.formatVersion(), snap::kFormatVersion);
+    EXPECT_EQ(r.configHash(), 0x1122334455667788ull);
+    ASSERT_EQ(r.sections().size(), 2u);
+    EXPECT_TRUE(r.hasSection("alpha"));
+    EXPECT_TRUE(r.hasSection("beta"));
+    EXPECT_FALSE(r.hasSection("gamma"));
+
+    snap::Des da = r.section("alpha");
+    EXPECT_EQ(da.u64(), 111u);
+    EXPECT_TRUE(da.ok());
+    snap::Des db = r.section("beta");
+    EXPECT_EQ(db.str(), "payload");
+    EXPECT_TRUE(db.ok());
+
+    snap::Des dg = r.section("gamma");
+    EXPECT_FALSE(dg.ok());
+}
+
+TEST(SnapFile, RejectsBadMagic)
+{
+    snap::SnapWriter w(1);
+    auto img = w.finish();
+    img[0] = 'X';
+    snap::SnapReader r;
+    EXPECT_FALSE(r.parse(std::move(img)));
+    EXPECT_FALSE(r.error().empty());
+}
+
+TEST(SnapFile, RejectsFutureVersion)
+{
+    snap::SnapWriter w(1);
+    auto img = w.finish();
+    img[8] = 0xff; // formatVersion low byte
+    snap::SnapReader r;
+    EXPECT_FALSE(r.parse(std::move(img)));
+    EXPECT_NE(r.error().find("version"), std::string::npos);
+}
+
+TEST(SnapFile, RejectsTruncation)
+{
+    snap::SnapWriter w(1);
+    snap::Ser &s = w.beginSection("data");
+    for (int i = 0; i < 100; ++i)
+        s.u64(i);
+    w.endSection();
+    auto img = w.finish();
+    // Every possible truncation point must be rejected cleanly.
+    for (std::size_t cut : {std::size_t{0}, std::size_t{4},
+                            std::size_t{15}, std::size_t{30},
+                            img.size() - 1}) {
+        snap::SnapReader r;
+        EXPECT_FALSE(r.parse(std::vector<std::uint8_t>(
+            img.begin(), img.begin() + static_cast<std::ptrdiff_t>(cut))))
+            << "cut at " << cut;
+        EXPECT_FALSE(r.error().empty());
+    }
+}
+
+TEST(SnapFile, RejectsCorruptSectionFraming)
+{
+    snap::SnapWriter w(1);
+    snap::Ser &s = w.beginSection("data");
+    s.u64(7);
+    w.endSection();
+    auto img = w.finish();
+    // Blow up the section's payload length field (offset: 24-byte
+    // header + u32 nameLen + 4 name bytes).
+    img[24 + 4 + 4] = 0xff;
+    img[24 + 4 + 5] = 0xff;
+    snap::SnapReader r;
+    EXPECT_FALSE(r.parse(std::move(img)));
+    EXPECT_FALSE(r.error().empty());
+}
+
+TEST(SnapFile, FileRoundTripAndMissingFile)
+{
+    std::string path = ::testing::TempDir() + "snapfile_rt.smtpsnap";
+    snap::SnapWriter w(42);
+    snap::Ser &s = w.beginSection("x");
+    s.u32(9);
+    w.endSection();
+    std::string err;
+    ASSERT_TRUE(w.write(path, &err)) << err;
+
+    snap::SnapReader r;
+    ASSERT_TRUE(r.load(path)) << r.error();
+    EXPECT_EQ(r.configHash(), 42u);
+
+    snap::SnapReader r2;
+    EXPECT_FALSE(r2.load(path + ".does-not-exist"));
+    EXPECT_FALSE(r2.error().empty());
+    std::filesystem::remove(path);
+}
+
+// ---- Stat type round trips (carry-over audit) -----------------------
+
+template <typename T>
+T
+roundTrip(const T &orig)
+{
+    snap::Ser s;
+    orig.saveState(s);
+    snap::Des d(s.buffer().data(), s.size());
+    T fresh;
+    fresh.restoreState(d);
+    EXPECT_TRUE(d.ok()) << d.error();
+    EXPECT_EQ(d.remaining(), 0u);
+    return fresh;
+}
+
+TEST(StatSnap, CounterRoundTrip)
+{
+    Counter c;
+    c += 41;
+    ++c;
+    Counter r = roundTrip(c);
+    EXPECT_EQ(r.value(), 42u);
+}
+
+TEST(StatSnap, PeakTrackerRoundTrip)
+{
+    PeakTracker p;
+    p.observe(17);
+    p.observe(5);
+    PeakTracker r = roundTrip(p);
+    EXPECT_EQ(r.peak(), 17u);
+}
+
+TEST(StatSnap, DistributionRoundTripWithSamples)
+{
+    Distribution d;
+    d.sample(1.5);
+    d.sample(-2.0, 3);
+    d.sample(10.0);
+    Distribution r = roundTrip(d);
+    EXPECT_EQ(r.samples(), d.samples());
+    EXPECT_EQ(r.mean(), d.mean());
+    EXPECT_EQ(r.min(), d.min());
+    EXPECT_EQ(r.max(), d.max());
+}
+
+TEST(StatSnap, DistributionEmptySentinelsSurvive)
+{
+    // The carry-over trap: an empty Distribution holds +/-inf min/max
+    // sentinels. A naive restore (e.g. writing 0s) would corrupt the
+    // first post-restore sample's min/max. Prove the sentinels ride
+    // through and the next sample behaves exactly like on a fresh one.
+    Distribution empty;
+    Distribution r = roundTrip(empty);
+    EXPECT_EQ(r.samples(), 0u);
+    r.sample(-7.5);
+    EXPECT_EQ(r.min(), -7.5);
+    EXPECT_EQ(r.max(), -7.5);
+}
+
+TEST(StatSnap, DistributionHistogramBucketsSurvive)
+{
+    Distribution d;
+    d.enableHistogram(0.0, 10.0, 5);
+    d.sample(-1.0); // underflow
+    d.sample(2.5);
+    d.sample(2.6);
+    d.sample(11.0); // overflow
+    Distribution r = roundTrip(d);
+    ASSERT_TRUE(r.histogramEnabled());
+    EXPECT_EQ(r.histogram(), d.histogram());
+    EXPECT_EQ(r.percentile(50.0), d.percentile(50.0));
+    // Continued sampling must land in the same buckets as the twin.
+    d.sample(9.9);
+    r.sample(9.9);
+    EXPECT_EQ(r.histogram(), d.histogram());
+}
+
+TEST(StatSnap, TraceRingNormalizesWrap)
+{
+    // Fill past capacity so the ring wraps, round-trip, and check the
+    // restored ring exports the same events and keeps recording
+    // identically to the original.
+    trace::TraceBuffer orig("t", 0, trace::Category::Cpu, 4);
+    for (std::uint64_t i = 0; i < 7; ++i)
+        orig.record(i * 10, static_cast<trace::EventId>(1), i);
+
+    snap::Ser s;
+    orig.saveState(s);
+    trace::TraceBuffer fresh("t", 0, trace::Category::Cpu, 4);
+    snap::Des d(s.buffer().data(), s.size());
+    fresh.restoreState(d);
+    ASSERT_TRUE(d.ok()) << d.error();
+
+    orig.record(99, static_cast<trace::EventId>(2), 99);
+    fresh.record(99, static_cast<trace::EventId>(2), 99);
+    std::vector<trace::Event> a, b;
+    orig.snapshot(a);
+    fresh.snapshot(b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].meta, b[i].meta) << i;
+        EXPECT_EQ(a[i].arg, b[i].arg) << i;
+    }
+    EXPECT_EQ(orig.recorded(), fresh.recorded());
+}
+
+TEST(StatSnap, TraceRingCapacityMismatchRejected)
+{
+    trace::TraceBuffer orig("t", 0, trace::Category::Cpu, 8);
+    for (int i = 0; i < 20; ++i)
+        orig.record(i, static_cast<trace::EventId>(1), 0);
+    snap::Ser s;
+    orig.saveState(s);
+    trace::TraceBuffer fresh("t", 0, trace::Category::Cpu, 4);
+    snap::Des d(s.buffer().data(), s.size());
+    fresh.restoreState(d);
+    EXPECT_FALSE(d.ok());
+}
+
+// ---- Machine-level guard rails --------------------------------------
+
+struct SnapSim
+{
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<workload::App> app;
+    std::unique_ptr<FuncMem> mem;
+
+    explicit SnapSim(MachineModel model, double scale = 0.25)
+    {
+        MachineParams mp;
+        mp.model = model;
+        mp.nodes = 2;
+        mp.appThreadsPerNode = 1;
+        machine = std::make_unique<Machine>(mp);
+        mem = std::make_unique<FuncMem>();
+        app = workload::makeApp("FFT");
+        workload::WorkloadEnv env;
+        env.mem = mem.get();
+        env.map = &machine->addressMap();
+        env.nodes = 2;
+        env.threadsPerNode = 1;
+        env.scale = scale;
+        app->build(env);
+        for (unsigned t = 0; t < env.totalThreads(); ++t)
+            machine->setGlobalSource(t, app->thread(t));
+        machine->setWorkloadState(app.get());
+    }
+};
+
+TEST(MachineSnap, ConfigHashMismatchRejected)
+{
+    SnapSim a(MachineModel::Base);
+    a.machine->runUntil(50 * tickPerUs);
+    auto img = a.machine->saveImage();
+
+    SnapSim b(MachineModel::SMTp);
+    EXPECT_NE(a.machine->configHash(), b.machine->configHash());
+    std::string err;
+    EXPECT_FALSE(b.machine->restoreImage(img, &err));
+    EXPECT_NE(err.find("config hash"), std::string::npos) << err;
+}
+
+TEST(MachineSnap, NonFreshMachineRejected)
+{
+    SnapSim a(MachineModel::Base);
+    a.machine->runUntil(50 * tickPerUs);
+    auto img = a.machine->saveImage();
+
+    SnapSim b(MachineModel::Base);
+    b.machine->runUntil(10 * tickPerUs); // b has already simulated
+    std::string err;
+    EXPECT_FALSE(b.machine->restoreImage(img, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(MachineSnap, CorruptAndTruncatedImagesRejected)
+{
+    SnapSim a(MachineModel::Base);
+    a.machine->runUntil(50 * tickPerUs);
+    auto img = a.machine->saveImage();
+
+    // Truncations at many depths: container header, section table,
+    // mid-payload. All must fail with a diagnostic, none may crash.
+    for (double frac : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+        auto cut = static_cast<std::size_t>(
+            static_cast<double>(img.size()) * frac);
+        std::vector<std::uint8_t> t(img.begin(),
+                                    img.begin() +
+                                        static_cast<std::ptrdiff_t>(cut));
+        SnapSim b(MachineModel::Base);
+        std::string err;
+        EXPECT_FALSE(b.machine->restoreImage(std::move(t), &err))
+            << "cut fraction " << frac;
+        EXPECT_FALSE(err.empty());
+    }
+
+    // Deep-payload bitflip: framing still parses, a component's section
+    // decodes garbage. Restore must fail (count/validation guards), not
+    // crash. Flip a byte ~3/4 through, clear of the header.
+    auto flipped = img;
+    flipped[flipped.size() * 3 / 4] ^= 0xff;
+    SnapSim c(MachineModel::Base);
+    std::string err;
+    bool ok = c.machine->restoreImage(std::move(flipped), &err);
+    if (!ok) {
+        EXPECT_FALSE(err.empty());
+    }
+    // (A flip in stats payload can decode to a legal value; rejection
+    // is only guaranteed for structural fields. No-crash is the
+    // contract, checked by running this test at all under ASan.)
+}
+
+TEST(MachineSnap, SaveToFileAndRestore)
+{
+    std::string path = ::testing::TempDir() + "machine_rt.smtpsnap";
+    SnapSim a(MachineModel::Base);
+    a.machine->runUntil(50 * tickPerUs);
+    std::string err;
+    ASSERT_TRUE(a.machine->save(path, &err)) << err;
+
+    SnapSim b(MachineModel::Base);
+    ASSERT_TRUE(b.machine->restore(path, &err)) << err;
+    EXPECT_EQ(b.machine->eventQueue().curTick(),
+              a.machine->eventQueue().curTick());
+    EXPECT_EQ(b.machine->committedAppInsts(),
+              a.machine->committedAppInsts());
+    std::filesystem::remove(path);
+}
+
+} // namespace
+} // namespace smtp

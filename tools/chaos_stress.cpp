@@ -14,8 +14,8 @@
  *
  *   chaos_stress [--models=base,smtp,...] [--nodes=N] [--threads=W]
  *                [--seed=S] [--ops=K] [--faults=PLAN] [--retry=SPEC]
- *                [--trace=DIR] [--report=PATH] [--quick] [--shrink]
- *                [--abort-off] [--bug=droploss]
+ *                [--trace=DIR] [--report=PATH] [--wedge-snap=PATH]
+ *                [--quick] [--shrink] [--abort-off] [--bug=droploss]
  *
  * --bug=droploss flips the deliberate drop-without-retransmit bug hook
  * on and inverts the pass criterion: the run must NOT survive — the
@@ -23,6 +23,10 @@
  * the wedge report is written to --report (default
  * chaos_wedge_report.txt). Every run prints its own repro command
  * line; --shrink bisects a failing op count down (docs/debugging.md).
+ *
+ * When the deadlock watchdog trips, the wedged machine is additionally
+ * snapshotted to --wedge-snap (default chaos_wedge.smtpsnap, empty
+ * disables) for post-mortem with snap_tool inspect/diff.
  */
 
 #include <cctype>
@@ -60,6 +64,14 @@ struct ChaosOptions
                                    100 * tickPerNs, 6400 * tickPerNs, 32};
     std::string traceDir;  ///< Per-model trace files (empty = off).
     std::string reportPath = "chaos_wedge_report.txt";
+    /**
+     * Where the watchdog auto-saves a machine snapshot when it trips
+     * (--wedge-snap=PATH, empty disables). The snapshot captures the
+     * wedged machine exactly; inspect it with snap_tool, or diff it
+     * against a healthy run's snapshot to localize the divergent
+     * component (docs/debugging.md).
+     */
+    std::string wedgeSnapPath = "chaos_wedge.smtpsnap";
     bool quick = false;
     bool shrink = false;
     bool abortOnViolation = true;
@@ -173,6 +185,7 @@ runModel(MachineModel model, const ChaosOptions &o)
     mp.faults = plan;
     mp.retryPolicy = o.retry;
     mp.trace.enabled = !o.traceDir.empty();
+    mp.wedgeSnapshotPath = o.wedgeSnapPath;
     if (o.bugDroploss) {
         // Lost messages must be caught quickly, not after the default
         // 2 ms bound.
@@ -356,6 +369,8 @@ chaosMain(int argc, char **argv)
             o.traceDir = value();
         } else if (arg.rfind("--report=", 0) == 0) {
             o.reportPath = value();
+        } else if (arg.rfind("--wedge-snap=", 0) == 0) {
+            o.wedgeSnapPath = value();
         } else if (arg == "--bug=droploss") {
             o.bugDroploss = true;
         } else if (arg == "--quick") {
