@@ -81,7 +81,10 @@ paramsFor(const RunConfig &cfg)
     mp.dirCacheDivisor = cfg.dirCacheDivisor;
     mp.eventKernel = cfg.heapEventKernel ? EventQueue::Kernel::Heap
                                          : EventQueue::Kernel::Wheel;
+    mp.exec = cfg.exec;
     mp.trace.enabled = !cfg.traceStem.empty();
+    if (cfg.traceExec)
+        mp.trace.categories |= trace::categoryBit(trace::Category::Exec);
     mp.faults = cfg.faults;
     mp.retryPolicy = cfg.retryPolicy;
     return mp;
@@ -103,6 +106,9 @@ cellKey(const Machine &m, const RunConfig &cfg)
     h.mix(cfg.app);
     h.mixF(cfg.scale);
     h.mix(static_cast<std::uint64_t>(cfg.traceStem.empty() ? 0 : 1));
+    // Exec-traced snapshots carry per-shard exec buffers a plainly
+    // traced machine would refuse, so they get their own cache cells.
+    h.mix(static_cast<std::uint64_t>(cfg.traceExec ? 1 : 0));
     return h.value();
 }
 
@@ -352,6 +358,7 @@ runCells(const BenchOptions &opt, const std::vector<RunConfig> &cfgs_in)
         c.retryPolicy = opt.retryPolicy;
         c.ckptDir = opt.ckptDir;
         c.sample = opt.sample;
+        c.exec = opt.exec;
     }
     if (!opt.traceDir.empty()) {
         std::error_code ec;
@@ -368,6 +375,7 @@ runCells(const BenchOptions &opt, const std::vector<RunConfig> &cfgs_in)
                           std::string(modelName(c.model)).c_str(),
                           c.nodes, c.ways);
             c.traceStem = stem;
+            c.traceExec = opt.traceExec;
         }
     }
     std::vector<RunResult> results(cfgs.size());
@@ -430,6 +438,13 @@ appendJson(const std::string &path, const std::vector<RunConfig> &cfgs,
                 static_cast<unsigned long long>(r.faultsRecovered));
             fault_fields = buf;
         }
+        // The exec field appears only for non-serial runs, so default
+        // records stay byte-identical to earlier output — and a
+        // serial-vs-parallel JSON diff reduces to stripping wall_ms
+        // and exec (simulated fields must match exactly).
+        std::string exec_field;
+        if (c.exec.parallel())
+            exec_field = ",\"exec\":\"" + c.exec.toString() + "\"";
         // Sampled-measurement fields appear only in --sample runs, so
         // full-run records stay byte-identical to earlier output.
         std::string sample_fields;
@@ -446,12 +461,12 @@ appendJson(const std::string &path, const std::vector<RunConfig> &cfgs,
         std::fprintf(
             f,
             "{\"app\":\"%s\",\"model\":\"%s\",\"nodes\":%u,\"ways\":%u,"
-            "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s%s,\"wall_ms\":%.3f}\n",
+            "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s%s%s,\"wall_ms\":%.3f}\n",
             c.app.c_str(), std::string(modelName(c.model)).c_str(),
             c.nodes, c.ways,
             static_cast<unsigned long long>(r.execTime),
             r.memStallFraction, fault_fields.c_str(),
-            sample_fields.c_str(), r.wallMs);
+            sample_fields.c_str(), exec_field.c_str(), r.wallMs);
     }
     std::fclose(f);
 }
@@ -514,6 +529,8 @@ parseArgs(int argc, char **argv)
             opt.traceDir = vt;
         } else if (arg == "--trace") {
             opt.traceDir = "traces";
+        } else if (arg == "--trace-exec") {
+            opt.traceExec = true;
         } else if (const char *vf = value("--faults=")) {
             std::string err;
             if (!fault::FaultPlan::parse(vf, opt.faults, &err)) {
@@ -536,6 +553,12 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr, "--sample: %s\n", err.c_str());
                 std::exit(1);
             }
+        } else if (const char *ve = value("--exec=")) {
+            std::string err;
+            if (!ExecParams::parse(ve, opt.exec, &err)) {
+                std::fprintf(stderr, "--exec: %s\n", err.c_str());
+                std::exit(1);
+            }
         } else if (arg == "--quick") {
             opt.quick = true;
         } else if (arg == "--verbose") {
@@ -544,7 +567,8 @@ parseArgs(int argc, char **argv)
             std::printf("options: --scale=F --apps=A,B,... --quick "
                         "--verbose --jobs=N --json=PATH --trace[=DIR] "
                         "--faults=PLAN --retry=SPEC --ckpt-dir=DIR "
-                        "--sample=W:M:K\n"
+                        "--sample=W:M:K --exec=serial|parallel[:T] "
+                        "--trace-exec\n"
                         "  --jobs   sweep worker threads (default: "
                         "SMTP_SWEEP_JOBS env or all cores)\n"
                         "  --json   append per-cell JSON-Lines records "

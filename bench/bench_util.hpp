@@ -67,11 +67,24 @@ struct RunConfig
     /** Run on the reference heap kernel (determinism A/B tests). */
     bool heapEventKernel = false;
     /**
+     * Shard-engine execution mode (--exec=serial|parallel[:T]).
+     * Simulated results are bit-identical across modes; parallel only
+     * changes host wall time (docs/parallelism.md).
+     */
+    ExecParams exec;
+    /**
      * When non-empty, run with telemetry enabled and write
      * stem.smtptrace / stem.json / stem.csv after the run. Tracing
      * never perturbs simulated timing.
      */
     std::string traceStem;
+    /**
+     * Also record the opt-in Exec category (--trace-exec): per-shard
+     * window-advance and barrier-wait events. These carry host time,
+     * so exec-traced exports are NOT byte-comparable across exec modes
+     * (docs/parallelism.md).
+     */
+    bool traceExec = false;
     /**
      * Fault injection (--faults=PLAN) and NAK retry policy
      * (--retry=SPEC). A disabled plan and the default Fixed policy
@@ -137,6 +150,8 @@ struct BenchOptions
     fault::RetryPolicyConfig retryPolicy; ///< --retry=SPEC.
     std::string ckptDir;            ///< --ckpt-dir=DIR (empty = off).
     SampleSpec sample;              ///< --sample=W:M:K (default: off).
+    ExecParams exec;                ///< --exec=serial|parallel[:T].
+    bool traceExec = false;         ///< --trace-exec (Exec category).
 
     const std::vector<std::string> &appList() const;
 };

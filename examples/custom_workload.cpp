@@ -111,6 +111,6 @@ main()
                 static_cast<unsigned long long>(app.binTotal(mem)));
     std::printf("coherence traffic: %llu network messages\n",
                 static_cast<unsigned long long>(
-                    machine.network().msgsInjected.value()));
+                    machine.network().msgsInjected()));
     return 0;
 }

@@ -193,6 +193,18 @@ class InstSource
 
     /** The thread has terminated (never supplies again). */
     virtual bool finished() = 0;
+
+    /**
+     * Buffered mode (sharded execution): the source must not generate
+     * new micro-ops from inside hasNext()/peek() — generation mutates
+     * shared workload state (functional memory, sync primitives) and is
+     * only legal in the single-threaded barrier phase, via refill().
+     * Sources without generator state ignore both hooks.
+     */
+    virtual void setBuffered(bool) {}
+
+    /** Barrier-phase top-up to roughly @p target buffered micro-ops. */
+    virtual void refill(std::size_t) {}
 };
 
 } // namespace smtp

@@ -205,51 +205,59 @@ retryPolicyToString(const RetryPolicyConfig &cfg)
 // ---- Injector -----------------------------------------------------------
 
 FaultInjector::FaultInjector(const FaultPlan &plan, unsigned nodes)
-    : plan_(plan), netRng_(plan.seed * 0x9e3779b97f4a7c15ULL + 1)
+    : plan_(plan)
 {
     SMTP_ASSERT(nodes >= 1, "fault injector needs at least one node");
-    memRng_.reserve(nodes);
-    protoRng_.reserve(nodes);
+    slices_.reserve(nodes);
     for (unsigned n = 0; n < nodes; ++n) {
-        memRng_.emplace_back(plan.seed + 0x1000 + n * 7919);
-        protoRng_.emplace_back(plan.seed + 0x2000 + n * 104729);
+        // Node 0's network stream matches the pre-sharding global
+        // stream (seed * golden-ratio + 1), so single-node harnesses
+        // that pinned decision sequences keep their expectations.
+        slices_.emplace_back(
+            (plan.seed + n * 0x51ed270bULL) * 0x9e3779b97f4a7c15ULL + 1,
+            plan.seed + 0x1000 + n * 7919,
+            plan.seed + 0x2000 + n * 104729);
     }
 }
 
 unsigned
-FaultInjector::linkRetransmits()
+FaultInjector::linkRetransmits(unsigned node)
 {
     if (plan_.netDrop <= 0.0)
         return 0;
+    Slice &s = slices_[node];
     unsigned k = 0;
-    while (k < plan_.maxRetransmits && netRng_.chance(plan_.netDrop))
+    while (k < plan_.maxRetransmits && s.netRng.chance(plan_.netDrop))
         ++k;
-    netDrops += k;
+    s.netDrops += k;
     return k;
 }
 
 bool
-FaultInjector::linkDuplicate()
+FaultInjector::linkDuplicate(unsigned node)
 {
-    if (plan_.netDup <= 0.0 || !netRng_.chance(plan_.netDup))
+    Slice &s = slices_[node];
+    if (plan_.netDup <= 0.0 || !s.netRng.chance(plan_.netDup))
         return false;
-    ++netDups;
+    ++s.netDups;
     return true;
 }
 
 Tick
-FaultInjector::linkExtraDelay()
+FaultInjector::linkExtraDelay(unsigned node)
 {
-    if (plan_.netDelay <= 0.0 || !netRng_.chance(plan_.netDelay))
+    Slice &s = slices_[node];
+    if (plan_.netDelay <= 0.0 || !s.netRng.chance(plan_.netDelay))
         return 0;
-    ++netDelays;
-    return 1 + netRng_.below(std::max<Tick>(plan_.netDelayMax, 1));
+    ++s.netDelays;
+    return 1 + s.netRng.below(std::max<Tick>(plan_.netDelayMax, 1));
 }
 
 bool
-FaultInjector::landingReorder()
+FaultInjector::landingReorder(unsigned node)
 {
-    if (plan_.netReorder <= 0.0 || !netRng_.chance(plan_.netReorder))
+    Slice &s = slices_[node];
+    if (plan_.netReorder <= 0.0 || !s.netRng.chance(plan_.netReorder))
         return false;
     return true;
 }
@@ -257,17 +265,18 @@ FaultInjector::landingReorder()
 FaultInjector::Ecc
 FaultInjector::sdramRead(NodeId node)
 {
-    SMTP_ASSERT(node < memRng_.size(), "sdram fault for unknown node");
+    SMTP_ASSERT(node < slices_.size(), "sdram fault for unknown node");
+    Slice &s = slices_[node];
     if (plan_.memFlipSingle <= 0.0 && plan_.memFlipDouble <= 0.0)
         return Ecc::None;
-    double u = memRng_[node].uniform();
+    double u = s.memRng.uniform();
     if (u < plan_.memFlipDouble) {
-        ++eccDetected;
+        ++s.eccDetected;
         return Ecc::Detected;
     }
     if (u < plan_.memFlipDouble + plan_.memFlipSingle) {
-        ++eccCorrected;
-        ++eccScrubs;
+        ++s.eccCorrected;
+        ++s.eccScrubs;
         return Ecc::Corrected;
     }
     return Ecc::None;
@@ -276,11 +285,71 @@ FaultInjector::sdramRead(NodeId node)
 bool
 FaultInjector::forceNak(NodeId node)
 {
-    SMTP_ASSERT(node < protoRng_.size(), "forced NAK for unknown node");
-    if (plan_.forceNak <= 0.0 || !protoRng_[node].chance(plan_.forceNak))
+    SMTP_ASSERT(node < slices_.size(), "forced NAK for unknown node");
+    Slice &s = slices_[node];
+    if (plan_.forceNak <= 0.0 || !s.protoRng.chance(plan_.forceNak))
         return false;
-    ++naksForced;
+    ++s.naksForced;
     return true;
+}
+
+// ---- Snapshot support ---------------------------------------------------
+
+void
+FaultInjector::Slice::saveState(snap::Ser &out) const
+{
+    netRng.saveState(out);
+    memRng.saveState(out);
+    protoRng.saveState(out);
+    netDrops.saveState(out);
+    netDups.saveState(out);
+    netDupsFiltered.saveState(out);
+    netDelays.saveState(out);
+    netReorders.saveState(out);
+    netLost.saveState(out);
+    eccCorrected.saveState(out);
+    eccDetected.saveState(out);
+    eccScrubs.saveState(out);
+    eccRefetches.saveState(out);
+    naksForced.saveState(out);
+}
+
+void
+FaultInjector::Slice::restoreState(snap::Des &in)
+{
+    netRng.restoreState(in);
+    memRng.restoreState(in);
+    protoRng.restoreState(in);
+    netDrops.restoreState(in);
+    netDups.restoreState(in);
+    netDupsFiltered.restoreState(in);
+    netDelays.restoreState(in);
+    netReorders.restoreState(in);
+    netLost.restoreState(in);
+    eccCorrected.restoreState(in);
+    eccDetected.restoreState(in);
+    eccScrubs.restoreState(in);
+    eccRefetches.restoreState(in);
+    naksForced.restoreState(in);
+}
+
+void
+FaultInjector::saveState(snap::Ser &out) const
+{
+    out.u64(slices_.size());
+    for (const Slice &s : slices_)
+        s.saveState(out);
+}
+
+void
+FaultInjector::restoreState(snap::Des &in)
+{
+    if (in.u64() != slices_.size()) {
+        in.fail("corrupt snapshot: fault injector slice count mismatch");
+        return;
+    }
+    for (Slice &s : slices_)
+        s.restoreState(in);
 }
 
 } // namespace smtp::fault

@@ -10,10 +10,12 @@
  * existing layers consult at their hook points.
  *
  * Determinism contract: every decision is drawn from an explicitly
- * seeded Rng owned by the injector (one global stream for the network
- * fabric, one per node for SDRAM and for protocol dispatch), so the
- * injected-event schedule is a pure function of (plan, event order) —
- * identical across runs and across sweep worker counts. With no
+ * seeded Rng owned by the injector. Streams are partitioned per node
+ * (one network stream, one SDRAM stream and one protocol stream each),
+ * so the injected-event schedule is a pure function of (plan, per-node
+ * event order) — identical across runs, across sweep worker counts,
+ * and across the serial/parallel execution kernels, because every hook
+ * is only ever consulted from the shard that owns the node. With no
  * injector attached (the default) every hook is a single null-pointer
  * test and simulated timing is bit-identical to a build without this
  * subsystem.
@@ -165,23 +167,66 @@ class FaultInjector
 
     const FaultPlan &plan() const { return plan_; }
 
-    // ---- Network hooks (global stream, consulted in event order) -----
+    unsigned nodes() const { return static_cast<unsigned>(slices_.size()); }
+
+    /**
+     * Per-node decision streams, counters and trace buffer. Slices are
+     * cache-line aligned so concurrent shards never false-share; each
+     * slice is only ever touched by the shard that owns node @p n
+     * (enforced by the mailbox routing in sim/shard.hpp, proven by the
+     * TSan CI job).
+     */
+    struct alignas(64) Slice
+    {
+        explicit Slice(std::uint64_t net_seed = 1, std::uint64_t mem_seed = 1,
+                       std::uint64_t proto_seed = 1)
+            : netRng(net_seed), memRng(mem_seed), protoRng(proto_seed)
+        {
+        }
+
+        Rng netRng;   ///< Link drop/dup/jitter/reorder decisions.
+        Rng memRng;   ///< SDRAM ECC flip decisions.
+        Rng protoRng; ///< Forced-NAK decisions.
+
+        Counter netDrops;        ///< Corrupted transmissions (= retransmits).
+        Counter netDups;         ///< Duplicated deliveries injected.
+        Counter netDupsFiltered; ///< Duplicates discarded at landing.
+        Counter netDelays;       ///< Traversals given extra jitter.
+        Counter netReorders;     ///< Landing-buffer swaps performed.
+        Counter netLost;         ///< injectDropWithoutRetransmit casualties.
+        Counter eccCorrected;    ///< Single-bit flips corrected.
+        Counter eccDetected;     ///< Double-bit flips detected.
+        Counter eccScrubs;       ///< Demand scrubs (one per corrected flip).
+        Counter eccRefetches;    ///< Refetch reads serving detected flips.
+        Counter naksForced;      ///< Dispatches turned into RplNak.
+
+        trace::TraceBuffer *trace = nullptr;
+
+        void saveState(snap::Ser &out) const;
+        void restoreState(snap::Des &in);
+    };
+
+    Slice &slice(unsigned n) { return slices_[n]; }
+    const Slice &slice(unsigned n) const { return slices_[n]; }
+
+    // ---- Network hooks (per-node stream, consulted in the event order
+    //      of the shard owning @p node) ---------------------------------
 
     /**
      * Number of corrupted transmissions before this traversal succeeds
      * (0 = clean). Each costs one retransmitTimeout of latency and one
      * extra serialisation of link occupancy.
      */
-    unsigned linkRetransmits();
+    unsigned linkRetransmits(unsigned node);
 
     /** Should this delivery be duplicated (dup filtered by seq at RX)? */
-    bool linkDuplicate();
+    bool linkDuplicate(unsigned node);
 
     /** Extra jitter for this traversal (0 = none). */
-    Tick linkExtraDelay();
+    Tick linkExtraDelay(unsigned node);
 
     /** Swap this landing with its (cross-source) predecessor? */
-    bool landingReorder();
+    bool landingReorder(unsigned node);
 
     // ---- SDRAM hook (per-node stream) --------------------------------
 
@@ -201,40 +246,45 @@ class FaultInjector
 
     // ---- Telemetry ----------------------------------------------------
 
-    /** Machine-wide fault trace buffer (Category::Fault); may be null. */
-    void setTrace(trace::TraceBuffer *buf) { trace_ = buf; }
-    trace::TraceBuffer *trace() { return trace_; }
+    /** Per-node fault trace buffer (Category::Fault); may be null. */
+    void setTrace(unsigned node, trace::TraceBuffer *buf)
+    {
+        slices_[node].trace = buf;
+    }
 
-    // ---- Counters (injected faults and their recoveries) --------------
+    trace::TraceBuffer *trace(unsigned node) { return slices_[node].trace; }
 
-    Counter netDrops;       ///< Corrupted transmissions (= retransmits).
-    Counter netDups;        ///< Duplicated deliveries injected.
-    Counter netDupsFiltered;///< Duplicates discarded at the landing buffer.
-    Counter netDelays;      ///< Traversals given extra jitter.
-    Counter netReorders;    ///< Landing-buffer swaps performed.
-    Counter netLost;        ///< injectDropWithoutRetransmit casualties.
-    Counter eccCorrected;   ///< Single-bit flips corrected.
-    Counter eccDetected;    ///< Double-bit flips detected.
-    Counter eccScrubs;      ///< Demand scrubs (one per corrected flip).
-    Counter eccRefetches;   ///< Refetch reads serving detected flips.
-    Counter naksForced;     ///< Dispatches turned into RplNak.
+    // ---- Aggregate counters (sum over nodes, for reporting) -----------
+
+    std::uint64_t netDrops() const { return sum(&Slice::netDrops); }
+    std::uint64_t netDups() const { return sum(&Slice::netDups); }
+    std::uint64_t netDupsFiltered() const
+    {
+        return sum(&Slice::netDupsFiltered);
+    }
+    std::uint64_t netDelays() const { return sum(&Slice::netDelays); }
+    std::uint64_t netReorders() const { return sum(&Slice::netReorders); }
+    std::uint64_t netLost() const { return sum(&Slice::netLost); }
+    std::uint64_t eccCorrected() const { return sum(&Slice::eccCorrected); }
+    std::uint64_t eccDetected() const { return sum(&Slice::eccDetected); }
+    std::uint64_t eccScrubs() const { return sum(&Slice::eccScrubs); }
+    std::uint64_t eccRefetches() const { return sum(&Slice::eccRefetches); }
+    std::uint64_t naksForced() const { return sum(&Slice::naksForced); }
 
     /** Injected faults, all classes (nonzero proves the plan fired). */
     std::uint64_t
     injectedTotal() const
     {
-        return netDrops.value() + netDups.value() + netDelays.value() +
-               netReorders.value() + eccCorrected.value() +
-               eccDetected.value() + naksForced.value();
+        return netDrops() + netDups() + netDelays() + netReorders() +
+               eccCorrected() + eccDetected() + naksForced();
     }
 
     /** Successful recoveries (drops retransmitted, dups filtered, ...). */
     std::uint64_t
     recoveredTotal() const
     {
-        return (netDrops.value() - netLost.value()) +
-               netDupsFiltered.value() + eccCorrected.value() +
-               eccRefetches.value();
+        return (netDrops() - netLost()) + netDupsFiltered() +
+               eccCorrected() + eccRefetches();
     }
 
     // ---- Snapshot support ---------------------------------------------
@@ -243,66 +293,21 @@ class FaultInjector
     // config hash); only the RNG stream positions and the counters are
     // dynamic state. The injector schedules no events of its own.
 
-    void
-    saveState(snap::Ser &out) const
-    {
-        netRng_.saveState(out);
-        out.u64(memRng_.size());
-        for (const Rng &r : memRng_)
-            r.saveState(out);
-        out.u64(protoRng_.size());
-        for (const Rng &r : protoRng_)
-            r.saveState(out);
-        netDrops.saveState(out);
-        netDups.saveState(out);
-        netDupsFiltered.saveState(out);
-        netDelays.saveState(out);
-        netReorders.saveState(out);
-        netLost.saveState(out);
-        eccCorrected.saveState(out);
-        eccDetected.saveState(out);
-        eccScrubs.saveState(out);
-        eccRefetches.saveState(out);
-        naksForced.saveState(out);
-    }
-
-    void
-    restoreState(snap::Des &in)
-    {
-        netRng_.restoreState(in);
-        if (in.u64() != memRng_.size()) {
-            in.fail("corrupt snapshot: fault injector SDRAM stream "
-                    "count mismatch");
-            return;
-        }
-        for (Rng &r : memRng_)
-            r.restoreState(in);
-        if (in.u64() != protoRng_.size()) {
-            in.fail("corrupt snapshot: fault injector protocol stream "
-                    "count mismatch");
-            return;
-        }
-        for (Rng &r : protoRng_)
-            r.restoreState(in);
-        netDrops.restoreState(in);
-        netDups.restoreState(in);
-        netDupsFiltered.restoreState(in);
-        netDelays.restoreState(in);
-        netReorders.restoreState(in);
-        netLost.restoreState(in);
-        eccCorrected.restoreState(in);
-        eccDetected.restoreState(in);
-        eccScrubs.restoreState(in);
-        eccRefetches.restoreState(in);
-        naksForced.restoreState(in);
-    }
+    void saveState(snap::Ser &out) const;
+    void restoreState(snap::Des &in);
 
   private:
+    std::uint64_t
+    sum(Counter Slice::*member) const
+    {
+        std::uint64_t total = 0;
+        for (const Slice &s : slices_)
+            total += (s.*member).value();
+        return total;
+    }
+
     FaultPlan plan_;
-    Rng netRng_;
-    std::vector<Rng> memRng_;
-    std::vector<Rng> protoRng_;
-    trace::TraceBuffer *trace_ = nullptr;
+    std::vector<Slice> slices_;
 };
 
 } // namespace smtp::fault

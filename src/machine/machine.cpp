@@ -1,7 +1,9 @@
 #include "machine.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
@@ -13,11 +15,21 @@ namespace smtp
 
 /**
  * How often (in absolute simulated time) the run loops poll for
- * workload completion. Time-aligned so the poll schedule — and thus
- * the tick at which a finished run stops executing residual protocol
- * events — is identical however the run was sliced by runUntil().
+ * workload completion. A multiple of the window length, and
+ * time-aligned so the poll schedule — and thus the tick at which a
+ * finished run stops executing residual protocol events — is identical
+ * however the run was sliced by runUntil().
  */
 constexpr Tick kDoneCheckPeriod = 50 * tickPerNs;
+
+/**
+ * Barrier-phase generator top-up (buffered micro-ops per thread).
+ * Large enough that a thread rarely drains its buffer inside one
+ * window; any dry spell it does hit is a pure function of simulated
+ * time, so it is identical under every exec mode and host-thread
+ * count.
+ */
+constexpr std::size_t kRefillTarget = 512;
 
 std::string_view
 modelName(MachineModel m)
@@ -33,7 +45,7 @@ modelName(MachineModel m)
 }
 
 Machine::Machine(const MachineParams &params)
-    : params_(params), eq_(params.eventKernel),
+    : params_(params), shards_(params.eventKernel, params.nodes),
       fmt_(proto::DirFormat::forNodes(params.nodes <= 16 ? 16 : 32)),
       image_(proto::buildHandlerImage(
           fmt_, proto::HandlerOptions{params.ownershipLog}))
@@ -44,7 +56,9 @@ Machine::Machine(const MachineParams &params)
                                               fmt_.entryBytes);
     NetworkParams np;
     np.numNodes = params.nodes;
-    net_ = std::make_unique<Network>(eq_, np);
+    net_ = std::make_unique<Network>(shards_, np);
+    lookahead_ = net_->lookahead();
+    sources_.assign(params.nodes * params.appThreadsPerNode, nullptr);
 
     if (params.trace.enabled)
         traceMgr_ = std::make_unique<trace::TraceManager>(params.trace);
@@ -53,11 +67,15 @@ Machine::Machine(const MachineParams &params)
         faults_ = std::make_unique<fault::FaultInjector>(params.faults,
                                                          params.nodes);
         net_->setFaultInjector(faults_.get());
-        // The fault buffer exists only when a plan is active, so traced
-        // fault-free runs keep byte-identical export files.
+        // The fault buffers exist only when a plan is active, so traced
+        // fault-free runs keep byte-identical export files. One buffer
+        // per node: fault decisions execute on the owning shard.
         if (traceMgr_) {
-            faults_->setTrace(traceMgr_->createBuffer(
-                "fault", 0, trace::Category::Fault));
+            for (unsigned n = 0; n < params.nodes; ++n) {
+                faults_->setTrace(n, traceMgr_->createBuffer(
+                                         "fault", static_cast<NodeId>(n),
+                                         trace::Category::Fault));
+            }
         }
     }
 
@@ -67,7 +85,8 @@ Machine::Machine(const MachineParams &params)
         chp.nodes = params.nodes;
         chp.abortOnViolation = params.checkAbortOnViolation;
         chp.watchdogMaxAge = params.checkWatchdogMaxAge;
-        checker_ = std::make_unique<check::Checker>(eq_, fmt_, chp);
+        checker_ = std::make_unique<check::Checker>(shards_.queue(0),
+                                                    fmt_, chp);
         auto *net = net_.get();
         checker_->addDumpHook(
             "network", [net](std::FILE *f) { net->debugState(f); });
@@ -84,10 +103,25 @@ Machine::Machine(const MachineParams &params)
         }
     }
 
+    // The checker's mirror is global state updated from every shard's
+    // transitions, so an active checker forces one host thread (the
+    // schedule — and therefore what the checker observes — is
+    // identical either way).
+    unsigned host_threads = 1;
+    if (params.exec.parallel() && !checker_) {
+        host_threads = params.exec.threads != 0
+                           ? params.exec.threads
+                           : std::thread::hardware_concurrency();
+        if (host_threads == 0)
+            host_threads = 1;
+    }
+    executor_ = std::make_unique<ShardExecutor>(shards_, host_threads);
+
     bool smtp = params.model == MachineModel::SMTp;
 
     for (unsigned n = 0; n < params.nodes; ++n) {
         auto node = std::make_unique<Node>();
+        EventQueue &eq = shards_.queue(n);
 
         CacheParams cp;
         cp.l2Bytes = params.l2Bytes;
@@ -95,7 +129,7 @@ Machine::Machine(const MachineParams &params)
         cp.perfectProtocolCaches = smtp && params.perfectProtocolCaches;
         ClockDomain cpu_clock(params.cpuFreqMHz);
         node->cache = std::make_unique<CacheHierarchy>(
-            eq_, cpu_clock, static_cast<NodeId>(n), cp);
+            eq, cpu_clock, static_cast<NodeId>(n), cp);
 
         McParams mp;
         switch (params.model) {
@@ -116,7 +150,7 @@ Machine::Machine(const MachineParams &params)
         mp.retry = params.retryPolicy;
         mp.rngSeed = 1000 + n;
         node->mc = std::make_unique<MemController>(
-            eq_, static_cast<NodeId>(n), mp, *map_, image_, *node->cache,
+            eq, static_cast<NodeId>(n), mp, *map_, image_, *node->cache,
             *net_);
 
         CpuParams cpup;
@@ -128,7 +162,7 @@ Machine::Machine(const MachineParams &params)
         cpup.intRegs = 32 * (params.appThreadsPerNode + 1) + 96;
         cpup.fpRegs = cpup.intRegs;
         cpup.bitAssistOps = params.bitAssistOps;
-        node->cpu = std::make_unique<SmtCpu>(eq_, cpup, *node->cache,
+        node->cpu = std::make_unique<SmtCpu>(eq, cpup, *node->cache,
                                              static_cast<NodeId>(n));
 
         if (smtp) {
@@ -136,7 +170,7 @@ Machine::Machine(const MachineParams &params)
             pt.lookAheadScheduling = params.lookAheadScheduling;
             pt.bitAssistOps = params.bitAssistOps;
             node->pthread = std::make_unique<ProtocolThread>(
-                eq_, *node->cpu, *node->mc, pt);
+                eq, *node->cpu, *node->mc, pt);
         } else {
             PEngineParams pe;
             switch (params.model) {
@@ -164,7 +198,7 @@ Machine::Machine(const MachineParams &params)
             pe.dcacheBytes = std::max<std::size_t>(
                 pe.dcacheBytes / params.dirCacheDivisor, 2048);
             node->pengine =
-                std::make_unique<PEngine>(eq_, *node->mc, pe);
+                std::make_unique<PEngine>(eq, *node->mc, pe);
         }
 
         auto *mc = node->mc.get();
@@ -188,7 +222,8 @@ Machine::Machine(const MachineParams &params)
 
         if (traceMgr_) {
             // Buffer creation order fixes the exporters' track order:
-            // node-major, then cpu / proto / mc / net.
+            // fault buffers first, then node-major cpu / proto / mc /
+            // net, then the per-shard exec buffers.
             auto nid = static_cast<NodeId>(n);
             node->cpu->setTrace(
                 traceMgr_->createBuffer("cpu", nid, trace::Category::Cpu));
@@ -210,16 +245,34 @@ Machine::Machine(const MachineParams &params)
     }
 
     if (traceMgr_) {
+        // Per-shard exec telemetry (window/barrier events). Opt-in via
+        // Category::Exec: BarrierWait records nondeterministic host
+        // time, so the category is excluded from the default mask and
+        // from telemetry bit-identity comparisons.
+        bool any_exec = false;
+        execTrace_.assign(params.nodes, nullptr);
+        lastExecuted_.assign(params.nodes, 0);
+        lastBusyNs_.assign(params.nodes, 0);
+        for (unsigned s = 0; s < params.nodes; ++s) {
+            execTrace_[s] = traceMgr_->createBuffer(
+                "exec", static_cast<NodeId>(s), trace::Category::Exec);
+            any_exec = any_exec || execTrace_[s] != nullptr;
+        }
+        if (any_exec)
+            executor_->setMeasure(true);
+        else
+            execTrace_.clear();
+
         if (checker_)
             checker_->setTraceManager(traceMgr_.get());
 
         auto &sampler = traceMgr_->sampler();
         auto *net = net_.get();
         sampler.addProbe("net.msgs", [net] {
-            return static_cast<double>(net->msgsInjected.value());
+            return static_cast<double>(net->msgsInjected());
         });
         sampler.addProbe("net.bytes", [net] {
-            return static_cast<double>(net->bytesInjected.value());
+            return static_cast<double>(net->bytesInjected());
         });
         for (unsigned n = 0; n < nodes_.size(); ++n) {
             Node *node = nodes_[n].get();
@@ -267,111 +320,194 @@ Machine::setSource(unsigned node, unsigned thread, InstSource *source)
     SMTP_ASSERT(node < nodes_.size(), "node out of range");
     SMTP_ASSERT(thread < params_.appThreadsPerNode, "thread out of range");
     nodes_[node]->cpu->setSource(static_cast<ThreadId>(thread), source);
+    sources_[node * params_.appThreadsPerNode + thread] = source;
+    if (source != nullptr)
+        source->setBuffered(true);
+}
+
+bool
+Machine::allDone() const
+{
+    for (const auto &node : nodes_) {
+        if (!node->cpu->appThreadsDone())
+            return false;
+    }
+    return true;
+}
+
+void
+Machine::prime()
+{
+    if (windowEnd_ != 0)
+        return;
+    windowEnd_ = lookahead_;
+    // First-window generation: the buffers must hold work before the
+    // CPUs' first fetch. The refill schedule (here, then at every
+    // barrier, in gtid order) is a pure function of simulated time, so
+    // sliced and resumed runs generate in the identical global order.
+    // A restored machine skips this (windowEnd_ came from the
+    // snapshot): its buffers were rebuilt by the resume-log replay.
+    for (InstSource *src : sources_) {
+        if (src != nullptr)
+            src->refill(kRefillTarget);
+    }
+}
+
+void
+Machine::runWindow(Tick end)
+{
+    bool measure = !execTrace_.empty();
+    std::chrono::steady_clock::time_point t0;
+    if (measure)
+        t0 = std::chrono::steady_clock::now();
+
+    executor_->runWindow(end - 1);
+
+    std::uint64_t wall_ns = 0;
+    if (measure) {
+        wall_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    }
+
+    // ---- Single-threaded barrier phase ----
+    shards_.drainMailboxes();
+
+    // Replenish the generators (global workload plane: functional
+    // memory, sync primitives) and wake any CPU that idled on a dry
+    // buffer. gtid order keeps the functional interleaving exec-mode
+    // independent.
+    for (InstSource *src : sources_) {
+        if (src != nullptr)
+            src->refill(kRefillTarget);
+    }
+    for (auto &node : nodes_)
+        node->cpu->poke();
+
+    // Interval sampling happens only at true window barriers (never at
+    // partial runUntil stops): the sampled state must be a pure
+    // function of simulated time or a sliced-and-resumed traced run
+    // would diverge from its uninterrupted twin.
+    if (traceMgr_ != nullptr && traceMgr_->sampler().active())
+        traceMgr_->sampler().sampleUpTo(end - 1);
+
+    if (measure) {
+        for (unsigned s = 0; s < shards_.count(); ++s) {
+            trace::TraceBuffer *tb = execTrace_[s];
+            if (tb == nullptr)
+                continue;
+            std::uint64_t ex = shards_.queue(s).executedCount();
+            tb->record(end - 1, trace::EventId::WindowAdvance,
+                       trace::packWindow(s, ex - lastExecuted_[s]));
+            lastExecuted_[s] = ex;
+            std::uint64_t busy = executor_->busyNs(s);
+            std::uint64_t busy_delta = busy - lastBusyNs_[s];
+            lastBusyNs_[s] = busy;
+            std::uint64_t wait_ns =
+                wall_ns > busy_delta ? wall_ns - busy_delta : 0;
+            tb->record(end - 1, trace::EventId::BarrierWait,
+                       trace::packWindow(s, wait_ns));
+        }
+    }
+}
+
+bool
+Machine::advanceWindow()
+{
+    Tick m = shards_.minPendingTick();
+    if (m == maxTick)
+        return false;
+    // Next barrier: one window ahead, or aligned past the earliest
+    // pending event when every shard is idle until a later tick
+    // (window skip). Events re-armed at the barrier tick itself (m ==
+    // windowEnd_ - 1, from a barrier-phase poke) cap the advance to
+    // exactly one window, preserving the lookahead safety argument.
+    windowEnd_ = (std::max(m, windowEnd_) / lookahead_) * lookahead_ +
+                 lookahead_;
+    return true;
 }
 
 Tick
 Machine::run(Tick limit)
 {
+    prime();
     for (auto &node : nodes_)
         node->cpu->start();
 
-    Tick deadline = eq_.curTick() + limit;
-    auto all_done = [this] {
-        for (const auto &node : nodes_) {
-            if (!node->cpu->appThreadsDone())
-                return false;
-        }
-        return true;
-    };
-
-    // Interval sampling rides the run loop rather than scheduling
-    // events of its own: an eq-scheduled sampler would advance curTick
-    // past the workload's natural end and perturb measured times.
-    trace::IntervalSampler *sampler =
-        traceMgr_ != nullptr && traceMgr_->sampler().active()
-            ? &traceMgr_->sampler()
-            : nullptr;
+    Tick deadline = curTick() + limit;
 
     // A restored machine may already be past its workload's end (the
     // saved run had finished); exit where we stand rather than one
-    // poll period later.
-    if (all_done()) {
-        execTime_ = eq_.curTick();
+    // window later.
+    if (allDone()) {
+        execTime_ = curTick();
         return execTime_;
     }
 
-    // The completion poll is aligned to absolute simulated time, not an
-    // event count: an event-count phase would make the loop-exit tick
-    // (and with it the final cycle counters) depend on where the run
-    // started, breaking the snapshot contract that an interrupted +
-    // resumed run is bit-identical to an uninterrupted one.
-    Tick next_check = ((eq_.curTick() / kDoneCheckPeriod) + 1) *
-                      kDoneCheckPeriod;
-    while (!eq_.empty() && eq_.curTick() < deadline) {
-        eq_.runOne();
-        if (sampler != nullptr)
-            sampler->sampleUpTo(eq_.curTick());
-        if (eq_.curTick() >= next_check) {
-            next_check = ((eq_.curTick() / kDoneCheckPeriod) + 1) *
-                         kDoneCheckPeriod;
-            if (all_done())
-                break;
-        }
+    // The completion poll runs at barriers whose end is a multiple of
+    // kDoneCheckPeriod — aligned to absolute simulated time, so the
+    // loop-exit tick (and with it the final cycle counters) is
+    // identical however the run was sliced by runUntil().
+    while (curTick() < deadline) {
+        Tick end = windowEnd_;
+        runWindow(end);
+        if (end % kDoneCheckPeriod == 0 && allDone())
+            break;
+        if (!advanceWindow())
+            break;
     }
-    if (!all_done() && checker_)
+    if (!allDone() && checker_)
         checker_->reportWedge("run deadline reached with threads "
                               "unfinished");
-    SMTP_ASSERT(all_done(),
+    SMTP_ASSERT(allDone(),
                 "machine did not finish within the time limit "
                 "(workload deadlock?)");
-    execTime_ = eq_.curTick();
+    execTime_ = curTick();
     return execTime_;
 }
 
 bool
 Machine::runUntil(Tick when)
 {
+    prime();
     for (auto &node : nodes_)
         node->cpu->start();
 
-    auto all_done = [this] {
-        for (const auto &node : nodes_) {
-            if (!node->cpu->appThreadsDone())
-                return false;
-        }
-        return true;
-    };
-
-    trace::IntervalSampler *sampler =
-        traceMgr_ != nullptr && traceMgr_->sampler().active()
-            ? &traceMgr_->sampler()
-            : nullptr;
-
     // Same entry short-circuit as run(): a restored already-finished
     // machine must report done at its restored tick, not drift to the
-    // next poll boundary.
-    if (all_done()) {
-        execTime_ = eq_.curTick();
+    // next barrier.
+    if (allDone()) {
+        execTime_ = curTick();
         return true;
     }
 
-    // Same absolute-time-aligned completion poll as run(): the exit
-    // tick must not depend on how the run was sliced.
-    Tick next_check = ((eq_.curTick() / kDoneCheckPeriod) + 1) *
-                      kDoneCheckPeriod;
-    while (!eq_.empty() && eq_.nextTick() <= when) {
-        eq_.runOne();
-        if (sampler != nullptr)
-            sampler->sampleUpTo(eq_.curTick());
-        if (eq_.curTick() >= next_check) {
-            next_check = ((eq_.curTick() / kDoneCheckPeriod) + 1) *
-                         kDoneCheckPeriod;
-            if (all_done())
-                break;
+    bool stopped = false;
+    while (windowEnd_ - 1 <= when) {
+        Tick end = windowEnd_;
+        runWindow(end);
+        if (end % kDoneCheckPeriod == 0 && allDone()) {
+            stopped = true;
+            break;
+        }
+        if (!advanceWindow()) {
+            stopped = true;
+            break;
         }
     }
-    execTime_ = eq_.curTick();
-    return all_done();
+    if (!stopped && curTick() < when) {
+        // Partial tail window: advance every shard to `when` with no
+        // barrier afterwards. No mailbox drain, no refill, no
+        // sampling — those are barrier-phase actions, and running them
+        // at an arbitrary slice point would make a sliced run diverge
+        // from its uninterrupted twin. In-flight cross-shard events
+        // stay mailboxed (save() carries them); the next
+        // run()/runUntil() completes this window and drains them at
+        // the real barrier.
+        executor_->runWindow(when);
+    }
+    execTime_ = curTick();
+    return allDone();
 }
 
 std::uint64_t
@@ -406,17 +542,24 @@ Machine::quiescent() const
 void
 Machine::quiesce(Tick limit)
 {
-    Tick deadline = eq_.curTick() + limit;
-    while (!eq_.empty() && eq_.curTick() < deadline && !quiescent())
-        eq_.runOne();
-    // Let residual same-tick events drain.
-    while (!eq_.empty() && eq_.nextTick() <= eq_.curTick())
-        eq_.runOne();
+    if (windowEnd_ == 0)
+        windowEnd_ = lookahead_;
+    Tick deadline = curTick() + limit;
+    // Whole windows (executor + mailbox exchange, no refill/sampling —
+    // the workload is finished and quiescing is not a measured phase)
+    // until quiet or out of work/time.
+    while (curTick() < deadline && !quiescent()) {
+        executor_->runWindow(windowEnd_ - 1);
+        shards_.drainMailboxes();
+        if (!advanceWindow())
+            break;
+    }
     if (!quiescent()) {
         if (checker_)
             checker_->reportWedge("machine failed to quiesce");
         std::fprintf(stderr, "quiesce failure: net=%d evq=%zu\n",
-                     static_cast<int>(net_->quiescent()), eq_.size());
+                     static_cast<int>(net_->quiescent()),
+                     shards_.pendingEvents());
         for (unsigned n = 0; n < nodes_.size(); ++n) {
             std::fprintf(stderr, "  n%u cacheQ=%d mshr=%u mcQ=%d\n", n,
                          static_cast<int>(nodes_[n]->cache->quiescent()),
@@ -520,30 +663,49 @@ void
 Machine::dumpStats(std::ostream &os) const
 {
     // Build a transient stat hierarchy over the live counters. The
-    // components outlive the dump, so registering pointers is safe.
+    // components outlive the dump, so registering pointers is safe;
+    // per-shard sliced stats are folded into transient locals that
+    // stay alive through root.dump().
     StatGroup root("machine." + std::string(modelName(params_.model)));
     std::vector<std::unique_ptr<StatGroup>> groups;
     Counter exec_us;
     exec_us += execTime_ / tickPerUs;
     root.add("execTimeUs", &exec_us);
-    root.add("netMsgs", &net_->msgsInjected);
-    root.add("netBytes", &net_->bytesInjected);
-    root.add("netHops", &net_->hopDist);
+    Counter net_msgs, net_bytes;
+    net_msgs += net_->msgsInjected();
+    net_bytes += net_->bytesInjected();
+    Distribution net_hops = net_->hopDist();
+    root.add("netMsgs", &net_msgs);
+    root.add("netBytes", &net_bytes);
+    root.add("netHops", &net_hops);
 
     std::unique_ptr<StatGroup> fg;
+    Counter f_drops, f_dups, f_dups_filtered, f_delays, f_reorders,
+        f_lost, f_ecc_c, f_ecc_d, f_ecc_s, f_ecc_r, f_naks;
     if (faults_) {
+        f_drops += faults_->netDrops();
+        f_dups += faults_->netDups();
+        f_dups_filtered += faults_->netDupsFiltered();
+        f_delays += faults_->netDelays();
+        f_reorders += faults_->netReorders();
+        f_lost += faults_->netLost();
+        f_ecc_c += faults_->eccCorrected();
+        f_ecc_d += faults_->eccDetected();
+        f_ecc_s += faults_->eccScrubs();
+        f_ecc_r += faults_->eccRefetches();
+        f_naks += faults_->naksForced();
         fg = std::make_unique<StatGroup>("faults");
-        fg->add("netDrops", &faults_->netDrops);
-        fg->add("netDups", &faults_->netDups);
-        fg->add("netDupsFiltered", &faults_->netDupsFiltered);
-        fg->add("netDelays", &faults_->netDelays);
-        fg->add("netReorders", &faults_->netReorders);
-        fg->add("netLost", &faults_->netLost);
-        fg->add("eccCorrected", &faults_->eccCorrected);
-        fg->add("eccDetected", &faults_->eccDetected);
-        fg->add("eccScrubs", &faults_->eccScrubs);
-        fg->add("eccRefetches", &faults_->eccRefetches);
-        fg->add("naksForced", &faults_->naksForced);
+        fg->add("netDrops", &f_drops);
+        fg->add("netDups", &f_dups);
+        fg->add("netDupsFiltered", &f_dups_filtered);
+        fg->add("netDelays", &f_delays);
+        fg->add("netReorders", &f_reorders);
+        fg->add("netLost", &f_lost);
+        fg->add("eccCorrected", &f_ecc_c);
+        fg->add("eccDetected", &f_ecc_d);
+        fg->add("eccScrubs", &f_ecc_s);
+        fg->add("eccRefetches", &f_ecc_r);
+        fg->add("naksForced", &f_naks);
         root.addChild(fg.get());
     }
 

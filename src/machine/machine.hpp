@@ -10,11 +10,15 @@
  *   SMTp        integrated standard MC at half frequency, protocol
  *               thread on the main pipeline
  *
- * The machine owns the event queue, network, address map, handler image
- * and one Node per position; the workload layer plugs InstSources into
- * each CPU. run() advances simulation until every application thread on
- * every node has finished, recording the parallel execution time and
- * the paper's per-run metrics.
+ * The machine owns the sharded simulation kernel (one shard per node,
+ * sim/shard.hpp), network, address map, handler image and one Node per
+ * position; the workload layer plugs InstSources into each CPU. run()
+ * advances simulation in barrier-synchronized windows of one network
+ * hop latency until every application thread on every node has
+ * finished, recording the parallel execution time and the paper's
+ * per-run metrics. The window engine is identical under --exec=serial
+ * and --exec=parallel:T — results are bit-identical for any host
+ * thread count (docs/parallelism.md).
  */
 
 #ifndef SMTP_MACHINE_MACHINE_HPP
@@ -35,6 +39,7 @@
 #include "pengine/pengine.hpp"
 #include "protocol/handlers.hpp"
 #include "sim/eventq.hpp"
+#include "sim/shard.hpp"
 #include "snap/snapfile.hpp"
 #include "trace/trace.hpp"
 
@@ -81,6 +86,14 @@ struct MachineParams
     EventQueue::Kernel eventKernel = EventQueue::Kernel::Wheel;
 
     /**
+     * Execution mode: the windowed shard engine on one host thread
+     * (serial, the reference) or on a pool (parallel[:T]). Excluded
+     * from configHash() — results are bit-identical across modes, so
+     * snapshots restore across them.
+     */
+    ExecParams exec;
+
+    /**
      * Scaled-simulation methodology: directory data caches shrink by
      * this power-of-two divisor along with the (scaled-down) problem
      * sizes, preserving the paper's directory-cache pressure ratios.
@@ -91,7 +104,9 @@ struct MachineParams
     /**
      * Coherence checker + watchdog (src/check). Off costs nothing;
      * Asserts checks SWMR on every transition; FullMirror additionally
-     * cross-checks directory mirrors at quiescence.
+     * cross-checks directory mirrors at quiescence. The checker's
+     * mirror is global state, so an active checker forces the shard
+     * engine onto one host thread.
      */
     check::CheckLevel checkLevel = check::CheckLevel::Off;
     bool checkAbortOnViolation = true;
@@ -136,7 +151,12 @@ class Machine
         return params_.nodes * params_.appThreadsPerNode;
     }
 
-    /** Attach the instruction source for (node, thread-slot). */
+    /**
+     * Attach the instruction source for (node, thread-slot). The
+     * machine switches the source to buffered mode: generation happens
+     * only in the single-threaded barrier phase (refill), never from a
+     * shard thread.
+     */
     void setSource(unsigned node, unsigned thread, InstSource *source);
 
     /** Global thread index -> (node, slot) attach. */
@@ -148,7 +168,16 @@ class Machine
     }
 
     PagePlacementMap &addressMap() { return *map_; }
-    EventQueue &eventQueue() { return eq_; }
+
+    /** Shard 0's queue (single-queue harness uses; see shards()). */
+    EventQueue &eventQueue() { return shards_.queue(0); }
+
+    /** The sharded kernel (one shard per node). */
+    ShardSet &shards() { return shards_; }
+    const ShardSet &shards() const { return shards_; }
+
+    /** Host threads the window executor actually uses. */
+    unsigned hostThreads() const { return executor_->hostThreads(); }
 
     /**
      * Run until every application thread has finished (or @p limit
@@ -163,7 +192,8 @@ class Machine
      * whichever is first. Unlike run(), stopping early is not an error
      * — this is the warmup/measurement-slice primitive of the
      * checkpoint and sampled-measurement paths. Resumable: call again
-     * (or call run()) to continue.
+     * (or call run()) to continue. A mid-window stop leaves in-flight
+     * cross-shard events in their mailboxes; save() carries them.
      * @return true when every application thread has finished.
      */
     bool runUntil(Tick when);
@@ -244,9 +274,9 @@ class Machine
     /**
      * Fingerprint of every state-affecting parameter. Snapshots carry
      * it and restore refuses on mismatch. Deliberately excluded:
-     * eventKernel (kernels are bit-identical — snapshots restore across
-     * them), the checker and trace configs (observation-only), and
-     * wedgeSnapshotPath.
+     * eventKernel and exec (kernels and host-thread counts are
+     * bit-identical — snapshots restore across them), the checker and
+     * trace configs (observation-only), and wedgeSnapshotPath.
      */
     std::uint64_t configHash() const;
 
@@ -261,8 +291,9 @@ class Machine
     /**
      * Write a complete deterministic snapshot. Resuming it on an
      * identically configured machine continues bit-identically to the
-     * uninterrupted run. Works at any event boundary — typically after
-     * run(limit) returned or a warmup slice completed.
+     * uninterrupted run. Works after run()/runUntil() returned —
+     * including mid-window runUntil stops, whose undelivered mailbox
+     * events are carried by the snapshot.
      */
     bool save(const std::string &path, std::string *err = nullptr) const;
 
@@ -287,8 +318,29 @@ class Machine
     bool restoreFrom(const snap::SnapReader &r, std::string *err);
     snap::EventCodec buildEventCodec();
 
+    Tick curTick() const { return shards_.queue(0).curTick(); }
+    bool allDone() const;
+
+    /** First-run initialization: window origin + generator priming. */
+    void prime();
+
+    /**
+     * Execute the window ending at @p end (exclusive) on every shard,
+     * then the single-threaded barrier phase: mailbox exchange,
+     * generator refill (gtid order), CPU wakeup, interval sampling and
+     * exec telemetry.
+     */
+    void runWindow(Tick end);
+
+    /**
+     * Pick the next window end after a completed barrier: one
+     * lookahead ahead, or further when every shard is idle until a
+     * later tick (window skip). False when no work remains anywhere.
+     */
+    bool advanceWindow();
+
     MachineParams params_;
-    EventQueue eq_;
+    ShardSet shards_;
     proto::DirFormat fmt_;
     proto::HandlerImage image_;
     std::unique_ptr<PagePlacementMap> map_;
@@ -296,8 +348,17 @@ class Machine
     std::unique_ptr<check::Checker> checker_;
     std::unique_ptr<fault::FaultInjector> faults_;
     std::unique_ptr<trace::TraceManager> traceMgr_;
+    std::unique_ptr<ShardExecutor> executor_;
     std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<InstSource *> sources_; ///< By gtid; refill order.
+    Tick lookahead_ = 0;   ///< Window length (network hop latency).
+    Tick windowEnd_ = 0;   ///< Next barrier tick; 0 = never run.
     Tick execTime_ = 0;
+    // Exec telemetry (Category::Exec, opt-in): per-shard buffers and
+    // the executed-event watermark for per-window deltas.
+    std::vector<trace::TraceBuffer *> execTrace_;
+    std::vector<std::uint64_t> lastExecuted_;
+    std::vector<std::uint64_t> lastBusyNs_;
     snap::Snapshottable *workloadState_ = nullptr;
 };
 

@@ -42,7 +42,10 @@ std::uint64_t
 Machine::configHash() const
 {
     snap::Hasher h;
-    h.mix(std::string_view("smtp-machine-config-v1"));
+    // v2: node-sharded windowed kernel — barrier-phase generator
+    // refill changed the functional interleaving, so v1 snapshots
+    // cannot resume bit-identically and are refused wholesale.
+    h.mix(std::string_view("smtp-machine-config-v2"));
     h.mix(modelName(params_.model));
     h.mix(params_.nodes);
     h.mix(params_.appThreadsPerNode);
@@ -105,6 +108,7 @@ Machine::saveSections(snap::SnapWriter &w) const
         out.u32(params_.nodes);
         out.u32(params_.appThreadsPerNode);
         out.u64(execTime_);
+        out.u64(windowEnd_);
         w.endSection();
     }
     if (workloadState_ != nullptr)
@@ -136,8 +140,17 @@ Machine::saveSections(snap::SnapWriter &w) const
         traceMgr_->saveState(w.beginSection("trace"));
         w.endSection();
     }
-    eq_.saveState(w.beginSection("eventq"));
+    // Shard bookkeeping (sequence counters + any mailboxed events from
+    // a mid-window runUntil stop), then every shard's queue. One
+    // section per queue: entries decode independently and positional
+    // section names catch shard-count mismatches early.
+    shards_.saveState(w.beginSection("shards"));
     w.endSection();
+    for (unsigned s = 0; s < shards_.count(); ++s) {
+        shards_.queue(s).saveState(w.beginSection(
+            "shard" + std::to_string(s) + ".eventq"));
+        w.endSection();
+    }
 }
 
 bool
@@ -203,9 +216,12 @@ Machine::restoreFrom(const snap::SnapReader &r, std::string *err)
                     "mirror state is rebuilt from observed transitions "
                     "and cannot be reconstructed mid-run");
     }
-    if (eq_.executedCount() != 0 || eq_.curTick() != 0) {
-        return fail("restore requires a freshly constructed machine "
-                    "(this one has already run)");
+    for (unsigned s = 0; s < shards_.count(); ++s) {
+        const EventQueue &q = shards_.queue(s);
+        if (q.executedCount() != 0 || q.curTick() != 0) {
+            return fail("restore requires a freshly constructed machine "
+                        "(this one has already run)");
+        }
     }
 
     {
@@ -214,6 +230,7 @@ Machine::restoreFrom(const snap::SnapReader &r, std::string *err)
         std::uint32_t nodes = in.u32();
         std::uint32_t tpn = in.u32();
         Tick exec = in.u64();
+        Tick window_end = in.u64();
         if (!in.ok())
             return sectionFail("meta", in);
         if (model != modelName(params_.model) ||
@@ -224,6 +241,7 @@ Machine::restoreFrom(const snap::SnapReader &r, std::string *err)
                         " node(s))");
         }
         execTime_ = exec;
+        windowEnd_ = window_end;
     }
 
     if (r.hasSection("workload")) {
@@ -312,10 +330,17 @@ Machine::restoreFrom(const snap::SnapReader &r, std::string *err)
     }
 
     {
-        snap::Des in = r.section("eventq");
-        eq_.restoreState(in, codec);
+        snap::Des in = r.section("shards");
+        shards_.restoreState(in, codec);
         if (!in.ok())
-            return sectionFail("eventq", in);
+            return sectionFail("shards", in);
+    }
+    for (unsigned s = 0; s < shards_.count(); ++s) {
+        std::string name = "shard" + std::to_string(s) + ".eventq";
+        snap::Des in = r.section(name);
+        shards_.queue(s).restoreState(in, codec);
+        if (!in.ok())
+            return sectionFail(name, in);
     }
     return true;
 }

@@ -221,7 +221,7 @@ MemController::dispatch(const Message &msg_in)
         ++naksSent;
         SMTP_TRACE_EVENT(trace_, now, trace::EventId::McNak,
                          trace::packMsg(nak, nak.mshr));
-        SMTP_TRACE_EVENT(faults_->trace(), now,
+        SMTP_TRACE_EVENT(faults_->trace(self_), now,
                          trace::EventId::FaultForcedNak,
                          trace::packMsg(nak, nak.mshr));
         ++pendingDelayedSends_;
@@ -481,7 +481,7 @@ MemController::pushToNetwork(Message msg, Tick data_ready, bool delayed)
             ram_.read(proto::pendEntryAddr(self_, msg.mshr) + 16, 8));
         when += fault::retryBackoff(params_.retry, retries, rng_);
         if (faults_ != nullptr) {
-            SMTP_TRACE_EVENT(faults_->trace(), eq_->curTick(),
+            SMTP_TRACE_EVENT(faults_->trace(self_), eq_->curTick(),
                              trace::EventId::FaultRetryBackoff,
                              trace::packRetry(msg.addr, retries, msg.mshr,
                                               self_));
@@ -489,7 +489,7 @@ MemController::pushToNetwork(Message msg, Tick data_ready, bool delayed)
         if (retries == params_.retry.starvationRetries) {
             ++starvationFlags;
             if (faults_ != nullptr) {
-                SMTP_TRACE_EVENT(faults_->trace(), eq_->curTick(),
+                SMTP_TRACE_EVENT(faults_->trace(self_), eq_->curTick(),
                                  trace::EventId::FaultStarvation,
                                  trace::packRetry(msg.addr, retries,
                                                   msg.mshr, self_));

@@ -67,19 +67,19 @@ class Sdram
               case fault::FaultInjector::Ecc::Corrected:
                 // Single-bit flip: SEC corrects in the datapath (no
                 // timing cost); the corrected word is scrubbed back.
-                SMTP_TRACE_EVENT(faults_->trace(), now,
+                SMTP_TRACE_EVENT(faults_->trace(node_), now,
                                  trace::EventId::FaultEccCorrect,
                                  trace::packEcc(node_, false));
                 break;
               case fault::FaultInjector::Ecc::Detected: {
                 // Double-bit flip: DED discards the word and the
                 // transient is refetched — one extra device access.
-                ++faults_->eccRefetches;
+                ++faults_->slice(node_).eccRefetches;
                 Tick start2 = std::max(ready, deviceFree_);
                 deviceFree_ = start2 + occupancy;
                 busyTicks += occupancy;
                 ready = start2 + params_.accessLatency;
-                SMTP_TRACE_EVENT(faults_->trace(), now,
+                SMTP_TRACE_EVENT(faults_->trace(node_), now,
                                  trace::EventId::FaultEccDetect,
                                  trace::packEcc(node_, true));
                 break;

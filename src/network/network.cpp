@@ -1,5 +1,6 @@
 #include "network.hpp"
 
+#include <algorithm>
 #include <type_traits>
 
 #include "common/bits.hpp"
@@ -8,10 +9,12 @@
 namespace smtp
 {
 
-Network::Network(EventQueue &eq, const NetworkParams &params)
-    : eq_(eq), params_(params)
+Network::Network(ShardSet &shards, const NetworkParams &params)
+    : shards_(&shards), params_(params)
 {
     SMTP_ASSERT(params.numNodes >= 1, "network needs at least one node");
+    SMTP_ASSERT(shards.count() == 1 || shards.count() == params.numNodes,
+                "shard set must be single or one shard per node");
     numRouters_ =
         std::max(1u, params.numNodes / std::max(1u, params.nodesPerRouter));
     SMTP_ASSERT(isPow2(numRouters_), "router count must be a power of two");
@@ -23,8 +26,16 @@ Network::Network(EventQueue &eq, const NetworkParams &params)
     nodeLinksOut_.resize(params.numNodes);
     landing_.resize(static_cast<std::size_t>(params.numNodes) *
                     proto::numVnets);
-    retryScheduled_.assign(landing_.size(), false);
+    retryScheduled_.assign(landing_.size(), 0);
+    slices_.resize(shards.count());
     trace_.assign(params.numNodes, nullptr);
+}
+
+Network::Network(EventQueue &eq, const NetworkParams &params)
+    : Network(*new ShardSet(eq), params)
+{
+    // Adopt the wrapper set allocated by the delegated ctor argument.
+    ownedShards_.reset(shards_);
 }
 
 void
@@ -46,6 +57,25 @@ Network::hopCount(NodeId a, NodeId b) const
     return 2 + popCount(ra ^ rb);
 }
 
+Tick
+Network::minCrossNodeLatency() const
+{
+    // Header-only messages are the smallest thing on the wire; their
+    // tail trails the head by one serialisation on the final hop.
+    auto min_ser = static_cast<Tick>(
+        static_cast<double>(proto::msgHeaderBytes) / params_.linkBytesPerTick);
+    if (params_.numNodes < 2)
+        return params_.hopLatency + min_ser; // loopback turnaround
+    unsigned min_hops = ~0u;
+    for (NodeId a = 0; a < params_.numNodes; ++a) {
+        for (NodeId b = 0; b < params_.numNodes; ++b) {
+            if (a != b)
+                min_hops = std::min(min_hops, hopCount(a, b));
+        }
+    }
+    return static_cast<Tick>(min_hops) * params_.hopLatency + min_ser;
+}
+
 unsigned
 Network::nextRouter(unsigned cur, unsigned dst) const
 {
@@ -63,11 +93,12 @@ Network::linkBetween(unsigned r_from, unsigned r_to)
 
 void
 Network::traverse(Link &link, const proto::Message &msg,
-                  EventQueue::Callback fn, bool final_hop)
+                  EventQueue::Callback fn, unsigned dst_shard,
+                  bool final_hop)
 {
     unsigned bytes = proto::msgBytes(msg.type);
-    Tick now = eq_.curTick();
-    Tick start = std::max(now, link.busyUntil);
+    Tick t = now();
+    Tick start = std::max(t, link.busyUntil);
     auto ser = static_cast<Tick>(static_cast<double>(bytes) /
                                  params_.linkBytesPerTick);
     link.busyUntil = start + ser;
@@ -78,15 +109,16 @@ Network::traverse(Link &link, const proto::Message &msg,
     // head by one serialisation time, charged on the final hop only.
     Tick arrive = start + params_.hopLatency + (final_hop ? ser : 0);
     if (faults_ != nullptr) {
-        unsigned retx = faults_->linkRetransmits();
+        unsigned sh = execShard();
+        unsigned retx = faults_->linkRetransmits(sh);
         if (retx > 0) {
             if (faults_->plan().injectDropWithoutRetransmit) {
                 // Deliberate bug hook: the corrupted transmission is
-                // never retried. The message is gone, inFlight_ stays
-                // elevated, and the watchdog must notice.
-                ++faults_->netLost;
-                ++lostMessages_;
-                SMTP_TRACE_EVENT(faults_->trace(), now,
+                // never retried. The message is gone, the in-flight
+                // count stays elevated, and the watchdog must notice.
+                ++faults_->slice(sh).netLost;
+                ++slices_[sh].lost;
+                SMTP_TRACE_EVENT(faults_->trace(sh), t,
                                  trace::EventId::FaultNetLost,
                                  trace::packNet(msg));
                 return;
@@ -98,15 +130,15 @@ Network::traverse(Link &link, const proto::Message &msg,
             arrive +=
                 static_cast<Tick>(retx) * faults_->plan().retransmitTimeout;
             for (unsigned i = 0; i < retx; ++i) {
-                SMTP_TRACE_EVENT(faults_->trace(), now,
+                SMTP_TRACE_EVENT(faults_->trace(sh), t,
                                  trace::EventId::FaultNetDrop,
                                  trace::packNet(msg));
             }
         }
-        Tick extra = faults_->linkExtraDelay();
+        Tick extra = faults_->linkExtraDelay(sh);
         if (extra > 0) {
             arrive += extra;
-            SMTP_TRACE_EVENT(faults_->trace(), now,
+            SMTP_TRACE_EVENT(faults_->trace(sh), t,
                              trace::EventId::FaultNetDelay,
                              trace::packNet(msg));
         }
@@ -115,7 +147,7 @@ Network::traverse(Link &link, const proto::Message &msg,
         arrive = std::max(arrive, link.lastArrival);
         link.lastArrival = arrive;
     }
-    eq_.schedule(arrive, std::move(fn));
+    shards_->schedule(dst_shard, arrive, std::move(fn));
 }
 
 void
@@ -123,17 +155,23 @@ Network::inject(const proto::Message &msg)
 {
     SMTP_ASSERT(msg.dest < params_.numNodes, "message to unknown node %u",
                 msg.dest);
-    ++msgsInjected;
-    bytesInjected += proto::msgBytes(msg.type);
-    hopDist.sample(hopCount(msg.src, msg.dest));
-    ++inFlight_;
+    unsigned sh = execShard();
+    Slice &sl = slices_[sh];
+    ++sl.msgsInjected;
+    sl.bytesInjected += proto::msgBytes(msg.type);
+    sl.hopDist.sample(hopCount(msg.src, msg.dest));
+    ++sl.flightDelta;
 
     proto::Message m = msg;
     if constexpr (trace::compiledIn) {
         if (trace_[m.src] != nullptr) {
-            if (m.traceId == 0)
-                m.traceId = ++nextTraceId_;
-            trace_[m.src]->record(eq_.curTick(), trace::EventId::NetInject,
+            if (m.traceId == 0) {
+                // Shard-partitioned id space: unique machine-wide with
+                // no cross-shard coordination, stable across host
+                // thread counts.
+                m.traceId = ((sh + 1u) << 24) | ++sl.nextTraceId;
+            }
+            trace_[m.src]->record(now(), trace::EventId::NetInject,
                                   trace::packNet(m));
         }
     }
@@ -143,56 +181,63 @@ Network::inject(const proto::Message &msg)
         // single hop of latency for the controller-internal turnaround.
         static_assert(EventQueue::Callback::storesInline<LandEv>,
                       "message delivery must stay on the inline fast path");
-        eq_.scheduleIn(params_.hopLatency, LandEv{this, m});
+        shards_->schedule(shardOf(m.dest), now() + params_.hopLatency,
+                          LandEv{this, m});
         return;
     }
 
     unsigned src_router = routerOf(m.src);
     static_assert(EventQueue::Callback::storesInline<HopEv>,
                   "hop continuations must stay on the inline fast path");
-    traverse(nodeLinksOut_[m.src], m, HopEv{this, m, src_router});
+    traverse(nodeLinksOut_[m.src], m, HopEv{this, m, src_router},
+             routerOwner(src_router));
 }
 
 void
 Network::hop(proto::Message msg, unsigned cur_router)
 {
-    SMTP_TRACE_EVENT(trace_[msg.dest], eq_.curTick(),
-                     trace::EventId::NetHop, trace::packNet(msg));
+    // Recorded on the executing shard's (router owner's) buffer: the
+    // destination's buffer may belong to another shard mid-window.
+    SMTP_TRACE_EVENT(trace_[execShard()], now(), trace::EventId::NetHop,
+                     trace::packNet(msg));
     unsigned dst_router = routerOf(msg.dest);
     if (cur_router == dst_router) {
-        traverse(nodeLinksIn_[msg.dest], msg, LandEv{this, msg}, true);
+        traverse(nodeLinksIn_[msg.dest], msg, LandEv{this, msg},
+                 shardOf(msg.dest), true);
         return;
     }
     unsigned next = nextRouter(cur_router, dst_router);
-    traverse(linkBetween(cur_router, next), msg, HopEv{this, msg, next});
+    traverse(linkBetween(cur_router, next), msg, HopEv{this, msg, next},
+             routerOwner(next));
 }
 
 void
 Network::land(const proto::Message &msg)
 {
-    SMTP_TRACE_EVENT(trace_[msg.dest], eq_.curTick(),
+    SMTP_TRACE_EVENT(trace_[msg.dest], now(),
                      trace::EventId::NetLand, trace::packNet(msg));
     auto vnet = proto::vnetOf(msg.type);
     auto &q = landing_[static_cast<std::size_t>(msg.dest) *
                            proto::numVnets + vnet];
     q.push_back(msg);
     if (faults_ != nullptr && msg.src != msg.dest) {
+        unsigned sh = execShard();
         // Message is trivially copyable, so a duplicated (or requeued)
         // copy aliases no live state — the mshr/traceId it carries are
         // plain values echoed back by the protocol, never pointers.
         static_assert(std::is_trivially_copyable_v<proto::Message>,
                       "fault duplication requires value-semantics "
                       "messages");
-        if (faults_->linkDuplicate()) {
+        if (faults_->linkDuplicate(sh)) {
             proto::Message dup = msg;
             dup.flags |= proto::flagLinkDup;
-            ++inFlight_;
+            ++slices_[sh].flightDelta;
             q.push_back(dup);
-            SMTP_TRACE_EVENT(faults_->trace(), eq_.curTick(),
+            SMTP_TRACE_EVENT(faults_->trace(sh), now(),
                              trace::EventId::FaultNetDup,
                              trace::packNet(msg));
         }
-        if (q.size() >= 2 && faults_->landingReorder()) {
+        if (q.size() >= 2 && faults_->landingReorder(sh)) {
             // Bounded reordering: swap adjacent landings only when they
             // come from different sources, preserving the
             // per-(src, dst, vnet) FIFO the protocol depends on.
@@ -200,8 +245,8 @@ Network::land(const proto::Message &msg)
             auto &b = q.back();
             if (a.src != b.src) {
                 std::swap(a, b);
-                ++faults_->netReorders;
-                SMTP_TRACE_EVENT(faults_->trace(), eq_.curTick(),
+                ++faults_->slice(sh).netReorders;
+                SMTP_TRACE_EVENT(faults_->trace(sh), now(),
                                  trace::EventId::FaultNetReorder,
                                  trace::packNet(msg));
             }
@@ -221,6 +266,7 @@ Network::tryDeliver(NodeId node, std::uint8_t vnet)
 {
     auto idx = static_cast<std::size_t>(node) * proto::numVnets + vnet;
     auto &q = landing_[idx];
+    unsigned sh = execShard();
     while (!q.empty()) {
         SMTP_ASSERT(deliver_[node], "no NI attached to node %u", node);
         if (q.front().flags & proto::flagLinkDup) {
@@ -228,27 +274,57 @@ Network::tryDeliver(NodeId node, std::uint8_t vnet)
             // discarded before the NI (and before any NetDeliver
             // event, keeping traceId stitching one-to-one).
             if (faults_ != nullptr)
-                ++faults_->netDupsFiltered;
+                ++faults_->slice(sh).netDupsFiltered;
             q.pop_front();
-            --inFlight_;
+            --slices_[sh].flightDelta;
             continue;
         }
         if (!deliver_[node](q.front())) {
-            SMTP_TRACE_EVENT(trace_[node], eq_.curTick(),
+            SMTP_TRACE_EVENT(trace_[node], now(),
                              trace::EventId::NetBackpressure,
                              trace::packBackpressure(vnet, q.size()));
             break;
         }
-        SMTP_TRACE_EVENT(trace_[node], eq_.curTick(),
+        SMTP_TRACE_EVENT(trace_[node], now(),
                          trace::EventId::NetDeliver,
                          trace::packNet(q.front()));
         q.pop_front();
-        --inFlight_;
+        --slices_[sh].flightDelta;
     }
     if (!q.empty() && !retryScheduled_[idx]) {
-        retryScheduled_[idx] = true;
-        eq_.scheduleIn(retryInterval, RetryEv{this, node, vnet});
+        retryScheduled_[idx] = 1;
+        static_assert(EventQueue::Callback::storesInline<RetryEv>,
+                      "delivery retries must stay on the inline fast path");
+        shards_->schedule(shardOf(node), now() + retryInterval,
+                          RetryEv{this, node, vnet});
     }
+}
+
+std::uint64_t
+Network::msgsInjected() const
+{
+    std::uint64_t n = 0;
+    for (const Slice &s : slices_)
+        n += s.msgsInjected.value();
+    return n;
+}
+
+std::uint64_t
+Network::bytesInjected() const
+{
+    std::uint64_t n = 0;
+    for (const Slice &s : slices_)
+        n += s.bytesInjected.value();
+    return n;
+}
+
+Distribution
+Network::hopDist() const
+{
+    Distribution d;
+    for (const Slice &s : slices_)
+        d.merge(s.hopDist);
+    return d;
 }
 
 void
@@ -269,12 +345,15 @@ Network::saveState(snap::Ser &out) const
     });
     out.seq(retryScheduled_,
             [](snap::Ser &s, bool v) { s.b(v); });
-    out.u64(inFlight_);
-    out.u32(nextTraceId_);
-    out.u64(lostMessages_);
-    msgsInjected.saveState(out);
-    bytesInjected.saveState(out);
-    hopDist.saveState(out);
+    out.u64(slices_.size());
+    for (const Slice &s : slices_) {
+        out.u64(static_cast<std::uint64_t>(s.flightDelta));
+        out.u32(s.nextTraceId);
+        out.u64(s.lost);
+        s.msgsInjected.saveState(out);
+        s.bytesInjected.saveState(out);
+        s.hopDist.saveState(out);
+    }
 }
 
 void
@@ -314,12 +393,18 @@ Network::restoreState(snap::Des &in)
     }
     for (std::size_t i = 0; i < retryScheduled_.size(); ++i)
         retryScheduled_[i] = in.bl();
-    inFlight_ = in.u64();
-    nextTraceId_ = in.u32();
-    lostMessages_ = in.u64();
-    msgsInjected.restoreState(in);
-    bytesInjected.restoreState(in);
-    hopDist.restoreState(in);
+    if (in.u64() != slices_.size()) {
+        in.fail("snapshot network shard count does not match machine");
+        return;
+    }
+    for (Slice &s : slices_) {
+        s.flightDelta = static_cast<std::int64_t>(in.u64());
+        s.nextTraceId = in.u32();
+        s.lost = in.u64();
+        s.msgsInjected.restoreState(in);
+        s.bytesInjected.restoreState(in);
+        s.hopDist.restoreState(in);
+    }
 }
 
 void
@@ -343,13 +428,19 @@ Network::registerSnapEvents(snap::EventCodec &codec)
 void
 Network::debugState(std::FILE *out) const
 {
-    std::fprintf(out, "  net: inFlight=%llu\n",
-                 static_cast<unsigned long long>(inFlight_));
-    if (lostMessages_ != 0) {
+    std::int64_t flight = 0;
+    std::uint64_t lost = 0;
+    for (const Slice &s : slices_) {
+        flight += s.flightDelta;
+        lost += s.lost;
+    }
+    std::fprintf(out, "  net: inFlight=%lld\n",
+                 static_cast<long long>(flight));
+    if (lost != 0) {
         std::fprintf(out,
                      "  net: %llu message(s) LOST by the "
                      "drop-without-retransmit bug hook\n",
-                     static_cast<unsigned long long>(lostMessages_));
+                     static_cast<unsigned long long>(lost));
     }
     for (std::size_t n = 0; n < deliver_.size(); ++n) {
         for (unsigned v = 0; v < proto::numVnets; ++v) {

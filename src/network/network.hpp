@@ -18,6 +18,15 @@
  * buffer, and landing buffers drain per (destination, vnet) in FIFO
  * order — which also guarantees the per-(src, dst, vnet) ordering the
  * protocol's writeback races rely on.
+ *
+ * Sharding: the network is the *only* cross-shard channel of the
+ * machine (sim/shard.hpp). Every piece of link/landing state has one
+ * owning shard — a node's outbound link belongs to the node, a router
+ * (and the inbound links of its attached nodes) to the shard of its
+ * first node, landing buffers to the destination — and each scheduling
+ * step routes its continuation to the owner of the state it touches
+ * next. Since every such step adds at least hopLatency of delay,
+ * hopLatency is the machine's conservative PDES lookahead.
  */
 
 #ifndef SMTP_NETWORK_NETWORK_HPP
@@ -27,12 +36,14 @@
 #include <cstdio>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/types.hpp"
 #include "fault/fault.hpp"
 #include "protocol/message.hpp"
 #include "sim/eventq.hpp"
+#include "sim/shard.hpp"
 #include "sim/stats.hpp"
 #include "snap/event_codec.hpp"
 #include "trace/trace.hpp"
@@ -58,14 +69,28 @@ class Network
      */
     using DeliverFn = std::function<bool(const proto::Message &)>;
 
+    /**
+     * Sharded machine wiring: one shard per node (or a single shard
+     * wrapping everything — the serial degenerate case works through
+     * the identical code path).
+     */
+    Network(ShardSet &shards, const NetworkParams &params);
+
+    /**
+     * Standalone-harness wiring: wraps @p eq in a private single-shard
+     * ShardSet so component tests keep constructing `Network(eq, p)`
+     * and driving `eq.run()` unchanged.
+     */
     Network(EventQueue &eq, const NetworkParams &params);
 
     void attach(NodeId node, DeliverFn fn);
 
     /**
      * Attach @p node's telemetry buffer. Injection stamps a fresh
-     * Message::traceId (src-node buffer); hop/land/deliver and
-     * back-pressure record on the destination's buffer.
+     * Message::traceId (src-node buffer); land/deliver/back-pressure
+     * record on the destination's buffer; intermediate hops record on
+     * the buffer of the shard executing the hop (the router owner), so
+     * no buffer is ever written from two shards.
      */
     void
     setTrace(NodeId node, trace::TraceBuffer *buf)
@@ -79,7 +104,9 @@ class Network
      * retransmissions (latency + repeated occupancy, never loss),
      * duplicates are filtered by link sequence at the landing buffer,
      * jitter and bounded reordering respect the per-(src, dst, vnet)
-     * FIFO order the protocol relies on.
+     * FIFO order the protocol relies on. Decisions draw from the
+     * executing shard's stream, so they are deterministic under any
+     * host-thread count.
      */
     void setFaultInjector(fault::FaultInjector *fi) { faults_ = fi; }
 
@@ -92,11 +119,32 @@ class Network
     /** Hop count between two nodes (0 for self). */
     unsigned hopCount(NodeId a, NodeId b) const;
 
+    /**
+     * Conservative PDES lookahead: the minimum latency any single
+     * cross-shard scheduling step adds (one hop). Every cross-shard
+     * event posted inside a window of this length is due no earlier
+     * than the next window, which is what makes barrier-synchronized
+     * windows safe.
+     */
+    Tick lookahead() const { return params_.hopLatency; }
+
+    /**
+     * Minimum end-to-end latency of any cross-node message: the
+     * cheapest (src, dst) pair's hop count times hopLatency, plus the
+     * final-hop serialisation of the smallest (header-only) message.
+     * Always >= lookahead(); with the documented parameters a
+     * same-router pair costs 2 hops x 25 ns + 16 ns = 66 ns.
+     */
+    Tick minCrossNodeLatency() const;
+
     /** All landing buffers empty and no messages in flight? */
     bool
     quiescent() const
     {
-        return inFlight_ == 0;
+        std::int64_t flight = 0;
+        for (const Slice &s : slices_)
+            flight += s.flightDelta;
+        return flight == 0;
     }
 
     /** Dump in-flight count and landing-buffer occupancy (wedge report). */
@@ -147,7 +195,7 @@ class Network
         {
             net->retryScheduled_[static_cast<std::size_t>(node) *
                                      proto::numVnets +
-                                 vnet] = false;
+                                 vnet] = 0;
             net->tryDeliver(node, vnet);
         }
 
@@ -163,10 +211,11 @@ class Network
     void restoreState(snap::Des &in);
     void registerSnapEvents(snap::EventCodec &codec);
 
-    // Stats.
-    Counter msgsInjected;
-    Counter bytesInjected;
-    Distribution hopDist;
+    // ---- Stats (per-shard slices, merged on read) ---------------------
+
+    std::uint64_t msgsInjected() const;
+    std::uint64_t bytesInjected() const;
+    Distribution hopDist() const;
 
   private:
     struct Link
@@ -182,13 +231,53 @@ class Network
         Counter msgs;
     };
 
+    /**
+     * Per-shard mutable state: injection stats and the traceId
+     * allocator, touched only by the owning shard's thread (aligned so
+     * neighbouring slices never false-share).
+     */
+    struct alignas(64) Slice
+    {
+        Counter msgsInjected;
+        Counter bytesInjected;
+        Distribution hopDist;
+        std::int64_t flightDelta = 0; ///< Injections minus deliveries.
+        std::uint32_t nextTraceId = 0;
+        std::uint64_t lost = 0; ///< droploss-bug casualties.
+    };
+
     unsigned routerOf(NodeId n) const { return n / params_.nodesPerRouter; }
+
+    /** Shard owning node @p n (identity when sharded, else 0). */
+    unsigned
+    shardOf(NodeId n) const
+    {
+        return shards_->count() == 1 ? 0u : static_cast<unsigned>(n);
+    }
+
+    /** Shard owning router @p r: the shard of its first attached node. */
+    unsigned
+    routerOwner(unsigned r) const
+    {
+        return shardOf(static_cast<NodeId>(
+            std::min<unsigned>(r * params_.nodesPerRouter,
+                               params_.numNodes - 1)));
+    }
+
+    /** The calling thread's shard (0 in the barrier phase / wrapper). */
+    unsigned
+    execShard() const
+    {
+        unsigned s = shards_->current();
+        return s == ShardSet::noShard ? 0u : s;
+    }
+
+    Tick now() const { return shards_->queue(execShard()).curTick(); }
 
     /** Next router on the e-cube path from @p cur towards @p dst. */
     unsigned nextRouter(unsigned cur, unsigned dst) const;
 
     Link &linkBetween(unsigned r_from, unsigned r_to);
-    Link &nodeLink(NodeId n, bool inbound);
 
     void hop(proto::Message msg, unsigned cur_router);
     void land(const proto::Message &msg);
@@ -196,12 +285,15 @@ class Network
 
     /**
      * Traverse @p link with @p msg: reserve bandwidth, apply link
-     * faults (drop/retransmit, jitter), schedule @p fn at arrival.
+     * faults (drop/retransmit, jitter), schedule @p fn at arrival on
+     * shard @p dst_shard.
      */
     void traverse(Link &link, const proto::Message &msg,
-                  EventQueue::Callback fn, bool final_hop = false);
+                  EventQueue::Callback fn, unsigned dst_shard,
+                  bool final_hop = false);
 
-    EventQueue &eq_;
+    std::unique_ptr<ShardSet> ownedShards_; ///< Wrapper-ctor only.
+    ShardSet *shards_;
     NetworkParams params_;
     unsigned numRouters_;
     unsigned dims_;
@@ -213,12 +305,13 @@ class Network
     std::vector<Link> nodeLinksOut_;  // node -> router
     // Landing buffers: per (node, vnet) FIFO awaiting NI acceptance.
     std::vector<std::deque<proto::Message>> landing_;
-    std::vector<bool> retryScheduled_;
-    std::uint64_t inFlight_ = 0;
+    // One byte per (node, vnet), NOT vector<bool>: a packed bit-vector
+    // would make flags of different destination shards share a word,
+    // which is a data race even though each flag has a single owner.
+    std::vector<std::uint8_t> retryScheduled_;
+    std::vector<Slice> slices_; ///< One per shard.
     std::vector<trace::TraceBuffer *> trace_; ///< Per node; null = off.
-    std::uint32_t nextTraceId_ = 0;
     fault::FaultInjector *faults_ = nullptr;  ///< Null = fault-free.
-    std::uint64_t lostMessages_ = 0; ///< droploss-bug casualties.
 
     static constexpr Tick retryInterval = 5 * tickPerNs;
 };

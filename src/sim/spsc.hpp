@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Lock-free single-producer single-consumer ring for cross-shard
+ * mailboxes.
+ *
+ * Each shard pair (src, dst) owns one SpscRing: the producing shard
+ * pushes cross-shard events during its window, the consumer drains at
+ * the barrier. Push and pop never take a lock; the acquire/release
+ * pairs on the head/tail indices are the only synchronization, which is
+ * also what lets ThreadSanitizer prove the mailbox protocol instead of
+ * just trusting it.
+ *
+ * The ring is bounded (tryPush reports back-pressure); the Mailbox
+ * wrapper in sim/shard.hpp layers growth on top by diverting overflow
+ * into a producer-owned spill vector, which preserves FIFO order
+ * because the consumer only drains between windows.
+ */
+
+#ifndef SMTP_SIM_SPSC_HPP
+#define SMTP_SIM_SPSC_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace smtp
+{
+
+template <typename T>
+class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity = 256)
+        : slots_(roundCapacity(capacity)), mask_(slots_.size() - 1)
+    {
+    }
+
+    SpscRing(const SpscRing &) = delete;
+    SpscRing &operator=(const SpscRing &) = delete;
+
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Producer side: false when the ring is full (back-pressure). */
+    bool
+    tryPush(T v)
+    {
+        std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        if (tail - head >= slots_.size())
+            return false;
+        slots_[tail & mask_] = std::move(v);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side: false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::uint64_t head = head_.load(std::memory_order_relaxed);
+        std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return false;
+        out = std::move(slots_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Visit every queued element oldest-first without consuming.
+     * Consumer-side only (snapshots run between windows).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        for (std::uint64_t i = head; i != tail; ++i)
+            fn(slots_[i & mask_]);
+    }
+
+    /** Approximate unless the caller externally synchronizes. */
+    std::size_t
+    size() const
+    {
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(tail - head);
+    }
+
+    bool empty() const { return size() == 0; }
+
+  private:
+    static std::size_t
+    roundCapacity(std::size_t capacity)
+    {
+        std::size_t c = 2;
+        while (c < capacity)
+            c <<= 1;
+        return c;
+    }
+
+    std::vector<T> slots_;
+    std::size_t mask_;
+    // Head/tail live on separate cache lines: the producer only stores
+    // tail_ and the consumer only stores head_, so false sharing is the
+    // single avoidable cost of the protocol.
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+} // namespace smtp
+
+#endif // SMTP_SIM_SPSC_HPP

@@ -59,6 +59,27 @@ class Distribution
             hist_[bucketIndex(v)] += weight;
     }
 
+    /**
+     * Fold @p other into this distribution (per-shard slices merged
+     * for reporting). Histograms merge bucket-wise when both sides
+     * share a layout; a histogram-less side merges into moments only.
+     */
+    void
+    merge(const Distribution &other)
+    {
+        if (other.count_ == 0)
+            return;
+        sum_ += other.sum_;
+        count_ += other.count_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+        if (!hist_.empty() && hist_.size() == other.hist_.size() &&
+            histLo_ == other.histLo_ && histHi_ == other.histHi_) {
+            for (std::size_t i = 0; i < hist_.size(); ++i)
+                hist_[i] += other.hist_[i];
+        }
+    }
+
     std::uint64_t samples() const { return count_; }
     double mean() const { return count_ ? sum_ / count_ : 0.0; }
     double min() const { return count_ ? min_ : 0.0; }

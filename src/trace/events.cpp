@@ -16,6 +16,7 @@ categoryName(Category c)
       case Category::Network: return "net";
       case Category::Check: return "check";
       case Category::Fault: return "fault";
+      case Category::Exec: return "exec";
       case Category::NumCategories: break;
     }
     return "?";
@@ -56,6 +57,8 @@ eventName(EventId id)
       case EventId::FaultForcedNak: return "fault.nak.forced";
       case EventId::FaultRetryBackoff: return "fault.retry";
       case EventId::FaultStarvation: return "fault.starve";
+      case EventId::WindowAdvance: return "exec.window";
+      case EventId::BarrierWait: return "exec.barrier";
       case EventId::NumEvents: break;
     }
     return "?";
@@ -171,6 +174,16 @@ formatEvent(const Event &e, char *buf, std::size_t len)
                       tick, name, unsigned(retryNode(a)),
                       static_cast<unsigned long long>(retryLine(a)),
                       unsigned(retryMshr(a)), retryCount(a));
+        break;
+      case EventId::WindowAdvance:
+        std::snprintf(buf, len, "[%llu] %-16s shard=%u events=%llu", tick,
+                      name, windowShard(a),
+                      static_cast<unsigned long long>(windowValue(a)));
+        break;
+      case EventId::BarrierWait:
+        std::snprintf(buf, len, "[%llu] %-16s shard=%u waitNs=%llu", tick,
+                      name, windowShard(a),
+                      static_cast<unsigned long long>(windowValue(a)));
         break;
       default:
         std::snprintf(buf, len, "[%llu] %-16s arg=%" PRIx64, tick, name, a);

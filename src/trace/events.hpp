@@ -33,6 +33,7 @@ enum class Category : std::uint8_t
     Network = 3,  ///< Inject / hop / land / deliver / back-pressure.
     Check = 4,    ///< Checker-owned rings (dispatch history).
     Fault = 5,    ///< Injected faults + retry/backoff decisions.
+    Exec = 6,     ///< Shard executor: window advances, barrier waits.
     NumCategories
 };
 
@@ -42,8 +43,15 @@ categoryBit(Category c)
     return 1u << static_cast<unsigned>(c);
 }
 
+/**
+ * The default category mask. Exec is deliberately excluded: barrier
+ * waits record *host* time, which would make default trace exports
+ * differ across exec modes and machines. Opt in with
+ * `categories |= categoryBit(Category::Exec)`.
+ */
 constexpr std::uint32_t allCategories =
-    (1u << static_cast<unsigned>(Category::NumCategories)) - 1;
+    ((1u << static_cast<unsigned>(Category::NumCategories)) - 1) &
+    ~categoryBit(Category::Exec);
 
 std::string_view categoryName(Category c);
 
@@ -94,6 +102,11 @@ enum class EventId : std::uint8_t
     FaultForcedNak,   ///< arg: msg pack. Dispatch turned into RplNak.
     FaultRetryBackoff,///< arg: retry pack. NAK resend paced by policy.
     FaultStarvation,  ///< arg: retry pack. Retry count hit the bound.
+
+    // ---- Exec (sharded run loop; see sim/shard.hpp) --------------------
+    WindowAdvance,    ///< arg: window pack (shard, events run in window).
+    BarrierWait,      ///< arg: window pack (shard, host ns waited at the
+                      ///< barrier). Host time: never in default exports.
 
     NumEvents
 };
@@ -291,6 +304,21 @@ constexpr std::uint8_t bpVnet(std::uint64_t arg)
     return static_cast<std::uint8_t>(arg & 0xff);
 }
 constexpr unsigned bpDepth(std::uint64_t arg) { return (arg >> 8) & 0xffff; }
+
+// ---- Window pack (WindowAdvance/BarrierWait) ---------------------------
+
+constexpr std::uint64_t
+packWindow(unsigned shard, std::uint64_t value)
+{
+    return (shard & 0xff) |
+           ((value < (1ULL << 56) ? value : (1ULL << 56) - 1) << 8);
+}
+
+constexpr unsigned windowShard(std::uint64_t arg)
+{
+    return static_cast<unsigned>(arg & 0xff);
+}
+constexpr std::uint64_t windowValue(std::uint64_t arg) { return arg >> 8; }
 
 // ---- Exec pack (HandlerExec: the checker ring's annotation event) ------
 

@@ -185,6 +185,29 @@ class ThreadCtx : public InstSource
         return buf_.empty() && task_.done();
     }
 
+    /**
+     * Sharded execution: generation touches the machine-global
+     * functional memory and resume log, so mid-window pumping from a
+     * shard thread is forbidden. Buffered mode confines every resume to
+     * refill(), which the machine calls from the single-threaded
+     * barrier phase in global-thread-id order (a deterministic schedule
+     * under any host-thread count). A drained buffer simply stalls the
+     * fetch stage until the next barrier tops it up.
+     */
+    void setBuffered(bool on) override { buffered_ = on; }
+
+    void
+    refill(std::size_t target) override
+    {
+        while (buf_.size() < target && !task_.done()) {
+            auto h = resume_;
+            SMTP_ASSERT(h && !h.done(), "generator wedged");
+            if (log_ != nullptr)
+                log_->push_back(gtid_);
+            h.resume();
+        }
+    }
+
     std::uint64_t supplied() const { return supplied_; }
 
     // ---- Snapshot support ----------------------------------------------
@@ -486,6 +509,8 @@ class ThreadCtx : public InstSource
     void
     pump()
     {
+        if (buffered_)
+            return; // refill() is the only legal generation point
         while (buf_.empty() && !task_.done()) {
             auto h = resume_;
             SMTP_ASSERT(h && !h.done(), "generator wedged");
@@ -506,6 +531,7 @@ class ThreadCtx : public InstSource
     std::uint8_t addrReg_ = 2;      ///< Nominal base-address register.
     std::uint8_t lastLoadReg_ = 4;
     std::uint64_t supplied_ = 0;
+    bool buffered_ = false;
     ResumeLog *log_ = nullptr;
     std::uint32_t gtid_ = 0;
 };

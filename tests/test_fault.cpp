@@ -171,10 +171,10 @@ TEST(FaultInjector, SameSeedGivesIdenticalDecisionStreams)
     // identical across sweep worker counts.
     for (unsigned i = 0; i < 5000; ++i) {
         NodeId n = static_cast<NodeId>(i % 4);
-        ASSERT_EQ(a.linkRetransmits(), b.linkRetransmits()) << i;
-        ASSERT_EQ(a.linkDuplicate(), b.linkDuplicate()) << i;
-        ASSERT_EQ(a.linkExtraDelay(), b.linkExtraDelay()) << i;
-        ASSERT_EQ(a.landingReorder(), b.landingReorder()) << i;
+        ASSERT_EQ(a.linkRetransmits(n), b.linkRetransmits(n)) << i;
+        ASSERT_EQ(a.linkDuplicate(n), b.linkDuplicate(n)) << i;
+        ASSERT_EQ(a.linkExtraDelay(n), b.linkExtraDelay(n)) << i;
+        ASSERT_EQ(a.landingReorder(n), b.landingReorder(n)) << i;
         ASSERT_EQ(a.sdramRead(n), b.sdramRead(n)) << i;
         ASSERT_EQ(a.forceNak(n), b.forceNak(n)) << i;
     }
@@ -212,10 +212,10 @@ TEST(FaultInjector, EccAccountingMatchesPlanFractions)
           default: break;
         }
     }
-    EXPECT_EQ(fi.eccCorrected.value(), corrected);
-    EXPECT_EQ(fi.eccDetected.value(), detected);
+    EXPECT_EQ(fi.eccCorrected(), corrected);
+    EXPECT_EQ(fi.eccDetected(), detected);
     // One demand scrub per corrected flip.
-    EXPECT_EQ(fi.eccScrubs.value(), corrected);
+    EXPECT_EQ(fi.eccScrubs(), corrected);
     EXPECT_NEAR(static_cast<double>(corrected) / reads, 0.2, 0.02);
     EXPECT_NEAR(static_cast<double>(detected) / reads, 0.1, 0.02);
 }
@@ -247,8 +247,8 @@ TEST(FaultRecovery, DroppedMessagesAreRetransmittedToQuiescence)
     opt.faults.netDrop = 0.5; // every other transmission corrupted
     ProtoMachine p(opt);
     runMix(p);
-    EXPECT_GT(p.faults->netDrops.value(), 0u);
-    EXPECT_EQ(p.faults->netLost.value(), 0u);
+    EXPECT_GT(p.faults->netDrops(), 0u);
+    EXPECT_EQ(p.faults->netLost(), 0u);
     EXPECT_EQ(p.checker->violationCount(), 0u);
     EXPECT_TRUE(p.quiescent());
 }
@@ -260,11 +260,11 @@ TEST(FaultRecovery, DuplicatesAreFilteredExactlyOnce)
     opt.faults.netDup = 1.0; // duplicate every delivery
     ProtoMachine p(opt);
     runMix(p);
-    EXPECT_GT(p.faults->netDups.value(), 0u);
+    EXPECT_GT(p.faults->netDups(), 0u);
     // Every injected duplicate was discarded at the landing buffer, so
     // the protocol saw each message exactly once.
-    EXPECT_EQ(p.faults->netDupsFiltered.value(),
-              p.faults->netDups.value());
+    EXPECT_EQ(p.faults->netDupsFiltered(),
+              p.faults->netDups());
     EXPECT_EQ(p.checker->violationCount(), 0u);
     EXPECT_TRUE(p.quiescent());
 }
@@ -277,7 +277,7 @@ TEST(FaultRecovery, JitterAndReorderPreserveCoherence)
     opt.faults.netReorder = 1.0; // swap every eligible landing pair
     ProtoMachine p(opt);
     runMix(p);
-    EXPECT_GT(p.faults->netDelays.value(), 0u);
+    EXPECT_GT(p.faults->netDelays(), 0u);
     EXPECT_EQ(p.checker->violationCount(), 0u);
     EXPECT_TRUE(p.quiescent());
 }
@@ -299,9 +299,9 @@ TEST(FaultRecovery, DoubleBitFlipsAreRefetchedAndCostLatency)
                 [&] { cleanDone = clean.eq.curTick(); });
     clean.settle();
 
-    EXPECT_GT(faulty.faults->eccDetected.value(), 0u);
-    EXPECT_EQ(faulty.faults->eccRefetches.value(),
-              faulty.faults->eccDetected.value());
+    EXPECT_GT(faulty.faults->eccDetected(), 0u);
+    EXPECT_EQ(faulty.faults->eccRefetches(),
+              faulty.faults->eccDetected());
     EXPECT_EQ(faulty.checker->violationCount(), 0u);
     // The refetch is not free: the faulty load completes later.
     ASSERT_GT(cleanDone, 0u);
@@ -316,7 +316,7 @@ TEST(FaultRecovery, ForcedNaksRideTheRetryPathToCompletion)
     opt.retry.kind = fault::RetryKind::ExpBackoff;
     ProtoMachine p(opt);
     runMix(p);
-    EXPECT_GT(p.faults->naksForced.value(), 0u);
+    EXPECT_GT(p.faults->naksForced(), 0u);
     EXPECT_EQ(p.checker->violationCount(), 0u);
     EXPECT_TRUE(p.quiescent());
 }
@@ -384,7 +384,7 @@ TEST(FaultBug, DropWithoutRetransmitIsCaughtByTheWatchdog)
     p.issue(0, MemCmd::Store, p.addrAt(1), [] {});
     p.eq.run(p.eq.curTick() + 2 * tickPerMs);
 
-    EXPECT_GT(p.faults->netLost.value(), 0u);
+    EXPECT_GT(p.faults->netLost(), 0u);
     ASSERT_GE(p.checker->violationCount(), 1u);
     EXPECT_NE(p.checker->violations()[0].find("watchdog"),
               std::string::npos)

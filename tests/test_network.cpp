@@ -220,6 +220,30 @@ TEST(Network, FifoSurvivesBackpressure)
         EXPECT_EQ(s1.got[i].addr, 0x80u * i);
 }
 
+TEST(Network, LookaheadAndMinCrossNodeLatency)
+{
+    // The conservative PDES lookahead is the 25 ns per-hop time: every
+    // cross-shard scheduling step adds at least one hop, so events
+    // posted inside a 25 ns window land no earlier than the next one.
+    // The cheapest full message (same-router pair, header-only) costs
+    // 2 hops x 25 ns plus 16 ns of final-hop serialisation = 66 ns.
+    NetworkParams p;
+    p.numNodes = 32;
+    EventQueue eq;
+    Network net(eq, p);
+    EXPECT_EQ(net.lookahead(), 25 * tickPerNs);
+    EXPECT_EQ(net.minCrossNodeLatency(), 66 * tickPerNs);
+    EXPECT_GE(net.minCrossNodeLatency(), net.lookahead());
+
+    // Single node: loopback turnaround still respects the lookahead.
+    NetworkParams p1;
+    p1.numNodes = 1;
+    EventQueue eq1;
+    Network n1(eq1, p1);
+    EXPECT_EQ(n1.minCrossNodeLatency(), 25 * tickPerNs + 16 * tickPerNs);
+    EXPECT_GE(n1.minCrossNodeLatency(), n1.lookahead());
+}
+
 TEST(Network, StatsAccumulate)
 {
     NetworkParams p;
@@ -233,9 +257,9 @@ TEST(Network, StatsAccumulate)
     net.inject(mkMsg(0, 1));
     net.inject(mkMsg(0, 3, MsgType::RplDataEx));
     eq.run();
-    EXPECT_EQ(net.msgsInjected.value(), 2u);
-    EXPECT_EQ(net.bytesInjected.value(), 16u + 144u);
-    EXPECT_EQ(net.hopDist.samples(), 2u);
+    EXPECT_EQ(net.msgsInjected(), 2u);
+    EXPECT_EQ(net.bytesInjected(), 16u + 144u);
+    EXPECT_EQ(net.hopDist().samples(), 2u);
 }
 
 TEST(NetworkDeath, UnattachedNodePanics)

@@ -226,15 +226,19 @@ runModel(MachineModel model, const ChaosOptions &o)
 
     if (o.bugDroploss) {
         // The lost messages wedge the workload, so Machine::run()'s
-        // all-threads-finished contract cannot hold. Pump the event
-        // queue directly and let the watchdog catch the wedge.
+        // all-threads-finished contract cannot hold. Advance in
+        // bounded runUntil() slices (which never assert on an
+        // unfinished workload) and let the watchdog catch the wedge.
         auto &eq = m.eventQueue();
-        for (unsigned n = 0; n < o.nodes; ++n)
-            m.node(n).cpu->start();
         const Tick deadline = eq.curTick() + 20 * tickPerMs;
-        while (!eq.empty() && eq.curTick() < deadline &&
+        const Tick slice = tickPerMs / 10;
+        while (eq.curTick() < deadline &&
                m.checker()->violationCount() == 0) {
-            eq.runOne();
+            Tick target = std::min(deadline, eq.curTick() + slice);
+            if (m.runUntil(target))
+                break;
+            if (eq.curTick() < target)
+                break; // wedged with idle queues; nothing left to run
         }
     } else {
         m.run();
@@ -251,7 +255,7 @@ runModel(MachineModel model, const ChaosOptions &o)
     if (const auto *fi = m.faultInjector()) {
         r.injected = fi->injectedTotal();
         r.recovered = fi->recoveredTotal();
-        r.lost = fi->netLost.value();
+        r.lost = fi->netLost();
     }
     for (unsigned n = 0; n < o.nodes; ++n)
         r.starvationFlags += m.node(n).mc->starvationFlags.value();

@@ -136,8 +136,17 @@ reportFile(const trace::TraceData &data, bool dump)
         unsigned maxRetries = 0;
     };
 
+    struct ExecAccum
+    {
+        bool present = false;
+        std::uint64_t windows = 0;
+        std::uint64_t events = 0;
+        std::uint64_t waitNs = 0;
+    };
+
     std::vector<NodeOccupancy> occ(data.nodes);
     std::vector<StallAccum> stalls(data.nodes);
+    std::vector<ExecAccum> exec(data.nodes);
     FaultAccum faults;
     LatencyTable handlerLat;
     LatencyTable netLat;
@@ -259,6 +268,19 @@ reportFile(const trace::TraceData &data, bool dump)
                   default: break;
                 }
             }
+        } else if (cat == trace::Category::Exec) {
+            for (const auto &e : b.events) {
+                unsigned s = trace::windowShard(e.arg);
+                if (s >= exec.size())
+                    continue;
+                exec[s].present = true;
+                if (e.id() == EventId::WindowAdvance) {
+                    ++exec[s].windows;
+                    exec[s].events += trace::windowValue(e.arg);
+                } else if (e.id() == EventId::BarrierWait) {
+                    exec[s].waitNs += trace::windowValue(e.arg);
+                }
+            }
         } else if (cat == trace::Category::Network) {
             for (const auto &e : b.events) {
                 if (e.id() == EventId::NetDeliver) {
@@ -331,6 +353,36 @@ reportFile(const trace::TraceData &data, bool dump)
     std::printf("\nback-pressure: %llu event(s), max landing-queue depth "
                 "%u\n",
                 static_cast<unsigned long long>(backpressure), bpMaxDepth);
+
+    bool anyExec = false;
+    std::uint64_t totalEvents = 0;
+    for (const ExecAccum &x : exec) {
+        anyExec = anyExec || x.present;
+        totalEvents += x.events;
+    }
+    if (anyExec) {
+        // Host-time utilization of the parallel kernel (Exec category;
+        // opt-in, excluded from default exports because barrier waits
+        // are host-nondeterministic). events_share shows load balance
+        // across shards; wait_ms is time the shard's host thread spent
+        // parked at window barriers while a slower shard caught up.
+        std::printf("\nshard executor utilization (stored tail of the "
+                    "exec buffers; host time, not simulated)\n");
+        std::printf("  %-6s %10s %14s %12s %12s\n", "shard", "windows",
+                    "events", "events_share", "wait_ms");
+        for (unsigned s = 0; s < static_cast<unsigned>(exec.size()); ++s) {
+            const ExecAccum &x = exec[s];
+            if (!x.present)
+                continue;
+            double share = totalEvents ? static_cast<double>(x.events) /
+                                             static_cast<double>(totalEvents)
+                                       : 0.0;
+            std::printf("  s%-5u %10llu %14llu %12.3f %12.3f\n", s,
+                        static_cast<unsigned long long>(x.windows),
+                        static_cast<unsigned long long>(x.events), share,
+                        static_cast<double>(x.waitNs) / 1e6);
+        }
+    }
 
     if (faults.present) {
         auto u64 = [](std::uint64_t v) {
