@@ -12,128 +12,38 @@
  * byte-identical at any thread count. --json=PATH appends one
  * machine-readable record per cell (JSON Lines) for CI perf
  * trajectories.
+ *
+ * The cell runner itself lives in src/serve (serve::runOnce and
+ * friends) and is shared with the smtpd daemon; this header re-exports
+ * it under smtp::bench so the bench binaries are agnostic about where
+ * their cells execute. With --server=SOCK (or SMTPD_SOCK via
+ * run_benches.sh), runCells() submits the whole sweep to a running
+ * smtpd instead of simulating locally — the records that come back are
+ * byte-identical (mod wall_ms) because both paths run the same code.
  */
 
 #ifndef SMTP_BENCH_BENCH_UTIL_HPP
 #define SMTP_BENCH_BENCH_UTIL_HPP
 
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "machine/machine.hpp"
+#include "serve/runner.hpp"
 #include "sim/sweep.hpp"
-#include "snap/ckpt_cache.hpp"
 #include "workload/app.hpp"
 
 namespace smtp::bench
 {
 
-/**
- * Sampled-measurement spec (--sample=W:M:K, all in CPU cycles except
- * K): skip W cycles of warmup, then take K measurement intervals of M
- * cycles each and report per-metric mean and 95% confidence interval
- * (Student's t) instead of running the workload to completion. With a
- * checkpoint library attached, the warmup snapshot is cached under the
- * cell's config hash, so every variant sharing the warmup prefix
- * simulates it once.
- */
-struct SampleSpec
-{
-    Cycles warmup = 0;   ///< W: warmup length in CPU cycles.
-    Cycles interval = 0; ///< M: one measurement interval, CPU cycles.
-    unsigned count = 0;  ///< K: number of intervals.
-
-    bool active() const { return interval > 0 && count > 0; }
-
-    /** Parse "W:M:K". False (with *err) on malformed input. */
-    static bool parse(const std::string &spec, SampleSpec &out,
-                      std::string *err = nullptr);
-};
-
-struct RunConfig
-{
-    MachineModel model = MachineModel::SMTp;
-    unsigned nodes = 1;
-    unsigned ways = 1;
-    std::string app = "FFT";
-    double scale = 1.0;
-    std::uint64_t cpuFreqMHz = 2000;
-    bool lookAheadScheduling = true;
-    bool bitAssistOps = true;
-    bool perfectProtocolCaches = false;
-    unsigned dirCacheDivisor = 16; ///< Scaled with the problem sizes.
-    /** Run on the reference heap kernel (determinism A/B tests). */
-    bool heapEventKernel = false;
-    /**
-     * Shard-engine execution mode (--exec=serial|parallel[:T]).
-     * Simulated results are bit-identical across modes; parallel only
-     * changes host wall time (docs/parallelism.md).
-     */
-    ExecParams exec;
-    /**
-     * When non-empty, run with telemetry enabled and write
-     * stem.smtptrace / stem.json / stem.csv after the run. Tracing
-     * never perturbs simulated timing.
-     */
-    std::string traceStem;
-    /**
-     * Also record the opt-in Exec category (--trace-exec): per-shard
-     * window-advance and barrier-wait events. These carry host time,
-     * so exec-traced exports are NOT byte-comparable across exec modes
-     * (docs/parallelism.md).
-     */
-    bool traceExec = false;
-    /**
-     * Fault injection (--faults=PLAN) and NAK retry policy
-     * (--retry=SPEC). A disabled plan and the default Fixed policy
-     * leave every cell bit-identical to a build without src/fault.
-     */
-    fault::FaultPlan faults;
-    fault::RetryPolicyConfig retryPolicy;
-    /**
-     * Checkpoint library directory (--ckpt-dir=DIR; empty = off).
-     * Full runs cache their end state; sampled runs cache the warmup
-     * snapshot. Keys include the machine config hash, so a stale or
-     * foreign snapshot is rejected and re-simulated, never trusted.
-     */
-    std::string ckptDir;
-    SampleSpec sample; ///< Inactive = run to completion (default).
-};
-
-struct RunResult
-{
-    Tick execTime = 0;
-    double memStallFraction = 0.0;
-    double peakProtocolOccupancy = 0.0;
-    // SMTp-only protocol thread characteristics.
-    double protoBranchMispredict = 0.0;
-    double protoSquashCyclePct = 0.0;
-    double protoRetiredPct = 0.0;
-    // Protocol thread peak resource occupancy (Table 9).
-    std::uint64_t peakBranchStack = 0;
-    std::uint64_t peakIntRegs = 0;
-    std::uint64_t peakIntQueue = 0;
-    std::uint64_t peakLsq = 0;
-    // Fault-injection outcome (zero unless a plan was enabled).
-    std::uint64_t faultsInjected = 0;
-    std::uint64_t faultsRecovered = 0;
-    // Sampled-measurement statistics (populated when sample.active()).
-    bool sampled = false;
-    unsigned sampleCount = 0;     ///< Intervals actually measured.
-    double ipcMean = 0.0;         ///< Machine IPC per interval, mean.
-    double ipcCi95 = 0.0;         ///< 95% CI half-width (Student's t).
-    double memStallMean = 0.0;    ///< Per-interval mem-stall fraction.
-    double memStallCi95 = 0.0;
-    // Checkpoint-library outcome: -1 = library off, 0 = miss, 1 = hit.
-    int ckpt = -1;
-    // Harness measurement (host time; not simulated state).
-    double wallMs = 0.0;
-};
-
-/** Run one full-system simulation. */
-RunResult runOnce(const RunConfig &cfg);
+// The sweep-cell vocabulary is the service layer's; bench code and the
+// daemon must agree on it exactly (that shared identity is what makes
+// served results interchangeable with local ones).
+using serve::RunConfig;
+using serve::RunResult;
+using serve::SampleSpec;
+using serve::runOnce;
 
 /** Command-line options shared by every bench binary. */
 struct BenchOptions
@@ -152,6 +62,10 @@ struct BenchOptions
     SampleSpec sample;              ///< --sample=W:M:K (default: off).
     ExecParams exec;                ///< --exec=serial|parallel[:T].
     bool traceExec = false;         ///< --trace-exec (Exec category).
+    /** --check=off|asserts|full; asserts runs under parallel exec. */
+    check::CheckLevel checkLevel = check::CheckLevel::Off;
+    /** --server=SOCK: run cells on a smtpd daemon instead of locally. */
+    std::string serverSock;
 
     const std::vector<std::string> &appList() const;
 };
@@ -159,10 +73,11 @@ struct BenchOptions
 BenchOptions parseArgs(int argc, char **argv);
 
 /**
- * Run every cell through a SweepPool sized by opt.jobs, returning
- * results in cell order (index i belongs to cfgs[i] regardless of
- * worker interleaving). When opt.jsonPath is set, one JSON record per
- * cell is appended there, also in cell order.
+ * Run every cell through a SweepPool sized by opt.jobs — or, with
+ * opt.serverSock set, through the smtpd daemon at that socket —
+ * returning results in cell order (index i belongs to cfgs[i]
+ * regardless of worker interleaving). When opt.jsonPath is set, one
+ * JSON record per cell is appended there, also in cell order.
  */
 std::vector<RunResult> runCells(const BenchOptions &opt,
                                 const std::vector<RunConfig> &cfgs);

@@ -3,7 +3,8 @@
 #
 # Usage: ./run_benches.sh [--quick] [--jobs=N] [--json[=PATH]] [--trace[=DIR]]
 #                         [--faults=PLAN] [--retry=SPEC] [--ckpt-dir[=DIR]]
-#                         [--sample=W:M:K]
+#                         [--sample=W:M:K] [--exec=MODE] [--check=LEVEL]
+#                         [--server=SOCK]
 #
 #   --quick      smaller configurations everywhere (CI-sized run)
 #   --jobs=N     sweep worker threads per binary (default: SMTP_SWEEP_JOBS
@@ -31,8 +32,21 @@
 #                checkpoint library when --ckpt-dir is set), then K
 #                intervals of M cycles; JSON records gain ipc/memstall
 #                mean and 95% CI fields
-# Remaining arguments are passed through to every binary
-# (--faults/--retry/--sample ride this passthrough).
+#   --exec=M     shard-engine execution mode: serial | parallel[:T].
+#                Simulated results are bit-identical across modes;
+#                parallel only changes host wall time
+#                (docs/parallelism.md)
+#   --check=L    coherence checker level: off | asserts | full.
+#                asserts runs under --exec=parallel; full forces one
+#                host thread, loudly (docs/checker.md)
+#   --server=S   run every cell on the smtpd daemon listening at UNIX
+#                socket S instead of in-process; also enabled by the
+#                SMTPD_SOCK environment variable (docs/service.md)
+#
+# Any other argument is passed through verbatim to every bench binary.
+# Passthrough is quote-safe: arguments with spaces or glob characters
+# reach the binaries exactly as given (the argument list is rebuilt
+# with `set --`, never flattened through word splitting).
 set -e
 
 quick=""
@@ -40,8 +54,18 @@ jobs=""
 json_path=""
 trace_dir=""
 ckpt_dir=""
-passthru=""
-for arg in "$@"; do
+server_sock="${SMTPD_SOCK:-}"
+
+# Rotate "$@" through itself once, classifying each argument; what is
+# not recognized here is collected back into "$@" as the passthrough
+# list. This keeps arbitrary arguments intact — no variable holds more
+# than one argument, so nothing is ever re-split or re-globbed.
+n=$#
+i=0
+while [ "$i" -lt "$n" ]; do
+    arg=$1
+    shift
+    i=$((i + 1))
     case "$arg" in
         --quick) quick="--quick" ;;
         --jobs=*) jobs="$arg" ;;
@@ -51,38 +75,52 @@ for arg in "$@"; do
         --trace=*) trace_dir="${arg#--trace=}" ;;
         --ckpt-dir) ckpt_dir="ckpt_lib" ;;
         --ckpt-dir=*) ckpt_dir="${arg#--ckpt-dir=}" ;;
-        *) passthru="$passthru $arg" ;;
+        --server=*) server_sock="${arg#--server=}" ;;
+        *) set -- "$@" "$arg" ;;
     esac
 done
 
-json_flag=""
 if [ -n "$json_path" ]; then
     rm -f "$json_path"
-    json_flag="--json=$json_path"
+    set -- "$@" "--json=$json_path"
 fi
 
-ckpt_flag=""
 if [ -n "$ckpt_dir" ]; then
     mkdir -p "$ckpt_dir"
-    ckpt_flag="--ckpt-dir=$ckpt_dir"
+    set -- "$@" "--ckpt-dir=$ckpt_dir"
 fi
 
-# Per-section trace subdirectory, so cells with the same (app, model,
-# nodes, ways) in different sections don't overwrite each other.
-tflag() {
+if [ -n "$server_sock" ]; then
+    set -- "$@" "--server=$server_sock"
+fi
+
+[ -n "$jobs" ] && set -- "$@" "$jobs"
+
+# Run one section: sect NAME BINARY [extra args...] — appends the
+# per-section trace directory (so cells with the same (app, model,
+# nodes, ways) in different sections don't overwrite each other) and
+# the accumulated common flags, all individually quoted.
+sect() {
+    sect_name=$1
+    sect_bin=$2
+    shift 2
     if [ -n "$trace_dir" ]; then
-        printf -- '--trace=%s/%s' "$trace_dir" "$1"
+        echo "+ ./build/bench/$sect_bin $* --trace=$trace_dir/$sect_name ..." >&2
+        "./build/bench/$sect_bin" "$@" "--trace=$trace_dir/$sect_name"
+    else
+        echo "+ ./build/bench/$sect_bin $* ..." >&2
+        "./build/bench/$sect_bin" "$@"
     fi
 }
 
-set -x
-./build/bench/bench_fig2_4 $quick $jobs $json_flag $ckpt_flag $(tflag fig2_4) $passthru
-./build/bench/bench_fig5_7 --quick $jobs $json_flag $ckpt_flag $(tflag fig5_7) $passthru
-./build/bench/bench_fig8_9 --quick $jobs $json_flag $ckpt_flag $(tflag fig8_9) $passthru
-./build/bench/bench_fig10_11 $quick $jobs $json_flag $ckpt_flag $(tflag fig10_11) $passthru
-./build/bench/bench_table5_6 --quick $jobs $json_flag $ckpt_flag $(tflag table5_6) $passthru
-./build/bench/bench_table7 $quick $jobs $json_flag $ckpt_flag $(tflag table7) $passthru
-./build/bench/bench_table8_9 $quick $jobs $json_flag $ckpt_flag $(tflag table8_9) $passthru
-./build/bench/bench_ablation_las $quick $jobs $json_flag $ckpt_flag $(tflag ablation_las) $passthru
-./build/bench/bench_ablation_pcache $quick $jobs $json_flag $ckpt_flag $(tflag ablation_pcache) $passthru
+# shellcheck disable=SC2086  # $quick is one word or empty by construction
+sect fig2_4 bench_fig2_4 $quick "$@"
+sect fig5_7 bench_fig5_7 --quick "$@"
+sect fig8_9 bench_fig8_9 --quick "$@"
+sect fig10_11 bench_fig10_11 $quick "$@"
+sect table5_6 bench_table5_6 --quick "$@"
+sect table7 bench_table7 $quick "$@"
+sect table8_9 bench_table8_9 $quick "$@"
+sect ablation_las bench_ablation_las $quick "$@"
+sect ablation_pcache bench_ablation_pcache $quick "$@"
 ./build/bench/bench_uarch --benchmark_min_time=0.1

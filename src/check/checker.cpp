@@ -29,6 +29,7 @@ Checker::Checker(EventQueue &eq, const DirFormat &fmt,
     SMTP_ASSERT(params_.nodes >= 1 && params_.nodes <= 64,
         "checker: unsupported node count %u", params_.nodes);
     nodeMask_ = params_.nodes == 64 ? ~0ULL : (1ULL << params_.nodes) - 1;
+    lastDispatch_.resize(params_.nodes);
 }
 
 // ---------------------------------------------------------------- cache
@@ -38,6 +39,7 @@ Checker::onLineState(NodeId node, Addr line, LineState st, const char *why)
 {
     if (isProtocolAddr(line))
         return;
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     ++lineEvents;
     auto &m = lines_[line];
     const std::uint64_t bit = 1ULL << node;
@@ -76,12 +78,14 @@ Checker::onLineState(NodeId node, Addr line, LineState st, const char *why)
 void
 Checker::onMshrAlloc(NodeId node, unsigned idx, Addr line)
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     track(mshrKey(node, idx), node, line, "mshr");
 }
 
 void
 Checker::onMshrFree(NodeId node, unsigned idx)
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     untrack(mshrKey(node, idx));
 }
 
@@ -90,30 +94,35 @@ Checker::onMshrFree(NodeId node, unsigned idx)
 void
 Checker::onDispatch(NodeId node, const Message &m)
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     ++dispatches;
-    ring_.record(eq_->curTick(), trace::EventId::McDispatch,
+    ring_.record(tickAt(node), trace::EventId::McDispatch,
         trace::packMsg(m.addr, m.type, m.src, m.requester,
             static_cast<std::uint8_t>(node)));
-    lastDispatchNode_ = node;
-    lastDispatchMshr_ = m.mshr;
-    lastDispatchAck_ = m.ackCount;
+    auto &ld = lastDispatch_[node];
+    ld.valid = true;
+    ld.mshr = m.mshr;
+    ld.ack = m.ackCount;
 }
 
 void
 Checker::onHandlerExecuted(NodeId node, const HandlerTrace &tr)
 {
-    // Annotate the dispatch just recorded (handler execution is
-    // synchronous inside MemController::dispatch).
-    if (lastDispatchNode_ != node)
+    // Annotate the dispatch just recorded at this node (handler
+    // execution is synchronous inside MemController::dispatch).
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
+    const auto &ld = lastDispatch_[node];
+    if (!ld.valid)
         return; // dispatch/executed pairing broke; leave the ring alone
-    ring_.record(eq_->curTick(), trace::EventId::HandlerExec,
+    ring_.record(tickAt(node), trace::EventId::HandlerExec,
         trace::packExec(tr.insts.size(), tr.sends.size(),
-            lastDispatchAck_, lastDispatchMshr_, node));
+            ld.ack, ld.mshr, node));
 }
 
 void
 Checker::onDirWrite(NodeId home, Addr line, std::uint64_t entry)
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     ++dirWrites;
     const unsigned st = fmt_.state(entry);
     const std::uint64_t vec = fmt_.vector(entry);
@@ -175,6 +184,7 @@ Checker::onDirWrite(NodeId home, Addr line, std::uint64_t entry)
 void
 Checker::onPendWrite(NodeId node, unsigned mshr, std::uint64_t word0)
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     ++pendWrites;
     if (mshr >= 64)
         flag("pending-table write: node %u mshr %u out of range",
@@ -205,9 +215,10 @@ Checker::onPendWrite(NodeId node, unsigned mshr, std::uint64_t word0)
 void
 Checker::onStarvation(NodeId node, Addr line, unsigned retries)
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     ++starvations;
     if (starved_.size() < maxStarvedRecords)
-        starved_.push_back(Starved{eq_->curTick(), node, line, retries});
+        starved_.push_back(Starved{tickAt(node), node, line, retries});
 }
 
 // ------------------------------------------------------------ lifecycle
@@ -215,6 +226,7 @@ Checker::onStarvation(NodeId node, Addr line, unsigned retries)
 void
 Checker::verifyQuiescent()
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     for (const auto &[line, m] : lines_) {
         if (popCount(m.writers) > 1)
             flag("quiescence: line %llx has %u writers (mask %llx)",
@@ -279,6 +291,7 @@ Checker::verifyQuiescent()
 void
 Checker::reportWedge(const char *why)
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     if (wedgeReported_)
         return;
     wedgeReported_ = true;
@@ -296,6 +309,7 @@ Checker::reportWedge(const char *why)
 void
 Checker::dumpReport(std::FILE *out)
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     const Tick now = eq_->curTick();
     std::fprintf(out, "tick %llu, %zu tracked transaction(s):\n",
         (unsigned long long)now, live_.size());
@@ -339,6 +353,7 @@ Checker::dumpReport(std::FILE *out)
 void
 Checker::violation(const std::string &msg)
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     violations_.push_back(msg);
     if (params_.abortOnViolation)
         SMTP_PANIC("coherence checker: %s", msg.c_str());
@@ -350,7 +365,14 @@ Checker::violation(const std::string &msg)
 void
 Checker::track(std::uint64_t key, NodeId node, Addr addr, const char *kind)
 {
-    live_[key] = Live{eq_->curTick(), node, addr, kind};
+    // Callers hold mtx_ (every hook locks before reaching here).
+    live_[key] = Live{tickAt(node), node, addr, kind};
+    if (barrierArm_) {
+        // Shard threads must not touch the constructor queue; request
+        // the arm and let onBarrier() (single-threaded) schedule it.
+        scanArmRequest_ = true;
+        return;
+    }
     scheduleScan();
 }
 
@@ -370,9 +392,30 @@ Checker::scheduleScan()
 }
 
 void
+Checker::onBarrier()
+{
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
+    if (!scanArmRequest_ || scanScheduled_)
+        return;
+    scanArmRequest_ = false;
+    scanScheduled_ = true;
+    eq_->scheduleIn(params_.watchdogScanInterval, ScanEv{this});
+}
+
+void
 Checker::scan()
 {
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
     scanScheduled_ = false;
+    if (barrierArm_) {
+        // Re-arm unconditionally: once started, the scan schedule is a
+        // pure function of simulated time, so it perturbs window
+        // placement identically at every host-thread count. (The scan
+        // event runs on the constructor queue's own shard thread, so
+        // scheduling here is race-free.)
+        scanScheduled_ = true;
+        eq_->scheduleIn(params_.watchdogScanInterval, ScanEv{this});
+    }
     if (live_.empty() || wedgeReported_)
         return;
     const Tick now = eq_->curTick();
@@ -382,7 +425,8 @@ Checker::scan()
             return;
         }
     }
-    scheduleScan();
+    if (!barrierArm_)
+        scheduleScan();
 }
 
 } // namespace smtp::check

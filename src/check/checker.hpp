@@ -31,12 +31,33 @@
  * hooks) and the last N protocol-handler dispatches from a ring
  * buffer, then flags a violation — turning a silent simulator hang
  * into a readable report.
+ *
+ * Thread safety (Asserts level under --exec=parallel:T): every hook is
+ * internally serialized by one mutex, and ticks are read through a
+ * per-node tick source (each shard's own queue) so no hook ever reads
+ * another shard's clock. The SWMR assertions stay exact under parallel
+ * shards because causally related transitions on one line are at least
+ * one barrier window apart (an exclusive fill is delivered only after
+ * the invalidation acks, each a network hop of one lookahead), and
+ * same-window unrelated transitions commute on the per-node bitmask.
+ * Only the FullMirror quiescence sweeps need a globally serialized
+ * schedule; the machine forces one host thread for that level alone —
+ * loudly (machine/machine.cpp).
+ *
+ * Watchdog determinism: under a Machine the scan event is armed at the
+ * single-threaded barrier phase (onBarrier) the first time any shard
+ * tracks a transaction, and re-arms itself unconditionally from then
+ * on — the scan schedule is a pure function of simulated time, so it
+ * perturbs window placement identically at every host-thread count.
+ * Standalone single-queue harnesses keep the lazy arm-on-track /
+ * stop-when-idle behavior so their event loops still drain.
  */
 
 #pragma once
 
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -133,6 +154,29 @@ class Checker
      * buffers next to the dispatch ring (nullptr => ring only).
      */
     void setTraceManager(const trace::TraceManager *tm) { traceMgr_ = tm; }
+
+    /**
+     * Per-node clock for hook timestamps. Under the sharded engine a
+     * hook runs on the shard owning @p node, so the source must read
+     * that shard's queue — never queue 0's — or parallel runs would
+     * race on another shard's clock. Unset = the constructor queue.
+     */
+    void setTickSource(std::function<Tick(NodeId)> fn)
+    {
+        tickSrc_ = std::move(fn);
+    }
+
+    /**
+     * Switch the watchdog to barrier-phase arming (see the file
+     * comment): track() only requests a scan; onBarrier() — called by
+     * the machine from the single-threaded barrier phase — performs
+     * the actual scheduling onto the constructor queue, and the scan
+     * re-arms itself unconditionally thereafter.
+     */
+    void enableBarrierArming() { barrierArm_ = true; }
+
+    /** Barrier-phase service point (Machine::runWindow). */
+    void onBarrier();
 
     /**
      * Auto-snapshot on watchdog trip: the hook attempts a machine
@@ -269,15 +313,37 @@ class Checker
      * configured depth still covers that many dispatch *pairs*.
      */
     trace::TraceBuffer ring_;
-    NodeId lastDispatchNode_ = invalidNode;
-    std::uint8_t lastDispatchMshr_ = 0;
-    std::uint16_t lastDispatchAck_ = 0;
+    /** Last dispatch per node: onHandlerExecuted pairs with its own
+     *  node's dispatch, so under parallel shards the pairing state
+     *  must not be a single scalar shared across nodes. */
+    struct LastDispatch
+    {
+        bool valid = false;
+        std::uint8_t mshr = 0;
+        std::uint16_t ack = 0;
+    };
+    std::vector<LastDispatch> lastDispatch_;
     const trace::TraceManager *traceMgr_ = nullptr;
 
     std::unordered_map<std::uint64_t, Live> live_;
     std::vector<Starved> starved_;
     bool scanScheduled_ = false;
     bool wedgeReported_ = false;
+
+    /** Serializes every hook (parallel shards call in concurrently). */
+    mutable std::recursive_mutex mtx_;
+    /** Per-node clock (setTickSource); empty => constructor queue. */
+    std::function<Tick(NodeId)> tickSrc_;
+    /** Barrier-phase watchdog arming enabled (enableBarrierArming). */
+    bool barrierArm_ = false;
+    /** A track() ran since the last barrier; onBarrier() arms the scan. */
+    bool scanArmRequest_ = false;
+
+    Tick
+    tickAt(NodeId node) const
+    {
+        return tickSrc_ ? tickSrc_(node) : eq_->curTick();
+    }
 
     std::vector<std::string> violations_;
     std::vector<std::pair<std::string, std::function<void(std::FILE *)>>>

@@ -1,5 +1,6 @@
 #include "machine.hpp"
 
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -42,6 +43,31 @@ modelName(MachineModel m)
       case MachineModel::SMTp: return "SMTp";
     }
     return "?";
+}
+
+bool
+modelFromName(std::string_view name, MachineModel &out)
+{
+    static constexpr MachineModel all[] = {
+        MachineModel::Base, MachineModel::IntPerfect,
+        MachineModel::Int512KB, MachineModel::Int64KB, MachineModel::SMTp};
+    auto eq = [](std::string_view a, std::string_view b) {
+        if (a.size() != b.size())
+            return false;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (std::tolower(static_cast<unsigned char>(a[i])) !=
+                std::tolower(static_cast<unsigned char>(b[i])))
+                return false;
+        }
+        return true;
+    };
+    for (MachineModel m : all) {
+        if (eq(name, modelName(m))) {
+            out = m;
+            return true;
+        }
+    }
+    return false;
 }
 
 Machine::Machine(const MachineParams &params)
@@ -103,17 +129,36 @@ Machine::Machine(const MachineParams &params)
         }
     }
 
-    // The checker's mirror is global state updated from every shard's
-    // transitions, so an active checker forces one host thread (the
-    // schedule — and therefore what the checker observes — is
-    // identical either way).
+    if (checker_) {
+        // Hooks run on the shard owning the reporting node; timestamps
+        // must come from that shard's clock, and the watchdog must arm
+        // from the single-threaded barrier phase (see checker.hpp).
+        checker_->setTickSource(
+            [this](NodeId n) { return shards_.queue(n).curTick(); });
+        checker_->enableBarrierArming();
+    }
+
+    // Asserts-level checking is internally serialized per hook and
+    // reads per-shard clocks, so it runs under the full parallel
+    // engine. Only the FullMirror quiescence mirrors need a globally
+    // serialized schedule; that fallback is loud (stderr + the
+    // execSerializedByChecker flag in bench records), never silent.
     unsigned host_threads = 1;
-    if (params.exec.parallel() && !checker_) {
-        host_threads = params.exec.threads != 0
-                           ? params.exec.threads
-                           : std::thread::hardware_concurrency();
-        if (host_threads == 0)
-            host_threads = 1;
+    if (params.exec.parallel()) {
+        if (checker_ && checker_->fullMirror()) {
+            execSerializedByChecker_ = true;
+            std::fprintf(stderr,
+                "machine: --check=full forces one host thread "
+                "(FullMirror quiescence mirrors are unsharded); "
+                "requested %s ignored\n",
+                params.exec.toString().c_str());
+        } else {
+            host_threads = params.exec.threads != 0
+                               ? params.exec.threads
+                               : std::thread::hardware_concurrency();
+            if (host_threads == 0)
+                host_threads = 1;
+        }
     }
     executor_ = std::make_unique<ShardExecutor>(shards_, host_threads);
 
@@ -374,6 +419,11 @@ Machine::runWindow(Tick end)
     // ---- Single-threaded barrier phase ----
     shards_.drainMailboxes();
 
+    // Watchdog arming deferred from shard threads (checker.hpp): the
+    // scan event lands on queue 0 while nothing else runs.
+    if (checker_)
+        checker_->onBarrier();
+
     // Replenish the generators (global workload plane: functional
     // memory, sync primitives) and wake any CPU that idled on a dry
     // buffer. gtid order keeps the functional interleaving exec-mode
@@ -551,6 +601,8 @@ Machine::quiesce(Tick limit)
     while (curTick() < deadline && !quiescent()) {
         executor_->runWindow(windowEnd_ - 1);
         shards_.drainMailboxes();
+        if (checker_)
+            checker_->onBarrier();
         if (!advanceWindow())
             break;
     }

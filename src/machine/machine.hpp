@@ -57,6 +57,19 @@ enum class MachineModel
 
 std::string_view modelName(MachineModel m);
 
+/** Parse a model name ("Base", "SMTp", ...; case-insensitive). */
+bool modelFromName(std::string_view name, MachineModel &out);
+
+struct MachineParams;
+
+/**
+ * Machine::configHash() without building the machine: the fingerprint
+ * of every state-affecting parameter, computable from params alone.
+ * The daemon's dedup key uses this to recognize identical cells before
+ * paying for construction.
+ */
+std::uint64_t machineConfigHash(const MachineParams &p);
+
 struct MachineParams
 {
     MachineModel model = MachineModel::SMTp;
@@ -103,10 +116,10 @@ struct MachineParams
 
     /**
      * Coherence checker + watchdog (src/check). Off costs nothing;
-     * Asserts checks SWMR on every transition; FullMirror additionally
-     * cross-checks directory mirrors at quiescence. The checker's
-     * mirror is global state, so an active checker forces the shard
-     * engine onto one host thread.
+     * Asserts checks SWMR on every transition — internally serialized,
+     * so it runs under the full parallel shard engine. FullMirror's
+     * quiescence mirrors need a globally serialized schedule and force
+     * one host thread, loudly (execSerializedByChecker()).
      */
     check::CheckLevel checkLevel = check::CheckLevel::Off;
     bool checkAbortOnViolation = true;
@@ -178,6 +191,14 @@ class Machine
 
     /** Host threads the window executor actually uses. */
     unsigned hostThreads() const { return executor_->hostThreads(); }
+
+    /**
+     * True when a parallel exec request was overridden to one host
+     * thread by the FullMirror checker. Surfaced in bench JSON records
+     * as "exec_serialized" so ingest never mistakes a serialized run
+     * for a parallel one.
+     */
+    bool execSerializedByChecker() const { return execSerializedByChecker_; }
 
     /**
      * Run until every application thread has finished (or @p limit
@@ -354,6 +375,7 @@ class Machine
     Tick lookahead_ = 0;   ///< Window length (network hop latency).
     Tick windowEnd_ = 0;   ///< Next barrier tick; 0 = never run.
     Tick execTime_ = 0;
+    bool execSerializedByChecker_ = false;
     // Exec telemetry (Category::Exec, opt-in): per-shard buffers and
     // the executed-event watermark for per-window deltas.
     std::vector<trace::TraceBuffer *> execTrace_;

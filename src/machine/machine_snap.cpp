@@ -39,25 +39,25 @@ nodeSection(unsigned n, const char *what)
 } // namespace
 
 std::uint64_t
-Machine::configHash() const
+machineConfigHash(const MachineParams &p)
 {
     snap::Hasher h;
     // v2: node-sharded windowed kernel — barrier-phase generator
     // refill changed the functional interleaving, so v1 snapshots
     // cannot resume bit-identically and are refused wholesale.
     h.mix(std::string_view("smtp-machine-config-v2"));
-    h.mix(modelName(params_.model));
-    h.mix(params_.nodes);
-    h.mix(params_.appThreadsPerNode);
-    h.mix(params_.cpuFreqMHz);
-    h.mix(static_cast<std::uint64_t>(params_.lookAheadScheduling));
-    h.mix(static_cast<std::uint64_t>(params_.bitAssistOps));
-    h.mix(static_cast<std::uint64_t>(params_.perfectProtocolCaches));
-    h.mix(static_cast<std::uint64_t>(params_.ownershipLog));
-    h.mix(params_.l2Bytes);
-    h.mix(params_.dirCacheDivisor);
+    h.mix(modelName(p.model));
+    h.mix(p.nodes);
+    h.mix(p.appThreadsPerNode);
+    h.mix(p.cpuFreqMHz);
+    h.mix(static_cast<std::uint64_t>(p.lookAheadScheduling));
+    h.mix(static_cast<std::uint64_t>(p.bitAssistOps));
+    h.mix(static_cast<std::uint64_t>(p.perfectProtocolCaches));
+    h.mix(static_cast<std::uint64_t>(p.ownershipLog));
+    h.mix(p.l2Bytes);
+    h.mix(p.dirCacheDivisor);
 
-    const fault::FaultPlan &fp = params_.faults;
+    const fault::FaultPlan &fp = p.faults;
     h.mix(fp.seed);
     h.mixF(fp.netDrop);
     h.mixF(fp.netDup);
@@ -71,12 +71,18 @@ Machine::configHash() const
     h.mixF(fp.forceNak);
     h.mix(static_cast<std::uint64_t>(fp.injectDropWithoutRetransmit));
 
-    const fault::RetryPolicyConfig &rp = params_.retryPolicy;
+    const fault::RetryPolicyConfig &rp = p.retryPolicy;
     h.mix(static_cast<std::uint64_t>(rp.kind));
     h.mix(rp.base);
     h.mix(rp.cap);
     h.mix(rp.starvationRetries);
     return h.value();
+}
+
+std::uint64_t
+Machine::configHash() const
+{
+    return machineConfigHash(params_);
 }
 
 snap::EventCodec

@@ -1,0 +1,181 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include "serve/proto.hpp"
+#include "serve/wire.hpp"
+
+namespace smtp::serve
+{
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+Client::connect(const std::string &socketPath)
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    fd_ = connectSocket(socketPath, &err_);
+    return fd_ >= 0;
+}
+
+bool
+Client::sendReq(const JsonValue &req)
+{
+    if (fd_ < 0) {
+        err_ = "not connected";
+        return false;
+    }
+    return writeFrame(fd_, req.dump(), &err_);
+}
+
+bool
+Client::readReply(JsonValue &out, const char *expectType)
+{
+    std::string payload;
+    int r = readFrame(fd_, payload, &err_);
+    if (r == 0) {
+        err_ = "daemon closed the connection";
+        return false;
+    }
+    if (r < 0)
+        return false;
+    if (!JsonValue::parse(payload, out, &err_))
+        return false;
+    std::string type = out.getString("type");
+    if (type == "error") {
+        err_ = "daemon: " + out.getString("message", "unknown error");
+        return false;
+    }
+    if (expectType != nullptr && type != expectType) {
+        err_ = "unexpected reply type '" + type + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::ping()
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("ping"));
+    req.set("proto", JsonValue::makeNumber(kProtoVersion));
+    if (!sendReq(req))
+        return false;
+    JsonValue reply;
+    return readReply(reply, "pong");
+}
+
+bool
+Client::stats(JsonValue &out)
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("stats"));
+    req.set("proto", JsonValue::makeNumber(kProtoVersion));
+    if (!sendReq(req))
+        return false;
+    return readReply(out, "stats");
+}
+
+bool
+Client::shutdown()
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("shutdown"));
+    req.set("proto", JsonValue::makeNumber(kProtoVersion));
+    if (!sendReq(req))
+        return false;
+    JsonValue reply;
+    return readReply(reply, "shutting_down");
+}
+
+bool
+Client::cancel(std::uint64_t jobId, std::size_t *outRemoved)
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("cancel"));
+    req.set("proto", JsonValue::makeNumber(kProtoVersion));
+    req.set("job", JsonValue::makeString(hex64(jobId)));
+    if (!sendReq(req))
+        return false;
+    JsonValue reply;
+    if (!readReply(reply, "cancelled"))
+        return false;
+    if (outRemoved != nullptr)
+        *outRemoved =
+            static_cast<std::size_t>(reply.getNumber("removed"));
+    return true;
+}
+
+bool
+Client::submit(const std::vector<RunConfig> &cells, int priority,
+               const std::function<void(const CellReply &)> &onCell,
+               std::size_t *outSkipped)
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("submit"));
+    req.set("proto", JsonValue::makeNumber(kProtoVersion));
+    req.set("priority", JsonValue::makeNumber(priority));
+    JsonValue arr = JsonValue::makeArray();
+    for (const RunConfig &cfg : cells)
+        arr.append(cellToJson(cfg));
+    req.set("cells", std::move(arr));
+    if (!sendReq(req))
+        return false;
+
+    JsonValue reply;
+    if (!readReply(reply, "accepted"))
+        return false;
+    if (static_cast<std::size_t>(reply.getNumber("cells")) !=
+        cells.size()) {
+        err_ = "daemon accepted a different cell count";
+        return false;
+    }
+
+    // Pump the stream: N "cell" frames (any order) then one "done".
+    while (true) {
+        if (!readReply(reply, nullptr))
+            return false;
+        std::string type = reply.getString("type");
+        if (type == "cell") {
+            CellReply cr;
+            cr.index =
+                static_cast<std::size_t>(reply.getNumber("index"));
+            parseHex64(reply.getString("key"), cr.key);
+            cr.cached = reply.getBool("cached");
+            cr.record = reply.getString("record");
+            if (const JsonValue *res = reply.find("result"))
+                cr.result = resultFromJson(*res);
+            cr.traceStem = reply.getString("trace_stem");
+            if (cr.index >= cells.size()) {
+                err_ = "daemon sent an out-of-range cell index";
+                return false;
+            }
+            if (onCell)
+                onCell(cr);
+            continue;
+        }
+        if (type == "done") {
+            std::size_t skipped =
+                static_cast<std::size_t>(reply.getNumber("skipped"));
+            if (outSkipped != nullptr)
+                *outSkipped = skipped;
+            if (skipped != 0) {
+                err_ = "daemon skipped " + std::to_string(skipped) +
+                       " cell(s)";
+                return false;
+            }
+            return true;
+        }
+        err_ = "unexpected frame type '" + type + "' in submit stream";
+        return false;
+    }
+}
+
+} // namespace smtp::serve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Blocking client for the smtpd wire protocol, used by smtpctl and by
+ * bench_util's --server mode. One Client owns one connection; submit()
+ * sends a job and pumps the reply stream until "done", invoking a
+ * callback per cell as frames arrive (which is how both front ends
+ * stream results to disk incrementally instead of buffering a sweep).
+ */
+
+#ifndef SMTP_SERVE_CLIENT_HPP
+#define SMTP_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve/runner.hpp"
+
+namespace smtp::serve
+{
+
+/** One result frame from the daemon's submit stream. */
+struct CellReply
+{
+    std::size_t index = 0;   ///< Position in the submitted cell list.
+    std::uint64_t key = 0;   ///< Daemon-side cellKey().
+    bool cached = false;     ///< Served without simulating (dedup/disk).
+    std::string record;      ///< Verbatim jsonRecord() line.
+    RunResult result;        ///< Structured twin of record.
+    std::string traceStem;   ///< Daemon-side artifact stem, if traced.
+};
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to a daemon socket. False with error() set on failure. */
+    bool connect(const std::string &socketPath);
+
+    bool connected() const { return fd_ >= 0; }
+    const std::string &error() const { return err_; }
+
+    /** Round-trip an op:ping; false on any protocol hiccup. */
+    bool ping();
+
+    /** Fetch the daemon's stats object. */
+    bool stats(JsonValue &out);
+
+    /** Ask the daemon to shut down (replies before exiting). */
+    bool shutdown();
+
+    /**
+     * Submit @p cells as one job and pump the stream until "done".
+     * @p onCell fires once per result frame, in completion order (the
+     * CellReply carries the submitted index for reordering). Returns
+     * false — with error() set — on any protocol or socket failure,
+     * including the daemon skipping cells (completed+skipped is
+     * reported via outSkipped when non-null).
+     */
+    bool submit(const std::vector<RunConfig> &cells, int priority,
+                const std::function<void(const CellReply &)> &onCell,
+                std::size_t *outSkipped = nullptr);
+
+    /** Cancel a job by id (as reported in a future async API); rarely
+     * useful from this blocking client, but exercised by tests. */
+    bool cancel(std::uint64_t jobId, std::size_t *outRemoved = nullptr);
+
+  private:
+    bool sendReq(const JsonValue &req);
+    /** Read one frame and parse it; rejects "error" frames into err_. */
+    bool readReply(JsonValue &out, const char *expectType);
+
+    int fd_ = -1;
+    std::string err_;
+};
+
+} // namespace smtp::serve
+
+#endif // SMTP_SERVE_CLIENT_HPP

@@ -1,0 +1,470 @@
+#include "serve/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace smtp::serve
+{
+
+namespace
+{
+
+/** Deep nesting is an attack, not a use case, on this protocol. */
+constexpr int kMaxDepth = 32;
+
+struct Parser
+{
+    const char *p;
+    const char *end;
+    std::string *err;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err != nullptr)
+            *err = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' ||
+                           *p == '\r'))
+            ++p;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::strlen(word);
+        if (static_cast<std::size_t>(end - p) < n ||
+            std::memcmp(p, word, n) != 0)
+            return false;
+        p += n;
+        return true;
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (end - p < 4)
+            return false;
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = *p++;
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return false;
+        }
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            s.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else if (cp < 0x10000) {
+            s.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        } else {
+            s.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (p >= end || *p != '"')
+            return fail("expected string");
+        ++p;
+        out.clear();
+        while (p < end) {
+            unsigned char c = static_cast<unsigned char>(*p);
+            if (c == '"') {
+                ++p;
+                return true;
+            }
+            if (c == '\\') {
+                ++p;
+                if (p >= end)
+                    return fail("truncated escape");
+                char e = *p++;
+                switch (e) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    unsigned cp;
+                    if (!parseHex4(cp))
+                        return fail("bad \\u escape");
+                    if (cp >= 0xd800 && cp < 0xdc00) {
+                        // Surrogate pair.
+                        if (end - p < 6 || p[0] != '\\' || p[1] != 'u')
+                            return fail("unpaired surrogate");
+                        p += 2;
+                        unsigned lo;
+                        if (!parseHex4(lo) || lo < 0xdc00 || lo > 0xdfff)
+                            return fail("bad low surrogate");
+                        cp = 0x10000 + ((cp - 0xd800) << 10) +
+                             (lo - 0xdc00);
+                    } else if (cp >= 0xdc00 && cp < 0xe000) {
+                        return fail("stray low surrogate");
+                    }
+                    appendUtf8(out, cp);
+                    break;
+                }
+                default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            out.push_back(static_cast<char>(c));
+            ++p;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        // Validate the JSON grammar by hand, then let strtod convert:
+        // strtod alone accepts hex, inf and leading '+', none of which
+        // are JSON.
+        const char *start = p;
+        if (p < end && *p == '-')
+            ++p;
+        if (p >= end || *p < '0' || *p > '9')
+            return fail("malformed number");
+        if (*p == '0') {
+            ++p;
+        } else {
+            while (p < end && *p >= '0' && *p <= '9')
+                ++p;
+        }
+        if (p < end && *p == '.') {
+            ++p;
+            if (p >= end || *p < '0' || *p > '9')
+                return fail("malformed fraction");
+            while (p < end && *p >= '0' && *p <= '9')
+                ++p;
+        }
+        if (p < end && (*p == 'e' || *p == 'E')) {
+            ++p;
+            if (p < end && (*p == '+' || *p == '-'))
+                ++p;
+            if (p >= end || *p < '0' || *p > '9')
+                return fail("malformed exponent");
+            while (p < end && *p >= '0' && *p <= '9')
+                ++p;
+        }
+        std::string buf(start, p);
+        char *conv_end = nullptr;
+        out = std::strtod(buf.c_str(), &conv_end);
+        if (conv_end != buf.c_str() + buf.size())
+            return fail("number conversion failed");
+        if (std::isinf(out))
+            return fail("number out of range");
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (p >= end)
+            return fail("unexpected end of input");
+        switch (*p) {
+        case '{': {
+            ++p;
+            out = JsonValue::makeObject();
+            skipWs();
+            if (p < end && *p == '}') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (p >= end || *p != ':')
+                    return fail("expected ':'");
+                ++p;
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.set(std::move(key), std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == '}') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        case '[': {
+            ++p;
+            out = JsonValue::makeArray();
+            skipWs();
+            if (p < end && *p == ']') {
+                ++p;
+                return true;
+            }
+            while (true) {
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.append(std::move(v));
+                skipWs();
+                if (p < end && *p == ',') {
+                    ++p;
+                    continue;
+                }
+                if (p < end && *p == ']') {
+                    ++p;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        case '"': {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = JsonValue::makeString(std::move(s));
+            return true;
+        }
+        case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out = JsonValue::makeBool(true);
+            return true;
+        case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out = JsonValue::makeBool(false);
+            return true;
+        case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out = JsonValue::makeNull();
+            return true;
+        default: {
+            double d;
+            if (!parseNumber(d))
+                return false;
+            out = JsonValue::makeNumber(d);
+            return true;
+        }
+        }
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::string
+JsonValue::getString(std::string_view key, const std::string &dflt) const
+{
+    const JsonValue *v = find(key);
+    return v != nullptr && v->isString() ? v->str() : dflt;
+}
+
+double
+JsonValue::getNumber(std::string_view key, double dflt) const
+{
+    const JsonValue *v = find(key);
+    return v != nullptr && v->isNumber() ? v->number() : dflt;
+}
+
+bool
+JsonValue::getBool(std::string_view key, bool dflt) const
+{
+    const JsonValue *v = find(key);
+    return v != nullptr && v->isBool() ? v->boolean() : dflt;
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double d)
+{
+    JsonValue v;
+    v.type_ = Type::Number;
+    v.num_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.type_ = Type::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v.type_ = Type::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v.type_ = Type::Object;
+    return v;
+}
+
+void
+JsonValue::append(JsonValue v)
+{
+    arr_.push_back(std::move(v));
+}
+
+void
+JsonValue::set(std::string key, JsonValue v)
+{
+    for (auto &[k, old] : obj_) {
+        if (k == key) {
+            old = std::move(v);
+            return;
+        }
+    }
+    obj_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonValue::dump() const
+{
+    switch (type_) {
+    case Type::Null:
+        return "null";
+    case Type::Bool:
+        return bool_ ? "true" : "false";
+    case Type::Number: {
+        char buf[32];
+        // %.17g round-trips every double exactly through strtod.
+        std::snprintf(buf, sizeof(buf), "%.17g", num_);
+        return buf;
+    }
+    case Type::String:
+        return "\"" + jsonEscape(str_) + "\"";
+    case Type::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < arr_.size(); ++i) {
+            if (i != 0)
+                out += ",";
+            out += arr_[i].dump();
+        }
+        out += "]";
+        return out;
+    }
+    case Type::Object: {
+        std::string out = "{";
+        for (std::size_t i = 0; i < obj_.size(); ++i) {
+            if (i != 0)
+                out += ",";
+            out += "\"" + jsonEscape(obj_[i].first) +
+                   "\":" + obj_[i].second.dump();
+        }
+        out += "}";
+        return out;
+    }
+    }
+    return "null";
+}
+
+bool
+JsonValue::parse(std::string_view text, JsonValue &out, std::string *err)
+{
+    Parser ps{text.data(), text.data() + text.size(), err};
+    if (!ps.parseValue(out, 0))
+        return false;
+    ps.skipWs();
+    if (ps.p != ps.end)
+        return ps.fail("trailing garbage after JSON value");
+    return true;
+}
+
+} // namespace smtp::serve

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal JSON value model for the smtpd wire protocol — a parser and
+ * writer with no dependencies, tuned for hostile input: depth-limited
+ * recursion, strict escape validation, no trailing garbage, and every
+ * failure is a diagnostic, never UB (the wire tests feed it torn and
+ * malformed frames under ASan).
+ *
+ * Deliberately small: objects are string->Value maps (insertion order
+ * preserved for deterministic re-serialization), numbers are doubles
+ * (the protocol carries 64-bit identities as hex *strings*, so double
+ * precision never truncates an id), and there is no streaming — a
+ * frame is parsed whole, which the 16 MiB frame cap bounds.
+ */
+
+#ifndef SMTP_SERVE_JSON_HPP
+#define SMTP_SERVE_JSON_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smtp::serve
+{
+
+class JsonValue
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return num_; }
+    const std::string &str() const { return str_; }
+    const std::vector<JsonValue> &array() const { return arr_; }
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return obj_;
+    }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    // Typed member accessors with defaults (absent or wrong type =>
+    // the default) — the tolerant half of the protocol reader. Use
+    // with Server's unknown-field rejection for the strict half.
+    std::string getString(std::string_view key,
+                          const std::string &dflt = "") const;
+    double getNumber(std::string_view key, double dflt = 0.0) const;
+    bool getBool(std::string_view key, bool dflt = false) const;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double d);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    void append(JsonValue v); ///< Array element.
+    void set(std::string key, JsonValue v); ///< Object member.
+
+    /**
+     * Serialize. Numbers use %.17g — the shortest printf format that
+     * round-trips every IEEE-754 double through strtod exactly, which
+     * is what lets a client re-serialize received metrics without
+     * changing a byte.
+     */
+    std::string dump() const;
+
+    /**
+     * Parse @p text as exactly one JSON value (trailing whitespace
+     * allowed, trailing garbage rejected). False with *err on any
+     * malformed input; @p out is unspecified then.
+     */
+    static bool parse(std::string_view text, JsonValue &out,
+                      std::string *err = nullptr);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(std::string_view s);
+
+} // namespace smtp::serve
+
+#endif // SMTP_SERVE_JSON_HPP

@@ -1,0 +1,311 @@
+#include "serve/proto.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace smtp::serve
+{
+
+namespace
+{
+
+bool
+failParse(std::string *err, const std::string &msg)
+{
+    if (err != nullptr)
+        *err = msg;
+    return false;
+}
+
+/**
+ * Fetch a non-negative integral member. Numbers arrive as doubles;
+ * anything fractional, negative, or beyond 2^53 is rejected rather
+ * than truncated.
+ */
+bool
+getUint(const JsonValue &obj, const char *key, std::uint64_t &out,
+        std::string *err)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return true; // Absent: keep the default.
+    if (!v->isNumber())
+        return failParse(err, std::string("field '") + key +
+                                  "' must be a number");
+    double d = v->number();
+    if (d < 0 || d != std::floor(d) || d > 9007199254740992.0)
+        return failParse(err, std::string("field '") + key +
+                                  "' must be a non-negative integer");
+    out = static_cast<std::uint64_t>(d);
+    return true;
+}
+
+bool
+getBoolStrict(const JsonValue &obj, const char *key, bool &out,
+              std::string *err)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return true;
+    if (!v->isBool())
+        return failParse(err, std::string("field '") + key +
+                                  "' must be a boolean");
+    out = v->boolean();
+    return true;
+}
+
+bool
+getStringStrict(const JsonValue &obj, const char *key, std::string &out,
+                std::string *err)
+{
+    const JsonValue *v = obj.find(key);
+    if (v == nullptr)
+        return true;
+    if (!v->isString())
+        return failParse(err, std::string("field '") + key +
+                                  "' must be a string");
+    out = v->str();
+    return true;
+}
+
+} // namespace
+
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+parseHex64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty() || s.size() > 16)
+        return false;
+    out = 0;
+    for (char c : s) {
+        out <<= 4;
+        if (c >= '0' && c <= '9')
+            out |= static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            out |= static_cast<std::uint64_t>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            out |= static_cast<std::uint64_t>(c - 'A' + 10);
+        else
+            return false;
+    }
+    return true;
+}
+
+JsonValue
+resultToJson(const RunResult &r)
+{
+    JsonValue v = JsonValue::makeObject();
+    auto num = [](double d) { return JsonValue::makeNumber(d); };
+    auto u64 = [&num](std::uint64_t x) {
+        return num(static_cast<double>(x));
+    };
+    v.set("exec_ticks", u64(r.execTime));
+    v.set("mem_stall", num(r.memStallFraction));
+    v.set("peak_proto_occ", num(r.peakProtocolOccupancy));
+    v.set("proto_br_mis", num(r.protoBranchMispredict));
+    v.set("proto_squash_pct", num(r.protoSquashCyclePct));
+    v.set("proto_retired_pct", num(r.protoRetiredPct));
+    v.set("peak_branch_stack", u64(r.peakBranchStack));
+    v.set("peak_int_regs", u64(r.peakIntRegs));
+    v.set("peak_int_queue", u64(r.peakIntQueue));
+    v.set("peak_lsq", u64(r.peakLsq));
+    v.set("faults_injected", u64(r.faultsInjected));
+    v.set("faults_recovered", u64(r.faultsRecovered));
+    v.set("sampled", JsonValue::makeBool(r.sampled));
+    v.set("samples", num(r.sampleCount));
+    v.set("ipc_mean", num(r.ipcMean));
+    v.set("ipc_ci95", num(r.ipcCi95));
+    v.set("memstall_mean", num(r.memStallMean));
+    v.set("memstall_ci95", num(r.memStallCi95));
+    v.set("ckpt", num(r.ckpt));
+    v.set("exec_serialized", JsonValue::makeBool(r.execSerialized));
+    v.set("wall_ms", num(r.wallMs));
+    return v;
+}
+
+RunResult
+resultFromJson(const JsonValue &v)
+{
+    RunResult r;
+    auto u64 = [&v](const char *key, std::uint64_t dflt) {
+        double d = v.getNumber(key, static_cast<double>(dflt));
+        return d < 0 ? dflt : static_cast<std::uint64_t>(d);
+    };
+    r.execTime = u64("exec_ticks", r.execTime);
+    r.memStallFraction = v.getNumber("mem_stall");
+    r.peakProtocolOccupancy = v.getNumber("peak_proto_occ");
+    r.protoBranchMispredict = v.getNumber("proto_br_mis");
+    r.protoSquashCyclePct = v.getNumber("proto_squash_pct");
+    r.protoRetiredPct = v.getNumber("proto_retired_pct");
+    r.peakBranchStack = u64("peak_branch_stack", 0);
+    r.peakIntRegs = u64("peak_int_regs", 0);
+    r.peakIntQueue = u64("peak_int_queue", 0);
+    r.peakLsq = u64("peak_lsq", 0);
+    r.faultsInjected = u64("faults_injected", 0);
+    r.faultsRecovered = u64("faults_recovered", 0);
+    r.sampled = v.getBool("sampled");
+    r.sampleCount = static_cast<unsigned>(v.getNumber("samples"));
+    r.ipcMean = v.getNumber("ipc_mean");
+    r.ipcCi95 = v.getNumber("ipc_ci95");
+    r.memStallMean = v.getNumber("memstall_mean");
+    r.memStallCi95 = v.getNumber("memstall_ci95");
+    r.ckpt = static_cast<int>(v.getNumber("ckpt", -1));
+    r.execSerialized = v.getBool("exec_serialized");
+    r.wallMs = v.getNumber("wall_ms");
+    return r;
+}
+
+JsonValue
+cellToJson(const RunConfig &cfg)
+{
+    JsonValue cell = JsonValue::makeObject();
+    cell.set("model",
+             JsonValue::makeString(std::string(modelName(cfg.model))));
+    cell.set("nodes", JsonValue::makeNumber(cfg.nodes));
+    cell.set("ways", JsonValue::makeNumber(cfg.ways));
+    cell.set("app", JsonValue::makeString(cfg.app));
+    cell.set("scale", JsonValue::makeNumber(cfg.scale));
+    cell.set("cpu_mhz",
+             JsonValue::makeNumber(static_cast<double>(cfg.cpuFreqMHz)));
+    cell.set("las", JsonValue::makeBool(cfg.lookAheadScheduling));
+    cell.set("bitops", JsonValue::makeBool(cfg.bitAssistOps));
+    cell.set("pcache", JsonValue::makeBool(cfg.perfectProtocolCaches));
+    cell.set("dir_cache_divisor",
+             JsonValue::makeNumber(cfg.dirCacheDivisor));
+    cell.set("heap_kernel", JsonValue::makeBool(cfg.heapEventKernel));
+    cell.set("exec", JsonValue::makeString(cfg.exec.toString()));
+    cell.set("check",
+             JsonValue::makeString(checkLevelName(cfg.checkLevel)));
+    if (cfg.sample.active()) {
+        cell.set("sample",
+                 JsonValue::makeString(
+                     std::to_string(cfg.sample.warmup) + ":" +
+                     std::to_string(cfg.sample.interval) + ":" +
+                     std::to_string(cfg.sample.count)));
+    }
+    if (cfg.faults.enabled())
+        cell.set("faults", JsonValue::makeString(cfg.faults.toString()));
+    cell.set("retry", JsonValue::makeString(
+                          fault::retryPolicyToString(cfg.retryPolicy)));
+    if (!cfg.traceStem.empty())
+        cell.set("trace", JsonValue::makeBool(true));
+    if (cfg.traceExec)
+        cell.set("trace_exec", JsonValue::makeBool(true));
+    return cell;
+}
+
+bool
+cellFromJson(const JsonValue &cell, RunConfig &out, std::string *err)
+{
+    if (!cell.isObject())
+        return failParse(err, "cell must be a JSON object");
+    static const char *const kKnown[] = {
+        "model", "nodes", "ways", "app", "scale", "cpu_mhz", "las",
+        "bitops", "pcache", "dir_cache_divisor", "heap_kernel", "exec",
+        "check", "sample", "faults", "retry", "trace", "trace_exec",
+        "ckpt_dir", // Accepted and ignored: the daemon owns the farm.
+    };
+    for (const auto &[key, value] : cell.members()) {
+        bool known = false;
+        for (const char *k : kKnown)
+            known = known || key == k;
+        if (!known)
+            return failParse(err, "unknown cell field '" + key + "'");
+    }
+
+    out = RunConfig{};
+    std::string model;
+    if (!getStringStrict(cell, "model", model, err))
+        return false;
+    if (!model.empty() && !modelFromName(model, out.model))
+        return failParse(err, "unknown machine model '" + model + "'");
+
+    std::uint64_t u;
+    u = out.nodes;
+    if (!getUint(cell, "nodes", u, err))
+        return false;
+    if (u == 0 || u > 4096)
+        return failParse(err, "nodes out of range");
+    out.nodes = static_cast<unsigned>(u);
+    u = out.ways;
+    if (!getUint(cell, "ways", u, err))
+        return false;
+    if (u == 0 || u > 64)
+        return failParse(err, "ways out of range");
+    out.ways = static_cast<unsigned>(u);
+
+    if (!getStringStrict(cell, "app", out.app, err))
+        return false;
+    const JsonValue *scale = cell.find("scale");
+    if (scale != nullptr) {
+        if (!scale->isNumber() || scale->number() <= 0)
+            return failParse(err, "scale must be a positive number");
+        out.scale = scale->number();
+    }
+    u = out.cpuFreqMHz;
+    if (!getUint(cell, "cpu_mhz", u, err))
+        return false;
+    if (u == 0)
+        return failParse(err, "cpu_mhz must be positive");
+    out.cpuFreqMHz = u;
+    if (!getBoolStrict(cell, "las", out.lookAheadScheduling, err) ||
+        !getBoolStrict(cell, "bitops", out.bitAssistOps, err) ||
+        !getBoolStrict(cell, "pcache", out.perfectProtocolCaches, err) ||
+        !getBoolStrict(cell, "heap_kernel", out.heapEventKernel, err) ||
+        !getBoolStrict(cell, "trace_exec", out.traceExec, err))
+        return false;
+    u = out.dirCacheDivisor;
+    if (!getUint(cell, "dir_cache_divisor", u, err))
+        return false;
+    if (u == 0 || u > 65536)
+        return failParse(err, "dir_cache_divisor out of range");
+    out.dirCacheDivisor = static_cast<unsigned>(u);
+
+    std::string spec;
+    spec.clear();
+    if (!getStringStrict(cell, "exec", spec, err))
+        return false;
+    if (!spec.empty() && !ExecParams::parse(spec, out.exec, err))
+        return false;
+    spec.clear();
+    if (!getStringStrict(cell, "check", spec, err))
+        return false;
+    if (!spec.empty() && !parseCheckLevel(spec, out.checkLevel, err))
+        return false;
+    spec.clear();
+    if (!getStringStrict(cell, "sample", spec, err))
+        return false;
+    if (!spec.empty() && !SampleSpec::parse(spec, out.sample, err))
+        return false;
+    spec.clear();
+    if (!getStringStrict(cell, "faults", spec, err))
+        return false;
+    if (!spec.empty() && !fault::FaultPlan::parse(spec, out.faults, err))
+        return false;
+    spec.clear();
+    if (!getStringStrict(cell, "retry", spec, err))
+        return false;
+    if (!spec.empty() &&
+        !fault::parseRetryPolicy(spec, out.retryPolicy, err))
+        return false;
+
+    // "trace" is a request flag: the daemon assigns the stem under its
+    // own state dir, so the client never names server-side paths.
+    bool wantTrace = false;
+    if (!getBoolStrict(cell, "trace", wantTrace, err))
+        return false;
+    if (wantTrace)
+        out.traceStem = "?"; // Placeholder; server substitutes.
+    return true;
+}
+
+} // namespace smtp::serve

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * smtpd message vocabulary: converting sweep cells (serve::RunConfig)
+ * to and from the JSON carried in wire frames.
+ *
+ * The reader is strict — every unknown member of a cell object is a
+ * hard error, not a warning. A misspelled "scael" that silently fell
+ * back to a default would produce a *valid-looking* record for the
+ * wrong experiment, which is the worst failure mode a results daemon
+ * can have. cellToJson()/cellFromJson() round-trip exactly, so a
+ * client-side RunConfig and the daemon-side one it becomes have equal
+ * cellKey() — the dedup identity survives the wire.
+ *
+ * One RunConfig field never crosses the wire meaningfully: ckptDir.
+ * The daemon owns a single checkpoint farm for all clients (that
+ * sharing is the point of the service); a client-sent "ckpt_dir" is
+ * accepted for CLI symmetry and ignored, documented in docs/service.md.
+ */
+
+#ifndef SMTP_SERVE_PROTO_HPP
+#define SMTP_SERVE_PROTO_HPP
+
+#include <string>
+
+#include "serve/json.hpp"
+#include "serve/runner.hpp"
+
+namespace smtp::serve
+{
+
+/** Serialize one sweep cell for a submit request. */
+JsonValue cellToJson(const RunConfig &cfg);
+
+/**
+ * Structured form of a RunResult for a "cell" reply frame. Numbers are
+ * re-serialized with %.17g (JsonValue::dump), which round-trips every
+ * double exactly — the structured fields agree bit-for-bit with the
+ * verbatim record that travels alongside them.
+ */
+JsonValue resultToJson(const RunResult &r);
+
+/** Inverse of resultToJson (tolerant: absent members keep defaults). */
+RunResult resultFromJson(const JsonValue &v);
+
+/**
+ * Parse one cell object. False with *err on any unknown member, wrong
+ * type, or unparsable spec string (exec/check/sample/faults/retry).
+ * @p out is default-initialized first, so omitted members get the
+ * RunConfig defaults.
+ */
+bool cellFromJson(const JsonValue &cell, RunConfig &out,
+                  std::string *err = nullptr);
+
+/** 16-hex-digit lower-case form used for ids and cell keys on the wire. */
+std::string hex64(std::uint64_t v);
+
+/** Parse hex64 output (also accepts shorter hex strings). */
+bool parseHex64(const std::string &s, std::uint64_t &out);
+
+} // namespace smtp::serve
+
+#endif // SMTP_SERVE_PROTO_HPP

@@ -1,0 +1,480 @@
+#include "serve/runner.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "snap/ckpt_cache.hpp"
+#include "workload/app.hpp"
+
+namespace smtp::serve
+{
+
+bool
+SampleSpec::parse(const std::string &spec, SampleSpec &out,
+                  std::string *err)
+{
+    unsigned long long w = 0, m = 0, k = 0;
+    char trailing = 0;
+    int n = std::sscanf(spec.c_str(), "%llu:%llu:%llu%c", &w, &m, &k,
+                        &trailing);
+    if (n != 3 || m == 0 || k == 0) {
+        if (err != nullptr)
+            *err = "expected W:M:K (cycles:cycles:count, M and K > 0), "
+                   "got '" +
+                   spec + "'";
+        return false;
+    }
+    out.warmup = w;
+    out.interval = m;
+    out.count = static_cast<unsigned>(k);
+    return true;
+}
+
+namespace
+{
+
+/**
+ * One sweep cell's simulation state: machine + functional memory +
+ * workload, wired together. Rebuildable, because a failed snapshot
+ * restore may leave the machine partially mutated — the fallback path
+ * constructs a fresh cell and simulates from tick zero.
+ */
+struct CellSim
+{
+    MachineParams mp;
+    std::unique_ptr<FuncMem> mem;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<workload::App> app;
+    unsigned totalThreads = 0;
+
+    void
+    build(const RunConfig &cfg)
+    {
+        machine.reset();
+        mem = std::make_unique<FuncMem>();
+        machine = std::make_unique<Machine>(mp);
+        app = workload::makeApp(cfg.app);
+        workload::WorkloadEnv env;
+        env.mem = mem.get();
+        env.map = &machine->addressMap();
+        env.nodes = cfg.nodes;
+        env.threadsPerNode = cfg.ways;
+        env.scale = cfg.scale;
+        app->build(env);
+        totalThreads = env.totalThreads();
+        for (unsigned t = 0; t < totalThreads; ++t)
+            machine->setGlobalSource(t, app->thread(t));
+        machine->setWorkloadState(app.get());
+    }
+};
+
+/**
+ * Checkpoint-library identity: the machine config hash mixed with
+ * everything that shapes *simulated state* but lives outside
+ * MachineParams — the workload, and whether telemetry rides along (a
+ * traced snapshot carries a trace section an untraced machine must not
+ * be handed, and vice versa). Deliberately narrower than cellKey():
+ * sample runs with different interval counts share one warmup
+ * snapshot (the tag carries the warmup length), and checker level
+ * never reaches the library (checked cells bypass it).
+ */
+std::uint64_t
+snapKey(const RunConfig &cfg)
+{
+    snap::Hasher h;
+    h.mix(machineConfigHash(paramsFor(cfg)));
+    h.mix("workload");
+    h.mix(cfg.app);
+    h.mixF(cfg.scale);
+    h.mix(static_cast<std::uint64_t>(cfg.traceStem.empty() ? 0 : 1));
+    // Exec-traced snapshots carry per-shard exec buffers a plainly
+    // traced machine would refuse, so they get their own cache cells.
+    h.mix(static_cast<std::uint64_t>(cfg.traceExec ? 1 : 0));
+    return h.value();
+}
+
+/** Two-sided 95% Student's t critical value for @p df degrees. */
+double
+tCrit95(unsigned df)
+{
+    static const double kTable[30] = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+        2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+        2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+    if (df == 0)
+        return 0.0;
+    if (df <= 30)
+        return kTable[df - 1];
+    return 1.96;
+}
+
+/** Sample mean and 95% CI half-width (0 when n < 2). */
+void
+meanCi95(const std::vector<double> &xs, double &mean, double &ci)
+{
+    mean = 0.0;
+    ci = 0.0;
+    if (xs.empty())
+        return;
+    for (double x : xs)
+        mean += x;
+    mean /= static_cast<double>(xs.size());
+    if (xs.size() < 2)
+        return;
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - mean) * (x - mean);
+    double var = ss / static_cast<double>(xs.size() - 1);
+    ci = tCrit95(static_cast<unsigned>(xs.size() - 1)) *
+         std::sqrt(var / static_cast<double>(xs.size()));
+}
+
+/**
+ * Read every derived metric off the machine's current state. Works
+ * identically on a machine that just simulated and on one that just
+ * restored a snapshot — that equivalence is what makes checkpoint
+ * hits indistinguishable in the JSON output.
+ */
+void
+extractMetrics(Machine &machine, const RunConfig &cfg, RunResult &out,
+               bool quiesce_faults)
+{
+    out.execTime = machine.execTime();
+    out.memStallFraction = machine.memStallFraction();
+    out.peakProtocolOccupancy = machine.peakProtocolOccupancy();
+    out.execSerialized = machine.execSerializedByChecker();
+    if (cfg.model == MachineModel::SMTp) {
+        auto pc = machine.protoCharacteristics();
+        out.protoBranchMispredict = pc.branchMispredictRate;
+        out.protoSquashCyclePct = pc.squashCyclePct;
+        out.protoRetiredPct = pc.retiredInstPct;
+        for (unsigned n = 0; n < cfg.nodes; ++n) {
+            const auto &occ = machine.node(n).cpu->protoOccupancy;
+            out.peakBranchStack =
+                std::max(out.peakBranchStack, occ.branchStack.peak());
+            out.peakIntRegs =
+                std::max(out.peakIntRegs, occ.intRegs.peak());
+            out.peakIntQueue =
+                std::max(out.peakIntQueue, occ.intQueue.peak());
+            out.peakLsq = std::max(out.peakLsq, occ.lsq.peak());
+        }
+    }
+    if (!cfg.traceStem.empty()) {
+        std::string err;
+        if (!machine.writeTraceFiles(cfg.traceStem, &err))
+            std::fprintf(stderr, "trace export failed: %s\n", err.c_str());
+    }
+    if (const auto *fi = machine.faultInjector(); fi != nullptr) {
+        // Faulty cells must still drain cleanly: every injected fault
+        // is recoverable, so residual traffic is a harness bug. A
+        // restored machine was quiesced before its snapshot was saved.
+        if (quiesce_faults)
+            machine.quiesce();
+        out.faultsInjected = fi->injectedTotal();
+        out.faultsRecovered = fi->recoveredTotal();
+    }
+}
+
+void
+saveCheckpoint(Machine &machine, snap::CheckpointLibrary &lib,
+               std::uint64_t key, std::string_view tag)
+{
+    std::string err;
+    if (!machine.save(lib.pathFor(key, tag), &err))
+        std::fprintf(stderr, "checkpoint save failed: %s\n", err.c_str());
+}
+
+/**
+ * Restore @p sim from the library snapshot (key, tag). On any failure
+ * — config-hash mismatch from a stale library, truncation, version
+ * skew — the cell is rebuilt from scratch and the caller simulates
+ * cold; a bad snapshot can cost time, never correctness.
+ */
+bool
+tryRestore(CellSim &sim, const RunConfig &cfg,
+           snap::CheckpointLibrary &lib, std::uint64_t key,
+           std::string_view tag)
+{
+    std::string err;
+    if (sim.machine->restore(lib.pathFor(key, tag), &err))
+        return true;
+    std::fprintf(stderr,
+                 "checkpoint restore failed (%s); re-simulating: %s\n",
+                 lib.pathFor(key, tag).c_str(), err.c_str());
+    sim.build(cfg);
+    return false;
+}
+
+/**
+ * Sampled measurement: warm up W cycles (restoring a shared warmup
+ * snapshot when the library has one), then measure K intervals of M
+ * cycles, reporting per-interval machine IPC and memory-stall fraction
+ * as mean +/- 95% CI. Ends early if the workload completes.
+ */
+void
+runSampled(CellSim &sim, const RunConfig &cfg,
+           snap::CheckpointLibrary *lib, RunResult &out)
+{
+    const SampleSpec &sp = cfg.sample;
+    out.sampled = true;
+    ClockDomain clk(cfg.cpuFreqMHz);
+    Tick warm_ticks = clk.cyclesToTicks(sp.warmup);
+    bool done = false;
+    if (lib != nullptr && sp.warmup > 0) {
+        std::uint64_t key = snapKey(cfg);
+        char tag[32];
+        std::snprintf(tag, sizeof(tag), "w%llu",
+                      static_cast<unsigned long long>(sp.warmup));
+        if (lib->lookup(key, tag) && tryRestore(sim, cfg, *lib, key, tag)) {
+            out.ckpt = 1;
+        } else {
+            out.ckpt = 0;
+            done = sim.machine->runUntil(warm_ticks);
+            // A workload that finished inside the warmup left an end
+            // state, not a warm state; publishing it would make warm
+            // reruns diverge from cold ones (extra sample intervals
+            // against a finished machine), so the cell stays a miss.
+            if (!done)
+                saveCheckpoint(*sim.machine, *lib, key, tag);
+        }
+    } else if (warm_ticks > 0) {
+        done = sim.machine->runUntil(warm_ticks);
+    }
+
+    Machine &m = *sim.machine;
+    auto stall_sum = [&] {
+        std::uint64_t s = 0;
+        for (unsigned n = 0; n < cfg.nodes; ++n)
+            for (unsigned t = 0; t < cfg.ways; ++t)
+                s += m.node(n)
+                         .cpu->threadStats(static_cast<ThreadId>(t))
+                         .memStallCycles.value();
+        return s;
+    };
+    Tick interval_ticks = clk.cyclesToTicks(sp.interval);
+    Tick base = m.eventQueue().curTick();
+    Tick prev_tick = base;
+    std::uint64_t prev_insts = m.committedAppInsts();
+    std::uint64_t prev_stall = stall_sum();
+    std::vector<double> ipc, stall;
+    for (unsigned k = 0; k < sp.count && !done; ++k) {
+        done = m.runUntil(base + (k + 1) * interval_ticks);
+        Tick now = m.eventQueue().curTick();
+        double cycles = static_cast<double>(now - prev_tick) /
+                        static_cast<double>(clk.period());
+        if (cycles <= 0.0)
+            break;
+        std::uint64_t insts = m.committedAppInsts();
+        std::uint64_t st = stall_sum();
+        ipc.push_back(static_cast<double>(insts - prev_insts) / cycles);
+        stall.push_back(static_cast<double>(st - prev_stall) /
+                        (cycles * sim.totalThreads));
+        prev_tick = now;
+        prev_insts = insts;
+        prev_stall = st;
+    }
+    out.sampleCount = static_cast<unsigned>(ipc.size());
+    meanCi95(ipc, out.ipcMean, out.ipcCi95);
+    meanCi95(stall, out.memStallMean, out.memStallCi95);
+    // Cumulative metrics reflect the run so far (warmup + intervals);
+    // quiesce only when the workload actually finished — draining a
+    // mid-flight machine would perturb nothing we report but is wasted
+    // work and not what a sampled cell means.
+    extractMetrics(m, cfg, out, /*quiesce_faults=*/done);
+}
+
+} // namespace
+
+const char *
+checkLevelName(check::CheckLevel lv)
+{
+    switch (lv) {
+      case check::CheckLevel::Off: return "off";
+      case check::CheckLevel::Asserts: return "asserts";
+      case check::CheckLevel::FullMirror: return "full";
+    }
+    return "?";
+}
+
+bool
+parseCheckLevel(const std::string &s, check::CheckLevel &out,
+                std::string *err)
+{
+    if (s == "off")
+        out = check::CheckLevel::Off;
+    else if (s == "asserts")
+        out = check::CheckLevel::Asserts;
+    else if (s == "full")
+        out = check::CheckLevel::FullMirror;
+    else {
+        if (err != nullptr)
+            *err = "expected off|asserts|full, got '" + s + "'";
+        return false;
+    }
+    return true;
+}
+
+MachineParams
+paramsFor(const RunConfig &cfg)
+{
+    MachineParams mp;
+    mp.model = cfg.model;
+    mp.nodes = cfg.nodes;
+    mp.appThreadsPerNode = cfg.ways;
+    mp.cpuFreqMHz = cfg.cpuFreqMHz;
+    mp.lookAheadScheduling = cfg.lookAheadScheduling;
+    mp.bitAssistOps = cfg.bitAssistOps;
+    mp.perfectProtocolCaches = cfg.perfectProtocolCaches;
+    mp.dirCacheDivisor = cfg.dirCacheDivisor;
+    mp.eventKernel = cfg.heapEventKernel ? EventQueue::Kernel::Heap
+                                         : EventQueue::Kernel::Wheel;
+    mp.exec = cfg.exec;
+    mp.checkLevel = cfg.checkLevel;
+    mp.trace.enabled = !cfg.traceStem.empty();
+    if (cfg.traceExec)
+        mp.trace.categories |= trace::categoryBit(trace::Category::Exec);
+    mp.faults = cfg.faults;
+    mp.retryPolicy = cfg.retryPolicy;
+    return mp;
+}
+
+std::uint64_t
+cellKey(const RunConfig &cfg)
+{
+    // Record identity = snapshot identity plus everything else that
+    // shapes jsonRecord() bytes: checker level (the "check" field and
+    // the serialized-fallback flag), exec mode (the "exec" field), and
+    // the sample spec (the sampled-statistics fields).
+    snap::Hasher h;
+    h.mix(snapKey(cfg));
+    h.mix(static_cast<std::uint64_t>(cfg.checkLevel));
+    h.mix(cfg.exec.toString());
+    h.mix(static_cast<std::uint64_t>(cfg.sample.warmup));
+    h.mix(static_cast<std::uint64_t>(cfg.sample.interval));
+    h.mix(static_cast<std::uint64_t>(cfg.sample.count));
+    return h.value();
+}
+
+RunResult
+runOnce(const RunConfig &cfg)
+{
+    auto wall_start = std::chrono::steady_clock::now();
+
+    CellSim sim;
+    sim.mp = paramsFor(cfg);
+    sim.build(cfg);
+
+    // Checked cells bypass the checkpoint library wholesale: restore
+    // requires checkLevel Off (mirror state is not serialized), and a
+    // checked cell's purpose is to observe every transition itself.
+    std::unique_ptr<snap::CheckpointLibrary> lib;
+    if (!cfg.ckptDir.empty() &&
+        cfg.checkLevel == check::CheckLevel::Off) {
+        lib = std::make_unique<snap::CheckpointLibrary>(cfg.ckptDir);
+        if (!lib->valid()) {
+            std::fprintf(stderr, "%s\n", lib->error().c_str());
+            lib.reset();
+        }
+    }
+
+    RunResult out;
+    if (cfg.sample.active()) {
+        runSampled(sim, cfg, lib.get(), out);
+    } else if (lib != nullptr) {
+        std::uint64_t key = snapKey(cfg);
+        if (lib->lookup(key, "full") &&
+            tryRestore(sim, cfg, *lib, key, "full")) {
+            out.ckpt = 1;
+            extractMetrics(*sim.machine, cfg, out,
+                           /*quiesce_faults=*/false);
+        } else {
+            out.ckpt = 0;
+            sim.machine->run();
+            extractMetrics(*sim.machine, cfg, out,
+                           /*quiesce_faults=*/true);
+            saveCheckpoint(*sim.machine, *lib, key, "full");
+        }
+    } else {
+        sim.machine->run();
+        extractMetrics(*sim.machine, cfg, out, /*quiesce_faults=*/true);
+        // A checked cell drains to a quiet point so the checker can
+        // age out residual transactions — and, at FullMirror level,
+        // cross-check its mirrors (Machine::quiesce calls
+        // verifyQuiescent). After extractMetrics: quiescing first
+        // would perturb cumulative metrics vs. an unchecked run.
+        if (cfg.checkLevel != check::CheckLevel::Off)
+            sim.machine->quiesce();
+    }
+    out.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
+    return out;
+}
+
+std::string
+jsonRecord(const RunConfig &c, const RunResult &r)
+{
+    // Fault fields are appended only for faulty cells so fault-free
+    // records stay byte-identical to pre-fault-subsystem output.
+    std::string fault_fields;
+    if (c.faults.enabled() || c.faults.injectDropWithoutRetransmit) {
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\"fault_seed\":%llu,\"faults\":\"%s\",\"retry\":\"%s\","
+            "\"faults_injected\":%llu,\"faults_recovered\":%llu",
+            static_cast<unsigned long long>(c.faults.seed),
+            c.faults.toString().c_str(),
+            fault::retryPolicyToString(c.retryPolicy).c_str(),
+            static_cast<unsigned long long>(r.faultsInjected),
+            static_cast<unsigned long long>(r.faultsRecovered));
+        fault_fields = buf;
+    }
+    // Sampled-measurement fields appear only in --sample runs, so
+    // full-run records stay byte-identical to earlier output.
+    std::string sample_fields;
+    if (r.sampled) {
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\"samples\":%u,\"ipc_mean\":%.6f,\"ipc_ci95\":%.6f,"
+            "\"memstall_mean\":%.6f,\"memstall_ci95\":%.6f",
+            r.sampleCount, r.ipcMean, r.ipcCi95, r.memStallMean,
+            r.memStallCi95);
+        sample_fields = buf;
+    }
+    // The exec field is ALWAYS present ("serial" included) so ingest —
+    // diff scripts, the daemon's dedup — never special-cases its
+    // absence. A full-mirror run that overrode a parallel request
+    // additionally says so: the record must never read as parallel
+    // when one host thread did the work.
+    std::string exec_field = ",\"exec\":\"" + c.exec.toString() + "\"";
+    if (r.execSerialized)
+        exec_field += ",\"exec_serialized\":true";
+    if (c.checkLevel != check::CheckLevel::Off) {
+        exec_field += ",\"check\":\"";
+        exec_field += checkLevelName(c.checkLevel);
+        exec_field += "\"";
+    }
+    char line[1024];
+    std::snprintf(
+        line, sizeof(line),
+        "{\"app\":\"%s\",\"model\":\"%s\",\"nodes\":%u,\"ways\":%u,"
+        "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s%s%s,\"wall_ms\":%.3f}",
+        c.app.c_str(), std::string(modelName(c.model)).c_str(), c.nodes,
+        c.ways, static_cast<unsigned long long>(r.execTime),
+        r.memStallFraction, fault_fields.c_str(), sample_fields.c_str(),
+        exec_field.c_str(), r.wallMs);
+    return line;
+}
+
+void
+appendJsonRecord(std::FILE *f, const RunConfig &cfg, const RunResult &r)
+{
+    std::fprintf(f, "%s\n", jsonRecord(cfg, r).c_str());
+}
+
+} // namespace smtp::serve

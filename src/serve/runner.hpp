@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The shared sweep-cell runner: one full-system simulation per
+ * (application, machine model, size) cell, with checkpoint-library
+ * integration and sampled measurement.
+ *
+ * Both front ends run cells through this exact code path — the bench
+ * binaries inline (bench/bench_util) and the smtpd daemon on behalf of
+ * remote clients (serve/server) — which is what makes the daemon's
+ * determinism guarantee cheap to state: a served result is the same
+ * RunResult the client's own process would have computed, serialized
+ * by the same jsonRecord(), so records are byte-identical mod wall_ms.
+ */
+
+#ifndef SMTP_SERVE_RUNNER_HPP
+#define SMTP_SERVE_RUNNER_HPP
+
+#include <cstdio>
+#include <string>
+
+#include "machine/machine.hpp"
+
+namespace smtp::serve
+{
+
+/**
+ * Sampled-measurement spec (--sample=W:M:K, all in CPU cycles except
+ * K): skip W cycles of warmup, then take K measurement intervals of M
+ * cycles each and report per-metric mean and 95% confidence interval
+ * (Student's t) instead of running the workload to completion. With a
+ * checkpoint library attached, the warmup snapshot is cached under the
+ * cell's config hash, so every variant sharing the warmup prefix
+ * simulates it once.
+ */
+struct SampleSpec
+{
+    Cycles warmup = 0;   ///< W: warmup length in CPU cycles.
+    Cycles interval = 0; ///< M: one measurement interval, CPU cycles.
+    unsigned count = 0;  ///< K: number of intervals.
+
+    bool active() const { return interval > 0 && count > 0; }
+
+    /** Parse "W:M:K". False (with *err) on malformed input. */
+    static bool parse(const std::string &spec, SampleSpec &out,
+                      std::string *err = nullptr);
+};
+
+struct RunConfig
+{
+    MachineModel model = MachineModel::SMTp;
+    unsigned nodes = 1;
+    unsigned ways = 1;
+    std::string app = "FFT";
+    double scale = 1.0;
+    std::uint64_t cpuFreqMHz = 2000;
+    bool lookAheadScheduling = true;
+    bool bitAssistOps = true;
+    bool perfectProtocolCaches = false;
+    unsigned dirCacheDivisor = 16; ///< Scaled with the problem sizes.
+    /** Run on the reference heap kernel (determinism A/B tests). */
+    bool heapEventKernel = false;
+    /**
+     * Shard-engine execution mode (--exec=serial|parallel[:T]).
+     * Simulated results are bit-identical across modes; parallel only
+     * changes host wall time (docs/parallelism.md).
+     */
+    ExecParams exec;
+    /**
+     * Coherence checker level (--check=off|asserts|full). Asserts runs
+     * under the parallel engine; FullMirror forces one host thread,
+     * loudly (RunResult::execSerialized). Checked cells bypass the
+     * checkpoint library: restore requires checkLevel Off, and a
+     * checked run's point is to observe every transition itself.
+     */
+    check::CheckLevel checkLevel = check::CheckLevel::Off;
+    /**
+     * When non-empty, run with telemetry enabled and write
+     * stem.smtptrace / stem.json / stem.csv after the run. Tracing
+     * never perturbs simulated timing.
+     */
+    std::string traceStem;
+    /**
+     * Also record the opt-in Exec category (--trace-exec): per-shard
+     * window-advance and barrier-wait events. These carry host time,
+     * so exec-traced exports are NOT byte-comparable across exec modes
+     * (docs/parallelism.md).
+     */
+    bool traceExec = false;
+    /**
+     * Fault injection (--faults=PLAN) and NAK retry policy
+     * (--retry=SPEC). A disabled plan and the default Fixed policy
+     * leave every cell bit-identical to a build without src/fault.
+     */
+    fault::FaultPlan faults;
+    fault::RetryPolicyConfig retryPolicy;
+    /**
+     * Checkpoint library directory (--ckpt-dir=DIR; empty = off).
+     * Full runs cache their end state; sampled runs cache the warmup
+     * snapshot. Keys include the machine config hash, so a stale or
+     * foreign snapshot is rejected and re-simulated, never trusted.
+     */
+    std::string ckptDir;
+    SampleSpec sample; ///< Inactive = run to completion (default).
+};
+
+struct RunResult
+{
+    Tick execTime = 0;
+    double memStallFraction = 0.0;
+    double peakProtocolOccupancy = 0.0;
+    // SMTp-only protocol thread characteristics.
+    double protoBranchMispredict = 0.0;
+    double protoSquashCyclePct = 0.0;
+    double protoRetiredPct = 0.0;
+    // Protocol thread peak resource occupancy (Table 9).
+    std::uint64_t peakBranchStack = 0;
+    std::uint64_t peakIntRegs = 0;
+    std::uint64_t peakIntQueue = 0;
+    std::uint64_t peakLsq = 0;
+    // Fault-injection outcome (zero unless a plan was enabled).
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsRecovered = 0;
+    // Sampled-measurement statistics (populated when sample.active()).
+    bool sampled = false;
+    unsigned sampleCount = 0;     ///< Intervals actually measured.
+    double ipcMean = 0.0;         ///< Machine IPC per interval, mean.
+    double ipcCi95 = 0.0;         ///< 95% CI half-width (Student's t).
+    double memStallMean = 0.0;    ///< Per-interval mem-stall fraction.
+    double memStallCi95 = 0.0;
+    // Checkpoint-library outcome: -1 = library off, 0 = miss, 1 = hit.
+    int ckpt = -1;
+    /** A parallel exec request was serialized by the FullMirror checker. */
+    bool execSerialized = false;
+    // Harness measurement (host time; not simulated state).
+    double wallMs = 0.0;
+};
+
+/** "off" / "asserts" / "full" (the --check= vocabulary). */
+const char *checkLevelName(check::CheckLevel lv);
+
+/** Parse the --check= vocabulary. False (with *err) on junk. */
+bool parseCheckLevel(const std::string &s, check::CheckLevel &out,
+                     std::string *err = nullptr);
+
+/** MachineParams for one cell (the machine-facing half of RunConfig). */
+MachineParams paramsFor(const RunConfig &cfg);
+
+/**
+ * Cell identity: the machine config hash (model, sizes, fault plan,
+ * ...) mixed with everything that shapes the produced record but lives
+ * outside MachineParams — workload, trace flags, checker level, and
+ * the sample spec. Computable from the config alone (no machine
+ * build), so the daemon dedups jobs before paying for construction.
+ * Two configs with equal cellKey() produce byte-identical jsonRecord()
+ * output mod wall_ms.
+ */
+std::uint64_t cellKey(const RunConfig &cfg);
+
+/** Run one full-system simulation. */
+RunResult runOnce(const RunConfig &cfg);
+
+/**
+ * The canonical JSON-Lines record for one cell. Every producer (bench
+ * --json, the daemon's result stream) uses this one serializer, so
+ * "byte-identical mod wall_ms" is a property of the string, not of
+ * who computed it.
+ */
+std::string jsonRecord(const RunConfig &cfg, const RunResult &r);
+
+/** fprintf(jsonRecord(...)) with a trailing newline. */
+void appendJsonRecord(std::FILE *f, const RunConfig &cfg,
+                      const RunResult &r);
+
+} // namespace smtp::serve
+
+#endif // SMTP_SERVE_RUNNER_HPP

@@ -1,0 +1,741 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "serve/proto.hpp"
+#include "workload/app.hpp"
+
+namespace smtp::serve
+{
+
+namespace
+{
+
+bool
+ensureDir(const std::string &path)
+{
+    if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST)
+        return true;
+    std::fprintf(stderr, "smtpd: mkdir %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+}
+
+/** makeApp() accepts the canonical name or its all-lowercase form. */
+bool
+knownApp(const std::string &name)
+{
+    for (const std::string &n : workload::appNames()) {
+        if (name == n)
+            return true;
+        std::string lower = n;
+        for (char &c : lower)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        if (name == lower)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Server::Server(ServerOptions opt) : opt_(std::move(opt)) {}
+
+Server::~Server()
+{
+    // Tear the pool down first: workers hold shared_ptr<Cell> and post
+    // completions through the self-pipe, which must both outlive them.
+    pool_.reset();
+    for (auto &[id, conn] : conns_) {
+        if (conn.fd >= 0)
+            ::close(conn.fd);
+    }
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (wakeR_ >= 0)
+        ::close(wakeR_);
+    if (wakeW_ >= 0)
+        ::close(wakeW_);
+    if (!opt_.socketPath.empty())
+        ::unlink(opt_.socketPath.c_str());
+}
+
+void
+Server::wakePoll()
+{
+    char b = 'w';
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t r = ::write(wakeW_, &b, 1);
+}
+
+void
+Server::requestStop()
+{
+    static_cast<void>(stopReq_.exchange(true));
+    char b = 's';
+    [[maybe_unused]] ssize_t r = ::write(wakeW_, &b, 1);
+}
+
+bool
+Server::setup(std::string *err)
+{
+    if (opt_.socketPath.empty() || opt_.stateDir.empty()) {
+        *err = "socket path and state dir are both required";
+        return false;
+    }
+    if (!ensureDir(opt_.stateDir) ||
+        !ensureDir(opt_.stateDir + "/ckpt") ||
+        !ensureDir(opt_.stateDir + "/results") ||
+        !ensureDir(opt_.stateDir + "/traces")) {
+        *err = "cannot create state directory layout";
+        return false;
+    }
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+        *err = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+    wakeR_ = pipefd[0];
+    wakeW_ = pipefd[1];
+    // Non-blocking write end so requestStop() from a signal handler
+    // can never wedge; non-blocking read end so draining is a loop.
+    ::fcntl(wakeR_, F_SETFL, O_NONBLOCK);
+    ::fcntl(wakeW_, F_SETFL, O_NONBLOCK);
+    listenFd_ = listenSocket(opt_.socketPath, err);
+    if (listenFd_ < 0)
+        return false;
+    // Non-blocking so acceptClients() can drain the backlog and return.
+    ::fcntl(listenFd_, F_SETFL, O_NONBLOCK);
+    pool_ = std::make_unique<SweepPool>(opt_.jobs);
+    scanResultCache();
+    return true;
+}
+
+std::string
+Server::resultPath(std::uint64_t key) const
+{
+    return opt_.stateDir + "/results/cell_" + hex64(key) + ".json";
+}
+
+void
+Server::scanResultCache()
+{
+    DIR *d = ::opendir((opt_.stateDir + "/results").c_str());
+    if (d == nullptr)
+        return;
+    while (dirent *e = ::readdir(d)) {
+        std::string name = e->d_name;
+        if (name.size() != 5 + 16 + 5 || name.rfind("cell_", 0) != 0 ||
+            name.substr(21) != ".json")
+            continue;
+        std::uint64_t key;
+        if (parseHex64(name.substr(5, 16), key))
+            diskIndex_[key] = true;
+    }
+    ::closedir(d);
+    if (opt_.verbose && !diskIndex_.empty())
+        std::fprintf(stderr, "smtpd: rehydrated %zu cached cell(s)\n",
+                     diskIndex_.size());
+}
+
+bool
+Server::loadCachedRecord(std::uint64_t key, std::string &record,
+                         RunResult &result)
+{
+    std::FILE *f = std::fopen(resultPath(key).c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    JsonValue v;
+    std::string err;
+    if (!JsonValue::parse(text, v, &err) || !v.isObject()) {
+        std::fprintf(stderr, "smtpd: corrupt result cache %s: %s\n",
+                     resultPath(key).c_str(), err.c_str());
+        return false;
+    }
+    const JsonValue *rec = v.find("record");
+    if (rec == nullptr || !rec->isString())
+        return false;
+    record = rec->str();
+    const JsonValue *res = v.find("result");
+    if (res != nullptr && res->isObject())
+        result = resultFromJson(*res);
+    return true;
+}
+
+void
+Server::storeCachedRecord(std::uint64_t key, const std::string &record,
+                          const RunResult &result)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("key", JsonValue::makeString(hex64(key)));
+    v.set("record", JsonValue::makeString(record));
+    v.set("result", resultToJson(result));
+    std::string text = v.dump();
+    std::string path = resultPath(key);
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr)
+        return;
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    // Atomic publish: a crashed daemon never leaves a torn cache file.
+    ::rename(tmp.c_str(), path.c_str());
+    diskIndex_[key] = true;
+}
+
+bool
+Server::sendJson(Conn &conn, const JsonValue &v)
+{
+    if (conn.dead)
+        return false;
+    std::string err;
+    if (!writeFrame(conn.fd, v.dump(), &err)) {
+        if (opt_.verbose)
+            std::fprintf(stderr, "smtpd: conn %llu write: %s\n",
+                         static_cast<unsigned long long>(conn.id),
+                         err.c_str());
+        conn.dead = true;
+        return false;
+    }
+    return true;
+}
+
+void
+Server::sendError(Conn &conn, const std::string &msg)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("type", JsonValue::makeString("error"));
+    v.set("proto", JsonValue::makeNumber(kProtoVersion));
+    v.set("message", JsonValue::makeString(msg));
+    sendJson(conn, v);
+    // A protocol error is not recoverable mid-stream: drop the client
+    // rather than guess where its next frame boundary is.
+    conn.dead = true;
+}
+
+void
+Server::deliverCell(const Cell &cell, const Cell::Waiter &w, bool cached)
+{
+    auto it = conns_.find(w.conn);
+    if (it == conns_.end())
+        return;
+    JsonValue v = JsonValue::makeObject();
+    v.set("type", JsonValue::makeString("cell"));
+    v.set("proto", JsonValue::makeNumber(kProtoVersion));
+    v.set("job", JsonValue::makeString(hex64(w.job)));
+    v.set("index", JsonValue::makeNumber(static_cast<double>(w.index)));
+    v.set("key", JsonValue::makeString(hex64(cell.key)));
+    v.set("cached", JsonValue::makeBool(cached));
+    v.set("record", JsonValue::makeString(cell.record));
+    v.set("result", resultToJson(cell.result));
+    if (!cell.cfg.traceStem.empty() && cell.cfg.traceStem != "?")
+        v.set("trace_stem", JsonValue::makeString(cell.cfg.traceStem));
+    sendJson(it->second, v);
+}
+
+void
+Server::finishJobIfDone(std::uint64_t jobId)
+{
+    auto jt = st_.jobs.find(jobId);
+    if (jt == st_.jobs.end())
+        return;
+    Job &job = jt->second;
+    if (job.delivered + job.skipped < job.cells)
+        return;
+    auto ct = conns_.find(job.conn);
+    if (ct != conns_.end()) {
+        JsonValue v = JsonValue::makeObject();
+        v.set("type", JsonValue::makeString("done"));
+        v.set("proto", JsonValue::makeNumber(kProtoVersion));
+        v.set("job", JsonValue::makeString(hex64(job.id)));
+        v.set("completed",
+              JsonValue::makeNumber(static_cast<double>(job.delivered)));
+        v.set("skipped",
+              JsonValue::makeNumber(static_cast<double>(job.skipped)));
+        sendJson(ct->second, v);
+    }
+    st_.jobs.erase(jt);
+}
+
+void
+Server::workerRun(std::shared_ptr<Cell> cell)
+{
+    {
+        std::lock_guard<std::mutex> lk(st_.mtx);
+        if (st_.stopping || (cell->abandoned && cell->waiters.empty())) {
+            ++st_.stats.cellsSkipped;
+            st_.cells.erase(cell->key);
+            return;
+        }
+        cell->state = CellState::Running;
+    }
+    if (opt_.verbose)
+        std::fprintf(stderr, "smtpd: cell %s simulating (%s %s n%u w%u)\n",
+                     hex64(cell->key).c_str(),
+                     std::string(modelName(cell->cfg.model)).c_str(),
+                     cell->cfg.app.c_str(), cell->cfg.nodes,
+                     cell->cfg.ways);
+    RunResult r = runOnce(cell->cfg);
+    std::string record = jsonRecord(cell->cfg, r);
+    {
+        std::lock_guard<std::mutex> lk(st_.mtx);
+        cell->record = std::move(record);
+        cell->result = r;
+        cell->state = CellState::Done;
+        ++st_.stats.cellsSimulated;
+        st_.completions.push_back(cell->key);
+    }
+    wakePoll();
+}
+
+void
+Server::drainCompletions()
+{
+    std::lock_guard<std::mutex> lk(st_.mtx);
+    while (!st_.completions.empty()) {
+        std::uint64_t key = st_.completions.front();
+        st_.completions.pop_front();
+        auto it = st_.cells.find(key);
+        if (it == st_.cells.end())
+            continue;
+        Cell &cell = *it->second;
+        // Checked cells are cacheable too: the record is final either
+        // way. Trace cells are cached as records; artifacts stay on
+        // disk under traces/ and are referenced by path.
+        storeCachedRecord(key, cell.record, cell.result);
+        std::vector<Cell::Waiter> waiters;
+        waiters.swap(cell.waiters);
+        for (const Cell::Waiter &w : waiters) {
+            deliverCell(cell, w, /*cached=*/false);
+            auto jt = st_.jobs.find(w.job);
+            if (jt != st_.jobs.end()) {
+                ++jt->second.delivered;
+                finishJobIfDone(w.job);
+            }
+        }
+    }
+}
+
+void
+Server::handleSubmit(Conn &conn, const JsonValue &req)
+{
+    for (const auto &[key, value] : req.members()) {
+        if (key != "op" && key != "proto" && key != "priority" &&
+            key != "cells") {
+            sendError(conn, "unknown request field '" + key + "'");
+            return;
+        }
+    }
+    int priority = 0;
+    const JsonValue *prio = req.find("priority");
+    if (prio != nullptr) {
+        if (!prio->isNumber()) {
+            sendError(conn, "priority must be a number");
+            return;
+        }
+        priority = static_cast<int>(prio->number());
+    }
+    const JsonValue *cells = req.find("cells");
+    if (cells == nullptr || !cells->isArray() || cells->array().empty()) {
+        sendError(conn, "submit requires a non-empty 'cells' array");
+        return;
+    }
+    std::vector<RunConfig> cfgs;
+    cfgs.reserve(cells->array().size());
+    for (std::size_t i = 0; i < cells->array().size(); ++i) {
+        RunConfig cfg;
+        std::string err;
+        if (!cellFromJson(cells->array()[i], cfg, &err)) {
+            sendError(conn, "cell " + std::to_string(i) + ": " + err);
+            return;
+        }
+        if (!knownApp(cfg.app)) {
+            sendError(conn, "cell " + std::to_string(i) +
+                                ": unknown application '" + cfg.app +
+                                "'");
+            return;
+        }
+        // The daemon owns the checkpoint farm; whatever the client had
+        // configured locally is irrelevant here.
+        cfg.ckptDir = cfg.checkLevel == check::CheckLevel::Off
+                          ? opt_.stateDir + "/ckpt"
+                          : std::string();
+        cfgs.push_back(std::move(cfg));
+    }
+
+    std::lock_guard<std::mutex> lk(st_.mtx);
+    std::uint64_t jobId = nextJobId_++;
+    Job job;
+    job.id = jobId;
+    job.conn = conn.id;
+    job.cells = cfgs.size();
+    st_.jobs.emplace(jobId, job);
+    ++st_.stats.jobsAccepted;
+    st_.stats.cellsSubmitted += cfgs.size();
+
+    JsonValue acc = JsonValue::makeObject();
+    acc.set("type", JsonValue::makeString("accepted"));
+    acc.set("proto", JsonValue::makeNumber(kProtoVersion));
+    acc.set("job", JsonValue::makeString(hex64(jobId)));
+    acc.set("cells",
+            JsonValue::makeNumber(static_cast<double>(cfgs.size())));
+    sendJson(conn, acc);
+
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        RunConfig &cfg = cfgs[i];
+        std::uint64_t key = cellKey(cfg);
+        // The trace stem is daemon-assigned and keyed by the cell, so
+        // re-submissions overwrite rather than accumulate artifacts.
+        // cellKey() only folds in *whether* tracing is on, never the
+        // stem string, so this substitution cannot change the key.
+        if (cfg.traceStem == "?")
+            cfg.traceStem =
+                opt_.stateDir + "/traces/cell_" + hex64(key);
+
+        auto it = st_.cells.find(key);
+        if (it != st_.cells.end()) {
+            Cell &cell = *it->second;
+            ++st_.stats.dedupHits;
+            if (cell.state == CellState::Done) {
+                deliverCell(cell, Cell::Waiter{conn.id, jobId, i},
+                            /*cached=*/true);
+                ++st_.jobs[jobId].delivered;
+            } else {
+                cell.abandoned = false;
+                cell.waiters.push_back(Cell::Waiter{conn.id, jobId, i});
+            }
+            continue;
+        }
+
+        auto cell = std::make_shared<Cell>();
+        cell->key = key;
+        cell->cfg = cfg;
+        std::string record;
+        RunResult cached;
+        if (diskIndex_.count(key) != 0 &&
+            loadCachedRecord(key, record, cached)) {
+            cell->state = CellState::Done;
+            cell->fromCache = true;
+            cell->record = std::move(record);
+            cell->result = cached;
+            st_.cells.emplace(key, cell);
+            ++st_.stats.diskHits;
+            deliverCell(*cell, Cell::Waiter{conn.id, jobId, i},
+                        /*cached=*/true);
+            ++st_.jobs[jobId].delivered;
+            continue;
+        }
+        cell->waiters.push_back(Cell::Waiter{conn.id, jobId, i});
+        st_.cells.emplace(key, cell);
+        pool_->enqueue(priority,
+                       [this, cell]() mutable { workerRun(cell); });
+    }
+    finishJobIfDone(jobId);
+}
+
+void
+Server::handleCancel(Conn &conn, const JsonValue &req)
+{
+    for (const auto &[key, value] : req.members()) {
+        if (key != "op" && key != "proto" && key != "job") {
+            sendError(conn, "unknown request field '" + key + "'");
+            return;
+        }
+    }
+    std::uint64_t jobId;
+    const JsonValue *job = req.find("job");
+    if (job == nullptr || !job->isString() ||
+        !parseHex64(job->str(), jobId)) {
+        sendError(conn, "cancel requires a 'job' id string");
+        return;
+    }
+    std::lock_guard<std::mutex> lk(st_.mtx);
+    std::size_t removed = 0;
+    auto jt = st_.jobs.find(jobId);
+    if (jt != st_.jobs.end()) {
+        jt->second.cancelled = true;
+        for (auto &[key, cellPtr] : st_.cells) {
+            Cell &cell = *cellPtr;
+            auto end = std::remove_if(
+                cell.waiters.begin(), cell.waiters.end(),
+                [jobId](const Cell::Waiter &w) { return w.job == jobId; });
+            std::size_t n =
+                static_cast<std::size_t>(cell.waiters.end() - end);
+            cell.waiters.erase(end, cell.waiters.end());
+            removed += n;
+            // A queued cell nobody wants any more is skipped by the
+            // worker when its turn comes; a running one completes and
+            // lands in the cache.
+            if (cell.waiters.empty() && cell.state == CellState::Queued)
+                cell.abandoned = true;
+        }
+        jt->second.skipped += removed;
+        ++st_.stats.jobsCancelled;
+    }
+    JsonValue v = JsonValue::makeObject();
+    v.set("type", JsonValue::makeString("cancelled"));
+    v.set("proto", JsonValue::makeNumber(kProtoVersion));
+    v.set("job", JsonValue::makeString(hex64(jobId)));
+    v.set("removed", JsonValue::makeNumber(static_cast<double>(removed)));
+    sendJson(conn, v);
+    finishJobIfDone(jobId);
+}
+
+void
+Server::handleStats(Conn &conn)
+{
+    std::lock_guard<std::mutex> lk(st_.mtx);
+    std::size_t running = 0, queued = 0, cached = 0;
+    for (const auto &[key, cell] : st_.cells) {
+        switch (cell->state) {
+        case CellState::Queued: ++queued; break;
+        case CellState::Running: ++running; break;
+        case CellState::Done: ++cached; break;
+        }
+    }
+    JsonValue v = JsonValue::makeObject();
+    v.set("type", JsonValue::makeString("stats"));
+    v.set("proto", JsonValue::makeNumber(kProtoVersion));
+    v.set("jobs_active",
+          JsonValue::makeNumber(static_cast<double>(st_.jobs.size())));
+    v.set("cells_queued",
+          JsonValue::makeNumber(static_cast<double>(queued)));
+    v.set("cells_running",
+          JsonValue::makeNumber(static_cast<double>(running)));
+    v.set("cells_cached",
+          JsonValue::makeNumber(static_cast<double>(cached)));
+    auto num = [](std::uint64_t x) {
+        return JsonValue::makeNumber(static_cast<double>(x));
+    };
+    v.set("jobs_accepted", num(st_.stats.jobsAccepted));
+    v.set("jobs_cancelled", num(st_.stats.jobsCancelled));
+    v.set("cells_submitted", num(st_.stats.cellsSubmitted));
+    v.set("cells_simulated", num(st_.stats.cellsSimulated));
+    v.set("cells_skipped", num(st_.stats.cellsSkipped));
+    v.set("dedup_hits", num(st_.stats.dedupHits));
+    v.set("disk_hits", num(st_.stats.diskHits));
+    sendJson(conn, v);
+}
+
+void
+Server::handleFrame(Conn &conn, const std::string &payload)
+{
+    JsonValue req;
+    std::string err;
+    if (!JsonValue::parse(payload, req, &err) || !req.isObject()) {
+        sendError(conn, "malformed request: " +
+                            (err.empty() ? "not an object" : err));
+        return;
+    }
+    const JsonValue *proto = req.find("proto");
+    if (proto != nullptr &&
+        (!proto->isNumber() ||
+         proto->number() != static_cast<double>(kProtoVersion))) {
+        sendError(conn, "unsupported protocol version");
+        return;
+    }
+    std::string op = req.getString("op");
+    if (op == "ping") {
+        JsonValue v = JsonValue::makeObject();
+        v.set("type", JsonValue::makeString("pong"));
+        v.set("proto", JsonValue::makeNumber(kProtoVersion));
+        sendJson(conn, v);
+    } else if (op == "stats") {
+        handleStats(conn);
+    } else if (op == "submit") {
+        handleSubmit(conn, req);
+    } else if (op == "cancel") {
+        handleCancel(conn, req);
+    } else if (op == "shutdown") {
+        JsonValue v = JsonValue::makeObject();
+        v.set("type", JsonValue::makeString("shutting_down"));
+        v.set("proto", JsonValue::makeNumber(kProtoVersion));
+        sendJson(conn, v);
+        requestStop();
+    } else {
+        sendError(conn, "unknown op '" + op + "'");
+    }
+}
+
+void
+Server::acceptClients()
+{
+    while (true) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN or a transient error; poll again.
+        }
+        Conn conn;
+        conn.id = nextConnId_++;
+        conn.fd = fd;
+        std::uint64_t id = conn.id;
+        conns_.emplace(id, std::move(conn));
+        if (opt_.verbose)
+            std::fprintf(stderr, "smtpd: conn %llu connected\n",
+                         static_cast<unsigned long long>(id));
+    }
+}
+
+void
+Server::readClient(Conn &conn)
+{
+    char buf[65536];
+    ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+    if (n == 0) {
+        conn.dead = true;
+        return;
+    }
+    if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN)
+            return;
+        conn.dead = true;
+        return;
+    }
+    conn.splitter.feed(buf, static_cast<std::size_t>(n));
+    std::string payload;
+    while (!conn.dead && conn.splitter.next(payload))
+        handleFrame(conn, payload);
+    if (!conn.splitter.error().empty())
+        sendError(conn, conn.splitter.error());
+}
+
+void
+Server::dropConn(Conn &conn)
+{
+    if (opt_.verbose)
+        std::fprintf(stderr, "smtpd: conn %llu closed\n",
+                     static_cast<unsigned long long>(conn.id));
+    std::lock_guard<std::mutex> lk(st_.mtx);
+    // Abandon every job this client owned: nobody is listening for the
+    // results, so unstarted cells are skipped (finished ones still land
+    // in the cache for the client's next attempt).
+    std::vector<std::uint64_t> gone;
+    for (auto &[jobId, job] : st_.jobs) {
+        if (job.conn == conn.id)
+            gone.push_back(jobId);
+    }
+    for (auto &[key, cellPtr] : st_.cells) {
+        Cell &cell = *cellPtr;
+        auto end = std::remove_if(
+            cell.waiters.begin(), cell.waiters.end(),
+            [&conn](const Cell::Waiter &w) { return w.conn == conn.id; });
+        cell.waiters.erase(end, cell.waiters.end());
+        if (cell.waiters.empty() && cell.state == CellState::Queued)
+            cell.abandoned = true;
+    }
+    for (std::uint64_t jobId : gone)
+        st_.jobs.erase(jobId);
+    if (conn.fd >= 0)
+        ::close(conn.fd);
+    conn.fd = -1;
+}
+
+int
+Server::run()
+{
+    std::string err;
+    if (!setup(&err)) {
+        std::fprintf(stderr, "smtpd: %s\n", err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "smtpd: listening on %s (state %s, %u job%s)\n",
+                 opt_.socketPath.c_str(), opt_.stateDir.c_str(),
+                 pool_->jobs(), pool_->jobs() == 1 ? "" : "s");
+
+    while (true) {
+        if (stopReq_.load()) {
+            std::lock_guard<std::mutex> lk(st_.mtx);
+            st_.stopping = true;
+        }
+        {
+            std::lock_guard<std::mutex> lk(st_.mtx);
+            if (st_.stopping)
+                break;
+        }
+        std::vector<pollfd> fds;
+        fds.push_back(pollfd{listenFd_, POLLIN, 0});
+        fds.push_back(pollfd{wakeR_, POLLIN, 0});
+        std::vector<std::uint64_t> order;
+        for (auto &[id, conn] : conns_) {
+            fds.push_back(pollfd{conn.fd, POLLIN, 0});
+            order.push_back(id);
+        }
+        int rc = ::poll(fds.data(), fds.size(), -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            std::fprintf(stderr, "smtpd: poll: %s\n",
+                         std::strerror(errno));
+            break;
+        }
+        if ((fds[1].revents & POLLIN) != 0) {
+            char buf[256];
+            while (::read(wakeR_, buf, sizeof(buf)) > 0) {
+            }
+        }
+        drainCompletions();
+        if ((fds[0].revents & POLLIN) != 0)
+            acceptClients();
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            auto it = conns_.find(order[i]);
+            if (it == conns_.end())
+                continue;
+            short re = fds[2 + i].revents;
+            if ((re & (POLLERR | POLLHUP | POLLNVAL)) != 0)
+                it->second.dead = true;
+            else if ((re & POLLIN) != 0)
+                readClient(it->second);
+        }
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if (it->second.dead) {
+                dropConn(it->second);
+                it = conns_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // Clean shutdown: stop accepting, let running simulations finish
+    // (their records land in the cache), skip everything still queued,
+    // flush what completed, then close every connection.
+    ::close(listenFd_);
+    listenFd_ = -1;
+    pool_->drainService();
+    drainCompletions();
+    for (auto &[id, conn] : conns_) {
+        conn.dead = true;
+        dropConn(conn);
+    }
+    conns_.clear();
+    std::fprintf(stderr,
+                 "smtpd: shutdown (%llu simulated, %llu dedup hits, "
+                 "%llu disk hits)\n",
+                 static_cast<unsigned long long>(st_.stats.cellsSimulated),
+                 static_cast<unsigned long long>(st_.stats.dedupHits),
+                 static_cast<unsigned long long>(st_.stats.diskHits));
+    return 0;
+}
+
+} // namespace smtp::serve

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * smtpd: the sweep-service daemon.
+ *
+ * One Server owns a listening UNIX socket, a SweepPool in service mode
+ * (simulations run on its worker threads with per-job priorities), a
+ * single warm checkpoint farm shared by every client, and an on-disk
+ * result cache that survives restarts. Clients submit jobs — lists of
+ * sweep cells — and receive results as a stream of frames, one per
+ * cell, as each completes.
+ *
+ * ## Dedup
+ *
+ * Cells are identified by serve::cellKey(): two clients submitting the
+ * same cell (even in different jobs, even concurrently) share ONE
+ * simulation, and both receive the identical record. A cell finished
+ * in a previous daemon lifetime is served from the on-disk result
+ * cache without simulating at all.
+ *
+ * ## Threading
+ *
+ * A single server thread runs the poll loop: accepts, reads frames,
+ * writes frames, mutates all job/cell bookkeeping. SweepPool workers
+ * only simulate; they hand completed cells back through a queue and a
+ * self-pipe wakeup, never touching a socket. All shared state is
+ * guarded by one mutex (st_.mtx); the simulations themselves run
+ * unlocked.
+ *
+ * ## Determinism
+ *
+ * Workers call the same serve::runOnce()/jsonRecord() the bench
+ * binaries use, so a served record is byte-identical to a direct local
+ * run's record modulo wall_ms. docs/service.md states the guarantee
+ * and its boundaries (exec-traced artifacts carry host time).
+ */
+
+#ifndef SMTP_SERVE_SERVER_HPP
+#define SMTP_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve/runner.hpp"
+#include "serve/wire.hpp"
+#include "sim/sweep.hpp"
+
+namespace smtp::serve
+{
+
+struct ServerOptions
+{
+    std::string socketPath; ///< UNIX socket to listen on (required).
+    /**
+     * State directory (required): ckpt/ holds the shared checkpoint
+     * farm, results/ the restart-surviving record cache, traces/ the
+     * per-cell trace artifacts for cells submitted with "trace".
+     */
+    std::string stateDir;
+    unsigned jobs = 0;    ///< Simulation workers; 0 = SweepPool default.
+    bool verbose = false; ///< Per-cell stderr progress lines.
+};
+
+struct ServerStats
+{
+    std::uint64_t jobsAccepted = 0;
+    std::uint64_t jobsCancelled = 0;
+    std::uint64_t cellsSubmitted = 0;
+    std::uint64_t cellsSimulated = 0;
+    std::uint64_t cellsSkipped = 0;  ///< Abandoned before starting.
+    std::uint64_t dedupHits = 0;     ///< Joined an in-flight/finished cell.
+    std::uint64_t diskHits = 0;      ///< Served from the result cache.
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions opt);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind, rehydrate the result cache, and serve until shutdown (a
+     * "shutdown" request or requestStop(), e.g. from a signal
+     * handler). Returns 0 on clean shutdown, 1 on setup failure (error
+     * on stderr).
+     */
+    int run();
+
+    /** Async-signal-safe stop request (writes the self-pipe). */
+    void requestStop();
+
+    const ServerStats &stats() const { return st_.stats; }
+
+  private:
+    enum class CellState : std::uint8_t
+    {
+        Queued,  ///< In the SweepPool service queue.
+        Running, ///< A worker is simulating it.
+        Done,    ///< record is final (simulated or cache-served).
+    };
+
+    /** One deduplicated unit of simulation work. */
+    struct Cell
+    {
+        std::uint64_t key = 0;
+        RunConfig cfg;
+        CellState state = CellState::Queued;
+        bool abandoned = false; ///< No waiters left; skip if not started.
+        bool fromCache = false; ///< Served from disk, not simulated here.
+        std::string record;     ///< jsonRecord() line, final when Done.
+        RunResult result;       ///< Structured twin of record.
+        /** (connection id, job id, index-in-job) still owed this cell. */
+        struct Waiter
+        {
+            std::uint64_t conn;
+            std::uint64_t job;
+            std::size_t index;
+        };
+        std::vector<Waiter> waiters;
+    };
+
+    struct Job
+    {
+        std::uint64_t id = 0;
+        std::uint64_t conn = 0;
+        std::size_t cells = 0;
+        std::size_t delivered = 0;
+        std::size_t skipped = 0;
+        bool cancelled = false;
+    };
+
+    struct Conn
+    {
+        std::uint64_t id = 0;
+        int fd = -1;
+        FrameSplitter splitter;
+        bool dead = false;
+    };
+
+    struct State
+    {
+        std::mutex mtx;
+        std::unordered_map<std::uint64_t, std::shared_ptr<Cell>> cells;
+        std::unordered_map<std::uint64_t, Job> jobs;
+        std::deque<std::uint64_t> completions; ///< Cell keys, worker → poll.
+        ServerStats stats;
+        bool stopping = false;
+    };
+
+    // Poll-thread only.
+    bool setup(std::string *err);
+    void acceptClients();
+    void readClient(Conn &conn);
+    void handleFrame(Conn &conn, const std::string &payload);
+    void handleSubmit(Conn &conn, const JsonValue &req);
+    void handleCancel(Conn &conn, const JsonValue &req);
+    void handleStats(Conn &conn);
+    void drainCompletions();
+    /** @p cached: the cell was Done before this submission. */
+    void deliverCell(const Cell &cell, const Cell::Waiter &w,
+                     bool cached);
+    void finishJobIfDone(std::uint64_t jobId);
+    void dropConn(Conn &conn);
+    void sendError(Conn &conn, const std::string &msg);
+    bool sendJson(Conn &conn, const JsonValue &v);
+
+    // Result cache (poll thread).
+    std::string resultPath(std::uint64_t key) const;
+    bool loadCachedRecord(std::uint64_t key, std::string &record,
+                          RunResult &result);
+    void storeCachedRecord(std::uint64_t key, const std::string &record,
+                           const RunResult &result);
+    void scanResultCache();
+
+    // Worker side.
+    void workerRun(std::shared_ptr<Cell> cell);
+    void wakePoll();
+
+    ServerOptions opt_;
+    State st_;
+    std::atomic<bool> stopReq_{false};
+    std::unique_ptr<SweepPool> pool_;
+    int listenFd_ = -1;
+    int wakeR_ = -1, wakeW_ = -1; ///< Self-pipe.
+    std::uint64_t nextConnId_ = 1;
+    std::uint64_t nextJobId_ = 1;
+    std::unordered_map<std::uint64_t, Conn> conns_;
+    /** Keys known to exist on disk from a previous lifetime. */
+    std::unordered_map<std::uint64_t, bool> diskIndex_;
+};
+
+} // namespace smtp::serve
+
+#endif // SMTP_SERVE_SERVER_HPP

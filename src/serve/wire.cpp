@@ -1,0 +1,201 @@
+#include "serve/wire.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace smtp::serve
+{
+
+namespace
+{
+
+void
+setErr(std::string *err, const std::string &msg)
+{
+    if (err != nullptr)
+        *err = msg;
+}
+
+std::string
+errnoStr(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/** Read exactly n bytes; 1 = got them, 0 = EOF before any byte, -1 = error/short. */
+int
+readExact(int fd, char *buf, std::size_t n, std::string *err)
+{
+    std::size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, buf + got, n - got);
+        if (r > 0) {
+            got += static_cast<std::size_t>(r);
+            continue;
+        }
+        if (r == 0) {
+            if (got == 0)
+                return 0;
+            setErr(err, "connection closed mid-frame");
+            return -1;
+        }
+        if (errno == EINTR)
+            continue;
+        setErr(err, errnoStr("read"));
+        return -1;
+    }
+    return 1;
+}
+
+std::uint32_t
+decodeLen(const unsigned char *b)
+{
+    return static_cast<std::uint32_t>(b[0]) |
+           (static_cast<std::uint32_t>(b[1]) << 8) |
+           (static_cast<std::uint32_t>(b[2]) << 16) |
+           (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+} // namespace
+
+bool
+writeFrame(int fd, std::string_view payload, std::string *err)
+{
+    if (payload.size() > kMaxFrame) {
+        setErr(err, "frame payload exceeds 16 MiB cap");
+        return false;
+    }
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    unsigned char hdr[4] = {
+        static_cast<unsigned char>(len & 0xff),
+        static_cast<unsigned char>((len >> 8) & 0xff),
+        static_cast<unsigned char>((len >> 16) & 0xff),
+        static_cast<unsigned char>((len >> 24) & 0xff),
+    };
+    std::string buf(reinterpret_cast<char *>(hdr), 4);
+    buf.append(payload);
+    std::size_t sent = 0;
+    while (sent < buf.size()) {
+        ssize_t w = ::send(fd, buf.data() + sent, buf.size() - sent,
+                           MSG_NOSIGNAL);
+        if (w >= 0) {
+            sent += static_cast<std::size_t>(w);
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        setErr(err, errnoStr("send"));
+        return false;
+    }
+    return true;
+}
+
+int
+readFrame(int fd, std::string &payload, std::string *err)
+{
+    unsigned char hdr[4];
+    int r = readExact(fd, reinterpret_cast<char *>(hdr), 4, err);
+    if (r <= 0)
+        return r;
+    std::uint32_t len = decodeLen(hdr);
+    if (len > kMaxFrame) {
+        setErr(err, "frame length prefix exceeds 16 MiB cap");
+        return -1;
+    }
+    payload.resize(len);
+    if (len == 0)
+        return 1;
+    r = readExact(fd, payload.data(), len, err);
+    if (r == 1)
+        return 1;
+    if (r == 0)
+        setErr(err, "connection closed mid-frame");
+    return -1;
+}
+
+void
+FrameSplitter::feed(const char *data, std::size_t n)
+{
+    if (!err_.empty())
+        return;
+    buf_.append(data, n);
+}
+
+bool
+FrameSplitter::next(std::string &payload)
+{
+    if (!err_.empty() || buf_.size() < 4)
+        return false;
+    std::uint32_t len =
+        decodeLen(reinterpret_cast<const unsigned char *>(buf_.data()));
+    if (len > kMaxFrame) {
+        err_ = "frame length prefix exceeds 16 MiB cap";
+        buf_.clear();
+        return false;
+    }
+    if (buf_.size() < 4u + len)
+        return false;
+    payload.assign(buf_, 4, len);
+    buf_.erase(0, 4u + len);
+    return true;
+}
+
+int
+connectSocket(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        setErr(err, "socket path too long");
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setErr(err, errnoStr("socket"));
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setErr(err, errnoStr(("connect " + path).c_str()));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+listenSocket(const std::string &path, std::string *err)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        setErr(err, "socket path too long");
+        return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    ::unlink(path.c_str());
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setErr(err, errnoStr("socket"));
+        return -1;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) !=
+        0) {
+        setErr(err, errnoStr(("bind " + path).c_str()));
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 16) != 0) {
+        setErr(err, errnoStr("listen"));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace smtp::serve

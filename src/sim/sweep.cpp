@@ -36,6 +36,70 @@ SweepPool::~SweepPool()
     workCv_.notify_all();
     for (auto &w : workers_)
         w.join();
+    {
+        std::lock_guard<std::mutex> lk(svcMtx_);
+        svcStop_ = true;
+    }
+    svcCv_.notify_all();
+    for (auto &w : svcWorkers_)
+        w.join();
+}
+
+std::uint64_t
+SweepPool::enqueue(int priority, std::function<void()> fn)
+{
+    std::uint64_t id;
+    {
+        std::lock_guard<std::mutex> lk(svcMtx_);
+        id = svcNextId_++;
+        svcQueue_[priority].push_back(std::move(fn));
+        ++svcQueued_;
+        if (svcWorkers_.empty()) {
+            for (unsigned i = 0; i < jobs_; ++i)
+                svcWorkers_.emplace_back([this] { serviceLoop(); });
+        }
+    }
+    svcCv_.notify_one();
+    return id;
+}
+
+void
+SweepPool::serviceLoop()
+{
+    std::unique_lock<std::mutex> lk(svcMtx_);
+    while (true) {
+        svcCv_.wait(lk, [&] { return svcStop_ || !svcQueue_.empty(); });
+        if (svcStop_)
+            return;
+        auto it = svcQueue_.begin(); // Highest priority bucket.
+        std::function<void()> fn = std::move(it->second.front());
+        it->second.pop_front();
+        if (it->second.empty())
+            svcQueue_.erase(it);
+        --svcQueued_;
+        ++svcRunning_;
+        lk.unlock();
+        fn();
+        lk.lock();
+        --svcRunning_;
+        if (svcQueue_.empty() && svcRunning_ == 0)
+            svcDoneCv_.notify_all();
+    }
+}
+
+void
+SweepPool::drainService()
+{
+    std::unique_lock<std::mutex> lk(svcMtx_);
+    svcDoneCv_.wait(lk,
+                    [&] { return svcQueue_.empty() && svcRunning_ == 0; });
+}
+
+std::size_t
+SweepPool::serviceQueued() const
+{
+    std::lock_guard<std::mutex> lk(svcMtx_);
+    return svcQueued_;
 }
 
 bool

@@ -15,6 +15,15 @@
  * Worker count: explicit argument > SMTP_SWEEP_JOBS env var > hardware
  * concurrency. jobs == 1 degenerates to an inline serial loop (no
  * threads), which the determinism tests diff against parallel runs.
+ *
+ * Service mode (the smtpd daemon): enqueue() adds one prioritized task
+ * to a persistent queue serviced by dedicated workers — higher
+ * priority first, FIFO within a priority. Service workers are spawned
+ * lazily on the first enqueue (jobs_ of them, even when jobs_ == 1:
+ * the batch degenerate case has no threads, but a service caller is an
+ * event loop that must never simulate inline) and are independent of
+ * the batch protocol, so parallelFor() batches and service traffic can
+ * coexist on one pool.
  */
 
 #ifndef SMTP_SIM_SWEEP_HPP
@@ -22,8 +31,10 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -55,6 +66,22 @@ class SweepPool
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
 
+    // ---- Service mode (persistent prioritized queue) -----------------
+
+    /**
+     * Queue one task. Higher @p priority runs first; equal priorities
+     * run FIFO. Returns a monotonically increasing task id. The first
+     * enqueue spawns the service workers (jobs() of them). @p fn runs
+     * on a service worker; exceptions escaping it abort the process.
+     */
+    std::uint64_t enqueue(int priority, std::function<void()> fn);
+
+    /** Block until the service queue is empty and no task is running. */
+    void drainService();
+
+    /** Tasks queued but not yet started (diagnostics). */
+    std::size_t serviceQueued() const;
+
   private:
     struct WorkDeque
     {
@@ -78,6 +105,22 @@ class SweepPool
     std::uint64_t epoch_ = 0;          ///< Batch generation counter.
     std::size_t pending_ = 0;          ///< Tasks not yet finished.
     bool stop_ = false;
+
+    // Service mode: its own lock/cv/threads so persistent traffic and
+    // the batch epoch protocol never interleave on one condvar.
+    void serviceLoop();
+
+    mutable std::mutex svcMtx_;
+    std::condition_variable svcCv_;     ///< Wakes service workers.
+    std::condition_variable svcDoneCv_; ///< Wakes drainService().
+    /** priority -> FIFO of tasks; iterated highest priority first. */
+    std::map<int, std::deque<std::function<void()>>, std::greater<int>>
+        svcQueue_;
+    std::vector<std::thread> svcWorkers_; ///< Spawned on first enqueue.
+    std::size_t svcQueued_ = 0;
+    std::size_t svcRunning_ = 0;
+    std::uint64_t svcNextId_ = 0;
+    bool svcStop_ = false;
 };
 
 } // namespace smtp

@@ -69,7 +69,8 @@ struct ExecSim
     ExecSim(MachineModel model, const ExecParams &exec,
             bool heap_kernel = false,
             const fault::FaultPlan *faults = nullptr, bool traced = false,
-            unsigned nodes = 4, double scale = 0.25)
+            unsigned nodes = 4, double scale = 0.25,
+            check::CheckLevel check = check::CheckLevel::Off)
     {
         MachineParams mp;
         mp.model = model;
@@ -81,6 +82,7 @@ struct ExecSim
         if (faults != nullptr)
             mp.faults = *faults;
         mp.trace.enabled = traced;
+        mp.checkLevel = check;
         machine = std::make_unique<Machine>(mp);
         mem = std::make_unique<FuncMem>();
         app = workload::makeApp("FFT");
@@ -247,6 +249,65 @@ TEST(Exec, CheckpointFromParallelRestoresUnderEitherMode)
         EXPECT_EQ(statsOf(*res.machine), golden)
             << "restore_parallel=" << restore_parallel;
     }
+}
+
+TEST(ExecChecker, AssertsLevelRunsParallelBitIdentical)
+{
+    // Regression: the machine used to force one host thread whenever
+    // ANY checker was active. Asserts-level checking is internally
+    // serialized per hook, so --check=asserts --exec=parallel:4 must
+    // actually run 4 host threads and still be bit-identical to the
+    // serial-reference run of the same checked cell.
+    ExecSim ref(MachineModel::SMTp, ExecParams{}, false, nullptr, false,
+                4, 0.25, check::CheckLevel::Asserts);
+    Tick t_ref = ref.machine->run();
+    ASSERT_GT(t_ref, 0u);
+    EXPECT_EQ(ref.machine->hostThreads(), 1u);
+    EXPECT_FALSE(ref.machine->execSerializedByChecker());
+    ref.machine->quiesce();
+    EXPECT_EQ(ref.machine->checker()->violationCount(), 0u);
+    std::string golden = statsOf(*ref.machine);
+
+    ExecSim sim(MachineModel::SMTp, par(4), false, nullptr, false, 4,
+                0.25, check::CheckLevel::Asserts);
+    EXPECT_EQ(sim.machine->hostThreads(), 4u);
+    EXPECT_FALSE(sim.machine->execSerializedByChecker());
+    EXPECT_EQ(sim.machine->run(), t_ref);
+    EXPECT_EQ(sim.machine->committedAppInsts(),
+              ref.machine->committedAppInsts());
+    sim.machine->quiesce();
+    EXPECT_EQ(sim.machine->checker()->violationCount(), 0u);
+    EXPECT_EQ(statsOf(*sim.machine), golden);
+}
+
+TEST(ExecChecker, AssertsParallelMatchesUncheckedResults)
+{
+    // The checker is observation-only: a checked parallel run must
+    // reproduce the unchecked cell's simulated results exactly.
+    ExecSim plain(MachineModel::Base, ExecParams{});
+    Tick t_ref = plain.machine->run();
+    std::string golden = statsOf(*plain.machine);
+
+    ExecSim checked(MachineModel::Base, par(4), false, nullptr, false, 4,
+                    0.25, check::CheckLevel::Asserts);
+    EXPECT_EQ(checked.machine->run(), t_ref);
+    EXPECT_EQ(statsOf(*checked.machine), golden);
+}
+
+TEST(ExecChecker, FullMirrorFallbackIsLoudNotSilent)
+{
+    // FullMirror still needs a globally serialized schedule; the
+    // fallback must be visible in-band via execSerializedByChecker(),
+    // not a silent host_threads change.
+    ExecSim sim(MachineModel::Base, par(4), false, nullptr, false, 4,
+                0.25, check::CheckLevel::FullMirror);
+    EXPECT_EQ(sim.machine->hostThreads(), 1u);
+    EXPECT_TRUE(sim.machine->execSerializedByChecker());
+
+    ExecSim ser(MachineModel::Base, ExecParams{}, false, nullptr, false,
+                4, 0.25, check::CheckLevel::FullMirror);
+    EXPECT_EQ(ser.machine->hostThreads(), 1u);
+    EXPECT_FALSE(ser.machine->execSerializedByChecker());
 }
 
 TEST(Exec, RunUntilSliceBoundariesAreInvariant)

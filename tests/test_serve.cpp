@@ -1,0 +1,735 @@
+/**
+ * @file
+ * Tests for the sweep-service layer (src/serve): the hardened JSON
+ * parser, wire framing under hostile input, cell <-> JSON round-trips,
+ * and a live in-process smtpd exercised over real UNIX sockets —
+ * dedup across concurrent clients, protocol-error handling (truncated
+ * frames, oversized length prefixes, unknown fields, disconnect
+ * mid-stream), and restart rehydration from the on-disk result cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/proto.hpp"
+#include "serve/runner.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace smtp::serve
+{
+namespace
+{
+
+// ------------------------------------------------------------- JSON
+
+TEST(ServeJson, ParsesScalarsAndContainers)
+{
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse(
+        R"({"a":1,"b":-2.5e3,"c":"x","d":[true,false,null],"e":{}})", v));
+    EXPECT_EQ(v.getNumber("a"), 1.0);
+    EXPECT_EQ(v.getNumber("b"), -2500.0);
+    EXPECT_EQ(v.getString("c"), "x");
+    ASSERT_NE(v.find("d"), nullptr);
+    EXPECT_EQ(v.find("d")->array().size(), 3u);
+    EXPECT_TRUE(v.find("e")->isObject());
+}
+
+TEST(ServeJson, RoundTripsThroughDump)
+{
+    const char *text =
+        R"({"s":"a\"b\\c\nd","n":0.1,"big":9007199254740992,"neg":-1})";
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse(text, v));
+    JsonValue again;
+    ASSERT_TRUE(JsonValue::parse(v.dump(), again));
+    // %.17g round-trips every double exactly.
+    EXPECT_EQ(again.getNumber("n"), v.getNumber("n"));
+    EXPECT_EQ(again.getNumber("big"), v.getNumber("big"));
+    EXPECT_EQ(again.getString("s"), v.getString("s"));
+    EXPECT_EQ(again.dump(), v.dump());
+}
+
+TEST(ServeJson, RejectsHostileInput)
+{
+    const char *bad[] = {
+        "",                        // empty
+        "{",                       // unterminated object
+        "[1,2",                    // unterminated array
+        "{\"a\":}",                // missing value
+        "{\"a\":1,}",              // trailing comma
+        "{'a':1}",                 // single quotes
+        "{\"a\":1} extra",         // trailing garbage
+        "01",                      // leading zero
+        "+1",                      // leading plus
+        "1.",                      // bare fraction point
+        "1e",                      // bare exponent
+        "inf",                     // not JSON
+        "nan",                     // not JSON
+        "tru",                     // truncated literal
+        "\"unterminated",          // unterminated string
+        "\"bad \\q escape\"",      // unknown escape
+        "\"\\u12\"",               // short \u
+        "\"\\ud800\"",             // unpaired high surrogate
+        "\"\\udc00\"",             // stray low surrogate
+        "\"raw\x01control\"",      // raw control char
+        "1e999",                   // overflows to inf
+    };
+    for (const char *text : bad) {
+        JsonValue v;
+        std::string err;
+        EXPECT_FALSE(JsonValue::parse(text, v, &err))
+            << "accepted: " << text;
+        EXPECT_FALSE(err.empty()) << text;
+    }
+}
+
+TEST(ServeJson, RejectsDeepNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    JsonValue v;
+    EXPECT_FALSE(JsonValue::parse(deep, v));
+    // ...but reasonable nesting is fine.
+    EXPECT_TRUE(JsonValue::parse("[[[[[[[[[[1]]]]]]]]]]", v));
+}
+
+TEST(ServeJson, SurrogatePairsDecodeToUtf8)
+{
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse("\"\\ud83d\\ude00\"", v)); // U+1F600
+    EXPECT_EQ(v.str(), "\xf0\x9f\x98\x80");
+}
+
+// ------------------------------------------------------------- wire
+
+/** A connected AF_UNIX socketpair for framing tests. */
+struct Pair
+{
+    int a = -1, b = -1;
+    Pair()
+    {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        a = fds[0];
+        b = fds[1];
+    }
+    ~Pair()
+    {
+        if (a >= 0)
+            ::close(a);
+        if (b >= 0)
+            ::close(b);
+    }
+};
+
+TEST(ServeWire, FrameRoundTrip)
+{
+    Pair p;
+    ASSERT_TRUE(writeFrame(p.a, "hello"));
+    ASSERT_TRUE(writeFrame(p.a, "")); // empty frames are legal
+    std::string payload;
+    EXPECT_EQ(readFrame(p.b, payload), 1);
+    EXPECT_EQ(payload, "hello");
+    EXPECT_EQ(readFrame(p.b, payload), 1);
+    EXPECT_EQ(payload, "");
+    ::close(p.a);
+    p.a = -1;
+    EXPECT_EQ(readFrame(p.b, payload), 0); // clean EOF at boundary
+}
+
+TEST(ServeWire, TruncatedFrameIsAnError)
+{
+    Pair p;
+    // Length prefix promises 100 bytes; deliver 3 and hang up.
+    unsigned char hdr[4] = {100, 0, 0, 0};
+    ASSERT_EQ(::send(p.a, hdr, 4, 0), 4);
+    ASSERT_EQ(::send(p.a, "abc", 3, 0), 3);
+    ::close(p.a);
+    p.a = -1;
+    std::string payload, err;
+    EXPECT_EQ(readFrame(p.b, payload, &err), -1);
+    EXPECT_NE(err.find("mid-frame"), std::string::npos) << err;
+}
+
+TEST(ServeWire, OversizedLengthPrefixIsRejectedNotAllocated)
+{
+    Pair p;
+    unsigned char hdr[4] = {0xff, 0xff, 0xff, 0xff}; // ~4 GiB claim
+    ASSERT_EQ(::send(p.a, hdr, 4, 0), 4);
+    std::string payload, err;
+    EXPECT_EQ(readFrame(p.b, payload, &err), -1);
+    EXPECT_NE(err.find("cap"), std::string::npos) << err;
+    EXPECT_FALSE(writeFrame(p.a, std::string(kMaxFrame + 1, 'x'), &err));
+}
+
+TEST(ServeWire, SplitterReassemblesBytewise)
+{
+    FrameSplitter sp;
+    std::string wire;
+    {
+        Pair p;
+        ASSERT_TRUE(writeFrame(p.a, "abc"));
+        ASSERT_TRUE(writeFrame(p.a, "defg"));
+        char buf[64];
+        ssize_t n = ::recv(p.b, buf, sizeof(buf), 0);
+        ASSERT_GT(n, 0);
+        wire.assign(buf, static_cast<std::size_t>(n));
+    }
+    std::vector<std::string> frames;
+    std::string payload;
+    for (char c : wire) { // worst case: one byte at a time
+        sp.feed(&c, 1);
+        while (sp.next(payload))
+            frames.push_back(payload);
+    }
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0], "abc");
+    EXPECT_EQ(frames[1], "defg");
+    EXPECT_EQ(sp.pendingBytes(), 0u);
+}
+
+TEST(ServeWire, SplitterPoisonsOnOversizedPrefix)
+{
+    FrameSplitter sp;
+    char hdr[4];
+    std::memset(hdr, 0xff, 4);
+    sp.feed(hdr, 4);
+    std::string payload;
+    EXPECT_FALSE(sp.next(payload));
+    EXPECT_FALSE(sp.error().empty());
+    sp.feed("more", 4); // ignored once poisoned
+    EXPECT_FALSE(sp.next(payload));
+}
+
+// ------------------------------------------------------------ proto
+
+TEST(ServeProto, CellRoundTripPreservesKey)
+{
+    RunConfig cfg;
+    cfg.model = MachineModel::Int64KB;
+    cfg.nodes = 4;
+    cfg.ways = 2;
+    cfg.app = "radix";
+    cfg.scale = 0.25;
+    ASSERT_TRUE(ExecParams::parse("parallel:3", cfg.exec));
+    ASSERT_TRUE(parseCheckLevel("asserts", cfg.checkLevel));
+    ASSERT_TRUE(SampleSpec::parse("1000:500:8", cfg.sample));
+    ASSERT_TRUE(fault::FaultPlan::parse("seed=7,drop=0.01", cfg.faults));
+
+    RunConfig back;
+    std::string err;
+    ASSERT_TRUE(cellFromJson(cellToJson(cfg), back, &err)) << err;
+    EXPECT_EQ(cellKey(back), cellKey(cfg));
+    EXPECT_EQ(back.app, cfg.app);
+    EXPECT_EQ(back.exec.toString(), cfg.exec.toString());
+    EXPECT_EQ(back.checkLevel, cfg.checkLevel);
+    EXPECT_EQ(back.sample.warmup, cfg.sample.warmup);
+}
+
+TEST(ServeProto, UnknownCellFieldIsRejected)
+{
+    JsonValue cell = cellToJson(RunConfig{});
+    cell.set("scael", JsonValue::makeNumber(0.5)); // typo'd "scale"
+    RunConfig out;
+    std::string err;
+    EXPECT_FALSE(cellFromJson(cell, out, &err));
+    EXPECT_NE(err.find("scael"), std::string::npos) << err;
+}
+
+TEST(ServeProto, MalformedCellValuesAreRejected)
+{
+    auto reject = [](const char *mutate_key, JsonValue v) {
+        JsonValue cell = cellToJson(RunConfig{});
+        cell.set(mutate_key, std::move(v));
+        RunConfig out;
+        std::string err;
+        EXPECT_FALSE(cellFromJson(cell, out, &err))
+            << mutate_key << " accepted";
+    };
+    reject("nodes", JsonValue::makeNumber(-1));
+    reject("nodes", JsonValue::makeNumber(2.5));
+    reject("nodes", JsonValue::makeNumber(1e18));
+    reject("nodes", JsonValue::makeString("8"));
+    reject("scale", JsonValue::makeNumber(0));
+    reject("exec", JsonValue::makeString("hyperthreaded"));
+    reject("check", JsonValue::makeString("paranoid"));
+    reject("sample", JsonValue::makeString("1:2"));
+    reject("las", JsonValue::makeNumber(1));
+}
+
+TEST(ServeProto, ResultRoundTrip)
+{
+    RunResult r;
+    r.execTime = 123456789;
+    r.memStallFraction = 0.42;
+    r.sampled = true;
+    r.sampleCount = 7;
+    r.ipcMean = 1.25;
+    r.ckpt = 1;
+    r.execSerialized = true;
+    r.wallMs = 98.5;
+    RunResult back = resultFromJson(resultToJson(r));
+    EXPECT_EQ(back.execTime, r.execTime);
+    EXPECT_EQ(back.memStallFraction, r.memStallFraction);
+    EXPECT_TRUE(back.sampled);
+    EXPECT_EQ(back.sampleCount, r.sampleCount);
+    EXPECT_EQ(back.ipcMean, r.ipcMean);
+    EXPECT_EQ(back.ckpt, 1);
+    EXPECT_TRUE(back.execSerialized);
+    EXPECT_EQ(back.wallMs, r.wallMs);
+}
+
+TEST(ServeProto, Hex64RoundTrip)
+{
+    for (std::uint64_t v :
+         {std::uint64_t{0}, std::uint64_t{1}, ~std::uint64_t{0},
+          std::uint64_t{0xdeadbeefcafe1234}}) {
+        std::uint64_t back = 1;
+        EXPECT_TRUE(parseHex64(hex64(v), back));
+        EXPECT_EQ(back, v);
+    }
+    std::uint64_t out;
+    EXPECT_FALSE(parseHex64("", out));
+    EXPECT_FALSE(parseHex64("xyz", out));
+    EXPECT_FALSE(parseHex64("00000000000000000", out)); // 17 digits
+}
+
+// ----------------------------------------------------------- daemon
+
+/** An in-process smtpd on its own thread, torn down per test. */
+struct DaemonFixture
+{
+    std::string dir;
+    std::string sock;
+    Server *server = nullptr;
+    std::thread thread;
+
+    explicit DaemonFixture(const char *tag, unsigned jobs = 2)
+    {
+        dir = std::string("serve_test_") + tag;
+        sock = dir + "/smtpd.sock";
+        start(jobs);
+    }
+
+    void
+    start(unsigned jobs = 2)
+    {
+        ServerOptions opt;
+        opt.socketPath = sock;
+        opt.stateDir = dir;
+        opt.jobs = jobs;
+        server = new Server(opt);
+        thread = std::thread([this] { server->run(); });
+        // The listener may not be up yet; spin until a ping succeeds.
+        Client probe;
+        for (int i = 0; i < 200; ++i) {
+            if (probe.connect(sock) && probe.ping())
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        FAIL() << "daemon did not come up at " << sock;
+    }
+
+    void
+    stop()
+    {
+        if (server == nullptr)
+            return;
+        server->requestStop();
+        thread.join();
+        delete server;
+        server = nullptr;
+    }
+
+    ~DaemonFixture()
+    {
+        stop();
+        std::string cmd = "rm -rf '" + dir + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+};
+
+RunConfig
+quickCell(const char *app = "fft", unsigned nodes = 2)
+{
+    RunConfig cfg;
+    cfg.model = MachineModel::SMTp;
+    cfg.app = app;
+    cfg.nodes = nodes;
+    cfg.scale = 0.05;
+    return cfg;
+}
+
+TEST(ServeDaemon, ServesCellsAndDedupsAcrossConcurrentClients)
+{
+    DaemonFixture d("dedup");
+    // Two clients, overlapping sweeps, submitted concurrently: the
+    // shared cell must simulate once and both clients must receive
+    // byte-identical records for it.
+    std::vector<RunConfig> sweepA{quickCell("fft"), quickCell("lu")};
+    std::vector<RunConfig> sweepB{quickCell("fft"), quickCell("radix")};
+    std::vector<std::string> recA(sweepA.size()), recB(sweepB.size());
+    bool okA = false, okB = false;
+    std::thread ta([&] {
+        Client c;
+        ASSERT_TRUE(c.connect(d.sock));
+        okA = c.submit(sweepA, 0, [&](const CellReply &cr) {
+            recA[cr.index] = cr.record;
+        });
+    });
+    std::thread tb([&] {
+        Client c;
+        ASSERT_TRUE(c.connect(d.sock));
+        okB = c.submit(sweepB, 0, [&](const CellReply &cr) {
+            recB[cr.index] = cr.record;
+        });
+    });
+    ta.join();
+    tb.join();
+    ASSERT_TRUE(okA);
+    ASSERT_TRUE(okB);
+    for (const std::string &r : recA)
+        EXPECT_FALSE(r.empty());
+    for (const std::string &r : recB)
+        EXPECT_FALSE(r.empty());
+    // Byte-identity for the shared fft cell, mod wall_ms.
+    auto strip = [](std::string s) {
+        auto pos = s.find(",\"wall_ms\"");
+        return s.substr(0, pos);
+    };
+    EXPECT_EQ(strip(recA[0]), strip(recB[0]));
+    // The identical cell simulated exactly once.
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    JsonValue stats;
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_EQ(stats.getNumber("cells_submitted"), 4.0);
+    EXPECT_EQ(stats.getNumber("cells_simulated"), 3.0);
+    EXPECT_EQ(stats.getNumber("dedup_hits"), 1.0);
+}
+
+TEST(ServeDaemon, ServedRecordMatchesLocalRunByteForByte)
+{
+    DaemonFixture d("vslocal");
+    RunConfig cfg = quickCell();
+    std::string served;
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    ASSERT_TRUE(c.submit({cfg}, 0, [&](const CellReply &cr) {
+        served = cr.record;
+    })) << c.error();
+    RunResult local = runOnce(cfg);
+    std::string localRec = jsonRecord(cfg, local);
+    auto strip = [](const std::string &s) {
+        return s.substr(0, s.find(",\"wall_ms\""));
+    };
+    ASSERT_FALSE(served.empty());
+    EXPECT_EQ(strip(served), strip(localRec));
+}
+
+TEST(ServeDaemon, RestartRehydratesFromResultCache)
+{
+    DaemonFixture d("restart");
+    RunConfig cfg = quickCell();
+    std::string first;
+    {
+        Client c;
+        ASSERT_TRUE(c.connect(d.sock));
+        ASSERT_TRUE(c.submit({cfg}, 0, [&](const CellReply &cr) {
+            first = cr.record;
+            EXPECT_FALSE(cr.cached);
+        }));
+    }
+    d.stop();
+    d.start();
+    std::string second;
+    bool cached = false;
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    ASSERT_TRUE(c.submit({cfg}, 0, [&](const CellReply &cr) {
+        second = cr.record;
+        cached = cr.cached;
+    }));
+    EXPECT_TRUE(cached);
+    EXPECT_EQ(first, second); // verbatim replay, wall_ms included
+    JsonValue stats;
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_EQ(stats.getNumber("cells_simulated"), 0.0);
+    EXPECT_EQ(stats.getNumber("disk_hits"), 1.0);
+}
+
+TEST(ServeDaemon, UnknownJobFieldsAreRejected)
+{
+    DaemonFixture d("unknown");
+    int fd = connectSocket(d.sock);
+    ASSERT_GE(fd, 0);
+    // Top-level unknown field.
+    ASSERT_TRUE(writeFrame(
+        fd, R"({"op":"submit","cells":[{}],"turbo":true})"));
+    std::string payload, err;
+    ASSERT_EQ(readFrame(fd, payload, &err), 1) << err;
+    JsonValue reply;
+    ASSERT_TRUE(JsonValue::parse(payload, reply));
+    EXPECT_EQ(reply.getString("type"), "error");
+    EXPECT_NE(reply.getString("message").find("turbo"),
+              std::string::npos);
+    ::close(fd);
+    // Unknown per-cell field.
+    fd = connectSocket(d.sock);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(writeFrame(
+        fd, R"({"op":"submit","cells":[{"app":"fft","warpdrive":9}]})"));
+    ASSERT_EQ(readFrame(fd, payload, &err), 1) << err;
+    ASSERT_TRUE(JsonValue::parse(payload, reply));
+    EXPECT_EQ(reply.getString("type"), "error");
+    EXPECT_NE(reply.getString("message").find("warpdrive"),
+              std::string::npos);
+    ::close(fd);
+}
+
+TEST(ServeDaemon, HostileFramesGetErrorsNotCrashes)
+{
+    DaemonFixture d("hostile");
+    // Oversized length prefix: daemon must answer with an error frame
+    // (or hang up), and must still serve the next client.
+    {
+        int fd = connectSocket(d.sock);
+        ASSERT_GE(fd, 0);
+        unsigned char hdr[4] = {0xff, 0xff, 0xff, 0x7f};
+        ASSERT_EQ(::send(fd, hdr, 4, MSG_NOSIGNAL), 4);
+        std::string payload;
+        readFrame(fd, payload); // error frame or EOF; either is fine
+        ::close(fd);
+    }
+    // Bad JSON payload.
+    {
+        int fd = connectSocket(d.sock);
+        ASSERT_GE(fd, 0);
+        ASSERT_TRUE(writeFrame(fd, "{not json"));
+        std::string payload, err;
+        ASSERT_EQ(readFrame(fd, payload, &err), 1) << err;
+        JsonValue reply;
+        ASSERT_TRUE(JsonValue::parse(payload, reply));
+        EXPECT_EQ(reply.getString("type"), "error");
+        ::close(fd);
+    }
+    // Truncated frame then disconnect: promise 50 bytes, send 5, hang
+    // up. The daemon must just drop the connection.
+    {
+        int fd = connectSocket(d.sock);
+        ASSERT_GE(fd, 0);
+        unsigned char hdr[4] = {50, 0, 0, 0};
+        ASSERT_EQ(::send(fd, hdr, 4, MSG_NOSIGNAL), 4);
+        ASSERT_EQ(::send(fd, "hello", 5, MSG_NOSIGNAL), 5);
+        ::close(fd);
+    }
+    // Unsupported protocol version.
+    {
+        int fd = connectSocket(d.sock);
+        ASSERT_GE(fd, 0);
+        ASSERT_TRUE(writeFrame(fd, R"({"op":"ping","proto":99})"));
+        std::string payload, err;
+        ASSERT_EQ(readFrame(fd, payload, &err), 1) << err;
+        JsonValue reply;
+        ASSERT_TRUE(JsonValue::parse(payload, reply));
+        EXPECT_EQ(reply.getString("type"), "error");
+        ::close(fd);
+    }
+    // After all of that, an honest client still gets served.
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    EXPECT_TRUE(c.ping()) << c.error();
+}
+
+TEST(ServeDaemon, ClientDisconnectMidStreamAbandonsItsJob)
+{
+    DaemonFixture d("disco", /*jobs=*/1);
+    // Submit a multi-cell job and hang up immediately: the daemon must
+    // drop the waiters and keep serving others. (With jobs=1 the later
+    // cells are still queued when the disconnect lands, exercising the
+    // abandon path; completed cells stay cached either way.)
+    {
+        int fd = connectSocket(d.sock);
+        ASSERT_GE(fd, 0);
+        JsonValue req;
+        std::string err;
+        RunConfig a = quickCell("fft"), b = quickCell("lu"),
+                  e = quickCell("radix");
+        req = JsonValue::makeObject();
+        req.set("op", JsonValue::makeString("submit"));
+        JsonValue arr = JsonValue::makeArray();
+        arr.append(cellToJson(a));
+        arr.append(cellToJson(b));
+        arr.append(cellToJson(e));
+        req.set("cells", std::move(arr));
+        ASSERT_TRUE(writeFrame(fd, req.dump(), &err)) << err;
+        std::string payload;
+        ASSERT_EQ(readFrame(fd, payload, &err), 1) << err; // accepted
+        ::close(fd); // gone before any cell completes
+    }
+    // A different client's work proceeds normally.
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    std::string rec;
+    ASSERT_TRUE(c.submit({quickCell("water")}, 5,
+                         [&](const CellReply &cr) { rec = cr.record; }))
+        << c.error();
+    EXPECT_FALSE(rec.empty());
+    JsonValue stats;
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_EQ(stats.getNumber("jobs_active"), 0.0);
+}
+
+/** Raw-socket submit; returns the fd with the "accepted" frame consumed. */
+int
+rawSubmit(const std::string &sock, const std::vector<RunConfig> &cells)
+{
+    int fd = connectSocket(sock);
+    EXPECT_GE(fd, 0);
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("submit"));
+    JsonValue arr = JsonValue::makeArray();
+    for (const RunConfig &c : cells)
+        arr.append(cellToJson(c));
+    req.set("cells", std::move(arr));
+    std::string err;
+    EXPECT_TRUE(writeFrame(fd, req.dump(), &err)) << err;
+    std::string payload;
+    EXPECT_EQ(readFrame(fd, payload, &err), 1) << err;
+    JsonValue reply;
+    EXPECT_TRUE(JsonValue::parse(payload, reply));
+    EXPECT_EQ(reply.getString("type"), "accepted");
+    return fd;
+}
+
+TEST(ServeDaemon, CancelRemovesQueuedCells)
+{
+    DaemonFixture d("cancel", /*jobs=*/1);
+    // Job 1 occupies the single worker with a bigger cell; job 2's
+    // four quick cells queue behind it (same priority, FIFO), so the
+    // cancel deterministically catches all four still queued.
+    RunConfig big = quickCell("fft");
+    big.scale = 0.2;
+    int fd1 = rawSubmit(d.sock, {big});
+    int fd2 = rawSubmit(d.sock, {quickCell("fft"), quickCell("lu"),
+                                 quickCell("radix"), quickCell("water")});
+    Client killer;
+    ASSERT_TRUE(killer.connect(d.sock));
+    std::size_t removed = 0;
+    ASSERT_TRUE(killer.cancel(2, &removed)) << killer.error();
+    EXPECT_EQ(removed, 4u);
+    // Job 2's owner gets "done" with everything skipped, no cells.
+    std::string payload, err;
+    ASSERT_EQ(readFrame(fd2, payload, &err), 1) << err;
+    JsonValue done;
+    ASSERT_TRUE(JsonValue::parse(payload, done));
+    EXPECT_EQ(done.getString("type"), "done");
+    EXPECT_EQ(done.getNumber("skipped"), 4.0);
+    ::close(fd2);
+    // Job 1 is untouched: its cell completes and streams normally.
+    ASSERT_EQ(readFrame(fd1, payload, &err), 1) << err;
+    JsonValue cellFrame;
+    ASSERT_TRUE(JsonValue::parse(payload, cellFrame));
+    EXPECT_EQ(cellFrame.getString("type"), "cell");
+    ASSERT_EQ(readFrame(fd1, payload, &err), 1) << err;
+    ASSERT_TRUE(JsonValue::parse(payload, done));
+    EXPECT_EQ(done.getString("type"), "done");
+    EXPECT_EQ(done.getNumber("skipped"), 0.0);
+    ::close(fd1);
+    JsonValue stats;
+    ASSERT_TRUE(killer.stats(stats));
+    EXPECT_EQ(stats.getNumber("jobs_cancelled"), 1.0);
+    EXPECT_EQ(stats.getNumber("jobs_active"), 0.0);
+}
+
+TEST(ServeDaemon, ConcurrentCheckpointLibraryAccessSimulatesWarmupOnce)
+{
+    DaemonFixture d("ckptfarm");
+    // Two clients submit the same cold sampled cell concurrently: the
+    // daemon dedups them into one simulation, which populates the warm
+    // checkpoint farm. A third submission of a *different* sample
+    // count with the same warmup then restores the shared warmup
+    // snapshot instead of re-simulating it.
+    RunConfig sampled = quickCell();
+    ASSERT_TRUE(SampleSpec::parse("20000:5000:4", sampled.sample));
+    std::vector<std::string> recs(2);
+    std::thread ta([&] {
+        Client c;
+        ASSERT_TRUE(c.connect(d.sock));
+        c.submit({sampled}, 0,
+                 [&](const CellReply &cr) { recs[0] = cr.record; });
+    });
+    std::thread tb([&] {
+        Client c;
+        ASSERT_TRUE(c.connect(d.sock));
+        c.submit({sampled}, 0,
+                 [&](const CellReply &cr) { recs[1] = cr.record; });
+    });
+    ta.join();
+    tb.join();
+    ASSERT_FALSE(recs[0].empty());
+    EXPECT_EQ(recs[0], recs[1]); // one simulation, one record
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    JsonValue stats;
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_EQ(stats.getNumber("cells_simulated"), 1.0);
+    EXPECT_EQ(stats.getNumber("dedup_hits"), 1.0);
+
+    // Same warmup, different K: distinct cellKey (no dedup), but the
+    // warmup snapshot is shared through the farm — the record reports
+    // a checkpoint hit.
+    RunConfig other = sampled;
+    other.sample.count = 2;
+    RunResult got;
+    ASSERT_TRUE(c.submit({other}, 0, [&](const CellReply &cr) {
+        got = cr.result;
+    })) << c.error();
+    EXPECT_EQ(got.ckpt, 1) << "warmup snapshot was not shared";
+}
+
+TEST(ServeDaemon, CheckedCellRunsUnderDaemonAndReportsCheckLevel)
+{
+    DaemonFixture d("checked");
+    RunConfig cfg = quickCell();
+    ASSERT_TRUE(ExecParams::parse("parallel:2", cfg.exec));
+    ASSERT_TRUE(parseCheckLevel("asserts", cfg.checkLevel));
+    std::string rec;
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    ASSERT_TRUE(c.submit({cfg}, 0, [&](const CellReply &cr) {
+        rec = cr.record;
+    })) << c.error();
+    EXPECT_NE(rec.find("\"check\":\"asserts\""), std::string::npos)
+        << rec;
+    EXPECT_NE(rec.find("\"exec\":\"parallel:2\""), std::string::npos)
+        << rec;
+    // Unchecked twin must agree on simulated fields.
+    RunConfig plain = quickCell();
+    std::string plainRec;
+    ASSERT_TRUE(c.submit({plain}, 0, [&](const CellReply &cr) {
+        plainRec = cr.record;
+    }));
+    auto ticks = [](const std::string &s) {
+        auto pos = s.find("\"exec_ticks\":");
+        return s.substr(pos, s.find(',', pos) - pos);
+    };
+    EXPECT_EQ(ticks(rec), ticks(plainRec));
+}
+
+} // namespace
+} // namespace smtp::serve

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * smtpctl — command-line client for the smtpd sweep daemon.
+ *
+ *   smtpctl --socket=PATH ping
+ *   smtpctl --socket=PATH stats
+ *   smtpctl --socket=PATH shutdown
+ *   smtpctl --socket=PATH run [cell options]
+ *
+ * `run` submits a cross-product sweep (models x apps x node counts)
+ * as one job and streams results as the daemon completes them: a
+ * human-readable table line per cell on stdout, and — with --json=FILE
+ * — the daemon's verbatim JSON-Lines records appended to FILE, in
+ * submission order, byte-identical (mod wall_ms) to what the same
+ * bench run would have written locally.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/proto.hpp"
+
+namespace
+{
+
+using namespace smtp;
+using namespace smtp::serve;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: smtpctl --socket=PATH COMMAND [options]\n"
+        "commands:\n"
+        "  ping                  liveness round-trip\n"
+        "  stats                 print daemon counters\n"
+        "  shutdown              ask the daemon to exit cleanly\n"
+        "  run                   submit a sweep and stream results\n"
+        "run options (defaults in parentheses):\n"
+        "  --models=A,B          machine models (SMTp)\n"
+        "  --apps=a,b            applications (fft)\n"
+        "  --nodes=N,M           node counts (8)\n"
+        "  --ways=N              SMT contexts per CPU (1)\n"
+        "  --scale=F             problem scale factor (0.05)\n"
+        "  --exec=MODE           serial | parallel[:T] (serial)\n"
+        "  --check=LEVEL         off | asserts | full (off)\n"
+        "  --sample=W:M:K        sampled measurement spec\n"
+        "  --faults=PLAN         fault-injection plan\n"
+        "  --retry=SPEC          NAK retry policy\n"
+        "  --trace               request server-side trace artifacts\n"
+        "  --priority=N          job priority, higher first (0)\n"
+        "  --json=FILE           append the daemon's records to FILE\n");
+    return 2;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t comma = s.find(',', start);
+        if (comma == std::string::npos)
+            comma = s.size();
+        if (comma > start)
+            out.push_back(s.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+int
+runStats(Client &client)
+{
+    JsonValue v;
+    if (!client.stats(v)) {
+        std::fprintf(stderr, "smtpctl: %s\n", client.error().c_str());
+        return 1;
+    }
+    for (const auto &[key, value] : v.members()) {
+        if (key == "type" || key == "proto")
+            continue;
+        std::printf("%-16s %.0f\n", key.c_str(), value.number());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string command;
+    std::string models = "SMTp";
+    std::string apps = "fft";
+    std::string nodesList = "8";
+    RunConfig base;
+    base.scale = 0.05;
+    int priority = 0;
+    std::string jsonPath;
+    bool trace = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) -> const char * {
+            std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        std::string err;
+        if (const char *v = value("--socket=")) {
+            socketPath = v;
+        } else if (const char *v = value("--models=")) {
+            models = v;
+        } else if (const char *v = value("--apps=")) {
+            apps = v;
+        } else if (const char *v = value("--nodes=")) {
+            nodesList = v;
+        } else if (const char *v = value("--ways=")) {
+            base.ways = static_cast<unsigned>(std::atoi(v));
+        } else if (const char *v = value("--scale=")) {
+            base.scale = std::atof(v);
+        } else if (const char *v = value("--exec=")) {
+            if (!ExecParams::parse(v, base.exec, &err)) {
+                std::fprintf(stderr, "smtpctl: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (const char *v = value("--check=")) {
+            if (!parseCheckLevel(v, base.checkLevel, &err)) {
+                std::fprintf(stderr, "smtpctl: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (const char *v = value("--sample=")) {
+            if (!SampleSpec::parse(v, base.sample, &err)) {
+                std::fprintf(stderr, "smtpctl: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (const char *v = value("--faults=")) {
+            if (!fault::FaultPlan::parse(v, base.faults, &err)) {
+                std::fprintf(stderr, "smtpctl: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (const char *v = value("--retry=")) {
+            if (!fault::parseRetryPolicy(v, base.retryPolicy, &err)) {
+                std::fprintf(stderr, "smtpctl: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (const char *v = value("--priority=")) {
+            priority = std::atoi(v);
+        } else if (const char *v = value("--json=")) {
+            jsonPath = v;
+        } else if (arg == "--trace") {
+            trace = true;
+        } else if (!arg.empty() && arg[0] != '-' && command.empty()) {
+            command = arg;
+        } else {
+            std::fprintf(stderr, "smtpctl: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (socketPath.empty() || command.empty())
+        return usage();
+
+    Client client;
+    if (!client.connect(socketPath)) {
+        std::fprintf(stderr, "smtpctl: %s\n", client.error().c_str());
+        return 1;
+    }
+
+    if (command == "ping") {
+        if (!client.ping()) {
+            std::fprintf(stderr, "smtpctl: %s\n",
+                         client.error().c_str());
+            return 1;
+        }
+        std::printf("pong\n");
+        return 0;
+    }
+    if (command == "stats")
+        return runStats(client);
+    if (command == "shutdown") {
+        if (!client.shutdown()) {
+            std::fprintf(stderr, "smtpctl: %s\n",
+                         client.error().c_str());
+            return 1;
+        }
+        std::printf("shutting down\n");
+        return 0;
+    }
+    if (command != "run") {
+        std::fprintf(stderr, "smtpctl: unknown command '%s'\n",
+                     command.c_str());
+        return usage();
+    }
+
+    std::vector<RunConfig> cells;
+    for (const std::string &modelStr : splitCommas(models)) {
+        MachineModel model;
+        if (!modelFromName(modelStr, model)) {
+            std::fprintf(stderr, "smtpctl: unknown model '%s'\n",
+                         modelStr.c_str());
+            return 2;
+        }
+        for (const std::string &app : splitCommas(apps)) {
+            for (const std::string &n : splitCommas(nodesList)) {
+                RunConfig cfg = base;
+                cfg.model = model;
+                cfg.app = app;
+                cfg.nodes = static_cast<unsigned>(std::atoi(n.c_str()));
+                if (cfg.nodes == 0) {
+                    std::fprintf(stderr, "smtpctl: bad node count '%s'\n",
+                                 n.c_str());
+                    return 2;
+                }
+                if (trace)
+                    cfg.traceStem = "?"; // Daemon assigns the real stem.
+                cells.push_back(std::move(cfg));
+            }
+        }
+    }
+    if (cells.empty()) {
+        std::fprintf(stderr, "smtpctl: nothing to run\n");
+        return 2;
+    }
+
+    std::FILE *json = nullptr;
+    if (!jsonPath.empty()) {
+        json = std::fopen(jsonPath.c_str(), "a");
+        if (json == nullptr) {
+            std::fprintf(stderr, "smtpctl: cannot open %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+    }
+
+    // Records are buffered by submission index and flushed in order, so
+    // the JSON file matches a local sweep's ordering exactly even
+    // though the daemon streams in completion order.
+    std::vector<std::string> records(cells.size());
+    std::size_t received = 0;
+    bool ok = client.submit(
+        cells, priority, [&](const CellReply &cr) {
+            records[cr.index] = cr.record;
+            ++received;
+            JsonValue rec;
+            if (JsonValue::parse(cr.record, rec)) {
+                std::printf("%-10s %-10s n%-4.0f w%-3.0f exec_ticks "
+                            "%13.0f mem_stall %.4f%s%s\n",
+                            rec.getString("app").c_str(),
+                            rec.getString("model").c_str(),
+                            rec.getNumber("nodes"),
+                            rec.getNumber("ways"),
+                            rec.getNumber("exec_ticks"),
+                            rec.getNumber("mem_stall"),
+                            cr.cached ? "  [cached]" : "",
+                            cr.traceStem.empty() ? "" : "  [traced]");
+                std::fflush(stdout);
+            }
+        });
+    if (!ok) {
+        std::fprintf(stderr, "smtpctl: %s\n", client.error().c_str());
+        if (json != nullptr)
+            std::fclose(json);
+        return 1;
+    }
+    if (json != nullptr) {
+        for (const std::string &r : records)
+            std::fprintf(json, "%s\n", r.c_str());
+        std::fclose(json);
+    }
+    std::fprintf(stderr, "smtpctl: %zu cell(s) complete\n", received);
+    return 0;
+}

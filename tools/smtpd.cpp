@@ -1,0 +1,94 @@
+/**
+ * @file
+ * smtpd — the sweep-service daemon (docs/service.md).
+ *
+ *   smtpd --socket=PATH --state-dir=DIR [--jobs=N] [--verbose]
+ *
+ * Listens on a local UNIX socket for sweep jobs (see smtpctl and the
+ * bench binaries' --server mode), simulates each distinct cell once on
+ * a shared worker pool, streams records back as they complete, and
+ * keeps a warm checkpoint farm plus an on-disk result cache under
+ * --state-dir so identical work is never paid for twice — not even
+ * across daemon restarts. SIGINT/SIGTERM (or a client "shutdown"
+ * request) stops cleanly: running cells finish and land in the cache,
+ * queued ones are skipped.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace
+{
+
+smtp::serve::Server *g_server = nullptr;
+
+void
+onSignal(int)
+{
+    if (g_server != nullptr)
+        g_server->requestStop();
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: smtpd --socket=PATH --state-dir=DIR [options]\n"
+        "  --socket=PATH     UNIX socket to listen on (required)\n"
+        "  --state-dir=DIR   checkpoint farm + result cache + traces\n"
+        "  --jobs=N          simulation workers (default: "
+        "SMTP_SWEEP_JOBS or hardware)\n"
+        "  --verbose         per-connection and per-cell progress\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    smtp::serve::ServerOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&arg](const char *prefix) -> const char * {
+            std::size_t n = std::strlen(prefix);
+            return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n
+                                                  : nullptr;
+        };
+        if (const char *v = value("--socket=")) {
+            opt.socketPath = v;
+        } else if (const char *v = value("--state-dir=")) {
+            opt.stateDir = v;
+        } else if (const char *v = value("--jobs=")) {
+            long n = std::atol(v);
+            if (n < 1) {
+                std::fprintf(stderr, "smtpd: bad --jobs=%s\n", v);
+                return 2;
+            }
+            opt.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else {
+            std::fprintf(stderr, "smtpd: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        }
+    }
+    if (opt.socketPath.empty() || opt.stateDir.empty())
+        return usage();
+
+    smtp::serve::Server server(std::move(opt));
+    g_server = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+    int rc = server.run();
+    g_server = nullptr;
+    return rc;
+}
