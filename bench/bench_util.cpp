@@ -251,15 +251,20 @@ parseArgs(int argc, char **argv)
             opt.serverSock = vsv2;
         } else if (arg == "--quick") {
             opt.quick = true;
+        } else if (arg == "--big") {
+            opt.big = true;
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help") {
-            std::printf("options: --scale=F --apps=A,B,... --quick "
+            std::printf("options: --scale=F --apps=A,B,... --quick --big "
                         "--verbose --jobs=N --json=PATH --trace[=DIR] "
                         "--faults=PLAN --retry=SPEC --ckpt-dir=DIR "
                         "--sample=W:M:K --exec=serial|parallel[:T] "
                         "--check=off|asserts|full --server=SOCK "
                         "--trace-exec\n"
+                        "  --big    add beyond-paper capacity rows "
+                        "(64/128/256 hardware contexts) to benches "
+                        "that support them (bench_server)\n"
                         "  --jobs   sweep worker threads (default: "
                         "SMTP_SWEEP_JOBS env or all cores)\n"
                         "  --json   append per-cell JSON-Lines records "

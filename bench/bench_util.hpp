@@ -52,6 +52,13 @@ struct BenchOptions
     unsigned dirCacheDivisor = 16;
     std::vector<std::string> apps;  ///< Empty = all six.
     bool quick = false;             ///< Halve sizes, skip 4-way rows.
+    /**
+     * --big: beyond-paper capacity rows (64/128/256 total hardware
+     * contexts via nodes x ways). Off by default — these rows dominate
+     * a sweep's wall time and exist for the scaling story, not the
+     * paper tables.
+     */
+    bool big = false;
     bool verbose = false;
     unsigned jobs = 0;              ///< Sweep workers; 0 = auto.
     std::string jsonPath;           ///< Append per-cell records here.

@@ -2,11 +2,20 @@
 # Runs every paper table/figure benchmark, one section per binary.
 #
 # Usage: ./run_benches.sh [--quick] [--jobs=N] [--json[=PATH]] [--trace[=DIR]]
-#                         [--faults=PLAN] [--retry=SPEC] [--ckpt-dir[=DIR]]
-#                         [--sample=W:M:K] [--exec=MODE] [--check=LEVEL]
-#                         [--server=SOCK]
+#                         [--workloads=A,B,...] [--faults=PLAN] [--retry=SPEC]
+#                         [--ckpt-dir[=DIR]] [--sample=W:M:K] [--exec=MODE]
+#                         [--check=LEVEL] [--server=SOCK]
 #
 #   --quick      smaller configurations everywhere (CI-sized run)
+#   --workloads=L comma-separated workload filter across sections. Names
+#                are the paper apps (FFT, FFTW, LU, Ocean, Radix, Water)
+#                and/or the server family (queue-server, kv-store,
+#                spec-txn); each section receives only the names it can
+#                run (as --apps=), and sections left with no matching
+#                workload are skipped entirely. The server section runs
+#                only the server names, the paper sections only the
+#                paper names, so e.g. --workloads=queue-server runs just
+#                bench_server on the queue workload.
 #   --jobs=N     sweep worker threads per binary (default: SMTP_SWEEP_JOBS
 #                env var, else all hardware threads)
 #   --json[=P]   append per-cell results as JSON Lines to P
@@ -55,6 +64,9 @@ json_path=""
 trace_dir=""
 ckpt_dir=""
 server_sock="${SMTPD_SOCK:-}"
+workloads=""
+paper_apps=""
+server_apps=""
 
 # Rotate "$@" through itself once, classifying each argument; what is
 # not recognized here is collected back into "$@" as the passthrough
@@ -76,9 +88,34 @@ while [ "$i" -lt "$n" ]; do
         --ckpt-dir) ckpt_dir="ckpt_lib" ;;
         --ckpt-dir=*) ckpt_dir="${arg#--ckpt-dir=}" ;;
         --server=*) server_sock="${arg#--server=}" ;;
+        --workloads=*) workloads="${arg#--workloads=}" ;;
         *) set -- "$@" "$arg" ;;
     esac
 done
+
+# Classify the --workloads list into the paper-app and server-app
+# halves; each section later receives only the half it can run.
+if [ -n "$workloads" ]; then
+    rest=$workloads
+    while [ -n "$rest" ]; do
+        case "$rest" in
+            *,*) w=${rest%%,*}; rest=${rest#*,} ;;
+            *) w=$rest; rest="" ;;
+        esac
+        [ -n "$w" ] || continue
+        case "$w" in
+            FFT|FFTW|LU|Ocean|Radix|Water)
+                paper_apps="${paper_apps:+$paper_apps,}$w" ;;
+            queue-server|kv-store|spec-txn)
+                server_apps="${server_apps:+$server_apps,}$w" ;;
+            *)
+                echo "run_benches.sh: unknown workload '$w'" >&2
+                echo "  paper apps:  FFT FFTW LU Ocean Radix Water" >&2
+                echo "  server apps: queue-server kv-store spec-txn" >&2
+                exit 2 ;;
+        esac
+    done
+fi
 
 if [ -n "$json_path" ]; then
     rm -f "$json_path"
@@ -113,14 +150,38 @@ sect() {
     fi
 }
 
+# paper_sect / server_sect: sect, restricted to the matching half of
+# the --workloads filter. With no filter both run their defaults; with
+# a filter, a half with no matching workloads is skipped.
+paper_sect() {
+    if [ -n "$workloads" ]; then
+        [ -n "$paper_apps" ] || return 0
+        sect "$@" "--apps=$paper_apps"
+    else
+        sect "$@"
+    fi
+}
+
+server_sect() {
+    if [ -n "$workloads" ]; then
+        [ -n "$server_apps" ] || return 0
+        sect "$@" "--apps=$server_apps"
+    else
+        sect "$@"
+    fi
+}
+
 # shellcheck disable=SC2086  # $quick is one word or empty by construction
-sect fig2_4 bench_fig2_4 $quick "$@"
-sect fig5_7 bench_fig5_7 --quick "$@"
-sect fig8_9 bench_fig8_9 --quick "$@"
-sect fig10_11 bench_fig10_11 $quick "$@"
-sect table5_6 bench_table5_6 --quick "$@"
-sect table7 bench_table7 $quick "$@"
-sect table8_9 bench_table8_9 $quick "$@"
-sect ablation_las bench_ablation_las $quick "$@"
-sect ablation_pcache bench_ablation_pcache $quick "$@"
-./build/bench/bench_uarch --benchmark_min_time=0.1
+paper_sect fig2_4 bench_fig2_4 $quick "$@"
+paper_sect fig5_7 bench_fig5_7 --quick "$@"
+paper_sect fig8_9 bench_fig8_9 --quick "$@"
+paper_sect fig10_11 bench_fig10_11 $quick "$@"
+paper_sect table5_6 bench_table5_6 --quick "$@"
+paper_sect table7 bench_table7 $quick "$@"
+paper_sect table8_9 bench_table8_9 $quick "$@"
+paper_sect ablation_las bench_ablation_las $quick "$@"
+paper_sect ablation_pcache bench_ablation_pcache $quick "$@"
+server_sect server bench_server $quick "$@"
+if [ -z "$workloads" ]; then
+    ./build/bench/bench_uarch --benchmark_min_time=0.1
+fi

@@ -325,6 +325,14 @@ Checker::dumpReport(std::FILE *out)
             (unsigned long long)(now - t->since), unsigned(t->node),
             (unsigned long long)t->addr, t->kind);
 
+    for (const Probe &p : probes_) {
+        std::fprintf(out,
+            "  progress probe '%s': counter %llu, %s, idle %llu ticks\n",
+            p.name.c_str(), (unsigned long long)p.last,
+            p.done && p.done() ? "done" : "live",
+            (unsigned long long)(p.seen ? now - p.lastChange : 0));
+    }
+
     if (starvations.value() != 0) {
         std::fprintf(out,
             "-- %llu starvation flag(s) (first %zu shown) --\n",
@@ -383,9 +391,29 @@ Checker::untrack(std::uint64_t key)
 }
 
 void
+Checker::addProgressProbe(std::string name,
+                          std::function<std::uint64_t()> counter,
+                          std::function<bool()> done)
+{
+    std::lock_guard<std::recursive_mutex> lk(mtx_);
+    Probe p;
+    p.name = std::move(name);
+    p.counter = std::move(counter);
+    p.done = std::move(done);
+    probes_.push_back(std::move(p));
+    // Probes age from registration on, independent of tracked
+    // transactions: arm the scan now (or at the next barrier).
+    if (barrierArm_) {
+        scanArmRequest_ = true;
+        return;
+    }
+    scheduleScan();
+}
+
+void
 Checker::scheduleScan()
 {
-    if (scanScheduled_ || live_.empty())
+    if (scanScheduled_ || (live_.empty() && probes_.empty()))
         return;
     scanScheduled_ = true;
     eq_->scheduleIn(params_.watchdogScanInterval, ScanEv{this});
@@ -416,12 +444,31 @@ Checker::scan()
         scanScheduled_ = true;
         eq_->scheduleIn(params_.watchdogScanInterval, ScanEv{this});
     }
-    if (live_.empty() || wedgeReported_)
+    if ((live_.empty() && probes_.empty()) || wedgeReported_)
         return;
     const Tick now = eq_->curTick();
     for (const auto &[key, t] : live_) {
         if (now - t.since > params_.watchdogMaxAge) {
             reportWedge("transaction exceeded the watchdog age bound");
+            return;
+        }
+    }
+    for (Probe &p : probes_) {
+        const std::uint64_t v = p.counter();
+        const bool finished = p.done && p.done();
+        if (!p.seen || v != p.last || finished) {
+            p.seen = true;
+            p.last = v;
+            p.lastChange = now;
+            continue;
+        }
+        if (now - p.lastChange > params_.watchdogMaxAge) {
+            char why[160];
+            std::snprintf(why, sizeof(why),
+                          "progress probe '%s' stalled at %llu",
+                          p.name.c_str(),
+                          static_cast<unsigned long long>(v));
+            reportWedge(why);
             return;
         }
     }

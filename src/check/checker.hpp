@@ -150,6 +150,23 @@ class Checker
     }
 
     /**
+     * Register a forward-progress probe for the watchdog: @p counter
+     * must increase while the workload is live; once @p done returns
+     * true (or if it is empty, never) the probe stops aging. Catches
+     * wedges that produce *no* coherence traffic at all — a consumer
+     * spinning on its locally cached line after a lost wakeup — which
+     * the transaction-age watchdog is structurally blind to.
+     *
+     * The counter is read from the watchdog scan (constructor queue,
+     * during window execution); probe state must only mutate in the
+     * single-threaded barrier phase (workload generation does), so
+     * reads never race.
+     */
+    void addProgressProbe(std::string name,
+                          std::function<std::uint64_t()> counter,
+                          std::function<bool()> done = {});
+
+    /**
      * Let wedge reports dump the tails of the machine's telemetry
      * buffers next to the dispatch ring (nullptr => ring only).
      */
@@ -249,6 +266,19 @@ class Checker
         const char *kind = "";
     };
 
+    /** A registered forward-progress probe and its aging state. */
+    struct Probe
+    {
+        std::string name;
+        std::function<std::uint64_t()> counter;
+        std::function<bool()> done;
+        std::uint64_t last = 0;
+        Tick lastChange = 0;
+        /** First scan initializes lastChange lazily (restored runs
+         *  begin mid-simulation; tick 0 would flag instantly). */
+        bool seen = false;
+    };
+
     /** A starvation-threshold crossing kept for the wedge report. */
     struct Starved
     {
@@ -326,6 +356,7 @@ class Checker
     const trace::TraceManager *traceMgr_ = nullptr;
 
     std::unordered_map<std::uint64_t, Live> live_;
+    std::vector<Probe> probes_;
     std::vector<Starved> starved_;
     bool scanScheduled_ = false;
     bool wedgeReported_ = false;

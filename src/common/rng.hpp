@@ -11,7 +11,10 @@
 #ifndef SMTP_COMMON_RNG_HPP
 #define SMTP_COMMON_RNG_HPP
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "snap/snap.hpp"
 
@@ -96,6 +99,53 @@ class Rng
     }
 
     std::uint64_t state_[4];
+};
+
+/**
+ * Zipf-distributed rank sampler over n ranks with exponent s:
+ * P(rank k) proportional to 1 / (k+1)^s for k in [0, n). The CDF is
+ * precomputed once (O(n) doubles) and each sample is a binary search
+ * driven by an external Rng, so two samplers built with the same (n, s)
+ * and fed the same Rng stream produce identical rank sequences. s = 0
+ * degenerates to the exact uniform distribution. Used by the server
+ * workload family for skewed key popularity.
+ */
+class ZipfGen
+{
+  public:
+    ZipfGen(std::size_t n, double s) : cdf_(n), s_(s)
+    {
+        double sum = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+            cdf_[k] = sum;
+        }
+        for (double &c : cdf_)
+            c /= sum;
+    }
+
+    /** Draw a rank in [0, n); rank 0 is the most popular. */
+    std::size_t
+    sample(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        std::size_t lo = 0, hi = cdf_.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    std::size_t ranks() const { return cdf_.size(); }
+    double exponent() const { return s_; }
+
+  private:
+    std::vector<double> cdf_;
+    double s_;
 };
 
 } // namespace smtp

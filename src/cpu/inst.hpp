@@ -205,6 +205,14 @@ class InstSource
 
     /** Barrier-phase top-up to roughly @p target buffered micro-ops. */
     virtual void refill(std::size_t) {}
+
+    /**
+     * Barrier-phase clock: the machine publishes the current tick before
+     * each refill so generators can stamp work items (request birth /
+     * retire times) at window granularity. Ignored by sources without
+     * generator state.
+     */
+    virtual void setNow(Tick) {}
 };
 
 } // namespace smtp

@@ -393,8 +393,10 @@ Machine::prime()
     // A restored machine skips this (windowEnd_ came from the
     // snapshot): its buffers were rebuilt by the resume-log replay.
     for (InstSource *src : sources_) {
-        if (src != nullptr)
+        if (src != nullptr) {
+            src->setNow(0);
             src->refill(kRefillTarget);
+        }
     }
 }
 
@@ -427,10 +429,15 @@ Machine::runWindow(Tick end)
     // Replenish the generators (global workload plane: functional
     // memory, sync primitives) and wake any CPU that idled on a dry
     // buffer. gtid order keeps the functional interleaving exec-mode
-    // independent.
+    // independent. The barrier clock is published first so generators
+    // stamp work items (request birth/retire) with this window's tick —
+    // a pure function of simulated time, hence exec-mode independent
+    // and reproduced exactly by the resume-log replay on restore.
     for (InstSource *src : sources_) {
-        if (src != nullptr)
+        if (src != nullptr) {
+            src->setNow(end - 1);
             src->refill(kRefillTarget);
+        }
     }
     for (auto &node : nodes_)
         node->cpu->poke();

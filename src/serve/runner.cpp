@@ -5,7 +5,9 @@
 #include <memory>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "snap/ckpt_cache.hpp"
+#include "trace/trace.hpp"
 #include "workload/app.hpp"
 
 namespace smtp::serve
@@ -67,6 +69,27 @@ struct CellSim
         for (unsigned t = 0; t < totalThreads; ++t)
             machine->setGlobalSource(t, app->thread(t));
         machine->setWorkloadState(app.get());
+        // Server workloads: request/txn telemetry buffers (no-op for
+        // the scientific apps and for untraced machines — the factory
+        // returns nullptr when the category is masked, keeping other
+        // exports byte-identical) and a watchdog progress probe so a
+        // wedged-but-cache-quiet workload still trips the checker.
+        if (auto *tm = machine->traceManager()) {
+            app->attachTrace([tm](NodeId node) {
+                return tm->createBuffer("wl", node,
+                                        trace::Category::Workload);
+            });
+        }
+        const workload::ServerStats *stats = app->serverStats();
+        if (machine->checker() != nullptr && stats != nullptr) {
+            machine->checker()->addProgressProbe(
+                std::string(app->name()),
+                [stats] {
+                    return stats->requests + stats->txnCommits +
+                           stats->txnAborts;
+                },
+                [stats] { return stats->done(); });
+        }
     }
 };
 
@@ -176,6 +199,32 @@ extractMetrics(Machine &machine, const RunConfig &cfg, RunResult &out,
         out.faultsInjected = fi->injectedTotal();
         out.faultsRecovered = fi->recoveredTotal();
     }
+}
+
+/**
+ * Publish the server-family statistics into the record. Works equally
+ * after a cold simulation, a checkpoint restore (the resume-log replay
+ * recomputed them) or a sampled run; no-op for the scientific apps.
+ */
+void
+extractServerStats(const workload::App &app, RunResult &out)
+{
+    const workload::ServerStats *st = app.serverStats();
+    if (st == nullptr)
+        return;
+    out.server = true;
+    out.requests = st->requests;
+    out.txnCommits = st->txnCommits;
+    out.txnAborts = st->txnAborts;
+    out.txnFallbacks = st->txnFallbacks;
+    out.reqLatMeanUs =
+        st->reqLatency.mean() / static_cast<double>(tickPerUs);
+    out.reqLatP50Us =
+        st->reqLatency.percentile(50.0) / static_cast<double>(tickPerUs);
+    out.reqLatP95Us =
+        st->reqLatency.percentile(95.0) / static_cast<double>(tickPerUs);
+    out.reqLatP99Us =
+        st->reqLatency.percentile(99.0) / static_cast<double>(tickPerUs);
 }
 
 void
@@ -408,6 +457,7 @@ runOnce(const RunConfig &cfg)
         if (cfg.checkLevel != check::CheckLevel::Off)
             sim.machine->quiesce();
     }
+    extractServerStats(*sim.app, out);
     out.wallMs = std::chrono::duration<double, std::milli>(
                      std::chrono::steady_clock::now() - wall_start)
                      .count();
@@ -432,6 +482,26 @@ jsonRecord(const RunConfig &c, const RunResult &r)
             static_cast<unsigned long long>(r.faultsInjected),
             static_cast<unsigned long long>(r.faultsRecovered));
         fault_fields = buf;
+    }
+    // Server-workload fields appear only for the server family, so
+    // the six paper apps' records stay byte-identical to earlier
+    // output. All values are pure functions of simulated state:
+    // serial and parallel:T runs must produce the same bytes.
+    std::string server_fields;
+    if (r.server) {
+        char buf[320];
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\"requests\":%llu,\"req_lat_mean_us\":%.3f,"
+            "\"req_lat_p50_us\":%.3f,\"req_lat_p95_us\":%.3f,"
+            "\"req_lat_p99_us\":%.3f,\"txn_commits\":%llu,"
+            "\"txn_aborts\":%llu,\"txn_fallbacks\":%llu",
+            static_cast<unsigned long long>(r.requests), r.reqLatMeanUs,
+            r.reqLatP50Us, r.reqLatP95Us, r.reqLatP99Us,
+            static_cast<unsigned long long>(r.txnCommits),
+            static_cast<unsigned long long>(r.txnAborts),
+            static_cast<unsigned long long>(r.txnFallbacks));
+        server_fields = buf;
     }
     // Sampled-measurement fields appear only in --sample runs, so
     // full-run records stay byte-identical to earlier output.
@@ -459,15 +529,16 @@ jsonRecord(const RunConfig &c, const RunResult &r)
         exec_field += checkLevelName(c.checkLevel);
         exec_field += "\"";
     }
-    char line[1024];
+    char line[1536];
     std::snprintf(
         line, sizeof(line),
         "{\"app\":\"%s\",\"model\":\"%s\",\"nodes\":%u,\"ways\":%u,"
-        "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s%s%s,\"wall_ms\":%.3f}",
+        "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s%s%s%s,"
+        "\"wall_ms\":%.3f}",
         c.app.c_str(), std::string(modelName(c.model)).c_str(), c.nodes,
         c.ways, static_cast<unsigned long long>(r.execTime),
-        r.memStallFraction, fault_fields.c_str(), sample_fields.c_str(),
-        exec_field.c_str(), r.wallMs);
+        r.memStallFraction, fault_fields.c_str(), server_fields.c_str(),
+        sample_fields.c_str(), exec_field.c_str(), r.wallMs);
     return line;
 }
 

@@ -127,6 +127,17 @@ struct RunResult
     double ipcCi95 = 0.0;         ///< 95% CI half-width (Student's t).
     double memStallMean = 0.0;    ///< Per-interval mem-stall fraction.
     double memStallCi95 = 0.0;
+    // Server-workload statistics (populated only when the app is one
+    // of the server family; see workload::ServerStats).
+    bool server = false;
+    std::uint64_t requests = 0;
+    double reqLatMeanUs = 0.0; ///< Request latency, microseconds.
+    double reqLatP50Us = 0.0;
+    double reqLatP95Us = 0.0;
+    double reqLatP99Us = 0.0;
+    std::uint64_t txnCommits = 0;
+    std::uint64_t txnAborts = 0;
+    std::uint64_t txnFallbacks = 0;
     // Checkpoint-library outcome: -1 = library off, 0 = miss, 1 = hit.
     int ckpt = -1;
     /** A parallel exec request was serialized by the FullMirror checker. */

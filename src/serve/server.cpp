@@ -37,17 +37,21 @@ ensureDir(const std::string &path)
 bool
 knownApp(const std::string &name)
 {
-    for (const std::string &n : workload::appNames()) {
-        if (name == n)
-            return true;
-        std::string lower = n;
-        for (char &c : lower)
-            c = static_cast<char>(
-                std::tolower(static_cast<unsigned char>(c)));
-        if (name == lower)
-            return true;
-    }
-    return false;
+    auto matches = [&](const std::vector<std::string> &names) {
+        for (const std::string &n : names) {
+            if (name == n)
+                return true;
+            std::string lower = n;
+            for (char &c : lower)
+                c = static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c)));
+            if (name == lower)
+                return true;
+        }
+        return false;
+    };
+    return matches(workload::appNames()) ||
+           matches(workload::serverAppNames());
 }
 
 } // namespace

@@ -117,7 +117,12 @@ class Distribution
     {
         if (hist_.empty() || count_ == 0)
             return 0.0;
-        double target = std::max(1.0, p / 100.0 * static_cast<double>(count_));
+        // Clamp p to [0, 100] and the rank to the recorded weight so a
+        // tail percentile of a thin sample (p99 of 10 requests) resolves
+        // to the last occupied bucket instead of running off the end.
+        const double pc = std::min(std::max(p, 0.0), 100.0);
+        double target = std::max(1.0, pc / 100.0 * static_cast<double>(count_));
+        target = std::min(target, static_cast<double>(count_));
         std::size_t nb = hist_.size() - 2;
         double width = (histHi_ - histLo_) / static_cast<double>(nb);
         std::uint64_t cum = 0;

@@ -33,7 +33,9 @@
 namespace smtp::snap
 {
 
-constexpr std::uint32_t kFormatVersion = 1;
+// v2: the workload resume log carries barrier-clock tick epochs (server
+// workload request stamps); v1 images are rejected cleanly.
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr char kMagic[8] = {'S', 'M', 'T', 'P', 'S', 'N', 'A', 'P'};
 
 /** Builds a snapshot in memory, then writes it atomically. */

@@ -17,6 +17,7 @@ categoryName(Category c)
       case Category::Check: return "check";
       case Category::Fault: return "fault";
       case Category::Exec: return "exec";
+      case Category::Workload: return "wl";
       case Category::NumCategories: break;
     }
     return "?";
@@ -59,7 +60,21 @@ eventName(EventId id)
       case EventId::FaultStarvation: return "fault.starve";
       case EventId::WindowAdvance: return "exec.window";
       case EventId::BarrierWait: return "exec.barrier";
+      case EventId::ReqRetire: return "req.retire";
+      case EventId::TxnCommit: return "txn.commit";
+      case EventId::TxnAbort: return "txn.abort";
       case EventId::NumEvents: break;
+    }
+    return "?";
+}
+
+std::string_view
+reqKindName(ReqKind k)
+{
+    switch (k) {
+      case ReqKind::Queue: return "queue";
+      case ReqKind::Kv: return "kv";
+      case ReqKind::Txn: return "txn";
     }
     return "?";
 }
@@ -184,6 +199,18 @@ formatEvent(const Event &e, char *buf, std::size_t len)
         std::snprintf(buf, len, "[%llu] %-16s shard=%u waitNs=%llu", tick,
                       name, windowShard(a),
                       static_cast<unsigned long long>(windowValue(a)));
+        break;
+      case EventId::ReqRetire:
+        std::snprintf(buf, len, "[%llu] %-16s n%u kind=%s latency=%llu",
+                      tick, name, unsigned(reqNode(a)),
+                      std::string(reqKindName(reqKind(a))).c_str(),
+                      static_cast<unsigned long long>(reqLatency(a)));
+        break;
+      case EventId::TxnCommit:
+      case EventId::TxnAbort:
+        std::snprintf(buf, len, "[%llu] %-16s n%u aborts=%llu", tick,
+                      name, unsigned(txnNode(a)),
+                      static_cast<unsigned long long>(txnAborts(a)));
         break;
       default:
         std::snprintf(buf, len, "[%llu] %-16s arg=%" PRIx64, tick, name, a);

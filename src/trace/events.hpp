@@ -34,6 +34,7 @@ enum class Category : std::uint8_t
     Check = 4,    ///< Checker-owned rings (dispatch history).
     Fault = 5,    ///< Injected faults + retry/backoff decisions.
     Exec = 6,     ///< Shard executor: window advances, barrier waits.
+    Workload = 7, ///< Server workloads: request retires, txn outcomes.
     NumCategories
 };
 
@@ -107,6 +108,11 @@ enum class EventId : std::uint8_t
     WindowAdvance,    ///< arg: window pack (shard, events run in window).
     BarrierWait,      ///< arg: window pack (shard, host ns waited at the
                       ///< barrier). Host time: never in default exports.
+
+    // ---- Workload (server family; see src/workload/server/) ------------
+    ReqRetire,        ///< arg: req pack (kind, latency ticks, node).
+    TxnCommit,        ///< arg: txn pack (node, aborts before commit).
+    TxnAbort,         ///< arg: txn pack (node, consecutive abort count).
 
     NumEvents
 };
@@ -340,6 +346,48 @@ constexpr unsigned execSends(std::uint64_t arg) { return (arg >> 16) & 0xffff; }
 constexpr unsigned execAck(std::uint64_t arg) { return (arg >> 32) & 0xffff; }
 constexpr unsigned execMshr(std::uint64_t arg) { return (arg >> 48) & 0xff; }
 constexpr NodeId execNode(std::uint64_t arg) { return (arg >> 56) & 0xff; }
+
+// ---- Req pack (ReqRetire: server request kinds + latency) --------------
+
+/** Request kinds carried in ReqRetire events. */
+enum class ReqKind : std::uint8_t
+{
+    Queue = 0, ///< queue-server work item (birth at push, retire at pop).
+    Kv = 1,    ///< kv-store request batch.
+    Txn = 2,   ///< spec-txn committed transaction.
+};
+
+constexpr std::uint64_t
+packReq(ReqKind kind, Tick latency, NodeId node)
+{
+    return (static_cast<std::uint64_t>(kind) & 0xf) |
+           ((latency < (1ULL << 48) ? latency : (1ULL << 48) - 1) << 4) |
+           (static_cast<std::uint64_t>(node & 0xff) << 52);
+}
+
+constexpr ReqKind reqKind(std::uint64_t arg)
+{
+    return static_cast<ReqKind>(arg & 0xf);
+}
+constexpr Tick reqLatency(std::uint64_t arg)
+{
+    return (arg >> 4) & ((1ULL << 48) - 1);
+}
+constexpr NodeId reqNode(std::uint64_t arg) { return (arg >> 52) & 0xff; }
+
+std::string_view reqKindName(ReqKind k);
+
+// ---- Txn pack (TxnCommit/TxnAbort) -------------------------------------
+
+constexpr std::uint64_t
+packTxn(NodeId node, std::uint64_t aborts)
+{
+    return (node & 0xff) |
+           ((aborts < (1ULL << 56) ? aborts : (1ULL << 56) - 1) << 8);
+}
+
+constexpr NodeId txnNode(std::uint64_t arg) { return arg & 0xff; }
+constexpr std::uint64_t txnAborts(std::uint64_t arg) { return arg >> 8; }
 
 // ---- Ecc pack (FaultEccCorrect/FaultEccDetect) -------------------------
 

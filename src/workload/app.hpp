@@ -9,6 +9,7 @@
 #ifndef SMTP_WORKLOAD_APP_HPP
 #define SMTP_WORKLOAD_APP_HPP
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -16,9 +17,15 @@
 
 #include "common/rng.hpp"
 #include "mem/address_map.hpp"
+#include "sim/stats.hpp"
 #include "workload/func_mem.hpp"
 #include "workload/gen.hpp"
 #include "workload/sync.hpp"
+
+namespace smtp::trace
+{
+class TraceBuffer;
+}
 
 namespace smtp::workload
 {
@@ -73,6 +80,14 @@ struct WorkloadEnv
     double scale = 1.0;
     std::uint64_t seed = 1;
 
+    /**
+     * Fault-injection hook for the watchdog test: when set, the
+     * queue-server producer drops exactly one slot publish (a classic
+     * lost wakeup), wedging the consumer that claimed that ticket on a
+     * locally cached spin with no coherence traffic. Off by default.
+     */
+    bool injectLostWakeup = false;
+
     unsigned totalThreads() const { return nodes * threadsPerNode; }
 
     NodeId
@@ -80,6 +95,26 @@ struct WorkloadEnv
     {
         return static_cast<NodeId>(gtid / threadsPerNode);
     }
+};
+
+/**
+ * First-class statistics of the server workload family (queue-server,
+ * kv-store, spec-txn). Recomputed for free on checkpoint restore: the
+ * resume-log replay re-executes every generator, so counters and the
+ * latency histogram land exactly where the snapshot left them.
+ */
+struct ServerStats
+{
+    std::uint64_t requests = 0;    ///< Retired requests.
+    std::uint64_t txnCommits = 0;  ///< Committed speculative sections.
+    std::uint64_t txnAborts = 0;   ///< Conflict-induced aborts.
+    std::uint64_t txnFallbacks = 0; ///< Starvation fallbacks to the lock.
+    /** Birth-to-retire request latency in ticks (window granularity). */
+    Distribution reqLatency;
+    unsigned threadsFinished = 0;
+    unsigned threadsTotal = 0;
+
+    bool done() const { return threadsFinished == threadsTotal; }
 };
 
 class App : public snap::Snapshottable
@@ -98,6 +133,27 @@ class App : public snap::Snapshottable
         return static_cast<unsigned>(threads_.size());
     }
 
+    /**
+     * Server workload statistics; nullptr for the scientific apps. The
+     * pointer stays valid for the app's lifetime and its fields mutate
+     * only during barrier-phase generation, so watchdog progress probes
+     * may read it from the scan path without racing.
+     */
+    virtual const ServerStats *serverStats() const { return nullptr; }
+
+    /**
+     * Offer per-node trace buffers for the Workload telemetry category
+     * (request retires, txn commits/aborts). Harnesses that want the
+     * events call this after build() with a factory that creates one
+     * buffer per node; apps without workload telemetry ignore it, so
+     * plain runs allocate nothing and existing trace exports are
+     * byte-identical.
+     */
+    virtual void
+    attachTrace(const std::function<trace::TraceBuffer *(NodeId)> &)
+    {
+    }
+
     // ---- Snapshot support (see ThreadCtx) -----------------------------
     //
     // Serializes the global coroutine resume log plus per-thread
@@ -111,9 +167,14 @@ class App : public snap::Snapshottable
     saveState(snap::Ser &out) const override
     {
         out.str(name());
-        out.u64(log_.size());
-        for (std::uint32_t g : log_)
+        out.u64(log_.resumes.size());
+        for (std::uint32_t g : log_.resumes)
             out.u32(g);
+        out.u64(log_.epochs.size());
+        for (const auto &e : log_.epochs) {
+            out.u64(e.first);
+            out.u64(e.second);
+        }
         out.u64(threads_.size());
         for (const auto &t : threads_)
             t->saveState(out);
@@ -127,8 +188,8 @@ class App : public snap::Snapshottable
             return;
         }
         std::uint64_t n = in.count(4);
-        log_.clear();
-        log_.reserve(n);
+        std::vector<std::uint32_t> resumes;
+        resumes.reserve(n);
         for (std::uint64_t i = 0; in.ok() && i < n; ++i) {
             std::uint32_t g = in.u32();
             if (g >= threads_.size()) {
@@ -136,16 +197,50 @@ class App : public snap::Snapshottable
                         "out-of-range thread");
                 return;
             }
-            log_.push_back(g);
+            resumes.push_back(g);
         }
         if (!in.ok())
             return;
-        for (std::uint32_t g : log_) {
+        std::uint64_t ne = in.count(16);
+        std::vector<std::pair<std::uint64_t, Tick>> epochs;
+        epochs.reserve(ne);
+        std::uint64_t prev = 0;
+        for (std::uint64_t i = 0; in.ok() && i < ne; ++i) {
+            std::uint64_t at = in.u64();
+            Tick t = in.u64();
+            if (at > n || at < prev) {
+                in.fail("corrupt snapshot: resume-log tick epochs out "
+                        "of order");
+                return;
+            }
+            prev = at;
+            epochs.emplace_back(at, t);
+        }
+        if (!in.ok())
+            return;
+        // Replay, re-advancing the barrier clock at the recorded epoch
+        // boundaries so every tick-stamped work item (request birth,
+        // latency sample) regenerates with its original timestamp.
+        log_.resumes.clear();
+        log_.epochs.clear();
+        log_.now = 0;
+        std::size_t ei = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            while (ei < epochs.size() && epochs[ei].first <= i) {
+                log_.setNow(epochs[ei].second);
+                ++ei;
+            }
+            std::uint32_t g = resumes[i];
+            log_.resumes.push_back(g);
             if (!threads_[g]->replayResume()) {
                 in.fail("corrupt snapshot: resume log runs past the "
                         "end of a generator");
                 return;
             }
+        }
+        while (ei < epochs.size()) {
+            log_.setNow(epochs[ei].second);
+            ++ei;
         }
         if (in.u64() != threads_.size()) {
             in.fail("corrupt snapshot: workload thread count mismatch");
@@ -194,13 +289,17 @@ class App : public snap::Snapshottable
 };
 
 /**
- * Factory for the paper's applications: "fft", "fftw", "lu", "radix",
- * "ocean", "water". Fatal on unknown names.
+ * Factory for all applications: the paper's six ("fft", "fftw", "lu",
+ * "radix", "ocean", "water") plus the server family ("queue-server",
+ * "kv-store", "spec-txn"). Fatal on unknown names.
  */
 std::unique_ptr<App> makeApp(std::string_view name);
 
-/** All six application names in the paper's presentation order. */
+/** The six paper application names in the paper's presentation order. */
 const std::vector<std::string> &appNames();
+
+/** The server-class workload family (see src/workload/server/). */
+const std::vector<std::string> &serverAppNames();
 
 } // namespace smtp::workload
 

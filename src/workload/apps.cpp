@@ -27,6 +27,7 @@
 
 #include "common/bits.hpp"
 #include "common/log.hpp"
+#include "workload/server/server.hpp"
 
 namespace smtp::workload
 {
@@ -801,6 +802,8 @@ makeApp(std::string_view name)
         return std::make_unique<OceanApp>();
     if (name == "Water" || name == "water")
         return std::make_unique<WaterApp>();
+    if (auto server = makeServerApp(name))
+        return server;
     SMTP_FATAL("unknown application '%s'", std::string(name).c_str());
 }
 

@@ -203,7 +203,7 @@ class ThreadCtx : public InstSource
             auto h = resume_;
             SMTP_ASSERT(h && !h.done(), "generator wedged");
             if (log_ != nullptr)
-                log_->push_back(gtid_);
+                log_->resumes.push_back(gtid_);
             h.resume();
         }
     }
@@ -221,7 +221,29 @@ class ThreadCtx : public InstSource
     // then pops each thread's consumed prefix. The scalars saved here
     // only validate that the replay converged to the same state.
 
-    using ResumeLog = std::vector<std::uint32_t>;
+    struct ResumeLog
+    {
+        /** Global resume order: one gtid per coroutine resume. */
+        std::vector<std::uint32_t> resumes;
+        /**
+         * Barrier-clock epochs: entry (i, t) means resumes from index i
+         * onward were generated with the clock reading t. Saved and
+         * replayed with the log so tick-stamped work items (request
+         * birth times, latency samples) reproduce exactly on restore.
+         */
+        std::vector<std::pair<std::uint64_t, Tick>> epochs;
+        /** Clock as of the latest setNow(); 0 before the first window. */
+        Tick now = 0;
+
+        void
+        setNow(Tick t)
+        {
+            if (t == now)
+                return;
+            now = t;
+            epochs.emplace_back(resumes.size(), t);
+        }
+    };
 
     /** Log every coroutine resume as @p gtid into @p log. */
     void
@@ -229,6 +251,25 @@ class ThreadCtx : public InstSource
     {
         log_ = log;
         gtid_ = gtid;
+    }
+
+    /** Machine barrier phase publishes the tick before each refill. */
+    void
+    setNow(Tick t) override
+    {
+        if (log_ != nullptr)
+            log_->setNow(t);
+    }
+
+    /**
+     * Generation-time clock for stamping work items: the tick of the
+     * last barrier before the current refill (window granularity), 0
+     * when no log is attached or generation is unbuffered.
+     */
+    Tick
+    now() const
+    {
+        return log_ != nullptr ? log_->now : 0;
     }
 
     /** One unlogged resume (snapshot replay); false past generator end. */
@@ -515,7 +556,7 @@ class ThreadCtx : public InstSource
             auto h = resume_;
             SMTP_ASSERT(h && !h.done(), "generator wedged");
             if (log_ != nullptr)
-                log_->push_back(gtid_);
+                log_->resumes.push_back(gtid_);
             h.resume();
         }
     }

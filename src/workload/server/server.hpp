@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The server-class workload family (ROADMAP item 3): reactive
+ * generators shaped like production traffic rather than SPLASH
+ * kernels. See docs/workloads.md for semantics and knobs.
+ *
+ *   queue-server  contended producer/consumer MPMC work queue with
+ *                 per-request birth/retire latency stamps
+ *   kv-store      read-mostly Zipf-skewed key-value loop with hot-key
+ *                 write bursts (invalidation storms)
+ *   spec-txn      HTM-style speculative critical sections: software
+ *                 read/write-set tracking, conflict detection,
+ *                 abort/retry with the NAK backoff policies
+ *
+ * All three are ordinary Apps: they run on the five machine models,
+ * generate bit-identically under any --exec mode, survive
+ * checkpoint/restore via the resume-log replay, and publish their
+ * counters through App::serverStats() for the serve runner, the
+ * watchdog progress probes and trace_report.
+ */
+
+#ifndef SMTP_WORKLOAD_SERVER_SERVER_HPP
+#define SMTP_WORKLOAD_SERVER_SERVER_HPP
+
+#include <memory>
+#include <string_view>
+
+#include "workload/app.hpp"
+
+namespace smtp::workload
+{
+
+/**
+ * Factory for the server family ("queue-server", "kv-store",
+ * "spec-txn", case-insensitive-ish like makeApp). Returns nullptr for
+ * unknown names so makeApp() can fall through to its own error.
+ */
+std::unique_ptr<App> makeServerApp(std::string_view name);
+
+} // namespace smtp::workload
+
+#endif // SMTP_WORKLOAD_SERVER_SERVER_HPP

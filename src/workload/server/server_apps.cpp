@@ -1,0 +1,564 @@
+/**
+ * @file
+ * Server-class workload generators (see server.hpp). Three design
+ * rules keep them deterministic under every execution mode:
+ *
+ *  1. All randomness is drawn from per-thread Rng/ZipfGen state living
+ *     in the coroutine frame, so the resume-log replay reconstructs it.
+ *  2. Timestamps come from ThreadCtx::now() — the barrier clock the
+ *     machine publishes before each refill. It is a pure function of
+ *     simulated time (window granularity), identical across
+ *     serial/parallel execution and reproduced on restore via the
+ *     resume log's tick epochs.
+ *  3. Blocking is always *generative* spinning (spinUntilEq /
+ *     acquireLock): a blocked thread emits cached probe loads and
+ *     resolves when its counterpart generates the release in a later
+ *     barrier phase, exactly like the SPLASH apps' locks and barriers.
+ */
+
+#include "workload/server/server.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "fault/fault.hpp"
+#include "trace/trace.hpp"
+#include "workload/sync.hpp"
+
+namespace smtp::workload
+{
+
+namespace
+{
+
+unsigned
+scaled(double base, double scale, unsigned minimum, unsigned multiple)
+{
+    auto v = static_cast<unsigned>(base * scale);
+    v = std::max(v, minimum);
+    return static_cast<unsigned>(roundUp(v, multiple));
+}
+
+// ====================================================================
+// Common scaffolding
+// ====================================================================
+
+class ServerApp : public App
+{
+  public:
+    const ServerStats *serverStats() const override { return &stats_; }
+
+    void
+    attachTrace(
+        const std::function<trace::TraceBuffer *(NodeId)> &make) override
+    {
+        wlTrace_.clear();
+        for (unsigned n = 0; n < env_.nodes; ++n)
+            wlTrace_.push_back(make(static_cast<NodeId>(n)));
+    }
+
+  protected:
+    /** Request-latency histogram: 80 buckets of 250 ns up to 20 us. */
+    void
+    initStats(const WorkloadEnv &env)
+    {
+        stats_ = ServerStats{};
+        stats_.reqLatency.enableHistogram(
+            0.0, static_cast<double>(20 * tickPerUs), 80);
+        stats_.threadsTotal = env.totalThreads();
+    }
+
+    void
+    record(ThreadCtx &ctx, trace::EventId id, std::uint64_t arg)
+    {
+        const auto n = static_cast<std::size_t>(ctx.node());
+        if (n < wlTrace_.size() && wlTrace_[n] != nullptr)
+            wlTrace_[n]->record(ctx.now(), id, arg);
+    }
+
+    /** Retire one request born at @p birth (barrier-clock ticks). */
+    void
+    retire(ThreadCtx &ctx, trace::ReqKind kind, Tick birth)
+    {
+        const Tick now = ctx.now();
+        const Tick lat = now >= birth ? now - birth : 0;
+        ++stats_.requests;
+        stats_.reqLatency.sample(static_cast<double>(lat));
+        record(ctx, trace::EventId::ReqRetire,
+               trace::packReq(kind, lat, ctx.node()));
+    }
+
+    ServerStats stats_;
+    std::vector<trace::TraceBuffer *> wlTrace_;
+};
+
+// ====================================================================
+// queue-server: contended MPMC producer/consumer work queue
+// ====================================================================
+//
+// A Vyukov-style bounded MPMC ring. Every slot is one coherence line
+// (sequence word + request payload) homed round-robin across nodes;
+// the push/pop ticket counters are two dedicated hot lines bounced by
+// fetch-and-add — the directory sees a steady mix of upgrade races,
+// migratory ticket lines and spin/invalidate pairs on the slots.
+//
+// Producers stamp each request with the barrier clock at push;
+// consumers retire it at pop, so the latency histogram measures real
+// queueing delay (in simulated time, window granularity).
+
+class QueueServerApp : public ServerApp
+{
+  public:
+    std::string_view name() const override { return "queue-server"; }
+
+    void
+    build(const WorkloadEnv &env) override
+    {
+        makeThreads(env);
+        initStats(env);
+        const unsigned p = env.totalThreads();
+        // First half produce, second half consume (a lone thread
+        // self-serves). Requests-per-producer scales with the problem.
+        nProd_ = p >= 2 ? p / 2 : 1;
+        const unsigned per = scaled(48, env.scale, 8, 4);
+        total_ = static_cast<std::uint64_t>(per) * nProd_;
+        capacity_ = 32;
+
+        pushTicket_ = alloc_->allocLine(0);
+        popTicket_ = alloc_->allocLine(env.nodes > 1 ? 1 : 0);
+        slots_.resize(capacity_);
+        for (unsigned i = 0; i < capacity_; ++i) {
+            slots_[i] = alloc_->allocLine(
+                static_cast<NodeId>(i % env.nodes));
+            // Vyukov sequence init: slot i starts at lap-0 ticket i.
+            env.mem->poke(slots_[i], i);
+        }
+        for (unsigned t = 0; t < p; ++t) {
+            scratch_.push_back(
+                alloc_->alloc(8 * 64, env.nodeOf(t), l2LineBytes));
+        }
+        // The deliberate lost-wakeup bug (watchdog test): drop exactly
+        // one slot publish mid-run.
+        lostTicket_ = env.injectLostWakeup ? total_ / 2 : ~0ULL;
+
+        barrier_ = std::make_unique<TreeBarrier>(
+            p, env.nodes, [&](NodeId h) { return alloc_->allocLine(h); });
+        for (unsigned t = 0; t < p; ++t)
+            threads_[t]->run(thread(*threads_[t], t));
+    }
+
+  private:
+    Task
+    thread(ThreadCtx &ctx, unsigned tid)
+    {
+        const unsigned p = env_.totalThreads();
+        if (p == 1) {
+            const auto per = static_cast<unsigned>(total_);
+            for (unsigned r = 0; r < per; ++r) {
+                co_await produceOne(ctx);
+                co_await consumeOne(ctx);
+            }
+        } else if (tid < nProd_) {
+            const auto per = static_cast<unsigned>(total_ / nProd_);
+            for (unsigned r = 0; r < per; ++r)
+                co_await produceOne(ctx);
+        } else {
+            for (;;) {
+                std::uint64_t t = co_await ctx.fetchAdd(popTicket_, 1);
+                bool live = t < total_;
+                co_await ctx.branch(live);
+                if (!live)
+                    break;
+                co_await consumeTicket(ctx, tid, t);
+            }
+        }
+        ++stats_.threadsFinished;
+        co_await barrier_->wait(ctx, tid);
+    }
+
+    Task
+    produceOne(ThreadCtx &ctx)
+    {
+        std::uint64_t t = co_await ctx.fetchAdd(pushTicket_, 1);
+        Addr slot = slots_[t % capacity_];
+        // Wait for the slot to drain from the previous lap (seq == t).
+        co_await spinUntilEq(ctx, slot, t);
+        co_await ctx.store(slot + 8, ctx.now()); // birth stamp
+        co_await ctx.store(slot + 16, t);        // request id
+        co_await ctx.intOps(4);
+        if (t == lostTicket_) {
+            // Lost wakeup: payload written, sequence never published.
+            // The claiming consumer spins on its cached copy forever —
+            // no MSHR traffic, invisible to the coherence watchdog,
+            // caught only by the workload progress probe.
+            co_await ctx.intOps(1);
+        } else {
+            co_await ctx.store(slot, t + 1); // publish
+        }
+    }
+
+    Task
+    consumeOne(ThreadCtx &ctx)
+    {
+        std::uint64_t t = co_await ctx.fetchAdd(popTicket_, 1);
+        co_await consumeTicket(ctx, 0, t);
+    }
+
+    Task
+    consumeTicket(ThreadCtx &ctx, unsigned tid, std::uint64_t t)
+    {
+        Addr slot = slots_[t % capacity_];
+        co_await spinUntilEq(ctx, slot, t + 1);
+        std::uint64_t birth = co_await ctx.load(slot + 8);
+        co_await ctx.load(slot + 16);
+        // Service the request: scratch traffic + ALU work.
+        Addr scratch = scratch_[tid];
+        auto lp = ctx.loopBegin();
+        for (unsigned i = 0; i < 4; ++i) {
+            std::uint64_t v = co_await ctx.load(scratch + 8 * i);
+            co_await ctx.store(scratch + 8 * i, v + t);
+            co_await ctx.intOps(8);
+            co_await ctx.loopEnd(lp, i + 1 < 4);
+        }
+        co_await ctx.store(slot, t + capacity_); // free the slot
+        retire(ctx, trace::ReqKind::Queue, birth);
+    }
+
+    unsigned nProd_ = 1;
+    unsigned capacity_ = 32;
+    std::uint64_t total_ = 0;
+    std::uint64_t lostTicket_ = ~0ULL;
+    Addr pushTicket_ = 0;
+    Addr popTicket_ = 0;
+    std::vector<Addr> slots_;
+    std::vector<Addr> scratch_;
+    std::unique_ptr<TreeBarrier> barrier_;
+};
+
+// ====================================================================
+// kv-store: read-mostly Zipf loop with hot-key write bursts
+// ====================================================================
+//
+// Every key is one line; popularity follows Zipf(s = 1.1) so a handful
+// of hot lines end up Shared by every node (the read-mostly steady
+// state). Periodic write bursts to the hottest keys trigger
+// invalidation storms — the directory fans out to the full sharer
+// vector, exactly the occupancy stress the paper's protocol thread
+// must absorb. The read/write mix and burst period are fixed knobs
+// documented in docs/workloads.md.
+
+class KvStoreApp : public ServerApp
+{
+  public:
+    std::string_view name() const override { return "kv-store"; }
+
+    void
+    build(const WorkloadEnv &env) override
+    {
+        makeThreads(env);
+        initStats(env);
+        const unsigned p = env.totalThreads();
+        numKeys_ = scaled(64, env.scale, 16, 8);
+        reqsPerThread_ = scaled(96, env.scale, 16, 8);
+        keys_.resize(numKeys_);
+        for (unsigned k = 0; k < numKeys_; ++k) {
+            keys_[k] = alloc_->allocLine(
+                static_cast<NodeId>(k % env.nodes));
+        }
+        barrier_ = std::make_unique<TreeBarrier>(
+            p, env.nodes, [&](NodeId h) { return alloc_->allocLine(h); });
+        for (unsigned t = 0; t < p; ++t)
+            threads_[t]->run(thread(*threads_[t], t));
+    }
+
+  private:
+    /** Popularity rank -> key index, decorrelating rank from home. */
+    Addr
+    keyOf(std::size_t rank) const
+    {
+        return keys_[(rank * 11 + 3) % numKeys_];
+    }
+
+    Task
+    thread(ThreadCtx &ctx, unsigned tid)
+    {
+        Rng rng(env_.seed * 0x9e3779b9ULL + tid * 77 + 1);
+        ZipfGen zipf(numKeys_, 1.1);
+        for (unsigned r = 0; r < reqsPerThread_; ++r) {
+            const Tick birth = ctx.now();
+            if (r % burstPeriod == burstPeriod - 1) {
+                // Hot-key write burst: dirty the hottest lines back to
+                // back and invalidate every sharer.
+                for (unsigned h = 0; h < burstKeys; ++h) {
+                    Addr key = keyOf(h);
+                    std::uint64_t v = co_await ctx.load(key);
+                    co_await ctx.store(key, v + 1);
+                    co_await ctx.intOps(2);
+                }
+            } else {
+                // A request is a small batch of key ops.
+                for (unsigned a = 0; a < opsPerReq; ++a) {
+                    Addr key = keyOf(zipf.sample(rng));
+                    bool read = rng.chance(readFrac);
+                    co_await ctx.branch(read);
+                    if (read) {
+                        co_await ctx.load(key);
+                        co_await ctx.intOps(4);
+                    } else {
+                        std::uint64_t v = co_await ctx.load(key);
+                        co_await ctx.store(key, v + 1);
+                        co_await ctx.intOps(2);
+                    }
+                }
+            }
+            co_await ctx.fpOps(8);
+            retire(ctx, trace::ReqKind::Kv, birth);
+        }
+        ++stats_.threadsFinished;
+        co_await barrier_->wait(ctx, tid);
+    }
+
+    static constexpr double readFrac = 0.9;
+    static constexpr unsigned opsPerReq = 4;
+    static constexpr unsigned burstPeriod = 16;
+    static constexpr unsigned burstKeys = 4;
+
+    unsigned numKeys_ = 0;
+    unsigned reqsPerThread_ = 0;
+    std::vector<Addr> keys_;
+    std::unique_ptr<TreeBarrier> barrier_;
+};
+
+// ====================================================================
+// spec-txn: HTM-style speculative critical sections
+// ====================================================================
+//
+// Software transactional sections in the TL2 spirit: objects carry a
+// lock word and a version word on one line; a transaction reads its
+// read set optimistically (recording versions), acquires write locks
+// in sorted order by test-and-set, validates the read versions, then
+// writes back and bumps versions. Any conflict — a held lock or a
+// changed version — aborts: locks are rolled back, the abort counter
+// bumps, and the thread retries after the NAK backoff policy's delay.
+// After kFallbackAfter consecutive aborts it falls back to *pessimistic*
+// acquisition (spinning in sorted order), which guarantees progress.
+//
+// Write sets concentrate on a small hot region so concurrent
+// transactions genuinely collide; in addition, every forcedAbortPeriod-th
+// transaction deterministically fails its first validation (modelling a
+// remote invalidation landing mid-section) so the abort path is
+// exercised at every scale and seed.
+
+class SpecTxnApp : public ServerApp
+{
+  public:
+    std::string_view name() const override { return "spec-txn"; }
+
+    void
+    build(const WorkloadEnv &env) override
+    {
+        makeThreads(env);
+        initStats(env);
+        const unsigned p = env.totalThreads();
+        numObjs_ = scaled(32, env.scale, 8, 4);
+        txnsPerThread_ = scaled(24, env.scale, 6, 2);
+        hotObjs_ = std::max(2u, numObjs_ / 8);
+        objs_.resize(numObjs_);
+        for (unsigned o = 0; o < numObjs_; ++o) {
+            objs_[o] = alloc_->allocLine(
+                static_cast<NodeId>(o % env.nodes));
+        }
+        barrier_ = std::make_unique<TreeBarrier>(
+            p, env.nodes, [&](NodeId h) { return alloc_->allocLine(h); });
+        for (unsigned t = 0; t < p; ++t)
+            threads_[t]->run(thread(*threads_[t], t));
+    }
+
+  private:
+    // Object line layout.
+    static constexpr Addr lockOff = 0;
+    static constexpr Addr verOff = 8;
+    static constexpr Addr dataOff = 16;
+
+    static constexpr unsigned readSetSize = 3;
+    static constexpr unsigned writeSetSize = 2;
+    static constexpr unsigned kFallbackAfter = 6;
+    static constexpr unsigned forcedAbortPeriod = 7;
+
+    Task
+    thread(ThreadCtx &ctx, unsigned tid)
+    {
+        Rng rng(env_.seed * 0x51ed2701ULL + tid * 131 + 5);
+        fault::RetryPolicyConfig backoff; // ExpBackoff pacing of retries.
+        backoff.kind = fault::RetryKind::ExpBackoff;
+        for (unsigned n = 0; n < txnsPerThread_; ++n) {
+            // Pick the sets up front; retries replay the same sets.
+            unsigned rs[readSetSize];
+            for (unsigned i = 0; i < readSetSize; ++i)
+                rs[i] = static_cast<unsigned>(rng.below(numObjs_));
+            unsigned ws[writeSetSize];
+            ws[0] = static_cast<unsigned>(rng.below(hotObjs_));
+            ws[1] = static_cast<unsigned>(
+                hotObjs_ + rng.below(numObjs_ - hotObjs_));
+            std::sort(ws, ws + writeSetSize);
+            const bool forceAbort = n % forcedAbortPeriod ==
+                                    forcedAbortPeriod - 1;
+            const Tick birth = ctx.now();
+            unsigned aborts = 0;
+            for (;;) {
+                if (aborts >= kFallbackAfter) {
+                    co_await fallback(ctx, ws);
+                    ++stats_.txnFallbacks;
+                    ++stats_.txnCommits;
+                    record(ctx, trace::EventId::TxnCommit,
+                           trace::packTxn(ctx.node(), aborts));
+                    break;
+                }
+                bool ok = false;
+                co_await attempt(ctx, rs, ws, forceAbort && aborts == 0,
+                                 &ok);
+                if (ok) {
+                    ++stats_.txnCommits;
+                    record(ctx, trace::EventId::TxnCommit,
+                           trace::packTxn(ctx.node(), aborts));
+                    break;
+                }
+                ++aborts;
+                ++stats_.txnAborts;
+                record(ctx, trace::EventId::TxnAbort,
+                       trace::packTxn(ctx.node(), aborts));
+                // Contention backoff, converted to pause instructions.
+                Tick delay = fault::retryBackoff(backoff, aborts, rng);
+                auto pause = static_cast<unsigned>(
+                    std::min<Tick>(delay / (4 * tickPerNs), 192));
+                co_await ctx.intOps(4 + pause);
+            }
+            retire(ctx, trace::ReqKind::Txn, birth);
+        }
+        ++stats_.threadsFinished;
+        co_await barrier_->wait(ctx, tid);
+    }
+
+    /** One speculative attempt; *ok = true on commit. */
+    Task
+    attempt(ThreadCtx &ctx, const unsigned (&rs)[readSetSize],
+            const unsigned (&ws)[writeSetSize], bool force_abort,
+            bool *ok)
+    {
+        std::uint64_t versions[readSetSize];
+        bool live = true;
+        // Optimistic read phase: record versions, abort on a held lock.
+        for (unsigned i = 0; live && i < readSetSize; ++i) {
+            Addr obj = objs_[rs[i]];
+            std::uint64_t lk = co_await ctx.load(obj + lockOff);
+            live = lk == 0;
+            co_await ctx.branch(!live);
+            if (!live)
+                break;
+            versions[i] = co_await ctx.load(obj + verOff);
+            co_await ctx.load(obj + dataOff);
+            co_await ctx.fpOps(4);
+        }
+        // Speculative work: long enough that sections regularly span
+        // generation windows, opening real conflict windows.
+        if (live) {
+            co_await ctx.intOps(24);
+            co_await ctx.fpOps(16);
+        }
+        // Acquire the write set in sorted order (test-and-set; a held
+        // lock is a conflict, not a wait).
+        unsigned acquired = 0;
+        for (unsigned i = 0; live && i < writeSetSize; ++i) {
+            std::uint64_t old =
+                co_await ctx.swap(objs_[ws[i]] + lockOff, 1);
+            live = old == 0;
+            co_await ctx.branch(!live);
+            if (live)
+                ++acquired;
+        }
+        // Validate the read set against the recorded versions.
+        for (unsigned i = 0; live && i < readSetSize; ++i) {
+            std::uint64_t v = co_await ctx.load(objs_[rs[i]] + verOff);
+            bool mine = false;
+            for (unsigned w = 0; w < writeSetSize; ++w)
+                mine = mine || ws[w] == rs[i];
+            live = v == versions[i] || mine;
+            co_await ctx.branch(!live);
+        }
+        if (live && force_abort) {
+            // Deterministic conflict: model a remote invalidation
+            // observed during validation.
+            live = false;
+            co_await ctx.branch(true);
+        }
+        if (live) {
+            // Commit: write back, bump versions, release.
+            for (unsigned i = 0; i < writeSetSize; ++i) {
+                Addr obj = objs_[ws[i]];
+                std::uint64_t d = co_await ctx.load(obj + dataOff);
+                co_await ctx.store(obj + dataOff, d + 1);
+                std::uint64_t v = co_await ctx.load(obj + verOff);
+                co_await ctx.store(obj + verOff, v + 1);
+            }
+            for (unsigned i = writeSetSize; i-- > 0;)
+                co_await ctx.store(objs_[ws[i]] + lockOff, 0);
+        } else {
+            // Roll back whatever was acquired.
+            for (unsigned i = acquired; i-- > 0;)
+                co_await ctx.store(objs_[ws[i]] + lockOff, 0);
+        }
+        *ok = live;
+    }
+
+    /** Pessimistic fallback: spin-acquire the write set in order. */
+    Task
+    fallback(ThreadCtx &ctx, const unsigned (&ws)[writeSetSize])
+    {
+        for (unsigned i = 0; i < writeSetSize; ++i) {
+            co_await acquireLock(ctx, objs_[ws[i]] + lockOff);
+        }
+        co_await ctx.fpOps(8);
+        for (unsigned i = 0; i < writeSetSize; ++i) {
+            Addr obj = objs_[ws[i]];
+            std::uint64_t d = co_await ctx.load(obj + dataOff);
+            co_await ctx.store(obj + dataOff, d + 1);
+            std::uint64_t v = co_await ctx.load(obj + verOff);
+            co_await ctx.store(obj + verOff, v + 1);
+        }
+        for (unsigned i = writeSetSize; i-- > 0;)
+            co_await releaseLock(ctx, objs_[ws[i]] + lockOff);
+    }
+
+    unsigned numObjs_ = 0;
+    unsigned txnsPerThread_ = 0;
+    unsigned hotObjs_ = 2;
+    std::vector<Addr> objs_;
+    std::unique_ptr<TreeBarrier> barrier_;
+};
+
+} // namespace
+
+std::unique_ptr<App>
+makeServerApp(std::string_view name)
+{
+    if (name == "queue-server" || name == "QueueServer")
+        return std::make_unique<QueueServerApp>();
+    if (name == "kv-store" || name == "KvStore")
+        return std::make_unique<KvStoreApp>();
+    if (name == "spec-txn" || name == "SpecTxn")
+        return std::make_unique<SpecTxnApp>();
+    return nullptr;
+}
+
+const std::vector<std::string> &
+serverAppNames()
+{
+    static const std::vector<std::string> names = {
+        "queue-server", "kv-store", "spec-txn",
+    };
+    return names;
+}
+
+} // namespace smtp::workload

@@ -128,6 +128,70 @@ TEST(Rng, UniformIsRoughlyUniform)
     }
 }
 
+TEST(Zipf, DeterministicUnderSeed)
+{
+    ZipfGen z(64, 1.1);
+    EXPECT_EQ(z.ranks(), 64u);
+    EXPECT_DOUBLE_EQ(z.exponent(), 1.1);
+    Rng a(5), b(5), c(6);
+    int diverged = 0;
+    for (int i = 0; i < 1000; ++i) {
+        std::size_t ra = z.sample(a);
+        EXPECT_EQ(ra, z.sample(b));
+        diverged += ra != z.sample(c);
+        EXPECT_LT(ra, 64u);
+    }
+    EXPECT_GT(diverged, 0);
+}
+
+TEST(Zipf, RankFrequencySlopeMatchesExponent)
+{
+    // The defining property: frequency(rank) ~ rank^-s, i.e. the
+    // log-log rank/frequency line has slope -s. Fit the slope over the
+    // well-populated head ranks by least squares and require it within
+    // a tolerance that Poisson noise at 200k draws comfortably meets.
+    const double s = 1.2;
+    ZipfGen z(32, s);
+    Rng rng(123);
+    const int n = 200000;
+    std::uint64_t counts[32] = {};
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(rng)];
+    // Most-popular-first must hold at the head.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[3]);
+
+    const int head = 8;
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (int r = 0; r < head; ++r) {
+        ASSERT_GT(counts[r], 0u) << "rank " << r;
+        double x = std::log(static_cast<double>(r + 1));
+        double y = std::log(static_cast<double>(counts[r]));
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    double slope = (head * sxy - sx * sy) / (head * sxx - sx * sx);
+    EXPECT_NEAR(slope, -s, 0.1);
+}
+
+TEST(Zipf, ZeroExponentIsUniform)
+{
+    // s = 0 degenerates to the uniform distribution: every rank gets
+    // 1/n of the mass (same tolerance as the raw Rng uniformity test).
+    ZipfGen z(10, 0.0);
+    Rng rng(99);
+    const int n = 100000;
+    int counts[10] = {};
+    for (int i = 0; i < n; ++i)
+        ++counts[z.sample(rng)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 10 - n / 50);
+        EXPECT_LT(c, n / 10 + n / 50);
+    }
+}
+
 TEST(FixedQueue, BasicFifo)
 {
     FixedQueue<int> q(3);

@@ -201,6 +201,33 @@ TEST(Stats, DistributionHistogramPercentiles)
     EXPECT_EQ(e.histogram()[6], 1u); // [5,6)
 }
 
+TEST(Stats, PercentileClampsOnThinSamples)
+{
+    // A tail percentile of a thin sample must resolve to the last
+    // occupied bucket, never run off the histogram or report an empty
+    // edge beyond the observed max — p99 of 10 requests is a real
+    // latency, not a bucket boundary no request ever hit.
+    Distribution d;
+    d.enableHistogram(0.0, 100.0, 10);
+    for (int i = 0; i < 10; ++i)
+        d.sample(static_cast<double>(i) * 10.0 + 5.0); // one per bucket
+    EXPECT_DOUBLE_EQ(d.percentile(99.0), d.max());
+    EXPECT_DOUBLE_EQ(d.percentile(99.0), 95.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100.0), 95.0);
+
+    // Out-of-range p clamps to [0, 100] instead of misbehaving.
+    EXPECT_DOUBLE_EQ(d.percentile(250.0), d.percentile(100.0));
+    EXPECT_DOUBLE_EQ(d.percentile(-5.0), d.percentile(0.0));
+
+    // The degenerate single-sample case: every percentile is that one
+    // observation (clamped into [min, max] == the sample itself).
+    Distribution one;
+    one.enableHistogram(0.0, 100.0, 10);
+    one.sample(42.0);
+    EXPECT_DOUBLE_EQ(one.percentile(50.0), 42.0);
+    EXPECT_DOUBLE_EQ(one.percentile(99.0), 42.0);
+}
+
 TEST(Stats, GroupDumpSortedByName)
 {
     StatGroup g("grp");

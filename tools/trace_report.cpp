@@ -60,6 +60,17 @@ struct LatencyTable
     void
     print(const char *caption) const
     {
+        printNamed(caption, [](std::uint8_t type) {
+            return std::string(
+                proto::msgTypeName(static_cast<proto::MsgType>(type)));
+        });
+    }
+
+    /** Same table, with the row label supplied by @p nameOf. */
+    template <typename NameFn>
+    void
+    printNamed(const char *caption, NameFn nameOf) const
+    {
         if (byType.empty()) {
             std::printf("%s: no samples in stored tail\n", caption);
             return;
@@ -77,10 +88,7 @@ struct LatencyTable
                 d.sample(static_cast<double>(l));
             std::printf(
                 "  %-14s %8zu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
-                std::string(
-                    proto::msgTypeName(static_cast<proto::MsgType>(type)))
-                    .c_str(),
-                lats.size(), d.mean() / tickPerUs,
+                nameOf(type).c_str(), lats.size(), d.mean() / tickPerUs,
                 d.percentile(50.0) / tickPerUs, d.percentile(95.0) / tickPerUs,
                 d.percentile(99.0) / tickPerUs, d.max() / tickPerUs);
         }
@@ -147,9 +155,19 @@ reportFile(const trace::TraceData &data, bool dump)
     std::vector<NodeOccupancy> occ(data.nodes);
     std::vector<StallAccum> stalls(data.nodes);
     std::vector<ExecAccum> exec(data.nodes);
+    struct TxnAccum
+    {
+        bool present = false;
+        std::uint64_t commits = 0;
+        std::uint64_t aborts = 0;
+        std::uint64_t maxRetries = 0; ///< aborts preceding one commit
+    };
+
     FaultAccum faults;
     LatencyTable handlerLat;
     LatencyTable netLat;
+    LatencyTable reqLat;
+    TxnAccum txn;
     std::unordered_map<std::uint32_t, Tick> injectTick;
     std::uint64_t deliversUnmatched = 0;
     std::uint64_t backpressure = 0;
@@ -281,6 +299,28 @@ reportFile(const trace::TraceData &data, bool dump)
                     exec[s].waitNs += trace::windowValue(e.arg);
                 }
             }
+        } else if (cat == trace::Category::Workload) {
+            for (const auto &e : b.events) {
+                switch (e.id()) {
+                  case EventId::ReqRetire:
+                    reqLat.add(static_cast<std::uint8_t>(
+                                   trace::reqKind(e.arg)),
+                               trace::reqLatency(e.arg));
+                    break;
+                  case EventId::TxnCommit:
+                    txn.present = true;
+                    ++txn.commits;
+                    txn.maxRetries =
+                        std::max(txn.maxRetries, trace::txnAborts(e.arg));
+                    break;
+                  case EventId::TxnAbort:
+                    txn.present = true;
+                    ++txn.aborts;
+                    break;
+                  default:
+                    break;
+                }
+            }
         } else if (cat == trace::Category::Network) {
             for (const auto &e : b.events) {
                 if (e.id() == EventId::NetDeliver) {
@@ -333,6 +373,28 @@ reportFile(const trace::TraceData &data, bool dump)
         std::printf("  (%llu deliveries unmatched: injection aged out of "
                     "the ring)\n",
                     static_cast<unsigned long long>(deliversUnmatched));
+
+    if (!reqLat.byType.empty() || txn.present) {
+        std::printf("\n");
+        reqLat.printNamed("request latency by workload class (birth -> "
+                          "retire; window granularity)",
+                          [](std::uint8_t kind) {
+                              return std::string(trace::reqKindName(
+                                  static_cast<trace::ReqKind>(kind)));
+                          });
+        if (txn.present) {
+            double total = static_cast<double>(txn.commits + txn.aborts);
+            std::printf("speculative transactions: %llu commit(s), %llu "
+                        "abort(s) (%.1f%% abort rate), max %llu "
+                        "retries before a commit\n",
+                        static_cast<unsigned long long>(txn.commits),
+                        static_cast<unsigned long long>(txn.aborts),
+                        total ? 100.0 * static_cast<double>(txn.aborts) /
+                                    total
+                              : 0.0,
+                        static_cast<unsigned long long>(txn.maxRetries));
+        }
+    }
 
     std::printf("\nmemory-stall breakdown (Figure 5/7 style; per-node "
                 "stall time from stored windows)\n");
