@@ -31,18 +31,33 @@ runCellsOnServer(const BenchOptions &opt,
     std::vector<RunResult> results(cfgs.size());
     records.assign(cfgs.size(), std::string());
     std::size_t cachedCount = 0;
+    std::size_t skipped = 0, failed = 0;
     bool ok = client.submit(
-        cfgs, /*priority=*/0, [&](const serve::CellReply &cr) {
+        cfgs, /*priority=*/0,
+        [&](const serve::CellReply &cr) {
             results[cr.index] = cr.result;
             records[cr.index] = cr.record;
             if (cr.cached)
                 ++cachedCount;
-            if (opt.verbose)
+            if (cr.failed)
+                std::fprintf(stderr,
+                             "--server: cell %zu FAILED after %u "
+                             "attempt(s): %s (%s)\n",
+                             cr.index, cr.attempts,
+                             cr.errReason.c_str(),
+                             cr.errDetail.c_str());
+            else if (opt.verbose)
                 std::fprintf(stderr, "served cell %zu%s\n", cr.index,
                              cr.cached ? " (cached)" : "");
-        });
+        },
+        &skipped, &failed);
     if (!ok) {
         std::fprintf(stderr, "--server: %s\n", client.error().c_str());
+        if (client.overloaded())
+            std::fprintf(stderr,
+                         "--server: daemon refused the job "
+                         "(admission control); retry later or raise "
+                         "its --max-queue\n");
         std::exit(1);
     }
     std::fprintf(stderr,

@@ -84,6 +84,17 @@ Client::stats(JsonValue &out)
 }
 
 bool
+Client::health(JsonValue &out)
+{
+    JsonValue req = JsonValue::makeObject();
+    req.set("op", JsonValue::makeString("health"));
+    req.set("proto", JsonValue::makeNumber(kProtoVersion));
+    if (!sendReq(req))
+        return false;
+    return readReply(out, "health");
+}
+
+bool
 Client::shutdown()
 {
     JsonValue req = JsonValue::makeObject();
@@ -116,12 +127,17 @@ Client::cancel(std::uint64_t jobId, std::size_t *outRemoved)
 bool
 Client::submit(const std::vector<RunConfig> &cells, int priority,
                const std::function<void(const CellReply &)> &onCell,
-               std::size_t *outSkipped)
+               std::size_t *outSkipped, std::size_t *outFailed,
+               std::uint64_t deadlineMs)
 {
+    overloaded_ = false;
     JsonValue req = JsonValue::makeObject();
     req.set("op", JsonValue::makeString("submit"));
     req.set("proto", JsonValue::makeNumber(kProtoVersion));
     req.set("priority", JsonValue::makeNumber(priority));
+    if (deadlineMs != 0)
+        req.set("deadline_ms", JsonValue::makeNumber(
+                                   static_cast<double>(deadlineMs)));
     JsonValue arr = JsonValue::makeArray();
     for (const RunConfig &cfg : cells)
         arr.append(cellToJson(cfg));
@@ -130,8 +146,26 @@ Client::submit(const std::vector<RunConfig> &cells, int priority,
         return false;
 
     JsonValue reply;
-    if (!readReply(reply, "accepted"))
+    if (!readReply(reply, nullptr))
         return false;
+    if (reply.getString("type") == "overloaded") {
+        // Explicit backpressure: the daemon refused the whole job but
+        // kept the connection usable — report it distinctly so callers
+        // can back off and retry instead of treating it as a bug.
+        overloaded_ = true;
+        err_ = "daemon overloaded: " +
+               std::to_string(static_cast<std::size_t>(
+                   reply.getNumber("queued"))) +
+               " cell(s) queued against a limit of " +
+               std::to_string(static_cast<std::size_t>(
+                   reply.getNumber("limit")));
+        return false;
+    }
+    if (reply.getString("type") != "accepted") {
+        err_ = "unexpected reply type '" + reply.getString("type") +
+               "'";
+        return false;
+    }
     if (static_cast<std::size_t>(reply.getNumber("cells")) !=
         cells.size()) {
         err_ = "daemon accepted a different cell count";
@@ -150,8 +184,15 @@ Client::submit(const std::vector<RunConfig> &cells, int priority,
             parseHex64(reply.getString("key"), cr.key);
             cr.cached = reply.getBool("cached");
             cr.record = reply.getString("record");
-            if (const JsonValue *res = reply.find("result"))
+            cr.failed = reply.getBool("failed");
+            if (cr.failed) {
+                cr.errReason = reply.getString("error");
+                cr.errDetail = reply.getString("detail");
+                cr.attempts = static_cast<unsigned>(
+                    reply.getNumber("attempts"));
+            } else if (const JsonValue *res = reply.find("result")) {
                 cr.result = resultFromJson(*res);
+            }
             cr.traceStem = reply.getString("trace_stem");
             if (cr.index >= cells.size()) {
                 err_ = "daemon sent an out-of-range cell index";
@@ -164,11 +205,23 @@ Client::submit(const std::vector<RunConfig> &cells, int priority,
         if (type == "done") {
             std::size_t skipped =
                 static_cast<std::size_t>(reply.getNumber("skipped"));
+            std::size_t failed =
+                static_cast<std::size_t>(reply.getNumber("failed"));
             if (outSkipped != nullptr)
                 *outSkipped = skipped;
-            if (skipped != 0) {
-                err_ = "daemon skipped " + std::to_string(skipped) +
-                       " cell(s)";
+            if (outFailed != nullptr)
+                *outFailed = failed;
+            if (skipped != 0 || failed != 0) {
+                err_ = "daemon ";
+                if (failed != 0)
+                    err_ += "failed " + std::to_string(failed) +
+                            " cell(s)";
+                if (skipped != 0) {
+                    if (failed != 0)
+                        err_ += " and ";
+                    err_ += "skipped " + std::to_string(skipped) +
+                            " cell(s)";
+                }
                 return false;
             }
             return true;

@@ -27,9 +27,14 @@ struct CellReply
     std::size_t index = 0;   ///< Position in the submitted cell list.
     std::uint64_t key = 0;   ///< Daemon-side cellKey().
     bool cached = false;     ///< Served without simulating (dedup/disk).
-    std::string record;      ///< Verbatim jsonRecord() line.
-    RunResult result;        ///< Structured twin of record.
+    std::string record;      ///< Verbatim jsonRecord() line — or the
+                             ///< structured failure record when failed.
+    RunResult result;        ///< Structured twin of record (success only).
     std::string traceStem;   ///< Daemon-side artifact stem, if traced.
+    bool failed = false;     ///< Quarantined or shed; no metrics.
+    std::string errReason;   ///< failed: crash/deadline/error/shed.
+    std::string errDetail;   ///< failed: human-readable specifics.
+    unsigned attempts = 0;   ///< failed: how hard the daemon tried.
 };
 
 class Client
@@ -53,6 +58,9 @@ class Client
     /** Fetch the daemon's stats object. */
     bool stats(JsonValue &out);
 
+    /** Fetch the daemon's health object (workers, queue, cache). */
+    bool health(JsonValue &out);
+
     /** Ask the daemon to shut down (replies before exiting). */
     bool shutdown();
 
@@ -61,12 +69,21 @@ class Client
      * @p onCell fires once per result frame, in completion order (the
      * CellReply carries the submitted index for reordering). Returns
      * false — with error() set — on any protocol or socket failure,
-     * including the daemon skipping cells (completed+skipped is
-     * reported via outSkipped when non-null).
+     * and also when the daemon skipped, failed (quarantine/shed), or
+     * refused the job outright (admission control; overloaded() is
+     * then true and the connection remains usable). The per-outcome
+     * counts are reported via outSkipped/outFailed when non-null.
+     * @p deadlineMs, when nonzero, asks for a per-cell deadline
+     * (simulations past it are killed, retried, and quarantined).
      */
     bool submit(const std::vector<RunConfig> &cells, int priority,
                 const std::function<void(const CellReply &)> &onCell,
-                std::size_t *outSkipped = nullptr);
+                std::size_t *outSkipped = nullptr,
+                std::size_t *outFailed = nullptr,
+                std::uint64_t deadlineMs = 0);
+
+    /** Last submit was refused by admission control (backpressure). */
+    bool overloaded() const { return overloaded_; }
 
     /** Cancel a job by id (as reported in a future async API); rarely
      * useful from this blocking client, but exercised by tests. */
@@ -79,6 +96,7 @@ class Client
 
     int fd_ = -1;
     std::string err_;
+    bool overloaded_ = false;
 };
 
 } // namespace smtp::serve

@@ -72,6 +72,26 @@ getStringStrict(const JsonValue &obj, const char *key, std::string &out,
 } // namespace
 
 std::string
+jsonFailureRecord(const RunConfig &cfg, const std::string &reason,
+                  const std::string &detail, unsigned attempts)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("app", JsonValue::makeString(cfg.app));
+    v.set("model",
+          JsonValue::makeString(std::string(modelName(cfg.model))));
+    v.set("nodes",
+          JsonValue::makeNumber(static_cast<double>(cfg.nodes)));
+    v.set("ways", JsonValue::makeNumber(static_cast<double>(cfg.ways)));
+    v.set("failed", JsonValue::makeBool(true));
+    v.set("error", JsonValue::makeString(reason));
+    v.set("detail", JsonValue::makeString(detail));
+    v.set("attempts",
+          JsonValue::makeNumber(static_cast<double>(attempts)));
+    v.set("exec", JsonValue::makeString(cfg.exec.toString()));
+    return v.dump();
+}
+
+std::string
 hex64(std::uint64_t v)
 {
     char buf[17];

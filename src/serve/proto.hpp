@@ -51,6 +51,20 @@ RunResult resultFromJson(const JsonValue &v);
 bool cellFromJson(const JsonValue &cell, RunConfig &out,
                   std::string *err = nullptr);
 
+/**
+ * The structured error record for a quarantined (or shed) cell: the
+ * JSON-Lines line a waiter receives in place of jsonRecord() output.
+ * It names the cell (app/model/sizes) so a results file that mixes
+ * successes and failures stays self-describing, carries
+ * "failed":true so no tooling can mistake it for metrics, and records
+ * why ("error": crash/deadline/error/shed, plus detail) and how hard
+ * the daemon tried ("attempts").
+ */
+std::string jsonFailureRecord(const RunConfig &cfg,
+                              const std::string &reason,
+                              const std::string &detail,
+                              unsigned attempts);
+
 /** 16-hex-digit lower-case form used for ids and cell keys on the wire. */
 std::string hex64(std::uint64_t v);
 

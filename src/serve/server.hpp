@@ -2,12 +2,11 @@
  * @file
  * smtpd: the sweep-service daemon.
  *
- * One Server owns a listening UNIX socket, a SweepPool in service mode
- * (simulations run on its worker threads with per-job priorities), a
- * single warm checkpoint farm shared by every client, and an on-disk
- * result cache that survives restarts. Clients submit jobs — lists of
- * sweep cells — and receive results as a stream of frames, one per
- * cell, as each completes.
+ * One Server owns a listening UNIX socket, a pool of crash-isolated
+ * worker *processes* (serve/worker.hpp), a single warm checkpoint farm
+ * shared by every client, and an on-disk result cache that survives
+ * restarts. Clients submit jobs — lists of sweep cells — and receive
+ * results as a stream of frames, one per cell, as each completes.
  *
  * ## Dedup
  *
@@ -17,40 +16,68 @@
  * in a previous daemon lifetime is served from the on-disk result
  * cache without simulating at all.
  *
+ * ## Failure model (docs/service.md has the full statement)
+ *
+ * Simulations run in forked worker processes, so nothing a cell does —
+ * assert, abort, OOM kill, wedge — can take the daemon down. A worker
+ * that dies mid-cell is reaped and respawned; the cell is retried on a
+ * capped-exponential backoff with jitter (the same RetryPolicy
+ * machinery the simulated protocol uses for NAK pacing, interpreted in
+ * milliseconds), and after maxAttempts total failures the cell is
+ * *quarantined*: its waiters receive a structured failure record
+ * instead of the daemon looping on a poison job. A per-cell deadline
+ * (daemon default, overridable per job) bounds wedged simulations the
+ * same way — the pool SIGKILLs the overdue worker and the failure
+ * enters the same retry/quarantine path.
+ *
+ * Admission control bounds the queue: a job whose new cells would push
+ * the backlog past maxQueuedCells first sheds strictly-lower-priority
+ * queued cells (their waiters get failure frames) and, if that is not
+ * enough, is rejected with an "overloaded" reply — explicit
+ * backpressure, connection kept alive. Startup fsck moves truncated or
+ * corrupt result-cache files to <state>/quarantine/ and recomputes
+ * those cells on demand; cache writes are tmp+fsync+rename so a
+ * crashing daemon never publishes a torn record.
+ *
  * ## Threading
  *
- * A single server thread runs the poll loop: accepts, reads frames,
- * writes frames, mutates all job/cell bookkeeping. SweepPool workers
- * only simulate; they hand completed cells back through a queue and a
- * self-pipe wakeup, never touching a socket. All shared state is
- * guarded by one mutex (st_.mtx); the simulations themselves run
- * unlocked.
+ * One thread, one poll loop: accepts, client frames, worker pipes,
+ * retry timers and deadlines all multiplex through poll(2). There is
+ * no shared-memory concurrency left in the daemon (the old SweepPool
+ * service mode is gone from this path); the only cross-thread entry
+ * point is requestStop(), which is async-signal-safe via the
+ * self-pipe. Client sockets are nonblocking with bounded per-conn
+ * output buffers, so a slow-loris reader can stall only itself.
  *
  * ## Determinism
  *
  * Workers call the same serve::runOnce()/jsonRecord() the bench
  * binaries use, so a served record is byte-identical to a direct local
- * run's record modulo wall_ms. docs/service.md states the guarantee
- * and its boundaries (exec-traced artifacts carry host time).
+ * run's record modulo wall_ms — including records produced after
+ * crash-retries, worker respawns, and cache fsck. docs/service.md
+ * states the guarantee and its boundaries.
  */
 
 #ifndef SMTP_SERVE_SERVER_HPP
 #define SMTP_SERVE_SERVER_HPP
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "serve/json.hpp"
 #include "serve/runner.hpp"
 #include "serve/wire.hpp"
-#include "sim/sweep.hpp"
+#include "serve/worker.hpp"
 
 namespace smtp::serve
 {
@@ -61,22 +88,56 @@ struct ServerOptions
     /**
      * State directory (required): ckpt/ holds the shared checkpoint
      * farm, results/ the restart-surviving record cache, traces/ the
-     * per-cell trace artifacts for cells submitted with "trace".
+     * per-cell trace artifacts for cells submitted with "trace", and
+     * quarantine/ whatever startup fsck refused to trust.
      */
     std::string stateDir;
-    unsigned jobs = 0;    ///< Simulation workers; 0 = SweepPool default.
+    unsigned jobs = 0;    ///< Worker processes; 0 = 2.
     bool verbose = false; ///< Per-cell stderr progress lines.
+    /**
+     * Default per-cell deadline in milliseconds (0 = none). A job may
+     * tighten or set its own via the submit "deadline_ms" field. A
+     * worker that outlives the deadline is SIGKILLed and the cell
+     * enters the retry/quarantine path.
+     */
+    std::uint64_t deadlineMs = 0;
+    /** Total attempts before a failing cell is quarantined (>= 1). */
+    unsigned maxAttempts = 3;
+    /**
+     * Admission bound: maximum cells queued or awaiting retry. A
+     * submit that would exceed it sheds lower-priority queued cells
+     * first, then rejects with an "overloaded" reply.
+     */
+    std::size_t maxQueuedCells = 1024;
+    /**
+     * Retry pacing between attempts, reusing the fault-layer policy
+     * grammar ("immediate" | "fixed[:base]" | "exp[:base[:cap]]") with
+     * the numbers read as *milliseconds*. Default exp:100:5000.
+     */
+    fault::RetryPolicyConfig retry = defaultRetry();
+    std::uint64_t retrySeed = 1; ///< Jitter stream seed.
+
+    static fault::RetryPolicyConfig defaultRetry();
 };
 
 struct ServerStats
 {
     std::uint64_t jobsAccepted = 0;
     std::uint64_t jobsCancelled = 0;
+    std::uint64_t jobsRejected = 0;  ///< Overload: admission refused.
     std::uint64_t cellsSubmitted = 0;
     std::uint64_t cellsSimulated = 0;
     std::uint64_t cellsSkipped = 0;  ///< Abandoned before starting.
     std::uint64_t dedupHits = 0;     ///< Joined an in-flight/finished cell.
     std::uint64_t diskHits = 0;      ///< Served from the result cache.
+    std::uint64_t cellsFailed = 0;   ///< Attempts that did not produce a record.
+    std::uint64_t cellsRetried = 0;  ///< Failures that were rescheduled.
+    std::uint64_t cellsQuarantined = 0; ///< Poison cells failed for good.
+    std::uint64_t cellsShed = 0;     ///< Dropped by admission control.
+    std::uint64_t workersCrashed = 0;
+    std::uint64_t workersDeadlineKilled = 0;
+    std::uint64_t workersCancelKilled = 0;
+    std::uint64_t fsckQuarantined = 0; ///< Cache files fsck refused.
 };
 
 class Server
@@ -89,24 +150,25 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Bind, rehydrate the result cache, and serve until shutdown (a
-     * "shutdown" request or requestStop(), e.g. from a signal
-     * handler). Returns 0 on clean shutdown, 1 on setup failure (error
-     * on stderr).
+     * Bind, fsck + rehydrate the result cache, fork the worker pool,
+     * and serve until shutdown (a "shutdown" request or requestStop(),
+     * e.g. from a signal handler). Returns 0 on clean shutdown, 1 on
+     * setup failure (error on stderr).
      */
     int run();
 
     /** Async-signal-safe stop request (writes the self-pipe). */
     void requestStop();
 
-    const ServerStats &stats() const { return st_.stats; }
+    const ServerStats &stats() const { return stats_; }
 
   private:
     enum class CellState : std::uint8_t
     {
-        Queued,  ///< In the SweepPool service queue.
-        Running, ///< A worker is simulating it.
-        Done,    ///< record is final (simulated or cache-served).
+        Queued,    ///< In the pending queue, waiting for a worker.
+        Running,   ///< Dispatched to a worker process.
+        RetryWait, ///< Failed; waiting out its retry backoff.
+        Done,      ///< record is final (simulated, cached, or failed).
     };
 
     /** One deduplicated unit of simulation work. */
@@ -115,10 +177,18 @@ class Server
         std::uint64_t key = 0;
         RunConfig cfg;
         CellState state = CellState::Queued;
+        int priority = 0;       ///< From the first submitting job.
+        unsigned attempts = 0;  ///< Dispatches so far (1-based in wire).
+        std::uint64_t deadlineMs = 0; ///< 0 = no deadline.
         bool abandoned = false; ///< No waiters left; skip if not started.
         bool fromCache = false; ///< Served from disk, not simulated here.
-        std::string record;     ///< jsonRecord() line, final when Done.
-        RunResult result;       ///< Structured twin of record.
+        bool failed = false;    ///< Done via quarantine, not a record.
+        std::string record;     ///< jsonRecord() line — or, when failed,
+                                ///< the structured failure record.
+        RunResult result;       ///< Structured twin of record (success).
+        std::string errReason;  ///< failed: "crash"/"deadline"/"error"/"shed".
+        std::string errDetail;  ///< failed: human-readable specifics.
+        std::chrono::steady_clock::time_point retryDue;
         /** (connection id, job id, index-in-job) still owed this cell. */
         struct Waiter
         {
@@ -136,6 +206,7 @@ class Server
         std::size_t cells = 0;
         std::size_t delivered = 0;
         std::size_t skipped = 0;
+        std::size_t failed = 0; ///< Quarantined or shed cells.
         bool cancelled = false;
     };
 
@@ -144,17 +215,10 @@ class Server
         std::uint64_t id = 0;
         int fd = -1;
         FrameSplitter splitter;
+        std::string outbuf; ///< Encoded frames awaiting POLLOUT.
+        std::size_t outOff = 0;
         bool dead = false;
-    };
-
-    struct State
-    {
-        std::mutex mtx;
-        std::unordered_map<std::uint64_t, std::shared_ptr<Cell>> cells;
-        std::unordered_map<std::uint64_t, Job> jobs;
-        std::deque<std::uint64_t> completions; ///< Cell keys, worker → poll.
-        ServerStats stats;
-        bool stopping = false;
+        bool writeFailed = false; ///< Skip the drop-time courtesy flush.
     };
 
     // Poll-thread only.
@@ -165,7 +229,7 @@ class Server
     void handleSubmit(Conn &conn, const JsonValue &req);
     void handleCancel(Conn &conn, const JsonValue &req);
     void handleStats(Conn &conn);
-    void drainCompletions();
+    void handleHealth(Conn &conn);
     /** @p cached: the cell was Done before this submission. */
     void deliverCell(const Cell &cell, const Cell::Waiter &w,
                      bool cached);
@@ -173,6 +237,22 @@ class Server
     void dropConn(Conn &conn);
     void sendError(Conn &conn, const std::string &msg);
     bool sendJson(Conn &conn, const JsonValue &v);
+    /** Drain as much of conn.outbuf as the socket accepts right now. */
+    void flushConn(Conn &conn);
+
+    // Scheduler (poll thread).
+    void enqueueCell(std::uint64_t key, int priority);
+    void dispatchPending();
+    void promoteDueRetries(std::chrono::steady_clock::time_point now);
+    int nextTimeoutMs() const;
+    void onWorkerEvent(const WorkerEvent &ev);
+    /** Fail @p cell for good and deliver failure frames to waiters. */
+    void quarantineCell(Cell &cell, const std::string &reason,
+                        const std::string &detail);
+    /** Cells queued or awaiting retry (the admission-controlled set). */
+    std::size_t backlogSize() const;
+    /** Shed up to @p need queued cells with priority < @p below. */
+    std::size_t shedBelow(int below, std::size_t need);
 
     // Result cache (poll thread).
     std::string resultPath(std::uint64_t key) const;
@@ -180,21 +260,27 @@ class Server
                           RunResult &result);
     void storeCachedRecord(std::uint64_t key, const std::string &record,
                            const RunResult &result);
+    /** Rehydration + fsck: index good files, quarantine bad ones. */
     void scanResultCache();
 
-    // Worker side.
-    void workerRun(std::shared_ptr<Cell> cell);
-    void wakePoll();
-
     ServerOptions opt_;
-    State st_;
+    ServerStats stats_;
     std::atomic<bool> stopReq_{false};
-    std::unique_ptr<SweepPool> pool_;
+    bool stopping_ = false;
+    std::unique_ptr<WorkerPool> pool_;
+    Rng rng_; ///< Retry-jitter stream (seeded; deterministic pacing).
     int listenFd_ = -1;
     int wakeR_ = -1, wakeW_ = -1; ///< Self-pipe.
     std::uint64_t nextConnId_ = 1;
     std::uint64_t nextJobId_ = 1;
     std::unordered_map<std::uint64_t, Conn> conns_;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Cell>> cells_;
+    std::unordered_map<std::uint64_t, Job> jobs_;
+    /** Queued cell keys, highest priority first, FIFO within one. */
+    std::map<int, std::deque<std::uint64_t>, std::greater<int>> pending_;
+    /** RetryWait cell keys ordered by due time. */
+    std::multimap<std::chrono::steady_clock::time_point, std::uint64_t>
+        retryQueue_;
     /** Keys known to exist on disk from a previous lifetime. */
     std::unordered_map<std::uint64_t, bool> diskIndex_;
 };

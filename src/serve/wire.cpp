@@ -62,13 +62,11 @@ decodeLen(const unsigned char *b)
 
 } // namespace
 
-bool
-writeFrame(int fd, std::string_view payload, std::string *err)
+std::string
+encodeFrame(std::string_view payload)
 {
-    if (payload.size() > kMaxFrame) {
-        setErr(err, "frame payload exceeds 16 MiB cap");
-        return false;
-    }
+    if (payload.size() > kMaxFrame)
+        return std::string();
     std::uint32_t len = static_cast<std::uint32_t>(payload.size());
     unsigned char hdr[4] = {
         static_cast<unsigned char>(len & 0xff),
@@ -78,7 +76,23 @@ writeFrame(int fd, std::string_view payload, std::string *err)
     };
     std::string buf(reinterpret_cast<char *>(hdr), 4);
     buf.append(payload);
+    return buf;
+}
+
+bool
+writeFrame(int fd, std::string_view payload, std::string *err)
+{
+    if (payload.size() > kMaxFrame) {
+        setErr(err, "frame payload exceeds 16 MiB cap");
+        return false;
+    }
+    std::string buf = encodeFrame(payload);
     std::size_t sent = 0;
+    // Short writes and EINTR are both routine on a stream socket under
+    // signal load (the daemon handles SIGINT/SIGTERM/SIGCHLD traffic);
+    // loop until the whole frame is out or the socket errors. A peer
+    // that half-closed its read side surfaces as EPIPE here thanks to
+    // MSG_NOSIGNAL — the caller gets `false`, not a fatal SIGPIPE.
     while (sent < buf.size()) {
         ssize_t w = ::send(fd, buf.data() + sent, buf.size() - sent,
                            MSG_NOSIGNAL);
@@ -159,8 +173,14 @@ connectSocket(const std::string &path, std::string *err)
         setErr(err, errnoStr("socket"));
         return -1;
     }
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+    // connect(2) is NOT restartable after EINTR on all kernels; retry
+    // explicitly (EISCONN means an interrupted attempt completed).
+    while (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)) != 0) {
+        if (errno == EINTR)
+            continue;
+        if (errno == EISCONN)
+            break;
         setErr(err, errnoStr(("connect " + path).c_str()));
         ::close(fd);
         return -1;

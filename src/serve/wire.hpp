@@ -34,10 +34,18 @@ constexpr unsigned kProtoVersion = 1;
 constexpr std::uint32_t kMaxFrame = 16u * 1024 * 1024;
 
 /**
- * Write one frame (length prefix + payload), retrying short writes.
- * False with *err on any socket error, including a peer that
- * disconnected mid-stream (EPIPE is reported, never raised as
- * SIGPIPE).
+ * Encode one frame (length prefix + payload) into a byte string.
+ * Callers that keep their own output buffers (the daemon's nonblocking
+ * connections) append this and flush on POLLOUT. Payloads over
+ * kMaxFrame return an empty string — never a torn frame.
+ */
+std::string encodeFrame(std::string_view payload);
+
+/**
+ * Write one frame (length prefix + payload), retrying short writes and
+ * EINTR. False with *err on any socket error, including a peer that
+ * disconnected mid-stream (EPIPE is reported via MSG_NOSIGNAL, never
+ * raised as SIGPIPE — a vanishing client must not kill the daemon).
  */
 bool writeFrame(int fd, std::string_view payload,
                 std::string *err = nullptr);

@@ -1,0 +1,475 @@
+#include "serve/worker.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <csignal>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "serve/proto.hpp"
+#include "serve/runner.hpp"
+
+namespace smtp::serve
+{
+
+namespace
+{
+
+/**
+ * Attempt-gated chaos hook: fires when @p envApp names this cell's app
+ * and the attempt number is still within @p envTimes (default
+ * @p dfltTimes). Reading the gate per-cell in the *child* keeps the
+ * daemon's own code path chaos-free — the hooks cost one getenv per
+ * dispatch and vanish entirely when the variables are unset.
+ */
+bool chaosHookFires(const char *envApp, const char *envTimes,
+                    unsigned dfltTimes, const std::string &app,
+                    unsigned attempt)
+{
+    const char *want = std::getenv(envApp);
+    if (want == nullptr || app != want)
+        return false;
+    unsigned times = dfltTimes;
+    if (const char *t = std::getenv(envTimes))
+        times = static_cast<unsigned>(std::strtoul(t, nullptr, 10));
+    return attempt <= times;
+}
+
+std::string describeExit(int status)
+{
+    char buf[64];
+    if (WIFSIGNALED(status))
+        std::snprintf(buf, sizeof buf, "worker killed by signal %d",
+                      WTERMSIG(status));
+    else if (WIFEXITED(status))
+        std::snprintf(buf, sizeof buf, "worker exited with status %d",
+                      WEXITSTATUS(status));
+    else
+        std::snprintf(buf, sizeof buf, "worker wait status %d", status);
+    return buf;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Child side.
+
+[[noreturn]] void workerChildMain(int fd)
+{
+    // The daemon's signal dispositions (ignored SIGPIPE, stop-flag
+    // handlers for SIGINT/SIGTERM) are wrong for a worker: the pool
+    // must be able to SIGKILL/SIGTERM it, and a torn pipe should be a
+    // write error, not death.
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::string payload;
+    for (;;)
+    {
+        std::string err;
+        int rc = readFrame(fd, payload, &err);
+        if (rc == 0)
+            ::_exit(0); // Daemon closed the pipe: clean retirement.
+        if (rc < 0)
+            ::_exit(1);
+
+        JsonValue req;
+        RunConfig cfg;
+        std::string perr;
+        JsonValue reply = JsonValue::makeObject();
+        if (!JsonValue::parse(payload, req, &perr) || !req.isObject() ||
+            req.find("cell") == nullptr ||
+            !cellFromJson(*req.find("cell"), cfg, &perr))
+        {
+            reply.set("type", JsonValue::makeString("failed"));
+            reply.set("error", JsonValue::makeString(
+                                   "bad worker request: " + perr));
+            if (!writeFrame(fd, reply.dump()))
+                ::_exit(1);
+            continue;
+        }
+        // cellFromJson deliberately drops ckpt_dir and turns real trace
+        // stems into the "?" placeholder (clients don't choose daemon
+        // paths); the daemon re-attaches its own choices here.
+        cfg.ckptDir = req.getString("ckpt_dir");
+        std::string stem = req.getString("trace_stem");
+        if (!stem.empty())
+            cfg.traceStem = stem;
+        unsigned attempt =
+            static_cast<unsigned>(req.getNumber("attempt", 1.0));
+
+        if (chaosHookFires("SMTPD_CHAOS_ABORT_APP",
+                           "SMTPD_CHAOS_ABORT_TIMES", 1, cfg.app,
+                           attempt))
+        {
+            std::fprintf(stderr,
+                         "[worker %d] chaos: aborting on app=%s "
+                         "attempt=%u\n",
+                         static_cast<int>(::getpid()), cfg.app.c_str(),
+                         attempt);
+            std::abort();
+        }
+        if (chaosHookFires("SMTPD_CHAOS_WEDGE_APP",
+                           "SMTPD_CHAOS_WEDGE_TIMES", 1000000u,
+                           cfg.app, attempt))
+        {
+            std::fprintf(stderr,
+                         "[worker %d] chaos: wedging on app=%s "
+                         "attempt=%u\n",
+                         static_cast<int>(::getpid()), cfg.app.c_str(),
+                         attempt);
+            for (;;)
+                ::pause(); // Until the deadline watchdog SIGKILLs us.
+        }
+
+        try
+        {
+            RunResult r = runOnce(cfg);
+            reply.set("type", JsonValue::makeString("done"));
+            reply.set("record",
+                      JsonValue::makeString(jsonRecord(cfg, r)));
+            reply.set("result", resultToJson(r));
+        }
+        catch (const std::exception &e)
+        {
+            reply.set("type", JsonValue::makeString("failed"));
+            reply.set("error", JsonValue::makeString(e.what()));
+        }
+        catch (...)
+        {
+            reply.set("type", JsonValue::makeString("failed"));
+            reply.set("error",
+                      JsonValue::makeString("unknown exception"));
+        }
+        if (!writeFrame(fd, reply.dump()))
+            ::_exit(1);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent side.
+
+WorkerPool::WorkerPool(unsigned workers, bool verbose,
+                       std::function<void()> closeInChild)
+    : verbose_(verbose), closeInChild_(std::move(closeInChild))
+{
+    slots_.resize(workers == 0 ? 1 : workers);
+}
+
+WorkerPool::~WorkerPool()
+{
+    for (Slot &s : slots_)
+        retire(s, /*kill=*/true);
+}
+
+bool WorkerPool::spawn(Slot &slot, std::string *err)
+{
+    int sp[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sp) != 0)
+    {
+        if (err != nullptr)
+            *err = std::string("socketpair: ") + std::strerror(errno);
+        return false;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0)
+    {
+        if (err != nullptr)
+            *err = std::string("fork: ") + std::strerror(errno);
+        ::close(sp[0]);
+        ::close(sp[1]);
+        return false;
+    }
+    if (pid == 0)
+    {
+        // Child: drop every daemon fd the serve loop must not hold —
+        // the owner's sockets via the callback, then the parent ends
+        // of every sibling worker pipe (holding one would keep a
+        // crashed sibling's EOF from ever reaching the daemon).
+        if (closeInChild_)
+            closeInChild_();
+        for (const Slot &s : slots_)
+            if (s.fd >= 0)
+                ::close(s.fd);
+        ::close(sp[0]);
+        workerChildMain(sp[1]); // noreturn
+    }
+    ::close(sp[1]);
+    ::fcntl(sp[0], F_SETFD, FD_CLOEXEC);
+    slot.pid = pid;
+    slot.fd = sp[0];
+    slot.splitter = FrameSplitter();
+    slot.busy = false;
+    slot.key = 0;
+    slot.attempt = 0;
+    if (verbose_)
+        std::fprintf(stderr, "smtpd: worker %d spawned\n",
+                     static_cast<int>(pid));
+    return true;
+}
+
+void WorkerPool::retire(Slot &slot, bool kill)
+{
+    if (slot.pid > 0)
+    {
+        if (kill)
+            ::kill(slot.pid, SIGKILL);
+        int status = 0;
+        // Reap this specific pid: the embedding process (tests, chaos
+        // harness) may own children of its own, so waitpid(-1) would
+        // steal them.
+        while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR)
+        {
+        }
+        slot.pid = -1;
+    }
+    if (slot.fd >= 0)
+    {
+        ::close(slot.fd);
+        slot.fd = -1;
+    }
+    slot.splitter = FrameSplitter();
+    slot.busy = false;
+    slot.key = 0;
+    slot.attempt = 0;
+}
+
+bool WorkerPool::start(std::string *err)
+{
+    for (Slot &s : slots_)
+        if (!spawn(s, err))
+        {
+            for (Slot &t : slots_)
+                retire(t, /*kill=*/true);
+            return false;
+        }
+    return true;
+}
+
+unsigned WorkerPool::busy() const
+{
+    unsigned n = 0;
+    for (const Slot &s : slots_)
+        if (s.busy)
+            ++n;
+    return n;
+}
+
+std::vector<int> WorkerPool::pids() const
+{
+    std::vector<int> out;
+    for (const Slot &s : slots_)
+        if (s.pid > 0)
+            out.push_back(static_cast<int>(s.pid));
+    return out;
+}
+
+std::vector<int> WorkerPool::pollFds() const
+{
+    std::vector<int> out;
+    for (const Slot &s : slots_)
+        if (s.fd >= 0)
+            out.push_back(s.fd);
+    return out;
+}
+
+bool WorkerPool::dispatch(std::uint64_t key, unsigned attempt,
+                          const std::string &requestJson,
+                          std::chrono::steady_clock::time_point deadline)
+{
+    for (Slot &s : slots_)
+    {
+        if (s.fd < 0 || s.busy)
+            continue;
+        std::string werr;
+        if (!writeFrame(s.fd, requestJson, &werr))
+        {
+            // An idle worker with a full or broken pipe is dead in all
+            // but name; recycle it and try the next slot. Its demise
+            // is bookkept like a crash, but no cell was lost.
+            if (verbose_)
+                std::fprintf(stderr,
+                             "smtpd: worker %d dispatch failed (%s), "
+                             "respawning\n",
+                             static_cast<int>(s.pid), werr.c_str());
+            retire(s, /*kill=*/true);
+            ++reaped_;
+            spawn(s, nullptr);
+            continue;
+        }
+        s.busy = true;
+        s.key = key;
+        s.attempt = attempt;
+        s.deadline = deadline;
+        return true;
+    }
+    return false;
+}
+
+void WorkerPool::readSlot(Slot &slot, std::vector<WorkerEvent> &events)
+{
+    char buf[16384];
+    for (;;)
+    {
+        ssize_t n = ::recv(slot.fd, buf, sizeof buf, MSG_DONTWAIT);
+        if (n > 0)
+        {
+            slot.splitter.feed(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        // EOF or hard error: the worker died. If it owed us a cell,
+        // that's a crash event; either way reap and respawn.
+        int status = 0;
+        pid_t pid = slot.pid;
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR)
+        {
+        }
+        slot.pid = -1;
+        if (slot.busy)
+        {
+            WorkerEvent ev;
+            ev.kind = WorkerEvent::Kind::Crashed;
+            ev.key = slot.key;
+            ev.attempt = slot.attempt;
+            ev.error = describeExit(status);
+            events.push_back(ev);
+        }
+        if (verbose_)
+            std::fprintf(stderr, "smtpd: worker %d died (%s)\n",
+                         static_cast<int>(pid),
+                         describeExit(status).c_str());
+        retire(slot, /*kill=*/false);
+        ++reaped_;
+        spawn(slot, nullptr);
+        return;
+    }
+
+    std::string payload;
+    while (slot.splitter.next(payload))
+    {
+        JsonValue v;
+        std::string perr;
+        WorkerEvent ev;
+        ev.key = slot.key;
+        ev.attempt = slot.attempt;
+        if (JsonValue::parse(payload, v, &perr) &&
+            v.getString("type") == "done")
+        {
+            ev.kind = WorkerEvent::Kind::Done;
+            ev.record = v.getString("record");
+            ev.resultJson =
+                v.find("result") != nullptr ? v.find("result")->dump()
+                                            : std::string();
+        }
+        else
+        {
+            ev.kind = WorkerEvent::Kind::Failed;
+            ev.error = perr.empty() ? v.getString("error", "run failed")
+                                    : "bad worker reply: " + perr;
+        }
+        slot.busy = false;
+        slot.key = 0;
+        slot.attempt = 0;
+        events.push_back(ev);
+    }
+    if (!slot.splitter.error().empty())
+    {
+        // A worker that frames garbage at us is as dead as one that
+        // crashed (this cannot happen short of memory corruption, in
+        // which case killing it is exactly right).
+        if (slot.busy)
+        {
+            WorkerEvent ev;
+            ev.kind = WorkerEvent::Kind::Crashed;
+            ev.key = slot.key;
+            ev.attempt = slot.attempt;
+            ev.error = "worker framing error: " + slot.splitter.error();
+            events.push_back(ev);
+        }
+        retire(slot, /*kill=*/true);
+        ++reaped_;
+        spawn(slot, nullptr);
+    }
+}
+
+void WorkerPool::service(std::vector<WorkerEvent> &events)
+{
+    auto now = std::chrono::steady_clock::now();
+    for (Slot &s : slots_)
+    {
+        if (s.fd < 0)
+        {
+            // A slot whose respawn failed earlier (fork pressure):
+            // keep trying, the pool heals itself.
+            spawn(s, nullptr);
+            continue;
+        }
+        if (s.busy &&
+            s.deadline != std::chrono::steady_clock::time_point::max() &&
+            now >= s.deadline)
+        {
+            WorkerEvent ev;
+            ev.kind = WorkerEvent::Kind::DeadlineKilled;
+            ev.key = s.key;
+            ev.attempt = s.attempt;
+            ev.error = "deadline exceeded";
+            events.push_back(ev);
+            if (verbose_)
+                std::fprintf(stderr,
+                             "smtpd: worker %d overran its deadline, "
+                             "killing\n",
+                             static_cast<int>(s.pid));
+            retire(s, /*kill=*/true);
+            ++reaped_;
+            spawn(s, nullptr);
+            continue;
+        }
+        readSlot(s, events);
+    }
+}
+
+bool WorkerPool::killCell(std::uint64_t key)
+{
+    for (Slot &s : slots_)
+    {
+        if (s.fd < 0 || !s.busy || s.key != key)
+            continue;
+        retire(s, /*kill=*/true);
+        ++reaped_;
+        spawn(s, nullptr);
+        return true;
+    }
+    return false;
+}
+
+int WorkerPool::nextDeadlineMs(
+    std::chrono::steady_clock::time_point now) const
+{
+    auto earliest = std::chrono::steady_clock::time_point::max();
+    for (const Slot &s : slots_)
+        if (s.busy && s.deadline < earliest)
+            earliest = s.deadline;
+    if (earliest == std::chrono::steady_clock::time_point::max())
+        return -1;
+    if (earliest <= now)
+        return 0;
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  earliest - now)
+                  .count() +
+              1;
+    return ms > 60000 ? 60000 : static_cast<int>(ms);
+}
+
+} // namespace smtp::serve

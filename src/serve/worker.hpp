@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Crash-isolated worker processes for smtpd.
+ *
+ * Every sweep cell the daemon runs executes in a sandboxed worker
+ * *process*, forked from the daemon and spoken to over a socketpair
+ * using the same length-prefixed frames as the client wire (wire.hpp).
+ * A crashing simulation (assert, OOM kill, stray abort) takes down
+ * only its worker: the poll thread sees EOF on the worker's pipe,
+ * reaps the corpse with waitpid, forks a replacement, and the warm
+ * checkpoint farm, result cache, and every other job live on. A
+ * *wedged* simulation is bounded the same way — each dispatch may
+ * carry a deadline, and the pool SIGKILLs any worker that outlives
+ * its deadline.
+ *
+ * The pool is poll-thread-only: it owns no threads and takes no locks.
+ * The daemon folds the worker fds into its poll set, calls service()
+ * after each wakeup to collect completions/crashes/deadline kills, and
+ * dispatch()es queued cells onto idle workers. Retry pacing, attempt
+ * counting, and quarantine policy belong to the caller (server.cpp);
+ * the pool only reports what happened to each dispatch.
+ *
+ * Worker children inherit the daemon's environment, which is how the
+ * chaos hooks work: SMTPD_CHAOS_ABORT_APP / SMTPD_CHAOS_WEDGE_APP make
+ * a worker abort (or sleep forever) when it receives a matching cell,
+ * letting tools/serve_chaos and the tests exercise the crash-recovery
+ * and deadline-kill paths deterministically (docs/service.md).
+ */
+
+#ifndef SMTP_SERVE_WORKER_HPP
+#define SMTP_SERVE_WORKER_HPP
+
+#include <cstdint>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "serve/wire.hpp"
+
+namespace smtp::serve
+{
+
+/** What became of one dispatched cell attempt. */
+struct WorkerEvent
+{
+    enum class Kind : std::uint8_t
+    {
+        Done,           ///< Worker returned a record.
+        Failed,         ///< Worker returned a clean structured error.
+        Crashed,        ///< Worker process died mid-cell.
+        DeadlineKilled, ///< Pool SIGKILLed an overdue worker.
+    };
+    Kind kind = Kind::Done;
+    std::uint64_t key = 0;   ///< Cell key from the dispatch.
+    unsigned attempt = 0;    ///< Attempt number from the dispatch.
+    std::string record;      ///< Done: verbatim jsonRecord() line.
+    std::string resultJson;  ///< Done: resultToJson(...).dump().
+    std::string error;       ///< Failed/Crashed/DeadlineKilled: detail.
+};
+
+class WorkerPool
+{
+  public:
+    /**
+     * @p workers    process count (>= 1).
+     * @p verbose    per-worker stderr lines.
+     * @p closeInChild runs in every freshly forked child before its
+     *   serve loop: the owner closes fds the child must not inherit
+     *   (listening socket, client connections, self-pipe). The pool
+     *   itself closes the other workers' pipe ends.
+     */
+    WorkerPool(unsigned workers, bool verbose,
+               std::function<void()> closeInChild);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Fork the initial workers. False with *err if none could start. */
+    bool start(std::string *err);
+
+    unsigned workers() const { return static_cast<unsigned>(slots_.size()); }
+    unsigned busy() const;
+    unsigned idle() const { return workers() - busy(); }
+    /** Workers reaped and respawned over the pool's lifetime. */
+    std::uint64_t reaped() const { return reaped_; }
+    /** Live worker pids (health reporting / chaos harness). */
+    std::vector<int> pids() const;
+
+    /** Parent-side pipe fds to fold into the owner's poll set. */
+    std::vector<int> pollFds() const;
+
+    /**
+     * Hand one cell attempt to an idle worker. @p requestJson is the
+     * full request frame payload; @p deadline, when non-zero, is the
+     * host time after which service() SIGKILLs the worker. False if
+     * no worker is idle (caller keeps the cell queued).
+     */
+    bool dispatch(std::uint64_t key, unsigned attempt,
+                  const std::string &requestJson,
+                  std::chrono::steady_clock::time_point deadline);
+
+    /**
+     * Collect everything that happened since the last call: read
+     * worker pipes (completions and clean failures), detect crashed
+     * workers (EOF while busy), SIGKILL overdue ones, reap corpses,
+     * and fork replacements. Call after every poll wakeup.
+     */
+    void service(std::vector<WorkerEvent> &events);
+
+    /**
+     * Cancellation: if some worker is running @p key, SIGKILL it,
+     * reap it, fork a replacement, and return true. Emits no event —
+     * the caller decided the cell's fate already.
+     */
+    bool killCell(std::uint64_t key);
+
+    /**
+     * Milliseconds until the earliest busy-worker deadline (rounded
+     * up), or -1 when no deadline is pending. Poll-timeout input.
+     */
+    int nextDeadlineMs(std::chrono::steady_clock::time_point now) const;
+
+  private:
+    struct Slot
+    {
+        pid_t pid = -1;
+        int fd = -1; ///< Parent side of the socketpair (nonblocking).
+        FrameSplitter splitter;
+        bool busy = false;
+        std::uint64_t key = 0;
+        unsigned attempt = 0;
+        /** time_point::max() = no deadline for this dispatch. */
+        std::chrono::steady_clock::time_point deadline;
+    };
+
+    bool spawn(Slot &slot, std::string *err);
+    /** Kill (if alive), reap, and close @p slot; does not respawn. */
+    void retire(Slot &slot, bool kill);
+    void readSlot(Slot &slot, std::vector<WorkerEvent> &events);
+
+    std::vector<Slot> slots_;
+    bool verbose_;
+    std::function<void()> closeInChild_;
+    std::uint64_t reaped_ = 0;
+};
+
+/**
+ * The worker child's serve loop: read a run request frame from @p fd,
+ * simulate, write the reply, repeat until EOF, then _exit(0). Runs the
+ * chaos hooks (SMTPD_CHAOS_ABORT_APP / SMTPD_CHAOS_WEDGE_APP) before
+ * each simulation. Never returns.
+ */
+[[noreturn]] void workerChildMain(int fd);
+
+} // namespace smtp::serve
+
+#endif // SMTP_SERVE_WORKER_HPP

@@ -14,11 +14,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "serve/client.hpp"
@@ -217,6 +220,35 @@ TEST(ServeWire, SplitterPoisonsOnOversizedPrefix)
 
 // ------------------------------------------------------------ proto
 
+TEST(ServeWire, HalfClosedPeerSendPathReportsEpipe)
+{
+    // A peer that closed its read side must surface as a wire error on
+    // our send path — not a SIGPIPE that kills the process. Fill the
+    // socket buffer until the kernel reports the broken pipe.
+    int sp[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    ::close(sp[1]); // Peer is gone entirely: first send may EPIPE...
+    std::string err;
+    std::string payload(1 << 16, 'x');
+    bool ok = true;
+    for (int i = 0; ok && i < 64; ++i)
+        ok = writeFrame(sp[0], payload, &err);
+    EXPECT_FALSE(ok) << "send to a closed peer must fail";
+    EXPECT_FALSE(err.empty());
+    ::close(sp[0]);
+
+    // ...and a half-closed peer (SHUT_RD on the far side) behaves the
+    // same once its receive buffer is full.
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+    ::shutdown(sp[1], SHUT_RD);
+    ok = true;
+    for (int i = 0; ok && i < 64; ++i)
+        ok = writeFrame(sp[0], payload, &err);
+    EXPECT_FALSE(ok) << "send to a half-closed peer must fail";
+    ::close(sp[0]);
+    ::close(sp[1]);
+}
+
 TEST(ServeProto, CellRoundTripPreservesKey)
 {
     RunConfig cfg;
@@ -325,13 +357,27 @@ struct DaemonFixture
         start(jobs);
     }
 
+    /** Full-options variant for deadline/retry/admission tests. */
+    DaemonFixture(const char *tag, const ServerOptions &opt)
+    {
+        dir = std::string("serve_test_") + tag;
+        sock = dir + "/smtpd.sock";
+        start(opt);
+    }
+
     void
     start(unsigned jobs = 2)
     {
         ServerOptions opt;
+        opt.jobs = jobs;
+        start(opt);
+    }
+
+    void
+    start(ServerOptions opt)
+    {
         opt.socketPath = sock;
         opt.stateDir = dir;
-        opt.jobs = jobs;
         server = new Server(opt);
         thread = std::thread([this] { server->run(); });
         // The listener may not be up yet; spin until a ping succeeds.
@@ -729,6 +775,314 @@ TEST(ServeDaemon, CheckedCellRunsUnderDaemonAndReportsCheckLevel)
         return s.substr(pos, s.find(',', pos) - pos);
     };
     EXPECT_EQ(ticks(rec), ticks(plainRec));
+}
+
+// ------------------------------------------- crash isolation + chaos
+
+/** Unset every chaos hook; guards against leakage between tests. */
+struct ChaosEnvGuard
+{
+    ChaosEnvGuard(const char *app, const char *var)
+    {
+        ::setenv(var, app, 1);
+        var_ = var;
+    }
+    ~ChaosEnvGuard() { ::unsetenv(var_); }
+    const char *var_;
+};
+
+TEST(ServeDaemon, CrashedWorkerIsRetriedAndRecordByteIdentical)
+{
+    ChaosEnvGuard chaos("fft", "SMTPD_CHAOS_ABORT_APP");
+    ServerOptions opt;
+    opt.jobs = 2;
+    DaemonFixture d("crashretry", opt);
+    RunConfig cfg = quickCell("fft");
+    std::string served;
+    std::size_t failed = 0;
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    ASSERT_TRUE(c.submit(
+        {cfg}, 0,
+        [&](const CellReply &cr) {
+            served = cr.record;
+            EXPECT_FALSE(cr.failed);
+        },
+        nullptr, &failed))
+        << c.error();
+    EXPECT_EQ(failed, 0u);
+    JsonValue stats;
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_GE(stats.getNumber("workers_crashed"), 1.0);
+    EXPECT_GE(stats.getNumber("cells_retried"), 1.0);
+    EXPECT_EQ(stats.getNumber("cells_quarantined"), 0.0);
+    // The post-crash record is the same record a clean local run makes.
+    ::unsetenv("SMTPD_CHAOS_ABORT_APP");
+    RunResult local = runOnce(cfg);
+    auto strip = [](const std::string &s) {
+        return s.substr(0, s.find(",\"wall_ms\""));
+    };
+    EXPECT_EQ(strip(served), strip(jsonRecord(cfg, local)));
+}
+
+TEST(ServeDaemon, WedgedWorkerIsDeadlineKilledThenQuarantined)
+{
+    ChaosEnvGuard chaos("fft", "SMTPD_CHAOS_WEDGE_APP");
+    // No daemon-wide deadline: the wedged job requests its own via
+    // deadline_ms. A wedged worker never computes, so the deadline is
+    // pure kill latency — immune to sanitizer/load slowdowns — and
+    // healthy cells (incl. the post-restart rerun below) stay unbounded.
+    ServerOptions opt;
+    opt.jobs = 2;
+    opt.maxAttempts = 2;
+    opt.retry.kind = fault::RetryKind::Immediate;
+    DaemonFixture d("wedge", opt);
+    RunConfig cfg = quickCell("fft");
+    std::string served;
+    bool sawFailed = false;
+    unsigned attempts = 0;
+    std::string reason;
+    std::size_t failed = 0;
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    EXPECT_FALSE(c.submit(
+        {cfg}, 0,
+        [&](const CellReply &cr) {
+            served = cr.record;
+            sawFailed = cr.failed;
+            attempts = cr.attempts;
+            reason = cr.errReason;
+        },
+        nullptr, &failed, /*deadlineMs=*/500));
+    EXPECT_EQ(failed, 1u);
+    EXPECT_TRUE(sawFailed);
+    EXPECT_EQ(reason, "deadline");
+    EXPECT_EQ(attempts, 2u);
+    // The failure record is structured, parseable, and self-describing.
+    JsonValue rec;
+    ASSERT_TRUE(JsonValue::parse(served, rec)) << served;
+    EXPECT_TRUE(rec.getBool("failed"));
+    EXPECT_EQ(rec.getString("error"), "deadline");
+    EXPECT_EQ(rec.getNumber("attempts"), 2.0);
+    EXPECT_EQ(rec.getString("app"), "fft");
+    JsonValue stats;
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_EQ(stats.getNumber("workers_deadline_killed"), 2.0);
+    EXPECT_EQ(stats.getNumber("cells_quarantined"), 1.0);
+    // Quarantine is not cached: nothing poisonous lands on disk, so a
+    // restart (or just the hook clearing) gives the cell a fresh shot.
+    ::unsetenv("SMTPD_CHAOS_WEDGE_APP");
+    d.stop();
+    d.start(opt);
+    Client c2;
+    ASSERT_TRUE(c2.connect(d.sock));
+    std::string reason2, detail2;
+    EXPECT_TRUE(c2.submit({cfg}, 0,
+                          [&](const CellReply &cr) {
+                              reason2 = cr.errReason;
+                              detail2 = cr.errDetail;
+                          }))
+        << c2.error() << " reason=" << reason2
+        << " detail=" << detail2;
+}
+
+TEST(ServeDaemon, ResultCacheFsckQuarantinesCorruptFiles)
+{
+    DaemonFixture d("fsck");
+    std::vector<RunConfig> cells{quickCell("fft"), quickCell("lu"),
+                                 quickCell("radix")};
+    std::vector<std::string> before(cells.size());
+    {
+        Client c;
+        ASSERT_TRUE(c.connect(d.sock));
+        ASSERT_TRUE(c.submit(cells, 0, [&](const CellReply &cr) {
+            before[cr.index] = cr.record;
+        })) << c.error();
+    }
+    d.stop();
+
+    // Vandalize all three cached results differently: truncation,
+    // a single flipped bit (checksum territory), and zero length.
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const auto &e : fs::directory_iterator(d.dir + "/results"))
+        files.push_back(e.path().string());
+    ASSERT_EQ(files.size(), 3u);
+    fs::resize_file(files[0], fs::file_size(files[0]) / 2);
+    {
+        std::FILE *f = std::fopen(files[1].c_str(), "r+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, static_cast<long>(fs::file_size(files[1]) / 2),
+                   SEEK_SET);
+        int ch = std::fgetc(f);
+        std::fseek(f, -1, SEEK_CUR);
+        std::fputc(ch ^ 0x01, f);
+        std::fclose(f);
+    }
+    fs::resize_file(files[2], 0);
+
+    d.start();
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    JsonValue stats;
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_EQ(stats.getNumber("fsck_quarantined"), 3.0);
+    // The rejects moved to quarantine/ rather than vanishing.
+    std::size_t quarantined = 0;
+    for ([[maybe_unused]] const auto &e :
+         fs::directory_iterator(d.dir + "/quarantine"))
+        ++quarantined;
+    EXPECT_EQ(quarantined, 3u);
+    // Recomputation must not trust any vandalized bytes...
+    std::vector<std::string> after(cells.size());
+    ASSERT_TRUE(c.submit(cells, 0, [&](const CellReply &cr) {
+        after[cr.index] = cr.record;
+        EXPECT_FALSE(cr.cached);
+        EXPECT_FALSE(cr.failed);
+    })) << c.error();
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_EQ(stats.getNumber("disk_hits"), 0.0);
+    // ...and must reproduce the originals byte-for-byte mod wall_ms.
+    auto strip = [](const std::string &s) {
+        return s.substr(0, s.find(",\"wall_ms\""));
+    };
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(strip(before[i]), strip(after[i])) << i;
+}
+
+TEST(ServeDaemon, OverloadedSubmitIsRejectedWithBackpressure)
+{
+    ServerOptions opt;
+    opt.jobs = 1;
+    opt.maxQueuedCells = 1;
+    DaemonFixture d("overload", opt);
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    // Three distinct new cells against a backlog limit of one: the
+    // daemon must refuse outright with an explicit overloaded reply.
+    std::vector<RunConfig> big{quickCell("fft", 2), quickCell("fft", 4),
+                               quickCell("lu", 2)};
+    EXPECT_FALSE(c.submit(big, 0, nullptr));
+    EXPECT_TRUE(c.overloaded()) << c.error();
+    EXPECT_NE(c.error().find("overloaded"), std::string::npos);
+    // The refusal is backpressure, not a dropped connection: the same
+    // client retries smaller and is served.
+    EXPECT_TRUE(c.ping()) << c.error();
+    std::vector<RunConfig> small{quickCell("fft", 2)};
+    EXPECT_TRUE(c.submit(small, 0, nullptr)) << c.error();
+    JsonValue stats;
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_EQ(stats.getNumber("jobs_rejected"), 1.0);
+    EXPECT_EQ(stats.getNumber("jobs_accepted"), 1.0);
+}
+
+TEST(ServeDaemon, CancellingRunningJobKillsWorkerPromptly)
+{
+    ChaosEnvGuard chaos("fft", "SMTPD_CHAOS_WEDGE_APP");
+    // One worker, no deadline: without the cancel-kill the wedged
+    // worker would hold the only slot until daemon shutdown.
+    ServerOptions opt;
+    opt.jobs = 1;
+    DaemonFixture d("cancelkill", opt);
+    std::thread wedged([&d] {
+        Client c;
+        if (!c.connect(d.sock))
+            return;
+        RunConfig cfg = quickCell("fft");
+        c.submit({cfg}, 0, nullptr); // Returns after the cancel below.
+    });
+    // Wait for the cell to be dispatched into the worker.
+    Client c;
+    ASSERT_TRUE(c.connect(d.sock));
+    JsonValue stats;
+    bool running = false;
+    for (int i = 0; i < 500 && !running; ++i) {
+        ASSERT_TRUE(c.stats(stats));
+        running = stats.getNumber("cells_running") >= 1.0;
+        if (!running)
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ASSERT_TRUE(running) << "wedged cell never dispatched";
+    std::size_t removed = 0;
+    ASSERT_TRUE(c.cancel(1, &removed)) << c.error();
+    EXPECT_EQ(removed, 1u);
+    wedged.join();
+    ASSERT_TRUE(c.stats(stats));
+    EXPECT_EQ(stats.getNumber("workers_cancel_killed"), 1.0);
+    EXPECT_EQ(stats.getNumber("cells_running"), 0.0);
+    // The slot is genuinely free: a healthy job completes promptly.
+    ::unsetenv("SMTPD_CHAOS_WEDGE_APP");
+    RunConfig lu = quickCell("lu");
+    EXPECT_TRUE(c.submit({lu}, 0, nullptr)) << c.error();
+}
+
+// ------------------------------------------------------ smtpctl CLI
+
+/** Run the real smtpctl binary; returns its exit status (or -1). */
+int
+runSmtpctl(const std::string &args)
+{
+    std::string cmd = std::string(SMTPCTL_BIN) + " " + args +
+                      " > /dev/null 2> /dev/null";
+    int rc = std::system(cmd.c_str());
+    return rc < 0 ? -1 : WEXITSTATUS(rc);
+}
+
+TEST(SmtpctlCli, ConnectionRefusedExitsOne)
+{
+    EXPECT_EQ(runSmtpctl("--socket=/nonexistent/no.sock ping"), 1);
+    EXPECT_EQ(runSmtpctl("--socket=/nonexistent/no.sock run"), 1);
+}
+
+TEST(SmtpctlCli, UsageErrorsExitTwo)
+{
+    EXPECT_EQ(runSmtpctl(""), 2);
+    EXPECT_EQ(runSmtpctl("--socket=x bogus-command"), 2);
+    EXPECT_EQ(runSmtpctl("--socket=x --bogus-flag ping"), 2);
+    EXPECT_EQ(runSmtpctl("--socket=x run --nodes=0"), 2);
+    EXPECT_EQ(runSmtpctl("--socket=x run --deadline=-1"), 2);
+}
+
+TEST(SmtpctlCli, MalformedDaemonReplyExitsOne)
+{
+    // A fake daemon that answers every frame with garbage: smtpctl must
+    // diagnose and exit 1, not crash or hang.
+    std::string dir = "serve_test_fakectl";
+    std::string cmd = "rm -rf '" + dir + "'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    ASSERT_EQ(::mkdir(dir.c_str(), 0777), 0);
+    std::string sock = dir + "/fake.sock";
+    int lfd = listenSocket(sock);
+    ASSERT_GE(lfd, 0);
+    std::thread fake([lfd] {
+        int cfd = ::accept(lfd, nullptr, nullptr);
+        if (cfd < 0)
+            return;
+        std::string payload;
+        readFrame(cfd, payload);
+        writeFrame(cfd, "this is not json");
+        ::close(cfd);
+    });
+    EXPECT_EQ(runSmtpctl("--socket=" + sock + " ping"), 1);
+    fake.join();
+    ::close(lfd);
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+}
+
+TEST(SmtpctlCli, FailedCellsExitThree)
+{
+    ChaosEnvGuard chaos("fft", "SMTPD_CHAOS_WEDGE_APP");
+    ServerOptions opt;
+    opt.jobs = 1;
+    opt.deadlineMs = 300;
+    opt.maxAttempts = 1;
+    DaemonFixture d("ctlfail", opt);
+    // The wedge hook deadline-kills the cell's only attempt; the CLI
+    // must report the quarantine as exit 3 (ran, but cells failed),
+    // distinct from connection/daemon errors (1).
+    EXPECT_EQ(runSmtpctl("--socket=" + d.sock +
+                         " run --apps=fft --nodes=2 --scale=0.05"),
+              3);
 }
 
 } // namespace

@@ -1,0 +1,711 @@
+/**
+ * @file
+ * serve_chaos — service-level chaos harness for the smtpd daemon
+ * (docs/service.md, "Failure model").
+ *
+ *   serve_chaos [--quick] [--scenarios=a,b,...] [--verbose]
+ *
+ * Boots a real in-process daemon per scenario and attacks it the way
+ * production would: workers killed mid-job, wedged simulations, a
+ * corrupted result cache, hostile client connections, admission floods,
+ * and cancel races. Each scenario asserts the service-level contract:
+ *
+ *   - the daemon never dies with a client-visible tear: every accepted
+ *     job receives exactly one frame per cell (result or structured
+ *     failure), then "done";
+ *   - every *successful* record is byte-identical (mod wall_ms) to the
+ *     record a clean local runOnce() of the same cell produces —
+ *     including records recomputed after crashes, deadline kills, and
+ *     cache fsck;
+ *   - failures are structured and bounded: crash/wedge cells are
+ *     retried and then quarantined with error/detail/attempts, shed
+ *     cells say so, floods get an explicit "overloaded" reply.
+ *
+ * Scenarios (all run by default; --quick = crash,wedge,corrupt,hostile):
+ *   crash    worker abort()s mid-cell (env hook), retry succeeds
+ *   wedge    worker wedges, deadline-killed, retried, quarantined
+ *   corrupt  cache files truncated/bit-flipped/zeroed; fsck + recompute
+ *   hostile  garbage frames, half-closed peers, slow-loris readers
+ *   flood    admission limit: overload reply + priority shedding
+ *   cancel   cancelling a dispatched job kills the worker promptly
+ *
+ * Chaos is injected through env hooks the worker child reads per cell
+ * (serve/worker.cpp): SMTPD_CHAOS_ABORT_APP / SMTPD_CHAOS_ABORT_TIMES
+ * abort attempts <= TIMES (default 1) of the named app, and
+ * SMTPD_CHAOS_WEDGE_APP / SMTPD_CHAOS_WEDGE_TIMES wedge them forever.
+ * The hooks live in the worker binary (not the daemon), cost one
+ * getenv per cell, and are inert unless the variables are set.
+ *
+ * Exit status: 0 if every scenario held, 1 otherwise, 2 on usage.
+ */
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/proto.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+
+namespace
+{
+
+using namespace smtp;
+using namespace smtp::serve;
+
+int g_failures = 0;
+bool g_verbose = false;
+
+#define CHECK(cond, msg)                                                \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            std::fprintf(stderr, "serve_chaos: FAIL %s:%d: %s\n",       \
+                         __FILE__, __LINE__, msg);                      \
+            ++g_failures;                                               \
+        }                                                               \
+    } while (0)
+
+/** An in-process smtpd on its own thread. */
+struct Daemon
+{
+    std::string dir;
+    std::string sock;
+    Server *server = nullptr;
+    std::thread thread;
+
+    explicit Daemon(const std::string &tag, ServerOptions opt = {})
+    {
+        dir = "serve_chaos_" + tag;
+        std::string cmd = "rm -rf '" + dir + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+        sock = dir + "/smtpd.sock";
+        opt.socketPath = sock;
+        opt.stateDir = dir;
+        opt.verbose = g_verbose;
+        start(opt);
+    }
+
+    bool
+    start(ServerOptions opt)
+    {
+        opt.socketPath = sock;
+        opt.stateDir = dir;
+        server = new Server(std::move(opt));
+        thread = std::thread([this] { server->run(); });
+        Client probe;
+        for (int i = 0; i < 500; ++i) {
+            if (probe.connect(sock) && probe.ping())
+                return true;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        CHECK(false, "daemon did not come up");
+        return false;
+    }
+
+    void
+    stop()
+    {
+        if (server == nullptr)
+            return;
+        server->requestStop();
+        thread.join();
+        delete server;
+        server = nullptr;
+    }
+
+    ~Daemon()
+    {
+        stop();
+        std::string cmd = "rm -rf '" + dir + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+};
+
+RunConfig
+cell(const char *app, unsigned nodes = 2)
+{
+    RunConfig cfg;
+    cfg.model = MachineModel::SMTp;
+    cfg.app = app;
+    cfg.nodes = nodes;
+    cfg.scale = 0.05;
+    return cfg;
+}
+
+/** Strip the host-time field so records are byte-comparable. */
+std::string
+stripWall(const std::string &record)
+{
+    std::size_t pos = record.find(",\"wall_ms\"");
+    return pos == std::string::npos ? record : record.substr(0, pos);
+}
+
+/** The record a clean local run of @p cfg produces (own ckpt dir). */
+std::string
+localRecord(RunConfig cfg, const std::string &tag)
+{
+    std::string dir = "serve_chaos_local_" + tag;
+    std::string cmd = "rm -rf '" + dir + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+    ::mkdir(dir.c_str(), 0777);
+    cfg.ckptDir = dir + "/ckpt";
+    RunResult res = runOnce(cfg);
+    std::string record = jsonRecord(cfg, res);
+    rc = std::system(cmd.c_str());
+    return record;
+}
+
+double
+statNum(const std::string &sock, const char *key)
+{
+    Client c;
+    if (!c.connect(sock))
+        return -1.0;
+    JsonValue v;
+    if (!c.stats(v))
+        return -1.0;
+    return v.getNumber(key, -1.0);
+}
+
+/** Poll stats until key >= want (daemon-side state is async). */
+bool
+awaitStat(const std::string &sock, const char *key, double want,
+          int tries = 500)
+{
+    for (int i = 0; i < tries; ++i) {
+        if (statNum(sock, key) >= want)
+            return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+}
+
+// ---------------------------------------------------------- scenarios
+
+/**
+ * A worker abort()s mid-simulation (first attempt only). The daemon
+ * must survive, retry the cell, and serve a record byte-identical to a
+ * clean local run — and the sibling cell must be untouched.
+ */
+void
+scenarioCrash()
+{
+    std::printf("scenario crash: worker abort -> retry -> identical record\n");
+    ::setenv("SMTPD_CHAOS_ABORT_APP", "fft", 1);
+    {
+        ServerOptions opt;
+        opt.jobs = 2;
+        Daemon d("crash", opt);
+        std::vector<RunConfig> cells{cell("fft"), cell("lu")};
+        std::vector<std::string> recs(cells.size());
+        Client c;
+        CHECK(c.connect(d.sock), "connect");
+        std::size_t failed = 0;
+        bool ok = c.submit(
+            cells, 0,
+            [&](const CellReply &cr) {
+                recs[cr.index] = cr.record;
+                CHECK(!cr.failed, "no cell may fail in crash scenario");
+            },
+            nullptr, &failed);
+        CHECK(ok, "job must complete despite the worker crash");
+        CHECK(failed == 0, "no quarantines expected");
+        CHECK(statNum(d.sock, "workers_crashed") >= 1,
+              "daemon must have observed >= 1 worker crash");
+        CHECK(statNum(d.sock, "cells_retried") >= 1,
+              "crashed cell must have been retried");
+        d.stop();
+        ::unsetenv("SMTPD_CHAOS_ABORT_APP");
+        CHECK(stripWall(recs[0]) == stripWall(localRecord(cells[0], "crash_fft")),
+              "post-crash record must be byte-identical to a local run");
+        CHECK(stripWall(recs[1]) == stripWall(localRecord(cells[1], "crash_lu")),
+              "sibling record must be byte-identical to a local run");
+    }
+    ::unsetenv("SMTPD_CHAOS_ABORT_APP");
+}
+
+/**
+ * A worker wedges forever. The deadline must kill it, the retry must
+ * wedge again, and after maxAttempts the cell must be quarantined with
+ * a structured failure record — while an undamaged cell still runs.
+ */
+void
+scenarioWedge()
+{
+    std::printf("scenario wedge: deadline kill -> retry -> quarantine\n");
+    ::setenv("SMTPD_CHAOS_WEDGE_APP", "fft", 1);
+    {
+        // No daemon-wide deadline: the wedged *job* asks for its own
+        // (a wedged worker never computes, so the deadline is pure
+        // kill latency and safe under sanitizer slowdowns — while the
+        // healthy sibling job stays unbounded).
+        ServerOptions opt;
+        opt.jobs = 2;
+        opt.maxAttempts = 2;
+        opt.retry.kind = fault::RetryKind::Immediate;
+        Daemon d("wedge", opt);
+        std::vector<RunConfig> cells{cell("fft"), cell("lu")};
+        std::vector<std::string> recs(cells.size());
+        unsigned sawFailed = 0, attempts = 0;
+        std::string reason;
+        Client healthy;
+        CHECK(healthy.connect(d.sock), "connect");
+        CHECK(healthy.submit({cells[1]}, 0,
+                             [&](const CellReply &cr) {
+                                 recs[1] = cr.record;
+                                 CHECK(!cr.failed,
+                                       "healthy cell must succeed");
+                             }),
+              "healthy job must complete");
+        Client c;
+        CHECK(c.connect(d.sock), "connect");
+        std::size_t failed = 0;
+        bool ok = c.submit(
+            {cells[0]}, 0,
+            [&](const CellReply &cr) {
+                recs[0] = cr.record;
+                if (cr.failed) {
+                    ++sawFailed;
+                    attempts = cr.attempts;
+                    reason = cr.errReason;
+                }
+            },
+            nullptr, &failed, /*deadlineMs=*/500);
+        CHECK(!ok, "submit must report the quarantined cell");
+        CHECK(failed == 1 && sawFailed == 1,
+              "exactly one cell quarantined");
+        CHECK(reason == "deadline", "failure reason must be 'deadline'");
+        CHECK(attempts == 2, "quarantine after maxAttempts=2 attempts");
+        CHECK(statNum(d.sock, "workers_deadline_killed") >= 2,
+              "both attempts must have been deadline-killed");
+        CHECK(statNum(d.sock, "cells_quarantined") == 1,
+              "exactly one quarantined cell");
+        // The structured failure record is parseable and self-describing.
+        JsonValue rec;
+        CHECK(JsonValue::parse(recs[0], rec), "failure record parses");
+        CHECK(rec.getBool("failed"), "failure record says failed:true");
+        CHECK(rec.getString("error") == "deadline",
+              "failure record carries the reason");
+        CHECK(static_cast<unsigned>(rec.getNumber("attempts")) == 2,
+              "failure record carries the attempt count");
+        d.stop();
+        ::unsetenv("SMTPD_CHAOS_WEDGE_APP");
+        CHECK(stripWall(recs[1]) == stripWall(localRecord(cells[1], "wedge_lu")),
+              "healthy sibling record must be byte-identical");
+    }
+    ::unsetenv("SMTPD_CHAOS_WEDGE_APP");
+}
+
+/**
+ * Kill -9 the daemon's cache integrity: truncate one result file, bit-
+ * flip another, zero a third. A restarted daemon must quarantine all
+ * three at fsck, recompute on demand, and the recomputed records must
+ * be byte-identical to the originals.
+ */
+void
+scenarioCorrupt()
+{
+    std::printf("scenario corrupt: cache fsck -> quarantine -> recompute\n");
+    std::vector<RunConfig> cells{cell("fft"), cell("lu"), cell("radix")};
+    std::vector<std::string> before(cells.size());
+    std::string dir;
+    {
+        Daemon d("corrupt");
+        dir = d.dir;
+        Client c;
+        CHECK(c.connect(d.sock), "connect");
+        bool ok = c.submit(cells, 0, [&](const CellReply &cr) {
+            before[cr.index] = cr.record;
+        });
+        CHECK(ok, "baseline sweep must succeed");
+        d.stop();
+
+        // Vandalize results/: one truncated, one bit-flipped, one zeroed.
+        std::vector<std::string> files;
+        std::string lsCmd = "ls '" + dir + "/results'";
+        if (std::FILE *ls = ::popen(lsCmd.c_str(), "r")) {
+            char line[256];
+            while (std::fgets(line, sizeof line, ls) != nullptr) {
+                std::string f = line;
+                while (!f.empty() && (f.back() == '\n' || f.back() == '\r'))
+                    f.pop_back();
+                if (!f.empty())
+                    files.push_back(dir + "/results/" + f);
+            }
+            ::pclose(ls);
+        }
+        CHECK(files.size() == 3, "three cached result files expected");
+        if (files.size() == 3) {
+            // Truncate to half.
+            if (std::FILE *f = std::fopen(files[0].c_str(), "r+")) {
+                std::fseek(f, 0, SEEK_END);
+                long half = std::ftell(f) / 2;
+                std::fclose(f);
+                [[maybe_unused]] int rc =
+                    ::truncate(files[0].c_str(), half);
+            }
+            // Flip one bit mid-file (may still be valid JSON text; the
+            // content checksum is what must catch it).
+            if (std::FILE *f = std::fopen(files[1].c_str(), "r+")) {
+                std::fseek(f, 0, SEEK_END);
+                long mid = std::ftell(f) / 2;
+                std::fseek(f, mid, SEEK_SET);
+                int ch = std::fgetc(f);
+                std::fseek(f, mid, SEEK_SET);
+                std::fputc(ch ^ 0x01, f);
+                std::fclose(f);
+            }
+            // Zero-length.
+            if (std::FILE *f = std::fopen(files[2].c_str(), "w"))
+                std::fclose(f);
+        }
+
+        // Restart on the vandalized state dir.
+        CHECK(d.start(ServerOptions{}), "restart on corrupt state dir");
+        CHECK(statNum(d.sock, "fsck_quarantined") == 3,
+              "fsck must quarantine all three corrupt files");
+        std::vector<std::string> after(cells.size());
+        Client c2;
+        CHECK(c2.connect(d.sock), "reconnect");
+        bool ok2 = c2.submit(cells, 0, [&](const CellReply &cr) {
+            after[cr.index] = cr.record;
+            CHECK(!cr.failed, "recompute must succeed");
+        });
+        CHECK(ok2, "post-fsck sweep must succeed");
+        CHECK(statNum(d.sock, "disk_hits") == 0,
+              "no corrupt file may be served as a cache hit");
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            CHECK(stripWall(before[i]) == stripWall(after[i]),
+                  "recomputed record must match the original");
+        // The quarantine dir actually holds the three rejects.
+        std::string cnt = "ls '" + dir + "/quarantine' | wc -l";
+        if (std::FILE *wc = ::popen(cnt.c_str(), "r")) {
+            int n = -1;
+            if (std::fscanf(wc, "%d", &n) == 1)
+                CHECK(n == 3, "quarantine/ must hold the three files");
+            ::pclose(wc);
+        }
+    }
+}
+
+/**
+ * Hostile clients: a garbage frame, a half-closed peer, a slow-loris
+ * that submits work and never reads, and a connect-and-slam. None may
+ * affect a well-behaved client on the same daemon.
+ */
+void
+scenarioHostile()
+{
+    std::printf("scenario hostile: garbage, half-closed, slow-loris\n");
+    ServerOptions opt;
+    opt.jobs = 2;
+    Daemon d("hostile", opt);
+
+    // 1. Garbage bytes that parse as a frame header promising 16 MiB,
+    //    then silence: the daemon must not block on it.
+    {
+        std::string err;
+        int fd = connectSocket(d.sock, &err);
+        CHECK(fd >= 0, "hostile connect");
+        if (fd >= 0) {
+            const unsigned char hdr[4] = {0xff, 0xff, 0xff, 0x00};
+            [[maybe_unused]] ssize_t n = ::send(fd, hdr, 4, MSG_NOSIGNAL);
+            ::close(fd);
+        }
+    }
+    // 2. A complete frame of non-JSON garbage: error reply, not death.
+    {
+        std::string err;
+        int fd = connectSocket(d.sock, &err);
+        CHECK(fd >= 0, "hostile connect");
+        if (fd >= 0) {
+            CHECK(writeFrame(fd, "not json at all {{{", &err),
+                  "garbage frame send");
+            std::string payload;
+            int r = readFrame(fd, payload, &err);
+            CHECK(r == 1 && payload.find("error") != std::string::npos,
+                  "daemon must answer garbage with an error frame");
+            ::close(fd);
+        }
+    }
+    // 3. Half-closed peer: shut down our read side, then make the
+    //    daemon produce output for us. Its writes must not wedge or
+    //    kill it (EPIPE is a client problem).
+    {
+        std::string err;
+        int fd = connectSocket(d.sock, &err);
+        CHECK(fd >= 0, "hostile connect");
+        if (fd >= 0) {
+            ::shutdown(fd, SHUT_RD);
+            JsonValue req = JsonValue::makeObject();
+            req.set("op", JsonValue::makeString("stats"));
+            req.set("proto", JsonValue::makeNumber(kProtoVersion));
+            [[maybe_unused]] bool sent = writeFrame(fd, req.dump(), &err);
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+            ::close(fd);
+        }
+    }
+    // 4. Slow-loris: submit a real job, never read a byte, hold the
+    //    socket open. The daemon's bounded out-buffer and dead-conn
+    //    sweep must contain it.
+    int lorisFd = -1;
+    {
+        std::string err;
+        lorisFd = connectSocket(d.sock, &err);
+        CHECK(lorisFd >= 0, "loris connect");
+        if (lorisFd >= 0) {
+            JsonValue req = JsonValue::makeObject();
+            req.set("op", JsonValue::makeString("submit"));
+            req.set("proto", JsonValue::makeNumber(kProtoVersion));
+            req.set("priority", JsonValue::makeNumber(0));
+            JsonValue arr = JsonValue::makeArray();
+            arr.append(cellToJson(cell("fft")));
+            req.set("cells", std::move(arr));
+            CHECK(writeFrame(lorisFd, req.dump(), &err), "loris submit");
+            // Deliberately never read.
+        }
+    }
+
+    // The well-behaved client still gets full service.
+    std::vector<RunConfig> cells{cell("lu")};
+    std::vector<std::string> recs(cells.size());
+    Client c;
+    CHECK(c.connect(d.sock), "good-client connect");
+    bool ok = c.submit(cells, 0, [&](const CellReply &cr) {
+        recs[cr.index] = cr.record;
+    });
+    CHECK(ok, "good client must be served amid hostile peers");
+    CHECK(c.ping(), "daemon must still answer pings");
+    if (lorisFd >= 0)
+        ::close(lorisFd);
+    d.stop();
+    CHECK(stripWall(recs[0]) == stripWall(localRecord(cells[0], "hostile_lu")),
+          "record served amid chaos must be byte-identical");
+}
+
+/**
+ * Flood past the admission limit: a too-large job gets an explicit
+ * "overloaded" reply on a connection that stays usable, and a high-
+ * priority job sheds queued low-priority cells rather than waiting.
+ */
+void
+scenarioFlood()
+{
+    std::printf("scenario flood: overload reply + priority shedding\n");
+    ::setenv("SMTPD_CHAOS_WEDGE_APP", "ocean", 1);
+    {
+        ServerOptions opt;
+        opt.jobs = 1;
+        opt.maxQueuedCells = 2;
+        Daemon d("flood", opt);
+
+        // Oversized job: 4 distinct cells against a backlog limit of 2.
+        {
+            Client c;
+            CHECK(c.connect(d.sock), "connect");
+            std::vector<RunConfig> big{cell("fft", 2), cell("fft", 4),
+                                       cell("lu", 2), cell("lu", 4)};
+            bool ok = c.submit(big, 0, nullptr);
+            CHECK(!ok && c.overloaded(),
+                  "oversized job must be refused as overloaded");
+            CHECK(c.ping(), "connection must survive the refusal");
+            CHECK(statNum(d.sock, "jobs_rejected") == 1,
+                  "refusal must be counted");
+        }
+
+        // Occupy the only worker with a wedge cell (no deadline), so
+        // queued cells stay queued.
+        std::thread wedgeThread;
+        {
+            Client probe;
+            CHECK(probe.connect(d.sock), "connect");
+            wedgeThread = std::thread([&d] {
+                Client c;
+                if (!c.connect(d.sock))
+                    return;
+                std::vector<RunConfig> w{cell("ocean")};
+                c.submit(w, 0, nullptr); // Blocks until cancel below.
+            });
+            CHECK(awaitStat(d.sock, "cells_running", 1),
+                  "wedge cell must occupy the worker");
+        }
+
+        // Low-priority job fills the queue...
+        std::size_t lowFailed = 0;
+        bool lowOk = true;
+        std::thread lowThread([&] {
+            Client c;
+            if (!c.connect(d.sock))
+                return;
+            std::vector<RunConfig> low{cell("fft", 2), cell("fft", 4)};
+            lowOk = c.submit(low, /*priority=*/0, nullptr, nullptr,
+                             &lowFailed);
+        });
+        CHECK(awaitStat(d.sock, "cells_queued", 2),
+              "low-priority cells must be queued");
+
+        // ...and a high-priority job sheds one of them to get in.
+        std::vector<RunConfig> high{cell("lu", 2)};
+        std::vector<std::string> highRecs(high.size());
+        Client hc;
+        CHECK(hc.connect(d.sock), "connect");
+        std::size_t highFailed = 0;
+        std::thread highThread([&] {
+            bool ok = hc.submit(
+                high, /*priority=*/5,
+                [&](const CellReply &cr) {
+                    highRecs[cr.index] = cr.record;
+                    CHECK(!cr.failed, "high-priority cell must succeed");
+                },
+                nullptr, &highFailed);
+            CHECK(ok, "high-priority job must complete");
+        });
+        CHECK(awaitStat(d.sock, "cells_shed", 1),
+              "one low-priority cell must be shed");
+
+        // Free the worker: cancel the wedge job (job id 1 was the
+        // rejected submit — ids are only assigned on acceptance, so
+        // the wedge job is id 1).
+        Client killer;
+        CHECK(killer.connect(d.sock), "connect");
+        CHECK(killer.cancel(1), "cancel the wedge job");
+        wedgeThread.join();
+        lowThread.join();
+        highThread.join();
+        CHECK(!lowOk && lowFailed == 1,
+              "low-priority job must report its shed cell");
+        CHECK(highFailed == 0, "high-priority job must be unharmed");
+        CHECK(statNum(d.sock, "workers_cancel_killed") >= 1,
+              "cancel must have killed the wedged worker");
+        d.stop();
+        ::unsetenv("SMTPD_CHAOS_WEDGE_APP");
+        CHECK(stripWall(highRecs[0]) ==
+                  stripWall(localRecord(high[0], "flood_lu")),
+              "record produced under flood must be byte-identical");
+    }
+    ::unsetenv("SMTPD_CHAOS_WEDGE_APP");
+}
+
+/**
+ * Cancel race: a dispatched (running) cell whose job is cancelled must
+ * have its worker killed promptly and the slot reusable immediately —
+ * not leak a wedged worker until daemon shutdown.
+ */
+void
+scenarioCancel()
+{
+    std::printf("scenario cancel: kill dispatched worker, reuse slot\n");
+    ::setenv("SMTPD_CHAOS_WEDGE_APP", "fft", 1);
+    {
+        ServerOptions opt;
+        opt.jobs = 1; // One slot: leak detection is structural.
+        Daemon d("cancel", opt);
+        std::thread wedgeThread([&d] {
+            Client c;
+            if (!c.connect(d.sock))
+                return;
+            std::vector<RunConfig> w{cell("fft")};
+            c.submit(w, 0, nullptr);
+        });
+        CHECK(awaitStat(d.sock, "cells_running", 1),
+              "wedge cell must be dispatched");
+        Client killer;
+        CHECK(killer.connect(d.sock), "connect");
+        std::size_t removed = 0;
+        CHECK(killer.cancel(1, &removed), "cancel");
+        CHECK(removed == 1, "cancel must report the removed cell");
+        wedgeThread.join();
+        CHECK(awaitStat(d.sock, "workers_cancel_killed", 1),
+              "worker must be killed by the cancel");
+        // The single slot must be free: a fresh job completes.
+        std::vector<RunConfig> cells{cell("lu")};
+        std::vector<std::string> recs(cells.size());
+        Client c;
+        CHECK(c.connect(d.sock), "connect");
+        bool ok = c.submit(cells, 0, [&](const CellReply &cr) {
+            recs[cr.index] = cr.record;
+        });
+        CHECK(ok, "slot must be reusable right after cancel");
+        d.stop();
+        ::unsetenv("SMTPD_CHAOS_WEDGE_APP");
+        CHECK(stripWall(recs[0]) == stripWall(localRecord(cells[0], "cancel_lu")),
+              "post-cancel record must be byte-identical");
+    }
+    ::unsetenv("SMTPD_CHAOS_WEDGE_APP");
+}
+
+struct Scenario
+{
+    const char *name;
+    void (*fn)();
+    bool quick; ///< Included in --quick.
+};
+
+const Scenario kScenarios[] = {
+    {"crash", scenarioCrash, true},
+    {"wedge", scenarioWedge, true},
+    {"corrupt", scenarioCorrupt, true},
+    {"hostile", scenarioHostile, true},
+    {"flood", scenarioFlood, false},
+    {"cancel", scenarioCancel, false},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string only;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg.rfind("--scenarios=", 0) == 0) {
+            only = arg.substr(std::strlen("--scenarios="));
+        } else if (arg == "--verbose") {
+            g_verbose = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: serve_chaos [--quick] "
+                         "[--scenarios=a,b,...] [--verbose]\n");
+            return 2;
+        }
+    }
+    // The chaos env hooks must not leak in from the caller.
+    ::unsetenv("SMTPD_CHAOS_ABORT_APP");
+    ::unsetenv("SMTPD_CHAOS_ABORT_TIMES");
+    ::unsetenv("SMTPD_CHAOS_WEDGE_APP");
+    ::unsetenv("SMTPD_CHAOS_WEDGE_TIMES");
+
+    int ran = 0;
+    for (const Scenario &s : kScenarios) {
+        if (quick && !s.quick)
+            continue;
+        if (!only.empty() &&
+            ("," + only + ",").find("," + std::string(s.name) + ",") ==
+                std::string::npos)
+            continue;
+        int before = g_failures;
+        s.fn();
+        ++ran;
+        std::printf("scenario %s: %s\n", s.name,
+                    g_failures == before ? "OK" : "FAILED");
+    }
+    if (ran == 0) {
+        std::fprintf(stderr, "serve_chaos: no scenario selected\n");
+        return 2;
+    }
+    std::printf("serve_chaos: %d scenario(s), %d failure(s)\n", ran,
+                g_failures);
+    return g_failures == 0 ? 0 : 1;
+}

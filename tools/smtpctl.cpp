@@ -13,6 +13,15 @@
  * — the daemon's verbatim JSON-Lines records appended to FILE, in
  * submission order, byte-identical (mod wall_ms) to what the same
  * bench run would have written locally.
+ *
+ * Exit codes are script-stable:
+ *   0  success (every requested cell produced a record)
+ *   1  connection, protocol, or daemon error (refused socket,
+ *      malformed reply, daemon overloaded, ...)
+ *   2  usage error (bad flags, unknown command)
+ *   3  the job ran but one or more cells FAILED — quarantined after
+ *      repeated crashes/deadline kills, or shed by admission control;
+ *      each failure is diagnosed on stderr
  */
 
 #include <cstdio>
@@ -39,6 +48,7 @@ usage()
         "commands:\n"
         "  ping                  liveness round-trip\n"
         "  stats                 print daemon counters\n"
+        "  health                worker/queue/cache health snapshot\n"
         "  shutdown              ask the daemon to exit cleanly\n"
         "  run                   submit a sweep and stream results\n"
         "run options (defaults in parentheses):\n"
@@ -54,7 +64,10 @@ usage()
         "  --retry=SPEC          NAK retry policy\n"
         "  --trace               request server-side trace artifacts\n"
         "  --priority=N          job priority, higher first (0)\n"
-        "  --json=FILE           append the daemon's records to FILE\n");
+        "  --deadline=MS         per-cell deadline (0 = daemon default)\n"
+        "  --json=FILE           append the daemon's records to FILE\n"
+        "exit codes: 0 ok, 1 connection/daemon error, 2 usage, "
+        "3 cells failed\n");
     return 2;
 }
 
@@ -85,7 +98,32 @@ runStats(Client &client)
     for (const auto &[key, value] : v.members()) {
         if (key == "type" || key == "proto")
             continue;
-        std::printf("%-16s %.0f\n", key.c_str(), value.number());
+        std::printf("%-24s %.0f\n", key.c_str(), value.number());
+    }
+    return 0;
+}
+
+int
+runHealth(Client &client)
+{
+    JsonValue v;
+    if (!client.health(v)) {
+        std::fprintf(stderr, "smtpctl: %s\n", client.error().c_str());
+        return 1;
+    }
+    for (const auto &[key, value] : v.members()) {
+        if (key == "type" || key == "proto")
+            continue;
+        if (value.isNumber()) {
+            std::printf("%-24s %.0f\n", key.c_str(), value.number());
+        } else if (value.isString()) {
+            std::printf("%-24s %s\n", key.c_str(), value.str().c_str());
+        } else if (value.isArray()) {
+            std::printf("%-24s", key.c_str());
+            for (const JsonValue &e : value.array())
+                std::printf(" %.0f", e.number());
+            std::printf("\n");
+        }
     }
     return 0;
 }
@@ -103,6 +141,7 @@ main(int argc, char **argv)
     RunConfig base;
     base.scale = 0.05;
     int priority = 0;
+    std::uint64_t deadlineMs = 0;
     std::string jsonPath;
     bool trace = false;
 
@@ -153,6 +192,13 @@ main(int argc, char **argv)
             }
         } else if (const char *v = value("--priority=")) {
             priority = std::atoi(v);
+        } else if (const char *v = value("--deadline=")) {
+            long ms = std::atol(v);
+            if (ms < 0) {
+                std::fprintf(stderr, "smtpctl: bad --deadline=%s\n", v);
+                return 2;
+            }
+            deadlineMs = static_cast<std::uint64_t>(ms);
         } else if (const char *v = value("--json=")) {
             jsonPath = v;
         } else if (arg == "--trace") {
@@ -167,6 +213,49 @@ main(int argc, char **argv)
     }
     if (socketPath.empty() || command.empty())
         return usage();
+    if (command != "ping" && command != "stats" &&
+        command != "health" && command != "shutdown" &&
+        command != "run") {
+        std::fprintf(stderr, "smtpctl: unknown command '%s'\n",
+                     command.c_str());
+        return usage();
+    }
+
+    // Build the cell list before connecting, so flag mistakes are
+    // usage errors (2) even when the daemon is down (1).
+    std::vector<RunConfig> cells;
+    if (command == "run") {
+        for (const std::string &modelStr : splitCommas(models)) {
+            MachineModel model;
+            if (!modelFromName(modelStr, model)) {
+                std::fprintf(stderr, "smtpctl: unknown model '%s'\n",
+                             modelStr.c_str());
+                return 2;
+            }
+            for (const std::string &app : splitCommas(apps)) {
+                for (const std::string &n : splitCommas(nodesList)) {
+                    RunConfig cfg = base;
+                    cfg.model = model;
+                    cfg.app = app;
+                    cfg.nodes =
+                        static_cast<unsigned>(std::atoi(n.c_str()));
+                    if (cfg.nodes == 0) {
+                        std::fprintf(stderr,
+                                     "smtpctl: bad node count '%s'\n",
+                                     n.c_str());
+                        return 2;
+                    }
+                    if (trace)
+                        cfg.traceStem = "?"; // Daemon assigns the stem.
+                    cells.push_back(std::move(cfg));
+                }
+            }
+        }
+        if (cells.empty()) {
+            std::fprintf(stderr, "smtpctl: nothing to run\n");
+            return 2;
+        }
+    }
 
     Client client;
     if (!client.connect(socketPath)) {
@@ -185,6 +274,8 @@ main(int argc, char **argv)
     }
     if (command == "stats")
         return runStats(client);
+    if (command == "health")
+        return runHealth(client);
     if (command == "shutdown") {
         if (!client.shutdown()) {
             std::fprintf(stderr, "smtpctl: %s\n",
@@ -194,42 +285,6 @@ main(int argc, char **argv)
         std::printf("shutting down\n");
         return 0;
     }
-    if (command != "run") {
-        std::fprintf(stderr, "smtpctl: unknown command '%s'\n",
-                     command.c_str());
-        return usage();
-    }
-
-    std::vector<RunConfig> cells;
-    for (const std::string &modelStr : splitCommas(models)) {
-        MachineModel model;
-        if (!modelFromName(modelStr, model)) {
-            std::fprintf(stderr, "smtpctl: unknown model '%s'\n",
-                         modelStr.c_str());
-            return 2;
-        }
-        for (const std::string &app : splitCommas(apps)) {
-            for (const std::string &n : splitCommas(nodesList)) {
-                RunConfig cfg = base;
-                cfg.model = model;
-                cfg.app = app;
-                cfg.nodes = static_cast<unsigned>(std::atoi(n.c_str()));
-                if (cfg.nodes == 0) {
-                    std::fprintf(stderr, "smtpctl: bad node count '%s'\n",
-                                 n.c_str());
-                    return 2;
-                }
-                if (trace)
-                    cfg.traceStem = "?"; // Daemon assigns the real stem.
-                cells.push_back(std::move(cfg));
-            }
-        }
-    }
-    if (cells.empty()) {
-        std::fprintf(stderr, "smtpctl: nothing to run\n");
-        return 2;
-    }
-
     std::FILE *json = nullptr;
     if (!jsonPath.empty()) {
         json = std::fopen(jsonPath.c_str(), "a");
@@ -245,10 +300,24 @@ main(int argc, char **argv)
     // though the daemon streams in completion order.
     std::vector<std::string> records(cells.size());
     std::size_t received = 0;
+    std::size_t failedCells = 0;
+    std::size_t skipped = 0, failed = 0;
     bool ok = client.submit(
-        cells, priority, [&](const CellReply &cr) {
+        cells, priority,
+        [&](const CellReply &cr) {
             records[cr.index] = cr.record;
             ++received;
+            if (cr.failed) {
+                ++failedCells;
+                std::fprintf(stderr,
+                             "smtpctl: cell %zu (%s n%u) FAILED after "
+                             "%u attempt(s): %s (%s)\n",
+                             cr.index, cells[cr.index].app.c_str(),
+                             cells[cr.index].nodes, cr.attempts,
+                             cr.errReason.c_str(),
+                             cr.errDetail.c_str());
+                return;
+            }
             JsonValue rec;
             if (JsonValue::parse(cr.record, rec)) {
                 std::printf("%-10s %-10s n%-4.0f w%-3.0f exec_ticks "
@@ -263,17 +332,28 @@ main(int argc, char **argv)
                             cr.traceStem.empty() ? "" : "  [traced]");
                 std::fflush(stdout);
             }
-        });
+        },
+        &skipped, &failed, deadlineMs);
+    if (json != nullptr) {
+        // Failure records are written too: the JSON-Lines file stays
+        // one-line-per-requested-cell, and "failed":true lines are
+        // unmistakable downstream.
+        for (const std::string &r : records)
+            if (!r.empty())
+                std::fprintf(json, "%s\n", r.c_str());
+        std::fclose(json);
+    }
     if (!ok) {
         std::fprintf(stderr, "smtpctl: %s\n", client.error().c_str());
-        if (json != nullptr)
-            std::fclose(json);
+        if (failed != 0 || failedCells != 0) {
+            std::fprintf(stderr,
+                         "smtpctl: %zu of %zu cell(s) failed — see "
+                         "diagnostics above\n",
+                         failed != 0 ? failed : failedCells,
+                         cells.size());
+            return 3;
+        }
         return 1;
-    }
-    if (json != nullptr) {
-        for (const std::string &r : records)
-            std::fprintf(json, "%s\n", r.c_str());
-        std::fclose(json);
     }
     std::fprintf(stderr, "smtpctl: %zu cell(s) complete\n", received);
     return 0;

@@ -3,15 +3,19 @@
  * smtpd — the sweep-service daemon (docs/service.md).
  *
  *   smtpd --socket=PATH --state-dir=DIR [--jobs=N] [--verbose]
+ *         [--deadline-ms=MS] [--max-attempts=N] [--max-queue=N]
+ *         [--retry-policy=SPEC] [--retry-seed=S]
  *
  * Listens on a local UNIX socket for sweep jobs (see smtpctl and the
- * bench binaries' --server mode), simulates each distinct cell once on
- * a shared worker pool, streams records back as they complete, and
- * keeps a warm checkpoint farm plus an on-disk result cache under
- * --state-dir so identical work is never paid for twice — not even
- * across daemon restarts. SIGINT/SIGTERM (or a client "shutdown"
- * request) stops cleanly: running cells finish and land in the cache,
- * queued ones are skipped.
+ * bench binaries' --server mode), simulates each distinct cell once —
+ * in a crash-isolated worker *process* — streams records back as they
+ * complete, and keeps a warm checkpoint farm plus an on-disk result
+ * cache under --state-dir so identical work is never paid for twice,
+ * not even across daemon restarts. A crashing or wedged simulation
+ * kills only its worker: the cell is retried on a jittered backoff and
+ * quarantined with a structured failure record after --max-attempts.
+ * SIGINT/SIGTERM (or a client "shutdown" request) stops cleanly:
+ * running cells finish and land in the cache, queued ones are skipped.
  */
 
 #include <csignal>
@@ -40,11 +44,19 @@ usage()
     std::fprintf(
         stderr,
         "usage: smtpd --socket=PATH --state-dir=DIR [options]\n"
-        "  --socket=PATH     UNIX socket to listen on (required)\n"
-        "  --state-dir=DIR   checkpoint farm + result cache + traces\n"
-        "  --jobs=N          simulation workers (default: "
-        "SMTP_SWEEP_JOBS or hardware)\n"
-        "  --verbose         per-connection and per-cell progress\n");
+        "  --socket=PATH       UNIX socket to listen on (required)\n"
+        "  --state-dir=DIR     checkpoint farm + result cache + traces\n"
+        "  --jobs=N            worker processes (default: 2)\n"
+        "  --deadline-ms=MS    default per-cell deadline; overdue\n"
+        "                      workers are killed and retried (0 = off)\n"
+        "  --max-attempts=N    attempts before a failing cell is\n"
+        "                      quarantined (default: 3)\n"
+        "  --max-queue=N       admission limit on queued cells\n"
+        "                      (default: 1024)\n"
+        "  --retry-policy=SPEC immediate | fixed[:ms] | exp[:ms[:ms]]\n"
+        "                      between attempts (default: exp:100:5000)\n"
+        "  --retry-seed=S      retry-jitter seed (default: 1)\n"
+        "  --verbose           per-connection and per-cell progress\n");
     return 2;
 }
 
@@ -72,6 +84,38 @@ main(int argc, char **argv)
                 return 2;
             }
             opt.jobs = static_cast<unsigned>(n);
+        } else if (const char *v = value("--deadline-ms=")) {
+            long n = std::atol(v);
+            if (n < 0) {
+                std::fprintf(stderr, "smtpd: bad --deadline-ms=%s\n", v);
+                return 2;
+            }
+            opt.deadlineMs = static_cast<std::uint64_t>(n);
+        } else if (const char *v = value("--max-attempts=")) {
+            long n = std::atol(v);
+            if (n < 1) {
+                std::fprintf(stderr, "smtpd: bad --max-attempts=%s\n",
+                             v);
+                return 2;
+            }
+            opt.maxAttempts = static_cast<unsigned>(n);
+        } else if (const char *v = value("--max-queue=")) {
+            long n = std::atol(v);
+            if (n < 1) {
+                std::fprintf(stderr, "smtpd: bad --max-queue=%s\n", v);
+                return 2;
+            }
+            opt.maxQueuedCells = static_cast<std::size_t>(n);
+        } else if (const char *v = value("--retry-policy=")) {
+            std::string err;
+            // Fault-layer grammar; the serve layer reads the numbers
+            // as milliseconds (docs/service.md).
+            if (!smtp::fault::parseRetryPolicy(v, opt.retry, &err)) {
+                std::fprintf(stderr, "smtpd: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (const char *v = value("--retry-seed=")) {
+            opt.retrySeed = std::strtoull(v, nullptr, 10);
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else {
