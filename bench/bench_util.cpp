@@ -79,6 +79,7 @@ runCells(const BenchOptions &opt, const std::vector<RunConfig> &cfgs_in)
         c.sample = opt.sample;
         c.exec = opt.exec;
         c.checkLevel = opt.checkLevel;
+        c.protocol = opt.protocol;
     }
     if (!opt.traceDir.empty()) {
         std::error_code ec;
@@ -260,6 +261,14 @@ parseArgs(int argc, char **argv)
                 std::fprintf(stderr, "--check: %s\n", err.c_str());
                 std::exit(1);
             }
+        } else if (const char *vpr = value("--protocol=")) {
+            if (!proto::protocolFromName(vpr, opt.protocol)) {
+                std::fprintf(
+                    stderr, "--protocol: unknown '%s' (expected %s)\n",
+                    vpr,
+                    std::string(proto::protocolNameList()).c_str());
+                std::exit(1);
+            }
         } else if (const char *vsv = value("--server=")) {
             opt.serverSock = vsv;
         } else if (const char *vsv2 = next_value("--server")) {
@@ -276,7 +285,7 @@ parseArgs(int argc, char **argv)
                         "--faults=PLAN --retry=SPEC --ckpt-dir=DIR "
                         "--sample=W:M:K --exec=serial|parallel[:T] "
                         "--check=off|asserts|full --server=SOCK "
-                        "--trace-exec\n"
+                        "--protocol=NAME --trace-exec\n"
                         "  --big    add beyond-paper capacity rows "
                         "(64/128/256 hardware contexts) to benches "
                         "that support them (bench_server)\n"
@@ -304,7 +313,10 @@ parseArgs(int argc, char **argv)
                         "thread, loudly (docs/checker.md)\n"
                         "  --server run cells on the smtpd daemon at "
                         "SOCK instead of in-process "
-                        "(docs/service.md)\n");
+                        "(docs/service.md)\n"
+                        "  --protocol directory-protocol variant: "
+                        "bitvector (default) | migratory | "
+                        "phase-priority (docs/protocols.md)\n");
             std::exit(0);
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());

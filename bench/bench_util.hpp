@@ -73,6 +73,8 @@ struct BenchOptions
     check::CheckLevel checkLevel = check::CheckLevel::Off;
     /** --server=SOCK: run cells on a smtpd daemon instead of locally. */
     std::string serverSock;
+    /** --protocol=bitvector|migratory|phase-priority (default first). */
+    proto::ProtocolKind protocol = proto::ProtocolKind::Bitvector;
 
     const std::vector<std::string> &appList() const;
 };

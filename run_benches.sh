@@ -4,7 +4,7 @@
 # Usage: ./run_benches.sh [--quick] [--jobs=N] [--json[=PATH]] [--trace[=DIR]]
 #                         [--workloads=A,B,...] [--faults=PLAN] [--retry=SPEC]
 #                         [--ckpt-dir[=DIR]] [--sample=W:M:K] [--exec=MODE]
-#                         [--check=LEVEL] [--server=SOCK]
+#                         [--check=LEVEL] [--server=SOCK] [--protocol=NAME]
 #
 #   --quick      smaller configurations everywhere (CI-sized run)
 #   --workloads=L comma-separated workload filter across sections. Names
@@ -51,6 +51,9 @@
 #   --server=S   run every cell on the smtpd daemon listening at UNIX
 #                socket S instead of in-process; also enabled by the
 #                SMTPD_SOCK environment variable (docs/service.md)
+#   --protocol=P directory-protocol variant for every cell: bitvector
+#                (default) | migratory | phase-priority; passed through
+#                verbatim to every binary (docs/protocols.md)
 #
 # Any other argument is passed through verbatim to every bench binary.
 # Passthrough is quote-safe: arguments with spaces or glob characters

@@ -72,9 +72,12 @@ modelFromName(std::string_view name, MachineModel &out)
 
 Machine::Machine(const MachineParams &params)
     : params_(params), shards_(params.eventKernel, params.nodes),
-      fmt_(proto::DirFormat::forNodes(params.nodes <= 16 ? 16 : 32)),
-      image_(proto::buildHandlerImage(
-          fmt_, proto::HandlerOptions{params.ownershipLog}))
+      fmt_(proto::protocolDirFormat(params.protocol,
+                                    params.nodes <= 16 ? 16 : 32)),
+      image_(proto::buildProtocolImage(
+          params.protocol, fmt_,
+          proto::HandlerOptions{params.ownershipLog, false, false,
+                                params.injectMigratoryNoRelease}))
 {
     SMTP_ASSERT(params.nodes >= 1 && params.nodes <= 32,
                 "the study covers 1..32 nodes");
@@ -194,6 +197,10 @@ Machine::Machine(const MachineParams &params)
         mp.probeLatency = 9 * cpu_clock.period(); // L2 round trip
         mp.retry = params.retryPolicy;
         mp.rngSeed = 1000 + n;
+        if (proto::protocolUsesPhasePriority(params.protocol)) {
+            mp.phasePriority = true;
+            mp.injectDropOnFloor = params.injectDropOnFloor;
+        }
         node->mc = std::make_unique<MemController>(
             eq, static_cast<NodeId>(n), mp, *map_, image_, *node->cache,
             *net_);
@@ -675,7 +682,25 @@ Machine::writeTraceFiles(const std::string &stem, std::string *err) const
     }
     trace::TraceData data;
     traceMgr_->snapshot(data, execTime_, params_.nodes);
+    data.protocol = std::string(proto::protocolName(params_.protocol));
     return trace::writeTraceFiles(data, stem, err);
+}
+
+Machine::MigratoryCounters
+Machine::migratoryCounters() const
+{
+    MigratoryCounters out;
+    if (!proto::protocolIsMigratory(params_.protocol))
+        return out;
+    for (unsigned n = 0; n < nodes_.size(); ++n) {
+        Addr base = proto::protoScratchBase +
+                    static_cast<Addr>(n) * proto::protoNodeStride;
+        const auto &ram = nodes_[n]->mc->ram();
+        out.detected += ram.read(base + proto::migDetectOffset, 8);
+        out.saved += ram.read(base + proto::migSavedOffset, 8);
+        out.reverts += ram.read(base + proto::migRevertOffset, 8);
+    }
+    return out;
 }
 
 Machine::ProtoCharacteristics
@@ -730,6 +755,19 @@ Machine::dumpStats(std::ostream &os) const
     Counter exec_us;
     exec_us += execTime_ / tickPerUs;
     root.add("execTimeUs", &exec_us);
+    // Migratory prediction counters live in home-side protocol scratch
+    // RAM (the handler program bumps them), so they are summed here
+    // into transient stats rather than registered live.
+    Counter mig_detected, mig_saved, mig_reverts;
+    if (proto::protocolIsMigratory(params_.protocol)) {
+        MigratoryCounters mc = migratoryCounters();
+        mig_detected += mc.detected;
+        mig_saved += mc.saved;
+        mig_reverts += mc.reverts;
+        root.add("migDetected", &mig_detected);
+        root.add("migUpgradesSaved", &mig_saved);
+        root.add("migReverts", &mig_reverts);
+    }
     Counter net_msgs, net_bytes;
     net_msgs += net_->msgsInjected();
     net_bytes += net_->bytesInjected();
@@ -783,8 +821,12 @@ Machine::dumpStats(std::ostream &os) const
         g->add("handlers", &node.mc->handlersDispatched);
         g->add("naks", &node.mc->naksSent);
         g->add("starvationFlags", &node.mc->starvationFlags);
+        g->add("invalsSent", &node.mc->invalsSent);
         g->add("probesDeferred", &node.mc->probesDeferred);
         g->add("handlerLatency", &node.mc->handlerLatency);
+        g->add("reqQueueDelay", &node.mc->reqQueueDelay);
+        if (proto::protocolUsesPhasePriority(params_.protocol))
+            g->add("phaseFloorTrips", &node.mc->phaseFloorTrips);
         g->add("sdramReads", &node.mc->sdram().reads);
         g->add("sdramWrites", &node.mc->sdram().writes);
         if (node.pengine) {

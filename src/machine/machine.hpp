@@ -38,6 +38,7 @@
 #include "network/network.hpp"
 #include "pengine/pengine.hpp"
 #include "protocol/handlers.hpp"
+#include "protocol/variants/variants.hpp"
 #include "sim/eventq.hpp"
 #include "sim/shard.hpp"
 #include "snap/snapfile.hpp"
@@ -87,6 +88,24 @@ struct MachineParams
      * logging by the coherence handlers.
      */
     bool ownershipLog = false;
+
+    /**
+     * Directory protocol variant (src/protocol/variants): the baseline
+     * bitvector protocol, migratory-sharing detection (Exclusive on
+     * the next read of a migrating line; forces the 64-bit directory
+     * format), or phase-priority request servicing at the controller.
+     * Bitvector reproduces the paper's machine bit for bit.
+     */
+    proto::ProtocolKind protocol = proto::ProtocolKind::Bitvector;
+
+    /**
+     * Deliberate protocol bugs for checker validation (tests only).
+     * Each is meaningful under one variant and must make the checker
+     * (or its watchdog) fire: a migratory grant without releasing the
+     * owner breaks SWMR; a dropped starved request wedges.
+     */
+    bool injectMigratoryNoRelease = false;
+    bool injectDropOnFloor = false;
 
     /** Scale caches down for protocol-stress tests. */
     std::size_t l2Bytes = 2 * 1024 * 1024;
@@ -276,6 +295,21 @@ class Machine
 
     /** Peak protocol occupancy over nodes: busy / exec time (Table 7). */
     double peakProtocolOccupancy() const;
+
+    /**
+     * Migratory-variant prediction counters, summed over every node's
+     * home-side scratch space (zero under other protocols): migrations
+     * detected, upgrade round-trips saved by an Exclusive-on-read
+     * grant, and false predictions reverted.
+     */
+    struct MigratoryCounters
+    {
+        std::uint64_t detected = 0;
+        std::uint64_t saved = 0;
+        std::uint64_t reverts = 0;
+    };
+
+    MigratoryCounters migratoryCounters() const;
 
     /** Aggregate protocol-thread characteristics (Table 8; SMTp only). */
     struct ProtoCharacteristics

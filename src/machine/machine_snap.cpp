@@ -56,6 +56,15 @@ machineConfigHash(const MachineParams &p)
     h.mix(static_cast<std::uint64_t>(p.ownershipLog));
     h.mix(p.l2Bytes);
     h.mix(p.dirCacheDivisor);
+    // Protocol variant: mixed only when non-default so every bitvector
+    // hash (and with it the daemon's dedup/cache keys and existing
+    // snapshots) is unchanged by the variant subsystem's existence.
+    if (p.protocol != proto::ProtocolKind::Bitvector)
+        h.mix(protocolName(p.protocol));
+    if (p.injectMigratoryNoRelease)
+        h.mix(std::string_view("inject-migratory-no-release"));
+    if (p.injectDropOnFloor)
+        h.mix(std::string_view("inject-drop-on-floor"));
 
     const fault::FaultPlan &fp = p.faults;
     h.mix(fp.seed);

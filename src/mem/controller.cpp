@@ -59,6 +59,14 @@ MemController::MemController(EventQueue &eq, NodeId self,
     for (auto &q : niOutQ_)
         q.setCapacity(params.niOutQueueDepth);
     mshrReady_.fill(0);
+    mshrPhase_.fill(0);
+    phaseBypass_.fill(0);
+    // Queueing delay is quantized to phase epochs; 64 buckets of one
+    // epoch each give protocol_compare its percentile columns without
+    // slowing the no-histogram sample() fast path elsewhere.
+    reqQueueDelay.enableHistogram(
+        0.0,
+        64.0 * static_cast<double>(params.phaseEpochTicks), 64);
     executor_.boot(self);
     // The directory entry width comes from the handler image itself:
     // the load that follows a Dira always uses the format's width.
@@ -84,6 +92,16 @@ MemController::lmiEnqueue(const Message &msg)
     // The bus crossing (large for the off-chip Base controller) is
     // charged by delaying visibility to the dispatch unit.
     Message m = msg;
+    // Stamp the request's phase epoch at first issue (under every
+    // protocol: the stamp is free and keeps the queueing-delay stat
+    // comparable across disciplines). The per-MSHR copy lets the NAK
+    // retry path re-stamp an old request with its original age.
+    m.phase = curEpoch();
+    if (m.mshr < mshrPhase_.size() &&
+        (m.type == MsgType::PiGet || m.type == MsgType::PiGetx ||
+         m.type == MsgType::PiUpgrade)) {
+        mshrPhase_[m.mshr] = m.phase;
+    }
     lmiQ_.push(m);
     lastLmiEnqueue = eq_->curTick();
     eq_->scheduleIn(params_.busLatency, PokeEv{this});
@@ -109,6 +127,22 @@ MemController::bypassAccess(Addr addr, bool write, EventQueue::Callback done)
                     BypassBusEv{this, addr, write, std::move(done)});
 }
 
+std::uint32_t
+MemController::curEpoch() const
+{
+    return static_cast<std::uint32_t>(eq_->curTick() /
+                                      params_.phaseEpochTicks);
+}
+
+void
+MemController::sampleReqQueueDelay(const Message &msg)
+{
+    std::uint32_t now = curEpoch();
+    std::uint32_t age = now > msg.phase ? now - msg.phase : 0;
+    reqQueueDelay.sample(static_cast<double>(age) *
+                         static_cast<double>(params_.phaseEpochTicks));
+}
+
 bool
 MemController::popNextMessage(Message &out)
 {
@@ -117,6 +151,19 @@ MemController::popNextMessage(Message &out)
         out = deferQ_.front().second;
         deferQ_.pop_front();
         return true;
+    }
+    if (params_.phasePriority) {
+        // Replies, then forwards, strictly first: the vnet dependency
+        // order that keeps the protocol deadlock-free is unchanged —
+        // only the request class is re-ordered by phase.
+        for (auto vnet : {proto::vnetReply, proto::vnetForward}) {
+            if (!niInQ_[vnet].empty()) {
+                out = niInQ_[vnet].pop();
+                net_->poke(self_, static_cast<std::uint8_t>(vnet));
+                return true;
+            }
+        }
+        return popRequestPhasePriority(out);
     }
     // Round-robin across LMI and the three coherence vnets.
     struct Source
@@ -135,12 +182,70 @@ MemController::popNextMessage(Message &out)
         if (!src.q->empty()) {
             rrSource_ = (rrSource_ + i + 1) % 4;
             out = src.q->pop();
+            if (src.vnet < 0 || src.vnet == proto::vnetRequest)
+                sampleReqQueueDelay(out);
             if (src.vnet >= 0)
                 net_->poke(self_, static_cast<std::uint8_t>(src.vnet));
             return true;
         }
     }
     return false;
+}
+
+bool
+MemController::popRequestPhasePriority(Message &out)
+{
+    bool have_lmi = !lmiQ_.empty();
+    bool have_net = !niInQ_[proto::vnetRequest].empty();
+    if (!have_lmi && !have_net)
+        return false;
+    // 0 = LMI, 1 = network request vnet.
+    unsigned pick;
+    if (have_lmi != have_net) {
+        pick = have_lmi ? 0 : 1;
+    } else {
+        // Both heads waiting: the lower (older) epoch wins; ties go to
+        // the LMI, matching the round-robin order's LMI-first seed.
+        pick = niInQ_[proto::vnetRequest].front().phase <
+                       lmiQ_.front().phase
+                   ? 1u
+                   : 0u;
+        unsigned bypassed = 1 - pick;
+        if (++phaseBypass_[bypassed] >= params_.phaseStarvationFloor) {
+            // Starvation floor: the bypassed head waited through too
+            // many grants; serve it now regardless of phase.
+            ++phaseFloorTrips;
+            const Message &head = bypassed == 0
+                                      ? lmiQ_.front()
+                                      : niInQ_[proto::vnetRequest].front();
+            if (checker_ != nullptr)
+                checker_->onStarvation(self_, head.addr,
+                                       phaseBypass_[bypassed]);
+            if (params_.injectDropOnFloor) {
+                // Deliberate bug: discard the starved head instead of
+                // serving it. Its transaction wedges and the watchdog
+                // must flag the lost message.
+                phaseBypass_[bypassed] = 0;
+                if (bypassed == 0) {
+                    lmiQ_.pop();
+                } else {
+                    niInQ_[proto::vnetRequest].pop();
+                    net_->poke(self_, proto::vnetRequest);
+                }
+            } else {
+                pick = bypassed;
+            }
+        }
+    }
+    phaseBypass_[pick] = 0;
+    if (pick == 0) {
+        out = lmiQ_.pop();
+    } else {
+        out = niInQ_[proto::vnetRequest].pop();
+        net_->poke(self_, proto::vnetRequest);
+    }
+    sampleReqQueueDelay(out);
+    return true;
 }
 
 void
@@ -343,6 +448,8 @@ MemController::releaseSend(TransactionCtx *ctx_raw, unsigned idx)
             SMTP_TRACE_EVENT(trace_, eq_->curTick(), trace::EventId::McNak,
                              trace::packMsg(send.msg, send.msg.mshr));
         }
+        if (send.msg.type == MsgType::FwdInval)
+            ++invalsSent;
         ++pendingDelayedSends_;
         break;
     }
@@ -473,6 +580,23 @@ void
 MemController::pushToNetwork(Message msg, Tick data_ready, bool delayed)
 {
     Tick when = std::max(data_ready, eq_->curTick());
+    // Outgoing request-class messages carry a phase epoch. Demand
+    // requests and NAK retries take the original issue stamp (so a
+    // retried request keeps its age); writebacks are stamped fresh.
+    switch (msg.type) {
+      case MsgType::ReqGet:
+      case MsgType::ReqGetx:
+      case MsgType::ReqUpgrade:
+        if (msg.mshr < mshrPhase_.size())
+            msg.phase = mshrPhase_[msg.mshr];
+        break;
+      case MsgType::ReqPut:
+      case MsgType::ReqPutClean:
+        msg.phase = curEpoch();
+        break;
+      default:
+        break;
+    }
     if (delayed) {
         // NAKed request being retried: the pending entry's retry count
         // (word2, maintained by the RplNak handler) selects the backoff
@@ -721,6 +845,10 @@ MemController::saveState(snap::Ser &out) const
 
     for (Tick t : mshrReady_)
         out.u64(t);
+    for (std::uint32_t p : mshrPhase_)
+        out.u32(p);
+    for (std::uint32_t b : phaseBypass_)
+        out.u32(b);
 
     handlersDispatched.saveState(out);
     msgsFromLmi.saveState(out);
@@ -728,8 +856,11 @@ MemController::saveState(snap::Ser &out) const
     probesDeferred.saveState(out);
     naksSent.saveState(out);
     starvationFlags.saveState(out);
+    invalsSent.saveState(out);
+    phaseFloorTrips.saveState(out);
     lmiOccupancy.saveState(out);
     handlerLatency.saveState(out);
+    reqQueueDelay.saveState(out);
     out.u64(tryDispatchCalls);
     out.u64(lastTryDispatch);
     out.u64(lastLmiEnqueue);
@@ -789,6 +920,10 @@ MemController::restoreState(snap::Des &in, const snap::EventCodec &codec)
 
     for (Tick &t : mshrReady_)
         t = in.u64();
+    for (std::uint32_t &p : mshrPhase_)
+        p = in.u32();
+    for (std::uint32_t &b : phaseBypass_)
+        b = in.u32();
 
     handlersDispatched.restoreState(in);
     msgsFromLmi.restoreState(in);
@@ -796,8 +931,11 @@ MemController::restoreState(snap::Des &in, const snap::EventCodec &codec)
     probesDeferred.restoreState(in);
     naksSent.restoreState(in);
     starvationFlags.restoreState(in);
+    invalsSent.restoreState(in);
+    phaseFloorTrips.restoreState(in);
     lmiOccupancy.restoreState(in);
     handlerLatency.restoreState(in);
+    reqQueueDelay.restoreState(in);
     tryDispatchCalls = in.u64();
     lastTryDispatch = in.u64();
     lastLmiEnqueue = in.u64();

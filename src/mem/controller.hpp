@@ -70,6 +70,31 @@ struct McParams
      */
     fault::RetryPolicyConfig retry;
     std::uint64_t rngSeed = 1;
+
+    /**
+     * Phase-priority protocol variant: service the request queues in
+     * barrier-phase priority order (lowest epoch first) instead of
+     * round-robin FIFO, so a straggler's old requests overtake queued
+     * work from nodes that already advanced. Replies and forwards keep
+     * strict priority (deadlock avoidance is unchanged — the vnet
+     * ordering still drains dependencies first). Off by default; the
+     * bitvector/migratory protocols keep the historical round-robin.
+     */
+    bool phasePriority = false;
+    /** Epoch granularity for request phase stamps. */
+    Tick phaseEpochTicks = 25 * tickPerNs;
+    /**
+     * Starvation floor: after this many consecutive bypasses of one
+     * request source's head message, that source is force-served
+     * regardless of phase.
+     */
+    unsigned phaseStarvationFloor = 64;
+    /**
+     * Deliberate bug (validation only): when the starvation floor
+     * trips, discard the head message instead of force-serving it —
+     * the transaction wedges and the watchdog must flag it.
+     */
+    bool injectDropOnFloor = false;
 };
 
 class MemController : public proto::ExecEnv
@@ -383,8 +408,22 @@ class MemController : public proto::ExecEnv
     Counter naksSent;  // (observed at release time)
     /** Transactions that crossed the starvation retry threshold. */
     Counter starvationFlags;
+    /** Invalidations forwarded to sharers (released FwdInval sends). */
+    Counter invalsSent;
+    /**
+     * Head-of-queue bypasses forgiven by the phase-priority starvation
+     * floor (each force-serve after `phaseStarvationFloor` bypasses).
+     */
+    Counter phaseFloorTrips;
     Distribution lmiOccupancy;
     Distribution handlerLatency;
+    /**
+     * Request-class directory queueing delay, in ticks of epoch
+     * granularity (pop epoch minus stamp epoch, scaled): the metric the
+     * phase-priority variant exists to shrink. Sampled under every
+     * protocol so the comparison harness can diff disciplines.
+     */
+    Distribution reqQueueDelay;
     std::uint64_t tryDispatchCalls = 0;
     Tick lastTryDispatch = 0;
     Tick lastLmiEnqueue = 0;
@@ -394,6 +433,9 @@ class MemController : public proto::ExecEnv
     void scheduleDispatchPoll();
     void dispatch(const proto::Message &msg);
     bool popNextMessage(proto::Message &out);
+    bool popRequestPhasePriority(proto::Message &out);
+    std::uint32_t curEpoch() const;
+    void sampleReqQueueDelay(const proto::Message &msg);
 
     /** Stage SDRAM line data for requester-side completion sends. */
     void stageMshrData(std::uint8_t mshr, Tick ready);
@@ -453,6 +495,16 @@ class MemController : public proto::ExecEnv
 
     /** Per-MSHR staged-data availability (requester side). */
     std::array<Tick, 40> mshrReady_;
+
+    /**
+     * Per-MSHR phase stamp of the original request (requester side):
+     * outgoing requests — including NAK retries — carry the epoch of
+     * first issue, so a retried request keeps its age under the
+     * phase-priority discipline.
+     */
+    std::array<std::uint32_t, 40> mshrPhase_;
+    /** Consecutive head bypasses per request source (0 = LMI, 1 = NI). */
+    std::array<std::uint32_t, 2> phaseBypass_;
 };
 
 } // namespace smtp

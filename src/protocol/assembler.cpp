@@ -1,16 +1,62 @@
 #include "assembler.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace smtp::proto
 {
+
+std::string
+Assembler::diagContext(std::uint32_t pc) const
+{
+    // handlerStarts_ is in emission order, hence sorted by pc; the
+    // containing handler is the last one starting at or before pc.
+    const HandlerStart *owner = nullptr;
+    for (const auto &hs : handlerStarts_) {
+        if (hs.pc > pc)
+            break;
+        owner = &hs;
+    }
+    char buf[96];
+    if (owner == nullptr) {
+        std::snprintf(buf, sizeof(buf), "before any handler (pc %u)", pc);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "handler '%s' line %u (pc %u)",
+                  std::string(msgTypeName(owner->type)).c_str(),
+                  pc - owner->pc, pc);
+    return buf;
+}
+
+void
+Assembler::diagDuplicateLabel(std::uint32_t id) const
+{
+    SMTP_PANIC("assembler: label #%u already bound at %s; "
+               "rebinding at %s",
+               id, diagContext(labels_[id]).c_str(),
+               diagContext(here()).c_str());
+}
+
+void
+Assembler::diagDuplicateHandler(MsgType t) const
+{
+    auto idx = static_cast<unsigned>(t);
+    SMTP_PANIC("assembler: duplicate handler for %s: first defined at "
+               "%s, redefined at %s",
+               std::string(msgTypeName(t)).c_str(),
+               diagContext(image_.entry[idx]).c_str(),
+               diagContext(here()).c_str());
+}
 
 HandlerImage
 Assembler::finish()
 {
     for (const auto &fix : fixups_) {
         std::uint32_t target = labels_[fix.labelId];
-        SMTP_ASSERT(target != unbound, "unresolved label in handler image");
+        if (target == unbound)
+            SMTP_PANIC("assembler: unresolved label #%u referenced by "
+                       "branch at %s",
+                       fix.labelId, diagContext(fix.pos).c_str());
         image_.code[fix.pos].imm = target;
     }
     fixups_.clear();
@@ -20,6 +66,48 @@ Assembler::finish()
     // executor panics if it runs off the end of the code.
     SMTP_ASSERT(!image_.code.empty(), "empty handler image");
     return std::move(image_);
+}
+
+std::string
+listHandlerImage(const HandlerImage &image)
+{
+    // Section boundaries: handler entry pcs in ascending order. Shared
+    // home-side code reached by fall-through or jump lists under the
+    // handler whose entry precedes it.
+    struct Entry
+    {
+        std::uint32_t pc;
+        unsigned type;
+    };
+    std::vector<Entry> entries;
+    for (unsigned t = 0; t < numMsgTypes; ++t)
+        if (image.hasHandler[t])
+            entries.push_back({image.entry[t], t});
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.pc < b.pc || (a.pc == b.pc && a.type < b.type);
+              });
+
+    std::string out;
+    char buf[160];
+    std::size_t next = 0;
+    for (std::uint32_t pc = 0; pc < image.code.size(); ++pc) {
+        while (next < entries.size() && entries[next].pc == pc) {
+            std::snprintf(buf, sizeof(buf), "== %s (entry pc %u) ==\n",
+                          std::string(msgTypeName(static_cast<MsgType>(
+                                          entries[next].type)))
+                              .c_str(),
+                          pc);
+            out += buf;
+            ++next;
+        }
+        out += disassemble(image.code[pc], pc);
+        out += '\n';
+    }
+    std::snprintf(buf, sizeof(buf), "%zu instruction(s), %zu handler(s)\n",
+                  image.code.size(), entries.size());
+    out += buf;
+    return out;
 }
 
 const char *

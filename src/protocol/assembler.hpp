@@ -39,11 +39,17 @@ class Assembler
         return Label(static_cast<std::uint32_t>(labels_.size() - 1));
     }
 
-    /** Bind @p l to the current position. */
+    /**
+     * Bind @p l to the current position. A label may be bound exactly
+     * once; rebinding reports both positions (handler + line) and
+     * panics — the diagnostic names the same pc numbers the
+     * `listHandlerImage` dump prints.
+     */
     void
     bind(Label l)
     {
-        SMTP_ASSERT(labels_[l.id_] == unbound, "label bound twice");
+        if (labels_[l.id_] != unbound)
+            diagDuplicateLabel(l.id_);
         labels_[l.id_] = here();
     }
 
@@ -52,10 +58,11 @@ class Assembler
     handler(MsgType t)
     {
         auto idx = static_cast<unsigned>(t);
-        SMTP_ASSERT(!image_.hasHandler[idx], "duplicate handler for %s",
-                    std::string(msgTypeName(t)).c_str());
+        if (image_.hasHandler[idx])
+            diagDuplicateHandler(t);
         image_.hasHandler[idx] = true;
         image_.entry[idx] = here();
+        handlerStarts_.push_back({here(), t});
     }
 
     std::uint32_t
@@ -224,8 +231,19 @@ class Assembler
     /** Resolve labels and hand over the finished image. */
     HandlerImage finish();
 
+    /**
+     * "handler 'X' line N (pc P)" for the instruction at @p pc — the
+     * position vocabulary of every assembler diagnostic. Line numbers
+     * are handler-relative so they match a listing dump of that
+     * handler; pc is the absolute instruction index.
+     */
+    std::string diagContext(std::uint32_t pc) const;
+
   private:
     static constexpr std::uint32_t unbound = 0xffffffff;
+
+    [[noreturn]] void diagDuplicateLabel(std::uint32_t id) const;
+    [[noreturn]] void diagDuplicateHandler(MsgType t) const;
 
     void
     emitRRR(POp op, std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2)
@@ -267,10 +285,26 @@ class Assembler
         std::uint32_t labelId;
     };
 
+    struct HandlerStart
+    {
+        std::uint32_t pc;
+        MsgType type;
+    };
+
     HandlerImage image_;
     std::vector<std::uint32_t> labels_;
     std::vector<Fixup> fixups_;
+    std::vector<HandlerStart> handlerStarts_;
 };
+
+/**
+ * Human-readable listing of a finished handler image: one section per
+ * handler entry point (in pc order), each instruction disassembled with
+ * its absolute pc and handler-relative line number. This is the
+ * `--list` dump of protocol_compare, for debugging new protocol
+ * variants; assembler diagnostics use the same position vocabulary.
+ */
+std::string listHandlerImage(const HandlerImage &image);
 
 } // namespace smtp::proto
 

@@ -167,6 +167,42 @@ struct DirFormat
 };
 
 /**
+ * Migratory-sharing variant: per-line migration-prediction state kept
+ * in the free high bits of the 64-bit directory entry format (bits
+ * 63:50 — the 32-bit format has no free bits, so the variant forces
+ * the wide format at any node count). `lastWriter` tracks the node
+ * most recently granted Exclusive (the potential writer, under this
+ * protocol's eager-exclusive replies), `lwValid` qualifies it, and
+ * `migratory` marks a line on which the home has observed the
+ * read-then-write migration pattern: a node other than the tracked
+ * writer asked for write permission. While migratory, a GET from a
+ * third node is answered with an ownership-transfer intervention
+ * (Exclusive-on-read), saving that node's upgrade round-trip; a clean
+ * ownership transfer (the predicted writer never dirtied the line)
+ * reverts the prediction.
+ */
+namespace mig
+{
+constexpr unsigned lastWriterShift = 50;
+constexpr unsigned lastWriterBits = 6;
+constexpr std::uint64_t lastWriterMask = 0x3fULL << lastWriterShift;
+constexpr std::uint64_t lwValidBit = 1ULL << 56;
+constexpr std::uint64_t migratoryBit = 1ULL << 57;
+constexpr std::uint64_t allBitsMask =
+    lastWriterMask | lwValidBit | migratoryBit;
+
+inline NodeId
+lastWriter(std::uint64_t e)
+{
+    return static_cast<NodeId>((e >> lastWriterShift) &
+                               ((1ULL << lastWriterBits) - 1));
+}
+
+inline bool lwValid(std::uint64_t e) { return (e & lwValidBit) != 0; }
+inline bool migratory(std::uint64_t e) { return (e & migratoryBit) != 0; }
+} // namespace mig
+
+/**
  * Requester-side pending-transaction table entry layout. One 32-byte
  * entry per MSHR, living in the node's protocol data region and updated
  * by the reply handlers (this is the data structure whose cache

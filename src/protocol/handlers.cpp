@@ -40,6 +40,19 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
     const std::int64_t vec_mask_shifted = vec_mask << fmt.vectorShift;
     const std::int64_t req_mask = (1LL << fmt.reqBits) - 1;
 
+    SMTP_ASSERT(!opts.migratory || fmt.entryBytes == 8,
+                "migratory variant needs the 64-bit directory entry "
+                "format (the 32-bit format has no free bits)");
+    const std::int64_t mig_bit =
+        static_cast<std::int64_t>(mig::migratoryBit);
+    const std::int64_t lw_valid_bit =
+        static_cast<std::int64_t>(mig::lwValidBit);
+    // Busy/revision entries preserve the sharer vector — and, under
+    // migratory, the prediction bits riding in the free bits too.
+    const std::int64_t busy_keep_mask =
+        vec_mask_shifted |
+        (opts.migratory ? static_cast<std::int64_t>(mig::allBitsMask) : 0);
+
     // Shared home-side entry points (bound below).
     auto h_get = a.label();
     auto h_getx = a.label();
@@ -97,6 +110,53 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.st(addr, t1, ownLogBaseOffset);
         a.addi(t0, t0, 1);
         a.st(t0, scratchBase, ownLogCountOffset);
+    };
+
+    // ---- Migratory-variant emitters (no-ops unless opts.migratory) ----
+
+    // Bump the 8-byte scratch counter at @p offset; clobbers @p tmp.
+    auto mig_count = [&](Addr offset, std::uint8_t tmp) {
+        a.ld(tmp, scratchBase, offset);
+        a.addi(tmp, tmp, 1);
+        a.st(tmp, scratchBase, offset);
+    };
+
+    // Stamp "lastWriter = rq, valid" into the new-Exclusive entry being
+    // built in @p entry_reg; clobbers @p tmp.
+    auto mig_stamp_writer = [&](std::uint8_t entry_reg, std::uint8_t tmp) {
+        if (!opts.migratory)
+            return;
+        a.sll(tmp, rq, mig::lastWriterShift);
+        a.or_(entry_reg, entry_reg, tmp);
+        a.li(tmp, lw_valid_bit);
+        a.or_(entry_reg, entry_reg, tmp);
+    };
+
+    // Migration detection, emitted where a write request hits a line
+    // with history (GETX/Upgrade on Shared, GETX on Exclusive): if the
+    // old entry's tracked writer is valid and is not the requester, the
+    // line is migrating — set the migratory bit in @p entry_reg (an
+    // already-set bit is kept without recounting). Clobbers ta/tb.
+    auto mig_detect = [&](std::uint8_t entry_reg, std::uint8_t ta,
+                          std::uint8_t tb) {
+        if (!opts.migratory)
+            return;
+        auto no_mig = a.label();
+        auto set_bit = a.label();
+        a.li(tb, mig_bit);
+        a.and_(ta, ren, tb);
+        a.bne(ta, zero, set_bit); // Already predicted migratory.
+        a.li(tb, lw_valid_bit);
+        a.and_(ta, ren, tb);
+        a.beq(ta, zero, no_mig); // No history yet.
+        a.srl(ta, ren, mig::lastWriterShift);
+        a.andi(ta, ta, (1LL << mig::lastWriterBits) - 1);
+        a.beq(ta, rq, no_mig); // Same writer again: not migrating.
+        mig_count(migDetectOffset, ta);
+        a.bind(set_bit);
+        a.li(tb, mig_bit);
+        a.or_(entry_reg, entry_reg, tb);
+        a.bind(no_mig);
     };
 
     // ================= Processor-interface request handlers =============
@@ -172,6 +232,7 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         auto excl = a.label();
         auto un_self = a.label();
         auto sh_self = a.label();
+        auto mig_excl = a.label();
 
         load_dir();
         compose_aux();
@@ -191,6 +252,7 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.sllv(t0, one, rq);
         a.sll(t0, t0, fmt.vectorShift);
         a.ori(t0, t0, dirExclusive);
+        mig_stamp_writer(t0, t1);
         a.st(t0, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
         log_ownership();
         a.beq(rq, nodeId, un_self);
@@ -225,7 +287,15 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.andi(t0, t0, vec_mask);
         a.ctz(t2, t0); // owner id
         a.beq(t2, rq, nak); // Request from the listed owner: stale; retry.
-        a.li(t3, vec_mask_shifted);
+        if (opts.migratory) {
+            // A read on a line predicted migratory: grant Exclusive
+            // instead of Shared — the requester is about to write, and
+            // this saves its upgrade round-trip.
+            a.li(t5, mig_bit);
+            a.and_(t5, ren, t5);
+            a.bne(t5, zero, mig_excl);
+        }
+        a.li(t3, busy_keep_mask);
         a.and_(t3, ren, t3);
         a.ori(t3, t3, dirBusySh);
         a.sll(t4, rq, fmt.reqShift);
@@ -236,6 +306,44 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.send(MsgType::FwdIntervSh, DataSrc::None, SendTarget::Network,
                t2, raux);
         a.epilogue();
+
+        if (opts.migratory) {
+            a.bind(mig_excl);
+            mig_count(migSavedOffset, t5);
+            if (opts.injectMigratoryNoRelease) {
+                // Deliberate protocol bug (checker validation): hand the
+                // requester Exclusive straight from memory without
+                // intervening at the current owner — two writable copies.
+                // Guarded to remote requesters so memory data exists.
+                auto no_bug = a.label();
+                a.beq(rq, nodeId, no_bug);
+                a.sllv(t3, one, rq);
+                a.sll(t3, t3, fmt.vectorShift);
+                a.ori(t3, t3, dirExclusive);
+                a.st(t3, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+                a.send(MsgType::RplDataEx, DataSrc::Memory,
+                       SendTarget::Network, rq, raux);
+                a.epilogue();
+                a.bind(no_bug);
+            }
+            // Exclusive-on-read: same busy transaction as the GETX
+            // exclusive arm — the pendGetx bit routes the owner's
+            // RplOwnershipXfer resolution, and the owner-side
+            // FwdIntervEx invalidates its copy (SWMR preserved).
+            a.li(t3, busy_keep_mask);
+            a.and_(t3, ren, t3);
+            a.ori(t3, t3, dirBusyEx);
+            a.sll(t4, rq, fmt.reqShift);
+            a.or_(t3, t3, t4);
+            a.sll(t4, rm, fmt.mshrShift);
+            a.or_(t3, t3, t4);
+            a.li(t4, 1LL << fmt.pendGetxShift);
+            a.or_(t3, t3, t4);
+            a.st(t3, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
+            a.send(MsgType::FwdIntervEx, DataSrc::None, SendTarget::Network,
+                   t2, raux);
+            a.epilogue();
+        }
     }
 
     // ======================= Home-side GETX ============================
@@ -272,6 +380,7 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.sllv(t0, one, rq);
         a.sll(t0, t0, fmt.vectorShift);
         a.ori(t0, t0, dirExclusive);
+        mig_stamp_writer(t0, t1);
         a.st(t0, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
         log_ownership();
         a.beq(rq, nodeId, un_self);
@@ -301,6 +410,8 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.popc(t4, t1);                   // invalidation count
         a.sll(t5, t0, fmt.vectorShift);
         a.ori(t5, t5, dirExclusive);
+        mig_detect(t5, t2, t3);
+        mig_stamp_writer(t5, t2);
         a.st(t5, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
         log_ownership();
         a.bind(inv_loop);
@@ -340,7 +451,7 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.andi(t0, t0, vec_mask);
         a.ctz(t2, t0);
         a.beq(t2, rq, nak);
-        a.li(t3, vec_mask_shifted);
+        a.li(t3, busy_keep_mask);
         a.and_(t3, ren, t3);
         a.ori(t3, t3, dirBusyEx);
         a.sll(t4, rq, fmt.reqShift);
@@ -349,6 +460,7 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.or_(t3, t3, t4);
         a.li(t4, 1LL << fmt.pendGetxShift);
         a.or_(t3, t3, t4);
+        mig_detect(t3, t5, t6);
         a.st(t3, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
         a.send(MsgType::FwdIntervEx, DataSrc::None, SendTarget::Network,
                t2, raux);
@@ -390,6 +502,8 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.popc(t4, t1);
         a.sll(t5, t0, fmt.vectorShift);
         a.ori(t5, t5, dirExclusive);
+        mig_detect(t5, t2, t3);
+        mig_stamp_writer(t5, t2);
         a.st(t5, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
         a.bind(inv_loop);
         a.beq(t1, zero, reply);
@@ -549,7 +663,7 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.andi(t2, t2, req_mask);
         a.sllv(t3, one, t2);
         a.sll(t3, t3, fmt.vectorShift);
-        a.li(t4, vec_mask_shifted);
+        a.li(t4, busy_keep_mask);
         a.and_(t4, ren, t4);
         a.or_(t4, t4, t3);
         a.ori(t4, t4, dirShared);
@@ -571,6 +685,31 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.sllv(t3, one, t2);
         a.sll(t3, t3, fmt.vectorShift);
         a.ori(t3, t3, dirExclusive);
+        if (opts.migratory) {
+            // Ownership arrived at the parked requester. If the old
+            // owner's copy was still clean (ack bit 0 of the revision
+            // header, set by the FwdIntervEx handler), the migration
+            // prediction was false — the predicted writer never wrote —
+            // so revert it; otherwise carry the migratory bit forward.
+            auto no_revert = a.label();
+            auto merged = a.label();
+            a.li(t4, mig_bit);
+            a.and_(t4, ren, t4); // old prediction bit
+            a.srl(t5, hdr, headerAckShift);
+            a.andi(t5, t5, 1);   // clean-transfer flag
+            a.beq(t5, zero, no_revert);
+            a.beq(t4, zero, merged);
+            mig_count(migRevertOffset, t6);
+            a.mov(t4, zero);
+            a.bind(no_revert);
+            a.bind(merged);
+            a.or_(t3, t3, t4);
+            // New tracked writer: the node just granted Exclusive.
+            a.sll(t4, t2, mig::lastWriterShift);
+            a.or_(t3, t3, t4);
+            a.li(t4, lw_valid_bit);
+            a.or_(t3, t3, t4);
+        }
         a.st(t3, rde, 0, static_cast<std::uint8_t>(fmt.entryBytes));
         a.epilogue();
         a.bind(err);
@@ -635,7 +774,18 @@ buildHandlerImage(const DirFormat &fmt, const HandlerOptions &opts)
         a.beq(t2, zero, miss);
         a.send(MsgType::RplDataEx, DataSrc::Probe, SendTarget::Network,
                rq, raux);
-        a.sendHome(MsgType::RplOwnershipXfer, DataSrc::None);
+        if (opts.migratory) {
+            // Revision carries "copy was still clean" in ack bit 0 so
+            // the home can revert a false migration prediction (probe
+            // result bit 1 = dirty).
+            a.srl(t3, t1, 1);
+            a.andi(t3, t3, 1);
+            a.xori(t3, t3, 1);
+            a.sll(t3, t3, headerAckShift);
+            a.sendHome(MsgType::RplOwnershipXfer, DataSrc::None, t3);
+        } else {
+            a.sendHome(MsgType::RplOwnershipXfer, DataSrc::None);
+        }
         a.epilogue();
         a.bind(miss);
         a.sendHome(MsgType::RplIntervMiss, DataSrc::None);

@@ -50,6 +50,26 @@ struct HandlerOptions
      * stale Shared copy the coherence checker must catch.
      */
     bool injectSkipFirstInval = false;
+
+    /**
+     * Migratory-sharing optimization (protocol variant, ROADMAP item 4):
+     * the home tracks the last writer of each line in the directory
+     * entry's free bits and, once a read-then-write migration pattern is
+     * observed, grants Exclusive on the next GET from a different node
+     * via an ownership-transfer intervention — eliminating the upgrade
+     * round-trip the migrating reader would otherwise pay. Requires the
+     * 64-bit directory entry format (the 32-bit format has no free
+     * bits); see src/protocol/variants/.
+     */
+    bool migratory = false;
+
+    /**
+     * Deliberate protocol bug (checker validation, migratory only): the
+     * migratory GET path grants Exclusive straight from memory without
+     * intervening at the current owner, leaving two writable copies —
+     * the full-mirror checker must flag the SWMR violation.
+     */
+    bool injectMigratoryNoRelease = false;
 };
 
 /**
@@ -66,6 +86,16 @@ constexpr Addr protoErrorOffset = 0;
 constexpr Addr ownLogCountOffset = 8;
 constexpr Addr ownLogBaseOffset = 64;
 constexpr unsigned ownLogEntries = 4096; ///< Ring buffer length.
+
+/**
+ * Migratory-variant scratch counters, one 8-byte word each per node
+ * (between the error word/ownership-log count and the log ring):
+ * migrations detected at the home, upgrade round-trips saved by a
+ * migratory Exclusive-on-read grant, and false-migration reverts.
+ */
+constexpr Addr migDetectOffset = 16;
+constexpr Addr migSavedOffset = 24;
+constexpr Addr migRevertOffset = 32;
 
 } // namespace smtp::proto
 

@@ -121,6 +121,13 @@ struct Message
     std::uint32_t traceId = 0;    ///< Telemetry id stamped at injection;
                                   ///< 0 = untraced. Fits the tail padding,
                                   ///< so sizeof(Message) is unchanged.
+    /**
+     * Requester barrier-phase epoch at issue time (phase-priority
+     * protocol). Stamped on request-class messages by the requester's
+     * controller and preserved across NAK retries, so an old request
+     * keeps its age. 0 under protocols that don't use it.
+     */
+    std::uint32_t phase = 0;
 
     bool
     carriesData() const
@@ -224,6 +231,7 @@ snapPut(snap::Ser &s, const Message &m)
     s.u16(m.ackCount);
     s.u8(m.flags);
     s.u32(m.traceId);
+    s.u32(m.phase);
 }
 
 inline Message
@@ -244,6 +252,7 @@ snapGetMessage(snap::Des &d)
     m.ackCount = d.u16();
     m.flags = d.u8();
     m.traceId = d.u32();
+    m.phase = d.u32();
     return m;
 }
 

@@ -1,0 +1,65 @@
+#include "variants.hpp"
+
+namespace smtp::proto
+{
+
+std::string_view
+protocolName(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Bitvector: return "bitvector";
+      case ProtocolKind::Migratory: return "migratory";
+      case ProtocolKind::PhasePriority: return "phase-priority";
+    }
+    return "?";
+}
+
+bool
+protocolFromName(std::string_view name, ProtocolKind &out)
+{
+    if (name.empty() || name == "bitvector") {
+        out = ProtocolKind::Bitvector;
+        return true;
+    }
+    if (name == "migratory") {
+        out = ProtocolKind::Migratory;
+        return true;
+    }
+    if (name == "phase-priority") {
+        out = ProtocolKind::PhasePriority;
+        return true;
+    }
+    return false;
+}
+
+std::string_view
+protocolNameList()
+{
+    return "bitvector, migratory, phase-priority";
+}
+
+DirFormat
+protocolDirFormat(ProtocolKind kind, unsigned nodes)
+{
+    if (kind == ProtocolKind::Migratory) {
+        // The prediction bits live at entry bits 63:50; only the wide
+        // format has them.
+        return DirFormat::forNodes(32);
+    }
+    return DirFormat::forNodes(nodes);
+}
+
+HandlerImage
+buildProtocolImage(ProtocolKind kind, const DirFormat &fmt,
+                   HandlerOptions base)
+{
+    SMTP_ASSERT(!base.migratory,
+                "set the protocol kind, not HandlerOptions::migratory");
+    if (kind == ProtocolKind::Migratory)
+        base.migratory = true;
+    // Phase-priority runs the baseline handler program; its behaviour is
+    // the memory controller's queue discipline.
+    return buildHandlerImage(fmt, base);
+}
+
+} // namespace smtp::proto

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Protocol-variant registry.
+ *
+ * The paper's Section 6 argues the protocol thread "need not be
+ * restricted to implementing basic coherence protocols" — the handler
+ * image is software, so alternative protocols are just alternative
+ * handler programs assembled from the same ISA. This registry names the
+ * variants the repo ships, maps names to directory formats and handler
+ * images, and is the single switch the machine, the benches, the sweep
+ * daemon and the comparison harness all key off:
+ *
+ *  - `bitvector`      — the baseline invalidation protocol (Origin-style
+ *                       bitvector directory, eager-exclusive replies).
+ *  - `migratory`      — bitvector plus migratory-sharing detection: the
+ *                       home tracks the last exclusive holder per line
+ *                       in the directory's free bits and, once a
+ *                       read-then-write migration pattern is observed,
+ *                       answers the next GET from a different node with
+ *                       an Exclusive grant (ownership-transfer
+ *                       intervention), saving the upgrade round-trip.
+ *                       Forces the 64-bit directory entry format.
+ *  - `phase-priority` — bitvector handlers, but the memory controller
+ *                       services its request queues in barrier-phase
+ *                       priority order instead of FIFO: requests carry
+ *                       the requester's phase epoch, and a straggler's
+ *                       (older-epoch) requests overtake queued work from
+ *                       nodes that already passed the barrier, with a
+ *                       starvation floor bounding the bypasses.
+ */
+
+#ifndef SMTP_PROTOCOL_VARIANTS_VARIANTS_HPP
+#define SMTP_PROTOCOL_VARIANTS_VARIANTS_HPP
+
+#include <array>
+#include <string_view>
+
+#include "protocol/directory.hpp"
+#include "protocol/handlers.hpp"
+#include "protocol/isa.hpp"
+
+namespace smtp::proto
+{
+
+enum class ProtocolKind : std::uint8_t
+{
+    Bitvector = 0,
+    Migratory,
+    PhasePriority,
+};
+
+constexpr std::array<ProtocolKind, 3> allProtocols = {
+    ProtocolKind::Bitvector,
+    ProtocolKind::Migratory,
+    ProtocolKind::PhasePriority,
+};
+
+/** Stable CLI/JSON name ("bitvector", "migratory", "phase-priority"). */
+std::string_view protocolName(ProtocolKind kind);
+
+/**
+ * Parse a protocol name; returns false (and leaves @p out untouched) on
+ * an unknown name. An empty name means the default, Bitvector.
+ */
+bool protocolFromName(std::string_view name, ProtocolKind &out);
+
+/** Comma-separated list of valid names, for usage/error messages. */
+std::string_view protocolNameList();
+
+/**
+ * Directory entry format for @p kind at @p nodes nodes. Migratory needs
+ * the free high bits of the 64-bit entry, so it uses the wide format at
+ * every node count; the others pick by node count as the paper does.
+ */
+DirFormat protocolDirFormat(ProtocolKind kind, unsigned nodes);
+
+/**
+ * Assemble the handler image for @p kind. @p base carries the
+ * orthogonal handler options (ownership log, fault hooks); the variant
+ * sets its own flags on top (and asserts they weren't preset
+ * inconsistently — e.g. `migratory` on a bitvector build).
+ */
+HandlerImage buildProtocolImage(ProtocolKind kind, const DirFormat &fmt,
+                                HandlerOptions base = {});
+
+/**
+ * True when the variant's behaviour lives in the memory controller's
+ * queue discipline (phase-priority) rather than the handler program.
+ */
+constexpr bool
+protocolUsesPhasePriority(ProtocolKind kind)
+{
+    return kind == ProtocolKind::PhasePriority;
+}
+
+constexpr bool
+protocolIsMigratory(ProtocolKind kind)
+{
+    return kind == ProtocolKind::Migratory;
+}
+
+} // namespace smtp::proto
+
+#endif // SMTP_PROTOCOL_VARIANTS_VARIANTS_HPP

@@ -148,6 +148,20 @@ resultToJson(const RunResult &r)
     v.set("memstall_ci95", num(r.memStallCi95));
     v.set("ckpt", num(r.ckpt));
     v.set("exec_serialized", JsonValue::makeBool(r.execSerialized));
+    // Protocol-variant statistics travel only when any are non-zero so
+    // default-protocol result payloads keep their pre-variant shape.
+    if (r.migDetected || r.migSaved || r.migReverts || r.naks ||
+        r.invalsSent || r.phaseFloorTrips ||
+        r.reqQueueDelayMeanNs != 0.0) {
+        v.set("mig_detected", u64(r.migDetected));
+        v.set("mig_upgrades_saved", u64(r.migSaved));
+        v.set("mig_reverts", u64(r.migReverts));
+        v.set("naks", u64(r.naks));
+        v.set("invals", u64(r.invalsSent));
+        v.set("floor_trips", u64(r.phaseFloorTrips));
+        v.set("req_qdelay_mean_ns", num(r.reqQueueDelayMeanNs));
+        v.set("req_qdelay_p95_ns", num(r.reqQueueDelayP95Ns));
+    }
     v.set("wall_ms", num(r.wallMs));
     return v;
 }
@@ -180,6 +194,14 @@ resultFromJson(const JsonValue &v)
     r.memStallCi95 = v.getNumber("memstall_ci95");
     r.ckpt = static_cast<int>(v.getNumber("ckpt", -1));
     r.execSerialized = v.getBool("exec_serialized");
+    r.migDetected = u64("mig_detected", 0);
+    r.migSaved = u64("mig_upgrades_saved", 0);
+    r.migReverts = u64("mig_reverts", 0);
+    r.naks = u64("naks", 0);
+    r.invalsSent = u64("invals", 0);
+    r.phaseFloorTrips = u64("floor_trips", 0);
+    r.reqQueueDelayMeanNs = v.getNumber("req_qdelay_mean_ns");
+    r.reqQueueDelayP95Ns = v.getNumber("req_qdelay_p95_ns");
     r.wallMs = v.getNumber("wall_ms");
     return r;
 }
@@ -190,6 +212,13 @@ cellToJson(const RunConfig &cfg)
     JsonValue cell = JsonValue::makeObject();
     cell.set("model",
              JsonValue::makeString(std::string(modelName(cfg.model))));
+    // Non-default protocols travel explicitly; absence means bitvector
+    // so pre-variant clients and daemons interoperate unchanged.
+    if (cfg.protocol != proto::ProtocolKind::Bitvector) {
+        cell.set("protocol",
+                 JsonValue::makeString(
+                     std::string(proto::protocolName(cfg.protocol))));
+    }
     cell.set("nodes", JsonValue::makeNumber(cfg.nodes));
     cell.set("ways", JsonValue::makeNumber(cfg.ways));
     cell.set("app", JsonValue::makeString(cfg.app));
@@ -229,9 +258,10 @@ cellFromJson(const JsonValue &cell, RunConfig &out, std::string *err)
     if (!cell.isObject())
         return failParse(err, "cell must be a JSON object");
     static const char *const kKnown[] = {
-        "model", "nodes", "ways", "app", "scale", "cpu_mhz", "las",
-        "bitops", "pcache", "dir_cache_divisor", "heap_kernel", "exec",
-        "check", "sample", "faults", "retry", "trace", "trace_exec",
+        "model", "protocol", "nodes", "ways", "app", "scale", "cpu_mhz",
+        "las", "bitops", "pcache", "dir_cache_divisor", "heap_kernel",
+        "exec", "check", "sample", "faults", "retry", "trace",
+        "trace_exec",
         "ckpt_dir", // Accepted and ignored: the daemon owns the farm.
     };
     for (const auto &[key, value] : cell.members()) {
@@ -248,6 +278,15 @@ cellFromJson(const JsonValue &cell, RunConfig &out, std::string *err)
         return false;
     if (!model.empty() && !modelFromName(model, out.model))
         return failParse(err, "unknown machine model '" + model + "'");
+    std::string protocol;
+    if (!getStringStrict(cell, "protocol", protocol, err))
+        return false;
+    if (!proto::protocolFromName(protocol, out.protocol)) {
+        return failParse(err, "unknown protocol '" + protocol +
+                                  "' (expected " +
+                                  std::string(proto::protocolNameList()) +
+                                  ")");
+    }
 
     std::uint64_t u;
     u = out.nodes;

@@ -166,6 +166,7 @@ extractMetrics(Machine &machine, const RunConfig &cfg, RunResult &out,
                bool quiesce_faults)
 {
     out.execTime = machine.execTime();
+    out.committedInsts = machine.committedAppInsts();
     out.memStallFraction = machine.memStallFraction();
     out.peakProtocolOccupancy = machine.peakProtocolOccupancy();
     out.execSerialized = machine.execSerializedByChecker();
@@ -184,6 +185,31 @@ extractMetrics(Machine &machine, const RunConfig &cfg, RunResult &out,
                 std::max(out.peakIntQueue, occ.intQueue.peak());
             out.peakLsq = std::max(out.peakLsq, occ.lsq.peak());
         }
+    }
+    // Variant statistics are extracted for EVERY protocol (the JSON
+    // fields they feed stay conditional on a non-default protocol, so
+    // default records keep their bytes): protocol_compare diffs the
+    // bitvector baseline against the variants through these fields.
+    {
+        auto mig = machine.migratoryCounters();
+        out.migDetected = mig.detected;
+        out.migSaved = mig.saved;
+        out.migReverts = mig.reverts;
+        Distribution delay;
+        for (unsigned n = 0; n < cfg.nodes; ++n) {
+            const auto &mc = *machine.node(n).mc;
+            out.naks += mc.naksSent.value();
+            out.invalsSent += mc.invalsSent.value();
+            out.phaseFloorTrips += mc.phaseFloorTrips.value();
+            if (n == 0)
+                delay = mc.reqQueueDelay;
+            else
+                delay.merge(mc.reqQueueDelay);
+        }
+        out.reqQueueDelayMeanNs =
+            delay.mean() / static_cast<double>(tickPerNs);
+        out.reqQueueDelayP95Ns =
+            delay.percentile(95.0) / static_cast<double>(tickPerNs);
     }
     if (!cfg.traceStem.empty()) {
         std::string err;
@@ -371,6 +397,7 @@ paramsFor(const RunConfig &cfg)
 {
     MachineParams mp;
     mp.model = cfg.model;
+    mp.protocol = cfg.protocol;
     mp.nodes = cfg.nodes;
     mp.appThreadsPerNode = cfg.ways;
     mp.cpuFreqMHz = cfg.cpuFreqMHz;
@@ -483,6 +510,28 @@ jsonRecord(const RunConfig &c, const RunResult &r)
             static_cast<unsigned long long>(r.faultsRecovered));
         fault_fields = buf;
     }
+    // Protocol-variant fields appear only for non-default protocols,
+    // so every bitvector record (the entire pre-variant corpus,
+    // including the golden sweep JSONs) stays byte-identical.
+    std::string protocol_fields;
+    if (c.protocol != proto::ProtocolKind::Bitvector) {
+        char buf[384];
+        std::snprintf(
+            buf, sizeof(buf),
+            ",\"protocol\":\"%s\",\"mig_detected\":%llu,"
+            "\"mig_upgrades_saved\":%llu,\"mig_reverts\":%llu,"
+            "\"naks\":%llu,\"invals\":%llu,\"floor_trips\":%llu,"
+            "\"req_qdelay_mean_ns\":%.3f,\"req_qdelay_p95_ns\":%.3f",
+            std::string(proto::protocolName(c.protocol)).c_str(),
+            static_cast<unsigned long long>(r.migDetected),
+            static_cast<unsigned long long>(r.migSaved),
+            static_cast<unsigned long long>(r.migReverts),
+            static_cast<unsigned long long>(r.naks),
+            static_cast<unsigned long long>(r.invalsSent),
+            static_cast<unsigned long long>(r.phaseFloorTrips),
+            r.reqQueueDelayMeanNs, r.reqQueueDelayP95Ns);
+        protocol_fields = buf;
+    }
     // Server-workload fields appear only for the server family, so
     // the six paper apps' records stay byte-identical to earlier
     // output. All values are pure functions of simulated state:
@@ -529,15 +578,16 @@ jsonRecord(const RunConfig &c, const RunResult &r)
         exec_field += checkLevelName(c.checkLevel);
         exec_field += "\"";
     }
-    char line[1536];
+    char line[2048];
     std::snprintf(
         line, sizeof(line),
         "{\"app\":\"%s\",\"model\":\"%s\",\"nodes\":%u,\"ways\":%u,"
-        "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s%s%s%s,"
+        "\"exec_ticks\":%llu,\"mem_stall\":%.6f%s%s%s%s%s,"
         "\"wall_ms\":%.3f}",
         c.app.c_str(), std::string(modelName(c.model)).c_str(), c.nodes,
         c.ways, static_cast<unsigned long long>(r.execTime),
-        r.memStallFraction, fault_fields.c_str(), server_fields.c_str(),
+        r.memStallFraction, protocol_fields.c_str(),
+        fault_fields.c_str(), server_fields.c_str(),
         sample_fields.c_str(), exec_field.c_str(), r.wallMs);
     return line;
 }

@@ -48,6 +48,12 @@ struct SampleSpec
 struct RunConfig
 {
     MachineModel model = MachineModel::SMTp;
+    /**
+     * Directory-protocol variant (--protocol=NAME). The default
+     * bitvector protocol leaves every record, config hash and cache
+     * key byte-identical to a build without the variant subsystem.
+     */
+    proto::ProtocolKind protocol = proto::ProtocolKind::Bitvector;
     unsigned nodes = 1;
     unsigned ways = 1;
     std::string app = "FFT";
@@ -106,6 +112,9 @@ struct RunConfig
 struct RunResult
 {
     Tick execTime = 0;
+    /** Committed app instructions (in-process runs only; not on the
+     *  wire — derived metrics like IPC use it with execTime). */
+    std::uint64_t committedInsts = 0;
     double memStallFraction = 0.0;
     double peakProtocolOccupancy = 0.0;
     // SMTp-only protocol thread characteristics.
@@ -138,6 +147,16 @@ struct RunResult
     std::uint64_t txnCommits = 0;
     std::uint64_t txnAborts = 0;
     std::uint64_t txnFallbacks = 0;
+    // Protocol-variant statistics (populated only when the cell runs a
+    // non-default protocol, so default records stay byte-identical).
+    std::uint64_t migDetected = 0;  ///< Migratory lines predicted.
+    std::uint64_t migSaved = 0;     ///< Upgrade round-trips avoided.
+    std::uint64_t migReverts = 0;   ///< False predictions reverted.
+    std::uint64_t naks = 0;          ///< NAKs sent, summed over nodes.
+    std::uint64_t invalsSent = 0;    ///< FwdInval messages sent.
+    std::uint64_t phaseFloorTrips = 0; ///< Starvation-floor force-serves.
+    double reqQueueDelayMeanNs = 0.0;  ///< Directory queueing delay.
+    double reqQueueDelayP95Ns = 0.0;
     // Checkpoint-library outcome: -1 = library off, 0 = miss, 1 = hit.
     int ckpt = -1;
     /** A parallel exec request was serialized by the FullMirror checker. */

@@ -6,7 +6,7 @@
  * std::function each one whose capture exceeded the library's tiny SBO
  * (two pointers in libstdc++) cost a heap allocation on the hottest
  * path of the whole simulator. InlineCallback reserves enough inline
- * storage (48 bytes) that every scheduler in the tree — lambdas
+ * storage (64 bytes) that every scheduler in the tree — lambdas
  * capturing `this` plus a few scalars, a whole proto::Message, or a
  * forwarded callback — stays allocation-free. Oversized or
  * throwing-move captures transparently fall back to the heap, so the
@@ -52,8 +52,11 @@ struct IsSnapCallback<F, std::void_t<decltype(F::kSnapId)>>
 class InlineCallback
 {
   public:
-    /** Inline capture budget; sized for the largest hot-path lambda. */
-    static constexpr std::size_t inlineBytes = 48;
+    /**
+     * Inline capture budget; sized for the largest hot-path functor
+     * (a pointer plus a whole proto::Message plus a scalar).
+     */
+    static constexpr std::size_t inlineBytes = 64;
 
     /** Does a callable of type @p F avoid the heap fallback? */
     template <typename F>

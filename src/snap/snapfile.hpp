@@ -35,7 +35,10 @@ namespace smtp::snap
 
 // v2: the workload resume log carries barrier-clock tick epochs (server
 // workload request stamps); v1 images are rejected cleanly.
-constexpr std::uint32_t kFormatVersion = 2;
+// v3: messages carry the requester's barrier-phase epoch (phase-priority
+// directory protocol) and the controller serializes its per-MSHR phase
+// stamps and request-arrival queues; older images are rejected cleanly.
+constexpr std::uint32_t kFormatVersion = 3;
 constexpr char kMagic[8] = {'S', 'M', 'T', 'P', 'S', 'N', 'A', 'P'};
 
 /** Builds a snapshot in memory, then writes it atomically. */

@@ -13,7 +13,9 @@ namespace
 {
 
 constexpr char binaryMagic[8] = {'S', 'M', 'T', 'P', 'T', 'R', 'C', '1'};
-constexpr std::uint32_t binaryVersion = 1;
+// v2 appends the protocol-variant name to the header; v1 captures
+// (no protocol field) still read back, with protocol left empty.
+constexpr std::uint32_t binaryVersion = 2;
 
 /** Picosecond tick -> "<us>.<frac3>" microseconds, integer math only. */
 void
@@ -294,7 +296,8 @@ writeBinary(const TraceData &data, std::FILE *f)
         return false;
     bool ok = writeRaw(f, binaryVersion) && writeRaw(f, data.nodes) &&
               writeRaw(f, data.execTicks) &&
-              writeRaw(f, data.intervalTicks);
+              writeRaw(f, data.intervalTicks) &&
+              writeString(f, data.protocol);
     ok = ok &&
          writeRaw(f, static_cast<std::uint32_t>(data.buffers.size())) &&
          writeRaw(f,
@@ -346,14 +349,19 @@ readTrace(const std::string &path, TraceData &out, std::string &err)
         std::memcmp(magic, binaryMagic, sizeof(magic)) != 0)
         return fail("not a SMTPTRC1 trace");
     std::uint32_t version = 0;
-    if (!readRaw(f, version) || version != binaryVersion)
+    if (!readRaw(f, version) || version < 1 || version > binaryVersion)
         return fail("unsupported trace version");
 
     std::uint32_t buffer_count = 0, series_count = 0;
     std::uint64_t rows = 0;
     if (!readRaw(f, out.nodes) || !readRaw(f, out.execTicks) ||
-        !readRaw(f, out.intervalTicks) || !readRaw(f, buffer_count) ||
-        !readRaw(f, series_count) || !readRaw(f, rows))
+        !readRaw(f, out.intervalTicks))
+        return fail("truncated header");
+    out.protocol.clear();
+    if (version >= 2 && !readString(f, out.protocol, 64))
+        return fail("truncated protocol name");
+    if (!readRaw(f, buffer_count) || !readRaw(f, series_count) ||
+        !readRaw(f, rows))
         return fail("truncated header");
     if (buffer_count > 4096 || series_count > 65536 ||
         rows > (1ull << 24))

@@ -47,6 +47,12 @@ struct TraceData
     Tick execTicks = 0;
     std::uint32_t nodes = 0;
     Tick intervalTicks = 0;
+    /**
+     * Directory-protocol variant of the traced machine. Empty when the
+     * capture predates the field (container version 1), which readers
+     * should render as the default "bitvector".
+     */
+    std::string protocol;
 };
 
 /**

@@ -20,6 +20,7 @@
 #include "mem/immediate_agent.hpp"
 #include "network/network.hpp"
 #include "protocol/handlers.hpp"
+#include "protocol/variants/variants.hpp"
 #include "sim/clock.hpp"
 #include "sim/eventq.hpp"
 
@@ -40,6 +41,20 @@ class ProtoMachine
         bool checkAbortOnViolation = true;
         Tick watchdogMaxAge = 2 * tickPerMs;
         proto::HandlerOptions handlerOptions{};
+        /**
+         * Directory-protocol variant. Migratory widens the directory
+         * format (its prediction bits need the 64-bit entry) and sets
+         * HandlerOptions::migratory; phase-priority switches every
+         * controller's request-queue discipline.
+         */
+        proto::ProtocolKind protocol = proto::ProtocolKind::Bitvector;
+        /** Deliberate drop-starved-head bug (phase-priority only). */
+        bool injectDropOnFloor = false;
+        /**
+         * Starvation-floor override (phase-priority only): tests drop
+         * it to 1 so any head-of-queue tie trips the floor immediately.
+         */
+        unsigned phaseStarvationFloor = 64;
         /** Fault injection + retry policy (default: disabled / Fixed). */
         fault::FaultPlan faults{};
         fault::RetryPolicyConfig retry{};
@@ -48,8 +63,10 @@ class ProtoMachine
     ProtoMachine() : ProtoMachine(Options()) {}
 
     explicit ProtoMachine(const Options &opt)
-        : fmt(proto::DirFormat::forNodes(opt.nodes <= 16 ? 16 : 32)),
-          image(proto::buildHandlerImage(fmt, opt.handlerOptions)),
+        : fmt(proto::protocolDirFormat(opt.protocol,
+                                       opt.nodes <= 16 ? 16 : 32)),
+          image(proto::buildProtocolImage(opt.protocol, fmt,
+                                          opt.handlerOptions)),
           clock(2000), map(opt.nodes, fmt.entryBytes)
     {
         NetworkParams np;
@@ -85,6 +102,11 @@ class ProtoMachine
             McParams mp;
             mp.rngSeed = 12345 + n;
             mp.retry = opt.retry;
+            if (proto::protocolUsesPhasePriority(opt.protocol)) {
+                mp.phasePriority = true;
+                mp.injectDropOnFloor = opt.injectDropOnFloor;
+                mp.phaseStarvationFloor = opt.phaseStarvationFloor;
+            }
             node->mc = std::make_unique<MemController>(
                 eq, static_cast<NodeId>(n), mp, map, image, *node->cache,
                 *net);

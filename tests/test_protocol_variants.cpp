@@ -1,0 +1,488 @@
+/**
+ * @file
+ * The protocol-variant subsystem (src/protocol/variants): registry
+ * name/format resolution, the migratory-sharing prediction machinery
+ * (detection, Exclusive-on-read grants, false-migration reverts, and
+ * the deliberate no-release bug the full-mirror checker must catch),
+ * the phase-priority queue discipline (clean settling, starvation
+ * floor, and the deliberate drop-on-floor bug the watchdog must
+ * catch), and the whole-machine contract per variant: all five models
+ * clean under full mirror, serial/parallel bit-identity, and
+ * checkpoint round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "proto_harness.hpp"
+
+#include "machine/machine.hpp"
+#include "protocol/assembler.hpp"
+#include "workload/app.hpp"
+
+namespace smtp::testing
+{
+namespace
+{
+
+using proto::ProtocolKind;
+
+// ----------------------------------------------------------- registry
+
+TEST(VariantRegistry, NamesRoundTrip)
+{
+    for (ProtocolKind k : proto::allProtocols) {
+        ProtocolKind parsed = ProtocolKind::Bitvector;
+        EXPECT_TRUE(proto::protocolFromName(proto::protocolName(k), parsed))
+            << proto::protocolName(k);
+        EXPECT_EQ(parsed, k);
+    }
+    // Empty = the default; unknown names fail and leave the out-param
+    // untouched (callers rely on that for their error paths).
+    ProtocolKind k = ProtocolKind::Migratory;
+    EXPECT_TRUE(proto::protocolFromName("", k));
+    EXPECT_EQ(k, ProtocolKind::Bitvector);
+    k = ProtocolKind::Migratory;
+    EXPECT_FALSE(proto::protocolFromName("mesi", k));
+    EXPECT_EQ(k, ProtocolKind::Migratory);
+
+    std::string list(proto::protocolNameList());
+    for (ProtocolKind p : proto::allProtocols)
+        EXPECT_NE(list.find(proto::protocolName(p)), std::string::npos)
+            << list;
+}
+
+TEST(VariantRegistry, DirFormatSelection)
+{
+    // Bitvector and phase-priority pick the entry width by node count,
+    // as the paper does; migratory always needs the 64-bit entry for
+    // its prediction bits.
+    EXPECT_EQ(proto::protocolDirFormat(ProtocolKind::Bitvector, 16)
+                  .entryBytes,
+              4u);
+    EXPECT_EQ(proto::protocolDirFormat(ProtocolKind::Bitvector, 32)
+                  .entryBytes,
+              8u);
+    EXPECT_EQ(proto::protocolDirFormat(ProtocolKind::PhasePriority, 16)
+                  .entryBytes,
+              4u);
+    EXPECT_EQ(
+        proto::protocolDirFormat(ProtocolKind::Migratory, 16).entryBytes,
+        8u);
+    EXPECT_GE(
+        proto::protocolDirFormat(ProtocolKind::Migratory, 16).vectorBits,
+        16u);
+}
+
+TEST(VariantRegistry, HandlerImagesReflectTheVariant)
+{
+    auto fmt = proto::protocolDirFormat(ProtocolKind::Bitvector, 16);
+    auto base = proto::buildProtocolImage(ProtocolKind::Bitvector, fmt);
+    auto wideFmt = proto::protocolDirFormat(ProtocolKind::Migratory, 16);
+    auto mig = proto::buildProtocolImage(ProtocolKind::Migratory, wideFmt);
+    auto pp = proto::buildProtocolImage(ProtocolKind::PhasePriority, fmt);
+
+    // The migratory program carries the prediction logic, so its
+    // disassembly is strictly longer than the baseline's; the
+    // phase-priority variant reuses the baseline handlers untouched
+    // (its behaviour lives in the controller's queue discipline).
+    std::string baseList = proto::listHandlerImage(base);
+    std::string migList = proto::listHandlerImage(mig);
+    EXPECT_GT(migList.size(), baseList.size());
+    EXPECT_EQ(proto::listHandlerImage(pp), baseList);
+    EXPECT_TRUE(proto::protocolUsesPhasePriority(ProtocolKind::PhasePriority));
+    EXPECT_FALSE(proto::protocolUsesPhasePriority(ProtocolKind::Migratory));
+    EXPECT_TRUE(proto::protocolIsMigratory(ProtocolKind::Migratory));
+}
+
+// ------------------------------------------------- migratory variant
+
+std::uint64_t
+scratchCounter(ProtoMachine &m, NodeId home, Addr offset)
+{
+    Addr base = proto::protoScratchBase +
+                static_cast<Addr>(home) * proto::protoNodeStride;
+    return m.nodes[home]->mc->ram().read(base + offset, 8);
+}
+
+class MigratoryTest : public ::testing::Test
+{
+  protected:
+    MigratoryTest()
+    {
+        ProtoMachine::Options opt;
+        opt.protocol = ProtocolKind::Migratory;
+        m = std::make_unique<ProtoMachine>(opt);
+    }
+
+    /**
+     * Write from node 1 then node 2: the second, different-writer GETX
+     * is the read-then-write migration pattern the home detects.
+     */
+    void
+    establishMigration(Addr a)
+    {
+        m->issue(1, MemCmd::Store, a, [] {});
+        m->settle();
+        m->issue(2, MemCmd::Store, a, [] {});
+        m->settle();
+    }
+
+    std::unique_ptr<ProtoMachine> m;
+};
+
+TEST_F(MigratoryTest, SecondWriterSetsThePredictionBit)
+{
+    Addr a = m->addrAt(0);
+    establishMigration(a);
+    auto e = m->dirEntryOf(a);
+    EXPECT_EQ(m->fmt.state(e), proto::dirExclusive);
+    EXPECT_EQ(m->fmt.owner(e), 2);
+    EXPECT_TRUE(proto::mig::migratory(e));
+    EXPECT_TRUE(proto::mig::lwValid(e));
+    EXPECT_EQ(proto::mig::lastWriter(e), 2);
+    EXPECT_GE(scratchCounter(*m, 0, proto::migDetectOffset), 1u);
+    m->checkLineInvariants(a);
+}
+
+TEST_F(MigratoryTest, SameWriterAgainIsNotMigration)
+{
+    Addr a = m->addrAt(0);
+    m->issue(1, MemCmd::Store, a, [] {});
+    m->settle();
+    m->issue(1, MemCmd::Store, a, [] {});
+    m->settle();
+    auto e = m->dirEntryOf(a);
+    EXPECT_FALSE(proto::mig::migratory(e));
+    EXPECT_EQ(scratchCounter(*m, 0, proto::migDetectOffset), 0u);
+    m->checkLineInvariants(a);
+}
+
+TEST_F(MigratoryTest, ReadOnMigratoryLineGetsExclusive)
+{
+    Addr a = m->addrAt(0);
+    establishMigration(a);
+
+    // Under the baseline protocol this load would downgrade node 2 to
+    // Shared and node 3 would later pay an upgrade round-trip before
+    // writing. Migratory grants Exclusive on the read.
+    int done = 0;
+    m->issue(3, MemCmd::Load, a, [&] { ++done; });
+    m->settle();
+    ASSERT_EQ(done, 1);
+    EXPECT_TRUE(writable(m->nodes[3]->cache->l2State(a)));
+    auto e = m->dirEntryOf(a);
+    EXPECT_EQ(m->fmt.state(e), proto::dirExclusive);
+    EXPECT_EQ(m->fmt.owner(e), 3);
+    EXPECT_GE(scratchCounter(*m, 0, proto::migSavedOffset), 1u);
+    m->checkLineInvariants(a);
+
+    // The write the prediction anticipated: hits locally, no upgrade
+    // traffic (node 3 already holds write permission).
+    auto naksBefore = m->nodes[0]->mc->msgsFromNet.value();
+    m->issue(3, MemCmd::Store, a, [&] { ++done; });
+    m->settle();
+    EXPECT_EQ(done, 2);
+    EXPECT_EQ(m->nodes[0]->mc->msgsFromNet.value(), naksBefore)
+        << "predicted writer should not send the home any traffic";
+    m->checkLineInvariants(a);
+}
+
+TEST_F(MigratoryTest, FalseMigrationRevertsOnCleanTransfer)
+{
+    Addr a = m->addrAt(0);
+    establishMigration(a);
+
+    // Node 3 is granted Exclusive by the prediction but never writes;
+    // when the line moves on, the clean ownership transfer tells the
+    // home the prediction was wrong and the migratory bit comes off.
+    m->issue(3, MemCmd::Load, a, [] {});
+    m->settle();
+    ASSERT_TRUE(writable(m->nodes[3]->cache->l2State(a)));
+
+    m->issue(1, MemCmd::Load, a, [] {});
+    m->settle();
+    auto e = m->dirEntryOf(a);
+    EXPECT_FALSE(proto::mig::migratory(e));
+    EXPECT_GE(scratchCounter(*m, 0, proto::migRevertOffset), 1u);
+    m->checkLineInvariants(a);
+}
+
+TEST_F(MigratoryTest, RandomTrafficKeepsInvariants)
+{
+    Rng rng(77);
+    std::vector<Addr> lines;
+    for (unsigned p = 0; p < 2; ++p)
+        for (unsigned h = 0; h < 4; ++h)
+            lines.push_back(m->addrAt(h, p));
+    int done = 0;
+    for (unsigned burst = 0; burst < 20; ++burst) {
+        for (unsigned i = 0; i < 8; ++i) {
+            NodeId n = static_cast<NodeId>(rng.below(4));
+            Addr a = lines[rng.below(static_cast<unsigned>(lines.size()))];
+            auto cmd = rng.below(2) ? MemCmd::Store : MemCmd::Load;
+            m->issue(n, cmd, a, [&] { ++done; });
+        }
+        m->settle();
+    }
+    EXPECT_EQ(done, 160);
+    EXPECT_EQ(m->checker->violationCount(), 0u);
+    for (Addr a : lines)
+        m->checkLineInvariants(a);
+}
+
+TEST(MigratoryBug, NoReleaseGrantIsCaughtByTheFullMirror)
+{
+    // Deliberate bug: the Exclusive-on-read grant answers straight from
+    // memory without intervening at the current owner — two writable
+    // copies. The full-mirror checker must flag it.
+    ProtoMachine::Options opt;
+    opt.protocol = ProtocolKind::Migratory;
+    opt.handlerOptions.injectMigratoryNoRelease = true;
+    opt.checkAbortOnViolation = false;
+    ProtoMachine m(opt);
+
+    Addr a = m.addrAt(0);
+    m.issue(1, MemCmd::Store, a, [] {});
+    m.eq.run(m.eq.curTick() + 500 * tickPerUs);
+    m.issue(2, MemCmd::Store, a, [] {});
+    m.eq.run(m.eq.curTick() + 500 * tickPerUs);
+    m.issue(3, MemCmd::Load, a, [] {});
+    m.eq.run(m.eq.curTick() + 2 * tickPerMs);
+
+    EXPECT_GE(m.checker->violationCount(), 1u);
+}
+
+// -------------------------------------------- phase-priority variant
+
+/**
+ * A sustained interleaved stream at node 0's controller: the home
+ * itself keeps issuing (LMI head) while all remote nodes keep issuing
+ * to the same small line set (NI request head), with stores churning
+ * the lines so nothing settles into a cache hit. Issues 4 requests per
+ * step and advances simulated time a sliver, so both request heads are
+ * regularly occupied at once. Returns the number of issued requests.
+ */
+int
+contendedMix(ProtoMachine &m, unsigned steps, int &done)
+{
+    Rng rng(31);
+    int issued = 0;
+    for (unsigned i = 0; i < steps; ++i) {
+        for (NodeId n = 0; n < 4; ++n) {
+            Addr a = m.addrAt(0, (i + n) % 4, ((i * 3 + n) % 8) * 64);
+            auto cmd = rng.below(2) ? MemCmd::Store : MemCmd::Load;
+            m.issue(n, cmd, a, [&] { ++done; });
+            ++issued;
+        }
+        m.eq.run(m.eq.curTick() + 60 * tickPerNs);
+    }
+    m.settle(10 * tickPerMs);
+    return issued;
+}
+
+TEST(PhasePriorityTest, ContendedTrafficSettlesClean)
+{
+    ProtoMachine::Options opt;
+    opt.protocol = ProtocolKind::PhasePriority;
+    ProtoMachine m(opt);
+    int done = 0;
+    int issued = contendedMix(m, 60, done);
+    EXPECT_EQ(done, issued);
+    EXPECT_EQ(m.checker->violationCount(), 0u);
+    for (unsigned p = 0; p < 4; ++p)
+        m.checkLineInvariants(m.addrAt(0, p));
+    // The queueing-delay stat the variant exists to shrink is sampled.
+    std::uint64_t samples = 0;
+    for (auto &n : m.nodes)
+        samples += n->mc->reqQueueDelay.samples();
+    EXPECT_GT(samples, 0u);
+}
+
+TEST(PhasePriorityTest, StarvationFloorForcesServiceOfTheBypassedHead)
+{
+    // Floor of 1: any head-of-queue tie where one side bypasses the
+    // other immediately trips the floor and force-serves the loser.
+    // The run must still settle clean — the floor changes order, never
+    // correctness.
+    ProtoMachine::Options opt;
+    opt.protocol = ProtocolKind::PhasePriority;
+    opt.phaseStarvationFloor = 1;
+    ProtoMachine m(opt);
+    int done = 0;
+    int issued = contendedMix(m, 60, done);
+    EXPECT_EQ(done, issued);
+    EXPECT_EQ(m.checker->violationCount(), 0u);
+    std::uint64_t trips = 0;
+    for (auto &n : m.nodes)
+        trips += n->mc->phaseFloorTrips.value();
+    EXPECT_GT(trips, 0u);
+    // Force-serves are reported to the checker's starvation log (not a
+    // violation by themselves).
+    EXPECT_EQ(m.checker->violationCount(), 0u);
+}
+
+TEST(PhasePriorityBug, DropOnFloorWedgesAndTheWatchdogFires)
+{
+    // Deliberate bug: the starved head is discarded instead of served.
+    // Its transaction can never complete, so the machine wedges and
+    // the checker's watchdog must flag the lost request.
+    ProtoMachine::Options opt;
+    opt.protocol = ProtocolKind::PhasePriority;
+    opt.phaseStarvationFloor = 1;
+    opt.injectDropOnFloor = true;
+    opt.checkAbortOnViolation = false;
+    opt.watchdogMaxAge = 100 * tickPerUs;
+    ProtoMachine m(opt);
+
+    Rng rng(31);
+    int done = 0;
+    for (unsigned i = 0; i < 120; ++i) {
+        for (NodeId n = 0; n < 4; ++n) {
+            Addr a = m.addrAt(0, (i + n) % 4, ((i * 3 + n) % 8) * 64);
+            auto cmd = rng.below(2) ? MemCmd::Store : MemCmd::Load;
+            m.issue(n, cmd, a, [&] { ++done; });
+        }
+        m.eq.run(m.eq.curTick() + 60 * tickPerNs);
+    }
+    m.eq.run(m.eq.curTick() + 2 * tickPerMs);
+
+    ASSERT_GE(m.checker->violationCount(), 1u);
+    EXPECT_NE(m.checker->violations()[0].find("watchdog"),
+              std::string::npos)
+        << m.checker->violations()[0];
+    EXPECT_FALSE(m.quiescent());
+}
+
+// --------------------------------------- whole-machine, per variant
+
+/** One machine + FFT workload, parameterized on protocol variant. */
+struct VariantSim
+{
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<workload::App> app;
+    std::unique_ptr<FuncMem> mem;
+
+    VariantSim(ProtocolKind protocol, MachineModel model,
+               const ExecParams &exec = {},
+               check::CheckLevel check = check::CheckLevel::Off,
+               unsigned nodes = 2, double scale = 0.1)
+    {
+        MachineParams mp;
+        mp.model = model;
+        mp.nodes = nodes;
+        mp.appThreadsPerNode = 1;
+        mp.protocol = protocol;
+        mp.exec = exec;
+        mp.checkLevel = check;
+        machine = std::make_unique<Machine>(mp);
+        mem = std::make_unique<FuncMem>();
+        app = workload::makeApp("FFT");
+        workload::WorkloadEnv env;
+        env.mem = mem.get();
+        env.map = &machine->addressMap();
+        env.nodes = nodes;
+        env.threadsPerNode = 1;
+        env.scale = scale;
+        app->build(env);
+        for (unsigned t = 0; t < env.totalThreads(); ++t)
+            machine->setGlobalSource(t, app->thread(t));
+        machine->setWorkloadState(app.get());
+    }
+};
+
+std::string
+statsOf(Machine &m)
+{
+    std::ostringstream os;
+    m.dumpStats(os);
+    return os.str();
+}
+
+const MachineModel allModels[] = {
+    MachineModel::Base,       MachineModel::IntPerfect,
+    MachineModel::Int512KB,   MachineModel::Int64KB,
+    MachineModel::SMTp,
+};
+
+const ProtocolKind variants[] = {ProtocolKind::Migratory,
+                                 ProtocolKind::PhasePriority};
+
+TEST(VariantMachine, AllModelsRunCleanUnderFullMirror)
+{
+    for (ProtocolKind p : variants) {
+        for (MachineModel model : allModels) {
+            VariantSim sim(p, model, ExecParams{},
+                           check::CheckLevel::FullMirror, 2, 0.05);
+            Tick t = sim.machine->run();
+            ASSERT_GT(t, 0u) << proto::protocolName(p);
+            sim.machine->quiesce();
+            EXPECT_EQ(sim.machine->checker()->violationCount(), 0u)
+                << proto::protocolName(p) << " on model "
+                << static_cast<int>(model);
+        }
+    }
+}
+
+TEST(VariantMachine, SerialAndParallelAreBitIdentical)
+{
+    ExecParams par;
+    ASSERT_TRUE(ExecParams::parse("parallel:4", par));
+    for (ProtocolKind p : variants) {
+        VariantSim ref(p, MachineModel::SMTp, ExecParams{},
+                       check::CheckLevel::Off, 4, 0.1);
+        Tick t = ref.machine->run();
+        ASSERT_GT(t, 0u);
+        std::string golden = statsOf(*ref.machine);
+
+        VariantSim sim(p, MachineModel::SMTp, par,
+                       check::CheckLevel::Off, 4, 0.1);
+        EXPECT_EQ(sim.machine->run(), t) << proto::protocolName(p);
+        EXPECT_EQ(statsOf(*sim.machine), golden)
+            << proto::protocolName(p);
+    }
+}
+
+TEST(VariantMachine, CheckpointRoundTripConverges)
+{
+    for (ProtocolKind p : variants) {
+        VariantSim twin(p, MachineModel::SMTp);
+        Tick t_end = twin.machine->run();
+        std::string golden = statsOf(*twin.machine);
+
+        VariantSim part(p, MachineModel::SMTp);
+        part.machine->runUntil(t_end / 2);
+        ASSERT_GT(part.machine->eventQueue().curTick(), 0u);
+        auto img = part.machine->saveImage();
+
+        VariantSim res(p, MachineModel::SMTp);
+        std::string err;
+        ASSERT_TRUE(res.machine->restoreImage(std::move(img), &err))
+            << err;
+        EXPECT_EQ(res.machine->run(), t_end) << proto::protocolName(p);
+        EXPECT_EQ(statsOf(*res.machine), golden)
+            << proto::protocolName(p);
+    }
+}
+
+TEST(VariantMachine, MigratorySavesUpgradesOnWholeMachineRuns)
+{
+    VariantSim sim(ProtocolKind::Migratory, MachineModel::SMTp,
+                   ExecParams{}, check::CheckLevel::Off, 4, 0.1);
+    sim.machine->run();
+    auto mc = sim.machine->migratoryCounters();
+    EXPECT_GT(mc.detected, 0u);
+    EXPECT_GT(mc.saved, 0u);
+
+    // The baseline machine reports all-zero migratory counters.
+    VariantSim base(ProtocolKind::Bitvector, MachineModel::SMTp);
+    base.machine->run();
+    auto bc = base.machine->migratoryCounters();
+    EXPECT_EQ(bc.detected + bc.saved + bc.reverts, 0u);
+}
+
+} // namespace
+} // namespace smtp::testing

@@ -261,6 +261,7 @@ TEST(ServeProto, CellRoundTripPreservesKey)
     ASSERT_TRUE(parseCheckLevel("asserts", cfg.checkLevel));
     ASSERT_TRUE(SampleSpec::parse("1000:500:8", cfg.sample));
     ASSERT_TRUE(fault::FaultPlan::parse("seed=7,drop=0.01", cfg.faults));
+    cfg.protocol = proto::ProtocolKind::Migratory;
 
     RunConfig back;
     std::string err;
@@ -270,6 +271,38 @@ TEST(ServeProto, CellRoundTripPreservesKey)
     EXPECT_EQ(back.exec.toString(), cfg.exec.toString());
     EXPECT_EQ(back.checkLevel, cfg.checkLevel);
     EXPECT_EQ(back.sample.warmup, cfg.sample.warmup);
+    EXPECT_EQ(back.protocol, cfg.protocol);
+}
+
+TEST(ServeProto, ProtocolVariantsNeverShareACellKey)
+{
+    // The daemon's result cache and in-flight dedup key off cellKey;
+    // the same workload under different directory protocols must
+    // never collide. The default keeps the pre-variant wire shape:
+    // no "protocol" member at all.
+    RunConfig cfg;
+    JsonValue defaultCell = cellToJson(cfg);
+    EXPECT_EQ(defaultCell.find("protocol"), nullptr);
+
+    std::uint64_t bitvectorKey = cellKey(cfg);
+    cfg.protocol = proto::ProtocolKind::Migratory;
+    std::uint64_t migratoryKey = cellKey(cfg);
+    cfg.protocol = proto::ProtocolKind::PhasePriority;
+    std::uint64_t phaseKey = cellKey(cfg);
+    EXPECT_NE(bitvectorKey, migratoryKey);
+    EXPECT_NE(bitvectorKey, phaseKey);
+    EXPECT_NE(migratoryKey, phaseKey);
+
+    RunConfig out;
+    std::string err;
+    EXPECT_FALSE(cellFromJson(
+        [] {
+            JsonValue cell = cellToJson(RunConfig{});
+            cell.set("protocol", JsonValue::makeString("mesi"));
+            return cell;
+        }(),
+        out, &err));
+    EXPECT_NE(err.find("mesi"), std::string::npos) << err;
 }
 
 TEST(ServeProto, UnknownCellFieldIsRejected)

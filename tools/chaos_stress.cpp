@@ -72,6 +72,8 @@ struct ChaosOptions
      * component (docs/debugging.md).
      */
     std::string wedgeSnapPath = "chaos_wedge.smtpsnap";
+    /** Directory-protocol variant under chaos (docs/protocols.md). */
+    proto::ProtocolKind protocol = proto::ProtocolKind::Bitvector;
     bool quick = false;
     bool shrink = false;
     bool abortOnViolation = true;
@@ -182,6 +184,7 @@ runModel(MachineModel model, const ChaosOptions &o)
     mp.l2Bytes = 32 * 1024; ///< Small: conflict evictions race freely.
     mp.checkLevel = check::CheckLevel::FullMirror;
     mp.checkAbortOnViolation = o.abortOnViolation && !o.bugDroploss;
+    mp.protocol = o.protocol;
     mp.faults = plan;
     mp.retryPolicy = o.retry;
     mp.trace.enabled = !o.traceDir.empty();
@@ -289,16 +292,21 @@ printRepro(const ChaosOptions &o, MachineModel model, std::FILE *out)
     std::string name(modelName(model));
     for (auto &ch : name)
         ch = static_cast<char>(std::tolower(ch));
+    std::string protoFlag;
+    if (o.protocol != proto::ProtocolKind::Bitvector)
+        protoFlag = " --protocol=" +
+                    std::string(proto::protocolName(o.protocol));
     std::fprintf(out,
                  "  repro: chaos_stress --models=%s --nodes=%u "
                  "--threads=%u --seed=%llu --ops=%u --faults=%s "
-                 "--retry=%s%s%s\n",
+                 "--retry=%s%s%s%s\n",
                  name.c_str(), o.nodes, o.threads,
                  static_cast<unsigned long long>(o.seed), o.ops,
                  resolvePlan(o).toString().c_str(),
                  fault::retryPolicyToString(o.retry).c_str(),
                  o.abortOnViolation ? "" : " --abort-off",
-                 o.bugDroploss ? " --bug=droploss" : "");
+                 o.bugDroploss ? " --bug=droploss" : "",
+                 protoFlag.c_str());
 }
 
 /** Bisect the op count down to the smallest stream that still fails. */
@@ -375,6 +383,13 @@ chaosMain(int argc, char **argv)
             o.reportPath = value();
         } else if (arg.rfind("--wedge-snap=", 0) == 0) {
             o.wedgeSnapPath = value();
+        } else if (arg.rfind("--protocol=", 0) == 0) {
+            if (!proto::protocolFromName(value(), o.protocol)) {
+                std::fprintf(stderr, "--protocol: unknown '%s' (valid: %s)\n",
+                             value().c_str(),
+                             std::string(proto::protocolNameList()).c_str());
+                return 2;
+            }
         } else if (arg == "--bug=droploss") {
             o.bugDroploss = true;
         } else if (arg == "--quick") {

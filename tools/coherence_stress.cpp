@@ -10,7 +10,7 @@
  *
  *   coherence_stress [--models=base,smtp,...] [--nodes=N] [--threads=W]
  *                    [--seed=S] [--ops=K] [--check=off|asserts|full]
- *                    [--quick] [--shrink] [--abort-off]
+ *                    [--protocol=NAME] [--quick] [--shrink] [--abort-off]
  *
  * Every run prints its own repro command line; --shrink bisects a
  * failing op count down to the smallest stream that still fails (see
@@ -46,6 +46,7 @@ struct StressOptions
     std::uint64_t seed = 1;
     unsigned ops = 6000; ///< Memory-op iterations per thread.
     check::CheckLevel level = check::CheckLevel::FullMirror;
+    proto::ProtocolKind protocol = proto::ProtocolKind::Bitvector;
     bool quick = false;
     bool shrink = false;
     bool abortOnViolation = true;
@@ -122,6 +123,7 @@ runModel(MachineModel model, const StressOptions &o)
     mp.nodes = o.nodes;
     mp.appThreadsPerNode = o.threads;
     mp.l2Bytes = 32 * 1024; ///< Small: conflict evictions race freely.
+    mp.protocol = o.protocol;
     mp.checkLevel = o.level;
     mp.checkAbortOnViolation = o.abortOnViolation;
     Machine m(mp);
@@ -186,10 +188,12 @@ printRepro(const StressOptions &o, MachineModel model, std::FILE *out)
         ch = static_cast<char>(std::tolower(ch));
     std::fprintf(out,
                  "  repro: coherence_stress --models=%s --nodes=%u "
-                 "--threads=%u --seed=%llu --ops=%u --check=%s%s\n",
+                 "--threads=%u --seed=%llu --ops=%u --check=%s "
+                 "--protocol=%s%s\n",
                  name.c_str(), o.nodes, o.threads,
                  static_cast<unsigned long long>(o.seed), o.ops,
                  levelName(o.level),
+                 std::string(proto::protocolName(o.protocol)).c_str(),
                  o.abortOnViolation ? "" : " --abort-off");
 }
 
@@ -261,6 +265,14 @@ stressMain(int argc, char **argv)
             else {
                 std::fprintf(stderr, "unknown check level '%s'\n",
                              l.c_str());
+                return 2;
+            }
+        } else if (arg.rfind("--protocol=", 0) == 0) {
+            if (!proto::protocolFromName(value(), o.protocol)) {
+                std::fprintf(
+                    stderr, "unknown protocol '%s' (expected %s)\n",
+                    value().c_str(),
+                    std::string(proto::protocolNameList()).c_str());
                 return 2;
             }
         } else if (arg == "--quick") {

@@ -59,6 +59,7 @@ usage()
         "  --scale=F             problem scale factor (0.05)\n"
         "  --exec=MODE           serial | parallel[:T] (serial)\n"
         "  --check=LEVEL         off | asserts | full (off)\n"
+        "  --protocol=NAME       bitvector | migratory | phase-priority\n"
         "  --sample=W:M:K        sampled measurement spec\n"
         "  --faults=PLAN         fault-injection plan\n"
         "  --retry=SPEC          NAK retry policy\n"
@@ -173,6 +174,13 @@ main(int argc, char **argv)
         } else if (const char *v = value("--check=")) {
             if (!parseCheckLevel(v, base.checkLevel, &err)) {
                 std::fprintf(stderr, "smtpctl: %s\n", err.c_str());
+                return 2;
+            }
+        } else if (const char *v = value("--protocol=")) {
+            if (!proto::protocolFromName(v, base.protocol)) {
+                std::fprintf(
+                    stderr, "smtpctl: unknown protocol '%s' (expected %s)\n",
+                    v, std::string(proto::protocolNameList()).c_str());
                 return 2;
             }
         } else if (const char *v = value("--sample=")) {

@@ -340,10 +340,15 @@ reportFile(const trace::TraceData &data, bool dump)
         }
     }
 
+    // Empty protocol = a v1 capture from before the variant subsystem,
+    // which could only ever have been the default bitvector protocol.
+    const char *protoName =
+        data.protocol.empty() ? "bitvector" : data.protocol.c_str();
     std::printf("\nprotocol occupancy (Table 7 style; busy/exec from stored "
                 "busy windows)\n");
-    std::printf("  %-6s %10s %10s %10s %10s %12s\n", "node", "busy_us",
-                "occupancy", "windows", "handlers", "rec/stored");
+    std::printf("  %-6s %-14s %10s %10s %10s %10s %12s\n", "node",
+                "protocol", "busy_us", "occupancy", "windows", "handlers",
+                "rec/stored");
     for (unsigned n = 0; n < data.nodes; ++n) {
         const NodeOccupancy &o = occ[n];
         if (!o.present)
@@ -356,8 +361,8 @@ reportFile(const trace::TraceData &data, bool dump)
         std::snprintf(rs, sizeof(rs), "%llu/%llu",
                       static_cast<unsigned long long>(o.recorded),
                       static_cast<unsigned long long>(o.stored));
-        std::printf("  n%-5u %10.3f %10.3f %10llu %10llu %12s\n", n,
-                    us(o.busy), frac,
+        std::printf("  n%-5u %-14s %10.3f %10.3f %10llu %10llu %12s\n", n,
+                    protoName, us(o.busy), frac,
                     static_cast<unsigned long long>(o.windows),
                     static_cast<unsigned long long>(o.handlers), rs);
     }
@@ -479,6 +484,144 @@ reportFile(const trace::TraceData &data, bool dump)
     }
 }
 
+/** Occupancy/handler-latency extraction shared by report and compare. */
+struct OccupancySummary
+{
+    std::vector<NodeOccupancy> occ;
+    /** Mean handler service latency and count per message type. */
+    std::map<std::uint8_t, std::pair<double, std::uint64_t>> handlerLat;
+    std::string protocol;
+    Tick execTicks = 0;
+};
+
+OccupancySummary
+summarize(const trace::TraceData &data)
+{
+    OccupancySummary s;
+    s.occ.resize(data.nodes);
+    s.protocol = data.protocol.empty() ? "bitvector" : data.protocol;
+    s.execTicks = data.execTicks;
+    std::map<std::uint8_t, std::pair<double, std::uint64_t>> acc;
+    for (const auto &b : data.buffers) {
+        if (b.node >= data.nodes)
+            continue;
+        auto cat = static_cast<trace::Category>(b.category);
+        if (cat == trace::Category::Protocol) {
+            NodeOccupancy &o = s.occ[b.node];
+            o.present = true;
+            Tick busyStart = 0;
+            bool busy = false;
+            for (const auto &e : b.events) {
+                if (e.id() == EventId::ProtoBusyBegin) {
+                    busyStart = e.tick();
+                    busy = true;
+                } else if (e.id() == EventId::ProtoBusyEnd) {
+                    if (busy) {
+                        o.busy += e.tick() - busyStart;
+                        ++o.windows;
+                        busy = false;
+                    }
+                } else if (e.id() == EventId::HandlerRetire) {
+                    ++o.handlers;
+                }
+            }
+            if (busy && data.execTicks > busyStart) {
+                o.busy += data.execTicks - busyStart;
+                ++o.windows;
+            }
+        } else if (cat == trace::Category::Mem) {
+            for (const auto &e : b.events) {
+                if (e.id() == EventId::McHandlerDone) {
+                    auto &slot = acc[static_cast<std::uint8_t>(
+                        trace::doneType(e.arg))];
+                    slot.first +=
+                        static_cast<double>(trace::doneLatency(e.arg));
+                    ++slot.second;
+                }
+            }
+        }
+    }
+    for (auto &[type, slot] : acc) {
+        if (slot.second)
+            slot.first /= static_cast<double>(slot.second);
+        s.handlerLat.emplace(type, slot);
+    }
+    return s;
+}
+
+/**
+ * Handler-occupancy comparison of two captures (--compare): per-node
+ * busy fraction and handler-count deltas, then per-message-type mean
+ * service latency deltas. Made for A = one protocol, B = another over
+ * the same workload, but any two captures with equal node counts work.
+ */
+int
+compareFiles(const trace::TraceData &da, const std::string &pa,
+             const trace::TraceData &db, const std::string &pb)
+{
+    if (da.nodes != db.nodes) {
+        std::fprintf(stderr,
+                     "--compare: node counts differ (%u vs %u)\n",
+                     da.nodes, db.nodes);
+        return 1;
+    }
+    OccupancySummary a = summarize(da);
+    OccupancySummary b = summarize(db);
+    std::printf("A: %s (protocol %s, exec %.3fus)\n", pa.c_str(),
+                a.protocol.c_str(), us(a.execTicks));
+    std::printf("B: %s (protocol %s, exec %.3fus)\n", pb.c_str(),
+                b.protocol.c_str(), us(b.execTicks));
+
+    std::printf("\nhandler occupancy delta (B - A)\n");
+    std::printf("  %-6s %10s %10s %10s %10s %10s\n", "node", "occ_A",
+                "occ_B", "delta", "handl_A", "handl_B");
+    for (unsigned n = 0; n < da.nodes; ++n) {
+        const NodeOccupancy &oa = a.occ[n];
+        const NodeOccupancy &ob = b.occ[n];
+        if (!oa.present && !ob.present)
+            continue;
+        double fa = a.execTicks ? static_cast<double>(oa.busy) /
+                                      static_cast<double>(a.execTicks)
+                                : 0.0;
+        double fb = b.execTicks ? static_cast<double>(ob.busy) /
+                                      static_cast<double>(b.execTicks)
+                                : 0.0;
+        std::printf("  n%-5u %10.4f %10.4f %+10.4f %10llu %10llu\n", n,
+                    fa, fb, fb - fa,
+                    static_cast<unsigned long long>(oa.handlers),
+                    static_cast<unsigned long long>(ob.handlers));
+    }
+
+    std::printf("\nhandler service latency delta by message type "
+                "(mean_us; B - A)\n");
+    std::printf("  %-14s %10s %10s %10s %10s %10s\n", "type", "mean_A",
+                "mean_B", "delta", "count_A", "count_B");
+    std::map<std::uint8_t, bool> types;
+    for (const auto &[t, v] : a.handlerLat)
+        types[t] = true;
+    for (const auto &[t, v] : b.handlerLat)
+        types[t] = true;
+    for (const auto &[t, unused] : types) {
+        auto ia = a.handlerLat.find(t);
+        auto ib = b.handlerLat.find(t);
+        double ma = ia != a.handlerLat.end() ? ia->second.first : 0.0;
+        double mb = ib != b.handlerLat.end() ? ib->second.first : 0.0;
+        std::uint64_t ca =
+            ia != a.handlerLat.end() ? ia->second.second : 0;
+        std::uint64_t cb =
+            ib != b.handlerLat.end() ? ib->second.second : 0;
+        std::printf(
+            "  %-14s %10.3f %10.3f %+10.3f %10llu %10llu\n",
+            std::string(
+                proto::msgTypeName(static_cast<proto::MsgType>(t)))
+                .c_str(),
+            ma / tickPerUs, mb / tickPerUs, (mb - ma) / tickPerUs,
+            static_cast<unsigned long long>(ca),
+            static_cast<unsigned long long>(cb));
+    }
+    return 0;
+}
+
 int
 usage(const char *argv0, int rc)
 {
@@ -489,6 +632,10 @@ usage(const char *argv0, int rc)
                  "  --dump           decode every stored event\n"
                  "  --perfetto=PATH  re-export as Chrome trace-event JSON\n"
                  "  --csv=PATH       re-export the interval series as CSV\n"
+                 "  --compare        take exactly two inputs A B and print\n"
+                 "                   per-node handler-occupancy and handler-\n"
+                 "                   latency deltas (B - A), labeled with\n"
+                 "                   each capture's protocol\n"
                  "  --perfetto/--csv need exactly one input file\n",
                  argv0);
     return rc;
@@ -500,12 +647,15 @@ int
 main(int argc, char **argv)
 {
     bool dump = false;
+    bool compare = false;
     std::string perfettoPath, csvPath;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--dump")
             dump = true;
+        else if (arg == "--compare")
+            compare = true;
         else if (arg.rfind("--perfetto=", 0) == 0)
             perfettoPath = arg.substr(std::strlen("--perfetto="));
         else if (arg.rfind("--csv=", 0) == 0)
@@ -523,6 +673,24 @@ main(int argc, char **argv)
     if ((!perfettoPath.empty() || !csvPath.empty()) && files.size() != 1) {
         std::fprintf(stderr, "--perfetto/--csv need exactly one input\n");
         return 2;
+    }
+    if (compare) {
+        if (files.size() != 2) {
+            std::fprintf(stderr,
+                         "--compare needs exactly two inputs (A B)\n");
+            return 2;
+        }
+        trace::TraceData da, db;
+        std::string err;
+        if (!trace::readTrace(files[0], da, err)) {
+            std::fprintf(stderr, "%s: %s\n", files[0].c_str(), err.c_str());
+            return 1;
+        }
+        if (!trace::readTrace(files[1], db, err)) {
+            std::fprintf(stderr, "%s: %s\n", files[1].c_str(), err.c_str());
+            return 1;
+        }
+        return compareFiles(da, files[0], db, files[1]);
     }
 
     for (const auto &path : files) {
